@@ -1,0 +1,59 @@
+// Shared machinery for the table/figure reproduction harnesses: synthetic
+// dataset construction at a chosen scale, instrumented (counting) pipeline
+// runs, and assembly of gpumodel projection inputs.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/engine.hpp"
+#include "genome/synth.hpp"
+#include "gpumodel/projector.hpp"
+
+namespace bench {
+
+using util::u32;
+using util::u64;
+using util::usize;
+
+/// Device chunk size assumed for the *target* (full-assembly) runs: the
+/// paper's GPUs hold 16-32 GB, so Cas-OFFinder feeds large chunks.
+inline constexpr u64 kTargetChunkBytes = u64{64} << 20;
+
+/// Chunk size used for the scaled simulation runs.
+inline constexpr u64 kSimChunkBytes = u64{1} << 20;
+
+struct dataset {
+  std::string name;        // "hg19" / "hg38"
+  genome::genome_t g;      // sim-scale synthetic assembly
+  double scale = 1.0;      // multiplier back to the full assembly
+  cof::search_config cfg;  // the upstream example input
+  u64 full_bases = 0;
+  u64 target_chunks = 0;
+};
+
+/// Build the synthetic stand-in for `which` ("hg19"/"hg38") at 1/scale of
+/// the real assembly, with the paper's example input.
+dataset make_dataset(const std::string& which, u64 scale);
+
+/// One instrumented pipeline run.
+struct measured_run {
+  std::unique_ptr<prof::profiler> profile =
+      std::make_unique<prof::profiler>();  // per-kernel events + wall nanos
+  cof::run_metrics metrics;
+  double host_seconds = 0.0;               // elapsed minus kernel wall
+  std::vector<cof::ot_record> records;
+};
+
+measured_run run_counting(const dataset& ds, cof::backend_kind backend,
+                          cof::comparer_variant variant, usize wg_size);
+
+/// Projection input assembled from a measured run.
+gpumodel::projection_input make_projection(const dataset& ds, const measured_run& m,
+                                           cof::comparer_variant variant,
+                                           u32 wg_size);
+
+/// Standard bench banner: what is real, what is modelled.
+void print_banner(const char* table, const char* what);
+
+}  // namespace bench

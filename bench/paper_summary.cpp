@@ -1,0 +1,122 @@
+// One-command reproduction scorecard: runs every evaluation artifact at a
+// quick scale and prints paper-vs-reproduced side by side with a PASS/WARN
+// verdict per band. The dedicated table benches give the full detail; this
+// is the "did the reproduction hold?" overview.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/pipeline.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using cv = cof::comparer_variant;
+
+int failures = 0;
+
+void verdict(const char* what, double got, double lo, double hi,
+             const char* paper) {
+  const bool ok = got >= lo && got <= hi;
+  if (!ok) ++failures;
+  std::printf("  [%s] %-46s %8.2f   (paper: %s; accepted %.2f..%.2f)\n",
+              ok ? "PASS" : "WARN", what, got, paper, lo, hi);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::cli cli("paper_summary", "Reproduction scorecard for every artifact");
+  cli.opt("scale", "genome scale denominator", "4096");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto scale = cli.get_u64("scale");
+
+  bench::print_banner("Scorecard", "all tables/figures at a glance");
+
+  // --- Table I ---
+  std::printf("\nTable I (programming steps):\n");
+  verdict("OpenCL logical steps", (double)cof::opencl_programming_steps().size(),
+          13, 13, "13");
+  verdict("SYCL logical steps", (double)cof::sycl_programming_steps().size(), 8, 8,
+          "8");
+
+  // --- measured runs ---
+  auto hg19 = bench::make_dataset("hg19", scale);
+  auto hg38 = bench::make_dataset("hg38", scale);
+  auto ocl19 = bench::run_counting(hg19, cof::backend_kind::opencl, cv::base, 0);
+  auto sycl19 = bench::run_counting(hg19, cof::backend_kind::sycl, cv::base, 256);
+  auto sycl38 = bench::run_counting(hg38, cof::backend_kind::sycl, cv::base, 256);
+  COF_CHECK_MSG(ocl19.records == sycl19.records, "pipelines disagree");
+
+  auto elapsed = [&](const bench::dataset& ds, const bench::measured_run& m,
+                     cv v, util::u32 wg, const char* gpu) {
+    auto in = bench::make_projection(ds, m, v, wg);
+    return gpumodel::project_elapsed(gpumodel::gpu_by_name(gpu), in).total_s;
+  };
+
+  // --- Table VIII ---
+  std::printf("\nTable VIII (elapsed seconds, RVII):\n");
+  const double t_ocl = elapsed(hg19, ocl19, cv::base, 64, "RVII");
+  const double t_sycl = elapsed(hg19, sycl19, cv::base, 256, "RVII");
+  const double t_sycl38 = elapsed(hg38, sycl38, cv::base, 256, "RVII");
+  verdict("hg19 OpenCL elapsed (s)", t_ocl, 35, 75, "54");
+  verdict("hg19 SYCL elapsed (s)", t_sycl, 30, 70, "48");
+  verdict("OCL->SYCL speedup", t_ocl / t_sycl, 1.00, 1.25, "1.00-1.20");
+  verdict("hg38/hg19 ratio", t_sycl38 / t_sycl, 1.02, 1.35, "~1.27");
+  verdict("MI100/RVII ratio", elapsed(hg19, sycl19, cv::base, 256, "MI100") / t_sycl,
+          0.75, 1.0, "0.85");
+
+  // --- hotspot ---
+  std::printf("\nHotspot (SIV.B):\n");
+  {
+    auto in = bench::make_projection(hg19, sycl19, cv::base, 256);
+    auto proj = gpumodel::project_elapsed(gpumodel::gpu_by_name("RVII"), in);
+    verdict("comparer share of kernel time (%)",
+            100.0 * proj.comparer_s / (proj.comparer_s + proj.finder_s), 90, 100,
+            "~98");
+    verdict("comparer share of elapsed (%)", 100.0 * proj.comparer_s / proj.total_s,
+            50, 85, "50-80");
+  }
+
+  // --- Fig 2 + Table IX ---
+  std::printf("\nFig. 2 / Table IX (optimisations, RVII, hg19):\n");
+  {
+    double t[5];
+    for (int v = 0; v < 5; ++v) {
+      auto run = bench::run_counting(hg19, cof::backend_kind::sycl,
+                                     static_cast<cv>(v), 256);
+      auto in = bench::make_projection(hg19, run, static_cast<cv>(v), 256);
+      t[v] = gpumodel::project_elapsed(gpumodel::gpu_by_name("RVII"), in).comparer_s;
+      if (v == 3) {
+        verdict("Table IX speedup base/opt3 (elapsed)",
+                elapsed(hg19, sycl19, cv::base, 256, "RVII") /
+                    gpumodel::project_elapsed(gpumodel::gpu_by_name("RVII"), in)
+                        .total_s,
+                1.09, 1.30, "1.14-1.23");
+      }
+    }
+    verdict("kernel-time cut base->opt3 (%)", 100.0 * (1.0 - t[3] / t[0]), 18, 30,
+            "23.1-27.8");
+    verdict("opt4/opt3 kernel-time ratio", t[4] / t[3], 1.7, 2.3, "~2");
+  }
+
+  // --- Table X ---
+  std::printf("\nTable X (ISA model):\n");
+  {
+    const auto base = gpumodel::resource_usage(cv::base);
+    const auto opt3 = gpumodel::resource_usage(cv::opt3);
+    const auto opt4 = gpumodel::resource_usage(cv::opt4);
+    verdict("base code length (B)", base.code_bytes, 5580, 6550, "6064");
+    verdict("opt4 code length (B)", opt4.code_bytes, 3370, 3950, "3660");
+    verdict("base SGPRs", base.sgprs, 62, 66, "64");
+    verdict("opt3 SGPRs", opt3.sgprs, 55, 59, "57");
+    verdict("opt4 SGPRs", opt4.sgprs, 80, 84, "82");
+    verdict("base VGPRs", base.vgprs, 21, 23, "22");
+    verdict("base occupancy (waves/SIMD)", base.occupancy, 10, 10, "10");
+    verdict("opt4 occupancy (waves/SIMD)", opt4.occupancy, 9, 9, "9");
+  }
+
+  std::printf("\n%s (%d band(s) outside tolerance)\n",
+              failures == 0 ? "ALL BANDS REPRODUCED" : "SOME BANDS OUT OF RANGE",
+              failures);
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,53 @@
+// §IV.B profiling claim — "the compare kernel is a hotspot that accounts
+// for approximately 98% of the total kernel execution time and 50% to 80%
+// of the elapsed time". Reproduced with the instrumented profiler (kernel
+// shares from measured simulation wall time and from modelled device time).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "gpumodel/roofline.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  util::cli cli("profile_hotspot", "Reproduce the hotspot analysis of SIV.B");
+  cli.opt("scale", "genome scale denominator", "1024");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto scale = cli.get_u64("scale");
+
+  bench::print_banner("Hotspot profile", "comparer share of kernel/elapsed time");
+
+  for (const char* which : {"hg19", "hg38"}) {
+    auto ds = bench::make_dataset(which, scale);
+    auto m = bench::run_counting(ds, cof::backend_kind::sycl,
+                                 cof::comparer_variant::base, 256);
+    std::printf("\n--- %s (simulation profile) ---\n%s", which,
+                m.profile->report().c_str());
+    std::printf("comparer share of kernel wall time (simulation): %.1f%%\n",
+                100.0 * m.profile->hotspot_share("comparer/base"));
+
+    auto in = bench::make_projection(ds, m, cof::comparer_variant::base, 256);
+    {
+      // Roofline placement on RVII: why the comparer dominates.
+      const auto& gpu = gpumodel::gpu_by_name("RVII");
+      auto proj = gpumodel::project_elapsed(gpu, in);
+      std::vector<gpumodel::roofline_point> pts;
+      pts.push_back(gpumodel::roofline_from_events(
+          gpu, "finder", m.profile->get("finder").events.scaled(ds.scale), 48.0,
+          proj.finder_s));
+      pts.push_back(gpumodel::roofline_from_events(
+          gpu, "comparer",
+          m.profile->get("comparer/base").events.scaled(ds.scale), 1.4,
+          proj.comparer_s));
+      std::printf("\n%s", gpumodel::format_roofline(gpu, pts).c_str());
+    }
+    for (const auto& gpu : gpumodel::paper_gpus()) {
+      auto proj = gpumodel::project_elapsed(gpu, in);
+      const double kernel_total = proj.finder_s + proj.comparer_s;
+      std::printf("%s (model): comparer %.1f%% of kernel time, %.1f%% of elapsed "
+                  "(paper: ~98%%, 50-80%%)\n",
+                  gpu.name.c_str(), 100.0 * proj.comparer_s / kernel_total,
+                  100.0 * proj.comparer_s / proj.total_s);
+    }
+  }
+  return 0;
+}

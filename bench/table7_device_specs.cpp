@@ -1,0 +1,15 @@
+// Table VII — major specifications of the GPUs, as encoded in the device
+// model the projections use.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  bench::print_banner("Table VII", "major specifications of the GPUs");
+  std::printf("\n%s\n", gpumodel::format_table7().c_str());
+  std::printf("Derived: compute units RVII=%u MI60=%u MI100=%u (64 lanes/CU)\n",
+              gpumodel::gpu_by_name("RVII").compute_units(),
+              gpumodel::gpu_by_name("MI60").compute_units(),
+              gpumodel::gpu_by_name("MI100").compute_units());
+  return 0;
+}

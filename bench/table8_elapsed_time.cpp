@@ -1,0 +1,91 @@
+// Table VIII — elapsed time of the OpenCL and SYCL applications on the
+// three AMD GPUs for hg19/hg38, and the OCL->SYCL speedup.
+//
+// Real work performed: full instrumented pipeline runs (both host programs,
+// baseline comparer) on scaled synthetic assemblies. Device seconds are
+// projected from the measured event counts through the gpumodel.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+struct row {
+  double ocl = 0;
+  double sycl = 0;
+};
+
+row run_dataset_on(const bench::dataset& ds, const gpumodel::gpu_spec& gpu,
+                   const bench::measured_run& ocl_run,
+                   const bench::measured_run& sycl_run) {
+  row r;
+  {
+    auto in = bench::make_projection(ds, ocl_run, cof::comparer_variant::base,
+                                     /*wg=*/64);
+    r.ocl = gpumodel::project_elapsed(gpu, in).total_s;
+  }
+  {
+    auto in = bench::make_projection(ds, sycl_run, cof::comparer_variant::base,
+                                     /*wg=*/256);
+    r.sycl = gpumodel::project_elapsed(gpu, in).total_s;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::cli cli("table8_elapsed_time",
+                "Reproduce Table VIII (OCL vs SYCL elapsed time)");
+  cli.opt("scale", "genome scale denominator (full assembly = scale 1)", "512");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto scale = cli.get_u64("scale");
+
+  bench::print_banner("Table VIII", "elapsed time of the OpenCL and SYCL apps");
+
+  // Paper reference values (seconds).
+  const double paper[3][4] = {
+      // hg19 OCL, hg19 SYCL, hg38 OCL, hg38 SYCL
+      {54, 48, 71, 61},  // RVII
+      {51, 50, 63, 63},  // MI60
+      {49, 41, 61, 58},  // MI100
+  };
+
+  std::printf("\n%-7s | %22s | %22s\n", "", "hg19", "hg38");
+  std::printf("%-7s | %6s %6s %8s | %6s %6s %8s   (paper: OCL/SYCL/speedup)\n",
+              "Device", "OCL", "SYCL", "speedup", "OCL", "SYCL", "speedup");
+
+  bench::dataset sets[2] = {bench::make_dataset("hg19", scale),
+                            bench::make_dataset("hg38", scale)};
+  bench::measured_run runs[2][2];
+  for (int d = 0; d < 2; ++d) {
+    runs[d][0] = bench::run_counting(sets[d], cof::backend_kind::opencl,
+                                     cof::comparer_variant::base, /*wg=*/0);
+    runs[d][1] = bench::run_counting(sets[d], cof::backend_kind::sycl,
+                                     cof::comparer_variant::base, /*wg=*/256);
+    // Both host programs must agree bit-for-bit.
+    COF_CHECK_MSG(runs[d][0].records == runs[d][1].records,
+                  "OpenCL and SYCL pipelines disagree");
+  }
+
+  const auto& gpus = gpumodel::paper_gpus();
+  for (size_t gi = 0; gi < gpus.size(); ++gi) {
+    row r19 = run_dataset_on(sets[0], gpus[gi], runs[0][0], runs[0][1]);
+    row r38 = run_dataset_on(sets[1], gpus[gi], runs[1][0], runs[1][1]);
+    std::printf(
+        "%-7s | %6.0f %6.0f %8.2f | %6.0f %6.0f %8.2f   (%.0f/%.0f/%.2f  "
+        "%.0f/%.0f/%.2f)\n",
+        gpus[gi].name.c_str(), r19.ocl, r19.sycl, r19.ocl / r19.sycl, r38.ocl,
+        r38.sycl, r38.ocl / r38.sycl, paper[gi][0], paper[gi][1],
+        paper[gi][0] / paper[gi][1], paper[gi][2], paper[gi][3],
+        paper[gi][2] / paper[gi][3]);
+  }
+
+  std::printf("\nMeasured (CPU simulation, scale 1/%llu): hg19 %.2fs %zu records; "
+              "hg38 %.2fs %zu records\n",
+              static_cast<unsigned long long>(scale),
+              runs[0][1].metrics.elapsed_seconds, runs[0][1].records.size(),
+              runs[1][1].metrics.elapsed_seconds, runs[1][1].records.size());
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Table IX — elapsed time of the SYCL application with the baseline vs the
+// optimised (opt3) comparer, per device and dataset.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  util::cli cli("table9_optimized_elapsed",
+                "Reproduce Table IX (base vs optimised SYCL elapsed time)");
+  cli.opt("scale", "genome scale denominator", "1024");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto scale = cli.get_u64("scale");
+
+  bench::print_banner("Table IX", "elapsed time of the optimised SYCL application");
+  using cv = cof::comparer_variant;
+
+  // Paper reference: base, opt, per device; hg19 then hg38.
+  const double paper[3][4] = {
+      {48, 39, 61, 52},  // RVII
+      {50, 42, 63, 57},  // MI60
+      {41, 36, 58, 53},  // MI100
+  };
+
+  std::printf("\n%-7s | %21s | %21s\n", "", "hg19", "hg38");
+  std::printf("%-7s | %5s %5s %8s | %5s %5s %8s   (paper: base/opt/speedup)\n",
+              "Device", "base", "opt", "speedup", "base", "opt", "speedup");
+
+  bench::dataset sets[2] = {bench::make_dataset("hg19", scale),
+                            bench::make_dataset("hg38", scale)};
+  gpumodel::projection_input inputs[2][2];
+  bench::measured_run runs[2][2];
+  for (int d = 0; d < 2; ++d) {
+    runs[d][0] = bench::run_counting(sets[d], cof::backend_kind::sycl, cv::base, 256);
+    runs[d][1] = bench::run_counting(sets[d], cof::backend_kind::sycl, cv::opt3, 256);
+    COF_CHECK_MSG(runs[d][0].records == runs[d][1].records,
+                  "base and opt3 pipelines disagree");
+    inputs[d][0] = bench::make_projection(sets[d], runs[d][0], cv::base, 256);
+    inputs[d][1] = bench::make_projection(sets[d], runs[d][1], cv::opt3, 256);
+  }
+
+  const auto& gpus = gpumodel::paper_gpus();
+  for (size_t gi = 0; gi < gpus.size(); ++gi) {
+    double t[2][2];
+    for (int d = 0; d < 2; ++d) {
+      for (int v = 0; v < 2; ++v) {
+        t[d][v] = gpumodel::project_elapsed(gpus[gi], inputs[d][v]).total_s;
+      }
+    }
+    std::printf(
+        "%-7s | %5.0f %5.0f %8.2f | %5.0f %5.0f %8.2f   (%.0f/%.0f/%.2f  "
+        "%.0f/%.0f/%.2f)\n",
+        gpus[gi].name.c_str(), t[0][0], t[0][1], t[0][0] / t[0][1], t[1][0], t[1][1],
+        t[1][0] / t[1][1], paper[gi][0], paper[gi][1], paper[gi][0] / paper[gi][1],
+        paper[gi][2], paper[gi][3], paper[gi][2] / paper[gi][3]);
+  }
+  std::printf("\nPaper speedup range: 1.09-1.23.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// bulge_search — off-target search with DNA/RNA bulges (insertions and
+// deletions), the Cas-OFFinder capability the paper's §II mentions.
+// Plants one site of each bulge type into a synthetic genome and recovers
+// them, printing Cas-OFFinder-2-style annotated records.
+//
+//   $ ./examples/bulge_search --dna-bulge 1 --rna-bulge 1
+#include <cstdio>
+
+#include "core/bulge.hpp"
+#include "genome/synth.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+
+int main(int argc, char** argv) {
+  util::cli cli("bulge_search", "Off-target search with DNA/RNA bulges");
+  cli.opt("dna-bulge", "max DNA bulge size", "1");
+  cli.opt("rna-bulge", "max RNA bulge size", "1");
+  cli.opt("mm", "max mismatches", "2");
+  if (!cli.parse(argc, argv)) return 1;
+  util::set_log_level(util::log_level::warn);
+
+  const std::string pattern = "NNNNNNNNNNNNNNNNNNNNNRG";
+  const std::string query = "GGCCGACCTGTCGCTGACGCNNN";
+  const std::string guide = query.substr(0, 20);
+
+  // A controlled genome: T background (never matches the NRG PAM), with one
+  // exact site, one DNA-bulge site (extra base) and one RNA-bulge site
+  // (missing base).
+  genome::genome_t g;
+  g.chroms.push_back({"chr_demo", std::string(5000, 'T')});
+  const std::string exact = guide + "TGG";
+  const std::string dna_bulged = guide.substr(0, 12) + "G" + guide.substr(12) + "TGG";
+  const std::string rna_bulged = guide.substr(0, 7) + guide.substr(8) + "TGG";
+  g.chroms[0].seq.replace(1000, exact.size(), exact);
+  g.chroms[0].seq.replace(2000, dna_bulged.size(), dna_bulged);
+  g.chroms[0].seq.replace(3000, rna_bulged.size(), rna_bulged);
+  std::printf("planted: exact @1000, DNA-bulge @2000, RNA-bulge @3000\n\n");
+
+  cof::bulge_options bopt;
+  bopt.dna_bulge = static_cast<unsigned>(cli.get_u64("dna-bulge"));
+  bopt.rna_bulge = static_cast<unsigned>(cli.get_u64("rna-bulge"));
+  const auto variants = cof::expand_bulges(pattern, query, bopt);
+  std::printf("query expands into %zu bulge variants\n", variants.size());
+
+  const auto records = cof::bulge_search(
+      pattern, {query, static_cast<util::u16>(cli.get_u64("mm"))}, bopt, g,
+      {.backend = cof::backend_kind::sycl});
+
+  std::printf("\n%-10s %-6s %-5s %-9s %-4s %-3s  %s\n", "chrom", "pos", "dir",
+              "bulge", "size", "mm", "site");
+  for (const auto& r : records) {
+    std::printf("%-10s %-6llu %-5c %-9s %-4u %-3u  %s\n",
+                g.chroms[r.hit.chrom_index].name.c_str(),
+                static_cast<unsigned long long>(r.hit.position), r.hit.direction,
+                cof::bulge_type_name(r.variant.type), r.variant.size,
+                r.hit.mismatches, r.hit.site.c_str());
+  }
+
+  // Verify all three planted sites were recovered with the right bulge type.
+  auto has = [&](util::u64 pos, cof::bulge_type t) {
+    for (const auto& r : records) {
+      if (r.hit.position == pos && r.variant.type == t) return true;
+    }
+    return false;
+  };
+  COF_CHECK_MSG(has(1000, cof::bulge_type::none), "exact site missed");
+  COF_CHECK_MSG(has(2000, cof::bulge_type::dna), "DNA-bulge site missed");
+  COF_CHECK_MSG(has(3000, cof::bulge_type::rna), "RNA-bulge site missed");
+  std::printf("\nall planted sites recovered with correct bulge annotation\n");
+  return 0;
+}

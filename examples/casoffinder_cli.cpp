@@ -1,0 +1,153 @@
+// casoffinder_cli — a Cas-OFFinder-compatible command-line front end.
+//
+//   $ ./examples/casoffinder_cli input.txt S out.txt
+//
+// Mirrors the upstream invocation `cas-offinder {input} {C|G|A} {output}`:
+// the second argument picks the compute path —
+//   C  serial CPU reference
+//   G  the simulated accelerator via the SYCL host program (as the paper's
+//      migrated application)
+//   O  the simulated accelerator via the OpenCL host program (the original)
+// plus engine knobs for work-group size, comparer variant and chunk size.
+#include <cstdio>
+#include <fstream>
+
+#include "core/engine.hpp"
+#include "core/engine_stream.hpp"
+#include "core/scoring.hpp"
+#include "genome/synth.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  util::cli cli("casoffinder_cli", "Cas-OFFinder-compatible off-target search");
+  cli.positional("input", "input file (genome, pattern, queries)", true);
+  cli.positional("device",
+                 "C = serial CPU, O = OpenCL host, G/S = SYCL host (buffers), "
+                 "U = SYCL host (USM), P = SYCL host (2-bit packed)",
+                 false);
+  cli.positional("output", "output file ('-' or empty = stdout)", false);
+  cli.opt("wg", "work-group size (0 = backend default)", "0");
+  cli.opt("variant", "comparer variant: base|opt1|opt2|opt3|opt4", "base");
+  cli.opt("chunk", "max device chunk bytes", "4194304");
+  cli.flag("profile", "print the kernel hotspot profile");
+  cli.flag("score", "print MIT specificity scores per guide");
+  cli.flag("stream", "stream chunks from the FASTA file(s) instead of "
+                     "loading the genome (O(chunk) host memory)");
+  cli.flag("batch", "one comparer launch per chunk covering all queries");
+  cli.opt("queues", "host threads each driving a device pipeline", "1");
+  if (!cli.parse(argc, argv)) return 1;
+
+  util::set_log_level(util::log_level::warn);
+  const auto cfg = cof::read_input_file(cli.get_positional("input"));
+
+  cof::engine_options opt;
+  const std::string dev = cli.get_positional("device").empty()
+                              ? "G"
+                              : cli.get_positional("device");
+  switch (dev[0]) {
+    case 'C': case 'c': opt.backend = cof::backend_kind::serial; break;
+    case 'O': case 'o': opt.backend = cof::backend_kind::opencl; break;
+    case 'G': case 'g': case 'S': case 's':
+      opt.backend = cof::backend_kind::sycl;
+      break;
+    case 'U': case 'u': opt.backend = cof::backend_kind::sycl_usm; break;
+    case 'P': case 'p': opt.backend = cof::backend_kind::sycl_twobit; break;
+    default: util::die("unknown device (use C, O, G or S): " + dev);
+  }
+  opt.wg_size = cli.get_u64("wg");
+  opt.max_chunk = cli.get_u64("chunk");
+  opt.batch_queries = cli.get_flag("batch");
+  opt.num_queues = cli.get_u64("queues");
+  const std::string vname = cli.get("variant");
+  bool found_variant = false;
+  for (int v = 0; v < cof::kNumComparerVariants; ++v) {
+    if (vname == cof::comparer_variant_name(static_cast<cof::comparer_variant>(v))) {
+      opt.variant = static_cast<cof::comparer_variant>(v);
+      found_variant = true;
+    }
+  }
+  COF_CHECK_MSG(found_variant, "unknown variant: " + vname);
+
+  prof::profiler profiler;
+  if (cli.get_flag("profile")) {
+    opt.counting = true;
+    opt.profiler = &profiler;
+  }
+
+  if (cli.get_flag("stream")) {
+    COF_CHECK_MSG(opt.backend != cof::backend_kind::serial,
+                  "--stream needs a device backend (O, G, S, U or P)");
+    const auto streamed = cof::run_search_streaming(cfg, cfg.genome_path, opt);
+    std::fprintf(stderr,
+                 "%s (streamed): %zu records, %.3fs, %llu bases through "
+                 "%zu chunks (peak chunk %s)\n",
+                 cof::backend_name(opt.backend), streamed.records.size(),
+                 streamed.metrics.elapsed_seconds,
+                 static_cast<unsigned long long>(streamed.streamed_bases),
+                 streamed.metrics.chunks,
+                 util::human_bytes(streamed.peak_chunk_bytes).c_str());
+    genome::genome_t names_only;
+    for (const auto& n : streamed.chrom_names) {
+      names_only.chroms.push_back({n, ""});
+    }
+    std::vector<std::string> qs;
+    for (const auto& q : cfg.queries) qs.push_back(q.seq);
+    const std::string text = cof::format_records(streamed.records, qs, names_only);
+    const std::string outp = cli.get_positional("output");
+    if (outp.empty() || outp == "-") {
+      std::fputs(text.c_str(), stdout);
+    } else {
+      std::ofstream out(outp, std::ios::binary);
+      COF_CHECK_MSG(out.good(), "cannot open output file: " + outp);
+      out << text;
+    }
+    return 0;
+  }
+
+  util::stopwatch load_sw;
+  const genome::genome_t g = cof::load_configured_genome(cfg);
+  std::fprintf(stderr, "loaded %s: %zu sequences, %s (%.2fs)\n", g.assembly.c_str(),
+               g.chroms.size(), util::human_bytes(g.total_bases()).c_str(),
+               load_sw.seconds());
+
+  const auto result = cof::run_search(cfg, g, opt);
+  std::fprintf(stderr,
+               "%s/%s: %zu records, %.3fs elapsed (%zu chunks, %llu loci, "
+               "%s h2d, %s d2h)\n",
+               cof::backend_name(opt.backend),
+               cof::comparer_variant_name(opt.variant), result.records.size(),
+               result.metrics.elapsed_seconds, result.metrics.chunks,
+               static_cast<unsigned long long>(result.metrics.pipeline.total_loci),
+               util::human_bytes(result.metrics.pipeline.h2d_bytes).c_str(),
+               util::human_bytes(result.metrics.pipeline.d2h_bytes).c_str());
+
+  std::vector<std::string> qseqs;
+  for (const auto& q : cfg.queries) qseqs.push_back(q.seq);
+  const std::string text = cof::format_records(result.records, qseqs, g);
+  const std::string out_path = cli.get_positional("output");
+  if (out_path.empty() || out_path == "-") {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    std::ofstream out(out_path, std::ios::binary);
+    COF_CHECK_MSG(out.good(), "cannot open output file: " + out_path);
+    out << text;
+  }
+
+  if (cli.get_flag("score")) {
+    const auto reports = cof::scoring::score_search(cfg, result.records);
+    std::fprintf(stderr, "\nguide specificity (MIT/Hsu):\n%s",
+                 cof::scoring::format_report(reports).c_str());
+  }
+
+  if (cli.get_flag("profile")) {
+    std::fprintf(stderr, "\nkernel profile:\n%s", profiler.report().c_str());
+    std::fprintf(stderr, "comparer share of kernel time: %.1f%%\n",
+                 100.0 * profiler.hotspot_share(
+                             std::string("comparer/") +
+                             cof::comparer_variant_name(opt.variant)));
+  }
+  return 0;
+}

@@ -1,0 +1,117 @@
+#include "core/bulge.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "core/pattern.hpp"
+
+namespace cof {
+
+const char* bulge_type_name(bulge_type t) {
+  switch (t) {
+    case bulge_type::none: return "X";
+    case bulge_type::dna: return "DNA";
+    case bulge_type::rna: return "RNA";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The pattern's guide region: the longest run of 'N's, which sits after a
+/// 5'-PAM (e.g. TTTV + N20 for Cas12a) or before a 3'-PAM (N20 + NGG/NRG
+/// for Cas9). Returns [start, length).
+std::pair<usize, usize> guide_region(const std::string& pattern) {
+  usize best_start = 0, best_len = 0, run_start = 0, run_len = 0;
+  for (usize i = 0; i <= pattern.size(); ++i) {
+    if (i < pattern.size() && pattern[i] == 'N') {
+      if (run_len == 0) run_start = i;
+      ++run_len;
+    } else {
+      if (run_len > best_len) {
+        best_start = run_start;
+        best_len = run_len;
+      }
+      run_len = 0;
+    }
+  }
+  return {best_start, best_len};
+}
+
+}  // namespace
+
+std::vector<bulge_variant> expand_bulges(const std::string& pattern,
+                                         const std::string& query,
+                                         const bulge_options& opt) {
+  const std::string pat = normalize_sequence(pattern);
+  const std::string q = normalize_sequence(query);
+  COF_CHECK_MSG(q.size() == pat.size(), "query length != pattern length");
+  const auto [nstart, nrun] = guide_region(pat);
+  COF_CHECK_MSG(nrun >= 2,
+                "bulge search needs a PAM pattern with a guide N-run");
+  const std::string pam_head = pat.substr(0, nstart);       // 5'-PAM (if any)
+  const std::string pam_tail = pat.substr(nstart + nrun);   // 3'-PAM (if any)
+
+  std::vector<bulge_variant> variants;
+  variants.push_back(bulge_variant{bulge_type::none, 0, 0, q, pat});
+
+  // DNA bulges: insert 'N' runs strictly inside the guide region.
+  for (unsigned b = 1; b <= opt.dna_bulge; ++b) {
+    const std::string new_pat = pam_head + std::string(nrun + b, 'N') + pam_tail;
+    for (usize off = 1; off < nrun; ++off) {
+      std::string nq = q;
+      nq.insert(nstart + off, std::string(b, 'N'));
+      variants.push_back(bulge_variant{bulge_type::dna, b, nstart + off, nq, new_pat});
+    }
+  }
+
+  // RNA bulges: delete guide bases strictly inside the guide region.
+  for (unsigned b = 1; b <= opt.rna_bulge; ++b) {
+    if (nrun <= b + 1) break;
+    const std::string new_pat = pam_head + std::string(nrun - b, 'N') + pam_tail;
+    for (usize off = 1; off + b < nrun; ++off) {
+      std::string nq = q;
+      nq.erase(nstart + off, b);
+      variants.push_back(bulge_variant{bulge_type::rna, b, nstart + off, nq, new_pat});
+    }
+  }
+  return variants;
+}
+
+std::vector<bulge_record> bulge_search(const std::string& pattern,
+                                       const query_spec& query,
+                                       const bulge_options& bopt,
+                                       const genome::genome_t& g,
+                                       const engine_options& eopt) {
+  const auto variants = expand_bulges(pattern, query.seq, bopt);
+
+  // Best hit per (chrom, pos, dir): smallest bulge wins, then fewest
+  // mismatches (a bulged alignment never outranks an exact-length one).
+  std::map<std::tuple<u32, u64, char>, bulge_record> best;
+  for (const auto& v : variants) {
+    search_config cfg;
+    cfg.genome_path = "<in-memory>";
+    cfg.pattern = v.pattern;
+    cfg.queries = {query_spec{v.query, query.max_mismatches}};
+    const auto outcome = run_search(cfg, g, eopt);
+    for (const auto& r : outcome.records) {
+      const auto key = std::make_tuple(r.chrom_index, r.position, r.direction);
+      auto it = best.find(key);
+      const auto better = [&](const bulge_record& cur) {
+        if (v.size != cur.variant.size) return v.size < cur.variant.size;
+        return r.mismatches < cur.hit.mismatches;
+      };
+      if (it == best.end() || better(it->second)) {
+        best[key] = bulge_record{v, r};
+      }
+    }
+  }
+
+  std::vector<bulge_record> records;
+  records.reserve(best.size());
+  for (auto& [key, rec] : best) records.push_back(std::move(rec));
+  return records;
+}
+
+}  // namespace cof

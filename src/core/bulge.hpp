@@ -1,0 +1,60 @@
+// Bulge-aware search (the paper's §II note that Cas-OFFinder "can also
+// predict off-target sites with deletions or insertions"). Implemented the
+// way Cas-Designer drives Cas-OFFinder: each DNA/RNA bulge of size b is
+// rewritten into an ordinary fixed-length query —
+//
+//   * DNA bulge (extra reference bases): insert b 'N's into the guide,
+//     lengthening it; the pattern's leading N-run grows by b;
+//   * RNA bulge (unpaired guide bases): delete b guide bases, shortening
+//     it; the pattern's leading N-run shrinks by b.
+//
+// Supported for 3'-PAM patterns (a leading N-run followed by the PAM, e.g.
+// NNNNNNNNNNNNNNNNNNNNNRG).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace cof {
+
+enum class bulge_type { none, dna, rna };
+
+const char* bulge_type_name(bulge_type t);
+
+struct bulge_variant {
+  bulge_type type = bulge_type::none;
+  unsigned size = 0;      // bulge length in bases
+  usize position = 0;     // insertion/deletion offset within the guide
+  std::string query;      // rewritten query
+  std::string pattern;    // rewritten pattern (length matches query)
+};
+
+struct bulge_options {
+  unsigned dna_bulge = 0;  // maximum DNA-bulge size
+  unsigned rna_bulge = 0;  // maximum RNA-bulge size
+};
+
+/// Enumerate the rewritten (pattern, query) pairs for all bulge sizes up to
+/// the limits, including the bulge-free original.
+std::vector<bulge_variant> expand_bulges(const std::string& pattern,
+                                         const std::string& query,
+                                         const bulge_options& opt);
+
+struct bulge_record {
+  bulge_variant variant;
+  ot_record hit;
+};
+
+/// Run the bulge-aware search for one query: one engine pass per rewritten
+/// variant, results annotated with the variant that produced them and
+/// deduplicated (a site found by several variants reports the smallest
+/// bulge, then fewest mismatches).
+std::vector<bulge_record> bulge_search(const std::string& pattern,
+                                       const query_spec& query,
+                                       const bulge_options& bopt,
+                                       const genome::genome_t& g,
+                                       const engine_options& eopt = {});
+
+}  // namespace cof

@@ -1,0 +1,67 @@
+#include "core/config.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/pattern.hpp"
+#include "util/strings.hpp"
+
+namespace cof {
+
+search_config parse_input(std::string_view text) {
+  search_config cfg;
+  int field = 0;  // 0 = genome, 1 = pattern, 2+ = queries
+  for (std::string_view raw : util::split_lines(text)) {
+    const std::string_view line = util::trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    switch (field) {
+      case 0:
+        cfg.genome_path = std::string(line);
+        ++field;
+        break;
+      case 1:
+        cfg.pattern = normalize_sequence(line);
+        ++field;
+        break;
+      default: {
+        const auto words = util::split(line);
+        COF_CHECK_MSG(words.size() == 2,
+                      "query line must be '<sequence> <max_mismatches>': " +
+                          std::string(line));
+        query_spec q;
+        q.seq = normalize_sequence(words[0]);
+        unsigned long long mm = 0;
+        COF_CHECK_MSG(util::parse_u64(words[1], mm) && mm <= 0xFFFF,
+                      "bad mismatch count: " + std::string(words[1]));
+        q.max_mismatches = static_cast<u16>(mm);
+        COF_CHECK_MSG(q.seq.size() == cfg.pattern.size(),
+                      "query length differs from pattern length: " + q.seq);
+        cfg.queries.push_back(std::move(q));
+        break;
+      }
+    }
+  }
+  COF_CHECK_MSG(field >= 2, "input needs a genome line and a pattern line");
+  COF_CHECK_MSG(!cfg.queries.empty(), "input has no queries");
+  return cfg;
+}
+
+search_config read_input_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  COF_CHECK_MSG(in.good(), "cannot open input file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_input(ss.str());
+}
+
+std::string example_input(const std::string& genome_line) {
+  // Pattern and queries from the upstream README example [17].
+  return genome_line +
+         "\n"
+         "NNNNNNNNNNNNNNNNNNNNNRG\n"
+         "GGCCGACCTGTCGCTGACGCNNN 5\n"
+         "CGCCAGCGTCAGCGACAGGTNNN 5\n"
+         "ACGGCGCCAGCGTCAGCGACNNN 5\n";
+}
+
+}  // namespace cof

@@ -1,0 +1,42 @@
+// Cas-OFFinder input-file format:
+//
+//   line 1: genome location — a FASTA file, a directory of FASTA files, or
+//           (this reproduction's extension) a "synth:hg19[:scale[:seed]]" URI
+//   line 2: the PAM-bearing search pattern, IUPAC codes allowed
+//   rest  : one query per line: <sequence> <max_mismatches>
+//
+// All queries must have the pattern's length. '#' and empty lines ignored.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace cof {
+
+using util::u16;
+
+struct query_spec {
+  std::string seq;
+  u16 max_mismatches = 0;
+};
+
+struct search_config {
+  std::string genome_path;
+  std::string pattern;
+  std::vector<query_spec> queries;
+};
+
+/// Parse the input-file text. Dies with a message on malformed input.
+search_config parse_input(std::string_view text);
+
+/// Read and parse an input file from disk.
+search_config read_input_file(const std::string& path);
+
+/// The example input of the upstream Cas-OFFinder README [17] (the paper
+/// evaluates with it), with the genome line retargeted to a synth URI.
+std::string example_input(const std::string& genome_line = "synth:hg19");
+
+}  // namespace cof

@@ -1,0 +1,139 @@
+#include "core/engine.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "genome/synth.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace cof {
+
+const char* backend_name(backend_kind k) {
+  switch (k) {
+    case backend_kind::serial: return "serial";
+    case backend_kind::opencl: return "opencl";
+    case backend_kind::sycl: return "sycl";
+    case backend_kind::sycl_usm: return "sycl-usm";
+    case backend_kind::sycl_twobit: return "sycl-2bit";
+  }
+  return "?";
+}
+
+genome::genome_t load_configured_genome(const search_config& cfg) {
+  if (auto synth = genome::load_synth_uri(cfg.genome_path)) return std::move(*synth);
+  return genome::load_genome(cfg.genome_path);
+}
+
+search_outcome run_search(const search_config& cfg, const genome::genome_t& g,
+                          const engine_options& opt) {
+  util::stopwatch sw;
+  search_outcome out;
+
+  if (opt.backend == backend_kind::serial) {
+    out.records = serial_search(cfg.pattern, cfg.queries, g);
+    out.metrics.elapsed_seconds = sw.seconds();
+    return out;
+  }
+
+  pipeline_options popt;
+  popt.variant = opt.variant;
+  popt.wg_size = opt.wg_size;
+  popt.counting = opt.counting;
+  popt.profiler = opt.profiler;
+  auto make_pipe = [&]() -> std::unique_ptr<device_pipeline> {
+    switch (opt.backend) {
+      case backend_kind::opencl: return make_opencl_pipeline(popt);
+      case backend_kind::sycl_usm: return make_sycl_usm_pipeline(popt);
+      case backend_kind::sycl_twobit: return make_sycl_twobit_pipeline(popt);
+      default: return make_sycl_pipeline(popt);
+    }
+  };
+
+  const device_pattern pat = make_pattern(cfg.pattern);
+  std::vector<device_pattern> dev_queries;
+  dev_queries.reserve(cfg.queries.size());
+  for (const auto& q : cfg.queries) dev_queries.push_back(make_query(q.seq));
+
+  std::vector<u16> thresholds;
+  for (const auto& q : cfg.queries) thresholds.push_back(q.max_mismatches);
+
+  const usize overlap = pat.plen > 0 ? pat.plen - 1 : 0;
+  const auto chunks = genome::make_chunks(g, opt.max_chunk, overlap);
+  out.metrics.chunks = chunks.size();
+
+  // One worker per queue (the multi-device extension; single queue is the
+  // paper's configuration): each owns a pipeline and pulls chunks from the
+  // shared index; records merge under a lock and are canonicalised below.
+  std::atomic<usize> next_chunk{0};
+  std::mutex merge_mu;
+  auto worker = [&] {
+    auto pipe = make_pipe();
+    std::vector<ot_record> local_records;
+    for (;;) {
+      const usize ci = next_chunk.fetch_add(1);
+      if (ci >= chunks.size()) break;
+      const auto& ch = chunks[ci];
+      const std::string_view seq = genome::chunk_view(g, ch);
+      pipe->load_chunk(seq);
+      const u32 hits = pipe->run_finder(pat);
+      LOG_DEBUG("chunk %s@%zu+%zu: %u PAM hits",
+                g.chroms[ch.chrom_index].name.c_str(), ch.offset, ch.length, hits);
+      if (hits == 0) continue;
+      auto emit = [&](const device_pipeline::entries& entries, usize e, u32 qi) {
+        const util::u64 pos = ch.offset + entries.loci[e];
+        const std::string_view slice(g.chroms[ch.chrom_index].seq.data() + pos,
+                                     pat.plen);
+        local_records.push_back(ot_record{
+            qi, static_cast<u32>(ch.chrom_index), pos, entries.dir[e],
+            entries.mm[e],
+            make_site_string(dev_queries[qi].seq, slice, entries.dir[e])});
+      };
+      if (opt.batch_queries) {
+        const auto entries = pipe->run_comparer_batch(dev_queries, thresholds);
+        for (usize e = 0; e < entries.size(); ++e) emit(entries, e, entries.qidx[e]);
+      } else {
+        for (u32 qi = 0; qi < cfg.queries.size(); ++qi) {
+          const auto entries =
+              pipe->run_comparer(dev_queries[qi], cfg.queries[qi].max_mismatches);
+          for (usize e = 0; e < entries.size(); ++e) emit(entries, e, qi);
+        }
+      }
+    }
+    std::lock_guard lock(merge_mu);
+    out.records.insert(out.records.end(), local_records.begin(),
+                       local_records.end());
+    const auto& pm = pipe->metrics();
+    out.metrics.pipeline.kernel_nanos += pm.kernel_nanos;
+    out.metrics.pipeline.finder_launches += pm.finder_launches;
+    out.metrics.pipeline.comparer_launches += pm.comparer_launches;
+    out.metrics.pipeline.h2d_bytes += pm.h2d_bytes;
+    out.metrics.pipeline.d2h_bytes += pm.d2h_bytes;
+    out.metrics.pipeline.total_loci += pm.total_loci;
+    out.metrics.pipeline.total_entries += pm.total_entries;
+  };
+
+  // Profiling serialises the queues (the process-global event counters are
+  // reset/snapshot around each launch, as a profiler would).
+  usize queues =
+      std::max<usize>(1, std::min(opt.num_queues, std::max<usize>(1, chunks.size())));
+  if (opt.counting) queues = 1;
+  if (queues <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(queues);
+    for (usize t = 0; t < queues; ++t) threads.emplace_back(worker);
+    for (auto& t : threads) t.join();
+  }
+
+  // Sites inside chunk overlaps were scanned twice (and workers merge in
+  // nondeterministic order); canonical order + dedup.
+  sort_and_dedup(out.records);
+
+  out.metrics.elapsed_seconds = sw.seconds();
+  return out;
+}
+
+}  // namespace cof

@@ -1,0 +1,64 @@
+// Top-level search engine: loads/chunks the genome, drives a device
+// pipeline (OpenCL-style or SYCL-style host program) or the serial
+// reference, assembles and deduplicates result records, and reports the
+// run metrics the benchmark harnesses consume.
+#pragma once
+
+#include <memory>
+
+#include "core/config.hpp"
+#include "core/pipeline.hpp"
+#include "core/results.hpp"
+#include "core/serial_ref.hpp"
+#include "genome/chunker.hpp"
+
+namespace cof {
+
+enum class backend_kind { serial, opencl, sycl, sycl_usm, sycl_twobit };
+
+const char* backend_name(backend_kind k);
+
+struct engine_options {
+  backend_kind backend = backend_kind::sycl;
+  comparer_variant variant = comparer_variant::base;
+  /// 0 = backend default (OpenCL: runtime-chosen; SYCL: 256, as in the paper).
+  usize wg_size = 0;
+  /// Maximum chunk fed to the device at once.
+  usize max_chunk = usize{4} << 20;
+  /// Instrumented kernels; event counts recorded into `profiler`.
+  bool counting = false;
+  prof::profiler* profiler = nullptr;
+  /// Compare every query in one kernel launch per chunk (the batched
+  /// multi-query comparer extension) instead of one launch per query as in
+  /// the paper / upstream. Results identical; loci/flag traffic amortised.
+  /// Supported by the buffer-based SYCL pipeline; other backends fall back
+  /// to per-query launches.
+  bool batch_queries = false;
+  /// Host threads, each driving its own pipeline over a shared chunk queue
+  /// — the multi-device extension the paper marks as future work ("the SYCL
+  /// application currently executes on a single GPU device"). Results are
+  /// identical for any value (canonical order + dedup). 0/1 = single queue.
+  usize num_queues = 1;
+};
+
+struct run_metrics {
+  /// Paper-style elapsed seconds: chunking + kernels + transfers + result
+  /// assembly; excludes environment setup and genome file I/O.
+  double elapsed_seconds = 0.0;
+  pipeline_metrics pipeline;
+  usize chunks = 0;
+};
+
+struct search_outcome {
+  std::vector<ot_record> records;
+  run_metrics metrics;
+};
+
+/// Resolve cfg.genome_path: "synth:..." URI or filesystem path.
+genome::genome_t load_configured_genome(const search_config& cfg);
+
+/// Run the full search with the chosen backend.
+search_outcome run_search(const search_config& cfg, const genome::genome_t& g,
+                          const engine_options& opt = {});
+
+}  // namespace cof

@@ -1,0 +1,91 @@
+#include "core/engine_stream.hpp"
+
+#include "genome/fasta_stream.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace cof {
+
+streamed_outcome run_search_streaming(const search_config& cfg,
+                                      const std::string& path,
+                                      const engine_options& opt) {
+  util::stopwatch sw;
+  streamed_outcome out;
+
+  COF_CHECK_MSG(opt.backend != backend_kind::serial,
+                "streaming mode drives a device pipeline; use run_search for "
+                "the serial reference");
+  pipeline_options popt;
+  popt.variant = opt.variant;
+  popt.wg_size = opt.wg_size;
+  popt.counting = opt.counting;
+  popt.profiler = opt.profiler;
+  std::unique_ptr<device_pipeline> pipe;
+  switch (opt.backend) {
+    case backend_kind::opencl: pipe = make_opencl_pipeline(popt); break;
+    case backend_kind::sycl_usm: pipe = make_sycl_usm_pipeline(popt); break;
+    case backend_kind::sycl_twobit: pipe = make_sycl_twobit_pipeline(popt); break;
+    default: pipe = make_sycl_pipeline(popt); break;
+  }
+
+  const device_pattern pat = make_pattern(cfg.pattern);
+  std::vector<device_pattern> dev_queries;
+  dev_queries.reserve(cfg.queries.size());
+  for (const auto& q : cfg.queries) dev_queries.push_back(make_query(q.seq));
+  const usize overlap = pat.plen > 0 ? pat.plen - 1 : 0;
+  COF_CHECK_MSG(opt.max_chunk > overlap, "max_chunk must exceed pattern length");
+
+  std::string chunk;
+  chunk.reserve(opt.max_chunk);
+
+  auto search_chunk = [&](u32 chrom_index, util::u64 chunk_start) {
+    ++out.metrics.chunks;
+    out.peak_chunk_bytes = std::max(out.peak_chunk_bytes, chunk.size());
+    pipe->load_chunk(chunk);
+    const u32 hits = pipe->run_finder(pat);
+    if (hits == 0) return;
+    for (u32 qi = 0; qi < cfg.queries.size(); ++qi) {
+      const auto entries =
+          pipe->run_comparer(dev_queries[qi], cfg.queries[qi].max_mismatches);
+      const std::string& qseq = dev_queries[qi].seq;
+      for (usize e = 0; e < entries.size(); ++e) {
+        // The chunk buffer is still host-resident: slice the site from it.
+        const std::string_view slice(chunk.data() + entries.loci[e], pat.plen);
+        out.records.push_back(ot_record{
+            qi, chrom_index, chunk_start + entries.loci[e], entries.dir[e],
+            entries.mm[e], make_site_string(qseq, slice, entries.dir[e])});
+      }
+    }
+  };
+
+  for (const auto& file : genome::fasta_files_at(path)) {
+    genome::fasta_stream stream(file);
+    while (stream.next_record()) {
+      const u32 chrom_index = static_cast<u32>(out.chrom_names.size());
+      out.chrom_names.push_back(stream.record_name());
+      util::u64 chunk_start = 0;  // chromosome offset of chunk[0]
+      chunk.clear();
+      for (;;) {
+        const usize got = stream.read_bases(chunk, opt.max_chunk - chunk.size());
+        out.streamed_bases += got;
+        const bool record_done = chunk.size() < opt.max_chunk;
+        if (chunk.empty()) break;
+        LOG_DEBUG("stream %s@%llu: %zu bases%s", stream.record_name().c_str(),
+                  static_cast<unsigned long long>(chunk_start), chunk.size(),
+                  record_done ? " (tail)" : "");
+        search_chunk(chrom_index, chunk_start);
+        if (record_done) break;
+        // Carry the overlap so boundary-straddling sites are re-scanned.
+        chunk_start += chunk.size() - overlap;
+        chunk.erase(0, chunk.size() - overlap);
+      }
+    }
+  }
+
+  sort_and_dedup(out.records);
+  out.metrics.pipeline = pipe->metrics();
+  out.metrics.elapsed_seconds = sw.seconds();
+  return out;
+}
+
+}  // namespace cof

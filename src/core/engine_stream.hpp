@@ -1,0 +1,28 @@
+// Streaming search: feed a FASTA file (or directory) through device-sized
+// chunks without ever holding a whole chromosome in host memory — the way
+// Cas-OFFinder processes multi-gigabyte assemblies on modest hosts. Host
+// memory use is O(max_chunk), independent of genome size.
+#pragma once
+
+#include "core/engine.hpp"
+
+namespace cof {
+
+struct streamed_outcome {
+  std::vector<ot_record> records;
+  std::vector<std::string> chrom_names;  // streamed order; records index it
+  run_metrics metrics;
+  util::u64 streamed_bases = 0;
+  util::usize peak_chunk_bytes = 0;
+};
+
+/// Run the search against the FASTA file/directory at `path` (the config's
+/// genome line is ignored). Results are identical to loading the genome and
+/// calling run_search. Multi-queue is not supported in streaming mode
+/// (chunks are produced sequentially from the stream); opt.num_queues is
+/// ignored.
+streamed_outcome run_search_streaming(const search_config& cfg,
+                                      const std::string& path,
+                                      const engine_options& opt = {});
+
+}  // namespace cof

@@ -1,0 +1,524 @@
+// The original-style OpenCL host program (paper §II/III, Tables I–VI left
+// columns): explicit platform/device query, context and command-queue
+// creation, clCreateBuffer memory objects, program build from OpenCL C
+// source, clSetKernelArg marshaling (with size-only local-memory args),
+// clEnqueueNDRangeKernel with a runtime-chosen work-group size (lws = NULL),
+// explicit clEnqueue{Read,Write}Buffer transfers, and manual clRelease*.
+#include <cstring>
+
+#include "core/pipeline.hpp"
+#include "oclsim/cl.hpp"
+#include "oclsim/cl_objects.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+
+namespace cof {
+
+// ---------------------------------------------------------------------------
+// OpenCL C source (shipped verbatim; built by clBuildProgram and analysed by
+// the Table I bench). The native twins below implement the same kernels.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr const char* kOpenCLSource = R"CLC(
+#pragma OPENCL EXTENSION cl_khr_global_int32_base_atomics : enable
+
+int mismatch(char p, char r) {
+  return (p == 'R' && (r == 'C' || r == 'T')) ||
+         (p == 'Y' && (r == 'A' || r == 'G')) ||
+         (p == 'K' && (r == 'A' || r == 'C')) ||
+         (p == 'M' && (r == 'G' || r == 'T')) ||
+         (p == 'W' && (r == 'C' || r == 'G')) ||
+         (p == 'S' && (r == 'A' || r == 'T')) ||
+         (p == 'H' && (r == 'G')) || (p == 'B' && (r == 'A')) ||
+         (p == 'V' && (r == 'T')) || (p == 'D' && (r == 'C')) ||
+         (p == 'A' && (r != 'A')) || (p == 'G' && (r != 'G')) ||
+         (p == 'C' && (r != 'C')) || (p == 'T' && (r != 'T'));
+}
+
+__kernel void finder(__global char* chr, __constant char* pat,
+                     __constant int* pat_index, unsigned int chrsize,
+                     unsigned int plen, __global unsigned int* loci,
+                     __global char* flag, __global unsigned int* entrycount,
+                     __local char* l_pat, __local int* l_pat_index) {
+  unsigned int i = get_global_id(0);
+  unsigned int li = i - get_group_id(0) * get_local_size(0);
+  if (li == 0) {
+    for (unsigned int k = 0; k < plen * 2; k++) {
+      l_pat[k] = pat[k];
+      l_pat_index[k] = pat_index[k];
+    }
+  }
+  barrier(CLK_LOCAL_MEM_FENCE);
+  if (i >= chrsize) return;
+  int fw = 1, rc = 1;
+  for (unsigned int j = 0; j < plen; j++) {
+    int k = l_pat_index[j];
+    if (k == -1) break;
+    if (mismatch(l_pat[k], chr[i + k])) { fw = 0; break; }
+  }
+  for (unsigned int j = 0; j < plen; j++) {
+    int k = l_pat_index[plen + j];
+    if (k == -1) break;
+    if (mismatch(l_pat[plen + k], chr[i + k])) { rc = 0; break; }
+  }
+  if (fw || rc) {
+    unsigned int old = atomic_inc(entrycount);
+    loci[old] = i;
+    flag[old] = (fw && rc) ? 0 : (fw ? 1 : 2);
+  }
+}
+
+__kernel void comparer(unsigned int locicnts, __global char* chr,
+                       __global unsigned int* loci, __constant char* comp,
+                       __constant int* comp_index, unsigned int plen,
+                       unsigned short threshold, __global char* flag,
+                       __global unsigned short* mm_count,
+                       __global char* direction,
+                       __global unsigned int* mm_loci,
+                       __global unsigned int* entrycount, __local char* l_comp,
+                       __local int* l_comp_index) {
+  unsigned int i = get_global_id(0);
+  unsigned int li = i - get_group_id(0) * get_local_size(0);
+  if (li == 0) {
+    for (unsigned int k = 0; k < plen * 2; k++) {
+      l_comp[k] = comp[k];
+      l_comp_index[k] = comp_index[k];
+    }
+  }
+  barrier(CLK_LOCAL_MEM_FENCE);
+  if (i >= locicnts) return;
+  unsigned short lmm_count;
+  unsigned int old;
+  if (flag[i] == 0 || flag[i] == 1) {
+    lmm_count = 0;
+    for (unsigned int j = 0; j < plen; j++) {
+      int k = l_comp_index[j];
+      if (k == -1) break;
+      if (mismatch(l_comp[k], chr[loci[i] + k])) {
+        lmm_count++;
+        if (lmm_count > threshold) break;
+      }
+    }
+    if (lmm_count <= threshold) {
+      old = atomic_inc(entrycount);
+      mm_count[old] = lmm_count;
+      direction[old] = '+';
+      mm_loci[old] = loci[i];
+    }
+  }
+  if (flag[i] == 0 || flag[i] == 2) {
+    lmm_count = 0;
+    for (unsigned int j = 0; j < plen; j++) {
+      int k = l_comp_index[plen + j];
+      if (k == -1) break;
+      if (mismatch(l_comp[k + plen], chr[loci[i] + k])) {
+        lmm_count++;
+        if (lmm_count > threshold) break;
+      }
+    }
+    if (lmm_count <= threshold) {
+      old = atomic_inc(entrycount);
+      mm_count[old] = lmm_count;
+      direction[old] = '-';
+      mm_loci[old] = loci[i];
+    }
+  }
+}
+
+/* Optimised comparer variants (paper SIV.B): opt1 adds __restrict, opt2
+ * registers loci[i]/flag[i], opt3 fetches the pattern cooperatively, opt4
+ * additionally registers the pattern char read from local memory. Bodies
+ * elided here for brevity -- the native implementations are authoritative
+ * and shared with the SYCL program. */
+__kernel void comparer_opt1() {}
+__kernel void comparer_opt2() {}
+__kernel void comparer_opt3() {}
+__kernel void comparer_opt4() {}
+)CLC";
+
+// ---------------------------------------------------------------------------
+// Native twins, registered under the kernel names the source declares.
+// Argument unpack order follows the OpenCL signatures above.
+// ---------------------------------------------------------------------------
+
+template <class P>
+void finder_native(const oclsim::arg_view& a, xpu::xitem& it) {
+  finder_args fa;
+  fa.chr = a.global<const char>(0);
+  fa.pat = a.global<const char>(1);
+  fa.pat_index = a.global<const i32>(2);
+  fa.chrsize = a.scalar<u32>(3);
+  fa.plen = a.scalar<u32>(4);
+  fa.loci = a.global<u32>(5);
+  fa.flag = a.global<char>(6);
+  fa.entrycount = a.global<u32>(7);
+  fa.l_pat = a.local<char>(8);
+  fa.l_pat_index = a.local<i32>(9);
+  finder_kernel<P>(it, fa);
+}
+
+template <class P>
+void comparer_native_dispatch(comparer_variant v, const oclsim::arg_view& a,
+                              xpu::xitem& it) {
+  comparer_args ca;
+  ca.locicnts = a.scalar<u32>(0);
+  ca.chr = a.global<const char>(1);
+  ca.loci = a.global<const u32>(2);
+  ca.comp = a.global<const char>(3);
+  ca.comp_index = a.global<const i32>(4);
+  ca.plen = a.scalar<u32>(5);
+  ca.threshold = a.scalar<u16>(6);
+  ca.flag = a.global<const char>(7);
+  ca.mm_count = a.global<u16>(8);
+  ca.direction = a.global<char>(9);
+  ca.mm_loci = a.global<u32>(10);
+  ca.entrycount = a.global<u32>(11);
+  ca.l_comp = a.local<char>(12);
+  ca.l_comp_index = a.local<i32>(13);
+  comparer_dispatch<P>(v, it, ca);
+}
+
+const std::vector<oclsim::arg_kind> kFinderSig = {
+    oclsim::arg_kind::mem,    oclsim::arg_kind::mem,    oclsim::arg_kind::mem,
+    oclsim::arg_kind::scalar, oclsim::arg_kind::scalar, oclsim::arg_kind::mem,
+    oclsim::arg_kind::mem,    oclsim::arg_kind::mem,    oclsim::arg_kind::local,
+    oclsim::arg_kind::local,
+};
+
+const std::vector<oclsim::arg_kind> kComparerSig = {
+    oclsim::arg_kind::scalar, oclsim::arg_kind::mem,    oclsim::arg_kind::mem,
+    oclsim::arg_kind::mem,    oclsim::arg_kind::mem,    oclsim::arg_kind::scalar,
+    oclsim::arg_kind::scalar, oclsim::arg_kind::mem,    oclsim::arg_kind::mem,
+    oclsim::arg_kind::mem,    oclsim::arg_kind::mem,    oclsim::arg_kind::mem,
+    oclsim::arg_kind::local,  oclsim::arg_kind::local,
+};
+
+template <comparer_variant V, class P>
+void comparer_native(const oclsim::arg_view& a, xpu::xitem& it) {
+  comparer_native_dispatch<P>(V, a, it);
+}
+
+const bool kKernelsRegistered = [] {
+  oclsim::register_kernel({"finder", kFinderSig, /*uses_barrier=*/true,
+                           &finder_native<direct_mem>,
+                           &finder_native<counting_mem>});
+  oclsim::register_kernel({"comparer", kComparerSig, true,
+                           &comparer_native<comparer_variant::base, direct_mem>,
+                           &comparer_native<comparer_variant::base, counting_mem>});
+  oclsim::register_kernel({"comparer_opt1", kComparerSig, true,
+                           &comparer_native<comparer_variant::opt1, direct_mem>,
+                           &comparer_native<comparer_variant::opt1, counting_mem>});
+  oclsim::register_kernel({"comparer_opt2", kComparerSig, true,
+                           &comparer_native<comparer_variant::opt2, direct_mem>,
+                           &comparer_native<comparer_variant::opt2, counting_mem>});
+  oclsim::register_kernel({"comparer_opt3", kComparerSig, true,
+                           &comparer_native<comparer_variant::opt3, direct_mem>,
+                           &comparer_native<comparer_variant::opt3, counting_mem>});
+  oclsim::register_kernel({"comparer_opt4", kComparerSig, true,
+                           &comparer_native<comparer_variant::opt4, direct_mem>,
+                           &comparer_native<comparer_variant::opt4, counting_mem>});
+  return true;
+}();
+
+#define COF_CL_CHECK(expr)                                                       \
+  do {                                                                           \
+    cl_int cof_cl_err_ = (expr);                                                 \
+    COF_CHECK_MSG(cof_cl_err_ == CL_SUCCESS,                                     \
+                  util::format("%s failed: %d", #expr, cof_cl_err_));            \
+  } while (0)
+
+// ---------------------------------------------------------------------------
+// pipeline
+// ---------------------------------------------------------------------------
+
+class opencl_pipeline final : public device_pipeline {
+ public:
+  explicit opencl_pipeline(const pipeline_options& opt) : opt_(opt) {
+    COF_CHECK(kKernelsRegistered);
+    // Steps 1-3 of Table I: platform query, device query, context creation.
+    cl_uint n = 0;
+    COF_CL_CHECK(clGetPlatformIDs(1, &platform_, &n));
+    COF_CL_CHECK(clGetDeviceIDs(platform_, CL_DEVICE_TYPE_GPU, 1, &device_, &n));
+    cl_int err;
+    ctx_ = clCreateContext(nullptr, 1, &device_, nullptr, nullptr, &err);
+    COF_CL_CHECK(err);
+    // Step 4: command queue.
+    q_ = clCreateCommandQueue(ctx_, device_, CL_QUEUE_PROFILING_ENABLE, &err);
+    COF_CL_CHECK(err);
+    // Steps 6-7: program object + build.
+    const char* src = kOpenCLSource;
+    program_ = clCreateProgramWithSource(ctx_, 1, &src, nullptr, &err);
+    COF_CL_CHECK(err);
+    COF_CL_CHECK(clBuildProgram(program_, 1, &device_, "-O3", nullptr, nullptr));
+    // Step 8: kernel objects.
+    finder_k_ = clCreateKernel(program_, "finder", &err);
+    COF_CL_CHECK(err);
+    comparer_k_ = clCreateKernel(program_, comparer_kernel_name(), &err);
+    COF_CL_CHECK(err);
+  }
+
+  ~opencl_pipeline() override {
+    // Step 13: explicit resource release (reverse creation order).
+    release_chunk();
+    if (comparer_k_ != nullptr) clReleaseKernel(comparer_k_);
+    if (finder_k_ != nullptr) clReleaseKernel(finder_k_);
+    if (program_ != nullptr) clReleaseProgram(program_);
+    if (q_ != nullptr) clReleaseCommandQueue(q_);
+    if (ctx_ != nullptr) clReleaseContext(ctx_);
+  }
+
+  const char* name() const override { return "opencl"; }
+
+  void load_chunk(std::string_view seq) override {
+    release_chunk();
+    chunk_len_ = seq.size();
+    locicnt_ = 0;
+    cl_int err;
+    // Step 5 + 11: memory objects, host-to-device transfer.
+    chr_ = clCreateBuffer(ctx_, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR, chunk_len_,
+                          const_cast<char*>(seq.data()), &err);
+    COF_CL_CHECK(err);
+    loci_ = clCreateBuffer(ctx_, CL_MEM_READ_WRITE, chunk_len_ * sizeof(u32), nullptr,
+                           &err);
+    COF_CL_CHECK(err);
+    flag_ = clCreateBuffer(ctx_, CL_MEM_READ_WRITE, chunk_len_, nullptr, &err);
+    COF_CL_CHECK(err);
+    count_ = clCreateBuffer(ctx_, CL_MEM_READ_WRITE, sizeof(u32), nullptr, &err);
+    COF_CL_CHECK(err);
+    metrics_.h2d_bytes += chunk_len_;
+  }
+
+  u32 run_finder(const device_pattern& pat) override {
+    plen_ = pat.plen;
+    if (chunk_len_ < pat.plen) {
+      locicnt_ = 0;
+      return 0;
+    }
+    const u32 chrsize = static_cast<u32>(chunk_len_ - pat.plen + 1);
+    cl_int err;
+    cl_mem patm = clCreateBuffer(ctx_, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
+                                 pat.device_chars(),
+                                 const_cast<char*>(pat.data()), &err);
+    COF_CL_CHECK(err);
+    cl_mem idxm = clCreateBuffer(ctx_, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
+                                 pat.index.size() * sizeof(i32),
+                                 const_cast<i32*>(pat.index_data()), &err);
+    COF_CL_CHECK(err);
+    metrics_.h2d_bytes += pat.device_chars() + pat.index.size() * sizeof(i32);
+    zero_counter();
+
+    // Step 9: kernel arguments.
+    const u32 plen = pat.plen;
+    COF_CL_CHECK(clSetKernelArg(finder_k_, 0, sizeof(cl_mem), &chr_));
+    COF_CL_CHECK(clSetKernelArg(finder_k_, 1, sizeof(cl_mem), &patm));
+    COF_CL_CHECK(clSetKernelArg(finder_k_, 2, sizeof(cl_mem), &idxm));
+    COF_CL_CHECK(clSetKernelArg(finder_k_, 3, sizeof(u32), &chrsize));
+    COF_CL_CHECK(clSetKernelArg(finder_k_, 4, sizeof(u32), &plen));
+    COF_CL_CHECK(clSetKernelArg(finder_k_, 5, sizeof(cl_mem), &loci_));
+    COF_CL_CHECK(clSetKernelArg(finder_k_, 6, sizeof(cl_mem), &flag_));
+    COF_CL_CHECK(clSetKernelArg(finder_k_, 7, sizeof(cl_mem), &count_));
+    COF_CL_CHECK(clSetKernelArg(finder_k_, 8, pat.device_chars(), nullptr));
+    COF_CL_CHECK(clSetKernelArg(finder_k_, 9, pat.index.size() * sizeof(i32), nullptr));
+
+    locicnt_ = enqueue_and_count(finder_k_, chrsize, "finder");
+    metrics_.total_loci += locicnt_;
+    ++metrics_.finder_launches;
+
+    COF_CL_CHECK(clReleaseMemObject(patm));
+    COF_CL_CHECK(clReleaseMemObject(idxm));
+    return locicnt_;
+  }
+
+  std::vector<u32> read_loci() override {
+    std::vector<u32> out(locicnt_);
+    if (locicnt_ != 0) {
+      COF_CL_CHECK(clEnqueueReadBuffer(q_, loci_, CL_TRUE, 0, locicnt_ * sizeof(u32),
+                                       out.data(), 0, nullptr, nullptr));
+      metrics_.d2h_bytes += locicnt_ * sizeof(u32);
+    }
+    return out;
+  }
+
+  entries run_comparer(const device_pattern& query, u16 threshold) override {
+    entries out;
+    if (locicnt_ == 0) return out;
+    COF_CHECK_MSG(query.plen == plen_, "query length != pattern length");
+    const usize cap = static_cast<usize>(locicnt_) * 2;
+    cl_int err;
+    cl_mem compm = clCreateBuffer(ctx_, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
+                                  query.device_chars(),
+                                  const_cast<char*>(query.data()), &err);
+    COF_CL_CHECK(err);
+    cl_mem cidxm = clCreateBuffer(ctx_, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
+                                  query.index.size() * sizeof(i32),
+                                  const_cast<i32*>(query.index_data()), &err);
+    COF_CL_CHECK(err);
+    cl_mem mmm = clCreateBuffer(ctx_, CL_MEM_WRITE_ONLY, cap * sizeof(u16), nullptr,
+                                &err);
+    COF_CL_CHECK(err);
+    cl_mem dirm = clCreateBuffer(ctx_, CL_MEM_WRITE_ONLY, cap, nullptr, &err);
+    COF_CL_CHECK(err);
+    cl_mem mlocim = clCreateBuffer(ctx_, CL_MEM_WRITE_ONLY, cap * sizeof(u32), nullptr,
+                                   &err);
+    COF_CL_CHECK(err);
+    metrics_.h2d_bytes += query.device_chars() + query.index.size() * sizeof(i32);
+    zero_counter();
+
+    const u32 plen = query.plen;
+    COF_CL_CHECK(clSetKernelArg(comparer_k_, 0, sizeof(u32), &locicnt_));
+    COF_CL_CHECK(clSetKernelArg(comparer_k_, 1, sizeof(cl_mem), &chr_));
+    COF_CL_CHECK(clSetKernelArg(comparer_k_, 2, sizeof(cl_mem), &loci_));
+    COF_CL_CHECK(clSetKernelArg(comparer_k_, 3, sizeof(cl_mem), &compm));
+    COF_CL_CHECK(clSetKernelArg(comparer_k_, 4, sizeof(cl_mem), &cidxm));
+    COF_CL_CHECK(clSetKernelArg(comparer_k_, 5, sizeof(u32), &plen));
+    COF_CL_CHECK(clSetKernelArg(comparer_k_, 6, sizeof(u16), &threshold));
+    COF_CL_CHECK(clSetKernelArg(comparer_k_, 7, sizeof(cl_mem), &flag_));
+    COF_CL_CHECK(clSetKernelArg(comparer_k_, 8, sizeof(cl_mem), &mmm));
+    COF_CL_CHECK(clSetKernelArg(comparer_k_, 9, sizeof(cl_mem), &dirm));
+    COF_CL_CHECK(clSetKernelArg(comparer_k_, 10, sizeof(cl_mem), &mlocim));
+    COF_CL_CHECK(clSetKernelArg(comparer_k_, 11, sizeof(cl_mem), &count_));
+    COF_CL_CHECK(clSetKernelArg(comparer_k_, 12, query.device_chars(), nullptr));
+    COF_CL_CHECK(
+        clSetKernelArg(comparer_k_, 13, query.index.size() * sizeof(i32), nullptr));
+
+    const std::string tag =
+        std::string("comparer/") + comparer_variant_name(opt_.variant);
+    const u32 n = enqueue_and_count(comparer_k_, locicnt_, tag);
+    COF_CHECK(n <= cap);
+    ++metrics_.comparer_launches;
+    metrics_.total_entries += n;
+
+    out.mm.resize(n);
+    out.dir.resize(n);
+    out.loci.resize(n);
+    if (n != 0) {
+      COF_CL_CHECK(clEnqueueReadBuffer(q_, mmm, CL_TRUE, 0, n * sizeof(u16),
+                                       out.mm.data(), 0, nullptr, nullptr));
+      COF_CL_CHECK(clEnqueueReadBuffer(q_, dirm, CL_TRUE, 0, n, out.dir.data(), 0,
+                                       nullptr, nullptr));
+      COF_CL_CHECK(clEnqueueReadBuffer(q_, mlocim, CL_TRUE, 0, n * sizeof(u32),
+                                       out.loci.data(), 0, nullptr, nullptr));
+      metrics_.d2h_bytes += n * (sizeof(u16) + 1 + sizeof(u32));
+    }
+    COF_CL_CHECK(clReleaseMemObject(compm));
+    COF_CL_CHECK(clReleaseMemObject(cidxm));
+    COF_CL_CHECK(clReleaseMemObject(mmm));
+    COF_CL_CHECK(clReleaseMemObject(dirm));
+    COF_CL_CHECK(clReleaseMemObject(mlocim));
+    return out;
+  }
+
+  const pipeline_metrics& metrics() const override { return metrics_; }
+
+ private:
+  const char* comparer_kernel_name() const {
+    switch (opt_.variant) {
+      case comparer_variant::base: return "comparer";
+      case comparer_variant::opt1: return "comparer_opt1";
+      case comparer_variant::opt2: return "comparer_opt2";
+      case comparer_variant::opt3: return "comparer_opt3";
+      case comparer_variant::opt4: return "comparer_opt4";
+    }
+    return "comparer";
+  }
+
+  void zero_counter() {
+    const u32 zero = 0;
+    COF_CL_CHECK(clEnqueueWriteBuffer(q_, count_, CL_TRUE, 0, sizeof(u32), &zero, 0,
+                                      nullptr, nullptr));
+    metrics_.h2d_bytes += sizeof(u32);
+  }
+
+  /// Step 10 + 12: enqueue an ND-range kernel (runtime-chosen lws unless the
+  /// caller pinned one), wait on its event, read the profiled span and the
+  /// atomic counter back.
+  u32 enqueue_and_count(cl_kernel k, usize work_items, const std::string& tag) {
+    const usize lws = opt_.wg_size != 0 ? opt_.wg_size
+                                        : oclsim_default_lws(work_items);
+    const usize gws = util::round_up<usize>(work_items, lws);
+    detail::kernel_record_scope rec(opt_, tag);
+    if (opt_.counting) oclsim::set_profiling_mode(true);
+    cl_event ev = nullptr;
+    const size_t gws_arr[1] = {gws};
+    const size_t lws_arr[1] = {lws};
+    COF_CL_CHECK(clEnqueueNDRangeKernel(q_, k, 1, nullptr, gws_arr,
+                                        opt_.wg_size != 0 ? lws_arr : nullptr, 0,
+                                        nullptr, &ev));
+    COF_CL_CHECK(clWaitForEvents(1, &ev));
+    if (opt_.counting) oclsim::set_profiling_mode(false);
+    cl_ulong t0 = 0, t1 = 0;
+    COF_CL_CHECK(clGetEventProfilingInfo(ev, CL_PROFILING_COMMAND_START, sizeof(t0),
+                                         &t0, nullptr));
+    COF_CL_CHECK(clGetEventProfilingInfo(ev, CL_PROFILING_COMMAND_END, sizeof(t1), &t1,
+                                         nullptr));
+    COF_CL_CHECK(clReleaseEvent(ev));
+    metrics_.kernel_nanos += t1 - t0;
+    rec.finish(t1 - t0);
+
+    u32 count = 0;
+    COF_CL_CHECK(clEnqueueReadBuffer(q_, count_, CL_TRUE, 0, sizeof(u32), &count, 0,
+                                     nullptr, nullptr));
+    metrics_.d2h_bytes += sizeof(u32);
+    return count;
+  }
+
+  /// Mirror of the facade's lws=NULL choice (wavefront-sized groups), used
+  /// to pad gws so the runtime's pick divides it.
+  static usize oclsim_default_lws(usize /*work_items*/) { return 64; }
+
+  void release_chunk() {
+    if (chr_ != nullptr) clReleaseMemObject(chr_);
+    if (loci_ != nullptr) clReleaseMemObject(loci_);
+    if (flag_ != nullptr) clReleaseMemObject(flag_);
+    if (count_ != nullptr) clReleaseMemObject(count_);
+    chr_ = loci_ = flag_ = count_ = nullptr;
+  }
+
+  pipeline_options opt_;
+  pipeline_metrics metrics_;
+  cl_platform_id platform_ = nullptr;
+  cl_device_id device_ = nullptr;
+  cl_context ctx_ = nullptr;
+  cl_command_queue q_ = nullptr;
+  cl_program program_ = nullptr;
+  cl_kernel finder_k_ = nullptr;
+  cl_kernel comparer_k_ = nullptr;
+  cl_mem chr_ = nullptr;
+  cl_mem loci_ = nullptr;
+  cl_mem flag_ = nullptr;
+  cl_mem count_ = nullptr;
+  usize chunk_len_ = 0;
+  u32 locicnt_ = 0;
+  u32 plen_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<device_pipeline> make_opencl_pipeline(const pipeline_options& opt) {
+  return std::make_unique<opencl_pipeline>(opt);
+}
+
+const char* opencl_kernel_source() { return kOpenCLSource; }
+
+std::vector<std::string> opencl_programming_steps() {
+  // Table I, left column.
+  return {
+      "Platform query",
+      "Device query of a platform",
+      "Create context for devices",
+      "Create command queue for context",
+      "Create memory objects",
+      "Create program object",
+      "Build a program",
+      "Create kernel(s)",
+      "Set kernel arguments",
+      "Enqueue a kernel object for execution",
+      "Transfer data from device to host",
+      "Event handling",
+      "Release resources",
+  };
+}
+
+}  // namespace cof

@@ -1,0 +1,372 @@
+// The migrated SYCL host program (paper §III): device selector + queue,
+// buffers constructed from host pointers, constant/local accessors, lambda
+// kernels submitted to the queue, data movement through ranged accessors and
+// handler::copy, cleanup implicit in destructors.
+#include <optional>
+
+#include "core/pipeline.hpp"
+#include "syclsim/sycl.hpp"
+#include "util/timer.hpp"
+
+namespace cof {
+
+namespace {
+
+class sycl_pipeline final : public device_pipeline {
+ public:
+  explicit sycl_pipeline(const pipeline_options& opt)
+      : opt_(opt), q_(sycl::gpu_selector{}) {
+    if (opt_.wg_size == 0) opt_.wg_size = 256;  // the SYCL application pins 256
+  }
+
+  const char* name() const override { return "sycl"; }
+
+  void load_chunk(std::string_view seq) override {
+    chunk_len_ = seq.size();
+    locicnt_ = 0;
+    // Device-resident chunk + worst-case hit arrays (every position a hit).
+    chr_buf_.emplace(seq.data(), sycl::range<1>(chunk_len_));
+    loci_buf_.emplace(sycl::range<1>(chunk_len_));
+    flag_buf_.emplace(sycl::range<1>(chunk_len_));
+    count_buf_.emplace(sycl::range<1>(1));
+    metrics_.h2d_bytes += chunk_len_;
+  }
+
+  u32 run_finder(const device_pattern& pat) override {
+    if (opt_.counting) return run_finder_impl<counting_mem>(pat);
+    return run_finder_impl<direct_mem>(pat);
+  }
+
+  std::vector<u32> read_loci() override {
+    std::vector<u32> out(locicnt_);
+    if (locicnt_ != 0) {
+      q_.submit([&](sycl::handler& cgh) {
+         auto acc = loci_buf_->get_access<sycl::sycl_read>(
+             cgh, sycl::range<1>(locicnt_), sycl::id<1>(0));
+         cgh.copy(acc, out.data());
+       }).wait();
+      metrics_.d2h_bytes += locicnt_ * sizeof(u32);
+    }
+    return out;
+  }
+
+  entries run_comparer(const device_pattern& query, u16 threshold) override {
+    if (opt_.counting) return run_comparer_impl<counting_mem>(query, threshold);
+    return run_comparer_impl<direct_mem>(query, threshold);
+  }
+
+  entries run_comparer_batch(const std::vector<device_pattern>& queries,
+                             const std::vector<u16>& thresholds) override {
+    if (opt_.counting) return run_comparer_batch_impl<counting_mem>(queries, thresholds);
+    return run_comparer_batch_impl<direct_mem>(queries, thresholds);
+  }
+
+  const pipeline_metrics& metrics() const override { return metrics_; }
+
+ private:
+  /// Zero the one-element counter buffer through a write accessor.
+  void zero_count(sycl::buffer<u32, 1>& buf) {
+    const u32 zero = 0;
+    q_.submit([&](sycl::handler& cgh) {
+       auto acc = buf.get_access<sycl::sycl_write>(cgh);
+       cgh.copy(&zero, acc);
+     }).wait();
+    metrics_.h2d_bytes += sizeof(u32);
+  }
+
+  u32 read_count(sycl::buffer<u32, 1>& buf) {
+    u32 count = 0;
+    q_.submit([&](sycl::handler& cgh) {
+       auto acc = buf.get_access<sycl::sycl_read>(cgh);
+       cgh.copy(acc, &count);
+     }).wait();
+    metrics_.d2h_bytes += sizeof(u32);
+    return count;
+  }
+
+  template <class P>
+  u32 run_finder_impl(const device_pattern& pat) {
+    plen_ = pat.plen;
+    if (chunk_len_ < pat.plen) {
+      locicnt_ = 0;
+      return 0;
+    }
+    const u32 chrsize = static_cast<u32>(chunk_len_ - pat.plen + 1);
+    const usize lws = opt_.wg_size;
+    const usize gws = util::round_up<usize>(chrsize, lws);
+
+    sycl::buffer<char, 1> pat_buf(pat.data(), sycl::range<1>(pat.device_chars()));
+    sycl::buffer<i32, 1> idx_buf(pat.index_data(), sycl::range<1>(pat.index.size()));
+    metrics_.h2d_bytes += pat.device_chars() + pat.index.size() * sizeof(i32);
+    zero_count(*count_buf_);
+
+    detail::kernel_record_scope rec(opt_, "finder");
+    q_.submit([&](sycl::handler& cgh) {
+       cgh.cof_set_name("finder");
+       auto chr = chr_buf_->get_access<sycl::sycl_read>(cgh);
+       auto patc = pat_buf.get_access<sycl::sycl_read, sycl::sycl_cmem>(cgh);
+       auto pidx = idx_buf.get_access<sycl::sycl_read, sycl::sycl_cmem>(cgh);
+       auto loci = loci_buf_->get_access<sycl::sycl_write>(cgh);
+       auto flag = flag_buf_->get_access<sycl::sycl_write>(cgh);
+       auto cnt = count_buf_->get_access<sycl::sycl_read_write>(cgh);
+       sycl::accessor<char, 1, sycl::sycl_read_write, sycl::sycl_lmem> l_pat(
+           sycl::range<1>(pat.device_chars()), cgh);
+       sycl::accessor<i32, 1, sycl::sycl_read_write, sycl::sycl_lmem> l_idx(
+           sycl::range<1>(pat.index.size()), cgh);
+       const u32 plen = pat.plen;
+       cgh.parallel_for(sycl::nd_range<1>(sycl::range<1>(gws), sycl::range<1>(lws)),
+                        [=](sycl::nd_item<1> item) {
+                          finder_args a;
+                          a.chr = chr.get_pointer();
+                          a.pat = patc.get_pointer();
+                          a.pat_index = pidx.get_pointer();
+                          a.chrsize = chrsize;
+                          a.plen = plen;
+                          a.loci = loci.get_pointer();
+                          a.flag = flag.get_pointer();
+                          a.entrycount = cnt.get_pointer();
+                          a.l_pat = l_pat.get_pointer();
+                          a.l_pat_index = l_idx.get_pointer();
+                          finder_kernel<P>(item, a);
+                        });
+     }).wait();
+    const auto stats = q_.cof_last_launch();
+    metrics_.kernel_nanos += stats.wall_nanos;
+    ++metrics_.finder_launches;
+    rec.finish(stats.wall_nanos);
+
+    locicnt_ = read_count(*count_buf_);
+    metrics_.total_loci += locicnt_;
+    return locicnt_;
+  }
+
+  template <class P>
+  entries run_comparer_impl(const device_pattern& query, u16 threshold) {
+    entries out;
+    if (locicnt_ == 0) return out;
+    COF_CHECK_MSG(query.plen == plen_, "query length != pattern length");
+
+    const usize lws = opt_.wg_size;
+    const usize gws = util::round_up<usize>(locicnt_, lws);
+    const usize cap = static_cast<usize>(locicnt_) * 2;  // fw + rc per locus
+
+    sycl::buffer<char, 1> comp_buf(query.data(), sycl::range<1>(query.device_chars()));
+    sycl::buffer<i32, 1> cidx_buf(query.index_data(),
+                                  sycl::range<1>(query.index.size()));
+    sycl::buffer<u16, 1> mm_buf{sycl::range<1>(cap)};
+    sycl::buffer<char, 1> dir_buf{sycl::range<1>(cap)};
+    sycl::buffer<u32, 1> mm_loci_buf{sycl::range<1>(cap)};
+    sycl::buffer<u32, 1> ccount_buf{sycl::range<1>(1)};
+    metrics_.h2d_bytes += query.device_chars() + query.index.size() * sizeof(i32);
+    zero_count(ccount_buf);
+
+    const std::string tag = std::string("comparer/") + comparer_variant_name(opt_.variant);
+    detail::kernel_record_scope rec(opt_, tag);
+    const comparer_variant variant = opt_.variant;
+    const u32 locicnt = locicnt_;
+    q_.submit([&](sycl::handler& cgh) {
+       cgh.cof_set_name(tag.c_str());
+       auto chr = chr_buf_->get_access<sycl::sycl_read>(cgh);
+       auto loci = loci_buf_->get_access<sycl::sycl_read>(cgh);
+       auto flag = flag_buf_->get_access<sycl::sycl_read>(cgh);
+       auto comp = comp_buf.get_access<sycl::sycl_read, sycl::sycl_cmem>(cgh);
+       auto cidx = cidx_buf.get_access<sycl::sycl_read, sycl::sycl_cmem>(cgh);
+       auto mm = mm_buf.get_access<sycl::sycl_write>(cgh);
+       auto dir = dir_buf.get_access<sycl::sycl_write>(cgh);
+       auto mloci = mm_loci_buf.get_access<sycl::sycl_write>(cgh);
+       auto cnt = ccount_buf.get_access<sycl::sycl_read_write>(cgh);
+       sycl::accessor<char, 1, sycl::sycl_read_write, sycl::sycl_lmem> l_comp(
+           sycl::range<1>(query.device_chars()), cgh);
+       sycl::accessor<i32, 1, sycl::sycl_read_write, sycl::sycl_lmem> l_cidx(
+           sycl::range<1>(query.index.size()), cgh);
+       const u32 plen = query.plen;
+       cgh.parallel_for(sycl::nd_range<1>(sycl::range<1>(gws), sycl::range<1>(lws)),
+                        [=](sycl::nd_item<1> item) {
+                          comparer_args a;
+                          a.locicnts = locicnt;
+                          a.chr = chr.get_pointer();
+                          a.loci = loci.get_pointer();
+                          a.flag = flag.get_pointer();
+                          a.comp = comp.get_pointer();
+                          a.comp_index = cidx.get_pointer();
+                          a.plen = plen;
+                          a.threshold = threshold;
+                          a.mm_count = mm.get_pointer();
+                          a.direction = dir.get_pointer();
+                          a.mm_loci = mloci.get_pointer();
+                          a.entrycount = cnt.get_pointer();
+                          a.l_comp = l_comp.get_pointer();
+                          a.l_comp_index = l_cidx.get_pointer();
+                          comparer_dispatch<P>(variant, item, a);
+                        });
+     }).wait();
+    const auto stats = q_.cof_last_launch();
+    metrics_.kernel_nanos += stats.wall_nanos;
+    ++metrics_.comparer_launches;
+    rec.finish(stats.wall_nanos);
+
+    const u32 n = read_count(ccount_buf);
+    COF_CHECK(n <= cap);
+    out.mm.resize(n);
+    out.dir.resize(n);
+    out.loci.resize(n);
+    if (n != 0) {
+      q_.submit([&](sycl::handler& cgh) {
+         auto acc = mm_buf.get_access<sycl::sycl_read>(cgh, sycl::range<1>(n),
+                                                       sycl::id<1>(0));
+         cgh.copy(acc, out.mm.data());
+       }).wait();
+      q_.submit([&](sycl::handler& cgh) {
+         auto acc = dir_buf.get_access<sycl::sycl_read>(cgh, sycl::range<1>(n),
+                                                        sycl::id<1>(0));
+         cgh.copy(acc, out.dir.data());
+       }).wait();
+      q_.submit([&](sycl::handler& cgh) {
+         auto acc = mm_loci_buf.get_access<sycl::sycl_read>(cgh, sycl::range<1>(n),
+                                                            sycl::id<1>(0));
+         cgh.copy(acc, out.loci.data());
+       }).wait();
+      metrics_.d2h_bytes += n * (sizeof(u16) + sizeof(char) + sizeof(u32));
+    }
+    metrics_.total_entries += n;
+    return out;
+  }
+
+  /// Batched comparer: one launch covers every query (see
+  /// kernels.hpp/comparer_multi_kernel). Entries carry their query index.
+  template <class P>
+  entries run_comparer_batch_impl(const std::vector<device_pattern>& queries,
+                                  const std::vector<u16>& thresholds) {
+    entries out;
+    if (locicnt_ == 0 || queries.empty()) return out;
+    COF_CHECK(queries.size() == thresholds.size());
+    const u32 nq = static_cast<u32>(queries.size());
+    const u32 plen = queries.front().plen;
+    COF_CHECK_MSG(plen == plen_, "query length != pattern length");
+
+    // Concatenate every query's device arrays.
+    std::string comp_all;
+    std::vector<i32> cidx_all;
+    for (const auto& q : queries) {
+      COF_CHECK_MSG(q.plen == plen, "batched queries must share one length");
+      comp_all += q.fwrc;
+      cidx_all.insert(cidx_all.end(), q.index.begin(), q.index.end());
+    }
+
+    const usize lws = opt_.wg_size;
+    const usize gws = util::round_up<usize>(locicnt_, lws);
+    const usize cap = static_cast<usize>(locicnt_) * 2 * nq;
+
+    sycl::buffer<char, 1> comp_buf(comp_all.data(), sycl::range<1>(comp_all.size()));
+    sycl::buffer<i32, 1> cidx_buf(cidx_all.data(), sycl::range<1>(cidx_all.size()));
+    sycl::buffer<u16, 1> thr_buf(thresholds.data(), sycl::range<1>(nq));
+    sycl::buffer<u16, 1> mm_buf{sycl::range<1>(cap)};
+    sycl::buffer<char, 1> dir_buf{sycl::range<1>(cap)};
+    sycl::buffer<u32, 1> mm_loci_buf{sycl::range<1>(cap)};
+    sycl::buffer<u16, 1> mm_query_buf{sycl::range<1>(cap)};
+    sycl::buffer<u32, 1> ccount_buf{sycl::range<1>(1)};
+    metrics_.h2d_bytes +=
+        comp_all.size() + cidx_all.size() * sizeof(i32) + nq * sizeof(u16);
+    zero_count(ccount_buf);
+
+    detail::kernel_record_scope rec(opt_, "comparer/batch");
+    const u32 locicnt = locicnt_;
+    q_.submit([&](sycl::handler& cgh) {
+       cgh.cof_set_name("comparer/batch");
+       auto chr = chr_buf_->get_access<sycl::sycl_read>(cgh);
+       auto loci = loci_buf_->get_access<sycl::sycl_read>(cgh);
+       auto flag = flag_buf_->get_access<sycl::sycl_read>(cgh);
+       auto comp = comp_buf.get_access<sycl::sycl_read, sycl::sycl_cmem>(cgh);
+       auto cidx = cidx_buf.get_access<sycl::sycl_read, sycl::sycl_cmem>(cgh);
+       auto thr = thr_buf.get_access<sycl::sycl_read, sycl::sycl_cmem>(cgh);
+       auto mm = mm_buf.get_access<sycl::sycl_write>(cgh);
+       auto dir = dir_buf.get_access<sycl::sycl_write>(cgh);
+       auto mloci = mm_loci_buf.get_access<sycl::sycl_write>(cgh);
+       auto mquery = mm_query_buf.get_access<sycl::sycl_write>(cgh);
+       auto cnt = ccount_buf.get_access<sycl::sycl_read_write>(cgh);
+       sycl::local_accessor<char, 1> l_comp(sycl::range<1>(comp_all.size()), cgh);
+       sycl::local_accessor<i32, 1> l_cidx(sycl::range<1>(cidx_all.size()), cgh);
+       cgh.parallel_for(sycl::nd_range<1>(sycl::range<1>(gws), sycl::range<1>(lws)),
+                        [=](sycl::nd_item<1> item) {
+                          comparer_multi_args a;
+                          a.locicnts = locicnt;
+                          a.chr = chr.get_pointer();
+                          a.loci = loci.get_pointer();
+                          a.flag = flag.get_pointer();
+                          a.comp = comp.get_pointer();
+                          a.comp_index = cidx.get_pointer();
+                          a.thresholds = thr.get_pointer();
+                          a.nqueries = nq;
+                          a.plen = plen;
+                          a.mm_count = mm.get_pointer();
+                          a.direction = dir.get_pointer();
+                          a.mm_loci = mloci.get_pointer();
+                          a.mm_query = mquery.get_pointer();
+                          a.entrycount = cnt.get_pointer();
+                          a.l_comp = l_comp.get_pointer();
+                          a.l_comp_index = l_cidx.get_pointer();
+                          comparer_multi_kernel<P>(item, a);
+                        });
+     }).wait();
+    const auto stats = q_.cof_last_launch();
+    metrics_.kernel_nanos += stats.wall_nanos;
+    ++metrics_.comparer_launches;
+    rec.finish(stats.wall_nanos);
+
+    const u32 n = read_count(ccount_buf);
+    COF_CHECK(n <= cap);
+    out.mm.resize(n);
+    out.dir.resize(n);
+    out.loci.resize(n);
+    out.qidx.resize(n);
+    if (n != 0) {
+      auto copy_out = [&](auto& buf, auto* dst) {
+        q_.submit([&](sycl::handler& cgh) {
+           auto acc = buf.template get_access<sycl::sycl_read>(
+               cgh, sycl::range<1>(n), sycl::id<1>(0));
+           cgh.copy(acc, dst);
+         }).wait();
+      };
+      copy_out(mm_buf, out.mm.data());
+      copy_out(dir_buf, out.dir.data());
+      copy_out(mm_loci_buf, out.loci.data());
+      copy_out(mm_query_buf, out.qidx.data());
+      metrics_.d2h_bytes += n * (2 * sizeof(u16) + 1 + sizeof(u32));
+    }
+    metrics_.total_entries += n;
+    return out;
+  }
+
+  pipeline_options opt_;
+  sycl::queue q_;
+  pipeline_metrics metrics_;
+  std::optional<sycl::buffer<char, 1>> chr_buf_;
+  std::optional<sycl::buffer<u32, 1>> loci_buf_;
+  std::optional<sycl::buffer<char, 1>> flag_buf_;
+  std::optional<sycl::buffer<u32, 1>> count_buf_;
+  usize chunk_len_ = 0;
+  u32 locicnt_ = 0;
+  u32 plen_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<device_pipeline> make_sycl_pipeline(const pipeline_options& opt) {
+  return std::make_unique<sycl_pipeline>(opt);
+}
+
+std::vector<std::string> sycl_programming_steps() {
+  // Table I, right column.
+  return {
+      "Device selector class",
+      "Queue class",
+      "Buffer class",
+      "Lambda expressions",
+      "Submit a SYCL kernel to a queue",
+      "Implicit data transfer via accessors",
+      "Event class",
+      "Implicit resource release via destructors",
+  };
+}
+
+}  // namespace cof

@@ -1,0 +1,250 @@
+// SYCL host program over 2-bit packed chunks (the upstream memory
+// optimisation, §V [21]): the host packs each chunk with genome::twobit_seq
+// and uploads ~3/8 of the char payload (2 bits/base + 1 ambiguity bit/base).
+#include <optional>
+
+#include "core/kernels_twobit.hpp"
+#include "core/pipeline.hpp"
+#include "genome/twobit.hpp"
+#include "syclsim/sycl.hpp"
+#include "util/timer.hpp"
+
+namespace cof {
+
+namespace {
+
+class sycl_twobit_pipeline final : public device_pipeline {
+ public:
+  explicit sycl_twobit_pipeline(const pipeline_options& opt)
+      : opt_(opt), q_(sycl::gpu_selector{}) {
+    if (opt_.wg_size == 0) opt_.wg_size = 256;
+  }
+
+  const char* name() const override { return "sycl-2bit"; }
+
+  void load_chunk(std::string_view seq) override {
+    chunk_len_ = seq.size();
+    locicnt_ = 0;
+    packed_ = genome::twobit_seq::encode(seq);
+    packed_buf_.emplace(packed_.packed().data(),
+                        sycl::range<1>(std::max<usize>(1, packed_.packed_bytes())));
+    amb_buf_.emplace(packed_.ambiguity_words().data(),
+                     sycl::range<1>(std::max<usize>(1, packed_.ambiguity_words().size())));
+    loci_buf_.emplace(sycl::range<1>(std::max<usize>(1, chunk_len_)));
+    flag_buf_.emplace(sycl::range<1>(std::max<usize>(1, chunk_len_)));
+    count_buf_.emplace(sycl::range<1>(1));
+    metrics_.h2d_bytes +=
+        packed_.packed_bytes() + packed_.ambiguity_words().size() * sizeof(u64);
+  }
+
+  u32 run_finder(const device_pattern& pat) override {
+    if (opt_.counting) return run_finder_impl<counting_mem>(pat);
+    return run_finder_impl<direct_mem>(pat);
+  }
+
+  std::vector<u32> read_loci() override {
+    std::vector<u32> out(locicnt_);
+    if (locicnt_ != 0) {
+      q_.submit([&](sycl::handler& cgh) {
+         auto acc = loci_buf_->get_access<sycl::sycl_read>(
+             cgh, sycl::range<1>(locicnt_), sycl::id<1>(0));
+         cgh.copy(acc, out.data());
+       }).wait();
+      metrics_.d2h_bytes += locicnt_ * sizeof(u32);
+    }
+    return out;
+  }
+
+  entries run_comparer(const device_pattern& query, u16 threshold) override {
+    if (opt_.counting) return run_comparer_impl<counting_mem>(query, threshold);
+    return run_comparer_impl<direct_mem>(query, threshold);
+  }
+
+  const pipeline_metrics& metrics() const override { return metrics_; }
+
+ private:
+  void zero_count(sycl::buffer<u32, 1>& buf) {
+    const u32 zero = 0;
+    q_.submit([&](sycl::handler& cgh) {
+       auto acc = buf.get_access<sycl::sycl_write>(cgh);
+       cgh.copy(&zero, acc);
+     }).wait();
+    metrics_.h2d_bytes += sizeof(u32);
+  }
+
+  u32 read_count(sycl::buffer<u32, 1>& buf) {
+    u32 count = 0;
+    q_.submit([&](sycl::handler& cgh) {
+       auto acc = buf.get_access<sycl::sycl_read>(cgh);
+       cgh.copy(acc, &count);
+     }).wait();
+    metrics_.d2h_bytes += sizeof(u32);
+    return count;
+  }
+
+  template <class P>
+  u32 run_finder_impl(const device_pattern& pat) {
+    plen_ = pat.plen;
+    if (chunk_len_ < pat.plen) {
+      locicnt_ = 0;
+      return 0;
+    }
+    const u32 chrsize = static_cast<u32>(chunk_len_ - pat.plen + 1);
+    const usize lws = opt_.wg_size;
+    const usize gws = util::round_up<usize>(chrsize, lws);
+
+    sycl::buffer<char, 1> pat_buf(pat.data(), sycl::range<1>(pat.device_chars()));
+    sycl::buffer<i32, 1> idx_buf(pat.index_data(), sycl::range<1>(pat.index.size()));
+    metrics_.h2d_bytes += pat.device_chars() + pat.index.size() * sizeof(i32);
+    zero_count(*count_buf_);
+
+    detail::kernel_record_scope rec(opt_, "finder/2bit");
+    q_.submit([&](sycl::handler& cgh) {
+       cgh.cof_set_name("finder/2bit");
+       auto packed = packed_buf_->get_access<sycl::sycl_read>(cgh);
+       auto amb = amb_buf_->get_access<sycl::sycl_read>(cgh);
+       auto patc = pat_buf.get_access<sycl::sycl_read, sycl::sycl_cmem>(cgh);
+       auto pidx = idx_buf.get_access<sycl::sycl_read, sycl::sycl_cmem>(cgh);
+       auto loci = loci_buf_->get_access<sycl::sycl_write>(cgh);
+       auto flag = flag_buf_->get_access<sycl::sycl_write>(cgh);
+       auto cnt = count_buf_->get_access<sycl::sycl_read_write>(cgh);
+       sycl::local_accessor<char, 1> l_pat(sycl::range<1>(pat.device_chars()), cgh);
+       sycl::local_accessor<i32, 1> l_idx(sycl::range<1>(pat.index.size()), cgh);
+       const u32 plen = pat.plen;
+       cgh.parallel_for(sycl::nd_range<1>(sycl::range<1>(gws), sycl::range<1>(lws)),
+                        [=](sycl::nd_item<1> item) {
+                          finder_twobit_args a;
+                          a.chr_packed = reinterpret_cast<const u8*>(packed.get_pointer());
+                          a.chr_amb = amb.get_pointer();
+                          a.pat = patc.get_pointer();
+                          a.pat_index = pidx.get_pointer();
+                          a.chrsize = chrsize;
+                          a.plen = plen;
+                          a.loci = loci.get_pointer();
+                          a.flag = flag.get_pointer();
+                          a.entrycount = cnt.get_pointer();
+                          a.l_pat = l_pat.get_pointer();
+                          a.l_pat_index = l_idx.get_pointer();
+                          finder_twobit_kernel<P>(item, a);
+                        });
+     }).wait();
+    const auto stats = q_.cof_last_launch();
+    metrics_.kernel_nanos += stats.wall_nanos;
+    ++metrics_.finder_launches;
+    rec.finish(stats.wall_nanos);
+
+    locicnt_ = read_count(*count_buf_);
+    metrics_.total_loci += locicnt_;
+    return locicnt_;
+  }
+
+  template <class P>
+  entries run_comparer_impl(const device_pattern& query, u16 threshold) {
+    entries out;
+    if (locicnt_ == 0) return out;
+    COF_CHECK_MSG(query.plen == plen_, "query length != pattern length");
+    const usize lws = opt_.wg_size;
+    const usize gws = util::round_up<usize>(locicnt_, lws);
+    const usize cap = static_cast<usize>(locicnt_) * 2;
+
+    sycl::buffer<char, 1> comp_buf(query.data(), sycl::range<1>(query.device_chars()));
+    sycl::buffer<i32, 1> cidx_buf(query.index_data(),
+                                  sycl::range<1>(query.index.size()));
+    sycl::buffer<u16, 1> mm_buf{sycl::range<1>(cap)};
+    sycl::buffer<char, 1> dir_buf{sycl::range<1>(cap)};
+    sycl::buffer<u32, 1> mm_loci_buf{sycl::range<1>(cap)};
+    sycl::buffer<u32, 1> ccount_buf{sycl::range<1>(1)};
+    metrics_.h2d_bytes += query.device_chars() + query.index.size() * sizeof(i32);
+    zero_count(ccount_buf);
+
+    detail::kernel_record_scope rec(opt_, "comparer/2bit");
+    const u32 locicnt = locicnt_;
+    q_.submit([&](sycl::handler& cgh) {
+       cgh.cof_set_name("comparer/2bit");
+       auto packed = packed_buf_->get_access<sycl::sycl_read>(cgh);
+       auto amb = amb_buf_->get_access<sycl::sycl_read>(cgh);
+       auto loci = loci_buf_->get_access<sycl::sycl_read>(cgh);
+       auto flag = flag_buf_->get_access<sycl::sycl_read>(cgh);
+       auto comp = comp_buf.get_access<sycl::sycl_read, sycl::sycl_cmem>(cgh);
+       auto cidx = cidx_buf.get_access<sycl::sycl_read, sycl::sycl_cmem>(cgh);
+       auto mm = mm_buf.get_access<sycl::sycl_write>(cgh);
+       auto dir = dir_buf.get_access<sycl::sycl_write>(cgh);
+       auto mloci = mm_loci_buf.get_access<sycl::sycl_write>(cgh);
+       auto cnt = ccount_buf.get_access<sycl::sycl_read_write>(cgh);
+       sycl::local_accessor<char, 1> l_comp(sycl::range<1>(query.device_chars()), cgh);
+       sycl::local_accessor<i32, 1> l_cidx(sycl::range<1>(query.index.size()), cgh);
+       const u32 plen = query.plen;
+       cgh.parallel_for(sycl::nd_range<1>(sycl::range<1>(gws), sycl::range<1>(lws)),
+                        [=](sycl::nd_item<1> item) {
+                          comparer_twobit_args a;
+                          a.locicnts = locicnt;
+                          a.chr_packed = reinterpret_cast<const u8*>(packed.get_pointer());
+                          a.chr_amb = amb.get_pointer();
+                          a.loci = loci.get_pointer();
+                          a.flag = flag.get_pointer();
+                          a.comp = comp.get_pointer();
+                          a.comp_index = cidx.get_pointer();
+                          a.plen = plen;
+                          a.threshold = threshold;
+                          a.mm_count = mm.get_pointer();
+                          a.direction = dir.get_pointer();
+                          a.mm_loci = mloci.get_pointer();
+                          a.entrycount = cnt.get_pointer();
+                          a.l_comp = l_comp.get_pointer();
+                          a.l_comp_index = l_cidx.get_pointer();
+                          comparer_twobit_kernel<P>(item, a);
+                        });
+     }).wait();
+    const auto stats = q_.cof_last_launch();
+    metrics_.kernel_nanos += stats.wall_nanos;
+    ++metrics_.comparer_launches;
+    rec.finish(stats.wall_nanos);
+
+    const u32 n = read_count(ccount_buf);
+    COF_CHECK(n <= cap);
+    out.mm.resize(n);
+    out.dir.resize(n);
+    out.loci.resize(n);
+    if (n != 0) {
+      q_.submit([&](sycl::handler& cgh) {
+         auto acc = mm_buf.get_access<sycl::sycl_read>(cgh, sycl::range<1>(n),
+                                                       sycl::id<1>(0));
+         cgh.copy(acc, out.mm.data());
+       }).wait();
+      q_.submit([&](sycl::handler& cgh) {
+         auto acc = dir_buf.get_access<sycl::sycl_read>(cgh, sycl::range<1>(n),
+                                                        sycl::id<1>(0));
+         cgh.copy(acc, out.dir.data());
+       }).wait();
+      q_.submit([&](sycl::handler& cgh) {
+         auto acc = mm_loci_buf.get_access<sycl::sycl_read>(cgh, sycl::range<1>(n),
+                                                            sycl::id<1>(0));
+         cgh.copy(acc, out.loci.data());
+       }).wait();
+      metrics_.d2h_bytes += n * (sizeof(u16) + 1 + sizeof(u32));
+    }
+    metrics_.total_entries += n;
+    return out;
+  }
+
+  pipeline_options opt_;
+  sycl::queue q_;
+  pipeline_metrics metrics_;
+  genome::twobit_seq packed_;
+  std::optional<sycl::buffer<u8, 1>> packed_buf_;
+  std::optional<sycl::buffer<u64, 1>> amb_buf_;
+  std::optional<sycl::buffer<u32, 1>> loci_buf_;
+  std::optional<sycl::buffer<char, 1>> flag_buf_;
+  std::optional<sycl::buffer<u32, 1>> count_buf_;
+  usize chunk_len_ = 0;
+  u32 locicnt_ = 0;
+  u32 plen_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<device_pipeline> make_sycl_twobit_pipeline(const pipeline_options& opt) {
+  return std::make_unique<sycl_twobit_pipeline>(opt);
+}
+
+}  // namespace cof

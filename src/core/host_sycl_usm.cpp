@@ -1,0 +1,237 @@
+// The USM flavour of the SYCL host program — the pointer-based memory
+// abstraction the paper's §III.A describes as the alternative to buffers
+// ("allows for easier integration with existing C/C++ programs"; the
+// paper's port started with buffers). Data management here is explicit:
+// sycl::malloc_device + queue::memcpy + sycl::free, kernels consume raw
+// device pointers; only shared local memory still goes through accessors.
+#include "core/pipeline.hpp"
+#include "syclsim/sycl.hpp"
+#include "util/timer.hpp"
+
+namespace cof {
+
+namespace {
+
+class sycl_usm_pipeline final : public device_pipeline {
+ public:
+  explicit sycl_usm_pipeline(const pipeline_options& opt)
+      : opt_(opt), q_(sycl::gpu_selector{}) {
+    if (opt_.wg_size == 0) opt_.wg_size = 256;
+  }
+
+  ~sycl_usm_pipeline() override { release_chunk(); }
+
+  const char* name() const override { return "sycl-usm"; }
+
+  void load_chunk(std::string_view seq) override {
+    release_chunk();
+    chunk_len_ = seq.size();
+    locicnt_ = 0;
+    chr_ = sycl::malloc_device<char>(chunk_len_, q_);
+    loci_ = sycl::malloc_device<u32>(chunk_len_, q_);
+    flag_ = sycl::malloc_device<char>(chunk_len_, q_);
+    count_ = sycl::malloc_device<u32>(1, q_);
+    q_.memcpy(chr_, seq.data(), chunk_len_);
+    metrics_.h2d_bytes += chunk_len_;
+  }
+
+  u32 run_finder(const device_pattern& pat) override {
+    if (opt_.counting) return run_finder_impl<counting_mem>(pat);
+    return run_finder_impl<direct_mem>(pat);
+  }
+
+  std::vector<u32> read_loci() override {
+    std::vector<u32> out(locicnt_);
+    if (locicnt_ != 0) {
+      q_.memcpy(out.data(), loci_, locicnt_ * sizeof(u32));
+      metrics_.d2h_bytes += locicnt_ * sizeof(u32);
+    }
+    return out;
+  }
+
+  entries run_comparer(const device_pattern& query, u16 threshold) override {
+    if (opt_.counting) return run_comparer_impl<counting_mem>(query, threshold);
+    return run_comparer_impl<direct_mem>(query, threshold);
+  }
+
+  const pipeline_metrics& metrics() const override { return metrics_; }
+
+ private:
+  void release_chunk() {
+    sycl::free(chr_, q_);
+    sycl::free(loci_, q_);
+    sycl::free(flag_, q_);
+    sycl::free(count_, q_);
+    chr_ = nullptr;
+    loci_ = nullptr;
+    flag_ = nullptr;
+    count_ = nullptr;
+  }
+
+  void zero_count(u32* ptr) {
+    const u32 zero = 0;
+    q_.memcpy(ptr, &zero, sizeof(u32));
+    metrics_.h2d_bytes += sizeof(u32);
+  }
+
+  u32 read_count(const u32* ptr) {
+    u32 n = 0;
+    q_.memcpy(&n, ptr, sizeof(u32));
+    metrics_.d2h_bytes += sizeof(u32);
+    return n;
+  }
+
+  template <class P>
+  u32 run_finder_impl(const device_pattern& pat) {
+    plen_ = pat.plen;
+    if (chunk_len_ < pat.plen) {
+      locicnt_ = 0;
+      return 0;
+    }
+    const u32 chrsize = static_cast<u32>(chunk_len_ - pat.plen + 1);
+    const usize lws = opt_.wg_size;
+    const usize gws = util::round_up<usize>(chrsize, lws);
+
+    char* patd = sycl::malloc_device<char>(pat.device_chars(), q_);
+    i32* idxd = sycl::malloc_device<i32>(pat.index.size(), q_);
+    q_.memcpy(patd, pat.data(), pat.device_chars());
+    q_.memcpy(idxd, pat.index_data(), pat.index.size() * sizeof(i32));
+    metrics_.h2d_bytes += pat.device_chars() + pat.index.size() * sizeof(i32);
+    zero_count(count_);
+
+    detail::kernel_record_scope rec(opt_, "finder");
+    const char* chr = chr_;
+    u32* loci = loci_;
+    char* flag = flag_;
+    u32* count = count_;
+    const u32 plen = pat.plen;
+    q_.submit([&](sycl::handler& cgh) {
+       cgh.cof_set_name("finder");
+       sycl::local_accessor<char, 1> l_pat(sycl::range<1>(pat.device_chars()), cgh);
+       sycl::local_accessor<i32, 1> l_idx(sycl::range<1>(pat.index.size()), cgh);
+       cgh.parallel_for(sycl::nd_range<1>(sycl::range<1>(gws), sycl::range<1>(lws)),
+                        [=](sycl::nd_item<1> item) {
+                          finder_args a;
+                          a.chr = chr;
+                          a.pat = patd;
+                          a.pat_index = idxd;
+                          a.chrsize = chrsize;
+                          a.plen = plen;
+                          a.loci = loci;
+                          a.flag = flag;
+                          a.entrycount = count;
+                          a.l_pat = l_pat.get_pointer();
+                          a.l_pat_index = l_idx.get_pointer();
+                          finder_kernel<P>(item, a);
+                        });
+     }).wait();
+    const auto stats = q_.cof_last_launch();
+    metrics_.kernel_nanos += stats.wall_nanos;
+    ++metrics_.finder_launches;
+    rec.finish(stats.wall_nanos);
+
+    sycl::free(patd, q_);
+    sycl::free(idxd, q_);
+    locicnt_ = read_count(count_);
+    metrics_.total_loci += locicnt_;
+    return locicnt_;
+  }
+
+  template <class P>
+  entries run_comparer_impl(const device_pattern& query, u16 threshold) {
+    entries out;
+    if (locicnt_ == 0) return out;
+    COF_CHECK_MSG(query.plen == plen_, "query length != pattern length");
+    const usize lws = opt_.wg_size;
+    const usize gws = util::round_up<usize>(locicnt_, lws);
+    const usize cap = static_cast<usize>(locicnt_) * 2;
+
+    char* compd = sycl::malloc_device<char>(query.device_chars(), q_);
+    i32* cidxd = sycl::malloc_device<i32>(query.index.size(), q_);
+    u16* mmd = sycl::malloc_device<u16>(cap, q_);
+    char* dird = sycl::malloc_device<char>(cap, q_);
+    u32* mlocid = sycl::malloc_device<u32>(cap, q_);
+    u32* ccountd = sycl::malloc_device<u32>(1, q_);
+    q_.memcpy(compd, query.data(), query.device_chars());
+    q_.memcpy(cidxd, query.index_data(), query.index.size() * sizeof(i32));
+    metrics_.h2d_bytes += query.device_chars() + query.index.size() * sizeof(i32);
+    zero_count(ccountd);
+
+    const std::string tag =
+        std::string("comparer/") + comparer_variant_name(opt_.variant);
+    detail::kernel_record_scope rec(opt_, tag);
+    const comparer_variant variant = opt_.variant;
+    const u32 locicnt = locicnt_;
+    const char* chr = chr_;
+    const u32* loci = loci_;
+    const char* flag = flag_;
+    const u32 plen = query.plen;
+    q_.submit([&](sycl::handler& cgh) {
+       cgh.cof_set_name(tag.c_str());
+       sycl::local_accessor<char, 1> l_comp(sycl::range<1>(query.device_chars()), cgh);
+       sycl::local_accessor<i32, 1> l_cidx(sycl::range<1>(query.index.size()), cgh);
+       cgh.parallel_for(sycl::nd_range<1>(sycl::range<1>(gws), sycl::range<1>(lws)),
+                        [=](sycl::nd_item<1> item) {
+                          comparer_args a;
+                          a.locicnts = locicnt;
+                          a.chr = chr;
+                          a.loci = loci;
+                          a.flag = flag;
+                          a.comp = compd;
+                          a.comp_index = cidxd;
+                          a.plen = plen;
+                          a.threshold = threshold;
+                          a.mm_count = mmd;
+                          a.direction = dird;
+                          a.mm_loci = mlocid;
+                          a.entrycount = ccountd;
+                          a.l_comp = l_comp.get_pointer();
+                          a.l_comp_index = l_cidx.get_pointer();
+                          comparer_dispatch<P>(variant, item, a);
+                        });
+     }).wait();
+    const auto stats = q_.cof_last_launch();
+    metrics_.kernel_nanos += stats.wall_nanos;
+    ++metrics_.comparer_launches;
+    rec.finish(stats.wall_nanos);
+
+    const u32 n = read_count(ccountd);
+    COF_CHECK(n <= cap);
+    out.mm.resize(n);
+    out.dir.resize(n);
+    out.loci.resize(n);
+    if (n != 0) {
+      q_.memcpy(out.mm.data(), mmd, n * sizeof(u16));
+      q_.memcpy(out.dir.data(), dird, n);
+      q_.memcpy(out.loci.data(), mlocid, n * sizeof(u32));
+      metrics_.d2h_bytes += n * (sizeof(u16) + 1 + sizeof(u32));
+    }
+    metrics_.total_entries += n;
+    sycl::free(compd, q_);
+    sycl::free(cidxd, q_);
+    sycl::free(mmd, q_);
+    sycl::free(dird, q_);
+    sycl::free(mlocid, q_);
+    sycl::free(ccountd, q_);
+    return out;
+  }
+
+  pipeline_options opt_;
+  sycl::queue q_;
+  pipeline_metrics metrics_;
+  char* chr_ = nullptr;
+  u32* loci_ = nullptr;
+  char* flag_ = nullptr;
+  u32* count_ = nullptr;
+  usize chunk_len_ = 0;
+  u32 locicnt_ = 0;
+  u32 plen_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<device_pipeline> make_sycl_usm_pipeline(const pipeline_options& opt) {
+  return std::make_unique<sycl_usm_pipeline>(opt);
+}
+
+}  // namespace cof

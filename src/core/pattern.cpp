@@ -1,0 +1,46 @@
+#include "core/pattern.hpp"
+
+#include "genome/iupac.hpp"
+
+namespace cof {
+
+std::string normalize_sequence(std::string_view seq) {
+  COF_CHECK_MSG(!seq.empty(), "empty sequence");
+  std::string out(seq);
+  for (char& c : out) {
+    c = genome::upper_base(c);
+    if (c == 'U') c = 'T';
+    COF_CHECK_MSG(genome::is_iupac(c),
+                  std::string("non-IUPAC character in sequence: ") + c);
+  }
+  return out;
+}
+
+namespace {
+
+device_pattern build(std::string_view raw) {
+  device_pattern p;
+  p.seq = normalize_sequence(raw);
+  p.plen = static_cast<u32>(p.seq.size());
+  p.fwrc = p.seq + genome::reverse_complement(p.seq);
+
+  p.index.assign(static_cast<usize>(p.plen) * 2, -1);
+  for (int half = 0; half < 2; ++half) {
+    usize w = 0;
+    for (u32 k = 0; k < p.plen; ++k) {
+      if (p.fwrc[half * p.plen + k] != 'N') {
+        p.index[half * p.plen + w++] = static_cast<i32>(k);
+      }
+    }
+    // remaining entries stay -1 (terminator + padding)
+  }
+  return p;
+}
+
+}  // namespace
+
+device_pattern make_pattern(std::string_view pattern) { return build(pattern); }
+
+device_pattern make_query(std::string_view query) { return build(query); }
+
+}  // namespace cof

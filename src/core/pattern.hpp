@@ -1,0 +1,48 @@
+// Pattern/query preparation for the two kernels.
+//
+// Cas-OFFinder's device data layout (matching the upstream OpenCL program
+// and the paper's Listing 1):
+//   * the finder consumes `pat` = [pattern | reverse_complement(pattern)]
+//     (2*plen chars) and `pat_index` (2*plen ints): for each half, the
+//     positions that are not 'N' (i.e. actually constrain the site — for a
+//     guide pattern like NNNNNNNNNNNNNNNNNNNNNRG that is just the PAM),
+//     terminated by -1;
+//   * the comparer consumes `comp` = [query | reverse_complement(query)]
+//     and `comp_index` with the same convention (the query's non-N
+//     positions are its concrete guide bases).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace cof {
+
+using util::i32;
+using util::u32;
+using util::usize;
+
+/// Device-ready arrays for one search/compare sequence pair.
+struct device_pattern {
+  std::string seq;             // normalised input (upper case, U->T)
+  std::string fwrc;            // seq + reverse_complement(seq), 2*plen chars
+  std::vector<i32> index;      // 2*plen entries, -1-terminated per half
+  u32 plen = 0;
+
+  const char* data() const { return fwrc.data(); }
+  const i32* index_data() const { return index.data(); }
+  usize device_chars() const { return fwrc.size(); }
+};
+
+/// Build the finder arrays from the PAM-bearing pattern (e.g. "NN...NNRG").
+device_pattern make_pattern(std::string_view pattern);
+
+/// Build the comparer arrays from a query line (e.g. "GGCC...GCNNN").
+device_pattern make_query(std::string_view query);
+
+/// Normalise a sequence: upper-case, U->T; dies on non-IUPAC characters.
+std::string normalize_sequence(std::string_view seq);
+
+}  // namespace cof

@@ -1,0 +1,135 @@
+// The device-pipeline interface both host programs implement. The engine
+// (engine.hpp) drives either implementation through this interface; the
+// implementations differ only in the host programming model — which is
+// exactly the variable the paper studies:
+//
+//   host_ocl.cpp  — the original-style OpenCL host program (explicit
+//                   platform/context/queue/program/kernel/buffer objects,
+//                   clSetKernelArg, clEnqueueNDRangeKernel, manual release)
+//   host_sycl.cpp — the migrated SYCL host program (selector, queue,
+//                   buffers, accessors, lambda kernels, implicit cleanup)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/kernels.hpp"
+#include "core/pattern.hpp"
+#include "profile/profiler.hpp"
+
+namespace cof {
+
+struct pipeline_options {
+  comparer_variant variant = comparer_variant::base;
+  /// Work-group size for kernel launches. 0 = let the runtime choose (the
+  /// OpenCL application's behaviour in the paper); the SYCL application
+  /// pins 256.
+  usize wg_size = 256;
+  /// Run instrumented kernels and record event counts into `profiler`.
+  bool counting = false;
+  prof::profiler* profiler = nullptr;
+};
+
+/// Per-run accounting a pipeline accumulates (for the elapsed-time model).
+struct pipeline_metrics {
+  util::u64 kernel_nanos = 0;     // simulated-device kernel wall time
+  util::u64 finder_launches = 0;
+  util::u64 comparer_launches = 0;
+  util::u64 h2d_bytes = 0;
+  util::u64 d2h_bytes = 0;
+  util::u64 total_loci = 0;       // finder hits across chunks
+  util::u64 total_entries = 0;    // comparer entries across chunks/queries
+};
+
+class device_pipeline {
+ public:
+  struct entries {
+    std::vector<u16> mm;
+    std::vector<char> dir;
+    std::vector<u32> loci;
+    std::vector<u16> qidx;  // query index per entry (batched path)
+    usize size() const { return mm.size(); }
+  };
+
+  virtual ~device_pipeline() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Upload a genome chunk to the device.
+  virtual void load_chunk(std::string_view seq) = 0;
+
+  /// Run the finder over the loaded chunk; hits stay device-resident.
+  /// Returns the hit count.
+  virtual u32 run_finder(const device_pattern& pat) = 0;
+
+  /// Copy the finder's hit positions back to the host.
+  virtual std::vector<u32> read_loci() = 0;
+
+  /// Run the comparer for one query against the finder's hits.
+  virtual entries run_comparer(const device_pattern& query, u16 threshold) = 0;
+
+  /// Run the comparer for every query in ONE pass. The default loops
+  /// run_comparer (per-query launches, as in the paper / upstream);
+  /// pipelines with a batched kernel override it.
+  virtual entries run_comparer_batch(const std::vector<device_pattern>& queries,
+                                     const std::vector<u16>& thresholds) {
+    entries all;
+    for (usize q = 0; q < queries.size(); ++q) {
+      entries e = run_comparer(queries[q], thresholds[q]);
+      all.mm.insert(all.mm.end(), e.mm.begin(), e.mm.end());
+      all.dir.insert(all.dir.end(), e.dir.begin(), e.dir.end());
+      all.loci.insert(all.loci.end(), e.loci.begin(), e.loci.end());
+      all.qidx.insert(all.qidx.end(), e.size(), static_cast<u16>(q));
+    }
+    return all;
+  }
+
+  virtual const pipeline_metrics& metrics() const = 0;
+};
+
+std::unique_ptr<device_pipeline> make_opencl_pipeline(const pipeline_options& opt);
+std::unique_ptr<device_pipeline> make_sycl_pipeline(const pipeline_options& opt);
+/// The USM flavour of the SYCL host program (paper §III.A's alternative).
+std::unique_ptr<device_pipeline> make_sycl_usm_pipeline(const pipeline_options& opt);
+/// SYCL host program over 2-bit packed chunks (the upstream memory
+/// optimisation, §V [21]). Comparer variants do not apply (always
+/// optimised-style kernels); reference ambiguity codes collapse to 'N'.
+std::unique_ptr<device_pipeline> make_sycl_twobit_pipeline(const pipeline_options& opt);
+
+/// The host programming steps each implementation performs (Table I).
+std::vector<std::string> opencl_programming_steps();
+std::vector<std::string> sycl_programming_steps();
+
+/// The OpenCL C source the OpenCL host builds (finder + comparer variants).
+const char* opencl_kernel_source();
+
+namespace detail {
+
+/// RAII helper: when counting, isolates prof::counters around one launch and
+/// records the snapshot (plus wall nanos) into the profiler under `kernel`.
+class kernel_record_scope {
+ public:
+  kernel_record_scope(const pipeline_options& opt, std::string kernel)
+      : opt_(opt), kernel_(std::move(kernel)) {
+    if (opt_.counting) prof::counters::reset();
+  }
+  void finish(util::u64 wall_nanos) {
+    if (finished_) return;
+    finished_ = true;
+    if (opt_.counting && opt_.profiler != nullptr) {
+      opt_.profiler->record(kernel_, prof::counters::snapshot(), wall_nanos);
+    } else if (opt_.profiler != nullptr) {
+      opt_.profiler->record(kernel_, {}, wall_nanos);
+    }
+  }
+
+ private:
+  const pipeline_options& opt_;
+  std::string kernel_;
+  bool finished_ = false;
+};
+
+}  // namespace detail
+}  // namespace cof

@@ -1,0 +1,58 @@
+#include "core/results.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "genome/iupac.hpp"
+#include "util/strings.hpp"
+
+namespace cof {
+
+namespace {
+auto key(const ot_record& r) {
+  return std::tie(r.query_index, r.chrom_index, r.position, r.direction);
+}
+}  // namespace
+
+void sort_records(std::vector<ot_record>& records) {
+  std::sort(records.begin(), records.end(),
+            [](const ot_record& a, const ot_record& b) { return key(a) < key(b); });
+}
+
+void sort_and_dedup(std::vector<ot_record>& records) {
+  sort_records(records);
+  records.erase(std::unique(records.begin(), records.end(),
+                            [](const ot_record& a, const ot_record& b) {
+                              return key(a) == key(b);
+                            }),
+                records.end());
+}
+
+std::string make_site_string(const std::string& query, std::string_view ref_slice,
+                             char direction) {
+  COF_CHECK(query.size() == ref_slice.size());
+  std::string site = direction == '+' ? std::string(ref_slice)
+                                      : genome::reverse_complement(ref_slice);
+  for (usize k = 0; k < site.size(); ++k) {
+    if (genome::casoffinder_mismatch(query[k], site[k])) {
+      site[k] = static_cast<char>(site[k] - 'A' + 'a');
+    }
+  }
+  return site;
+}
+
+std::string format_records(const std::vector<ot_record>& records,
+                           const std::vector<std::string>& query_seqs,
+                           const genome::genome_t& g) {
+  std::string out;
+  for (const auto& r : records) {
+    out += util::format("%s\t%s\t%llu\t%s\t%c\t%u\n",
+                        query_seqs.at(r.query_index).c_str(),
+                        g.chroms.at(r.chrom_index).name.c_str(),
+                        static_cast<unsigned long long>(r.position), r.site.c_str(),
+                        r.direction, static_cast<unsigned>(r.mismatches));
+  }
+  return out;
+}
+
+}  // namespace cof

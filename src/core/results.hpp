@@ -1,0 +1,47 @@
+// Off-target result records, ordering/deduplication across overlapping
+// chunks, and the Cas-OFFinder output format:
+//   <query>\t<chrom>\t<position>\t<site (mismatches lower-case)>\t<strand>\t<mm>
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "genome/fasta.hpp"
+#include "util/common.hpp"
+
+namespace cof {
+
+using util::u16;
+using util::u32;
+using util::u64;
+using util::usize;
+
+struct ot_record {
+  u32 query_index = 0;
+  u32 chrom_index = 0;
+  u64 position = 0;    // 0-based within the chromosome
+  char direction = '+';
+  u16 mismatches = 0;
+  std::string site;    // genome bases (strand-oriented), mismatches lower-case
+
+  friend bool operator==(const ot_record&, const ot_record&) = default;
+};
+
+/// Canonical order: query, chromosome, position, direction.
+void sort_records(std::vector<ot_record>& records);
+
+/// Sort and drop duplicates produced by chunk-overlap re-scanning.
+void sort_and_dedup(std::vector<ot_record>& records);
+
+/// Build the printed site string for a hit: the genome slice (reverse-
+/// complemented for '-' hits) with bases that mismatch the query printed in
+/// lower case. `ref_slice` is the forward-strand genome sequence at the hit.
+std::string make_site_string(const std::string& query, std::string_view ref_slice,
+                             char direction);
+
+/// Render records in the upstream output format.
+std::string format_records(const std::vector<ot_record>& records,
+                           const std::vector<std::string>& query_seqs,
+                           const genome::genome_t& g);
+
+}  // namespace cof

@@ -1,0 +1,114 @@
+#include "core/scoring.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace cof::scoring {
+
+const std::array<double, 20>& hsu_weights() {
+  // Hsu et al. 2013, SpCas9 mismatch tolerance, guide position 1..20.
+  static const std::array<double, 20> w = {
+      0.000, 0.000, 0.014, 0.000, 0.000, 0.395, 0.317, 0.000, 0.389, 0.079,
+      0.445, 0.508, 0.613, 0.851, 0.732, 0.828, 0.615, 0.804, 0.685, 0.583};
+  return w;
+}
+
+double mit_site_score(const std::string& query, const std::string& site) {
+  COF_CHECK_MSG(query.size() == site.size(), "query/site length mismatch");
+  // Guide positions = query's non-N positions, in sequence order; collect
+  // the mismatched ones (site letters in lower case).
+  std::vector<usize> guide_positions;
+  std::vector<usize> mismatches;  // indexes into guide_positions
+  for (usize i = 0; i < query.size(); ++i) {
+    if (query[i] == 'N') continue;
+    const bool mm = site[i] >= 'a' && site[i] <= 'z';
+    if (mm) mismatches.push_back(guide_positions.size());
+    guide_positions.push_back(i);
+  }
+  const usize glen = guide_positions.size();
+  if (mismatches.empty() || glen == 0) return 1.0;
+
+  const auto& w = hsu_weights();
+  double product = 1.0;
+  for (usize m : mismatches) {
+    // Scale guide index onto the 20-entry table for non-20-mers.
+    const usize p = glen == 20 ? m : (m * 20) / std::max<usize>(glen, 1);
+    product *= 1.0 - w[std::min<usize>(p, 19)];
+  }
+
+  double distance_term = 1.0;
+  if (mismatches.size() > 1) {
+    double dsum = 0.0;
+    usize pairs = 0;
+    for (usize a = 0; a < mismatches.size(); ++a) {
+      for (usize b = a + 1; b < mismatches.size(); ++b) {
+        dsum += static_cast<double>(mismatches[b] - mismatches[a]);
+        ++pairs;
+      }
+    }
+    const double dbar = dsum / static_cast<double>(pairs);
+    distance_term = 1.0 / (((19.0 - dbar) / 19.0) * 4.0 + 1.0);
+  }
+
+  const double m = static_cast<double>(mismatches.size());
+  return product * distance_term * (1.0 / (m * m));
+}
+
+double mit_specificity(const std::vector<double>& off_target_scores) {
+  double sum = 0.0;
+  for (double s : off_target_scores) sum += 100.0 * s;
+  return 100.0 * 100.0 / (100.0 + sum);
+}
+
+std::vector<guide_report> score_search(const search_config& cfg,
+                                       const std::vector<ot_record>& records) {
+  std::vector<guide_report> reports(cfg.queries.size());
+  for (u32 qi = 0; qi < cfg.queries.size(); ++qi) {
+    reports[qi].query_index = qi;
+    reports[qi].query = cfg.queries[qi].seq;
+    reports[qi].hits_by_mismatch.assign(cfg.queries[qi].max_mismatches + 1, 0);
+  }
+  for (const auto& r : records) {
+    auto& rep = reports.at(r.query_index);
+    rep.records.push_back(r);
+    rep.site_scores.push_back(mit_site_score(rep.query, r.site));
+    if (r.mismatches < rep.hits_by_mismatch.size()) {
+      ++rep.hits_by_mismatch[r.mismatches];
+    }
+  }
+  for (auto& rep : reports) {
+    // Aggregate over off-targets only: a guide's own perfect site does not
+    // count against its specificity (MIT web-tool convention).
+    std::vector<double> off;
+    bool on_target_excluded = false;
+    for (usize i = 0; i < rep.records.size(); ++i) {
+      if (!on_target_excluded && rep.records[i].mismatches == 0) {
+        on_target_excluded = true;
+        continue;
+      }
+      off.push_back(rep.site_scores[i]);
+    }
+    rep.specificity = mit_specificity(off);
+  }
+  return reports;
+}
+
+std::string format_report(const std::vector<guide_report>& reports) {
+  std::string out;
+  out += util::format("%-26s %6s %12s   %s\n", "guide", "hits", "specificity",
+                      "hits by mismatch count");
+  for (const auto& rep : reports) {
+    std::string mm;
+    for (usize m = 0; m < rep.hits_by_mismatch.size(); ++m) {
+      mm += util::format("%zu:%zu ", m, rep.hits_by_mismatch[m]);
+    }
+    out += util::format("%-26s %6zu %11.1f%%   %s\n", rep.query.c_str(),
+                        rep.records.size(), rep.specificity, mm.c_str());
+  }
+  return out;
+}
+
+}  // namespace cof::scoring

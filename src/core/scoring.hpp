@@ -1,0 +1,56 @@
+// Off-target scoring — the downstream analysis tools like Cas-Designer
+// (paper ref [21]) layer on Cas-OFFinder's hit lists. Implements the
+// MIT/Hsu single-site score (Hsu et al., Nat Biotech 2013: experimentally
+// fitted per-position mismatch weights for SpCas9 20-mers) and the MIT
+// aggregate guide-specificity score, operating directly on the engine's
+// result records (whose site strings mark mismatches in lower case).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/results.hpp"
+
+namespace cof::scoring {
+
+/// Hsu et al. per-position mismatch weights (guide positions 1..20,
+/// 5' -> 3'; position 20 abuts the PAM).
+const std::array<double, 20>& hsu_weights();
+
+/// MIT single-site score in [0, 1]: likelihood of cleavage at an off-target
+/// site relative to the on-target (1.0 = perfect match).
+///   score = prod(1 - W[p])  *  1 / ((19 - dbar)/19 * 4 + 1)  *  1 / m^2
+/// over the mismatched guide positions p (dbar = mean pairwise distance
+/// between mismatch positions, m = mismatch count; m = 0 scores 1.0).
+///
+/// `query` is the search query (IUPAC, 'N' at PAM positions); `site` is the
+/// record's strand-oriented site string with mismatches lower-cased. Guides
+/// that are not 20-mers have their positions scaled onto the 20-weight
+/// table.
+double mit_site_score(const std::string& query, const std::string& site);
+
+/// MIT aggregate guide specificity in [0, 100]:
+///   100 / (100 + sum_i 100 * site_score_i)
+/// over all *off-target* sites (exclude the intended on-target hit).
+double mit_specificity(const std::vector<double>& off_target_scores);
+
+/// One query's scored hit list + summary.
+struct guide_report {
+  u32 query_index = 0;
+  std::string query;
+  std::vector<double> site_scores;        // parallel to `records`
+  std::vector<ot_record> records;
+  std::vector<usize> hits_by_mismatch;    // [mm] -> count
+  double specificity = 100.0;             // aggregate (perfect hits excluded)
+};
+
+/// Split records by query and score them.
+std::vector<guide_report> score_search(const search_config& cfg,
+                                       const std::vector<ot_record>& records);
+
+/// Render the per-guide summary table.
+std::string format_report(const std::vector<guide_report>& reports);
+
+}  // namespace cof::scoring

@@ -1,0 +1,81 @@
+#include "core/serial_ref.hpp"
+
+#include "core/pattern.hpp"
+#include "genome/iupac.hpp"
+
+namespace cof {
+
+namespace {
+
+/// Mismatches between `pat` (IUPAC) and `ref` over [0, plen); early exit
+/// once `limit` is exceeded (returns limit + 1 then).
+u16 count_mismatches(const char* pat, const char* ref, usize plen, u16 limit) {
+  u16 mm = 0;
+  for (usize k = 0; k < plen; ++k) {
+    if (genome::casoffinder_mismatch(pat[k], ref[k])) {
+      if (++mm > limit) break;
+    }
+  }
+  return mm;
+}
+
+/// True if every non-N pattern position matches the reference.
+bool site_matches(const std::string& pat, const char* ref) {
+  for (usize k = 0; k < pat.size(); ++k) {
+    if (pat[k] != 'N' && genome::casoffinder_mismatch(pat[k], ref[k])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<ot_record> serial_search(const std::string& pattern,
+                                     const std::vector<query_spec>& queries,
+                                     const genome::genome_t& g) {
+  const std::string pat_fw = normalize_sequence(pattern);
+  const std::string pat_rc = genome::reverse_complement(pat_fw);
+  const usize plen = pat_fw.size();
+
+  // Pre-normalise queries and their reverse complements.
+  std::vector<std::string> q_fw, q_rc;
+  for (const auto& q : queries) {
+    COF_CHECK_MSG(q.seq.size() == plen, "query length != pattern length");
+    q_fw.push_back(normalize_sequence(q.seq));
+    q_rc.push_back(genome::reverse_complement(q_fw.back()));
+  }
+
+  std::vector<ot_record> records;
+  for (u32 ci = 0; ci < g.chroms.size(); ++ci) {
+    const std::string& seq = g.chroms[ci].seq;
+    if (seq.size() < plen) continue;
+    for (usize pos = 0; pos + plen <= seq.size(); ++pos) {
+      const char* ref = seq.data() + pos;
+      const bool fw = site_matches(pat_fw, ref);
+      const bool rc = site_matches(pat_rc, ref);
+      if (!fw && !rc) continue;
+      for (u32 qi = 0; qi < queries.size(); ++qi) {
+        const u16 limit = queries[qi].max_mismatches;
+        if (fw) {
+          const u16 mm = count_mismatches(q_fw[qi].data(), ref, plen, limit);
+          if (mm <= limit) {
+            records.push_back(ot_record{
+                qi, ci, pos, '+', mm,
+                make_site_string(q_fw[qi], std::string_view(ref, plen), '+')});
+          }
+        }
+        if (rc) {
+          const u16 mm = count_mismatches(q_rc[qi].data(), ref, plen, limit);
+          if (mm <= limit) {
+            records.push_back(ot_record{
+                qi, ci, pos, '-', mm,
+                make_site_string(q_fw[qi], std::string_view(ref, plen), '-')});
+          }
+        }
+      }
+    }
+  }
+  sort_and_dedup(records);
+  return records;
+}
+
+}  // namespace cof

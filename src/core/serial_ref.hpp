@@ -1,0 +1,20 @@
+// Straight-line single-threaded reference implementation of the whole
+// search, sharing genome::casoffinder_mismatch with the kernels. It is the
+// correctness oracle the device pipelines are tested against, and the "CPU
+// baseline" examples use.
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/results.hpp"
+
+namespace cof {
+
+/// Run the full off-target search serially. Results are sorted/deduped in
+/// the engine's canonical order.
+std::vector<ot_record> serial_search(const std::string& pattern,
+                                     const std::vector<query_spec>& queries,
+                                     const genome::genome_t& g);
+
+}  // namespace cof

@@ -1,0 +1,25 @@
+#include "genome/chunker.hpp"
+
+#include <algorithm>
+
+namespace genome {
+
+std::vector<chunk> make_chunks(const genome_t& g, usize max_chunk, usize overlap) {
+  COF_CHECK_MSG(max_chunk > overlap, "chunk size must exceed the overlap");
+  std::vector<chunk> chunks;
+  for (usize ci = 0; ci < g.chroms.size(); ++ci) {
+    const usize len = g.chroms[ci].seq.size();
+    if (len == 0) continue;
+    usize start = 0;
+    for (;;) {
+      const usize span = std::min(max_chunk, len - start);
+      chunks.push_back(chunk{ci, start, span});
+      if (start + span >= len) break;
+      // Advance so the next chunk re-covers the last `overlap` bases.
+      start += span - overlap;
+    }
+  }
+  return chunks;
+}
+
+}  // namespace genome

@@ -1,0 +1,32 @@
+// Genome chunking: Cas-OFFinder divides sequence data into chunks sized to
+// fit device memory and feeds them to the kernels one at a time. Chunks
+// within one chromosome overlap by (pattern_length - 1) bases so sites that
+// straddle a boundary are found exactly once (the engine deduplicates hits
+// in the overlap).
+#pragma once
+
+#include <vector>
+
+#include "genome/fasta.hpp"
+
+namespace genome {
+
+struct chunk {
+  usize chrom_index = 0;  // into genome_t::chroms
+  usize offset = 0;       // start within the chromosome
+  usize length = 0;       // bytes of sequence in this chunk
+
+  friend bool operator==(const chunk&, const chunk&) = default;
+};
+
+/// Split every chromosome into chunks of at most `max_chunk` bases with
+/// `overlap` bases carried over between consecutive chunks of the same
+/// chromosome. Chromosomes shorter than `overlap + 1` form one chunk.
+std::vector<chunk> make_chunks(const genome_t& g, usize max_chunk, usize overlap);
+
+/// Sequence view for a chunk.
+inline std::string_view chunk_view(const genome_t& g, const chunk& c) {
+  return std::string_view(g.chroms[c.chrom_index].seq).substr(c.offset, c.length);
+}
+
+}  // namespace genome

@@ -1,0 +1,106 @@
+#include "genome/fasta.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "genome/iupac.hpp"
+#include "genome/twobit_file.hpp"
+#include "util/strings.hpp"
+
+namespace genome {
+
+usize genome_t::non_n_bases() const {
+  usize n = 0;
+  for (const auto& c : chroms) {
+    for (char b : c.seq) {
+      if (b == 'A' || b == 'C' || b == 'G' || b == 'T') ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<chromosome> parse_fasta(std::string_view text) {
+  std::vector<chromosome> records;
+  chromosome* cur = nullptr;
+  for (std::string_view line : util::split_lines(text)) {
+    line = util::trim(line);
+    if (line.empty() || line[0] == ';') continue;  // ';' comments (legacy)
+    if (line[0] == '>') {
+      const auto words = util::split(line.substr(1));
+      COF_CHECK_MSG(!words.empty(), "FASTA header with empty name");
+      records.push_back(chromosome{std::string(words[0]), {}});
+      cur = &records.back();
+      continue;
+    }
+    COF_CHECK_MSG(cur != nullptr, "FASTA sequence data before any '>' header");
+    cur->seq.reserve(cur->seq.size() + line.size());
+    for (char c : line) {
+      if (std::isspace(static_cast<unsigned char>(c))) continue;
+      cur->seq.push_back(upper_base(c));
+    }
+  }
+  return records;
+}
+
+std::vector<chromosome> read_fasta_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  COF_CHECK_MSG(in.good(), "cannot open FASTA file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_fasta(ss.str());
+}
+
+genome_t load_genome(const std::string& path) {
+  namespace fs = std::filesystem;
+  if (is_twobit_path(path)) return read_twobit_file(path);
+  genome_t g;
+  g.assembly = fs::path(path).filename().string();
+  if (fs::is_directory(path)) {
+    std::vector<std::string> files;
+    for (const auto& entry : fs::directory_iterator(path)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".fa" || ext == ".fasta" || ext == ".fna") {
+        files.push_back(entry.path().string());
+      }
+    }
+    COF_CHECK_MSG(!files.empty(), "no FASTA files in directory: " + path);
+    std::sort(files.begin(), files.end());
+    for (const auto& f : files) {
+      auto records = read_fasta_file(f);
+      for (auto& r : records) g.chroms.push_back(std::move(r));
+    }
+  } else {
+    g.chroms = read_fasta_file(path);
+  }
+  COF_CHECK_MSG(!g.chroms.empty(), "genome has no sequences: " + path);
+  return g;
+}
+
+std::string write_fasta(const std::vector<chromosome>& records, usize width) {
+  COF_CHECK(width > 0);
+  std::string out;
+  for (const auto& r : records) {
+    out += '>';
+    out += r.name;
+    out += '\n';
+    for (usize i = 0; i < r.seq.size(); i += width) {
+      out.append(r.seq, i, std::min(width, r.seq.size() - i));
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+void write_fasta_file(const std::string& path, const std::vector<chromosome>& records,
+                      usize width) {
+  std::ofstream out(path, std::ios::binary);
+  COF_CHECK_MSG(out.good(), "cannot open for write: " + path);
+  out << write_fasta(records, width);
+  COF_CHECK_MSG(out.good(), "write failed: " + path);
+}
+
+}  // namespace genome

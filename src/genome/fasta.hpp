@@ -1,0 +1,53 @@
+// FASTA reading/writing and the in-memory genome representation. Handles
+// single- and multi-record files, directory loading (UCSC chromFa layout),
+// arbitrary line wrapping, lower-case (soft-masked) bases, and '>'
+// description lines — the parsing duties Cas-OFFinder delegates to an
+// external parser library.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace genome {
+
+using util::usize;
+
+struct chromosome {
+  std::string name;  // first word of the header line
+  std::string seq;   // upper-cased bases
+};
+
+struct genome_t {
+  std::string assembly;  // label, e.g. "hg19-synth"
+  std::vector<chromosome> chroms;
+
+  usize total_bases() const {
+    usize n = 0;
+    for (const auto& c : chroms) n += c.seq.size();
+    return n;
+  }
+  /// Bases that are a concrete A/C/G/T (i.e. searchable sequence).
+  usize non_n_bases() const;
+};
+
+/// Parse FASTA text (multi-record). Throws via COF_CHECK on malformed input.
+std::vector<chromosome> parse_fasta(std::string_view text);
+
+/// Read one FASTA file.
+std::vector<chromosome> read_fasta_file(const std::string& path);
+
+/// Load a genome from a path: a FASTA file, or a directory of *.fa/*.fasta
+/// files (UCSC layout). Chromosomes are ordered by file name then record.
+genome_t load_genome(const std::string& path);
+
+/// Serialise records as FASTA with the given line width.
+std::string write_fasta(const std::vector<chromosome>& records, usize width = 60);
+
+/// Write a genome to one FASTA file.
+void write_fasta_file(const std::string& path, const std::vector<chromosome>& records,
+                      usize width = 60);
+
+}  // namespace genome

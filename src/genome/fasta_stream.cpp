@@ -1,0 +1,113 @@
+#include "genome/fasta_stream.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+
+#include "genome/iupac.hpp"
+#include "util/strings.hpp"
+
+namespace genome {
+
+fasta_stream::fasta_stream(const std::string& path)
+    : in_(path, std::ios::binary), path_(path) {
+  COF_CHECK_MSG(in_.good(), "cannot open FASTA file: " + path);
+}
+
+bool fasta_stream::fill_line() {
+  line_.clear();
+  line_pos_ = 0;
+  while (std::getline(in_, line_)) {
+    if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+    // Skip blanks and legacy ';' comments.
+    const auto trimmed = util::trim(line_);
+    if (trimmed.empty() || trimmed[0] == ';') continue;
+    return true;
+  }
+  eof_ = true;
+  return false;
+}
+
+bool fasta_stream::next_record() {
+  // Skip the remainder of the current record.
+  if (in_record_ && !pending_header_) {
+    while (fill_line()) {
+      if (line_[0] == '>') {
+        pending_header_ = true;
+        break;
+      }
+    }
+  }
+  if (!pending_header_) {
+    while (fill_line()) {
+      if (line_[0] == '>') {
+        pending_header_ = true;
+        break;
+      }
+      // Sequence data before any header is malformed.
+      COF_CHECK_MSG(in_record_,
+                    "FASTA sequence data before any '>' header in " + path_);
+    }
+  }
+  if (!pending_header_) return false;
+
+  const auto words = util::split(std::string_view(line_).substr(1));
+  COF_CHECK_MSG(!words.empty(), "FASTA header with empty name in " + path_);
+  name_ = std::string(words[0]);
+  pending_header_ = false;
+  in_record_ = true;
+  line_.clear();
+  line_pos_ = 0;
+  return true;
+}
+
+usize fasta_stream::read_bases(std::string& out, usize max_bases) {
+  COF_CHECK_MSG(in_record_, "read_bases before next_record");
+  usize appended = 0;
+  while (appended < max_bases) {
+    // A parked '>' line belongs to the next record; never consume it here.
+    if (pending_header_ || eof_) break;
+    if (line_pos_ >= line_.size()) {
+      if (!fill_line()) break;
+      if (line_[0] == '>') {
+        pending_header_ = true;
+        break;
+      }
+    }
+    while (line_pos_ < line_.size() && appended < max_bases) {
+      const char c = line_[line_pos_++];
+      if (std::isspace(static_cast<unsigned char>(c))) continue;
+      out.push_back(upper_base(c));
+      ++appended;
+    }
+  }
+  return appended;
+}
+
+std::string fasta_stream::read_all() {
+  std::string out;
+  while (read_bases(out, 1 << 20) != 0) {
+  }
+  return out;
+}
+
+std::vector<std::string> fasta_files_at(const std::string& path) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  if (fs::is_directory(path)) {
+    for (const auto& entry : fs::directory_iterator(path)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".fa" || ext == ".fasta" || ext == ".fna") {
+        files.push_back(entry.path().string());
+      }
+    }
+    COF_CHECK_MSG(!files.empty(), "no FASTA files in directory: " + path);
+    std::sort(files.begin(), files.end());
+  } else {
+    files.push_back(path);
+  }
+  return files;
+}
+
+}  // namespace genome

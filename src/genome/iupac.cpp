@@ -1,0 +1,77 @@
+#include "genome/iupac.hpp"
+
+#include <array>
+
+namespace genome {
+
+namespace {
+
+constexpr u8 A = 1, C = 2, G = 4, T = 8;
+
+constexpr std::array<u8, 256> make_mask_table() {
+  std::array<u8, 256> t{};
+  auto set = [&t](char c, u8 m) {
+    t[static_cast<unsigned char>(c)] = m;
+    t[static_cast<unsigned char>(c - 'A' + 'a')] = m;
+  };
+  set('A', A); set('C', C); set('G', G); set('T', T);
+  set('U', T);
+  set('R', A | G); set('Y', C | T); set('S', G | C); set('W', A | T);
+  set('K', G | T); set('M', A | C);
+  set('B', C | G | T); set('D', A | G | T); set('H', A | C | T); set('V', A | C | G);
+  set('N', A | C | G | T);
+  return t;
+}
+
+constexpr std::array<u8, 256> kMask = make_mask_table();
+
+constexpr std::array<char, 16> make_code_table() {
+  std::array<char, 16> t{};
+  t[0] = '?';
+  t[A] = 'A'; t[C] = 'C'; t[G] = 'G'; t[T] = 'T';
+  t[A | G] = 'R'; t[C | T] = 'Y'; t[G | C] = 'S'; t[A | T] = 'W';
+  t[G | T] = 'K'; t[A | C] = 'M';
+  t[C | G | T] = 'B'; t[A | G | T] = 'D'; t[A | C | T] = 'H'; t[A | C | G] = 'V';
+  t[A | C | G | T] = 'N';
+  return t;
+}
+
+constexpr std::array<char, 16> kCode = make_code_table();
+
+}  // namespace
+
+u8 iupac_mask(char code) { return kMask[static_cast<unsigned char>(code)]; }
+
+char iupac_code(u8 mask) { return mask < 16 ? kCode[mask] : '?'; }
+
+bool is_iupac(char code) { return iupac_mask(code) != 0; }
+
+bool iupac_match(char pattern, char ref) {
+  const u8 p = iupac_mask(pattern);
+  const u8 r = iupac_mask(ref);
+  return r != 0 && (p & r) == r;
+}
+
+char complement(char code) {
+  const bool lower = code >= 'a' && code <= 'z';
+  const u8 m = iupac_mask(code);
+  if (m == 0) return 'N';
+  // Complement swaps A<->T and C<->G, i.e. reverses the 4-bit mask.
+  u8 c = 0;
+  if (m & A) c |= T;
+  if (m & T) c |= A;
+  if (m & C) c |= G;
+  if (m & G) c |= C;
+  const char up = iupac_code(c);
+  return lower ? static_cast<char>(up - 'A' + 'a') : up;
+}
+
+std::string reverse_complement(std::string_view seq) {
+  std::string out(seq.size(), '\0');
+  for (size_t i = 0; i < seq.size(); ++i) {
+    out[seq.size() - 1 - i] = complement(seq[i]);
+  }
+  return out;
+}
+
+}  // namespace genome

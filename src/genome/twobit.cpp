@@ -1,0 +1,51 @@
+#include "genome/twobit.hpp"
+
+#include <algorithm>
+
+namespace genome {
+
+twobit_seq twobit_seq::encode(std::string_view seq) {
+  twobit_seq t;
+  t.size_ = seq.size();
+  t.packed_.assign((seq.size() + 3) / 4, 0);
+  t.amb_.assign((seq.size() + 63) / 64, 0);
+  for (usize i = 0; i < seq.size(); ++i) {
+    u8 code;
+    switch (seq[i]) {
+      case 'A': code = 0; break;
+      case 'C': code = 1; break;
+      case 'G': code = 2; break;
+      case 'T': code = 3; break;
+      default:
+        code = 0;
+        t.amb_[i >> 6] |= (u64{1} << (i & 63));
+        break;
+    }
+    t.packed_[i >> 2] |= static_cast<u8>(code << ((i & 3) * 2));
+  }
+  return t;
+}
+
+std::string twobit_seq::decode() const {
+  std::string out(size_, '\0');
+  for (usize i = 0; i < size_; ++i) out[i] = at(i);
+  return out;
+}
+
+bool twobit_seq::range_has_ambiguity(usize pos, usize len) const {
+  COF_CHECK(pos + len <= size_);
+  // Word-at-a-time scan.
+  usize i = pos;
+  const usize end = pos + len;
+  while (i < end) {
+    const usize word = i >> 6;
+    const usize bit = i & 63;
+    const usize span = std::min<usize>(64 - bit, end - i);
+    u64 mask = (span == 64) ? ~u64{0} : (((u64{1} << span) - 1) << bit);
+    if (amb_[word] & mask) return true;
+    i += span;
+  }
+  return false;
+}
+
+}  // namespace genome

@@ -1,0 +1,61 @@
+// 2-bit packed sequence codec with an ambiguity (non-ACGT) bitmask — the
+// compact sequence format the Cas-OFFinder authors adopted as one of their
+// kernel optimisations [21]. Used by the ablation benchmark comparing char
+// vs 2-bit chunk transfers, and available to library users for memory-lean
+// genome storage.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace genome {
+
+using util::u64;
+using util::u8;
+using util::usize;
+
+/// Packed sequence: 2 bits per base (A=0, C=1, G=2, T=3) plus one ambiguity
+/// bit per base; ambiguous positions decode to 'N'.
+class twobit_seq {
+ public:
+  twobit_seq() = default;
+
+  /// Encode an upper-case IUPAC sequence; every non-ACGT base is recorded in
+  /// the ambiguity mask (the degenerate code's identity is not preserved).
+  static twobit_seq encode(std::string_view seq);
+
+  std::string decode() const;
+
+  usize size() const { return size_; }
+
+  /// Base at position i ('A','C','G','T' or 'N').
+  char at(usize i) const {
+    COF_CHECK(i < size_);
+    if (is_ambiguous(i)) return 'N';
+    const u8 code = (packed_[i >> 2] >> ((i & 3) * 2)) & 3;
+    return "ACGT"[code];
+  }
+
+  bool is_ambiguous(usize i) const {
+    return (amb_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// True if [pos, pos+len) contains any ambiguous base.
+  bool range_has_ambiguity(usize pos, usize len) const;
+
+  /// Packed payload (for device upload). 4 bases per byte.
+  const std::vector<u8>& packed() const { return packed_; }
+  const std::vector<u64>& ambiguity_words() const { return amb_; }
+
+  usize packed_bytes() const { return packed_.size(); }
+
+ private:
+  std::vector<u8> packed_;
+  std::vector<u64> amb_;
+  usize size_ = 0;
+};
+
+}  // namespace genome

@@ -1,0 +1,196 @@
+#include "genome/twobit_file.hpp"
+
+#include <fstream>
+
+#include "util/strings.hpp"
+
+namespace genome {
+
+namespace {
+
+using util::u32;
+using util::u8;
+
+void put_u32(std::string& out, u32 v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+struct reader {
+  std::string data;
+  usize pos = 0;
+
+  u32 get_u32() {
+    COF_CHECK_MSG(pos + 4 <= data.size(), "truncated .2bit file");
+    const auto* p = reinterpret_cast<const unsigned char*>(data.data() + pos);
+    pos += 4;
+    return static_cast<u32>(p[0]) | (static_cast<u32>(p[1]) << 8) |
+           (static_cast<u32>(p[2]) << 16) | (static_cast<u32>(p[3]) << 24);
+  }
+  u8 get_u8() {
+    COF_CHECK_MSG(pos < data.size(), "truncated .2bit file");
+    return static_cast<u8>(data[pos++]);
+  }
+  std::string get_bytes(usize n) {
+    COF_CHECK_MSG(pos + n <= data.size(), "truncated .2bit file");
+    std::string s = data.substr(pos, n);
+    pos += n;
+    return s;
+  }
+};
+
+// UCSC base order: T=0, C=1, A=2, G=3.
+constexpr char kDecode[4] = {'T', 'C', 'A', 'G'};
+
+u8 encode_base(char c) {
+  switch (c) {
+    case 'T': return 0;
+    case 'C': return 1;
+    case 'A': return 2;
+    case 'G': return 3;
+    default: return 0;  // N blocks carry the ambiguity; pack as T
+  }
+}
+
+}  // namespace
+
+bool is_twobit_path(const std::string& path) {
+  return path.size() > 5 && path.substr(path.size() - 5) == ".2bit";
+}
+
+void write_twobit_file(const std::string& path, const genome_t& g) {
+  // Header + index first (offsets need the index size, so lay it out in two
+  // passes).
+  std::string index;
+  usize index_size = 0;
+  for (const auto& c : g.chroms) {
+    COF_CHECK_MSG(c.name.size() <= 255, ".2bit sequence name too long: " + c.name);
+    index_size += 1 + c.name.size() + 4;
+  }
+  const usize header_size = 16;
+
+  // Per-sequence records.
+  std::vector<std::string> records;
+  records.reserve(g.chroms.size());
+  for (const auto& c : g.chroms) {
+    std::string rec;
+    put_u32(rec, static_cast<u32>(c.seq.size()));
+    // N blocks: runs of non-ACGT.
+    std::vector<u32> nstarts, nsizes;
+    for (usize i = 0; i < c.seq.size();) {
+      const char b = c.seq[i];
+      if (b == 'A' || b == 'C' || b == 'G' || b == 'T') {
+        ++i;
+        continue;
+      }
+      const usize start = i;
+      while (i < c.seq.size() && c.seq[i] != 'A' && c.seq[i] != 'C' &&
+             c.seq[i] != 'G' && c.seq[i] != 'T') {
+        ++i;
+      }
+      nstarts.push_back(static_cast<u32>(start));
+      nsizes.push_back(static_cast<u32>(i - start));
+    }
+    put_u32(rec, static_cast<u32>(nstarts.size()));
+    for (u32 s : nstarts) put_u32(rec, s);
+    for (u32 s : nsizes) put_u32(rec, s);
+    put_u32(rec, 0);  // maskBlockCount (input is upper-cased)
+    put_u32(rec, 0);  // reserved
+    // Packed DNA, first base in the high bits.
+    u8 byte = 0;
+    int filled = 0;
+    for (char b : c.seq) {
+      byte = static_cast<u8>((byte << 2) | encode_base(b));
+      if (++filled == 4) {
+        rec.push_back(static_cast<char>(byte));
+        byte = 0;
+        filled = 0;
+      }
+    }
+    if (filled != 0) {
+      byte = static_cast<u8>(byte << (2 * (4 - filled)));
+      rec.push_back(static_cast<char>(byte));
+    }
+    records.push_back(std::move(rec));
+  }
+
+  std::string out;
+  put_u32(out, kTwoBitSignature);
+  put_u32(out, 0);  // version
+  put_u32(out, static_cast<u32>(g.chroms.size()));
+  put_u32(out, 0);  // reserved
+  usize offset = header_size + index_size;
+  for (usize i = 0; i < g.chroms.size(); ++i) {
+    out.push_back(static_cast<char>(g.chroms[i].name.size()));
+    out += g.chroms[i].name;
+    put_u32(out, static_cast<u32>(offset));
+    offset += records[i].size();
+  }
+  for (const auto& rec : records) out += rec;
+
+  std::ofstream f(path, std::ios::binary);
+  COF_CHECK_MSG(f.good(), "cannot open for write: " + path);
+  f.write(out.data(), static_cast<std::streamsize>(out.size()));
+  COF_CHECK_MSG(f.good(), "write failed: " + path);
+}
+
+genome_t read_twobit_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  COF_CHECK_MSG(f.good(), "cannot open .2bit file: " + path);
+  reader r;
+  r.data.assign(std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>());
+
+  COF_CHECK_MSG(r.get_u32() == kTwoBitSignature,
+                "not a .2bit file (bad signature): " + path);
+  COF_CHECK_MSG(r.get_u32() == 0, "unsupported .2bit version: " + path);
+  const u32 count = r.get_u32();
+  r.get_u32();  // reserved
+
+  struct index_entry {
+    std::string name;
+    u32 offset;
+  };
+  std::vector<index_entry> index;
+  index.reserve(count);
+  for (u32 i = 0; i < count; ++i) {
+    const u8 name_size = r.get_u8();
+    index_entry e;
+    e.name = r.get_bytes(name_size);
+    e.offset = r.get_u32();
+    index.push_back(std::move(e));
+  }
+
+  genome_t g;
+  g.assembly = path;
+  for (const auto& e : index) {
+    r.pos = e.offset;
+    const u32 dna_size = r.get_u32();
+    const u32 nblocks = r.get_u32();
+    std::vector<u32> nstarts(nblocks), nsizes(nblocks);
+    for (auto& v : nstarts) v = r.get_u32();
+    for (auto& v : nsizes) v = r.get_u32();
+    const u32 maskblocks = r.get_u32();
+    for (u32 i = 0; i < 2 * maskblocks; ++i) r.get_u32();  // skip mask tables
+    r.get_u32();  // reserved
+
+    chromosome c;
+    c.name = e.name;
+    c.seq.resize(dna_size);
+    const std::string packed = r.get_bytes((dna_size + 3) / 4);
+    for (u32 i = 0; i < dna_size; ++i) {
+      const u8 byte = static_cast<u8>(packed[i >> 2]);
+      const int shift = 2 * (3 - static_cast<int>(i & 3));
+      c.seq[i] = kDecode[(byte >> shift) & 3];
+    }
+    for (u32 b = 0; b < nblocks; ++b) {
+      COF_CHECK_MSG(nstarts[b] + nsizes[b] <= dna_size, "N block out of range");
+      for (u32 i = 0; i < nsizes[b]; ++i) c.seq[nstarts[b] + i] = 'N';
+    }
+    g.chroms.push_back(std::move(c));
+  }
+  return g;
+}
+
+}  // namespace genome

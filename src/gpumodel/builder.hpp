@@ -1,0 +1,31 @@
+// Builds the kernel IR for the finder and the baseline comparer, mirroring
+// what a GCN-targeting compiler emits for the OpenCL/SYCL source at -O3:
+// index prologue, the (partially unrolled) sequential local-memory fetch
+// guarded by `li == 0`, two strand sections whose (partially unrolled) main
+// loop contains the 14-condition IUPAC chain, and the atomic-append
+// epilogues. The optimisation passes in passes.hpp transform this baseline
+// into the opt1..opt4 variants.
+#pragma once
+
+#include "core/kernels.hpp"
+#include "gpumodel/kir.hpp"
+
+namespace gpumodel {
+
+struct build_params {
+  u32 plen = 23;             // pattern length (the paper's input)
+  u32 fetch_unroll = 16;     // compiler unroll of the sequential fetch loop
+  u32 main_unroll = 4;       // compiler unroll of the per-locus compare loop
+  u32 chain_conditions = 14; // IUPAC Boolean chain length
+};
+
+/// Baseline comparer (Listing 1) as emitted IR.
+kir_kernel build_comparer_base(const build_params& p = {});
+
+/// Finder kernel as emitted IR.
+kir_kernel build_finder(const build_params& p = {});
+
+/// Baseline + cumulative passes up to `v` (see passes.hpp).
+kir_kernel build_comparer_variant(cof::comparer_variant v, const build_params& p = {});
+
+}  // namespace gpumodel

@@ -1,0 +1,49 @@
+#include "gpumodel/isa.hpp"
+
+namespace gpumodel {
+
+u32 op_bytes(op_kind k) {
+  switch (k) {
+    case op_kind::salu: return 4;     // SOP1/SOP2
+    case op_kind::valu: return 6;     // VOP2 (4) / VOP3 (8) mix
+    case op_kind::vcmp: return 8;     // VOPC + mask manipulation
+    case op_kind::smem_load: return 8;
+    case op_kind::vmem_load: return 12;   // MUBUF/FLAT + s_waitcnt
+    case op_kind::vmem_store: return 12;
+    case op_kind::lds_read: return 10;    // DS + waitcnt share
+    case op_kind::lds_write: return 10;
+    case op_kind::atomic: return 12;
+    case op_kind::branch: return 4;       // SOPP
+    case op_kind::barrier: return 4;
+  }
+  return 4;
+}
+
+u32 code_length_bytes(const kir_kernel& k) {
+  u32 bytes = 4;  // s_endpgm
+  for (const auto& op : k.ops) bytes += op_bytes(op.kind) * op.count;
+  return bytes;
+}
+
+isa_mix instruction_mix(const kir_kernel& k) {
+  isa_mix m;
+  for (const auto& op : k.ops) {
+    switch (op.kind) {
+      case op_kind::salu: m.salu += op.count; break;
+      case op_kind::valu: m.valu += op.count; break;
+      case op_kind::vcmp: m.vcmp += op.count; break;
+      case op_kind::smem_load: m.smem += op.count; break;
+      case op_kind::vmem_load:
+      case op_kind::vmem_store: m.vmem += op.count; break;
+      case op_kind::lds_read:
+      case op_kind::lds_write: m.lds += op.count; break;
+      case op_kind::branch: m.branch += op.count; break;
+      case op_kind::atomic: m.atomic += op.count; break;
+      case op_kind::barrier: m.barrier += op.count; break;
+    }
+    m.total += op.count;
+  }
+  return m;
+}
+
+}  // namespace gpumodel

@@ -1,0 +1,25 @@
+// Instruction-size model: encodes each IR op with the byte cost of the
+// GCN/CDNA instruction class it stands for (VOP2 4 B; VOP3/compare 8 B;
+// SMEM 8 B; MUBUF/FLAT global access 8 B + the s_waitcnt it usually drags
+// in; DS 8 B; SOPP 4 B), giving the "code length" row of Table X.
+#pragma once
+
+#include "gpumodel/kir.hpp"
+
+namespace gpumodel {
+
+/// Bytes one instance of this op occupies in the binary.
+u32 op_bytes(op_kind k);
+
+/// Total code length in bytes (sum over ops × counts + s_endpgm).
+u32 code_length_bytes(const kir_kernel& k);
+
+/// Per-kind instruction counts (diagnostics / tests).
+struct isa_mix {
+  u32 valu = 0, salu = 0, vcmp = 0, vmem = 0, smem = 0, lds = 0, branch = 0,
+      atomic = 0, barrier = 0;
+  u32 total = 0;
+};
+isa_mix instruction_mix(const kir_kernel& k);
+
+}  // namespace gpumodel

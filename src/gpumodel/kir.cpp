@@ -1,0 +1,57 @@
+#include "gpumodel/kir.hpp"
+
+#include "util/strings.hpp"
+
+namespace gpumodel {
+
+const char* op_kind_name(op_kind k) {
+  switch (k) {
+    case op_kind::salu: return "salu";
+    case op_kind::valu: return "valu";
+    case op_kind::vcmp: return "vcmp";
+    case op_kind::smem_load: return "smem_load";
+    case op_kind::vmem_load: return "vmem_load";
+    case op_kind::vmem_store: return "vmem_store";
+    case op_kind::lds_read: return "lds_read";
+    case op_kind::lds_write: return "lds_write";
+    case op_kind::atomic: return "atomic";
+    case op_kind::branch: return "branch";
+    case op_kind::barrier: return "barrier";
+  }
+  return "?";
+}
+
+std::string dump(const kir_kernel& k) {
+  std::string out = util::format("; kernel %s: %u ops, lds=%u B, base regs v%u/s%u\n",
+                                 k.name.c_str(), k.instruction_count(), k.lds_bytes,
+                                 k.base_vgprs, k.base_sgprs);
+  for (usize i = 0; i < k.ops.size(); ++i) {
+    const kir_op& op = k.ops[i];
+    out += util::format("%4zu  %-10s", i, op_kind_name(op.kind));
+    if (op.def >= 0) {
+      out += util::format(" %c%d =", op.uniform ? 's' : 'v', op.def);
+    }
+    for (int u : op.uses) out += util::format(" %%%d", u);
+    if (!op.addr_key.empty()) out += "  [" + op.addr_key + "]";
+    if (op.loop_invariant) out += "  ; loop-invariant";
+    if (op.count > 1) out += util::format("  x%u", op.count);
+    out += '\n';
+  }
+  return out;
+}
+
+u32 kir_kernel::instruction_count() const {
+  u32 n = 0;
+  for (const auto& op : ops) n += op.count;
+  return n;
+}
+
+u32 kir_kernel::count_of(op_kind k) const {
+  u32 n = 0;
+  for (const auto& op : ops) {
+    if (op.kind == k) n += op.count;
+  }
+  return n;
+}
+
+}  // namespace gpumodel

@@ -1,0 +1,88 @@
+// A small kernel IR standing in for the GCN/CDNA assembly the paper
+// inspects with rocprof (Table X). The comparer variants are expressed as
+// static instruction streams; optimisation passes (passes.hpp) perform the
+// transformations the source changes enable in the real compiler; the
+// register estimator (regalloc.hpp) sweeps value live ranges; the encoder
+// (isa.hpp) sizes the stream in bytes.
+//
+// The IR is deliberately static-code-shaped: `count` is the number of times
+// an instruction is *emitted* (loop unrolling, the 14-condition IUPAC
+// chain), not its dynamic trip count — code length and register pressure
+// are static properties.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gpumodel {
+
+using util::i32;
+using util::u32;
+using util::usize;
+
+enum class op_kind {
+  salu,        // scalar ALU (SOP*)
+  valu,        // vector ALU (VOP*)
+  vcmp,        // vector compare + mask ops
+  smem_load,   // scalar memory load (constant/uniform data)
+  vmem_load,   // vector global-memory load
+  vmem_store,  // vector global-memory store
+  lds_read,    // shared-local-memory read (DS)
+  lds_write,   // shared-local-memory write (DS)
+  atomic,      // global atomic
+  branch,      // SOPP branch / exec-mask manipulation
+  barrier,     // s_barrier
+};
+
+const char* op_kind_name(op_kind k);
+
+/// One emitted instruction (or `count` identical copies).
+struct kir_op {
+  op_kind kind = op_kind::valu;
+  /// Symbolic address for load CSE, e.g. "loci[i]" — identical keys denote
+  /// the same memory word within one iteration.
+  std::string addr_key;
+  /// Value defined (register result), -1 if none.
+  int def = -1;
+  /// Values consumed.
+  std::vector<int> uses;
+  /// Work-group-uniform result (allocates an SGPR instead of a VGPR).
+  bool uniform = false;
+  /// Loop-invariant (hoistable by the register pass).
+  bool loop_invariant = false;
+  /// Emitted copies (static duplication).
+  u32 count = 1;
+};
+
+struct kir_kernel {
+  std::string name;
+  std::vector<kir_op> ops;
+  u32 lds_bytes = 0;
+  /// Baseline register overhead (kernel arguments, descriptors, exec masks).
+  u32 base_vgprs = 4;
+  u32 base_sgprs = 14;
+  /// True once the restrict pass may assume no pointer aliasing.
+  bool no_alias = false;
+
+  int next_value = 0;
+  int new_value() { return next_value++; }
+
+  kir_op& emit(op_kind kind, std::string addr_key = "", int def = -1,
+               std::vector<int> uses = {}, u32 count = 1) {
+    ops.push_back(kir_op{kind, std::move(addr_key), def, std::move(uses), false,
+                         false, count});
+    return ops.back();
+  }
+
+  /// Total emitted instructions (sum of counts).
+  u32 instruction_count() const;
+  u32 count_of(op_kind k) const;
+};
+
+/// Human-readable listing of the IR (one line per op: kind, defs/uses,
+/// uniformity, address key) — the model's answer to a disassembly dump.
+std::string dump(const kir_kernel& k);
+
+}  // namespace gpumodel

@@ -1,0 +1,61 @@
+#include "gpumodel/listing.hpp"
+
+#include "gpumodel/isa.hpp"
+#include "util/strings.hpp"
+
+namespace gpumodel {
+
+namespace {
+
+/// A representative mnemonic for each op class (the model sizes classes,
+/// not individual encodings; these names make the listing legible).
+const char* mnemonic(const kir_op& op) {
+  switch (op.kind) {
+    case op_kind::salu: return op.uniform && op.def >= 0 ? "s_bfe_u32" : "s_and_b64";
+    case op_kind::valu: return op.def >= 0 ? "v_add_u32" : "v_mov_b32";
+    case op_kind::vcmp: return "v_cmp_eq_u32";
+    case op_kind::smem_load: return "s_load_dwordx2";
+    case op_kind::vmem_load: return "global_load_ubyte";
+    case op_kind::vmem_store: return "global_store_dword";
+    case op_kind::lds_read: return "ds_read_u8";
+    case op_kind::lds_write: return "ds_write_b8";
+    case op_kind::atomic: return "global_atomic_add";
+    case op_kind::branch: return "s_cbranch_execz";
+    case op_kind::barrier: return "s_barrier";
+  }
+  return "s_nop";
+}
+
+std::string operands(const kir_op& op) {
+  std::string s;
+  if (op.def >= 0) {
+    s += util::format("%c%d", op.uniform ? 's' : 'v', op.def);
+  }
+  for (int u : op.uses) {
+    if (!s.empty()) s += ", ";
+    s += util::format("%%%d", u);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string assembly_listing(const kir_kernel& k) {
+  std::string out = util::format(
+      "; %s  (model listing; %u instructions, %u bytes, lds %u B)\n",
+      k.name.c_str(), k.instruction_count(), code_length_bytes(k), k.lds_bytes);
+  u32 offset = 0;
+  for (const auto& op : k.ops) {
+    for (u32 rep = 0; rep < op.count; ++rep) {
+      out += util::format("  0x%04x  %-20s %s", offset, mnemonic(op),
+                          operands(op).c_str());
+      if (!op.addr_key.empty()) out += "    ; " + op.addr_key;
+      out += '\n';
+      offset += op_bytes(op.kind);
+    }
+  }
+  out += util::format("  0x%04x  s_endpgm\n", offset);
+  return out;
+}
+
+}  // namespace gpumodel

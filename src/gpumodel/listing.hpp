@@ -1,0 +1,17 @@
+// Pseudo-GCN assembly listing: renders the kernel IR as mnemonic lines in
+// the style of the AMD CDNA ISA manual the paper consults [19], with byte
+// offsets matching the ISA size model — the repository's stand-in for the
+// rocobj disassembly the authors inspected for Table X.
+#pragma once
+
+#include <string>
+
+#include "gpumodel/kir.hpp"
+
+namespace gpumodel {
+
+/// Render the kernel as a pseudo-assembly listing with byte offsets; the
+/// final offset equals code_length_bytes(k).
+std::string assembly_listing(const kir_kernel& k);
+
+}  // namespace gpumodel

@@ -1,0 +1,41 @@
+#include "gpumodel/occupancy.hpp"
+
+#include <algorithm>
+
+namespace gpumodel {
+
+occupancy_result occupancy(const gpu_spec& gpu, const register_usage& regs,
+                           u32 lds_bytes_per_group, u32 wg_size) {
+  occupancy_result r;
+
+  const u32 vgpr_granule = util::round_up<u32>(std::max(regs.vgprs, 1u), 4);
+  r.limit_vgpr = gpu.vgpr_file_per_simd / vgpr_granule;
+
+  const u32 sgpr_granule = util::round_up<u32>(std::max(regs.sgprs, 1u), 8);
+  r.limit_sgpr = gpu.sgpr_file_per_simd / sgpr_granule;
+
+  // LDS limits work-groups per CU; waves per SIMD follow from the waves
+  // each group contributes.
+  const u32 waves_per_group = std::max<u32>(1, util::ceil_div(wg_size, gpu.lanes_per_cu));
+  if (lds_bytes_per_group == 0) {
+    r.limit_lds = gpu.max_waves_per_simd;
+  } else {
+    const u32 groups_per_cu = gpu.lds_per_cu_bytes / lds_bytes_per_group;
+    r.limit_lds = groups_per_cu * waves_per_group / gpu.simds_per_cu;
+  }
+
+  r.waves_per_simd = std::min({gpu.max_waves_per_simd, r.limit_vgpr, r.limit_sgpr,
+                               std::max(r.limit_lds, 1u)});
+  if (r.waves_per_simd == gpu.max_waves_per_simd) {
+    r.limiter = "cap";
+  } else if (r.waves_per_simd == r.limit_sgpr) {
+    r.limiter = "sgpr";
+  } else if (r.waves_per_simd == r.limit_vgpr) {
+    r.limiter = "vgpr";
+  } else {
+    r.limiter = "lds";
+  }
+  return r;
+}
+
+}  // namespace gpumodel

@@ -1,0 +1,26 @@
+// GCN/CDNA occupancy model: waves per SIMD limited by the vector-register
+// file (granularity 4), the scalar-register file (granularity 8, 800 SGPRs
+// per SIMD), LDS per work-group, and the hardware cap of 10.
+//
+// Table X cross-check: SGPRs 82 -> ceil to 88 -> floor(800/88) = 9 waves —
+// the occupancy drop the paper measures at opt4; every other variant's
+// limits sit at or above the cap of 10.
+#pragma once
+
+#include "gpumodel/regalloc.hpp"
+#include "gpumodel/specs.hpp"
+
+namespace gpumodel {
+
+struct occupancy_result {
+  u32 waves_per_simd = 0;
+  u32 limit_vgpr = 0;
+  u32 limit_sgpr = 0;
+  u32 limit_lds = 0;
+  const char* limiter = "cap";
+};
+
+occupancy_result occupancy(const gpu_spec& gpu, const register_usage& regs,
+                           u32 lds_bytes_per_group, u32 wg_size);
+
+}  // namespace gpumodel

@@ -1,0 +1,217 @@
+#include "gpumodel/passes.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/strings.hpp"
+
+namespace gpumodel {
+
+namespace {
+
+/// Rewrite uses according to the replacement map.
+void apply_replacements(std::vector<kir_op>& ops, const std::map<int, int>& replace) {
+  if (replace.empty()) return;
+  for (auto& op : ops) {
+    for (int& u : op.uses) {
+      auto it = replace.find(u);
+      if (it != replace.end()) u = it->second;
+    }
+  }
+}
+
+/// Remove pure address-arithmetic ops whose results are never used.
+void dce_dead_valu(kir_kernel& k) {
+  for (;;) {
+    std::set<int> used;
+    for (const auto& op : k.ops) {
+      for (int u : op.uses) used.insert(u);
+    }
+    const auto before = k.ops.size();
+    std::erase_if(k.ops, [&](const kir_op& op) {
+      const bool pure = (op.kind == op_kind::valu || op.kind == op_kind::salu ||
+                         op.kind == op_kind::smem_load) &&
+                        op.def >= 0;
+      return pure && used.find(op.def) == used.end();
+    });
+    if (k.ops.size() == before) return;
+  }
+}
+
+}  // namespace
+
+void pass_restrict_cse(kir_kernel& k) {
+  k.no_alias = true;
+  // Local (basic-block-scoped) CSE of global loads: with `__restrict` the
+  // compiler may merge loads of the same address as long as no store or
+  // atomic intervenes; branches delimit blocks and reset the window.
+  std::map<std::string, int> window;
+  std::map<int, int> replace;
+  std::vector<kir_op> out;
+  out.reserve(k.ops.size());
+  for (auto& op : k.ops) {
+    if (op.kind == op_kind::branch || op.kind == op_kind::vmem_store ||
+        op.kind == op_kind::atomic || op.kind == op_kind::barrier) {
+      window.clear();
+    }
+    if (op.kind == op_kind::vmem_load && !op.addr_key.empty()) {
+      auto [it, inserted] = window.emplace(op.addr_key, op.def);
+      if (!inserted) {
+        replace[op.def] = it->second;
+        continue;  // drop the duplicate load
+      }
+    }
+    out.push_back(op);
+  }
+  apply_replacements(out, replace);
+  k.ops = std::move(out);
+  dce_dead_valu(k);
+}
+
+void pass_register_hoist(kir_kernel& k) {
+  // Loop-invariant per-work-item loads (loci[i], flag[i]) are performed
+  // once and kept in a register: keep the first load of each address, make
+  // later ones reuse its value. The survivor's live range then spans every
+  // former reload site, which the register sweep picks up automatically.
+  std::map<std::string, int> canonical;
+  std::map<int, int> replace;
+  std::vector<kir_op> out;
+  out.reserve(k.ops.size());
+  for (auto& op : k.ops) {
+    if (op.loop_invariant && op.kind == op_kind::vmem_load) {
+      auto [it, inserted] = canonical.emplace(op.addr_key, op.def);
+      if (!inserted) {
+        replace[op.def] = it->second;
+        continue;
+      }
+    }
+    out.push_back(op);
+  }
+  apply_replacements(out, replace);
+  k.ops = std::move(out);
+  dce_dead_valu(k);
+}
+
+void pass_cooperative_fetch(kir_kernel& k, const build_params& p) {
+  // Excise the sequential fetch region (every op keyed "comp[...") and the
+  // `li == 0` machinery it hid behind, then emit the short strided loop all
+  // work-items execute.
+  std::vector<kir_op> out;
+  out.reserve(k.ops.size());
+  bool removed_any = false;
+  for (auto& op : k.ops) {
+    const bool fetch_op =
+        !op.addr_key.empty() && (util::starts_with(op.addr_key, "comp[") ||
+                                 util::starts_with(op.addr_key, "comp_index["));
+    if (fetch_op) {
+      removed_any = true;
+      continue;
+    }
+    out.push_back(op);
+  }
+  COF_CHECK_MSG(removed_any, "cooperative-fetch pass found no fetch region");
+  k.ops = std::move(out);
+  dce_dead_valu(k);
+
+  // Strided cooperative loop: one body, every work-item participates.
+  (void)p;
+  kir_kernel tmp;
+  tmp.next_value = k.next_value;
+  const int kk = tmp.new_value();
+  tmp.emit(op_kind::valu, "", kk);                       // k = li
+  const int v1 = tmp.new_value(), v2 = tmp.new_value();
+  tmp.emit(op_kind::vmem_load, "coop[comp]", v1, {kk});
+  tmp.emit(op_kind::vmem_load, "coop[index]", v2, {kk});
+  tmp.emit(op_kind::lds_write, "", -1, {v1});
+  tmp.emit(op_kind::lds_write, "", -1, {v2});
+  tmp.emit(op_kind::valu, "", kk, {kk});                 // k += wg_size
+  tmp.emit(op_kind::vcmp, "", -1, {kk});
+  tmp.emit(op_kind::branch, "");
+  k.next_value = tmp.next_value;
+
+  auto it = std::find_if(k.ops.begin(), k.ops.end(), [](const kir_op& op) {
+    return op.kind == op_kind::barrier;
+  });
+  COF_CHECK_MSG(it != k.ops.end(), "comparer IR lost its barrier");
+  k.ops.insert(it, tmp.ops.begin(), tmp.ops.end());
+}
+
+void pass_promote_lds_to_reg(kir_kernel& k, const build_params& p) {
+  // The chain re-reads l_comp[k] / l_comp_index[...] from LDS; keep one
+  // read per unrolled iteration and mark it uniform (the pattern is
+  // work-group-invariant, so the value lands in a scalar register). The
+  // freed schedule lets the compiler preload the whole pattern window right
+  // after the barrier; each promoted sub-dword char additionally needs a
+  // scalar byte-extract whose result stays live alongside it, and the index
+  // arithmetic turns scalar. Together these are the SGPR-pressure jump of
+  // Table X.
+  (void)p;
+  std::map<std::string, int> canonical;
+  std::map<int, int> replace;
+  std::vector<kir_op> hoisted;
+  std::vector<kir_op> out;
+  out.reserve(k.ops.size());
+  for (auto& op : k.ops) {
+    const bool promoted_char = op.kind == op_kind::lds_read &&
+                               util::starts_with(op.addr_key, "l_comp[k]/");
+    const bool promoted_index = op.kind == op_kind::lds_read &&
+                                util::starts_with(op.addr_key, "l_comp_index/");
+    if (promoted_char || promoted_index) {
+      auto [it, inserted] = canonical.emplace(op.addr_key, op.def);
+      if (!inserted) {
+        replace[op.def] = it->second;
+        continue;
+      }
+      op.uniform = true;
+      hoisted.push_back(op);
+      if (promoted_char) {
+        // s_bfe byte extract: the unpacked char value, same lifetime.
+        kir_op bfe;
+        bfe.kind = op_kind::salu;
+        bfe.def = -1;  // patched below (needs a fresh value id)
+        bfe.uses = {op.def};
+        bfe.uniform = true;
+        hoisted.push_back(bfe);
+      }
+      continue;
+    }
+    out.push_back(op);
+  }
+  // Assign value ids to the byte-extract results and keep them live to the
+  // end by adding them as uses of the final op.
+  std::vector<int> extracts;
+  for (auto& op : hoisted) {
+    if (op.kind == op_kind::salu && op.def == -1) {
+      op.def = k.new_value();
+      extracts.push_back(op.def);
+    }
+  }
+  // Scalar index bookkeeping (j counter, bound, base) that the scalarised
+  // chain keeps live across both sections.
+  for (int s = 0; s < 3; ++s) {
+    kir_op idx;
+    idx.kind = op_kind::salu;
+    idx.def = k.new_value();
+    idx.uniform = true;
+    hoisted.push_back(idx);
+    extracts.push_back(idx.def);
+  }
+
+  apply_replacements(out, replace);
+
+  auto it = std::find_if(out.begin(), out.end(), [](const kir_op& op) {
+    return op.kind == op_kind::barrier;
+  });
+  COF_CHECK_MSG(it != out.end(), "comparer IR lost its barrier");
+  out.insert(it + 1, hoisted.begin(), hoisted.end());
+
+  // Pin the promoted values' live ranges to the end of the kernel (they are
+  // reused by both strand sections).
+  COF_CHECK(!out.empty());
+  for (int v : extracts) out.back().uses.push_back(v);
+  for (const auto& [key, val] : canonical) out.back().uses.push_back(val);
+  k.ops = std::move(out);
+}
+
+}  // namespace gpumodel

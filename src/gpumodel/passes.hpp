@@ -1,0 +1,32 @@
+// The four optimisation passes that turn the baseline comparer IR into the
+// paper's opt1..opt4 variants. Each mirrors what the source-level change
+// lets the real compiler do:
+//
+//   pass_restrict_cse       (opt1) — with `__restrict` on the pointer
+//     arguments, loads of the same address with no intervening may-alias
+//     store are merged; the duplicated reference-char loads (and their
+//     waitcnt/address code) disappear.
+//   pass_register_hoist     (opt2) — loop-invariant global loads
+//     (loci[i], flag[i]) move out of loop bodies into one preheader load
+//     whose value stays live in a register.
+//   pass_cooperative_fetch  (opt3) — the `li == 0` sequential fetch loop
+//     (partially unrolled by the compiler, with a remainder loop) is
+//     replaced by a short strided loop executed by every work-item.
+//   pass_promote_lds_to_reg (opt4) — the pattern character re-read from LDS
+//     by every chain condition is read once and kept in a register; the
+//     promoted values are work-group-uniform, so they occupy *scalar*
+//     registers — across the unrolled iterations this is what pushes SGPR
+//     pressure past the occupancy cliff (Table X).
+#pragma once
+
+#include "gpumodel/builder.hpp"
+#include "gpumodel/kir.hpp"
+
+namespace gpumodel {
+
+void pass_restrict_cse(kir_kernel& k);
+void pass_register_hoist(kir_kernel& k);
+void pass_cooperative_fetch(kir_kernel& k, const build_params& p);
+void pass_promote_lds_to_reg(kir_kernel& k, const build_params& p);
+
+}  // namespace gpumodel

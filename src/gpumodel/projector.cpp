@@ -1,0 +1,122 @@
+#include "gpumodel/projector.hpp"
+
+namespace gpumodel {
+
+namespace {
+
+// Per-kernel memory-coalescing factors (lanes per DRAM transaction).
+// The finder streams: work-item i reads chr[i+k], so a wave's 64 loads span
+// ~64+plen contiguous bytes — near-perfect coalescing. The comparer gathers
+// chr[loci[i]+k] at PAM-filtered loci: neighbours in a wave are several
+// dozen bases apart, so most lanes pay their own transaction, with partial
+// overlap when loci cluster.
+constexpr double kFinderCoalescing = 48.0;
+
+// Host genome ingest (disk read + FASTA parse + chunk staging) in bytes/s.
+// The paper's elapsed time excludes reading the small *input* (query) file
+// but not the multi-gigabyte genome data; this term models that share.
+constexpr double kGenomeIngestBytesPerSec = 3.0e8;
+constexpr double kComparerCoalescing = 1.4;
+
+kernel_projection project_kernel(const gpu_spec& gpu, const std::string& name,
+                                 const prof::event_counts& sim_events, double scale,
+                                 u32 wg_size, const kir_kernel& k,
+                                 u32 base_code_bytes, double coalescing,
+                                 bool sequential_fetch) {
+  kernel_projection kp;
+  kp.kernel = name;
+  kp.regs = estimate_registers(k);
+  kp.occ = occupancy(gpu, kp.regs, k.lds_bytes, wg_size);
+  kp.code_bytes = code_length_bytes(k);
+
+  kernel_time_input in;
+  in.events = sim_events.scaled(scale);
+  in.wg_size = wg_size;
+  in.waves_per_simd = kp.occ.waves_per_simd;
+  in.code_bytes = kp.code_bytes;
+  in.base_code_bytes = base_code_bytes;
+  in.coalescing = coalescing;
+  in.sequential_fetch = sequential_fetch;
+  kp.time = kernel_time(gpu, in);
+  return kp;
+}
+
+}  // namespace
+
+kernel_projection project_comparer(const gpu_spec& gpu, const prof::event_counts& ev,
+                                   double scale, u32 wg_size,
+                                   cof::comparer_variant variant) {
+  const kir_kernel base = build_comparer_base();
+  const kir_kernel k = build_comparer_variant(variant);
+  const bool sequential_fetch = variant < cof::comparer_variant::opt3;
+  return project_kernel(gpu, std::string("comparer/") +
+                                 cof::comparer_variant_name(variant),
+                        ev, scale, wg_size, k, code_length_bytes(base),
+                        kComparerCoalescing, sequential_fetch);
+}
+
+elapsed_projection project_elapsed(const gpu_spec& gpu, const projection_input& in) {
+  COF_CHECK(in.profile != nullptr);
+  elapsed_projection out;
+
+  // Finder.
+  const auto finder_prof = in.profile->get("finder");
+  const kir_kernel finder_k = build_finder();
+  auto fp = project_kernel(gpu, "finder", finder_prof.events, in.scale, in.wg_size,
+                           finder_k, 0, kFinderCoalescing,
+                           /*sequential_fetch=*/true);
+  out.finder_s = fp.time.total_s;
+  out.kernels.push_back(fp);
+
+  // Comparer (selected variant).
+  const std::string ckey =
+      std::string("comparer/") + cof::comparer_variant_name(in.variant);
+  const auto comparer_prof = in.profile->get(ckey);
+  auto cp = project_comparer(gpu, comparer_prof.events, in.scale, in.wg_size,
+                             in.variant);
+  out.comparer_s = cp.time.total_s;
+  out.kernels.push_back(cp);
+
+  // Transfers + launch overheads + host share, all scaled linearly.
+  // Launch/command counts at target scale come from the target chunking
+  // (they do not scale linearly with genome size); transferred bytes do.
+  const double target_finder_launches = static_cast<double>(in.target_chunks);
+  const double target_comparer_launches =
+      static_cast<double>(in.target_chunks) * static_cast<double>(in.queries);
+  // ~4 transfer commands around each finder launch (chunk, pattern, zero,
+  // count) and ~6 around each comparer launch (query, zero, count, 3 reads).
+  const double xfer_ops =
+      target_finder_launches * 4.0 + target_comparer_launches * 6.0;
+  out.transfer_s = transfer_seconds(
+      gpu,
+      static_cast<util::u64>(
+          static_cast<double>(in.pipeline.h2d_bytes + in.pipeline.d2h_bytes) *
+          in.scale),
+      static_cast<util::u64>(xfer_ops));
+  out.launch_s =
+      (target_finder_launches + target_comparer_launches) * launch_overhead_seconds();
+  const double full_bases = static_cast<double>(in.pipeline.h2d_bytes) * in.scale;
+  out.host_s = in.host_seconds * in.scale + full_bases / kGenomeIngestBytesPerSec;
+
+  out.total_s = out.finder_s + out.comparer_s + out.transfer_s + out.launch_s +
+                out.host_s;
+  return out;
+}
+
+resource_row resource_usage(cof::comparer_variant v, u32 wg_size) {
+  const kir_kernel k = build_comparer_variant(v);
+  const register_usage regs = estimate_registers(k);
+  // Table X was collected on the MI100 toolchain; the occupancy rules are
+  // identical across the three parts.
+  const occupancy_result occ = occupancy(gpu_by_name("MI100"), regs, k.lds_bytes,
+                                         wg_size);
+  resource_row row;
+  row.variant = v;
+  row.code_bytes = code_length_bytes(k);
+  row.sgprs = regs.sgprs;
+  row.vgprs = regs.vgprs;
+  row.occupancy = occ.waves_per_simd;
+  return row;
+}
+
+}  // namespace gpumodel

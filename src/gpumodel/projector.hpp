@@ -1,0 +1,75 @@
+// Full-run elapsed-time projector: combines (a) measured event counts from
+// an instrumented pipeline run on a scaled synthetic assembly, (b) the ISA
+// model's per-variant code length and occupancy, and (c) the device specs,
+// into the paper-style elapsed seconds of Tables VIII/IX and the kernel
+// seconds of Fig. 2. Events scale linearly in genome size (the search is a
+// streaming scan), so a 1/256-scale run projects to the full assembly by
+// multiplying counts by 256 — the scale is recorded alongside every result.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "gpumodel/builder.hpp"
+#include "gpumodel/isa.hpp"
+#include "gpumodel/occupancy.hpp"
+#include "gpumodel/timing.hpp"
+
+namespace gpumodel {
+
+struct projection_input {
+  /// Sim-scale per-kernel profiles (keys "finder", "comparer/<variant>").
+  const prof::profiler* profile = nullptr;
+  /// Sim-scale transfer/launch accounting.
+  cof::pipeline_metrics pipeline;
+  /// Multiplier from sim scale to target scale (e.g. 256).
+  double scale = 1.0;
+  u32 wg_size = 256;
+  cof::comparer_variant variant = cof::comparer_variant::base;
+  /// Host-side seconds at sim scale (engine elapsed minus kernel wall).
+  double host_seconds = 0.0;
+  /// Chunk count at the *target* scale (launch counts do not scale
+  /// linearly: the device chunk size is fixed, so a full assembly on a
+  /// 16-32 GB GPU needs far fewer chunks per Gbp than a scaled run).
+  util::u64 target_chunks = 0;
+  util::u64 queries = 0;
+};
+
+struct kernel_projection {
+  std::string kernel;
+  kernel_time_breakdown time;
+  occupancy_result occ;
+  u32 code_bytes = 0;
+  register_usage regs;
+};
+
+struct elapsed_projection {
+  double finder_s = 0;
+  double comparer_s = 0;
+  double transfer_s = 0;
+  double launch_s = 0;
+  double host_s = 0;
+  double total_s = 0;
+  std::vector<kernel_projection> kernels;
+};
+
+elapsed_projection project_elapsed(const gpu_spec& gpu, const projection_input& in);
+
+/// Modelled kernel-only seconds for one comparer variant (Fig. 2 series).
+kernel_projection project_comparer(const gpu_spec& gpu, const prof::event_counts& ev,
+                                   double scale, u32 wg_size,
+                                   cof::comparer_variant variant);
+
+/// Table X row for one variant (code length, registers, occupancy on the
+/// reference device MI100).
+struct resource_row {
+  cof::comparer_variant variant;
+  u32 code_bytes = 0;
+  u32 sgprs = 0;
+  u32 vgprs = 0;
+  u32 occupancy = 0;
+};
+resource_row resource_usage(cof::comparer_variant v, u32 wg_size = 256);
+
+}  // namespace gpumodel

@@ -1,0 +1,54 @@
+#include "gpumodel/regalloc.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace gpumodel {
+
+register_usage estimate_registers(const kir_kernel& k) {
+  struct interval {
+    usize def = 0;
+    usize last_use = 0;
+    bool uniform = false;
+  };
+  std::map<int, interval> live;
+
+  for (usize idx = 0; idx < k.ops.size(); ++idx) {
+    const kir_op& op = k.ops[idx];
+    if (op.def >= 0) {
+      auto [it, inserted] = live.emplace(op.def, interval{idx, idx, op.uniform});
+      if (!inserted) {
+        // redefinition (e.g. accumulator): extend the range
+        it->second.last_use = std::max(it->second.last_use, idx);
+        it->second.uniform = it->second.uniform && op.uniform;
+      } else {
+        it->second.uniform = op.uniform;
+      }
+    }
+    for (int u : op.uses) {
+      auto it = live.find(u);
+      if (it != live.end()) it->second.last_use = std::max(it->second.last_use, idx);
+    }
+  }
+
+  // Sweep: +1 at def, -1 after last use.
+  std::vector<int> delta_v(k.ops.size() + 1, 0), delta_s(k.ops.size() + 1, 0);
+  for (const auto& [value, iv] : live) {
+    auto& d = iv.uniform ? delta_s : delta_v;
+    d[iv.def] += 1;
+    d[iv.last_use + 1] -= 1;
+  }
+  register_usage r;
+  int cur_v = 0, cur_s = 0;
+  for (usize i = 0; i <= k.ops.size(); ++i) {
+    cur_v += delta_v[i];
+    cur_s += delta_s[i];
+    r.peak_live_v = std::max<u32>(r.peak_live_v, static_cast<u32>(cur_v));
+    r.peak_live_s = std::max<u32>(r.peak_live_s, static_cast<u32>(cur_s));
+  }
+  r.vgprs = r.peak_live_v + k.base_vgprs;
+  r.sgprs = r.peak_live_s + k.base_sgprs;
+  return r;
+}
+
+}  // namespace gpumodel

@@ -1,0 +1,21 @@
+// Register-pressure estimation: a linear sweep over value live ranges
+// ([defining op, last using op]) yields the peak number of simultaneously
+// live vector and scalar values; adding the kernel's fixed overhead
+// (argument segment, descriptors, exec/vcc masks) gives the VGPR/SGPR
+// counts Table X reports.
+#pragma once
+
+#include "gpumodel/kir.hpp"
+
+namespace gpumodel {
+
+struct register_usage {
+  u32 vgprs = 0;
+  u32 sgprs = 0;
+  u32 peak_live_v = 0;  // before fixed overhead
+  u32 peak_live_s = 0;
+};
+
+register_usage estimate_registers(const kir_kernel& k);
+
+}  // namespace gpumodel

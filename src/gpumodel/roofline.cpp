@@ -1,0 +1,50 @@
+#include "gpumodel/roofline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace gpumodel {
+
+roofline_point place_on_roofline(const gpu_spec& gpu, const std::string& kernel,
+                                 double ops, double dram_bytes, double seconds) {
+  roofline_point p;
+  p.kernel = kernel;
+  p.peak_gops = gpu.compute_units() * gpu.lanes_per_cu * gpu.gpu_clock_mhz * 1e6 / 1e9;
+  p.arithmetic_intensity = dram_bytes > 0 ? ops / dram_bytes : 0.0;
+  p.achieved_gops = seconds > 0 ? ops / seconds / 1e9 : 0.0;
+  p.bw_ceiling_gops = p.arithmetic_intensity * gpu.peak_bw_gbs;
+  p.memory_bound = p.bw_ceiling_gops < p.peak_gops;
+  return p;
+}
+
+roofline_point roofline_from_events(const gpu_spec& gpu, const std::string& kernel,
+                                    const prof::event_counts& ev, double coalescing,
+                                    double seconds) {
+  const double ops = static_cast<double>(ev[prof::ev::compare]) +
+                     static_cast<double>(ev[prof::ev::loop_iter]);
+  const double transactions =
+      static_cast<double>(ev[prof::ev::global_load] + ev[prof::ev::global_store]) /
+      std::max(1.0, coalescing);
+  const double dram_bytes = transactions * 64.0;
+  return place_on_roofline(gpu, kernel, ops, dram_bytes, seconds);
+}
+
+std::string format_roofline(const gpu_spec& gpu,
+                            const std::vector<roofline_point>& points) {
+  std::string out = util::format(
+      "Roofline (%s): peak %.0f Gops/s, %.0f GB/s\n", gpu.name.c_str(),
+      points.empty() ? 0.0 : points[0].peak_gops, gpu.peak_bw_gbs);
+  out += util::format("%-18s %12s %14s %14s %8s\n", "kernel", "ops/byte",
+                      "achieved Gops", "ceiling Gops", "bound");
+  for (const auto& p : points) {
+    const double ceiling = std::min(p.peak_gops, p.bw_ceiling_gops);
+    out += util::format("%-18s %12.3f %14.2f %14.2f %8s\n", p.kernel.c_str(),
+                        p.arithmetic_intensity, p.achieved_gops, ceiling,
+                        p.memory_bound ? "memory" : "compute");
+  }
+  return out;
+}
+
+}  // namespace gpumodel

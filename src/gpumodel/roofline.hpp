@@ -1,0 +1,40 @@
+// Roofline placement: where a kernel sits relative to the device's compute
+// and memory ceilings, computed from the same measured event counts the
+// timing model consumes. Explains at a glance *why* the comparer is the
+// hotspot (deep in the bandwidth-bound region with scatter-degraded
+// effective bandwidth) while the finder streams.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpumodel/specs.hpp"
+#include "profile/counters.hpp"
+
+namespace gpumodel {
+
+struct roofline_point {
+  std::string kernel;
+  double arithmetic_intensity = 0;  // useful ops per DRAM byte
+  double achieved_gops = 0;         // modelled useful ops/s
+  double peak_gops = 0;             // device compute ceiling
+  double bw_ceiling_gops = 0;       // bandwidth ceiling at this intensity
+  bool memory_bound = false;
+};
+
+/// Place one kernel: `ops` = useful lane operations (we use the chain
+/// compares + loop bookkeeping), `dram_bytes` = modelled DRAM traffic,
+/// `seconds` = modelled kernel time.
+roofline_point place_on_roofline(const gpu_spec& gpu, const std::string& kernel,
+                                 double ops, double dram_bytes, double seconds);
+
+/// Derive a kernel's roofline point from measured events + a modelled time.
+roofline_point roofline_from_events(const gpu_spec& gpu, const std::string& kernel,
+                                    const prof::event_counts& ev, double coalescing,
+                                    double seconds);
+
+/// ASCII roofline chart with the given points marked.
+std::string format_roofline(const gpu_spec& gpu,
+                            const std::vector<roofline_point>& points);
+
+}  // namespace gpumodel

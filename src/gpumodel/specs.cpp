@@ -1,0 +1,58 @@
+#include "gpumodel/specs.hpp"
+
+#include "util/strings.hpp"
+
+namespace gpumodel {
+
+const std::vector<gpu_spec>& paper_gpus() {
+  static const std::vector<gpu_spec> gpus = [] {
+    std::vector<gpu_spec> v(3);
+    v[0].name = "RVII";
+    v[0].global_mem_gb = 16;
+    v[0].gpu_clock_mhz = 1800;
+    v[0].mem_clock_mhz = 1000;
+    v[0].cores = 3840;
+    v[0].l2_mb = 8;
+    v[0].peak_bw_gbs = 1024;
+
+    v[1].name = "MI60";
+    v[1].global_mem_gb = 32;
+    v[1].gpu_clock_mhz = 1800;
+    v[1].mem_clock_mhz = 1000;
+    v[1].cores = 4096;
+    v[1].l2_mb = 8;
+    v[1].peak_bw_gbs = 1024;
+
+    v[2].name = "MI100";
+    v[2].global_mem_gb = 32;
+    v[2].gpu_clock_mhz = 1502;
+    v[2].mem_clock_mhz = 1200;
+    v[2].cores = 7680;
+    v[2].l2_mb = 8;
+    v[2].peak_bw_gbs = 1228;
+    return v;
+  }();
+  return gpus;
+}
+
+const gpu_spec& gpu_by_name(const std::string& name) {
+  for (const auto& g : paper_gpus()) {
+    if (g.name == name) return g;
+  }
+  util::die("unknown GPU: " + name);
+}
+
+std::string format_table7() {
+  std::string out;
+  out += util::format("%-7s %12s %11s %11s %7s %9s %13s\n", "Device", "Mem (GB)",
+                      "Clock(MHz)", "MemClk(MHz)", "Cores", "L2 (MB)",
+                      "Peak BW(GB/s)");
+  for (const auto& g : paper_gpus()) {
+    out += util::format("%-7s %12.0f %11.0f %11.0f %7u %9.0f %13.0f\n", g.name.c_str(),
+                        g.global_mem_gb, g.gpu_clock_mhz, g.mem_clock_mhz, g.cores,
+                        g.l2_mb, g.peak_bw_gbs);
+  }
+  return out;
+}
+
+}  // namespace gpumodel

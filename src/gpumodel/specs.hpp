@@ -1,0 +1,45 @@
+// Device specifications of the paper's three AMD GPUs (Table VII), plus the
+// host-link and microarchitecture parameters the timing model needs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gpumodel {
+
+using util::u32;
+using util::u64;
+
+struct gpu_spec {
+  std::string name;
+  double global_mem_gb = 0;
+  double gpu_clock_mhz = 0;
+  double mem_clock_mhz = 0;
+  u32 cores = 0;        // stream processors (64 per compute unit)
+  double l2_mb = 0;
+  double peak_bw_gbs = 0;
+
+  // Microarchitecture constants shared by the GCN/CDNA parts evaluated.
+  u32 lanes_per_cu = 64;       // SIMD lanes per CU (wave64)
+  u32 simds_per_cu = 4;
+  u32 max_waves_per_simd = 10;
+  u32 vgpr_file_per_simd = 256;   // VGPRs addressable per wave slot budget
+  u32 sgpr_file_per_simd = 800;
+  u32 lds_per_cu_bytes = 64 * 1024;
+  double pcie_gbs = 14.0;      // effective host link bandwidth
+
+  u32 compute_units() const { return cores / lanes_per_cu; }
+};
+
+/// Table VII rows: Radeon VII, MI60, MI100.
+const std::vector<gpu_spec>& paper_gpus();
+
+/// Lookup by name ("RVII", "MI60", "MI100"); dies on unknown names.
+const gpu_spec& gpu_by_name(const std::string& name);
+
+/// Render Table VII.
+std::string format_table7();
+
+}  // namespace gpumodel

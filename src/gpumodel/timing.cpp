@@ -1,0 +1,146 @@
+#include "gpumodel/timing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gpumodel {
+
+namespace {
+
+// --- calibration constants -------------------------------------------------
+// Derived constants follow the hardware (transaction size, clock, lane
+// counts); the three starred (*) constants are calibrated once against the
+// paper's RVII rows (Table VIII base elapsed, Fig. 2 opt4 cliff, Table VIII
+// OCL-vs-SYCL gap) and then reused unchanged for every other device,
+// dataset and variant. EXPERIMENTS.md tabulates paper-vs-model.
+
+// Dynamic VALU instructions charged per counted event (per active lane).
+constexpr double kInstPerCompare = 14.0;  // the IUPAC chain, short-circuit avg
+constexpr double kInstPerLoopIter = 6.0;  // index read, bounds, increment
+constexpr double kInstPerGlobalLoad = 4.0;  // address + waitcnt + issue
+constexpr double kInstPerLocalAccess = 2.0;
+constexpr double kInstPerAtomic = 8.0;
+constexpr double kInstPerItem = 12.0;     // prologue/epilogue
+
+// Lane utilisation under heavy divergence (early exits, padded tails).
+constexpr double kLaneUtilisation = 0.45;
+
+// Memory system.
+constexpr double kDramTransactionBytes = 64.0;
+constexpr double kL2HitRate = 0.15;          // scattered locus gathers mostly miss
+constexpr double kMemLatencyCycles = 650.0;  // DRAM round trip (GCN/CDNA)
+constexpr double kOutstandingPerWave = 2.2;  // memory-level parallelism per wave
+
+// Fraction of re-issued same-address loads that still reach DRAM (the rest
+// hit the L1/L2 the first touch warmed). Repeats are the loci[i]/flag[i]
+// reloads the baseline performs and the duplicate reference loads restrict
+// removes.
+constexpr double kRepeatMissRate = 0.08;
+
+// (*) Achieved fraction of peak DRAM bandwidth for fully scattered sub-word
+// gathers (row-buffer misses, channel imbalance, UTC pressure). Streaming
+// access approaches kStreamEfficiency. Calibrated to Table VIII (RVII/hg19).
+constexpr double kRandomAccessEfficiency = 0.012;
+constexpr double kStreamEfficiency = 0.75;
+
+// (*) Occupancy cliff: achieved scattered-gather throughput collapses
+// super-linearly once resident waves drop below the hardware cap — with
+// 9/10 waves the paper measures a ~2x kernel-time regression (Fig. 2,
+// opt4); the paper offers the observation, not a mechanism, so the
+// exponent is calibrated to it.
+constexpr double kOccupancyCliffExponent = 6.5;
+
+// (*) Wavefront-dispatch efficiency for small work-groups: the ROCm
+// runtime's default (lws = NULL) wavefront-sized groups dispatch one wave
+// per group and lose back-to-back wave pairing; the SYCL port's 256-item
+// groups do not. Calibrated to the Table VIII OCL-vs-SYCL gap.
+constexpr double kSmallGroupEfficiency = 0.92;
+
+// (*) Throughput share lost while whole work-groups park at the barrier
+// waiting for work-item 0's sequential local-memory fetch (parked waves
+// still hold wave slots, lowering effective occupancy). Removed by opt3's
+// cooperative fetch. Calibrated to the Fig. 2 opt2->opt3 step.
+constexpr double kSerialFetchPenalty = 0.065;
+
+// Per-launch fixed cost and per-transfer-command setup (ROCm-era driver).
+constexpr double kLaunchOverheadSec = 20e-6;
+constexpr double kTransferSetupSec = 10e-6;
+
+}  // namespace
+
+double launch_overhead_seconds() { return kLaunchOverheadSec; }
+
+double transfer_seconds(const gpu_spec& gpu, util::u64 bytes, util::u64 ops) {
+  return static_cast<double>(bytes) / (gpu.pcie_gbs * 1e9) +
+         static_cast<double>(ops) * kTransferSetupSec;
+}
+
+kernel_time_breakdown kernel_time(const gpu_spec& gpu, const kernel_time_input& in) {
+  using prof::ev;
+  kernel_time_breakdown out;
+  const double clock_hz = gpu.gpu_clock_mhz * 1e6;
+  const double cus = gpu.compute_units();
+  const auto& e = in.events;
+
+  // --- compute term ---
+  // The static-code ratio folds in the per-iteration bookkeeping the
+  // variant's shorter body saves.
+  const double code_ratio =
+      in.base_code_bytes != 0
+          ? static_cast<double>(in.code_bytes) / static_cast<double>(in.base_code_bytes)
+          : 1.0;
+  const double inst =
+      kInstPerCompare * static_cast<double>(e[ev::compare]) +
+      code_ratio * kInstPerLoopIter * static_cast<double>(e[ev::loop_iter]) +
+      kInstPerGlobalLoad *
+          static_cast<double>(e[ev::global_load] + e[ev::global_load_repeat] +
+                              e[ev::global_store]) +
+      kInstPerLocalAccess * static_cast<double>(e[ev::local_load] + e[ev::local_store]) +
+      kInstPerAtomic * static_cast<double>(e[ev::atomic_op]) +
+      kInstPerItem * static_cast<double>(e[ev::work_item]);
+  const double lane_throughput = cus * gpu.lanes_per_cu * clock_hz * kLaneUtilisation;
+  out.compute_s = inst / lane_throughput;
+
+  // --- bandwidth term ---
+  // Achieved bandwidth interpolates between scattered-gather and streaming
+  // efficiency with the coalescing factor.
+  const double loads = static_cast<double>(e[ev::global_load]);
+  const double stores = static_cast<double>(e[ev::global_store]);
+  const double repeats = static_cast<double>(e[ev::global_load_repeat]);
+  const double transactions = (loads + stores) / std::max(1.0, in.coalescing);
+  const double dram_bytes = transactions * kDramTransactionBytes * (1.0 - kL2HitRate) +
+                            repeats * kDramTransactionBytes * kRepeatMissRate;
+  const double access_eff =
+      std::min(kStreamEfficiency,
+               kRandomAccessEfficiency +
+                   (in.coalescing / static_cast<double>(gpu.lanes_per_cu)) *
+                       (kStreamEfficiency - kRandomAccessEfficiency));
+  out.bandwidth_s = dram_bytes / (gpu.peak_bw_gbs * 1e9 * access_eff);
+
+  // --- latency term ---
+  const double wave_loads = (loads + stores) / gpu.lanes_per_cu;
+  const double latency_sec = kMemLatencyCycles / clock_hz;
+  const double parallel_slots = cus * gpu.simds_per_cu *
+                                static_cast<double>(in.waves_per_simd) *
+                                kOutstandingPerWave;
+  out.latency_s = wave_loads * latency_sec / std::max(1.0, parallel_slots);
+
+  out.total_s = std::max({out.compute_s, out.bandwidth_s, out.latency_s});
+  out.bound = out.total_s == out.bandwidth_s
+                  ? "bandwidth"
+                  : (out.total_s == out.latency_s ? "latency" : "compute");
+
+  // Occupancy cliff (see constant above).
+  const double cliff =
+      std::pow(static_cast<double>(gpu.max_waves_per_simd) /
+                   std::max(1.0, static_cast<double>(in.waves_per_simd)),
+               kOccupancyCliffExponent);
+  // Small-work-group dispatch penalty.
+  const double dispatch_eff = in.wg_size >= 128 ? 1.0 : kSmallGroupEfficiency;
+  // Parked-wave penalty of the sequential (single-work-item) fetch.
+  const double fetch_penalty = in.sequential_fetch ? 1.0 + kSerialFetchPenalty : 1.0;
+  out.total_s = out.total_s * cliff * fetch_penalty / dispatch_eff;
+  return out;
+}
+
+}  // namespace gpumodel

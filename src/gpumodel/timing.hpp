@@ -1,0 +1,55 @@
+// Analytic kernel-time model. Inputs are *measured* dynamic event counts
+// from instrumented kernel runs (scaled to the target genome size), the
+// device specification (Table VII), the variant's occupancy (from the ISA
+// model), and a per-kernel memory-coalescing factor. Three throughput terms
+// bound the kernel; the slowest wins:
+//
+//   compute  — weighted dynamic instructions across all lanes
+//   bandwidth — DRAM traffic (transactions x 64 B, discounted by L2 hits)
+//   latency  — dependent-load latency, hidden by wave parallelism; this is
+//              the binding term for the scattered-access comparer, and it
+//              degrades steeply when occupancy falls below the device cap
+//              (the opt4 cliff of Fig. 2 / Table X)
+//
+// Calibration constants live in timing.cpp with the rationale for each;
+// EXPERIMENTS.md records paper-vs-model numbers.
+#pragma once
+
+#include "gpumodel/occupancy.hpp"
+#include "gpumodel/specs.hpp"
+#include "profile/counters.hpp"
+
+namespace gpumodel {
+
+struct kernel_time_input {
+  prof::event_counts events;  // dynamic counts at target scale
+  u32 wg_size = 256;
+  u32 waves_per_simd = 10;    // occupancy of this kernel variant
+  u32 code_bytes = 0;         // static code length of this variant
+  u32 base_code_bytes = 0;    // static code length of the baseline variant
+  /// Average lanes whose global loads fall in the same DRAM transaction
+  /// (64 = fully coalesced streaming scan, 1 = fully scattered).
+  double coalescing = 1.0;
+  /// Work-item 0 performs the local-memory fetch alone while the rest of
+  /// the group parks at the barrier (base..opt2); opt3's cooperative fetch
+  /// clears this.
+  bool sequential_fetch = false;
+};
+
+struct kernel_time_breakdown {
+  double compute_s = 0;
+  double bandwidth_s = 0;
+  double latency_s = 0;
+  double total_s = 0;         // max of the three + per-launch overhead
+  const char* bound = "?";
+};
+
+kernel_time_breakdown kernel_time(const gpu_spec& gpu, const kernel_time_input& in);
+
+/// Fixed cost per kernel enqueue (driver + doorbell + drain), seconds.
+double launch_overhead_seconds();
+
+/// Host<->device transfer time for `bytes` plus per-operation setup.
+double transfer_seconds(const gpu_spec& gpu, util::u64 bytes, util::u64 ops);
+
+}  // namespace gpumodel

@@ -1,0 +1,204 @@
+// oclsim — an OpenCL 1.2-flavoured host API facade over the xpu engine.
+//
+// This reproduces the *source* programming model the paper migrates away
+// from: explicit platform/device/context/queue setup, cl_mem objects,
+// clSetKernelArg marshaling (including size-only local-memory arguments),
+// clEnqueueNDRangeKernel with runtime-chosen work-group sizes when lws is
+// NULL, blocking/non-blocking buffer reads/writes, event profiling, and
+// manual clRetain/clRelease reference counting.
+//
+// One deliberate substitution (documented in DESIGN.md): we cannot JIT
+// OpenCL C. clCreateProgramWithSource accepts and stores the OpenCL C
+// source (the application ships it, and the Table I analysis consumes it),
+// clBuildProgram "compiles" it by verifying that every __kernel declared in
+// the source has a registered native implementation (see cl_registry.hpp),
+// and clCreateKernel binds by name.
+#pragma once
+
+#include <cstddef>
+
+#include "util/common.hpp"
+
+// ---------------------------------------------------------------------------
+// scalar typedefs & error codes (values match the Khronos headers)
+// ---------------------------------------------------------------------------
+
+using cl_int = util::i32;
+using cl_uint = util::u32;
+using cl_long = util::i64;
+using cl_ulong = util::u64;
+using cl_bool = cl_uint;
+using cl_bitfield = cl_ulong;
+using cl_mem_flags = cl_bitfield;
+using cl_command_queue_properties = cl_bitfield;
+using cl_device_type = cl_bitfield;
+using cl_platform_info = cl_uint;
+using cl_device_info = cl_uint;
+using cl_program_build_info = cl_uint;
+using cl_profiling_info = cl_uint;
+
+inline constexpr cl_int CL_SUCCESS = 0;
+inline constexpr cl_int CL_DEVICE_NOT_FOUND = -1;
+inline constexpr cl_int CL_BUILD_PROGRAM_FAILURE = -11;
+inline constexpr cl_int CL_INVALID_VALUE = -30;
+inline constexpr cl_int CL_INVALID_PLATFORM = -32;
+inline constexpr cl_int CL_INVALID_DEVICE = -33;
+inline constexpr cl_int CL_INVALID_CONTEXT = -34;
+inline constexpr cl_int CL_INVALID_COMMAND_QUEUE = -36;
+inline constexpr cl_int CL_INVALID_MEM_OBJECT = -38;
+inline constexpr cl_int CL_INVALID_BUFFER_SIZE = -61;
+inline constexpr cl_int CL_INVALID_PROGRAM = -44;
+inline constexpr cl_int CL_INVALID_PROGRAM_EXECUTABLE = -45;
+inline constexpr cl_int CL_INVALID_KERNEL_NAME = -46;
+inline constexpr cl_int CL_INVALID_KERNEL = -48;
+inline constexpr cl_int CL_INVALID_ARG_INDEX = -49;
+inline constexpr cl_int CL_INVALID_ARG_VALUE = -50;
+inline constexpr cl_int CL_INVALID_ARG_SIZE = -51;
+inline constexpr cl_int CL_INVALID_KERNEL_ARGS = -52;
+inline constexpr cl_int CL_INVALID_WORK_DIMENSION = -53;
+inline constexpr cl_int CL_INVALID_WORK_GROUP_SIZE = -54;
+inline constexpr cl_int CL_INVALID_GLOBAL_OFFSET = -56;
+inline constexpr cl_int CL_INVALID_EVENT = -58;
+inline constexpr cl_int CL_INVALID_OPERATION = -59;
+
+inline constexpr cl_bool CL_FALSE = 0;
+inline constexpr cl_bool CL_TRUE = 1;
+
+inline constexpr cl_device_type CL_DEVICE_TYPE_CPU = 1u << 1;
+inline constexpr cl_device_type CL_DEVICE_TYPE_GPU = 1u << 2;
+inline constexpr cl_device_type CL_DEVICE_TYPE_ACCELERATOR = 1u << 3;
+inline constexpr cl_device_type CL_DEVICE_TYPE_DEFAULT = 1u << 0;
+inline constexpr cl_device_type CL_DEVICE_TYPE_ALL = 0xFFFFFFFF;
+
+inline constexpr cl_mem_flags CL_MEM_READ_WRITE = 1u << 0;
+inline constexpr cl_mem_flags CL_MEM_WRITE_ONLY = 1u << 1;
+inline constexpr cl_mem_flags CL_MEM_READ_ONLY = 1u << 2;
+inline constexpr cl_mem_flags CL_MEM_USE_HOST_PTR = 1u << 3;
+inline constexpr cl_mem_flags CL_MEM_ALLOC_HOST_PTR = 1u << 4;
+inline constexpr cl_mem_flags CL_MEM_COPY_HOST_PTR = 1u << 5;
+
+inline constexpr cl_command_queue_properties CL_QUEUE_PROFILING_ENABLE = 1u << 1;
+
+inline constexpr cl_platform_info CL_PLATFORM_NAME = 0x0902;
+inline constexpr cl_platform_info CL_PLATFORM_VENDOR = 0x0903;
+
+inline constexpr cl_device_info CL_DEVICE_NAME = 0x102B;
+inline constexpr cl_device_info CL_DEVICE_VENDOR = 0x102C;
+inline constexpr cl_device_info CL_DEVICE_TYPE = 0x1000;
+inline constexpr cl_device_info CL_DEVICE_MAX_WORK_GROUP_SIZE = 0x1004;
+inline constexpr cl_device_info CL_DEVICE_LOCAL_MEM_SIZE = 0x1023;
+inline constexpr cl_device_info CL_DEVICE_GLOBAL_MEM_SIZE = 0x101F;
+inline constexpr cl_device_info CL_DEVICE_MAX_MEM_ALLOC_SIZE = 0x1010;
+
+inline constexpr cl_program_build_info CL_PROGRAM_BUILD_LOG = 0x1183;
+
+using cl_kernel_work_group_info = cl_uint;
+inline constexpr cl_kernel_work_group_info CL_KERNEL_WORK_GROUP_SIZE = 0x11B0;
+inline constexpr cl_kernel_work_group_info
+    CL_KERNEL_PREFERRED_WORK_GROUP_SIZE_MULTIPLE = 0x11B3;
+inline constexpr cl_kernel_work_group_info CL_KERNEL_LOCAL_MEM_SIZE = 0x11B2;
+
+inline constexpr cl_profiling_info CL_PROFILING_COMMAND_QUEUED = 0x1280;
+inline constexpr cl_profiling_info CL_PROFILING_COMMAND_SUBMIT = 0x1281;
+inline constexpr cl_profiling_info CL_PROFILING_COMMAND_START = 0x1282;
+inline constexpr cl_profiling_info CL_PROFILING_COMMAND_END = 0x1283;
+
+// ---------------------------------------------------------------------------
+// opaque object handles
+// ---------------------------------------------------------------------------
+
+struct _cl_platform_id;
+struct _cl_device_id;
+struct _cl_context;
+struct _cl_command_queue;
+struct _cl_mem;
+struct _cl_program;
+struct _cl_kernel;
+struct _cl_event;
+
+using cl_platform_id = _cl_platform_id*;
+using cl_device_id = _cl_device_id*;
+using cl_context = _cl_context*;
+using cl_command_queue = _cl_command_queue*;
+using cl_mem = _cl_mem*;
+using cl_program = _cl_program*;
+using cl_kernel = _cl_kernel*;
+using cl_event = _cl_event*;
+
+// ---------------------------------------------------------------------------
+// API entry points (the subset Cas-OFFinder's host program uses)
+// ---------------------------------------------------------------------------
+
+cl_int clGetPlatformIDs(cl_uint num_entries, cl_platform_id* platforms,
+                        cl_uint* num_platforms);
+cl_int clGetPlatformInfo(cl_platform_id platform, cl_platform_info param, size_t size,
+                         void* value, size_t* size_ret);
+
+cl_int clGetDeviceIDs(cl_platform_id platform, cl_device_type type, cl_uint num_entries,
+                      cl_device_id* devices, cl_uint* num_devices);
+cl_int clGetDeviceInfo(cl_device_id device, cl_device_info param, size_t size,
+                       void* value, size_t* size_ret);
+
+cl_context clCreateContext(const void* properties, cl_uint num_devices,
+                           const cl_device_id* devices, void* pfn_notify,
+                           void* user_data, cl_int* err);
+cl_int clRetainContext(cl_context ctx);
+cl_int clReleaseContext(cl_context ctx);
+
+cl_command_queue clCreateCommandQueue(cl_context ctx, cl_device_id device,
+                                      cl_command_queue_properties props, cl_int* err);
+cl_int clRetainCommandQueue(cl_command_queue q);
+cl_int clReleaseCommandQueue(cl_command_queue q);
+
+cl_mem clCreateBuffer(cl_context ctx, cl_mem_flags flags, size_t size, void* host_ptr,
+                      cl_int* err);
+cl_int clRetainMemObject(cl_mem mem);
+cl_int clReleaseMemObject(cl_mem mem);
+
+cl_program clCreateProgramWithSource(cl_context ctx, cl_uint count,
+                                     const char** strings, const size_t* lengths,
+                                     cl_int* err);
+cl_int clBuildProgram(cl_program program, cl_uint num_devices,
+                      const cl_device_id* device_list, const char* options,
+                      void* pfn_notify, void* user_data);
+cl_int clGetProgramBuildInfo(cl_program program, cl_device_id device,
+                             cl_program_build_info param, size_t size, void* value,
+                             size_t* size_ret);
+cl_int clRetainProgram(cl_program program);
+cl_int clReleaseProgram(cl_program program);
+
+cl_kernel clCreateKernel(cl_program program, const char* kernel_name, cl_int* err);
+cl_int clRetainKernel(cl_kernel kernel);
+cl_int clGetKernelWorkGroupInfo(cl_kernel kernel, cl_device_id device,
+                                cl_kernel_work_group_info param, size_t size,
+                                void* value, size_t* size_ret);
+cl_int clReleaseKernel(cl_kernel kernel);
+cl_int clSetKernelArg(cl_kernel kernel, cl_uint arg_index, size_t arg_size,
+                      const void* arg_value);
+
+cl_int clEnqueueNDRangeKernel(cl_command_queue q, cl_kernel kernel, cl_uint work_dim,
+                              const size_t* global_offset, const size_t* gws,
+                              const size_t* lws, cl_uint num_wait, const cl_event* wait,
+                              cl_event* event_out);
+cl_int clEnqueueReadBuffer(cl_command_queue q, cl_mem buffer, cl_bool blocking,
+                           size_t offset, size_t cb, void* ptr, cl_uint num_wait,
+                           const cl_event* wait, cl_event* event_out);
+cl_int clEnqueueWriteBuffer(cl_command_queue q, cl_mem buffer, cl_bool blocking,
+                            size_t offset, size_t cb, const void* ptr, cl_uint num_wait,
+                            const cl_event* wait, cl_event* event_out);
+cl_int clEnqueueCopyBuffer(cl_command_queue q, cl_mem src, cl_mem dst,
+                           size_t src_offset, size_t dst_offset, size_t cb,
+                           cl_uint num_wait, const cl_event* wait,
+                           cl_event* event_out);
+cl_int clEnqueueFillBuffer(cl_command_queue q, cl_mem buffer, const void* pattern,
+                           size_t pattern_size, size_t offset, size_t cb,
+                           cl_uint num_wait, const cl_event* wait,
+                           cl_event* event_out);
+
+cl_int clFlush(cl_command_queue q);
+cl_int clFinish(cl_command_queue q);
+cl_int clWaitForEvents(cl_uint num_events, const cl_event* events);
+cl_int clGetEventProfilingInfo(cl_event event, cl_profiling_info param, size_t size,
+                               void* value, size_t* size_ret);
+cl_int clRetainEvent(cl_event event);
+cl_int clReleaseEvent(cl_event event);

@@ -1,0 +1,574 @@
+// Implementation of the OpenCL host API facade.
+#include "oclsim/cl.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "oclsim/cl_objects.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using oclsim::arg_kind;
+using oclsim::arg_view;
+using util::usize;
+
+/// Copy a string result into the (size, value, size_ret) triple of Get*Info.
+cl_int info_string(const std::string& s, size_t size, void* value, size_t* size_ret) {
+  const size_t need = s.size() + 1;
+  if (size_ret != nullptr) *size_ret = need;
+  if (value != nullptr) {
+    if (size < need) return CL_INVALID_VALUE;
+    std::memcpy(value, s.c_str(), need);
+  }
+  return CL_SUCCESS;
+}
+
+template <class T>
+cl_int info_scalar(T v, size_t size, void* value, size_t* size_ret) {
+  if (size_ret != nullptr) *size_ret = sizeof(T);
+  if (value != nullptr) {
+    if (size < sizeof(T)) return CL_INVALID_VALUE;
+    std::memcpy(value, &v, sizeof(T));
+  }
+  return CL_SUCCESS;
+}
+
+void set_err(cl_int* err, cl_int v) {
+  if (err != nullptr) *err = v;
+}
+
+cl_event make_event(cl_ulong queued, cl_ulong start, cl_ulong end) {
+  auto* ev = new _cl_event();
+  ev->queued = queued;
+  ev->submit = queued;
+  ev->start = start;
+  ev->end = end;
+  return ev;
+}
+
+void maybe_out_event(cl_event* out, cl_ulong queued, cl_ulong start, cl_ulong end) {
+  if (out != nullptr) *out = make_event(queued, start, end);
+}
+
+/// Work-group size selection when the application passes lws == NULL. Real
+/// runtimes pick an implementation-defined size; AMD's OpenCL typically
+/// launches wavefront-sized (64) groups for 1D kernels. The OCL-vs-SYCL
+/// elapsed-time difference the paper reports partly stems from this choice
+/// (the SYCL port pins 256). We mirror it: largest power of two <= 64 that
+/// divides the global size.
+usize pick_local_size(usize gws) {
+  for (usize cand = 64; cand > 1; cand /= 2) {
+    if (gws % cand == 0) return cand;
+  }
+  return 1;
+}
+
+}  // namespace
+
+namespace oclsim {
+/// Exposed for the Table I / Table VIII analyses.
+usize default_local_size_for(usize gws) { return pick_local_size(gws); }
+}  // namespace oclsim
+
+// ---------------------------------------------------------------------------
+// platform & device
+// ---------------------------------------------------------------------------
+
+cl_int clGetPlatformIDs(cl_uint num_entries, cl_platform_id* platforms,
+                        cl_uint* num_platforms) {
+  if (num_platforms != nullptr) *num_platforms = 1;
+  if (platforms != nullptr) {
+    if (num_entries < 1) return CL_INVALID_VALUE;
+    platforms[0] = _cl_platform_id::instance();
+  }
+  return CL_SUCCESS;
+}
+
+cl_int clGetPlatformInfo(cl_platform_id platform, cl_platform_info param, size_t size,
+                         void* value, size_t* size_ret) {
+  if (platform != _cl_platform_id::instance()) return CL_INVALID_PLATFORM;
+  switch (param) {
+    case CL_PLATFORM_NAME: return info_string(platform->name, size, value, size_ret);
+    case CL_PLATFORM_VENDOR:
+      return info_string(platform->vendor, size, value, size_ret);
+    default: return CL_INVALID_VALUE;
+  }
+}
+
+cl_int clGetDeviceIDs(cl_platform_id platform, cl_device_type type, cl_uint num_entries,
+                      cl_device_id* devices, cl_uint* num_devices) {
+  if (platform != _cl_platform_id::instance()) return CL_INVALID_PLATFORM;
+  std::vector<cl_device_id> matched;
+  if ((type & (CL_DEVICE_TYPE_GPU | CL_DEVICE_TYPE_ACCELERATOR |
+               CL_DEVICE_TYPE_DEFAULT)) != 0 ||
+      type == CL_DEVICE_TYPE_ALL) {
+    matched.push_back(_cl_device_id::gpu());
+  }
+  if ((type & CL_DEVICE_TYPE_CPU) != 0 || type == CL_DEVICE_TYPE_ALL) {
+    matched.push_back(_cl_device_id::cpu());
+  }
+  if (matched.empty()) return CL_DEVICE_NOT_FOUND;
+  if (num_devices != nullptr) *num_devices = static_cast<cl_uint>(matched.size());
+  if (devices != nullptr) {
+    if (num_entries < 1) return CL_INVALID_VALUE;
+    const cl_uint n = std::min<cl_uint>(num_entries, static_cast<cl_uint>(matched.size()));
+    for (cl_uint i = 0; i < n; ++i) devices[i] = matched[i];
+  }
+  return CL_SUCCESS;
+}
+
+cl_int clGetDeviceInfo(cl_device_id device, cl_device_info param, size_t size,
+                       void* value, size_t* size_ret) {
+  if (device == nullptr) return CL_INVALID_DEVICE;
+  switch (param) {
+    case CL_DEVICE_NAME: return info_string(device->name, size, value, size_ret);
+    case CL_DEVICE_VENDOR:
+      return info_string("cas-offinder-repro", size, value, size_ret);
+    case CL_DEVICE_TYPE: return info_scalar(device->type, size, value, size_ret);
+    case CL_DEVICE_MAX_WORK_GROUP_SIZE:
+      return info_scalar<size_t>(1024, size, value, size_ret);
+    case CL_DEVICE_LOCAL_MEM_SIZE:
+      return info_scalar<cl_ulong>(64 * 1024, size, value, size_ret);
+    case CL_DEVICE_GLOBAL_MEM_SIZE:
+      return info_scalar<cl_ulong>(16ULL << 30, size, value, size_ret);
+    case CL_DEVICE_MAX_MEM_ALLOC_SIZE:
+      return info_scalar<cl_ulong>(4ULL << 30, size, value, size_ret);
+    default: return CL_INVALID_VALUE;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// context & queue
+// ---------------------------------------------------------------------------
+
+cl_context clCreateContext(const void* /*properties*/, cl_uint num_devices,
+                           const cl_device_id* devices, void* /*pfn_notify*/,
+                           void* /*user_data*/, cl_int* err) {
+  if (num_devices == 0 || devices == nullptr) {
+    set_err(err, CL_INVALID_VALUE);
+    return nullptr;
+  }
+  auto* ctx = new _cl_context();
+  ctx->devices.assign(devices, devices + num_devices);
+  set_err(err, CL_SUCCESS);
+  return ctx;
+}
+
+cl_int clRetainContext(cl_context ctx) {
+  if (ctx == nullptr) return CL_INVALID_CONTEXT;
+  ctx->retain();
+  return CL_SUCCESS;
+}
+
+cl_int clReleaseContext(cl_context ctx) {
+  if (ctx == nullptr) return CL_INVALID_CONTEXT;
+  ctx->release();
+  return CL_SUCCESS;
+}
+
+cl_command_queue clCreateCommandQueue(cl_context ctx, cl_device_id device,
+                                      cl_command_queue_properties props, cl_int* err) {
+  if (ctx == nullptr) {
+    set_err(err, CL_INVALID_CONTEXT);
+    return nullptr;
+  }
+  if (device == nullptr ||
+      std::find(ctx->devices.begin(), ctx->devices.end(), device) ==
+          ctx->devices.end()) {
+    set_err(err, CL_INVALID_DEVICE);
+    return nullptr;
+  }
+  auto* q = new _cl_command_queue();
+  ctx->retain();
+  q->ctx = ctx;
+  q->device = device;
+  q->profiling = (props & CL_QUEUE_PROFILING_ENABLE) != 0;
+  set_err(err, CL_SUCCESS);
+  return q;
+}
+
+cl_int clRetainCommandQueue(cl_command_queue q) {
+  if (q == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  q->retain();
+  return CL_SUCCESS;
+}
+
+cl_int clReleaseCommandQueue(cl_command_queue q) {
+  if (q == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  q->release();
+  return CL_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// memory objects
+// ---------------------------------------------------------------------------
+
+cl_mem clCreateBuffer(cl_context ctx, cl_mem_flags flags, size_t size, void* host_ptr,
+                      cl_int* err) {
+  if (ctx == nullptr) {
+    set_err(err, CL_INVALID_CONTEXT);
+    return nullptr;
+  }
+  if (size == 0) {
+    set_err(err, CL_INVALID_BUFFER_SIZE);
+    return nullptr;
+  }
+  const bool wants_host = (flags & (CL_MEM_COPY_HOST_PTR | CL_MEM_USE_HOST_PTR)) != 0;
+  if (wants_host && host_ptr == nullptr) {
+    set_err(err, CL_INVALID_VALUE);
+    return nullptr;
+  }
+  auto* mem = new _cl_mem(xpu::device::simulator(), size);
+  ctx->retain();
+  mem->ctx = ctx;
+  mem->flags = flags;
+  if (wants_host) mem->buf.write(0, host_ptr, size);
+  set_err(err, CL_SUCCESS);
+  return mem;
+}
+
+cl_int clRetainMemObject(cl_mem mem) {
+  if (mem == nullptr) return CL_INVALID_MEM_OBJECT;
+  mem->retain();
+  return CL_SUCCESS;
+}
+
+cl_int clReleaseMemObject(cl_mem mem) {
+  if (mem == nullptr) return CL_INVALID_MEM_OBJECT;
+  mem->release();
+  return CL_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// program & kernel
+// ---------------------------------------------------------------------------
+
+cl_program clCreateProgramWithSource(cl_context ctx, cl_uint count,
+                                     const char** strings, const size_t* lengths,
+                                     cl_int* err) {
+  if (ctx == nullptr) {
+    set_err(err, CL_INVALID_CONTEXT);
+    return nullptr;
+  }
+  if (count == 0 || strings == nullptr) {
+    set_err(err, CL_INVALID_VALUE);
+    return nullptr;
+  }
+  auto* prog = new _cl_program();
+  ctx->retain();
+  prog->ctx = ctx;
+  for (cl_uint i = 0; i < count; ++i) {
+    if (strings[i] == nullptr) {
+      prog->release();
+      set_err(err, CL_INVALID_VALUE);
+      return nullptr;
+    }
+    if (lengths != nullptr && lengths[i] != 0) {
+      prog->source.append(strings[i], lengths[i]);
+    } else {
+      prog->source.append(strings[i]);
+    }
+  }
+  set_err(err, CL_SUCCESS);
+  return prog;
+}
+
+cl_int clBuildProgram(cl_program program, cl_uint /*num_devices*/,
+                      const cl_device_id* /*device_list*/, const char* /*options*/,
+                      void* /*pfn_notify*/, void* /*user_data*/) {
+  if (program == nullptr) return CL_INVALID_PROGRAM;
+  program->kernel_names = oclsim::parse_kernel_names(program->source);
+  program->build_log.clear();
+  bool ok = true;
+  for (const auto& name : program->kernel_names) {
+    if (oclsim::find_kernel(name) == nullptr) {
+      program->build_log +=
+          "error: no native implementation registered for kernel '" + name + "'\n";
+      ok = false;
+    }
+  }
+  if (program->kernel_names.empty()) {
+    program->build_log += "error: no __kernel declarations found in source\n";
+    ok = false;
+  }
+  program->built = ok;
+  return ok ? CL_SUCCESS : CL_BUILD_PROGRAM_FAILURE;
+}
+
+cl_int clGetProgramBuildInfo(cl_program program, cl_device_id /*device*/,
+                             cl_program_build_info param, size_t size, void* value,
+                             size_t* size_ret) {
+  if (program == nullptr) return CL_INVALID_PROGRAM;
+  if (param != CL_PROGRAM_BUILD_LOG) return CL_INVALID_VALUE;
+  return info_string(program->build_log, size, value, size_ret);
+}
+
+cl_int clRetainProgram(cl_program program) {
+  if (program == nullptr) return CL_INVALID_PROGRAM;
+  program->retain();
+  return CL_SUCCESS;
+}
+
+cl_int clReleaseProgram(cl_program program) {
+  if (program == nullptr) return CL_INVALID_PROGRAM;
+  program->release();
+  return CL_SUCCESS;
+}
+
+cl_kernel clCreateKernel(cl_program program, const char* kernel_name, cl_int* err) {
+  if (program == nullptr) {
+    set_err(err, CL_INVALID_PROGRAM);
+    return nullptr;
+  }
+  if (!program->built) {
+    set_err(err, CL_INVALID_PROGRAM_EXECUTABLE);
+    return nullptr;
+  }
+  if (kernel_name == nullptr ||
+      std::find(program->kernel_names.begin(), program->kernel_names.end(),
+                kernel_name) == program->kernel_names.end()) {
+    set_err(err, CL_INVALID_KERNEL_NAME);
+    return nullptr;
+  }
+  const oclsim::kernel_def* def = oclsim::find_kernel(kernel_name);
+  if (def == nullptr) {
+    set_err(err, CL_INVALID_KERNEL_NAME);
+    return nullptr;
+  }
+  auto* k = new _cl_kernel();
+  program->retain();
+  k->program = program;
+  k->def = def;
+  k->args.resize(def->signature.size());
+  for (usize i = 0; i < def->signature.size(); ++i) k->args[i].kind = def->signature[i];
+  set_err(err, CL_SUCCESS);
+  return k;
+}
+
+cl_int clRetainKernel(cl_kernel kernel) {
+  if (kernel == nullptr) return CL_INVALID_KERNEL;
+  kernel->retain();
+  return CL_SUCCESS;
+}
+
+cl_int clReleaseKernel(cl_kernel kernel) {
+  if (kernel == nullptr) return CL_INVALID_KERNEL;
+  kernel->release();
+  return CL_SUCCESS;
+}
+
+cl_int clSetKernelArg(cl_kernel kernel, cl_uint arg_index, size_t arg_size,
+                      const void* arg_value) {
+  if (kernel == nullptr) return CL_INVALID_KERNEL;
+  if (arg_index >= kernel->args.size()) return CL_INVALID_ARG_INDEX;
+  oclsim::kernel_arg& a = kernel->args[arg_index];
+  switch (a.kind) {
+    case arg_kind::local:
+      if (arg_value != nullptr || arg_size == 0) return CL_INVALID_ARG_VALUE;
+      a.local_size = arg_size;
+      break;
+    case arg_kind::mem: {
+      if (arg_value == nullptr || arg_size != sizeof(cl_mem)) return CL_INVALID_ARG_SIZE;
+      cl_mem m;
+      std::memcpy(&m, arg_value, sizeof(cl_mem));
+      if (m == nullptr) return CL_INVALID_ARG_VALUE;
+      a.mem = m;
+      break;
+    }
+    case arg_kind::scalar:
+      if (arg_value == nullptr || arg_size == 0) return CL_INVALID_ARG_VALUE;
+      a.scalar_bytes.assign(static_cast<const char*>(arg_value),
+                            static_cast<const char*>(arg_value) + arg_size);
+      break;
+  }
+  a.set = true;
+  return CL_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// enqueue
+// ---------------------------------------------------------------------------
+
+cl_int clEnqueueNDRangeKernel(cl_command_queue q, cl_kernel kernel, cl_uint work_dim,
+                              const size_t* global_offset, const size_t* gws,
+                              const size_t* lws, cl_uint /*num_wait*/,
+                              const cl_event* /*wait*/, cl_event* event_out) {
+  if (q == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  if (kernel == nullptr || kernel->def == nullptr) return CL_INVALID_KERNEL;
+  if (work_dim < 1 || work_dim > 3) return CL_INVALID_WORK_DIMENSION;
+  if (global_offset != nullptr) return CL_INVALID_GLOBAL_OFFSET;  // unsupported
+  if (gws == nullptr) return CL_INVALID_VALUE;
+  for (auto& a : kernel->args) {
+    if (!a.set) return CL_INVALID_KERNEL_ARGS;
+  }
+
+  xpu::launch_config cfg;
+  cfg.dims = work_dim;
+  cfg.name = kernel->def->name.c_str();
+  cfg.uses_barrier = kernel->def->uses_barrier;
+  for (cl_uint d = 0; d < work_dim; ++d) {
+    cfg.global[d] = gws[d];
+    cfg.local[d] = (lws != nullptr) ? lws[d] : pick_local_size(gws[d]);
+    if (cfg.local[d] == 0 || cfg.global[d] % cfg.local[d] != 0) {
+      return CL_INVALID_WORK_GROUP_SIZE;
+    }
+  }
+
+  // Assign local-memory offsets (16-byte aligned) and the arena size.
+  usize local_bytes = 0;
+  for (auto& a : kernel->args) {
+    if (a.kind == arg_kind::local) {
+      local_bytes = util::round_up<usize>(local_bytes, 16);
+      a.local_offset = local_bytes;
+      local_bytes += a.local_size;
+    }
+  }
+  cfg.local_mem_bytes = local_bytes;
+
+  const cl_ulong queued = util::stopwatch::now_nanos();
+  const arg_view view(&kernel->args);
+  const oclsim::kernel_def* def = kernel->def;
+  auto* fn = (oclsim::profiling_mode() && def->invoke_counting != nullptr)
+                 ? def->invoke_counting
+                 : def->invoke;
+  const cl_ulong start = util::stopwatch::now_nanos();
+  q->device->impl().run(cfg, [fn, &view](xpu::xitem& item) { fn(view, item); });
+  const cl_ulong end = util::stopwatch::now_nanos();
+  maybe_out_event(event_out, queued, start, end);
+  return CL_SUCCESS;
+}
+
+cl_int clEnqueueReadBuffer(cl_command_queue q, cl_mem buffer, cl_bool /*blocking*/,
+                           size_t offset, size_t cb, void* ptr, cl_uint /*num_wait*/,
+                           const cl_event* /*wait*/, cl_event* event_out) {
+  if (q == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  if (buffer == nullptr) return CL_INVALID_MEM_OBJECT;
+  if (ptr == nullptr || offset + cb > buffer->buf.size()) return CL_INVALID_VALUE;
+  const cl_ulong queued = util::stopwatch::now_nanos();
+  buffer->buf.read(offset, ptr, cb);
+  const cl_ulong end = util::stopwatch::now_nanos();
+  maybe_out_event(event_out, queued, queued, end);
+  return CL_SUCCESS;
+}
+
+cl_int clEnqueueWriteBuffer(cl_command_queue q, cl_mem buffer, cl_bool /*blocking*/,
+                            size_t offset, size_t cb, const void* ptr,
+                            cl_uint /*num_wait*/, const cl_event* /*wait*/,
+                            cl_event* event_out) {
+  if (q == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  if (buffer == nullptr) return CL_INVALID_MEM_OBJECT;
+  if (ptr == nullptr || offset + cb > buffer->buf.size()) return CL_INVALID_VALUE;
+  const cl_ulong queued = util::stopwatch::now_nanos();
+  buffer->buf.write(offset, ptr, cb);
+  const cl_ulong end = util::stopwatch::now_nanos();
+  maybe_out_event(event_out, queued, queued, end);
+  return CL_SUCCESS;
+}
+
+cl_int clEnqueueCopyBuffer(cl_command_queue q, cl_mem src, cl_mem dst,
+                           size_t src_offset, size_t dst_offset, size_t cb,
+                           cl_uint /*num_wait*/, const cl_event* /*wait*/,
+                           cl_event* event_out) {
+  if (q == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  if (src == nullptr || dst == nullptr) return CL_INVALID_MEM_OBJECT;
+  if (src_offset + cb > src->buf.size() || dst_offset + cb > dst->buf.size()) {
+    return CL_INVALID_VALUE;
+  }
+  const cl_ulong queued = util::stopwatch::now_nanos();
+  // Device-to-device: no host-link traffic is metered.
+  std::memmove(dst->buf.data() + dst_offset, src->buf.data() + src_offset, cb);
+  const cl_ulong end = util::stopwatch::now_nanos();
+  maybe_out_event(event_out, queued, queued, end);
+  return CL_SUCCESS;
+}
+
+cl_int clEnqueueFillBuffer(cl_command_queue q, cl_mem buffer, const void* pattern,
+                           size_t pattern_size, size_t offset, size_t cb,
+                           cl_uint /*num_wait*/, const cl_event* /*wait*/,
+                           cl_event* event_out) {
+  if (q == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  if (buffer == nullptr) return CL_INVALID_MEM_OBJECT;
+  if (pattern == nullptr || pattern_size == 0 || cb % pattern_size != 0 ||
+      offset % pattern_size != 0 || offset + cb > buffer->buf.size()) {
+    return CL_INVALID_VALUE;
+  }
+  const cl_ulong queued = util::stopwatch::now_nanos();
+  char* base = buffer->buf.data() + offset;
+  for (size_t i = 0; i < cb; i += pattern_size) {
+    std::memcpy(base + i, pattern, pattern_size);
+  }
+  const cl_ulong end = util::stopwatch::now_nanos();
+  maybe_out_event(event_out, queued, queued, end);
+  return CL_SUCCESS;
+}
+
+cl_int clGetKernelWorkGroupInfo(cl_kernel kernel, cl_device_id device,
+                                cl_kernel_work_group_info param, size_t size,
+                                void* value, size_t* size_ret) {
+  if (kernel == nullptr) return CL_INVALID_KERNEL;
+  if (device == nullptr) return CL_INVALID_DEVICE;
+  switch (param) {
+    case CL_KERNEL_WORK_GROUP_SIZE:
+      return info_scalar<size_t>(1024, size, value, size_ret);
+    case CL_KERNEL_PREFERRED_WORK_GROUP_SIZE_MULTIPLE:
+      // Wavefront-sized, like the ROCm runtime reports on GCN/CDNA.
+      return info_scalar<size_t>(64, size, value, size_ret);
+    case CL_KERNEL_LOCAL_MEM_SIZE: {
+      util::usize bytes = 0;
+      for (const auto& a : kernel->args) {
+        if (a.kind == oclsim::arg_kind::local) bytes += a.local_size;
+      }
+      return info_scalar<cl_ulong>(bytes, size, value, size_ret);
+    }
+    default: return CL_INVALID_VALUE;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// synchronisation & events
+// ---------------------------------------------------------------------------
+
+cl_int clFlush(cl_command_queue q) {
+  return q == nullptr ? CL_INVALID_COMMAND_QUEUE : CL_SUCCESS;
+}
+
+cl_int clFinish(cl_command_queue q) {
+  return q == nullptr ? CL_INVALID_COMMAND_QUEUE : CL_SUCCESS;
+}
+
+cl_int clWaitForEvents(cl_uint num_events, const cl_event* events) {
+  if (num_events == 0 || events == nullptr) return CL_INVALID_VALUE;
+  for (cl_uint i = 0; i < num_events; ++i) {
+    if (events[i] == nullptr) return CL_INVALID_EVENT;
+  }
+  return CL_SUCCESS;  // execution is synchronous
+}
+
+cl_int clGetEventProfilingInfo(cl_event event, cl_profiling_info param, size_t size,
+                               void* value, size_t* size_ret) {
+  if (event == nullptr) return CL_INVALID_EVENT;
+  switch (param) {
+    case CL_PROFILING_COMMAND_QUEUED:
+      return info_scalar(event->queued, size, value, size_ret);
+    case CL_PROFILING_COMMAND_SUBMIT:
+      return info_scalar(event->submit, size, value, size_ret);
+    case CL_PROFILING_COMMAND_START:
+      return info_scalar(event->start, size, value, size_ret);
+    case CL_PROFILING_COMMAND_END:
+      return info_scalar(event->end, size, value, size_ret);
+    default: return CL_INVALID_VALUE;
+  }
+}
+
+cl_int clRetainEvent(cl_event event) {
+  if (event == nullptr) return CL_INVALID_EVENT;
+  event->retain();
+  return CL_SUCCESS;
+}
+
+cl_int clReleaseEvent(cl_event event) {
+  if (event == nullptr) return CL_INVALID_EVENT;
+  event->release();
+  return CL_SUCCESS;
+}

@@ -1,0 +1,47 @@
+#include "oclsim/cl_objects.hpp"
+
+namespace oclsim {
+
+std::atomic<long>& census::live() {
+  static std::atomic<long> n{0};
+  return n;
+}
+
+}  // namespace oclsim
+
+cl_platform_id _cl_platform_id::instance() {
+  static _cl_platform_id p;
+  return &p;
+}
+
+cl_device_id _cl_device_id::gpu() {
+  static _cl_device_id d{CL_DEVICE_TYPE_GPU, "cof-simulated-accelerator"};
+  return &d;
+}
+
+cl_device_id _cl_device_id::cpu() {
+  static _cl_device_id d{CL_DEVICE_TYPE_CPU, "cof-host-cpu"};
+  return &d;
+}
+
+// Destructors release the objects each handle pinned; out-of-line to keep
+// the header light.
+_cl_command_queue::~_cl_command_queue() {
+  if (ctx != nullptr) ctx->release();
+  oclsim::census::live()--;
+}
+
+_cl_mem::~_cl_mem() {
+  if (ctx != nullptr) ctx->release();
+  oclsim::census::live()--;
+}
+
+_cl_program::~_cl_program() {
+  if (ctx != nullptr) ctx->release();
+  oclsim::census::live()--;
+}
+
+_cl_kernel::~_cl_kernel() {
+  if (program != nullptr) program->release();
+  oclsim::census::live()--;
+}

@@ -1,0 +1,110 @@
+// Internal object definitions behind the opaque cl_* handles, with manual
+// reference counting (clRetain*/clRelease*) exactly as the OpenCL host model
+// requires — this is the resource-management burden Table I's step 13 refers
+// to, and tests exercise leak/double-release behaviour against it.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "oclsim/cl.hpp"
+#include "oclsim/cl_registry.hpp"
+#include "xpu/device.hpp"
+#include "xpu/mem.hpp"
+
+namespace oclsim {
+
+/// Intrusive refcount base for all handle types.
+struct object_base {
+  std::atomic<int> refs{1};
+  virtual ~object_base() = default;
+
+  void retain() { refs.fetch_add(1, std::memory_order_relaxed); }
+  /// Returns true if this release destroyed the object.
+  bool release() {
+    if (refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      delete this;
+      return true;
+    }
+    return false;
+  }
+};
+
+/// Live-object census, so tests can assert that release bookkeeping is
+/// balanced (the productivity burden SYCL removes).
+struct census {
+  static std::atomic<long>& live();
+};
+
+}  // namespace oclsim
+
+struct _cl_platform_id {  // singleton, not refcounted
+  std::string name = "cof-simulated-platform";
+  std::string vendor = "cas-offinder-repro";
+  static cl_platform_id instance();
+};
+
+struct _cl_device_id {  // singletons, not refcounted
+  cl_device_type type = CL_DEVICE_TYPE_GPU;
+  std::string name;
+  static cl_device_id gpu();
+  static cl_device_id cpu();
+  xpu::device& impl() const { return xpu::device::simulator(); }
+};
+
+struct _cl_context : oclsim::object_base {
+  std::vector<cl_device_id> devices;
+  _cl_context() { oclsim::census::live()++; }
+  ~_cl_context() override { oclsim::census::live()--; }
+};
+
+struct _cl_command_queue : oclsim::object_base {
+  _cl_context* ctx = nullptr;
+  cl_device_id device = nullptr;
+  bool profiling = false;
+  _cl_command_queue() { oclsim::census::live()++; }
+  ~_cl_command_queue() override;
+};
+
+struct _cl_mem : oclsim::object_base {
+  xpu::device_buffer buf;
+  cl_mem_flags flags = 0;
+  _cl_context* ctx = nullptr;
+  _cl_mem(xpu::device& dev, size_t size) : buf(dev, size) { oclsim::census::live()++; }
+  ~_cl_mem() override;
+};
+
+struct _cl_program : oclsim::object_base {
+  _cl_context* ctx = nullptr;
+  std::string source;
+  bool built = false;
+  std::string build_log;
+  std::vector<std::string> kernel_names;  // parsed from source at build
+  _cl_program() { oclsim::census::live()++; }
+  ~_cl_program() override;
+};
+
+struct _cl_kernel : oclsim::object_base {
+  _cl_program* program = nullptr;
+  const oclsim::kernel_def* def = nullptr;
+  std::vector<oclsim::kernel_arg> args;
+  _cl_kernel() { oclsim::census::live()++; }
+  ~_cl_kernel() override;
+};
+
+struct _cl_event : oclsim::object_base {
+  cl_ulong queued = 0, submit = 0, start = 0, end = 0;
+  _cl_event() { oclsim::census::live()++; }
+  ~_cl_event() override { oclsim::census::live()--; }
+};
+
+namespace oclsim {
+
+template <class T>
+T* arg_view::global(usize i) const {
+  const kernel_arg& a = at(i, arg_kind::mem);
+  return reinterpret_cast<T*>(a.mem->buf.data());
+}
+
+}  // namespace oclsim

@@ -1,0 +1,64 @@
+#include "oclsim/cl_registry.hpp"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+#include "util/strings.hpp"
+
+namespace oclsim {
+
+namespace {
+std::map<std::string, kernel_def>& registry() {
+  static std::map<std::string, kernel_def> m;
+  return m;
+}
+std::mutex& registry_mu() {
+  static std::mutex mu;
+  return mu;
+}
+}  // namespace
+
+namespace {
+std::atomic<bool> g_profiling{false};
+}  // namespace
+
+void set_profiling_mode(bool on) { g_profiling.store(on, std::memory_order_relaxed); }
+bool profiling_mode() { return g_profiling.load(std::memory_order_relaxed); }
+
+void register_kernel(kernel_def def) {
+  std::lock_guard lock(registry_mu());
+  COF_CHECK_MSG(def.invoke != nullptr, "kernel_def.invoke must be set");
+  registry()[def.name] = std::move(def);
+}
+
+const kernel_def* find_kernel(const std::string& name) {
+  std::lock_guard lock(registry_mu());
+  auto it = registry().find(name);
+  return it == registry().end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> registered_kernel_names() {
+  std::lock_guard lock(registry_mu());
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, def] : registry()) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> parse_kernel_names(const std::string& source) {
+  // Scan for `__kernel` (or `kernel`) followed by a return type and a name.
+  std::vector<std::string> names;
+  const auto toks = util::split(source, " \t\r\n(");
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i] == "__kernel" || toks[i] == "kernel") {
+      // allow qualifiers between `__kernel` and `void`
+      size_t j = i + 1;
+      while (j < toks.size() && toks[j] != "void") ++j;
+      if (j + 1 < toks.size()) names.emplace_back(toks[j + 1]);
+    }
+  }
+  return names;
+}
+
+}  // namespace oclsim

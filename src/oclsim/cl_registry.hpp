@@ -1,0 +1,117 @@
+// Native-kernel registry for the OpenCL facade.
+//
+// Real OpenCL JIT-compiles OpenCL C at clBuildProgram time; we instead ship
+// the OpenCL C source (for documentation and the Table I programming-steps
+// analysis) alongside a native C++ implementation registered here under the
+// same kernel name. clBuildProgram cross-checks that every `__kernel` in the
+// source has a registered implementation; clCreateKernel binds by name;
+// clSetKernelArg marshals arguments against the registered signature.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "xpu/executor.hpp"
+
+struct _cl_mem;  // cl_objects.hpp
+
+namespace oclsim {
+
+using util::usize;
+
+enum class arg_kind {
+  scalar,  // by-value bytes (ints, shorts, structs)
+  mem,     // cl_mem handle -> device global pointer
+  local,   // size-only shared-local-memory allocation
+};
+
+/// One bound kernel argument (the state clSetKernelArg populates).
+struct kernel_arg {
+  arg_kind kind = arg_kind::scalar;
+  bool set = false;
+  std::vector<char> scalar_bytes;
+  _cl_mem* mem = nullptr;
+  usize local_size = 0;
+  usize local_offset = 0;  // assigned at enqueue time
+};
+
+/// Read-only view of the bound arguments handed to a native kernel body.
+class arg_view {
+ public:
+  explicit arg_view(const std::vector<kernel_arg>* args) : args_(args) {}
+
+  /// By-value argument i.
+  template <class T>
+  T scalar(usize i) const {
+    const kernel_arg& a = at(i, arg_kind::scalar);
+    COF_CHECK_MSG(a.scalar_bytes.size() == sizeof(T), "scalar arg size mismatch");
+    T v;
+    __builtin_memcpy(&v, a.scalar_bytes.data(), sizeof(T));
+    return v;
+  }
+
+  /// Device-global pointer argument i.
+  template <class T>
+  T* global(usize i) const;  // defined in cl_objects.hpp (needs _cl_mem)
+
+  /// Shared-local-memory pointer argument i, resolved against the
+  /// currently-executing work-group's arena.
+  template <class T>
+  T* local(usize i) const {
+    const kernel_arg& a = at(i, arg_kind::local);
+    char* base = xpu::current_local_mem_base();
+    COF_CHECK_MSG(base != nullptr, "local arg resolved outside a kernel");
+    return reinterpret_cast<T*>(base + a.local_offset);
+  }
+
+  const kernel_arg& at(usize i, arg_kind expect) const {
+    COF_CHECK_MSG(i < args_->size(), "kernel arg index out of range");
+    const kernel_arg& a = (*args_)[i];
+    COF_CHECK_MSG(a.set, "kernel arg not set");
+    COF_CHECK_MSG(a.kind == expect, "kernel arg kind mismatch");
+    return a;
+  }
+
+ private:
+  const std::vector<kernel_arg>* args_;
+};
+
+/// A registered native kernel. `invoke_counting`, when provided, is the
+/// instrumented twin selected while profiling mode is on (the stand-in for
+/// running under rocprof).
+struct kernel_def {
+  std::string name;
+  std::vector<arg_kind> signature;
+  bool uses_barrier = false;
+  void (*invoke)(const arg_view& args, xpu::xitem& item) = nullptr;
+  void (*invoke_counting)(const arg_view& args, xpu::xitem& item) = nullptr;
+};
+
+/// Driver-level profiling toggle: while on, enqueues run the counting twin
+/// of each kernel (when registered).
+void set_profiling_mode(bool on);
+bool profiling_mode();
+
+/// Register a kernel implementation (typically from a static initializer).
+void register_kernel(kernel_def def);
+
+/// Lookup by name; nullptr if absent.
+const kernel_def* find_kernel(const std::string& name);
+
+/// Names of all registered kernels (for diagnostics).
+std::vector<std::string> registered_kernel_names();
+
+/// Parse `__kernel void <name>(` declarations out of OpenCL C source.
+std::vector<std::string> parse_kernel_names(const std::string& source);
+
+/// Helper for static registration:
+///   COF_REGISTER_CL_KERNEL(my_kernel_def_fn());
+#define COF_REGISTER_CL_KERNEL(def)                                    \
+  namespace {                                                          \
+  const bool cof_registered_##__LINE__ = [] {                          \
+    ::oclsim::register_kernel(def);                                    \
+    return true;                                                       \
+  }();                                                                 \
+  }
+
+}  // namespace oclsim

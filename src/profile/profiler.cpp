@@ -1,0 +1,72 @@
+#include "profile/profiler.hpp"
+
+#include "util/strings.hpp"
+
+namespace prof {
+
+void profiler::record(const std::string& kernel, const event_counts& ev,
+                      u64 wall_nanos) {
+  std::lock_guard lock(mu_);
+  kernel_profile& p = kernels_[kernel];
+  p.events += ev;
+  p.wall_nanos += wall_nanos;
+  ++p.launches;
+}
+
+void profiler::add_model_seconds(const std::string& kernel, double s) {
+  std::lock_guard lock(mu_);
+  kernels_[kernel].model_seconds += s;
+}
+
+std::map<std::string, kernel_profile> profiler::kernels() const {
+  std::lock_guard lock(mu_);
+  return kernels_;
+}
+
+void profiler::clear() {
+  std::lock_guard lock(mu_);
+  kernels_.clear();
+}
+
+kernel_profile profiler::get(const std::string& kernel) const {
+  std::lock_guard lock(mu_);
+  auto it = kernels_.find(kernel);
+  return it == kernels_.end() ? kernel_profile{} : it->second;
+}
+
+u64 profiler::total_kernel_nanos() const {
+  std::lock_guard lock(mu_);
+  u64 t = 0;
+  for (const auto& [name, p] : kernels_) t += p.wall_nanos;
+  return t;
+}
+
+double profiler::hotspot_share(const std::string& kernel) const {
+  const u64 total = total_kernel_nanos();
+  if (total == 0) return 0.0;
+  return static_cast<double>(get(kernel).wall_nanos) / static_cast<double>(total);
+}
+
+std::string profiler::report() const {
+  std::lock_guard lock(mu_);
+  std::string out;
+  out += util::format("%-18s %9s %14s %10s %16s %14s %10s\n", "kernel", "launches",
+                      "wall_ms", "share", "global_ld_bytes", "local_loads",
+                      "atomics");
+  u64 total = 0;
+  for (const auto& [name, p] : kernels_) total += p.wall_nanos;
+  for (const auto& [name, p] : kernels_) {
+    const double share =
+        total == 0 ? 0.0 : 100.0 * static_cast<double>(p.wall_nanos) / total;
+    out += util::format(
+        "%-18s %9llu %14.3f %9.1f%% %16llu %14llu %10llu\n", name.c_str(),
+        static_cast<unsigned long long>(p.launches),
+        static_cast<double>(p.wall_nanos) / 1e6, share,
+        static_cast<unsigned long long>(p.events[ev::global_load_bytes]),
+        static_cast<unsigned long long>(p.events[ev::local_load]),
+        static_cast<unsigned long long>(p.events[ev::atomic_op]));
+  }
+  return out;
+}
+
+}  // namespace prof

@@ -1,0 +1,46 @@
+// Per-kernel profile registry + hotspot report (the paper's §IV.B profiling
+// step: "the compare kernel accounts for ~98% of the total kernel execution
+// time and 50%–80% of the elapsed time").
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "profile/counters.hpp"
+
+namespace prof {
+
+/// One kernel's aggregated profile across a run.
+struct kernel_profile {
+  event_counts events;
+  u64 wall_nanos = 0;   // CPU-simulation wall time
+  double model_seconds = 0.0;  // modelled device time (filled by gpumodel)
+  u64 launches = 0;
+};
+
+/// Thread-safe: multi-queue engines record from several host threads.
+class profiler {
+ public:
+  void record(const std::string& kernel, const event_counts& ev, u64 wall_nanos);
+  void add_model_seconds(const std::string& kernel, double s);
+
+  std::map<std::string, kernel_profile> kernels() const;
+  kernel_profile get(const std::string& kernel) const;
+  /// Sum of wall_nanos over all kernels.
+  u64 total_kernel_nanos() const;
+  /// Fraction of total kernel wall time spent in `kernel` (0 if none).
+  double hotspot_share(const std::string& kernel) const;
+
+  void clear();
+
+  /// Render a rocprof-style hotspot table.
+  std::string report() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, kernel_profile> kernels_;
+};
+
+}  // namespace prof

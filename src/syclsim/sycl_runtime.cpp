@@ -1,0 +1,153 @@
+// Non-template pieces of the SYCL facade.
+#include "syclsim/sycl.hpp"
+
+#include <map>
+#include <mutex>
+#include <new>
+
+namespace sycl {
+
+const char* errc_name(errc c) {
+  switch (c) {
+    case errc::success: return "success";
+    case errc::runtime: return "runtime";
+    case errc::kernel: return "kernel";
+    case errc::accessor: return "accessor";
+    case errc::nd_range: return "nd_range";
+    case errc::event: return "event";
+    case errc::kernel_argument: return "kernel_argument";
+    case errc::build: return "build";
+    case errc::invalid: return "invalid";
+    case errc::memory_allocation: return "memory_allocation";
+    case errc::platform: return "platform";
+    case errc::profiling: return "profiling";
+    case errc::feature_not_supported: return "feature_not_supported";
+    case errc::kernel_not_supported: return "kernel_not_supported";
+    case errc::backend_mismatch: return "backend_mismatch";
+  }
+  return "?";
+}
+
+std::string version_string() {
+  return "syclsim 1.0 (SYCL-1.2.1/2020 subset over cof xpu engine)";
+}
+
+// ---------------------------------------------------------------------------
+// USM
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+namespace {
+struct usm_record {
+  size_t bytes = 0;
+  usm::alloc kind = usm::alloc::unknown;
+};
+std::map<const void*, usm_record>& usm_registry() {
+  static std::map<const void*, usm_record> m;
+  return m;
+}
+std::mutex& usm_mu() {
+  static std::mutex mu;
+  return mu;
+}
+}  // namespace
+
+void usm_register(void* p, size_t bytes, usm::alloc kind) {
+  std::lock_guard lock(usm_mu());
+  usm_registry()[p] = usm_record{bytes, kind};
+}
+
+usm::alloc usm_unregister(void* p, size_t* bytes_out) {
+  std::lock_guard lock(usm_mu());
+  auto it = usm_registry().find(p);
+  if (it == usm_registry().end()) return usm::alloc::unknown;
+  if (bytes_out != nullptr) *bytes_out = it->second.bytes;
+  const auto kind = it->second.kind;
+  usm_registry().erase(it);
+  return kind;
+}
+
+usm::alloc usm_kind_of(const void* p) {
+  std::lock_guard lock(usm_mu());
+  // Exact-pointer lookup first, then containment (interior pointers).
+  auto& reg = usm_registry();
+  auto it = reg.upper_bound(p);
+  if (it != reg.begin()) {
+    --it;
+    const char* base = static_cast<const char*>(it->first);
+    if (p >= base && p < base + it->second.bytes) return it->second.kind;
+  }
+  return usm::alloc::unknown;
+}
+
+size_t usm_live_bytes() {
+  std::lock_guard lock(usm_mu());
+  size_t n = 0;
+  for (const auto& [p, rec] : usm_registry()) n += rec.bytes;
+  return n;
+}
+
+}  // namespace detail
+
+namespace {
+
+void* usm_alloc_impl(size_t bytes, usm::alloc kind) {
+  if (bytes == 0) return nullptr;
+  void* p = ::operator new(bytes, std::align_val_t{64});
+  detail::usm_register(p, bytes, kind);
+  if (kind == usm::alloc::device) {
+    // Device allocations count against the simulated device's memory.
+    xpu::device::simulator().meter_h2d(0);  // touch stats lazily (no bytes)
+  }
+  return p;
+}
+
+}  // namespace
+
+void* malloc_device(size_t bytes, const queue&) {
+  return usm_alloc_impl(bytes, usm::alloc::device);
+}
+void* malloc_host(size_t bytes, const queue&) {
+  return usm_alloc_impl(bytes, usm::alloc::host);
+}
+void* malloc_shared(size_t bytes, const queue&) {
+  return usm_alloc_impl(bytes, usm::alloc::shared);
+}
+
+void free(void* ptr, const queue&) {
+  if (ptr == nullptr) return;
+  size_t bytes = 0;
+  const auto kind = detail::usm_unregister(ptr, &bytes);
+  COF_CHECK_MSG(kind != usm::alloc::unknown, "sycl::free of a non-USM pointer");
+  ::operator delete(ptr, std::align_val_t{64});
+}
+
+usm::alloc get_pointer_type(const void* p, const context&) {
+  return detail::usm_kind_of(p);
+}
+
+event queue::memcpy(void* dst, const void* src, size_t bytes) {
+  const util::u64 t0 = util::stopwatch::now_nanos();
+  std::memcpy(dst, src, bytes);
+  // Meter host<->device traffic by the endpoints' USM kinds.
+  const auto dk = detail::usm_kind_of(dst);
+  const auto sk = detail::usm_kind_of(src);
+  auto& dev = xpu::device::simulator();
+  if (dk == usm::alloc::device && sk != usm::alloc::device) {
+    dev.meter_h2d(bytes);
+  } else if (sk == usm::alloc::device && dk != usm::alloc::device) {
+    dev.meter_d2h(bytes);
+  }
+  const util::u64 t1 = util::stopwatch::now_nanos();
+  return event(t0, t0, t1);
+}
+
+event queue::memset(void* ptr, int value, size_t bytes) {
+  const util::u64 t0 = util::stopwatch::now_nanos();
+  std::memset(ptr, value, bytes);
+  const util::u64 t1 = util::stopwatch::now_nanos();
+  return event(t0, t0, t1);
+}
+
+}  // namespace sycl

@@ -1,0 +1,142 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/strings.hpp"
+
+namespace util {
+
+cli::cli(std::string prog, std::string description)
+    : prog_(std::move(prog)), description_(std::move(description)) {
+  flag("help", "show this help");
+}
+
+void cli::flag(const std::string& name, const std::string& help) {
+  opts_[name] = opt_spec{help, "", /*is_flag=*/true, false};
+}
+
+void cli::opt(const std::string& name, const std::string& help, std::string def) {
+  opts_[name] = opt_spec{help, std::move(def), /*is_flag=*/false, false};
+}
+
+void cli::positional(const std::string& name, const std::string& help, bool required) {
+  positionals_.push_back(pos_spec{name, help, required, ""});
+}
+
+bool cli::parse(int argc, const char* const* argv) {
+  usize pos_idx = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (starts_with(arg, "--")) {
+      std::string name(arg.substr(2));
+      std::string inline_value;
+      bool has_inline = false;
+      if (auto eq = name.find('='); eq != std::string::npos) {
+        inline_value = name.substr(eq + 1);
+        name = name.substr(0, eq);
+        has_inline = true;
+      }
+      auto it = opts_.find(name);
+      if (it == opts_.end()) {
+        std::fprintf(stderr, "%s: unknown option --%s\n", prog_.c_str(), name.c_str());
+        print_usage();
+        return false;
+      }
+      it->second.seen = true;
+      if (it->second.is_flag) {
+        if (has_inline) {
+          std::fprintf(stderr, "%s: flag --%s takes no value\n", prog_.c_str(),
+                       name.c_str());
+          return false;
+        }
+      } else if (has_inline) {
+        it->second.value = inline_value;
+      } else {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "%s: option --%s needs a value\n", prog_.c_str(),
+                       name.c_str());
+          return false;
+        }
+        it->second.value = argv[++i];
+      }
+    } else {
+      if (pos_idx >= positionals_.size()) {
+        std::fprintf(stderr, "%s: unexpected argument '%s'\n", prog_.c_str(), argv[i]);
+        print_usage();
+        return false;
+      }
+      positionals_[pos_idx++].value = std::string(arg);
+    }
+  }
+  if (get_flag("help")) {
+    print_usage();
+    return false;
+  }
+  for (const auto& p : positionals_) {
+    if (p.required && p.value.empty()) {
+      std::fprintf(stderr, "%s: missing required argument <%s>\n", prog_.c_str(),
+                   p.name.c_str());
+      print_usage();
+      return false;
+    }
+  }
+  return true;
+}
+
+bool cli::get_flag(const std::string& name) const {
+  auto it = opts_.find(name);
+  COF_CHECK_MSG(it != opts_.end() && it->second.is_flag, name);
+  return it->second.seen;
+}
+
+const std::string& cli::get(const std::string& name) const {
+  auto it = opts_.find(name);
+  COF_CHECK_MSG(it != opts_.end() && !it->second.is_flag, name);
+  return it->second.value;
+}
+
+u64 cli::get_u64(const std::string& name) const {
+  unsigned long long v = 0;
+  COF_CHECK_MSG(parse_u64(get(name), v), "option --" + name + " must be an integer");
+  return v;
+}
+
+double cli::get_double(const std::string& name) const {
+  const std::string& s = get(name);
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  COF_CHECK_MSG(end && *end == '\0' && end != s.c_str(),
+                "option --" + name + " must be a number");
+  return v;
+}
+
+const std::string& cli::get_positional(const std::string& name) const {
+  for (const auto& p : positionals_) {
+    if (p.name == name) return p.value;
+  }
+  die("unknown positional: " + name);
+}
+
+void cli::print_usage() const {
+  std::fprintf(stderr, "%s — %s\n\nusage: %s [options]", prog_.c_str(),
+               description_.c_str(), prog_.c_str());
+  for (const auto& p : positionals_) {
+    std::fprintf(stderr, p.required ? " <%s>" : " [%s]", p.name.c_str());
+  }
+  std::fprintf(stderr, "\n\noptions:\n");
+  for (const auto& [name, spec] : opts_) {
+    if (spec.is_flag) {
+      std::fprintf(stderr, "  --%-18s %s\n", name.c_str(), spec.help.c_str());
+    } else {
+      std::fprintf(stderr, "  --%-18s %s (default: %s)\n", (name + " <v>").c_str(),
+                   spec.help.c_str(), spec.value.c_str());
+    }
+  }
+  for (const auto& p : positionals_) {
+    std::fprintf(stderr, "  <%s>%*s %s\n", p.name.c_str(),
+                 static_cast<int>(18 - p.name.size()), "", p.help.c_str());
+  }
+}
+
+}  // namespace util

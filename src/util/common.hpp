@@ -1,0 +1,60 @@
+// Common foundation: fixed-width aliases, checked assertions, misc helpers.
+//
+// COF_CHECK is an always-on invariant check (release builds included); the
+// execution substrate and the genomics code both rely on it to fail loudly
+// instead of corrupting results.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <source_location>
+#include <string>
+#include <string_view>
+
+namespace util {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using usize = std::size_t;
+
+[[noreturn]] inline void die(std::string_view msg,
+                             std::source_location loc = std::source_location::current()) {
+  std::fprintf(stderr, "FATAL %s:%u: %.*s\n", loc.file_name(), loc.line(),
+               static_cast<int>(msg.size()), msg.data());
+  std::abort();
+}
+
+}  // namespace util
+
+#define COF_CHECK(cond)                                         \
+  do {                                                          \
+    if (!(cond)) ::util::die("check failed: " #cond);           \
+  } while (0)
+
+#define COF_CHECK_MSG(cond, msg)                                \
+  do {                                                          \
+    if (!(cond)) ::util::die(std::string("check failed: " #cond ": ") + (msg)); \
+  } while (0)
+
+namespace util {
+
+/// Integer ceiling division for non-negative values.
+template <class T>
+constexpr T ceil_div(T a, T b) {
+  return (a + b - 1) / b;
+}
+
+/// Round `a` up to the next multiple of `b` (b > 0).
+template <class T>
+constexpr T round_up(T a, T b) {
+  return ceil_div(a, b) * b;
+}
+
+}  // namespace util

@@ -1,0 +1,55 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+namespace util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(log_level::info)};
+std::mutex g_emit_mu;
+
+const char* level_name(log_level lvl) {
+  switch (lvl) {
+    case log_level::debug: return "DEBUG";
+    case log_level::info: return "INFO";
+    case log_level::warn: return "WARN";
+    case log_level::error: return "ERROR";
+    case log_level::off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(log_level lvl) { g_level.store(static_cast<int>(lvl)); }
+log_level get_log_level() { return static_cast<log_level>(g_level.load()); }
+
+namespace detail {
+
+std::string log_format(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  if (n < 0) {
+    va_end(ap2);
+    return "<format error>";
+  }
+  std::vector<char> buf(static_cast<size_t>(n) + 1);
+  std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+  va_end(ap2);
+  return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+void log_emit(log_level lvl, const std::string& msg) {
+  std::lock_guard lock(g_emit_mu);
+  std::fprintf(stderr, "[%s] %s\n", level_name(lvl), msg.c_str());
+}
+
+}  // namespace detail
+}  // namespace util

@@ -1,0 +1,31 @@
+// Minimal leveled logger. Single global sink (stderr), thread-safe line
+// emission, runtime level filter. Benches set the level to `warn` so table
+// output stays clean.
+#pragma once
+
+#include <string>
+
+namespace util {
+
+enum class log_level { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+void set_log_level(log_level lvl);
+log_level get_log_level();
+
+namespace detail {
+void log_emit(log_level lvl, const std::string& msg);
+std::string log_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+#define COF_LOG(lvl, ...)                                                     \
+  do {                                                                        \
+    if (static_cast<int>(lvl) >= static_cast<int>(::util::get_log_level()))   \
+      ::util::detail::log_emit(lvl, ::util::detail::log_format(__VA_ARGS__)); \
+  } while (0)
+
+#define LOG_DEBUG(...) COF_LOG(::util::log_level::debug, __VA_ARGS__)
+#define LOG_INFO(...) COF_LOG(::util::log_level::info, __VA_ARGS__)
+#define LOG_WARN(...) COF_LOG(::util::log_level::warn, __VA_ARGS__)
+#define LOG_ERROR(...) COF_LOG(::util::log_level::error, __VA_ARGS__)
+
+}  // namespace util

@@ -1,0 +1,63 @@
+// Deterministic, seedable PRNGs used everywhere randomness is needed
+// (synthetic genomes, property tests, workload generators). We avoid
+// std::mt19937 so that streams are cheap to fork and stable across
+// platforms/library versions.
+#pragma once
+
+#include "util/common.hpp"
+
+namespace util {
+
+/// splitmix64 — used to expand a single seed into stream seeds.
+constexpr u64 splitmix64(u64& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  u64 z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Fast, high-quality 64-bit generator.
+class rng {
+ public:
+  explicit constexpr rng(u64 seed = 0x5eedcafef00dULL) {
+    u64 sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  constexpr u64 next_u64() {
+    const u64 result = rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0. Uses Lemire's method.
+  constexpr u64 next_below(u64 bound) {
+    // 128-bit multiply rejection-free approximation; bias is < 2^-64 * bound,
+    // negligible for our purposes (bounds << 2^32).
+    return static_cast<u64>((static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  constexpr bool next_bool(double p) { return next_double() < p; }
+
+  /// Fork an independent stream (for per-chromosome / per-worker use).
+  constexpr rng fork() { return rng(next_u64()); }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+  u64 s_[4]{};
+};
+
+}  // namespace util

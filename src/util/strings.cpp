@@ -1,0 +1,98 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace util {
+
+std::string_view trim(std::string_view s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string_view> split(std::string_view s, std::string_view delims) {
+  std::vector<std::string_view> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && delims.find(s[i]) != std::string_view::npos) ++i;
+    size_t j = i;
+    while (j < s.size() && delims.find(s[j]) == std::string_view::npos) ++j;
+    if (j > i) out.push_back(s.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+std::vector<std::string_view> split_lines(std::string_view s) {
+  std::vector<std::string_view> out;
+  size_t i = 0;
+  while (i <= s.size()) {
+    size_t j = s.find('\n', i);
+    if (j == std::string_view::npos) {
+      out.push_back(s.substr(i));
+      break;
+    }
+    std::string_view line = s.substr(i, j - i);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    out.push_back(line);
+    i = j + 1;
+  }
+  return out;
+}
+
+std::string to_upper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string format(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  if (n < 0) {
+    va_end(ap2);
+    return {};
+  }
+  std::string out(static_cast<size_t>(n), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  va_end(ap2);
+  return out;
+}
+
+std::string human_bytes(std::size_t n) {
+  static const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(n);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  return u == 0 ? format("%zu B", n) : format("%.1f %s", v, units[u]);
+}
+
+bool parse_u64(std::string_view s, unsigned long long& out) {
+  s = trim(s);
+  if (s.empty()) return false;
+  unsigned long long v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    unsigned long long d = static_cast<unsigned long long>(c - '0');
+    if (v > (~0ULL - d) / 10) return false;  // overflow
+    v = v * 10 + d;
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace util

@@ -1,0 +1,34 @@
+// Small string utilities shared by parsers and report formatters.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace util {
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Split on any of the given delimiter characters; empty tokens dropped.
+std::vector<std::string_view> split(std::string_view s, std::string_view delims = " \t");
+
+/// Split into lines; keeps empty lines, strips trailing '\r'.
+std::vector<std::string_view> split_lines(std::string_view s);
+
+/// ASCII upper-case copy.
+std::string to_upper(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Human-readable byte count, e.g. "12.3 MiB".
+std::string human_bytes(std::size_t n);
+
+/// Parse a non-negative integer; returns false on any malformed input.
+bool parse_u64(std::string_view s, unsigned long long& out);
+
+}  // namespace util

@@ -1,0 +1,81 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace util {
+
+thread_pool::thread_pool(unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+thread_pool::~thread_pool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void thread_pool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    COF_CHECK(!stop_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void thread_pool::wait_idle() {
+  std::unique_lock lock(mu_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void thread_pool::parallel_for_range(usize n,
+                                     const std::function<void(usize, usize)>& fn) {
+  if (n == 0) return;
+  const usize nblocks = std::min<usize>(n, size());
+  if (nblocks <= 1) {
+    fn(0, n);
+    return;
+  }
+  const usize per = ceil_div(n, nblocks);
+  for (usize b = 0; b < nblocks; ++b) {
+    const usize begin = b * per;
+    const usize end = std::min(n, begin + per);
+    if (begin >= end) break;
+    submit([&fn, begin, end] { fn(begin, end); });
+  }
+  wait_idle();
+}
+
+void thread_pool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+thread_pool& thread_pool::global() {
+  static thread_pool pool;
+  return pool;
+}
+
+}  // namespace util

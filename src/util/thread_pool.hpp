@@ -1,0 +1,53 @@
+// Fixed-size worker pool used by the xpu executor to spread work-groups
+// across hardware threads. Tasks are void() callables; parallel_for_range
+// provides the blocked-index pattern the executor needs.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace util {
+
+class thread_pool {
+ public:
+  /// threads == 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit thread_pool(unsigned threads = 0);
+  ~thread_pool();
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueue a task; tasks may not throw (kernel code reports via COF_CHECK).
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have finished.
+  void wait_idle();
+
+  /// Run fn(i) for i in [0, n), partitioned into contiguous blocks across
+  /// the pool, and wait for completion. fn must be thread-safe.
+  void parallel_for_range(usize n, const std::function<void(usize begin, usize end)>& fn);
+
+  /// Process-wide shared pool (lazily constructed).
+  static thread_pool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  usize in_flight_ = 0;  // queued + running
+  bool stop_ = false;
+};
+
+}  // namespace util

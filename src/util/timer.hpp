@@ -1,0 +1,41 @@
+// Wall-clock stopwatch used by the benchmark harnesses and by the simulated
+// runtimes' event profiling.
+#pragma once
+
+#include <chrono>
+
+#include "util/common.hpp"
+
+namespace util {
+
+class stopwatch {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction/reset.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Nanoseconds elapsed since construction/reset.
+  u64 nanos() const {
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - start_)
+            .count());
+  }
+
+  static u64 now_nanos() {
+    return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                clock::now().time_since_epoch())
+                                .count());
+  }
+
+ private:
+  clock::time_point start_;
+};
+
+}  // namespace util

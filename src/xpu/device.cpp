@@ -1,0 +1,68 @@
+#include "xpu/device.hpp"
+
+#include <algorithm>
+
+namespace xpu {
+
+device::device(std::string name, unsigned threads)
+    : name_(std::move(name)), pool_(threads) {}
+
+memory_stats device::memory() const {
+  std::lock_guard lock(mu_);
+  return mem_;
+}
+
+std::map<std::string, kernel_stats> device::kernels() const {
+  std::lock_guard lock(mu_);
+  return kernels_;
+}
+
+void device::reset_stats() {
+  std::lock_guard lock(mu_);
+  const u64 live = mem_.bytes_live;
+  mem_ = memory_stats{};
+  mem_.bytes_live = live;  // live allocations survive a stats reset
+  mem_.bytes_peak = live;
+  kernels_.clear();
+}
+
+void device::on_alloc(usize bytes) {
+  std::lock_guard lock(mu_);
+  mem_.bytes_allocated += bytes;
+  mem_.bytes_live += bytes;
+  mem_.bytes_peak = std::max(mem_.bytes_peak, mem_.bytes_live);
+}
+
+void device::on_free(usize bytes) {
+  std::lock_guard lock(mu_);
+  COF_CHECK(mem_.bytes_live >= bytes);
+  mem_.bytes_live -= bytes;
+}
+
+void device::on_h2d(usize bytes) {
+  std::lock_guard lock(mu_);
+  mem_.h2d_bytes += bytes;
+  ++mem_.h2d_ops;
+}
+
+void device::on_d2h(usize bytes) {
+  std::lock_guard lock(mu_);
+  mem_.d2h_bytes += bytes;
+  ++mem_.d2h_ops;
+}
+
+void device::record_launch(const std::string& name, const launch_stats& s) {
+  std::lock_guard lock(mu_);
+  kernel_stats& k = kernels_[name.empty() ? "<anonymous>" : name];
+  ++k.launches;
+  k.wall_nanos += s.wall_nanos;
+  k.work_items += s.work_items;
+  k.groups += s.groups;
+}
+
+device& device::simulator() {
+  static device dev("cof-simulated-accelerator");
+  return dev;
+}
+
+}  // namespace xpu

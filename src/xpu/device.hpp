@@ -1,0 +1,76 @@
+// The simulated accelerator: owns the worker pool work-groups execute on,
+// meters memory traffic and kernel launches. Both the OpenCL and SYCL
+// facades acquire the same device instance, mirroring the paper's setup
+// where both runtimes drive the same silicon.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+#include "xpu/executor.hpp"
+#include "xpu/mem.hpp"
+
+namespace xpu {
+
+/// Aggregated per-kernel launch accounting.
+struct kernel_stats {
+  u64 launches = 0;
+  u64 wall_nanos = 0;
+  u64 work_items = 0;
+  u64 groups = 0;
+};
+
+class device {
+ public:
+  /// threads == 0 selects hardware concurrency.
+  explicit device(std::string name, unsigned threads = 0);
+
+  const std::string& name() const { return name_; }
+  util::thread_pool& pool() { return pool_; }
+
+  /// Execute an ND-range kernel; records stats under cfg.name.
+  template <class F>
+  launch_stats run(const launch_config& cfg, F&& f) {
+    launch_stats s = launch(pool_, cfg, std::forward<F>(f));
+    record_launch(cfg.name, s);
+    return s;
+  }
+
+  launch_stats run_raw(const launch_config& cfg, kernel_invoke_fn fn, void* ctx) {
+    launch_stats s = launch_raw(pool_, cfg, fn, ctx);
+    record_launch(cfg.name, s);
+    return s;
+  }
+
+  /// Transfer metering for copies the facades perform directly on raw
+  /// device pointers (e.g. SYCL handler::copy through an accessor).
+  void meter_h2d(usize bytes) { on_h2d(bytes); }
+  void meter_d2h(usize bytes) { on_d2h(bytes); }
+
+  memory_stats memory() const;
+  std::map<std::string, kernel_stats> kernels() const;
+  /// Zero all accounting (between benchmark repetitions).
+  void reset_stats();
+
+  /// The process-wide simulated accelerator.
+  static device& simulator();
+
+ private:
+  friend class device_buffer;
+  void on_alloc(usize bytes);
+  void on_free(usize bytes);
+  void on_h2d(usize bytes);
+  void on_d2h(usize bytes);
+  void record_launch(const std::string& name, const launch_stats& s);
+
+  std::string name_;
+  util::thread_pool pool_;
+  mutable std::mutex mu_;
+  memory_stats mem_;
+  std::map<std::string, kernel_stats> kernels_;
+};
+
+}  // namespace xpu

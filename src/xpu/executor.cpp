@@ -1,0 +1,160 @@
+#include "xpu/executor.hpp"
+
+#include <vector>
+
+#include "util/timer.hpp"
+#include "xpu/fiber.hpp"
+
+namespace xpu {
+
+namespace {
+thread_local char* tl_local_mem_base = nullptr;
+}  // namespace
+
+char* current_local_mem_base() { return tl_local_mem_base; }
+
+namespace detail {
+
+/// Book-keeping shared by the fibers of one work-group.
+struct group_barrier_ctl {
+  usize at_barrier = 0;  // fibers suspended at the current barrier
+};
+
+void barrier_yield(group_barrier_ctl* ctl) {
+  ++ctl->at_barrier;
+  fiber::yield();
+}
+
+}  // namespace detail
+
+namespace {
+
+struct item_task {
+  kernel_invoke_fn fn;
+  void* ctx;
+  xitem* item;
+};
+
+void fiber_entry(void* p) {
+  auto* t = static_cast<item_task*>(p);
+  t->fn(t->ctx, *t->item);
+}
+
+void decompose_group(const launch_config& cfg, usize linear, usize out[3]) {
+  const usize g0 = cfg.group_count(0);
+  const usize g1 = cfg.group_count(1);
+  out[0] = linear % g0;
+  out[1] = (linear / g0) % g1;
+  out[2] = linear / (g0 * g1);
+}
+
+/// Execute one work-group without barrier support: a plain loop.
+void run_group_fast(const launch_config& cfg, kernel_invoke_fn fn, void* ctx,
+                    const usize group[3], char* local_base) {
+  usize local[3];
+  for (local[2] = 0; local[2] < cfg.local[2]; ++local[2]) {
+    for (local[1] = 0; local[1] < cfg.local[1]; ++local[1]) {
+      for (local[0] = 0; local[0] < cfg.local[0]; ++local[0]) {
+        xitem item(&cfg, group, local, nullptr, local_base);
+        fn(ctx, item);
+      }
+    }
+  }
+}
+
+/// Execute one work-group with fibers so item code can suspend at barriers.
+/// Round-based scheduler: every live fiber is resumed once per round; at the
+/// end of a round every live fiber must be parked at the barrier (or all
+/// must have finished) — otherwise the kernel executed a barrier
+/// non-uniformly, which is undefined behaviour we choose to detect.
+void run_group_fibers(const launch_config& cfg, kernel_invoke_fn fn, void* ctx,
+                      const usize group[3], char* local_base) {
+  const usize n = cfg.local_linear();
+  auto& stack_pool = fiber_stack_pool::this_thread();
+
+  detail::group_barrier_ctl ctl;
+  std::vector<xitem> items;
+  std::vector<item_task> tasks;
+  std::vector<fiber> fibers(n);
+  std::vector<std::unique_ptr<fiber_stack>> stacks(n);
+  items.reserve(n);
+  tasks.reserve(n);
+
+  usize local[3];
+  for (local[2] = 0; local[2] < cfg.local[2]; ++local[2]) {
+    for (local[1] = 0; local[1] < cfg.local[1]; ++local[1]) {
+      for (local[0] = 0; local[0] < cfg.local[0]; ++local[0]) {
+        items.emplace_back(&cfg, group, local, &ctl, local_base);
+      }
+    }
+  }
+  for (usize i = 0; i < n; ++i) {
+    tasks.push_back(item_task{fn, ctx, &items[i]});
+    stacks[i] = stack_pool.acquire();
+    fibers[i].start(stacks[i].get(), &fiber_entry, &tasks[i]);
+  }
+
+  usize live = n;
+  while (live > 0) {
+    ctl.at_barrier = 0;
+    usize finished_this_round = 0;
+    for (usize i = 0; i < n; ++i) {
+      if (fibers[i].done()) continue;
+      if (fibers[i].resume()) ++finished_this_round;
+    }
+    COF_CHECK_MSG(ctl.at_barrier == 0 || finished_this_round == 0,
+                  "non-uniform barrier: some work-items finished while others "
+                  "are waiting at a barrier");
+    COF_CHECK_MSG(ctl.at_barrier + finished_this_round != 0 || live == 0,
+                  "scheduler made no progress");
+    live -= finished_this_round;
+  }
+
+  for (usize i = 0; i < n; ++i) stack_pool.release(std::move(stacks[i]));
+}
+
+}  // namespace
+
+launch_stats launch_raw(util::thread_pool& pool, const launch_config& cfg,
+                        kernel_invoke_fn fn, void* ctx) {
+  COF_CHECK(cfg.dims >= 1 && cfg.dims <= 3);
+  for (unsigned d = 0; d < 3; ++d) {
+    COF_CHECK_MSG(cfg.local[d] > 0 && cfg.global[d] % cfg.local[d] == 0,
+                  "work-group size must divide the ND-range size in each dim");
+  }
+
+  util::stopwatch sw;
+  const usize ngroups = cfg.group_count_linear();
+
+  auto run_groups = [&cfg, fn, ctx](usize begin, usize end) {
+    // Per-group local memory arena, reused across the groups this thread runs.
+    thread_local std::vector<char> local_arena;
+    if (local_arena.size() < cfg.local_mem_bytes) local_arena.resize(cfg.local_mem_bytes);
+    char* base = cfg.local_mem_bytes != 0 ? local_arena.data() : nullptr;
+    tl_local_mem_base = base;
+    for (usize g = begin; g < end; ++g) {
+      usize group[3];
+      decompose_group(cfg, g, group);
+      if (cfg.uses_barrier) {
+        run_group_fibers(cfg, fn, ctx, group, base);
+      } else {
+        run_group_fast(cfg, fn, ctx, group, base);
+      }
+    }
+    tl_local_mem_base = nullptr;
+  };
+
+  if (pool.size() <= 1 || ngroups <= 1) {
+    run_groups(0, ngroups);
+  } else {
+    pool.parallel_for_range(ngroups, run_groups);
+  }
+
+  launch_stats stats;
+  stats.wall_nanos = sw.nanos();
+  stats.groups = ngroups;
+  stats.work_items = cfg.global_linear();
+  return stats;
+}
+
+}  // namespace xpu

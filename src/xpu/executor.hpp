@@ -1,0 +1,41 @@
+// ND-range executor: distributes work-groups over a thread pool; within a
+// group, either loops work-items directly (no barrier) or schedules them as
+// fibers round-robining between barrier points (exact OpenCL/SYCL barrier
+// semantics, including detection of non-uniform barrier execution).
+#pragma once
+
+#include <type_traits>
+
+#include "util/thread_pool.hpp"
+#include "xpu/ndrange.hpp"
+
+namespace xpu {
+
+/// Statistics describing one completed launch.
+struct launch_stats {
+  u64 wall_nanos = 0;
+  usize groups = 0;
+  usize work_items = 0;
+};
+
+using kernel_invoke_fn = void (*)(void* ctx, xitem& item);
+
+/// Type-erased entry point (implementation in executor.cpp).
+launch_stats launch_raw(util::thread_pool& pool, const launch_config& cfg,
+                        kernel_invoke_fn fn, void* ctx);
+
+/// Launch `f(xitem&)` over the ND-range described by cfg.
+template <class F>
+launch_stats launch(util::thread_pool& pool, const launch_config& cfg, F&& f) {
+  using Fn = std::remove_reference_t<F>;
+  kernel_invoke_fn thunk = [](void* c, xitem& it) { (*static_cast<Fn*>(c))(it); };
+  return launch_raw(pool, cfg, thunk, const_cast<Fn*>(&f));
+}
+
+/// Thread-local base pointer of the work-group local-memory arena for the
+/// group currently executing on this thread. The SYCL local_accessor and the
+/// OpenCL local kernel arguments resolve through this (a pool thread runs
+/// exactly one work-group at a time, so this is race-free).
+char* current_local_mem_base();
+
+}  // namespace xpu

@@ -1,0 +1,155 @@
+#include "xpu/fiber.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace xpu {
+
+using util::usize;
+
+// ---------------------------------------------------------------------------
+// fiber_stack
+// ---------------------------------------------------------------------------
+
+fiber_stack::fiber_stack(usize usable_bytes) {
+  const usize page = static_cast<usize>(::sysconf(_SC_PAGESIZE));
+  usable_size_ = util::round_up(usable_bytes, page);
+  map_size_ = usable_size_ + page;  // +1 guard page at the low end
+  void* p = ::mmap(nullptr, map_size_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  COF_CHECK_MSG(p != MAP_FAILED, "mmap fiber stack failed");
+  map_base_ = p;
+  COF_CHECK(::mprotect(p, page, PROT_NONE) == 0);
+  usable_base_ = static_cast<char*>(p) + page;
+}
+
+fiber_stack::~fiber_stack() {
+  if (map_base_ != nullptr) ::munmap(map_base_, map_size_);
+}
+
+// ---------------------------------------------------------------------------
+// fiber_stack_pool
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<fiber_stack> fiber_stack_pool::acquire() {
+  if (!free_.empty()) {
+    auto s = std::move(free_.back());
+    free_.pop_back();
+    return s;
+  }
+  return std::make_unique<fiber_stack>(kStackBytes);
+}
+
+void fiber_stack_pool::release(std::unique_ptr<fiber_stack> s) {
+  free_.push_back(std::move(s));
+}
+
+fiber_stack_pool& fiber_stack_pool::this_thread() {
+  thread_local fiber_stack_pool pool;
+  return pool;
+}
+
+// ---------------------------------------------------------------------------
+// fiber
+// ---------------------------------------------------------------------------
+
+namespace {
+thread_local fiber* tl_current_fiber = nullptr;
+}  // namespace
+
+// Runs the fiber body; reached via the first context switch into the fiber.
+void fiber_trampoline_dispatch() {
+  fiber* f = tl_current_fiber;
+  f->entry_(f->arg_);
+  f->done_ = true;
+  // Final switch back to the scheduler; this fiber is never resumed again.
+#if COF_FIBER_UCONTEXT
+  // ucontext path returns via uc_link instead.
+#else
+  fiber::yield();
+#endif
+}
+
+#if COF_FIBER_UCONTEXT
+
+namespace {
+void ucontext_entry() { fiber_trampoline_dispatch(); }
+}  // namespace
+
+void fiber::start(fiber_stack* stack, entry_t entry, void* arg) {
+  entry_ = entry;
+  arg_ = arg;
+  done_ = false;
+  COF_CHECK(getcontext(&fiber_ctx_) == 0);
+  fiber_ctx_.uc_stack.ss_sp = stack->base();
+  fiber_ctx_.uc_stack.ss_size = stack->size();
+  fiber_ctx_.uc_link = &sched_ctx_;
+  makecontext(&fiber_ctx_, reinterpret_cast<void (*)()>(ucontext_entry), 0);
+}
+
+bool fiber::resume() {
+  COF_CHECK(!done_);
+  fiber* prev = tl_current_fiber;
+  tl_current_fiber = this;
+  COF_CHECK(swapcontext(&sched_ctx_, &fiber_ctx_) == 0);
+  tl_current_fiber = prev;
+  return done_;
+}
+
+void fiber::yield() {
+  fiber* f = tl_current_fiber;
+  COF_CHECK_MSG(f != nullptr, "fiber::yield outside a fiber");
+  COF_CHECK(swapcontext(&f->fiber_ctx_, &f->sched_ctx_) == 0);
+}
+
+#else  // x86-64 fast path
+
+extern "C" void cof_ctx_switch(void** save_sp, void* load_sp);
+
+namespace {
+// Entered via `ret` from the first cof_ctx_switch into the fiber.
+extern "C" void cof_fiber_trampoline() {
+  fiber_trampoline_dispatch();
+  __builtin_unreachable();
+}
+}  // namespace
+
+void fiber::start(fiber_stack* stack, entry_t entry, void* arg) {
+  entry_ = entry;
+  arg_ = arg;
+  done_ = false;
+
+  // Build an initial stack frame that cof_ctx_switch can "return" from:
+  //   [6 callee-saved slots][return address = trampoline]   <- high addresses
+  // The trampoline must observe rsp % 16 == 8 at entry (as if reached via a
+  // call instruction), so place the return-address slot at a 16-byte-aligned
+  // address minus 8... i.e. top is chosen so that after `ret` rsp % 16 == 8.
+  char* high = stack->base() + stack->size();
+  auto top = reinterpret_cast<util::u64>(high) & ~static_cast<util::u64>(15);
+  top -= 8;  // rsp after ret == top; (top % 16) == 8
+  auto* slots = reinterpret_cast<util::u64*>(top) - 7;  // 6 regs + ret addr
+  for (int i = 0; i < 6; ++i) slots[i] = 0;             // rbp..r15 garbage-safe
+  slots[6] = reinterpret_cast<util::u64>(&cof_fiber_trampoline);
+  fiber_sp_ = slots;
+}
+
+bool fiber::resume() {
+  COF_CHECK(!done_);
+  fiber* prev = tl_current_fiber;
+  tl_current_fiber = this;
+  cof_ctx_switch(&sched_sp_, fiber_sp_);
+  tl_current_fiber = prev;
+  return done_;
+}
+
+void fiber::yield() {
+  fiber* f = tl_current_fiber;
+  COF_CHECK_MSG(f != nullptr, "fiber::yield outside a fiber");
+  cof_ctx_switch(&f->fiber_sp_, f->sched_sp_);
+}
+
+#endif
+
+}  // namespace xpu

@@ -1,0 +1,95 @@
+// Stackful fibers used to give work-items real suspension points at group
+// barriers. A work-group with barriers runs each of its work-items as a
+// fiber; the owning pool thread round-robins the fibers between barrier
+// points (see executor.cpp).
+//
+// On x86-64 we use a ~20-instruction context switch (ctx_switch.S) because
+// glibc's swapcontext() performs a sigprocmask syscall per switch, which
+// would dominate kernel execution time at millions of work-items. Other
+// architectures fall back to <ucontext.h>.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "util/common.hpp"
+
+#if !defined(__x86_64__)
+#include <ucontext.h>
+#define COF_FIBER_UCONTEXT 1
+#endif
+
+namespace xpu {
+
+/// A reusable fiber stack (mmap'd, with a PROT_NONE guard page at the low
+/// end so overflow faults instead of silently corrupting the heap).
+class fiber_stack {
+ public:
+  explicit fiber_stack(util::usize usable_bytes);
+  ~fiber_stack();
+  fiber_stack(const fiber_stack&) = delete;
+  fiber_stack& operator=(const fiber_stack&) = delete;
+
+  char* base() const { return usable_base_; }
+  util::usize size() const { return usable_size_; }
+
+ private:
+  void* map_base_ = nullptr;
+  util::usize map_size_ = 0;
+  char* usable_base_ = nullptr;
+  util::usize usable_size_ = 0;
+};
+
+/// Per-thread pool of fiber stacks; acquire/release are lock-free because
+/// each pool thread owns its own pool instance (thread_local).
+class fiber_stack_pool {
+ public:
+  static constexpr util::usize kStackBytes = 64 * 1024;
+
+  std::unique_ptr<fiber_stack> acquire();
+  void release(std::unique_ptr<fiber_stack> s);
+
+  static fiber_stack_pool& this_thread();
+
+ private:
+  std::vector<std::unique_ptr<fiber_stack>> free_;
+};
+
+/// A single fiber. One-shot: start() once, resume() until done().
+class fiber {
+ public:
+  using entry_t = void (*)(void*);
+
+  fiber() = default;
+  fiber(const fiber&) = delete;
+  fiber& operator=(const fiber&) = delete;
+
+  /// Prepare the fiber to run entry(arg) on the given stack.
+  void start(fiber_stack* stack, entry_t entry, void* arg);
+
+  /// Switch into the fiber from the scheduler; returns true once the fiber's
+  /// entry function has returned. Must be called on the thread that owns it.
+  bool resume();
+
+  /// Called from inside a running fiber: suspend back to the scheduler.
+  static void yield();
+
+  bool done() const { return done_; }
+
+ private:
+  static void trampoline_entry();
+  friend void fiber_trampoline_dispatch();
+
+#if COF_FIBER_UCONTEXT
+  ucontext_t sched_ctx_{};
+  ucontext_t fiber_ctx_{};
+#else
+  void* sched_sp_ = nullptr;
+  void* fiber_sp_ = nullptr;
+#endif
+  entry_t entry_ = nullptr;
+  void* arg_ = nullptr;
+  bool done_ = false;
+};
+
+}  // namespace xpu

@@ -1,0 +1,52 @@
+#include "xpu/mem.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "xpu/device.hpp"
+
+namespace xpu {
+
+device_buffer::device_buffer(device& dev, usize bytes) : dev_(&dev) {
+  storage_.resize(bytes);
+  dev_->on_alloc(bytes);
+}
+
+device_buffer::~device_buffer() { release(); }
+
+device_buffer::device_buffer(device_buffer&& other) noexcept
+    : dev_(std::exchange(other.dev_, nullptr)), storage_(std::move(other.storage_)) {
+  other.storage_.clear();
+}
+
+device_buffer& device_buffer::operator=(device_buffer&& other) noexcept {
+  if (this != &other) {
+    release();
+    dev_ = std::exchange(other.dev_, nullptr);
+    storage_ = std::move(other.storage_);
+    other.storage_.clear();
+  }
+  return *this;
+}
+
+void device_buffer::release() {
+  if (dev_ != nullptr) {
+    dev_->on_free(storage_.size());
+    dev_ = nullptr;
+  }
+  storage_.clear();
+}
+
+void device_buffer::write(usize offset, const void* src, usize n) {
+  COF_CHECK_MSG(offset + n <= storage_.size(), "device write out of bounds");
+  std::memcpy(storage_.data() + offset, src, n);
+  dev_->on_h2d(n);
+}
+
+void device_buffer::read(usize offset, void* dst, usize n) const {
+  COF_CHECK_MSG(offset + n <= storage_.size(), "device read out of bounds");
+  std::memcpy(dst, storage_.data() + offset, n);
+  dev_->on_d2h(n);
+}
+
+}  // namespace xpu

@@ -1,0 +1,85 @@
+// Engine-level ND-range launch description and the per-work-item handle
+// (xitem). Both the OpenCL and SYCL facades lower their launches onto these
+// types; the facades' own item/nd_item classes are thin wrappers.
+#pragma once
+
+#include "util/common.hpp"
+
+namespace xpu {
+
+using util::u32;
+using util::u64;
+using util::usize;
+
+/// Launch geometry + local-memory requirement for one kernel enqueue.
+struct launch_config {
+  unsigned dims = 1;            // 1..3
+  usize global[3] = {1, 1, 1};  // total work-items per dimension
+  usize local[3] = {1, 1, 1};   // work-group size per dimension (divides global)
+  usize local_mem_bytes = 0;    // shared local memory per work-group
+  bool uses_barrier = false;    // enables the fiber-based group scheduler
+  const char* name = "";        // kernel name for profiling
+
+  usize global_linear() const { return global[0] * global[1] * global[2]; }
+  usize local_linear() const { return local[0] * local[1] * local[2]; }
+  usize group_count(unsigned d) const { return global[d] / local[d]; }
+  usize group_count_linear() const {
+    return group_count(0) * group_count(1) * group_count(2);
+  }
+};
+
+namespace detail {
+struct group_barrier_ctl;  // defined in executor.cpp
+void barrier_yield(group_barrier_ctl* ctl);
+}  // namespace detail
+
+/// Handle describing one work-item's coordinates within a launch. Mirrors
+/// the queryable state of an OpenCL work-item / SYCL nd_item.
+class xitem {
+ public:
+  xitem(const launch_config* cfg, const usize group[3], const usize local[3],
+        detail::group_barrier_ctl* ctl, char* local_base)
+      : cfg_(cfg), ctl_(ctl), local_base_(local_base) {
+    for (int d = 0; d < 3; ++d) {
+      group_[d] = group[d];
+      local_[d] = local[d];
+      global_[d] = group[d] * cfg->local[d] + local[d];
+    }
+  }
+
+  usize get_global_id(unsigned d) const { return global_[d]; }
+  usize get_local_id(unsigned d) const { return local_[d]; }
+  usize get_group(unsigned d) const { return group_[d]; }
+  usize get_global_range(unsigned d) const { return cfg_->global[d]; }
+  usize get_local_range(unsigned d) const { return cfg_->local[d]; }
+  usize get_group_range(unsigned d) const { return cfg_->group_count(d); }
+
+  usize get_global_linear_id() const {
+    return (global_[2] * cfg_->global[1] + global_[1]) * cfg_->global[0] + global_[0];
+  }
+  usize get_local_linear_id() const {
+    return (local_[2] * cfg_->local[1] + local_[1]) * cfg_->local[0] + local_[0];
+  }
+
+  /// Work-group barrier (local memory fence semantics). Only legal when the
+  /// launch declared uses_barrier; all work-items of the group must reach
+  /// the same number of barriers (checked by the scheduler).
+  void barrier() const {
+    COF_CHECK_MSG(ctl_ != nullptr,
+                  "barrier() in a launch that did not declare uses_barrier");
+    detail::barrier_yield(ctl_);
+  }
+
+  /// Base of this work-group's shared local memory arena.
+  char* local_mem_base() const { return local_base_; }
+
+ private:
+  usize global_[3];
+  usize local_[3];
+  usize group_[3];
+  const launch_config* cfg_;
+  detail::group_barrier_ctl* ctl_;
+  char* local_base_;
+};
+
+}  // namespace xpu

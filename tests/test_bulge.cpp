@@ -1,0 +1,135 @@
+// Bulge-extension tests: variant enumeration and recovery of sites with
+// DNA/RNA bulges.
+#include <gtest/gtest.h>
+
+#include "core/bulge.hpp"
+#include "genome/iupac.hpp"
+
+namespace {
+
+using namespace cof;
+
+const std::string kPattern = "NNNNNNNNNNNNNNNNNNNNNRG";
+const std::string kQuery = "GGCCGACCTGTCGCTGACGCNNN";
+
+TEST(BulgeExpand, NoBulgeYieldsOriginalOnly) {
+  auto v = expand_bulges(kPattern, kQuery, {});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].type, bulge_type::none);
+  EXPECT_EQ(v[0].query, kQuery);
+  EXPECT_EQ(v[0].pattern, kPattern);
+}
+
+TEST(BulgeExpand, DnaBulgeLengthensQueryAndPattern) {
+  auto v = expand_bulges(kPattern, kQuery, {.dna_bulge = 1});
+  ASSERT_GT(v.size(), 1u);
+  for (size_t i = 1; i < v.size(); ++i) {
+    EXPECT_EQ(v[i].type, bulge_type::dna);
+    EXPECT_EQ(v[i].query.size(), kQuery.size() + 1);
+    EXPECT_EQ(v[i].pattern.size(), kPattern.size() + 1);
+    EXPECT_EQ(v[i].query.size(), v[i].pattern.size());
+  }
+  // one variant per interior insertion point
+  const util::usize nrun = 21;  // leading N-run of the pattern
+  EXPECT_EQ(v.size(), 1 + (nrun - 1));
+}
+
+TEST(BulgeExpand, RnaBulgeShortensQuery) {
+  auto v = expand_bulges(kPattern, kQuery, {.rna_bulge = 2});
+  size_t rna1 = 0, rna2 = 0;
+  for (const auto& var : v) {
+    if (var.type == bulge_type::rna) {
+      EXPECT_EQ(var.query.size(), kQuery.size() - var.size);
+      EXPECT_EQ(var.query.size(), var.pattern.size());
+      (var.size == 1 ? rna1 : rna2)++;
+    }
+  }
+  EXPECT_GT(rna1, 0u);
+  EXPECT_GT(rna2, 0u);
+}
+
+TEST(BulgeExpandDeath, RequiresLeadingNRun) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH((void)expand_bulges("ACGT", "ACGT", {.dna_bulge = 1}), "N-run");
+}
+
+genome::genome_t background(util::usize len = 3000) {
+  genome::genome_t g;
+  g.chroms.push_back({"chr", std::string(len, 'T')});
+  return g;
+}
+
+TEST(BulgeSearch, FindsExactSiteViaNoneVariant) {
+  auto g = background();
+  const std::string site = "GGCCGACCTGTCGCTGACGCTGG";
+  g.chroms[0].seq.replace(100, site.size(), site);
+  auto recs = bulge_search(kPattern, {kQuery, 3}, {.dna_bulge = 1, .rna_bulge = 1}, g,
+                           {.backend = backend_kind::serial});
+  bool found = false;
+  for (const auto& r : recs) {
+    if (r.hit.position == 100 && r.variant.type == bulge_type::none &&
+        r.hit.mismatches == 0) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BulgeSearch, FindsDnaBulgeSite) {
+  // DNA bulge: the genome carries one EXTRA base inside the guide match.
+  auto g = background();
+  const std::string guide = kQuery.substr(0, 20);
+  std::string site = guide.substr(0, 10) + "A" + guide.substr(10) + "TGG";
+  g.chroms[0].seq.replace(200, site.size(), site);
+  auto recs = bulge_search(kPattern, {kQuery, 0}, {.dna_bulge = 1}, g,
+                           {.backend = backend_kind::serial});
+  bool found = false;
+  for (const auto& r : recs) {
+    if (r.hit.position == 200 && r.variant.type == bulge_type::dna &&
+        r.variant.size == 1 && r.hit.mismatches == 0) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BulgeSearch, FindsRnaBulgeSite) {
+  // RNA bulge: the genome is MISSING one guide base.
+  auto g = background();
+  const std::string guide = kQuery.substr(0, 20);
+  std::string site = guide.substr(0, 8) + guide.substr(9) + "TGG";  // drop base 8
+  g.chroms[0].seq.replace(400, site.size(), site);
+  auto recs = bulge_search(kPattern, {kQuery, 0}, {.rna_bulge = 1}, g,
+                           {.backend = backend_kind::serial});
+  bool found = false;
+  for (const auto& r : recs) {
+    if (r.hit.position == 400 && r.variant.type == bulge_type::rna &&
+        r.variant.size == 1 && r.hit.mismatches == 0) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BulgeSearch, ExactSiteNotReattributedToBulge) {
+  // A perfect bulge-free site must be reported by the none-variant even when
+  // bulge variants could also align it (smallest bulge wins the dedup).
+  auto g = background();
+  const std::string site = "GGCCGACCTGTCGCTGACGCTGG";
+  g.chroms[0].seq.replace(150, site.size(), site);
+  auto recs = bulge_search(kPattern, {kQuery, 5}, {.dna_bulge = 2, .rna_bulge = 2}, g,
+                           {.backend = backend_kind::serial});
+  for (const auto& r : recs) {
+    if (r.hit.position == 150 && r.hit.direction == '+') {
+      EXPECT_EQ(r.variant.type, bulge_type::none);
+    }
+  }
+}
+
+TEST(BulgeTypeNames, MatchCasOffinderConvention) {
+  EXPECT_STREQ(bulge_type_name(bulge_type::none), "X");
+  EXPECT_STREQ(bulge_type_name(bulge_type::dna), "DNA");
+  EXPECT_STREQ(bulge_type_name(bulge_type::rna), "RNA");
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+// Chunker tests: coverage of every fixed-length window, overlap handling.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "genome/chunker.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+genome::genome_t make_genome(std::vector<util::usize> lens) {
+  genome::genome_t g;
+  util::rng rng(3);
+  int idx = 0;
+  for (auto len : lens) {
+    genome::chromosome c;
+    c.name = "chr" + std::to_string(++idx);
+    for (util::usize i = 0; i < len; ++i) c.seq += "ACGT"[rng.next_below(4)];
+    g.chroms.push_back(std::move(c));
+  }
+  return g;
+}
+
+TEST(Chunker, SingleChunkWhenSmall) {
+  auto g = make_genome({100});
+  auto chunks = genome::make_chunks(g, 1000, 22);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].offset, 0u);
+  EXPECT_EQ(chunks[0].length, 100u);
+}
+
+TEST(Chunker, SplitsWithOverlap) {
+  auto g = make_genome({250});
+  auto chunks = genome::make_chunks(g, 100, 22);
+  ASSERT_GE(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0].offset, 0u);
+  EXPECT_EQ(chunks[1].offset, 100u - 22u);  // re-covers the last 22 bases
+  for (size_t i = 1; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].offset, chunks[i - 1].offset + chunks[i - 1].length - 22);
+  }
+  EXPECT_EQ(chunks.back().offset + chunks.back().length, 250u);
+}
+
+TEST(Chunker, SkipsEmptyChromosomes) {
+  auto g = make_genome({50, 0, 30});
+  auto chunks = genome::make_chunks(g, 100, 5);
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[0].chrom_index, 0u);
+  EXPECT_EQ(chunks[1].chrom_index, 2u);
+}
+
+TEST(ChunkerDeath, OverlapMustBeSmallerThanChunk) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  auto g = make_genome({100});
+  EXPECT_DEATH((void)genome::make_chunks(g, 10, 10), "exceed");
+}
+
+TEST(Chunker, ChunkViewMatchesSequence) {
+  auto g = make_genome({300});
+  auto chunks = genome::make_chunks(g, 128, 22);
+  for (const auto& c : chunks) {
+    EXPECT_EQ(genome::chunk_view(g, c),
+              std::string_view(g.chroms[c.chrom_index].seq).substr(c.offset, c.length));
+  }
+}
+
+// Property: every window of length (overlap+1) lies entirely inside at
+// least one chunk — no search window is lost at a boundary.
+class ChunkCoverage
+    : public ::testing::TestWithParam<std::tuple<util::usize, util::usize, util::usize>> {};
+
+TEST_P(ChunkCoverage, EveryWindowInsideSomeChunk) {
+  const auto [chrom_len, max_chunk, plen] = GetParam();
+  auto g = make_genome({chrom_len});
+  auto chunks = genome::make_chunks(g, max_chunk, plen - 1);
+  if (chrom_len < plen) return;
+  for (util::usize w = 0; w + plen <= chrom_len; ++w) {
+    bool covered = false;
+    for (const auto& c : chunks) {
+      if (w >= c.offset && w + plen <= c.offset + c.length) {
+        covered = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(covered) << "window at " << w << " uncovered";  // NOLINT
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ChunkCoverage,
+    ::testing::Values(std::tuple{1000u, 100u, 23u}, std::tuple{997u, 64u, 23u},
+                      std::tuple{100u, 24u, 23u}, std::tuple{64u, 100u, 23u},
+                      std::tuple{230u, 47u, 12u}, std::tuple{22u, 100u, 23u}));
+
+TEST(Chunker, ReassemblyWithoutOverlapIsIdentity) {
+  auto g = make_genome({777});
+  auto chunks = genome::make_chunks(g, 100, 0);
+  std::string rebuilt;
+  for (const auto& c : chunks) rebuilt += genome::chunk_view(g, c);
+  EXPECT_EQ(rebuilt, g.chroms[0].seq);
+}
+
+TEST(Chunker, MultiChromosomeOrdering) {
+  auto g = make_genome({150, 80});
+  auto chunks = genome::make_chunks(g, 100, 10);
+  // chr1 chunks first, then chr2; offsets monotone within a chromosome.
+  util::usize prev_chrom = 0, prev_off = 0;
+  for (const auto& c : chunks) {
+    ASSERT_GE(c.chrom_index, prev_chrom);
+    if (c.chrom_index == prev_chrom) {
+      ASSERT_GE(c.offset, prev_off);
+    }
+    prev_chrom = c.chrom_index;
+    prev_off = c.offset;
+  }
+}
+
+}  // namespace

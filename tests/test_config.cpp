@@ -1,0 +1,72 @@
+// Input-file format tests.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/config.hpp"
+
+namespace {
+
+TEST(Config, ParsesExampleInput) {
+  auto cfg = cof::parse_input(cof::example_input("synth:hg19"));
+  EXPECT_EQ(cfg.genome_path, "synth:hg19");
+  EXPECT_EQ(cfg.pattern, "NNNNNNNNNNNNNNNNNNNNNRG");
+  ASSERT_EQ(cfg.queries.size(), 3u);
+  EXPECT_EQ(cfg.queries[0].seq, "GGCCGACCTGTCGCTGACGCNNN");
+  EXPECT_EQ(cfg.queries[0].max_mismatches, 5);
+}
+
+TEST(Config, SkipsCommentsAndBlankLines) {
+  auto cfg = cof::parse_input(
+      "# genome\n\n/g.fa\n# pattern\nNNGG\n\nACGG 2\n# done\n");
+  EXPECT_EQ(cfg.genome_path, "/g.fa");
+  EXPECT_EQ(cfg.pattern, "NNGG");
+  ASSERT_EQ(cfg.queries.size(), 1u);
+  EXPECT_EQ(cfg.queries[0].max_mismatches, 2);
+}
+
+TEST(Config, NormalisesCase) {
+  auto cfg = cof::parse_input("/g\nnngg\nacgg 1\n");
+  EXPECT_EQ(cfg.pattern, "NNGG");
+  EXPECT_EQ(cfg.queries[0].seq, "ACGG");
+}
+
+TEST(ConfigDeath, QueryLengthMismatch) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH((void)cof::parse_input("/g\nNNGG\nACGGT 1\n"), "length differs");
+}
+
+TEST(ConfigDeath, MalformedQueryLine) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH((void)cof::parse_input("/g\nNNGG\nACGG\n"), "query line");
+  EXPECT_DEATH((void)cof::parse_input("/g\nNNGG\nACGG x\n"), "bad mismatch");
+}
+
+TEST(ConfigDeath, MissingSections) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH((void)cof::parse_input(""), "genome line");
+  EXPECT_DEATH((void)cof::parse_input("/g\nNNGG\n"), "no queries");
+}
+
+TEST(Config, ReadFromFile) {
+  namespace fs = std::filesystem;
+  const auto path =
+      fs::temp_directory_path() / ("cof_cfg_" + std::to_string(::getpid()) + ".txt");
+  {
+    std::ofstream out(path);
+    out << cof::example_input("synth:hg38");
+  }
+  auto cfg = cof::read_input_file(path.string());
+  EXPECT_EQ(cfg.genome_path, "synth:hg38");
+  EXPECT_EQ(cfg.queries.size(), 3u);
+  fs::remove(path);
+}
+
+TEST(ConfigDeath, MissingFile) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH((void)cof::read_input_file("/no/such/input.txt"), "cannot open");
+}
+
+}  // namespace

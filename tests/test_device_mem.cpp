@@ -1,0 +1,122 @@
+// Unit tests for simulated device memory and transfer metering.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "xpu/device.hpp"
+#include "xpu/mem.hpp"
+
+namespace {
+
+TEST(DeviceMem, RoundTrip) {
+  xpu::device dev("mem1", 1);
+  xpu::device_buffer buf(dev, 100);
+  std::vector<char> src(100), dst(100);
+  for (int i = 0; i < 100; ++i) src[i] = static_cast<char>(i);
+  buf.write(0, src.data(), 100);
+  buf.read(0, dst.data(), 100);
+  EXPECT_EQ(src, dst);
+}
+
+TEST(DeviceMem, OffsetTransfers) {
+  xpu::device dev("mem2", 1);
+  xpu::device_buffer buf(dev, 64);
+  const char payload[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  buf.write(16, payload, 8);
+  char out[8] = {};
+  buf.read(16, out, 8);
+  EXPECT_EQ(0, memcmp(payload, out, 8));
+}
+
+TEST(DeviceMem, MetersBytesAndOps) {
+  xpu::device dev("mem3", 1);
+  xpu::device_buffer buf(dev, 1024);
+  std::vector<char> tmp(256);
+  buf.write(0, tmp.data(), 256);
+  buf.write(256, tmp.data(), 128);
+  buf.read(0, tmp.data(), 64);
+  auto s = dev.memory();
+  EXPECT_EQ(s.h2d_bytes, 384u);
+  EXPECT_EQ(s.h2d_ops, 2u);
+  EXPECT_EQ(s.d2h_bytes, 64u);
+  EXPECT_EQ(s.d2h_ops, 1u);
+}
+
+TEST(DeviceMem, AllocationAccounting) {
+  xpu::device dev("mem4", 1);
+  {
+    xpu::device_buffer a(dev, 1000);
+    EXPECT_EQ(dev.memory().bytes_live, 1000u);
+    {
+      xpu::device_buffer b(dev, 500);
+      EXPECT_EQ(dev.memory().bytes_live, 1500u);
+      EXPECT_EQ(dev.memory().bytes_peak, 1500u);
+    }
+    EXPECT_EQ(dev.memory().bytes_live, 1000u);
+    EXPECT_EQ(dev.memory().bytes_peak, 1500u);  // peak sticks
+  }
+  EXPECT_EQ(dev.memory().bytes_live, 0u);
+  EXPECT_EQ(dev.memory().bytes_allocated, 1500u);
+}
+
+TEST(DeviceMem, MoveTransfersOwnership) {
+  xpu::device dev("mem5", 1);
+  xpu::device_buffer a(dev, 100);
+  char v = 42;
+  a.write(0, &v, 1);
+  xpu::device_buffer b(std::move(a));
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  char out = 0;
+  b.read(0, &out, 1);
+  EXPECT_EQ(out, 42);
+  EXPECT_EQ(dev.memory().bytes_live, 100u);  // one allocation accounted
+  xpu::device_buffer c(dev, 50);
+  c = std::move(b);
+  EXPECT_EQ(dev.memory().bytes_live, 100u);  // c's old 50 freed
+}
+
+TEST(DeviceMem, ResetStatsKeepsLiveBytes) {
+  xpu::device dev("mem6", 1);
+  xpu::device_buffer a(dev, 64);
+  std::vector<char> tmp(64);
+  a.write(0, tmp.data(), 64);
+  dev.reset_stats();
+  auto s = dev.memory();
+  EXPECT_EQ(s.h2d_bytes, 0u);
+  EXPECT_EQ(s.bytes_live, 64u);
+}
+
+TEST(DeviceMemDeath, OutOfBoundsWrite) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(
+      {
+        xpu::device dev("memd", 1);
+        xpu::device_buffer buf(dev, 16);
+        char x[32] = {};
+        buf.write(0, x, 32);
+      },
+      "out of bounds");
+}
+
+TEST(DeviceMemDeath, OutOfBoundsReadAtOffset) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(
+      {
+        xpu::device dev("memd2", 1);
+        xpu::device_buffer buf(dev, 16);
+        char x[8] = {};
+        buf.read(12, x, 8);
+      },
+      "out of bounds");
+}
+
+TEST(DeviceMem, MeterHooksForFacadeCopies) {
+  xpu::device dev("mem7", 1);
+  dev.meter_h2d(123);
+  dev.meter_d2h(45);
+  EXPECT_EQ(dev.memory().h2d_bytes, 123u);
+  EXPECT_EQ(dev.memory().d2h_bytes, 45u);
+}
+
+}  // namespace

@@ -1,0 +1,247 @@
+// Unit + property tests for the ND-range executor: coordinates, barriers,
+// local memory, validation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "xpu/device.hpp"
+
+namespace {
+
+using xpu::launch_config;
+using xpu::xitem;
+
+xpu::device& dev() {
+  static xpu::device d("test-exec", 2);
+  return d;
+}
+
+TEST(Executor, GlobalIdsCoverRange1D) {
+  launch_config cfg;
+  cfg.global[0] = 1000;
+  cfg.local[0] = 10;
+  std::vector<std::atomic<int>> hits(1000);
+  dev().run(cfg, [&](xitem& it) { hits[it.get_global_id(0)].fetch_add(1); });
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(Executor, CoordinateIdentities3D) {
+  launch_config cfg;
+  cfg.dims = 3;
+  cfg.global[0] = 8;
+  cfg.global[1] = 6;
+  cfg.global[2] = 4;
+  cfg.local[0] = 4;
+  cfg.local[1] = 3;
+  cfg.local[2] = 2;
+  std::atomic<int> bad{0};
+  dev().run(cfg, [&](xitem& it) {
+    for (unsigned d = 0; d < 3; ++d) {
+      if (it.get_global_id(d) !=
+          it.get_group(d) * it.get_local_range(d) + it.get_local_id(d)) {
+        bad.fetch_add(1);
+      }
+      if (it.get_local_id(d) >= it.get_local_range(d)) bad.fetch_add(1);
+      if (it.get_group(d) >= it.get_group_range(d)) bad.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(Executor, LinearIdsAreBijective) {
+  launch_config cfg;
+  cfg.dims = 2;
+  cfg.global[0] = 16;
+  cfg.global[1] = 8;
+  cfg.local[0] = 4;
+  cfg.local[1] = 4;
+  std::vector<std::atomic<int>> hits(16 * 8);
+  dev().run(cfg, [&](xitem& it) { hits[it.get_global_linear_id()].fetch_add(1); });
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(Executor, BarrierMakesPeerWritesVisible) {
+  launch_config cfg;
+  cfg.global[0] = 512;
+  cfg.local[0] = 32;
+  cfg.local_mem_bytes = 32 * sizeof(int);
+  cfg.uses_barrier = true;
+  std::atomic<int> bad{0};
+  dev().run(cfg, [&](xitem& it) {
+    int* tile = reinterpret_cast<int*>(it.local_mem_base());
+    const auto li = it.get_local_id(0);
+    tile[li] = static_cast<int>(it.get_global_id(0));
+    it.barrier();
+    // every peer's write must be visible
+    const auto peer = (li + 7) % it.get_local_range(0);
+    const int expect = static_cast<int>(it.get_group(0) * it.get_local_range(0) + peer);
+    if (tile[peer] != expect) bad.fetch_add(1);
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(Executor, MultipleBarrierRounds) {
+  launch_config cfg;
+  cfg.global[0] = 64;
+  cfg.local[0] = 64;
+  cfg.local_mem_bytes = 64 * sizeof(int);
+  cfg.uses_barrier = true;
+  // Parallel tree reduction with log2(64)=6 barrier rounds.
+  int result = -1;
+  dev().run(cfg, [&](xitem& it) {
+    int* tile = reinterpret_cast<int*>(it.local_mem_base());
+    const auto li = it.get_local_id(0);
+    tile[li] = 1;
+    it.barrier();
+    for (util::usize stride = 32; stride > 0; stride /= 2) {
+      if (li < stride) tile[li] += tile[li + stride];
+      it.barrier();
+    }
+    if (li == 0) result = tile[0];
+  });
+  EXPECT_EQ(result, 64);
+}
+
+TEST(Executor, SubsetOfItemsWritingBeforeBarrier) {
+  // The cas-offinder pattern: only work-item 0 populates local memory.
+  launch_config cfg;
+  cfg.global[0] = 256;
+  cfg.local[0] = 64;
+  cfg.local_mem_bytes = 64;
+  cfg.uses_barrier = true;
+  std::atomic<int> bad{0};
+  dev().run(cfg, [&](xitem& it) {
+    char* tile = it.local_mem_base();
+    if (it.get_local_id(0) == 0) {
+      for (util::usize k = 0; k < 64; ++k) tile[k] = static_cast<char>(k);
+    }
+    it.barrier();
+    if (tile[it.get_local_id(0)] != static_cast<char>(it.get_local_id(0))) {
+      bad.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(ExecutorDeath, NonUniformBarrierDetected) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(
+      {
+        xpu::device d("death", 1);
+        launch_config cfg;
+        cfg.global[0] = 4;
+        cfg.local[0] = 4;
+        cfg.uses_barrier = true;
+        d.run(cfg, [&](xitem& it) {
+          if (it.get_local_id(0) < 2) it.barrier();  // divergent barrier
+        });
+      },
+      "non-uniform barrier");
+}
+
+TEST(ExecutorDeath, BarrierWithoutDeclarationAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(
+      {
+        xpu::device d("death2", 1);
+        launch_config cfg;
+        cfg.global[0] = 4;
+        cfg.local[0] = 4;
+        cfg.uses_barrier = false;
+        d.run(cfg, [&](xitem& it) { it.barrier(); });
+      },
+      "uses_barrier");
+}
+
+TEST(ExecutorDeath, LocalMustDivideGlobal) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(
+      {
+        xpu::device d("death3", 1);
+        launch_config cfg;
+        cfg.global[0] = 10;
+        cfg.local[0] = 3;
+        d.run(cfg, [&](xitem&) {});
+      },
+      "divide");
+}
+
+TEST(Executor, LaunchStatsCountGroupsAndItems) {
+  launch_config cfg;
+  cfg.global[0] = 128;
+  cfg.local[0] = 32;
+  auto stats = dev().run(cfg, [&](xitem&) {});
+  EXPECT_EQ(stats.work_items, 128u);
+  EXPECT_EQ(stats.groups, 4u);
+  EXPECT_GT(stats.wall_nanos, 0u);
+}
+
+TEST(Executor, DeviceAggregatesKernelStats) {
+  xpu::device d("agg", 1);
+  launch_config cfg;
+  cfg.global[0] = 64;
+  cfg.local[0] = 8;
+  cfg.name = "k1";
+  d.run(cfg, [&](xitem&) {});
+  d.run(cfg, [&](xitem&) {});
+  auto ks = d.kernels();
+  ASSERT_TRUE(ks.count("k1"));
+  EXPECT_EQ(ks["k1"].launches, 2u);
+  EXPECT_EQ(ks["k1"].work_items, 128u);
+  d.reset_stats();
+  EXPECT_TRUE(d.kernels().empty());
+}
+
+TEST(Executor, FiberAndFastPathAgree) {
+  // The same data-parallel kernel must produce identical output on both
+  // group schedulers.
+  launch_config cfg;
+  cfg.global[0] = 4096;
+  cfg.local[0] = 64;
+  std::vector<int> a(4096), b(4096);
+  auto body = [](xitem& it, std::vector<int>& out) {
+    out[it.get_global_id(0)] =
+        static_cast<int>(it.get_global_id(0) * 3 + it.get_group(0));
+  };
+  cfg.uses_barrier = false;
+  dev().run(cfg, [&](xitem& it) { body(it, a); });
+  cfg.uses_barrier = true;
+  dev().run(cfg, [&](xitem& it) { body(it, b); });
+  EXPECT_EQ(a, b);
+}
+
+// Property sweep: barrier correctness across group geometries.
+class BarrierGeometry : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(BarrierGeometry, GroupReverseIsInvolution) {
+  const auto [global, local] = GetParam();
+  launch_config cfg;
+  cfg.global[0] = static_cast<util::usize>(global);
+  cfg.local[0] = static_cast<util::usize>(local);
+  cfg.local_mem_bytes = static_cast<util::usize>(local) * sizeof(int);
+  cfg.uses_barrier = true;
+  std::vector<int> out(cfg.global[0]);
+  dev().run(cfg, [&](xitem& it) {
+    int* tile = reinterpret_cast<int*>(it.local_mem_base());
+    const auto li = it.get_local_id(0);
+    tile[li] = static_cast<int>(it.get_global_id(0));
+    it.barrier();
+    out[it.get_global_id(0)] = tile[it.get_local_range(0) - 1 - li];
+  });
+  for (util::usize i = 0; i < out.size(); ++i) {
+    const util::usize group = i / cfg.local[0];
+    const util::usize li = i % cfg.local[0];
+    EXPECT_EQ(out[i], static_cast<int>(group * cfg.local[0] +
+                                       (cfg.local[0] - 1 - li)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, BarrierGeometry,
+                         ::testing::Values(std::pair{8, 1}, std::pair{8, 8},
+                                           std::pair{96, 3}, std::pair{256, 64},
+                                           std::pair{512, 256},
+                                           std::pair{1024, 128}));
+
+}  // namespace

@@ -1,0 +1,119 @@
+// FASTA parser/writer tests, including directory loading.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "genome/fasta.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(Fasta, ParseSingleRecord) {
+  auto recs = genome::parse_fasta(">chr1 human chromosome 1\nACGT\nacgt\n");
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].name, "chr1");  // description dropped
+  EXPECT_EQ(recs[0].seq, "ACGTACGT");  // wrapped + upper-cased
+}
+
+TEST(Fasta, ParseMultiRecord) {
+  auto recs = genome::parse_fasta(">a\nAC\n>b\nGT\nNN\n>c\nTTTT");
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs[1].name, "b");
+  EXPECT_EQ(recs[1].seq, "GTNN");
+  EXPECT_EQ(recs[2].seq, "TTTT");
+}
+
+TEST(Fasta, SkipsCommentsAndBlankLines) {
+  auto recs = genome::parse_fasta("; legacy comment\n>x\n\nAC\n;mid\nGT\n");
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].seq, "ACGT");
+}
+
+TEST(Fasta, CrlfLineEndings) {
+  auto recs = genome::parse_fasta(">x\r\nACGT\r\nAC\r\n");
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].seq, "ACGTAC");
+}
+
+TEST(Fasta, EmptySequenceRecordAllowed) {
+  auto recs = genome::parse_fasta(">empty\n>full\nAC\n");
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_TRUE(recs[0].seq.empty());
+}
+
+TEST(FastaDeath, SequenceBeforeHeader) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH((void)genome::parse_fasta("ACGT\n"), "before any");
+}
+
+TEST(Fasta, WriteWrapsLines) {
+  std::vector<genome::chromosome> recs{{"x", "AAAACCCCGGGG"}};
+  EXPECT_EQ(genome::write_fasta(recs, 4), ">x\nAAAA\nCCCC\nGGGG\n");
+  EXPECT_EQ(genome::write_fasta(recs, 100), ">x\nAAAACCCCGGGG\n");
+}
+
+TEST(FastaProperty, WriteParseRoundTrip) {
+  std::vector<genome::chromosome> recs{
+      {"chr1", "ACGTACGTACGTNNNNACGT"}, {"chr2", "G"}, {"chrM", std::string(257, 'T')}};
+  for (util::usize width : {1u, 7u, 60u, 1000u}) {
+    auto parsed = genome::parse_fasta(genome::write_fasta(recs, width));
+    ASSERT_EQ(parsed.size(), recs.size());
+    for (size_t i = 0; i < recs.size(); ++i) {
+      EXPECT_EQ(parsed[i].name, recs[i].name);
+      EXPECT_EQ(parsed[i].seq, recs[i].seq);
+    }
+  }
+}
+
+TEST(Fasta, NonNBaseCount) {
+  genome::genome_t g;
+  g.chroms = {{"a", "ACGTN"}, {"b", "NNRYA"}};
+  EXPECT_EQ(g.total_bases(), 10u);
+  EXPECT_EQ(g.non_n_bases(), 5u);  // R/Y are not concrete
+}
+
+struct temp_dir {
+  fs::path path;
+  temp_dir() {
+    path = fs::temp_directory_path() / ("cof_fasta_test_" + std::to_string(::getpid()));
+    fs::create_directories(path);
+  }
+  ~temp_dir() { fs::remove_all(path); }
+};
+
+TEST(Fasta, LoadGenomeFromFile) {
+  temp_dir dir;
+  const auto file = dir.path / "g.fa";
+  genome::write_fasta_file(file.string(), {{"chrZ", "ACGTACGT"}});
+  auto g = genome::load_genome(file.string());
+  ASSERT_EQ(g.chroms.size(), 1u);
+  EXPECT_EQ(g.chroms[0].name, "chrZ");
+  EXPECT_EQ(g.chroms[0].seq, "ACGTACGT");
+}
+
+TEST(Fasta, LoadGenomeFromDirectorySortedByFile) {
+  temp_dir dir;
+  genome::write_fasta_file((dir.path / "b_chr2.fa").string(), {{"chr2", "GG"}});
+  genome::write_fasta_file((dir.path / "a_chr1.fasta").string(), {{"chr1", "AA"}});
+  std::ofstream(dir.path / "ignored.txt") << "not fasta";
+  auto g = genome::load_genome(dir.path.string());
+  ASSERT_EQ(g.chroms.size(), 2u);
+  EXPECT_EQ(g.chroms[0].name, "chr1");  // file-name order
+  EXPECT_EQ(g.chroms[1].name, "chr2");
+}
+
+TEST(FastaDeath, MissingFileDies) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH((void)genome::read_fasta_file("/nonexistent/p.fa"), "cannot open");
+}
+
+TEST(FastaDeath, EmptyDirectoryDies) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  temp_dir dir;
+  EXPECT_DEATH((void)genome::load_genome(dir.path.string()), "no FASTA files");
+}
+
+}  // namespace

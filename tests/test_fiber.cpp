@@ -1,0 +1,143 @@
+// Unit tests for the fiber layer (work-item suspension at barriers).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "xpu/fiber.hpp"
+
+namespace {
+
+using xpu::fiber;
+using xpu::fiber_stack;
+using xpu::fiber_stack_pool;
+
+TEST(Fiber, RunsToCompletionWithoutYield) {
+  fiber_stack stack(64 * 1024);
+  int ran = 0;
+  fiber f;
+  f.start(&stack, [](void* p) { ++*static_cast<int*>(p); }, &ran);
+  EXPECT_FALSE(f.done());
+  EXPECT_TRUE(f.resume());
+  EXPECT_TRUE(f.done());
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(Fiber, YieldSuspendsAndResumes) {
+  fiber_stack stack(64 * 1024);
+  std::vector<int> trace;
+  struct ctx_t {
+    std::vector<int>* trace;
+  } ctx{&trace};
+  fiber f;
+  f.start(&stack,
+          [](void* p) {
+            auto* c = static_cast<ctx_t*>(p);
+            c->trace->push_back(1);
+            fiber::yield();
+            c->trace->push_back(2);
+            fiber::yield();
+            c->trace->push_back(3);
+          },
+          &ctx);
+  EXPECT_FALSE(f.resume());
+  trace.push_back(-1);
+  EXPECT_FALSE(f.resume());
+  trace.push_back(-2);
+  EXPECT_TRUE(f.resume());
+  EXPECT_EQ(trace, (std::vector<int>{1, -1, 2, -2, 3}));
+}
+
+TEST(Fiber, LocalStateSurvivesYield) {
+  fiber_stack stack(64 * 1024);
+  long out = 0;
+  struct ctx_t {
+    long* out;
+  } ctx{&out};
+  fiber f;
+  f.start(&stack,
+          [](void* p) {
+            long acc = 0;
+            for (int i = 1; i <= 10; ++i) {
+              acc += i;  // stack-resident accumulator across yields
+              fiber::yield();
+            }
+            *static_cast<ctx_t*>(p)->out = acc;
+          },
+          &ctx);
+  while (!f.resume()) {
+  }
+  EXPECT_EQ(out, 55);
+}
+
+TEST(Fiber, ManyInterleavedFibers) {
+  constexpr int kN = 64;
+  std::vector<std::unique_ptr<fiber_stack>> stacks;
+  std::vector<fiber> fibers(kN);
+  std::vector<int> counters(kN, 0);
+  struct ctx_t {
+    int* counter;
+  };
+  std::vector<ctx_t> ctxs(kN);
+  for (int i = 0; i < kN; ++i) {
+    stacks.push_back(std::make_unique<fiber_stack>(64 * 1024));
+    ctxs[i].counter = &counters[i];
+    fibers[i].start(stacks[i].get(),
+                    [](void* p) {
+                      auto* c = static_cast<ctx_t*>(p);
+                      for (int round = 0; round < 5; ++round) {
+                        ++*c->counter;
+                        fiber::yield();
+                      }
+                    },
+                    &ctxs[i]);
+  }
+  int live = kN;
+  while (live > 0) {
+    for (auto& f : fibers) {
+      if (!f.done() && f.resume()) --live;
+    }
+  }
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(counters[i], 5);
+}
+
+TEST(Fiber, DeepStackUsage) {
+  fiber_stack stack(64 * 1024);
+  std::string out;
+  struct ctx_t {
+    std::string* out;
+  } ctx{&out};
+  fiber f;
+  f.start(&stack,
+          [](void* p) {
+            // ~16 KiB of live stack data, well inside the 64 KiB stack.
+            char buf[16 * 1024];
+            for (size_t i = 0; i < sizeof(buf); ++i) buf[i] = char('a' + i % 26);
+            fiber::yield();
+            *static_cast<ctx_t*>(p)->out = std::string(buf, 26);
+          },
+          &ctx);
+  while (!f.resume()) {
+  }
+  EXPECT_EQ(out, "abcdefghijklmnopqrstuvwxyz");
+}
+
+TEST(FiberStackPool, ReusesReleasedStacks) {
+  auto& pool = fiber_stack_pool::this_thread();
+  auto s1 = pool.acquire();
+  char* base = s1->base();
+  pool.release(std::move(s1));
+  auto s2 = pool.acquire();
+  EXPECT_EQ(s2->base(), base);  // LIFO reuse
+  pool.release(std::move(s2));
+}
+
+TEST(FiberStack, UsableSizeAtLeastRequested) {
+  fiber_stack s(10 * 1024);
+  EXPECT_GE(s.size(), 10u * 1024);
+  // The whole usable region must be writable (guard page is below it).
+  s.base()[0] = 1;
+  s.base()[s.size() - 1] = 1;
+}
+
+}  // namespace

@@ -1,0 +1,136 @@
+// Differential fuzzing: random genomes (with N-gaps), random IUPAC PAM
+// patterns, random degenerate queries and thresholds — every device backend
+// must agree with the serial reference bit-for-bit, across chunkings and
+// work-group sizes. This is the repository's broadest invariant.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "genome/iupac.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cof;
+
+struct fuzz_case {
+  genome::genome_t g;
+  search_config cfg;
+  usize max_chunk;
+  usize wg;
+};
+
+fuzz_case make_case(util::u64 seed) {
+  util::rng rng(seed * 2654435761u + 1);
+  fuzz_case fc;
+
+  // Genome: 1-3 chromosomes, 2k-30k bases, ACGT with occasional N runs.
+  const auto nchroms = 1 + rng.next_below(3);
+  for (util::u64 c = 0; c < nchroms; ++c) {
+    genome::chromosome chrom;
+    chrom.name = "chr" + std::to_string(c);
+    const auto len = 2000 + rng.next_below(28000);
+    chrom.seq.reserve(len);
+    for (util::u64 i = 0; i < len; ++i) {
+      if (rng.next_bool(0.01)) {
+        const auto gap = 1 + rng.next_below(50);
+        for (util::u64 j = 0; j < gap && chrom.seq.size() < len; ++j) {
+          chrom.seq += 'N';
+        }
+      } else {
+        chrom.seq += "ACGT"[rng.next_below(4)];
+      }
+    }
+    chrom.seq.resize(len, 'A');
+    fc.g.chroms.push_back(std::move(chrom));
+  }
+
+  // Pattern: 8-28 positions; N-run guide + 1-4 constrained PAM positions
+  // drawn from the full IUPAC alphabet, at a random end.
+  const std::string iupac = "ACGTRYSWKMBDHV";
+  const auto plen = 8 + rng.next_below(21);
+  const auto pam_len = 1 + rng.next_below(4);
+  std::string pam;
+  for (util::u64 i = 0; i < pam_len; ++i) pam += iupac[rng.next_below(iupac.size())];
+  const bool pam_at_3prime = rng.next_bool(0.5);
+  std::string pattern = pam_at_3prime
+                            ? std::string(plen - pam_len, 'N') + pam
+                            : pam + std::string(plen - pam_len, 'N');
+  fc.cfg.genome_path = "<fuzz>";
+  fc.cfg.pattern = pattern;
+
+  // 1-4 queries: degenerate codes allowed, N's where the PAM sits.
+  const auto nqueries = 1 + rng.next_below(4);
+  for (util::u64 qi = 0; qi < nqueries; ++qi) {
+    std::string q;
+    for (util::u64 i = 0; i < plen; ++i) {
+      if (pattern[i] != 'N') {
+        q += 'N';
+      } else if (rng.next_bool(0.1)) {
+        q += iupac[rng.next_below(iupac.size())];
+      } else {
+        q += "ACGT"[rng.next_below(4)];
+      }
+    }
+    fc.cfg.queries.push_back(
+        {q, static_cast<u16>(rng.next_below(plen / 2 + 1))});
+  }
+
+  fc.max_chunk = 1500 + rng.next_below(20000);
+  const usize wgs[] = {0, 16, 64, 128, 256};
+  fc.wg = wgs[rng.next_below(5)];
+  return fc;
+}
+
+class Differential : public ::testing::TestWithParam<int> {};
+
+TEST_P(Differential, AllBackendsMatchSerial) {
+  const auto fc = make_case(static_cast<util::u64>(GetParam()));
+  const auto serial = run_search(fc.cfg, fc.g, {.backend = backend_kind::serial});
+  for (auto backend : {backend_kind::opencl, backend_kind::sycl,
+                       backend_kind::sycl_usm}) {
+    engine_options opt{.backend = backend,
+                       .wg_size = fc.wg,
+                       .max_chunk = fc.max_chunk};
+    const auto r = run_search(fc.cfg, fc.g, opt);
+    ASSERT_EQ(r.records, serial.records)
+        << backend_name(backend) << " seed=" << GetParam()
+        << " pattern=" << fc.cfg.pattern << " chunk=" << fc.max_chunk
+        << " wg=" << fc.wg;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Differential, ::testing::Range(1, 17));
+
+class DifferentialVariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialVariants, VariantsMatchSerial) {
+  const auto fc = make_case(static_cast<util::u64>(GetParam()) + 1000);
+  const auto serial = run_search(fc.cfg, fc.g, {.backend = backend_kind::serial});
+  for (int v = 0; v < kNumComparerVariants; ++v) {
+    engine_options opt{.backend = backend_kind::sycl,
+                       .variant = static_cast<comparer_variant>(v),
+                       .max_chunk = fc.max_chunk};
+    const auto r = run_search(fc.cfg, fc.g, opt);
+    ASSERT_EQ(r.records, serial.records)
+        << "variant " << v << " seed=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialVariants, ::testing::Range(1, 7));
+
+// The 2-bit pipeline collapses reference ambiguity codes to 'N' — identical
+// to the char pipelines on ACGTN genomes, which fuzz genomes are.
+class DifferentialTwobit : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialTwobit, PackedMatchesSerial) {
+  const auto fc = make_case(static_cast<util::u64>(GetParam()) + 2000);
+  const auto serial = run_search(fc.cfg, fc.g, {.backend = backend_kind::serial});
+  engine_options opt{.backend = backend_kind::sycl_twobit,
+                     .max_chunk = fc.max_chunk};
+  const auto r = run_search(fc.cfg, fc.g, opt);
+  ASSERT_EQ(r.records, serial.records) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTwobit, ::testing::Range(1, 9));
+
+}  // namespace

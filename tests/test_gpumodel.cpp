@@ -1,0 +1,385 @@
+// GPU-model tests: device specs, the kernel-IR compiler pipeline (builder,
+// passes, register sweep, ISA sizing), occupancy rules, and the timing
+// model's monotonicity properties.
+#include <gtest/gtest.h>
+
+#include "gpumodel/builder.hpp"
+#include "gpumodel/isa.hpp"
+#include "gpumodel/occupancy.hpp"
+#include "gpumodel/passes.hpp"
+#include "gpumodel/projector.hpp"
+#include "gpumodel/regalloc.hpp"
+#include "gpumodel/specs.hpp"
+#include "gpumodel/timing.hpp"
+
+namespace {
+
+using namespace gpumodel;
+using cv = cof::comparer_variant;
+
+TEST(Specs, TableSevenValues) {
+  const auto& gpus = paper_gpus();
+  ASSERT_EQ(gpus.size(), 3u);
+  EXPECT_EQ(gpus[0].name, "RVII");
+  EXPECT_EQ(gpus[0].cores, 3840u);
+  EXPECT_EQ(gpus[0].compute_units(), 60u);
+  EXPECT_EQ(gpus[1].cores, 4096u);
+  EXPECT_EQ(gpus[2].name, "MI100");
+  EXPECT_EQ(gpus[2].cores, 7680u);
+  EXPECT_DOUBLE_EQ(gpus[2].peak_bw_gbs, 1228.0);
+}
+
+TEST(Specs, LookupByName) {
+  EXPECT_EQ(gpu_by_name("MI60").cores, 4096u);
+}
+
+TEST(SpecsDeath, UnknownGpu) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH((void)gpu_by_name("H100"), "unknown GPU");
+}
+
+TEST(Builder, BaseComparerHasExpectedStructure) {
+  const auto k = build_comparer_base();
+  EXPECT_EQ(k.count_of(op_kind::barrier), 1u);
+  EXPECT_GT(k.count_of(op_kind::vmem_load), 10u);
+  EXPECT_GT(k.count_of(op_kind::lds_read), 20u);
+  EXPECT_EQ(k.count_of(op_kind::atomic), 2u);  // one append per strand
+  EXPECT_EQ(k.lds_bytes, 23u * 2 * 5);
+}
+
+TEST(Passes, CodeLengthStrictlyDecreasesAcrossVariants) {
+  util::u32 prev = ~0u;
+  for (int v = 0; v < cof::kNumComparerVariants; ++v) {
+    const auto k = build_comparer_variant(static_cast<cv>(v));
+    const auto bytes = code_length_bytes(k);
+    EXPECT_LT(bytes, prev) << "variant " << v;
+    prev = bytes;
+  }
+}
+
+TEST(Passes, RestrictCseRemovesOnlyDuplicateLoads) {
+  auto base = build_comparer_base();
+  const auto base_loads = base.count_of(op_kind::vmem_load);
+  auto opt1 = base;
+  pass_restrict_cse(opt1);
+  const auto opt1_loads = opt1.count_of(op_kind::vmem_load);
+  EXPECT_LT(opt1_loads, base_loads);
+  // the duplicated per-iteration chr loads: main_unroll x 2 strands
+  EXPECT_EQ(base_loads - opt1_loads, 4u * 2u);
+  EXPECT_EQ(opt1.count_of(op_kind::lds_read), base.count_of(op_kind::lds_read));
+}
+
+TEST(Passes, HoistRemovesLoopInvariantLoads) {
+  auto k = build_comparer_base();
+  pass_restrict_cse(k);
+  const auto before = k.count_of(op_kind::vmem_load);
+  pass_register_hoist(k);
+  const auto after = k.count_of(op_kind::vmem_load);
+  // 10 loci loads -> 1, 4 flag loads -> 1 (12 removed)
+  EXPECT_EQ(before - after, 12u);
+}
+
+TEST(Passes, CooperativeFetchShrinksFetchRegion) {
+  auto k = build_comparer_variant(cv::opt2);
+  const auto before_writes = k.count_of(op_kind::lds_write);
+  pass_cooperative_fetch(k, {});
+  EXPECT_LT(k.count_of(op_kind::lds_write), before_writes);
+  EXPECT_EQ(k.count_of(op_kind::barrier), 1u);  // barrier preserved
+}
+
+TEST(Passes, PromotePutsPatternIntoScalarRegisters) {
+  auto opt3 = build_comparer_variant(cv::opt3);
+  auto opt4 = build_comparer_variant(cv::opt4);
+  const auto r3 = estimate_registers(opt3);
+  const auto r4 = estimate_registers(opt4);
+  EXPECT_GT(r4.sgprs, r3.sgprs + 20);  // the Table X scalar-pressure jump
+  EXPECT_LE(r4.vgprs, r3.vgprs);
+  EXPECT_LT(opt4.count_of(op_kind::lds_read), opt3.count_of(op_kind::lds_read));
+}
+
+TEST(RegAlloc, MatchesTableXShape) {
+  // Golden values for the model (paper: SGPR 64/64/64/57/82, VGPR
+  // 22/22/22/10/10, occupancy 10/10/10/10/9).
+  const int expect_occ[5] = {10, 10, 10, 10, 9};
+  const double paper_bytes[5] = {6064, 5852, 5408, 4408, 3660};
+  for (int v = 0; v < 5; ++v) {
+    const auto row = resource_usage(static_cast<cv>(v));
+    EXPECT_NEAR(row.sgprs, (v == 4 ? 82 : (v == 3 ? 57 : 64)), 2) << "variant " << v;
+    EXPECT_NEAR(row.vgprs, (v >= 3 ? 10 : 22), 1) << "variant " << v;
+    EXPECT_EQ(row.occupancy, static_cast<util::u32>(expect_occ[v])) << "variant " << v;
+    // within 8% of the paper's measured bytes
+    EXPECT_NEAR(static_cast<double>(row.code_bytes), paper_bytes[v], 0.08 * 6064)
+        << "variant " << v;
+  }
+}
+
+TEST(Occupancy, VgprLimit) {
+  const auto& gpu = gpu_by_name("MI100");
+  register_usage r{.vgprs = 128, .sgprs = 32};
+  const auto occ = occupancy(gpu, r, 0, 256);
+  EXPECT_EQ(occ.waves_per_simd, 2u);  // 256/128
+  EXPECT_STREQ(occ.limiter, "vgpr");
+}
+
+TEST(Occupancy, SgprLimitReproducesTableXCliff) {
+  const auto& gpu = gpu_by_name("MI100");
+  register_usage r{.vgprs = 10, .sgprs = 82};
+  const auto occ = occupancy(gpu, r, 0, 256);
+  EXPECT_EQ(occ.waves_per_simd, 9u);  // floor(800 / roundup(82,8)=88)
+  EXPECT_STREQ(occ.limiter, "sgpr");
+}
+
+TEST(Occupancy, CapAtTen) {
+  const auto& gpu = gpu_by_name("RVII");
+  register_usage r{.vgprs = 8, .sgprs = 16};
+  EXPECT_EQ(occupancy(gpu, r, 0, 256).waves_per_simd, 10u);
+}
+
+TEST(Occupancy, LdsLimit) {
+  const auto& gpu = gpu_by_name("RVII");
+  register_usage r{.vgprs = 8, .sgprs = 16};
+  // 32 KiB per group -> 2 groups/CU; wg 256 = 4 waves -> 8 waves/CU -> 2/SIMD
+  const auto occ = occupancy(gpu, r, 32 * 1024, 256);
+  EXPECT_EQ(occ.waves_per_simd, 2u);
+  EXPECT_STREQ(occ.limiter, "lds");
+}
+
+TEST(Occupancy, MonotoneInRegisters) {
+  const auto& gpu = gpu_by_name("MI100");
+  util::u32 prev = 100;
+  for (util::u32 vgprs : {16u, 32u, 64u, 128u, 256u}) {
+    register_usage r{.vgprs = vgprs, .sgprs = 16};
+    const auto occ = occupancy(gpu, r, 0, 256).waves_per_simd;
+    EXPECT_LE(occ, prev);
+    prev = occ;
+  }
+}
+
+prof::event_counts sample_events() {
+  prof::event_counts e;
+  e[prof::ev::work_item] = 1u << 20;
+  e[prof::ev::global_load] = 20u << 20;
+  e[prof::ev::global_load_repeat] = 10u << 20;
+  e[prof::ev::local_load] = 30u << 20;
+  e[prof::ev::compare] = 16u << 20;
+  e[prof::ev::loop_iter] = 16u << 20;
+  return e;
+}
+
+TEST(Timing, MoreLoadsTakeLonger) {
+  const auto& gpu = gpu_by_name("RVII");
+  kernel_time_input in;
+  in.events = sample_events();
+  in.coalescing = 1.5;
+  const auto t1 = kernel_time(gpu, in).total_s;
+  in.events[prof::ev::global_load] *= 2;
+  const auto t2 = kernel_time(gpu, in).total_s;
+  EXPECT_GT(t2, t1);
+}
+
+TEST(Timing, LowerOccupancyNeverFaster) {
+  const auto& gpu = gpu_by_name("RVII");
+  kernel_time_input in;
+  in.events = sample_events();
+  in.coalescing = 1.5;
+  in.waves_per_simd = 10;
+  const auto t10 = kernel_time(gpu, in).total_s;
+  in.waves_per_simd = 9;
+  const auto t9 = kernel_time(gpu, in).total_s;
+  EXPECT_GT(t9, t10);
+  EXPECT_NEAR(t9 / t10, 2.0, 0.15);  // the calibrated Fig. 2 cliff
+}
+
+TEST(Timing, CoalescingReducesTime) {
+  const auto& gpu = gpu_by_name("RVII");
+  kernel_time_input in;
+  in.events = sample_events();
+  in.coalescing = 1.0;
+  const auto scattered = kernel_time(gpu, in).total_s;
+  in.coalescing = 48.0;
+  const auto streaming = kernel_time(gpu, in).total_s;
+  EXPECT_LT(streaming, scattered);
+}
+
+TEST(Timing, HigherBandwidthDeviceFasterWhenMemoryBound) {
+  kernel_time_input in;
+  in.events = sample_events();
+  in.coalescing = 1.5;
+  const auto rvii = kernel_time(gpu_by_name("RVII"), in);
+  const auto mi100 = kernel_time(gpu_by_name("MI100"), in);
+  ASSERT_STREQ(rvii.bound, "bandwidth");
+  EXPECT_LT(mi100.total_s, rvii.total_s);
+  EXPECT_NEAR(rvii.total_s / mi100.total_s, 1228.0 / 1024.0, 0.01);
+}
+
+TEST(Timing, SmallGroupsPenalised) {
+  const auto& gpu = gpu_by_name("RVII");
+  kernel_time_input in;
+  in.events = sample_events();
+  in.coalescing = 1.5;
+  in.wg_size = 256;
+  const auto big = kernel_time(gpu, in).total_s;
+  in.wg_size = 64;
+  const auto small = kernel_time(gpu, in).total_s;
+  EXPECT_GT(small, big);
+}
+
+TEST(Timing, SequentialFetchPenalised) {
+  const auto& gpu = gpu_by_name("RVII");
+  kernel_time_input in;
+  in.events = sample_events();
+  in.coalescing = 1.5;
+  in.sequential_fetch = false;
+  const auto coop = kernel_time(gpu, in).total_s;
+  in.sequential_fetch = true;
+  const auto seq = kernel_time(gpu, in).total_s;
+  EXPECT_GT(seq, coop);
+}
+
+TEST(Timing, TransferSecondsLinearInBytes) {
+  const auto& gpu = gpu_by_name("RVII");
+  const double t1 = transfer_seconds(gpu, 1u << 30, 0);
+  const double t2 = transfer_seconds(gpu, 2u << 30, 0);
+  EXPECT_NEAR(t2 / t1, 2.0, 1e-9);
+  EXPECT_GT(transfer_seconds(gpu, 0, 100), 0.0);
+}
+
+TEST(EventCounts, ScaledMultipliesAll) {
+  auto e = sample_events();
+  auto s = e.scaled(4.0);
+  EXPECT_EQ(s[prof::ev::global_load], e[prof::ev::global_load] * 4);
+  EXPECT_EQ(s[prof::ev::work_item], e[prof::ev::work_item] * 4);
+}
+
+TEST(Projector, ComponentsSumToTotal) {
+  prof::profiler profiler;
+  profiler.record("finder", sample_events(), 1000);
+  profiler.record("comparer/base", sample_events(), 1000);
+  projection_input in;
+  in.profile = &profiler;
+  in.pipeline.h2d_bytes = 1u << 20;
+  in.pipeline.d2h_bytes = 1u << 18;
+  in.scale = 64;
+  in.target_chunks = 10;
+  in.queries = 3;
+  in.host_seconds = 0.01;
+  const auto proj = project_elapsed(gpu_by_name("MI60"), in);
+  EXPECT_NEAR(proj.total_s,
+              proj.finder_s + proj.comparer_s + proj.transfer_s + proj.launch_s +
+                  proj.host_s,
+              1e-12);
+  EXPECT_EQ(proj.kernels.size(), 2u);
+  EXPECT_GT(proj.comparer_s, 0.0);
+}
+
+TEST(Projector, Opt4SlowerThanOpt3) {
+  auto ev = sample_events();
+  const auto t3 = project_comparer(gpu_by_name("RVII"), ev, 64, 256, cv::opt3);
+  const auto t4 = project_comparer(gpu_by_name("RVII"), ev, 64, 256, cv::opt4);
+  EXPECT_GT(t4.time.total_s, 1.5 * t3.time.total_s);
+  EXPECT_EQ(t4.occ.waves_per_simd, 9u);
+  EXPECT_EQ(t3.occ.waves_per_simd, 10u);
+}
+
+TEST(Isa, MixAccountsAllOps) {
+  const auto k = build_comparer_base();
+  const auto m = instruction_mix(k);
+  EXPECT_EQ(m.total, k.instruction_count());
+  EXPECT_GT(m.vcmp, 0u);
+  EXPECT_GT(m.lds, 0u);
+  EXPECT_EQ(m.barrier, 1u);
+}
+
+TEST(Isa, FinderSmallerThanComparer) {
+  EXPECT_LT(code_length_bytes(build_finder()), code_length_bytes(build_comparer_base()));
+}
+
+}  // namespace
+
+// -- appended: IR dump coverage ----------------------------------------------
+
+namespace {
+
+TEST(KirDump, ListsOpsAndMetadata) {
+  const auto k = build_comparer_base();
+  const auto text = gpumodel::dump(k);
+  EXPECT_NE(text.find("kernel comparer"), std::string::npos);
+  EXPECT_NE(text.find("lds="), std::string::npos);
+  EXPECT_NE(text.find("vmem_load"), std::string::npos);
+  EXPECT_NE(text.find("[loci[i]]"), std::string::npos);
+  EXPECT_NE(text.find("barrier"), std::string::npos);
+  EXPECT_NE(text.find("loop-invariant"), std::string::npos);
+}
+
+TEST(KirDump, Opt4ShowsScalarDefs) {
+  const auto k = build_comparer_variant(cv::opt4);
+  const auto text = gpumodel::dump(k);
+  EXPECT_NE(text.find(" s"), std::string::npos);  // scalar register defs
+}
+
+}  // namespace
+
+#include "gpumodel/listing.hpp"
+
+namespace {
+
+TEST(Listing, OffsetsMatchIsaModel) {
+  for (int v = 0; v < 5; ++v) {
+    const auto k = build_comparer_variant(static_cast<cv>(v));
+    const auto text = gpumodel::assembly_listing(k);
+    // The final s_endpgm line's offset must equal code_length - 4.
+    const auto pos = text.rfind("0x");
+    const auto offset = std::stoul(text.substr(pos + 2, 4), nullptr, 16);
+    EXPECT_EQ(offset, code_length_bytes(k) - 4u) << "variant " << v;
+    EXPECT_NE(text.find("s_barrier"), std::string::npos);
+    EXPECT_NE(text.find("global_load_ubyte"), std::string::npos);
+    EXPECT_NE(text.find("ds_read_u8"), std::string::npos);
+  }
+}
+
+TEST(Listing, Opt4ShowsScalarByteExtract) {
+  const auto text = gpumodel::assembly_listing(build_comparer_variant(cv::opt4));
+  EXPECT_NE(text.find("s_bfe_u32"), std::string::npos);
+}
+
+}  // namespace
+
+#include "gpumodel/roofline.hpp"
+
+namespace {
+
+TEST(Roofline, ScatteredComparerIsMemoryBound) {
+  const auto& gpu = gpu_by_name("RVII");
+  // Low intensity: 1 op per 64-byte transaction.
+  auto p = place_on_roofline(gpu, "comparer", 1e9, 64e9, 1.0);
+  EXPECT_TRUE(p.memory_bound);
+  EXPECT_LT(p.bw_ceiling_gops, p.peak_gops);
+  EXPECT_NEAR(p.arithmetic_intensity, 1.0 / 64.0, 1e-12);
+}
+
+TEST(Roofline, HighIntensityIsComputeBound) {
+  const auto& gpu = gpu_by_name("RVII");
+  auto p = place_on_roofline(gpu, "k", 1e12, 1e9, 1.0);
+  EXPECT_FALSE(p.memory_bound);
+}
+
+TEST(Roofline, FromEventsUsesCoalescing) {
+  const auto& gpu = gpu_by_name("MI100");
+  prof::event_counts e;
+  e[prof::ev::compare] = 1000;
+  e[prof::ev::loop_iter] = 1000;
+  e[prof::ev::global_load] = 640;
+  const auto scattered = roofline_from_events(gpu, "k", e, 1.0, 1.0);
+  const auto coalesced = roofline_from_events(gpu, "k", e, 64.0, 1.0);
+  EXPECT_GT(coalesced.arithmetic_intensity, scattered.arithmetic_intensity);
+}
+
+TEST(Roofline, FormatListsKernels) {
+  const auto& gpu = gpu_by_name("RVII");
+  auto p = place_on_roofline(gpu, "finder", 1e9, 1e9, 0.5);
+  const auto text = format_roofline(gpu, {p});
+  EXPECT_NE(text.find("finder"), std::string::npos);
+  EXPECT_NE(text.find("Roofline (RVII)"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,163 @@
+// Tests and property checks for the IUPAC algebra — including the proof
+// obligation that the kernels' Boolean chain equals the reference mismatch
+// relation for all IUPAC inputs.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/kernels.hpp"
+#include "genome/iupac.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using genome::casoffinder_mismatch;
+using genome::complement;
+using genome::iupac_mask;
+using genome::iupac_match;
+using genome::reverse_complement;
+
+const std::string kCodes = "ACGTRYSWKMBDHVN";
+
+TEST(Iupac, MaskBasics) {
+  EXPECT_EQ(iupac_mask('A'), 1);
+  EXPECT_EQ(iupac_mask('C'), 2);
+  EXPECT_EQ(iupac_mask('G'), 4);
+  EXPECT_EQ(iupac_mask('T'), 8);
+  EXPECT_EQ(iupac_mask('U'), 8);  // RNA U = T
+  EXPECT_EQ(iupac_mask('N'), 15);
+  EXPECT_EQ(iupac_mask('R'), 5);   // A|G
+  EXPECT_EQ(iupac_mask('y'), 10);  // case-insensitive, C|T
+  EXPECT_EQ(iupac_mask('X'), 0);
+  EXPECT_EQ(iupac_mask('-'), 0);
+}
+
+TEST(Iupac, CodeMaskRoundTrip) {
+  for (char c : kCodes) {
+    EXPECT_EQ(genome::iupac_code(iupac_mask(c)), c) << c;
+  }
+}
+
+TEST(Iupac, IsIupac) {
+  for (char c : kCodes) EXPECT_TRUE(genome::is_iupac(c));
+  EXPECT_TRUE(genome::is_iupac('a'));
+  EXPECT_FALSE(genome::is_iupac('Z'));
+  EXPECT_FALSE(genome::is_iupac('@'));
+}
+
+TEST(Iupac, ComplementPairs) {
+  EXPECT_EQ(complement('A'), 'T');
+  EXPECT_EQ(complement('T'), 'A');
+  EXPECT_EQ(complement('C'), 'G');
+  EXPECT_EQ(complement('G'), 'C');
+  EXPECT_EQ(complement('R'), 'Y');
+  EXPECT_EQ(complement('Y'), 'R');
+  EXPECT_EQ(complement('S'), 'S');
+  EXPECT_EQ(complement('W'), 'W');
+  EXPECT_EQ(complement('K'), 'M');
+  EXPECT_EQ(complement('M'), 'K');
+  EXPECT_EQ(complement('B'), 'V');
+  EXPECT_EQ(complement('D'), 'H');
+  EXPECT_EQ(complement('N'), 'N');
+  EXPECT_EQ(complement('a'), 't');  // case preserved
+  EXPECT_EQ(complement('?'), 'N');  // non-codes map to N
+}
+
+TEST(IupacProperty, ComplementIsInvolution) {
+  for (char c : kCodes) EXPECT_EQ(complement(complement(c)), c) << c;
+}
+
+TEST(IupacProperty, ReverseComplementIsInvolution) {
+  util::rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string s;
+    const auto len = 1 + rng.next_below(64);
+    for (util::u64 i = 0; i < len; ++i) s += kCodes[rng.next_below(kCodes.size())];
+    EXPECT_EQ(reverse_complement(reverse_complement(s)), s);
+  }
+}
+
+TEST(Iupac, MatchSubsetSemantics) {
+  EXPECT_TRUE(iupac_match('N', 'A'));
+  EXPECT_TRUE(iupac_match('R', 'A'));
+  EXPECT_TRUE(iupac_match('R', 'G'));
+  EXPECT_FALSE(iupac_match('R', 'C'));
+  EXPECT_TRUE(iupac_match('N', 'R'));   // ref set within pattern set
+  EXPECT_FALSE(iupac_match('R', 'N'));  // ref set exceeds pattern set
+  EXPECT_FALSE(iupac_match('A', 'X'));  // empty ref set never matches
+}
+
+TEST(Mismatch, ConcreteBases) {
+  EXPECT_FALSE(casoffinder_mismatch('A', 'A'));
+  EXPECT_TRUE(casoffinder_mismatch('A', 'G'));
+  EXPECT_TRUE(casoffinder_mismatch('A', 'N'));  // concrete pattern vs ref N
+  EXPECT_FALSE(casoffinder_mismatch('N', 'A'));
+  EXPECT_FALSE(casoffinder_mismatch('N', 'N'));
+}
+
+TEST(Mismatch, DegenerateCodesFollowUpstreamChain) {
+  // R mismatches only the listed bases C,T; an unexpected ref (like N)
+  // slips through — the upstream kernels' quirk, preserved deliberately.
+  EXPECT_TRUE(casoffinder_mismatch('R', 'C'));
+  EXPECT_TRUE(casoffinder_mismatch('R', 'T'));
+  EXPECT_FALSE(casoffinder_mismatch('R', 'A'));
+  EXPECT_FALSE(casoffinder_mismatch('R', 'N'));
+  EXPECT_TRUE(casoffinder_mismatch('H', 'G'));
+  EXPECT_FALSE(casoffinder_mismatch('H', 'A'));
+  EXPECT_TRUE(casoffinder_mismatch('B', 'A'));
+  EXPECT_TRUE(casoffinder_mismatch('V', 'T'));
+  EXPECT_TRUE(casoffinder_mismatch('D', 'C'));
+  EXPECT_TRUE(casoffinder_mismatch('S', 'A'));
+  EXPECT_TRUE(casoffinder_mismatch('S', 'T'));
+  EXPECT_TRUE(casoffinder_mismatch('K', 'A'));
+  EXPECT_TRUE(casoffinder_mismatch('M', 'G'));
+  EXPECT_TRUE(casoffinder_mismatch('W', 'C'));
+}
+
+TEST(MismatchProperty, DegenerateAgreesWithSetSemanticsOnACGT) {
+  // For a concrete reference base, the chain must equal !iupac_match.
+  for (char pat : kCodes) {
+    for (char ref : std::string("ACGT")) {
+      EXPECT_EQ(casoffinder_mismatch(pat, ref), !iupac_match(pat, ref))
+          << pat << " vs " << ref;
+    }
+  }
+}
+
+TEST(MismatchProperty, ComplementSymmetry) {
+  // mismatch(p, r) == mismatch(complement(p), complement(r)) — the identity
+  // that makes reverse-strand compares reducible to forward compares.
+  for (char pat : kCodes) {
+    for (char ref : std::string("ACGT")) {
+      EXPECT_EQ(casoffinder_mismatch(pat, ref),
+                casoffinder_mismatch(complement(pat), complement(ref)))
+          << pat << " vs " << ref;
+    }
+  }
+}
+
+// The kernel chain (with counting thunks) must equal casoffinder_mismatch
+// for every IUPAC (pattern, reference) combination.
+class ChainEquivalence : public ::testing::TestWithParam<char> {};
+
+TEST_P(ChainEquivalence, MatchesReferenceRelation) {
+  const char pat = GetParam();
+  cof::direct_mem::item p;
+  for (char ref : kCodes) {
+    const bool chain =
+        cof::chain_mismatch(p, [&] { return pat; }, [&] { return ref; });
+    EXPECT_EQ(chain, casoffinder_mismatch(pat, ref)) << pat << " vs " << ref;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatternCodes, ChainEquivalence,
+                         ::testing::ValuesIn(kCodes.begin(), kCodes.end()));
+
+TEST(Iupac, UpperBase) {
+  EXPECT_EQ(genome::upper_base('a'), 'A');
+  EXPECT_EQ(genome::upper_base('A'), 'A');
+  EXPECT_EQ(genome::upper_base('z'), 'Z');
+  EXPECT_EQ(genome::upper_base('.'), '.');
+}
+
+}  // namespace

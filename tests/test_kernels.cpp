@@ -1,0 +1,332 @@
+// Direct kernel-level tests: finder and comparer launched on the xpu engine
+// with crafted inputs, plus counting-policy checks that the optimisation
+// variants reduce exactly the accesses the paper says they do.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/kernels.hpp"
+#include "core/pattern.hpp"
+#include "util/rng.hpp"
+#include "xpu/device.hpp"
+
+namespace {
+
+using namespace cof;
+
+xpu::device& dev() {
+  static xpu::device d("kernels", 1);
+  return d;
+}
+
+struct finder_run {
+  std::vector<u32> loci;
+  std::vector<char> flags;
+};
+
+finder_run run_finder(const std::string& chunk, const device_pattern& pat,
+                      usize wg = 16) {
+  const u32 chrsize = static_cast<u32>(chunk.size() - pat.plen + 1);
+  std::vector<u32> loci(chunk.size(), 0);
+  std::vector<char> flags(chunk.size(), -1);
+  u32 count = 0;
+
+  xpu::launch_config cfg;
+  cfg.global[0] = util::round_up<usize>(chrsize, wg);
+  cfg.local[0] = wg;
+  cfg.local_mem_bytes = pat.device_chars() * (1 + sizeof(i32)) + 64;
+  cfg.uses_barrier = true;
+  finder_args a;
+  a.chr = chunk.data();
+  a.pat = pat.data();
+  a.pat_index = pat.index_data();
+  a.chrsize = chrsize;
+  a.plen = pat.plen;
+  a.loci = loci.data();
+  a.flag = flags.data();
+  a.entrycount = &count;
+  dev().run(cfg, [&](xpu::xitem& it) {
+    a.l_pat = it.local_mem_base();
+    a.l_pat_index = reinterpret_cast<i32*>(
+        it.local_mem_base() + util::round_up<usize>(pat.device_chars(), 8));
+    finder_kernel<direct_mem>(it, a);
+  });
+
+  finder_run r;
+  for (u32 i = 0; i < count; ++i) {
+    r.loci.push_back(loci[i]);
+    r.flags.push_back(flags[i]);
+  }
+  // atomic append order is nondeterministic across groups; canonicalise
+  std::vector<std::pair<u32, char>> z;
+  for (u32 i = 0; i < count; ++i) z.emplace_back(r.loci[i], r.flags[i]);
+  std::sort(z.begin(), z.end());
+  for (u32 i = 0; i < count; ++i) {
+    r.loci[i] = z[i].first;
+    r.flags[i] = z[i].second;
+  }
+  return r;
+}
+
+TEST(FinderKernel, FindsForwardPamSite) {
+  //            pattern NNG: G required at position 2
+  const auto pat = make_pattern("NNG");
+  //                   012345
+  const auto r = run_finder("TTGTTT", pat);
+  // site at 0: "TTG" matches fw; rc(pattern)=CNN -> needs C at 0.
+  ASSERT_EQ(r.loci.size(), 1u);
+  EXPECT_EQ(r.loci[0], 0u);
+  EXPECT_EQ(r.flags[0], 1);  // forward only
+}
+
+TEST(FinderKernel, FindsReversePamSite) {
+  const auto pat = make_pattern("NNG");  // rc = "CNN"
+  const auto r = run_finder("CTTTTT", pat);
+  ASSERT_EQ(r.loci.size(), 1u);
+  EXPECT_EQ(r.loci[0], 0u);
+  EXPECT_EQ(r.flags[0], 2);  // reverse only
+}
+
+TEST(FinderKernel, FlagZeroWhenBothStrandsMatch) {
+  const auto pat = make_pattern("NNG");  // fw needs G at 2, rc needs C at 0
+  const auto r = run_finder("CTGTTT", pat);
+  ASSERT_GE(r.loci.size(), 1u);
+  EXPECT_EQ(r.loci[0], 0u);
+  EXPECT_EQ(r.flags[0], 0);  // both
+}
+
+TEST(FinderKernel, AllNPatternMatchesEverywhere) {
+  const auto pat = make_pattern("NNN");
+  const auto r = run_finder("ACGTACGT", pat);
+  EXPECT_EQ(r.loci.size(), 6u);  // 8 - 3 + 1
+  for (u32 i = 0; i < r.loci.size(); ++i) EXPECT_EQ(r.loci[i], i);
+}
+
+TEST(FinderKernel, RespectsChrsizeBound) {
+  // Tail work-items (padding beyond chrsize) must not report sites.
+  const auto pat = make_pattern("NNN");
+  const auto r = run_finder("ACGTA", pat, /*wg=*/16);  // gws padded to 16
+  EXPECT_EQ(r.loci.size(), 3u);
+}
+
+TEST(FinderKernel, IupacPamRG) {
+  const auto pat = make_pattern("NRG");  // R = A or G at position 1
+  const auto r = run_finder("TAGTTTTGGTTT", pat);
+  // "TAG" at 0 (A matches R), "TGG" at 6? positions: string TAGTTTTGGTTT:
+  // idx0 TAG ok; idx6 TGG ok. rc(pattern) = CYN: needs C then Y.
+  std::vector<u32> expect{0, 6};
+  EXPECT_EQ(r.loci, expect);
+}
+
+// ---------------------------------------------------------------------------
+// comparer
+// ---------------------------------------------------------------------------
+
+struct cmp_run {
+  std::vector<u16> mm;
+  std::vector<char> dir;
+  std::vector<u32> loci;
+};
+
+cmp_run run_comparer(comparer_variant v, const std::string& chunk,
+                     const std::vector<u32>& loci, const std::vector<char>& flags,
+                     const device_pattern& query, u16 threshold, usize wg = 8,
+                     bool counting = false) {
+  const u32 n = static_cast<u32>(loci.size());
+  const usize cap = static_cast<usize>(n) * 2;
+  std::vector<u16> mm(cap, 0);
+  std::vector<char> dir(cap, 0);
+  std::vector<u32> mloci(cap, 0);
+  u32 count = 0;
+
+  xpu::launch_config cfg;
+  cfg.global[0] = util::round_up<usize>(n, wg);
+  cfg.local[0] = wg;
+  cfg.local_mem_bytes = query.device_chars() * (1 + sizeof(i32)) + 64;
+  cfg.uses_barrier = true;
+  comparer_args a;
+  a.locicnts = n;
+  a.chr = chunk.data();
+  a.loci = loci.data();
+  a.flag = flags.data();
+  a.comp = query.data();
+  a.comp_index = query.index_data();
+  a.plen = query.plen;
+  a.threshold = threshold;
+  a.mm_count = mm.data();
+  a.direction = dir.data();
+  a.mm_loci = mloci.data();
+  a.entrycount = &count;
+  auto body = [&](xpu::xitem& it) {
+    a.l_comp = it.local_mem_base();
+    a.l_comp_index = reinterpret_cast<i32*>(
+        it.local_mem_base() + util::round_up<usize>(query.device_chars(), 8));
+    if (counting) {
+      comparer_dispatch<counting_mem>(v, it, a);
+    } else {
+      comparer_dispatch<direct_mem>(v, it, a);
+    }
+  };
+  dev().run(cfg, body);
+
+  cmp_run r;
+  std::vector<std::tuple<u32, char, u16>> z;
+  for (u32 i = 0; i < count; ++i) z.emplace_back(mloci[i], dir[i], mm[i]);
+  std::sort(z.begin(), z.end());
+  for (auto& [l, d, m] : z) {
+    r.loci.push_back(l);
+    r.dir.push_back(d);
+    r.mm.push_back(m);
+  }
+  return r;
+}
+
+TEST(ComparerKernel, CountsMismatchesForward) {
+  const auto query = make_query("ACGTN");
+  // locus 0: ref "ACGTA" -> 0 mismatches at non-N positions
+  // locus 5: ref "AGGTA" -> 1 mismatch (C vs G)
+  const std::string chunk = "ACGTAAGGTA";
+  const auto r = run_comparer(comparer_variant::base, chunk, {0, 5}, {1, 1}, query, 5);
+  ASSERT_EQ(r.mm.size(), 2u);
+  EXPECT_EQ(r.mm[0], 0);
+  EXPECT_EQ(r.mm[1], 1);
+  EXPECT_EQ(r.dir[0], '+');
+}
+
+TEST(ComparerKernel, ThresholdBoundaryInclusive) {
+  const auto query = make_query("AAAA");
+  const std::string chunk = "TTAATTTT";  // locus 0: AA at 2,3 -> 2 mismatches
+  for (u16 threshold : {1, 2, 3}) {
+    const auto r =
+        run_comparer(comparer_variant::base, chunk, {0}, {1}, query, threshold);
+    if (threshold >= 2) {
+      ASSERT_EQ(r.mm.size(), 1u) << threshold;
+      EXPECT_EQ(r.mm[0], 2);
+    } else {
+      EXPECT_TRUE(r.mm.empty()) << threshold;  // early exit, no entry
+    }
+  }
+}
+
+TEST(ComparerKernel, ReverseStrandUsesRcHalf) {
+  const auto query = make_query("ACGT");  // rc half = "ACGT" rc = "ACGT"? no:
+  // rc("ACGT") = "ACGT" (palindrome) — use a non-palindrome instead.
+  const auto q2 = make_query("AAGG");  // rc = CCTT
+  const std::string chunk = "CCTTTTTT";
+  // flag 2: only reverse compare; ref "CCTT" equals rc(query) -> 0 mismatches.
+  const auto r = run_comparer(comparer_variant::base, chunk, {0}, {2}, q2, 3);
+  ASSERT_EQ(r.mm.size(), 1u);
+  EXPECT_EQ(r.mm[0], 0);
+  EXPECT_EQ(r.dir[0], '-');
+}
+
+TEST(ComparerKernel, FlagZeroProducesBothStrandEntries) {
+  const auto q = make_query("NNNN");  // matches everything on both strands
+  const std::string chunk = "ACGTACGT";
+  const auto r = run_comparer(comparer_variant::base, chunk, {1}, {0}, q, 0);
+  ASSERT_EQ(r.mm.size(), 2u);
+  EXPECT_EQ(r.dir[0], '+');
+  EXPECT_EQ(r.dir[1], '-');
+  EXPECT_EQ(r.loci[0], 1u);
+  EXPECT_EQ(r.loci[1], 1u);
+}
+
+TEST(ComparerKernel, SkipsStrandExcludedByFlag) {
+  const auto q = make_query("NNNN");
+  const std::string chunk = "ACGTACGT";
+  const auto fw = run_comparer(comparer_variant::base, chunk, {0}, {1}, q, 0);
+  ASSERT_EQ(fw.dir.size(), 1u);
+  EXPECT_EQ(fw.dir[0], '+');
+  const auto rc = run_comparer(comparer_variant::base, chunk, {0}, {2}, q, 0);
+  ASSERT_EQ(rc.dir.size(), 1u);
+  EXPECT_EQ(rc.dir[0], '-');
+}
+
+// Property: all five variants agree bit-for-bit on randomised inputs.
+class VariantEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(VariantEquivalence, AgreesWithBase) {
+  util::rng rng(static_cast<util::u64>(GetParam()));
+  std::string chunk;
+  for (int i = 0; i < 600; ++i) chunk += "ACGT"[rng.next_below(4)];
+  const auto query = make_query("GGCCGACCTGTCGCTGACGCNNN");
+  std::vector<u32> loci;
+  std::vector<char> flags;
+  for (u32 pos = 0; pos + 23 <= chunk.size(); pos += 7) {
+    loci.push_back(pos);
+    flags.push_back(static_cast<char>(rng.next_below(3)));
+  }
+  const auto base =
+      run_comparer(comparer_variant::base, chunk, loci, flags, query, 5);
+  for (int v = 1; v < kNumComparerVariants; ++v) {
+    const auto other = run_comparer(static_cast<comparer_variant>(v), chunk, loci,
+                                    flags, query, 5);
+    EXPECT_EQ(other.mm, base.mm) << "variant " << v;
+    EXPECT_EQ(other.dir, base.dir) << "variant " << v;
+    EXPECT_EQ(other.loci, base.loci) << "variant " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VariantEquivalence, ::testing::Range(1, 9));
+
+// Counting-policy checks: each optimisation removes exactly the accesses
+// the paper describes.
+prof::event_counts count_events(comparer_variant v) {
+  util::rng rng(99);
+  std::string chunk;
+  for (int i = 0; i < 400; ++i) chunk += "ACGT"[rng.next_below(4)];
+  const auto query = make_query("GGCCGACCTGTCGCTGACGCNNN");
+  std::vector<u32> loci;
+  std::vector<char> flags;
+  for (u32 pos = 0; pos + 23 <= chunk.size(); pos += 11) {
+    loci.push_back(pos);
+    flags.push_back(static_cast<char>(pos % 3));
+  }
+  prof::counters::reset();
+  (void)run_comparer(v, chunk, loci, flags, query, 5, 8, /*counting=*/true);
+  return prof::counters::snapshot();
+}
+
+TEST(ComparerCounting, Opt1RemovesDuplicateReferenceLoads) {
+  const auto base = count_events(comparer_variant::base);
+  const auto opt1 = count_events(comparer_variant::opt1);
+  // Same unique loads, fewer repeats (the duplicate chr loads disappear).
+  EXPECT_EQ(opt1[prof::ev::global_load], base[prof::ev::global_load]);
+  EXPECT_LT(opt1[prof::ev::global_load_repeat], base[prof::ev::global_load_repeat]);
+  EXPECT_EQ(opt1[prof::ev::compare], base[prof::ev::compare]);
+}
+
+TEST(ComparerCounting, Opt2EliminatesLociFlagReloads) {
+  const auto opt1 = count_events(comparer_variant::opt1);
+  const auto opt2 = count_events(comparer_variant::opt2);
+  EXPECT_LT(opt2[prof::ev::global_load_repeat], opt1[prof::ev::global_load_repeat]);
+  EXPECT_EQ(opt2[prof::ev::local_load], opt1[prof::ev::local_load]);
+}
+
+TEST(ComparerCounting, Opt3SameTotalFetchWorkSpreadAcrossItems) {
+  // Cooperative fetch moves the same number of local stores from work-item
+  // 0 to the whole group — total volume is unchanged.
+  const auto opt2 = count_events(comparer_variant::opt2);
+  const auto opt3 = count_events(comparer_variant::opt3);
+  EXPECT_EQ(opt3[prof::ev::local_store], opt2[prof::ev::local_store]);
+  EXPECT_EQ(opt3[prof::ev::global_load], opt2[prof::ev::global_load]);
+}
+
+TEST(ComparerCounting, Opt4KeepsAccessCountsOfOpt3) {
+  const auto opt3 = count_events(comparer_variant::opt3);
+  const auto opt4 = count_events(comparer_variant::opt4);
+  // opt4 changes registers/schedule, not executed memory ops.
+  EXPECT_EQ(opt4[prof::ev::global_load], opt3[prof::ev::global_load]);
+  EXPECT_EQ(opt4[prof::ev::local_load], opt3[prof::ev::local_load]);
+  EXPECT_EQ(opt4[prof::ev::compare], opt3[prof::ev::compare]);
+}
+
+TEST(ComparerCounting, WorkItemsCounted) {
+  const auto base = count_events(comparer_variant::base);
+  EXPECT_GT(base[prof::ev::work_item], 0u);
+  EXPECT_GT(base[prof::ev::loop_iter], 0u);
+  EXPECT_GT(base[prof::ev::local_store], 0u);
+}
+
+}  // namespace

@@ -1,0 +1,392 @@
+// Tests for the OpenCL host-API facade: object lifecycle and reference
+// counting, argument marshaling, program build checks, enqueue validation,
+// event profiling, runtime work-group selection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "oclsim/cl.hpp"
+#include "oclsim/cl_objects.hpp"
+
+namespace {
+
+// A trivial registered kernel for the tests: out[i] = in[i] + scalar.
+void add_scalar_impl(const oclsim::arg_view& a, xpu::xitem& it) {
+  int* out = a.global<int>(0);
+  const int* in = a.global<const int>(1);
+  const int s = a.scalar<int>(2);
+  out[it.get_global_id(0)] = in[it.get_global_id(0)] + s;
+}
+
+COF_REGISTER_CL_KERNEL((oclsim::kernel_def{
+    "add_scalar",
+    {oclsim::arg_kind::mem, oclsim::arg_kind::mem, oclsim::arg_kind::scalar},
+    /*uses_barrier=*/false, &add_scalar_impl, nullptr}))
+
+const char* kSrc = R"(__kernel void add_scalar(__global int* o, __global const int* i, int s) {})";
+
+struct env {
+  cl_platform_id plat{};
+  cl_device_id dev{};
+  cl_context ctx{};
+  cl_command_queue q{};
+  env() {
+    cl_uint n;
+    EXPECT_EQ(clGetPlatformIDs(1, &plat, &n), CL_SUCCESS);
+    EXPECT_EQ(clGetDeviceIDs(plat, CL_DEVICE_TYPE_GPU, 1, &dev, &n), CL_SUCCESS);
+    cl_int err;
+    ctx = clCreateContext(nullptr, 1, &dev, nullptr, nullptr, &err);
+    EXPECT_EQ(err, CL_SUCCESS);
+    q = clCreateCommandQueue(ctx, dev, CL_QUEUE_PROFILING_ENABLE, &err);
+    EXPECT_EQ(err, CL_SUCCESS);
+  }
+  ~env() {
+    clReleaseCommandQueue(q);
+    clReleaseContext(ctx);
+  }
+};
+
+TEST(OclPlatform, QueryReturnsOnePlatform) {
+  cl_uint n = 0;
+  EXPECT_EQ(clGetPlatformIDs(0, nullptr, &n), CL_SUCCESS);
+  EXPECT_EQ(n, 1u);
+  cl_platform_id p;
+  EXPECT_EQ(clGetPlatformIDs(1, &p, nullptr), CL_SUCCESS);
+  char name[64];
+  EXPECT_EQ(clGetPlatformInfo(p, CL_PLATFORM_NAME, sizeof(name), name, nullptr),
+            CL_SUCCESS);
+  EXPECT_STREQ(name, "cof-simulated-platform");
+}
+
+TEST(OclPlatform, InvalidPlatformRejected) {
+  EXPECT_EQ(clGetPlatformInfo(nullptr, CL_PLATFORM_NAME, 0, nullptr, nullptr),
+            CL_INVALID_PLATFORM);
+}
+
+TEST(OclDevice, GpuAndCpuQueries) {
+  cl_platform_id p;
+  cl_uint n;
+  ASSERT_EQ(clGetPlatformIDs(1, &p, &n), CL_SUCCESS);
+  cl_device_id gpu, cpu;
+  EXPECT_EQ(clGetDeviceIDs(p, CL_DEVICE_TYPE_GPU, 1, &gpu, &n), CL_SUCCESS);
+  EXPECT_EQ(clGetDeviceIDs(p, CL_DEVICE_TYPE_CPU, 1, &cpu, &n), CL_SUCCESS);
+  EXPECT_NE(gpu, cpu);
+  cl_device_type t;
+  EXPECT_EQ(clGetDeviceInfo(gpu, CL_DEVICE_TYPE, sizeof(t), &t, nullptr), CL_SUCCESS);
+  EXPECT_EQ(t, static_cast<cl_device_type>(CL_DEVICE_TYPE_GPU));
+  size_t wg = 0;
+  EXPECT_EQ(clGetDeviceInfo(gpu, CL_DEVICE_MAX_WORK_GROUP_SIZE, sizeof(wg), &wg,
+                            nullptr),
+            CL_SUCCESS);
+  EXPECT_GE(wg, 256u);
+}
+
+TEST(OclDevice, InfoBufferTooSmall) {
+  cl_platform_id p;
+  cl_uint n;
+  ASSERT_EQ(clGetPlatformIDs(1, &p, &n), CL_SUCCESS);
+  cl_device_id d;
+  ASSERT_EQ(clGetDeviceIDs(p, CL_DEVICE_TYPE_GPU, 1, &d, &n), CL_SUCCESS);
+  char tiny[2];
+  EXPECT_EQ(clGetDeviceInfo(d, CL_DEVICE_NAME, sizeof(tiny), tiny, nullptr),
+            CL_INVALID_VALUE);
+  size_t need = 0;
+  EXPECT_EQ(clGetDeviceInfo(d, CL_DEVICE_NAME, 0, nullptr, &need), CL_SUCCESS);
+  EXPECT_GT(need, 2u);
+}
+
+TEST(OclLifecycle, RefCountingBalances) {
+  const long before = oclsim::census::live().load();
+  {
+    env e;
+    cl_int err;
+    cl_mem m = clCreateBuffer(e.ctx, CL_MEM_READ_WRITE, 64, nullptr, &err);
+    ASSERT_EQ(err, CL_SUCCESS);
+    EXPECT_EQ(clRetainMemObject(m), CL_SUCCESS);
+    EXPECT_EQ(clReleaseMemObject(m), CL_SUCCESS);  // still alive (refs=1)
+    EXPECT_GT(oclsim::census::live().load(), before);
+    EXPECT_EQ(clReleaseMemObject(m), CL_SUCCESS);  // destroyed
+  }
+  EXPECT_EQ(oclsim::census::live().load(), before);
+}
+
+TEST(OclLifecycle, ContextOutlivesQueueViaRetain) {
+  const long before = oclsim::census::live().load();
+  cl_platform_id p;
+  cl_device_id d;
+  cl_uint n;
+  ASSERT_EQ(clGetPlatformIDs(1, &p, &n), CL_SUCCESS);
+  ASSERT_EQ(clGetDeviceIDs(p, CL_DEVICE_TYPE_GPU, 1, &d, &n), CL_SUCCESS);
+  cl_int err;
+  cl_context ctx = clCreateContext(nullptr, 1, &d, nullptr, nullptr, &err);
+  cl_command_queue q = clCreateCommandQueue(ctx, d, 0, &err);
+  // Release the app's context ref first; the queue's internal retain keeps
+  // it alive until the queue goes away.
+  EXPECT_EQ(clReleaseContext(ctx), CL_SUCCESS);
+  EXPECT_GT(oclsim::census::live().load(), before);
+  EXPECT_EQ(clReleaseCommandQueue(q), CL_SUCCESS);
+  EXPECT_EQ(oclsim::census::live().load(), before);
+}
+
+TEST(OclBuffer, CopyHostPtrInitialises) {
+  env e;
+  std::vector<int> host{1, 2, 3, 4};
+  cl_int err;
+  cl_mem m = clCreateBuffer(e.ctx, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
+                            host.size() * sizeof(int), host.data(), &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  std::vector<int> out(4);
+  EXPECT_EQ(clEnqueueReadBuffer(e.q, m, CL_TRUE, 0, 16, out.data(), 0, nullptr,
+                                nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(out, host);
+  clReleaseMemObject(m);
+}
+
+TEST(OclBuffer, ErrorsOnBadArguments) {
+  env e;
+  cl_int err;
+  EXPECT_EQ(clCreateBuffer(nullptr, 0, 16, nullptr, &err), nullptr);
+  EXPECT_EQ(err, CL_INVALID_CONTEXT);
+  EXPECT_EQ(clCreateBuffer(e.ctx, 0, 0, nullptr, &err), nullptr);
+  EXPECT_EQ(err, CL_INVALID_BUFFER_SIZE);
+  EXPECT_EQ(clCreateBuffer(e.ctx, CL_MEM_COPY_HOST_PTR, 16, nullptr, &err), nullptr);
+  EXPECT_EQ(err, CL_INVALID_VALUE);
+}
+
+TEST(OclProgram, BuildSucceedsForRegisteredKernels) {
+  env e;
+  cl_int err;
+  cl_program prog = clCreateProgramWithSource(e.ctx, 1, &kSrc, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  EXPECT_EQ(clBuildProgram(prog, 1, &e.dev, "", nullptr, nullptr), CL_SUCCESS);
+  clReleaseProgram(prog);
+}
+
+TEST(OclProgram, BuildFailsForUnregisteredKernel) {
+  env e;
+  const char* bad = "__kernel void not_registered_anywhere(void) {}";
+  cl_int err;
+  cl_program prog = clCreateProgramWithSource(e.ctx, 1, &bad, nullptr, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  EXPECT_EQ(clBuildProgram(prog, 1, &e.dev, "", nullptr, nullptr),
+            CL_BUILD_PROGRAM_FAILURE);
+  char log[256];
+  EXPECT_EQ(clGetProgramBuildInfo(prog, e.dev, CL_PROGRAM_BUILD_LOG, sizeof(log), log,
+                                  nullptr),
+            CL_SUCCESS);
+  EXPECT_NE(std::string(log).find("not_registered_anywhere"), std::string::npos);
+  clReleaseProgram(prog);
+}
+
+TEST(OclKernel, CreateRequiresBuiltProgramAndSourceName) {
+  env e;
+  cl_int err;
+  cl_program prog = clCreateProgramWithSource(e.ctx, 1, &kSrc, nullptr, &err);
+  EXPECT_EQ(clCreateKernel(prog, "add_scalar", &err), nullptr);
+  EXPECT_EQ(err, CL_INVALID_PROGRAM_EXECUTABLE);  // not built yet
+  ASSERT_EQ(clBuildProgram(prog, 1, &e.dev, "", nullptr, nullptr), CL_SUCCESS);
+  EXPECT_EQ(clCreateKernel(prog, "finder", &err), nullptr);  // not in this source
+  EXPECT_EQ(err, CL_INVALID_KERNEL_NAME);
+  cl_kernel k = clCreateKernel(prog, "add_scalar", &err);
+  EXPECT_EQ(err, CL_SUCCESS);
+  clReleaseKernel(k);
+  clReleaseProgram(prog);
+}
+
+struct kernel_env : env {
+  cl_program prog{};
+  cl_kernel k{};
+  kernel_env() {
+    cl_int err;
+    prog = clCreateProgramWithSource(ctx, 1, &kSrc, nullptr, &err);
+    EXPECT_EQ(clBuildProgram(prog, 1, &dev, "", nullptr, nullptr), CL_SUCCESS);
+    k = clCreateKernel(prog, "add_scalar", &err);
+    EXPECT_EQ(err, CL_SUCCESS);
+  }
+  ~kernel_env() {
+    clReleaseKernel(k);
+    clReleaseProgram(prog);
+  }
+};
+
+TEST(OclKernelArgs, ValidationAgainstSignature) {
+  kernel_env e;
+  int s = 5;
+  cl_int err;
+  cl_mem m = clCreateBuffer(e.ctx, CL_MEM_READ_WRITE, 64, nullptr, &err);
+  EXPECT_EQ(clSetKernelArg(e.k, 9, sizeof(cl_mem), &m), CL_INVALID_ARG_INDEX);
+  EXPECT_EQ(clSetKernelArg(e.k, 0, sizeof(int), &s), CL_INVALID_ARG_SIZE);  // mem slot
+  EXPECT_EQ(clSetKernelArg(e.k, 2, sizeof(int), nullptr), CL_INVALID_ARG_VALUE);
+  EXPECT_EQ(clSetKernelArg(e.k, 0, sizeof(cl_mem), &m), CL_SUCCESS);
+  EXPECT_EQ(clSetKernelArg(e.k, 2, sizeof(int), &s), CL_SUCCESS);
+  clReleaseMemObject(m);
+}
+
+TEST(OclEnqueue, RejectsUnsetArgs) {
+  kernel_env e;
+  size_t gws = 64;
+  EXPECT_EQ(clEnqueueNDRangeKernel(e.q, e.k, 1, nullptr, &gws, nullptr, 0, nullptr,
+                                   nullptr),
+            CL_INVALID_KERNEL_ARGS);
+}
+
+TEST(OclEnqueue, ExecutesAndProfiles) {
+  kernel_env e;
+  const size_t N = 128;
+  std::vector<int> in(N, 10), out(N, 0);
+  cl_int err;
+  cl_mem din = clCreateBuffer(e.ctx, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
+                              N * sizeof(int), in.data(), &err);
+  cl_mem dout = clCreateBuffer(e.ctx, CL_MEM_WRITE_ONLY, N * sizeof(int), nullptr,
+                               &err);
+  int s = 7;
+  clSetKernelArg(e.k, 0, sizeof(cl_mem), &dout);
+  clSetKernelArg(e.k, 1, sizeof(cl_mem), &din);
+  clSetKernelArg(e.k, 2, sizeof(int), &s);
+  size_t gws = N;
+  cl_event ev;
+  ASSERT_EQ(clEnqueueNDRangeKernel(e.q, e.k, 1, nullptr, &gws, nullptr, 0, nullptr,
+                                   &ev),
+            CL_SUCCESS);
+  ASSERT_EQ(clWaitForEvents(1, &ev), CL_SUCCESS);
+  cl_ulong t0, t1;
+  EXPECT_EQ(clGetEventProfilingInfo(ev, CL_PROFILING_COMMAND_START, sizeof(t0), &t0,
+                                    nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(clGetEventProfilingInfo(ev, CL_PROFILING_COMMAND_END, sizeof(t1), &t1,
+                                    nullptr),
+            CL_SUCCESS);
+  EXPECT_GE(t1, t0);
+  clReleaseEvent(ev);
+  ASSERT_EQ(clEnqueueReadBuffer(e.q, dout, CL_TRUE, 0, N * sizeof(int), out.data(), 0,
+                                nullptr, nullptr),
+            CL_SUCCESS);
+  for (auto v : out) EXPECT_EQ(v, 17);
+  clReleaseMemObject(din);
+  clReleaseMemObject(dout);
+}
+
+TEST(OclEnqueue, BadWorkGroupSizeRejected) {
+  kernel_env e;
+  cl_int err;
+  cl_mem m = clCreateBuffer(e.ctx, CL_MEM_READ_WRITE, 64 * sizeof(int), nullptr, &err);
+  int s = 1;
+  clSetKernelArg(e.k, 0, sizeof(cl_mem), &m);
+  clSetKernelArg(e.k, 1, sizeof(cl_mem), &m);
+  clSetKernelArg(e.k, 2, sizeof(int), &s);
+  size_t gws = 64, lws = 48;  // does not divide
+  EXPECT_EQ(clEnqueueNDRangeKernel(e.q, e.k, 1, nullptr, &gws, &lws, 0, nullptr,
+                                   nullptr),
+            CL_INVALID_WORK_GROUP_SIZE);
+  size_t zero_lws = 0;
+  EXPECT_EQ(clEnqueueNDRangeKernel(e.q, e.k, 1, nullptr, &gws, &zero_lws, 0, nullptr,
+                                   nullptr),
+            CL_INVALID_WORK_GROUP_SIZE);
+  EXPECT_EQ(clEnqueueNDRangeKernel(e.q, e.k, 4, nullptr, &gws, nullptr, 0, nullptr,
+                                   nullptr),
+            CL_INVALID_WORK_DIMENSION);
+  clReleaseMemObject(m);
+}
+
+TEST(OclRegistry, ParseKernelNames) {
+  const auto names = oclsim::parse_kernel_names(
+      "__kernel void a(int x) {}\n kernel void b() {} \n"
+      "__kernel __attribute__((reqd_work_group_size(64,1,1))) void c() {}");
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+  EXPECT_EQ(names[2], "c");
+}
+
+TEST(OclRegistry, FindAndEnumerate) {
+  EXPECT_NE(oclsim::find_kernel("add_scalar"), nullptr);
+  EXPECT_EQ(oclsim::find_kernel("missing_kernel_xyz"), nullptr);
+  const auto names = oclsim::registered_kernel_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "add_scalar"), names.end());
+}
+
+TEST(OclRegistry, ProfilingModeToggle) {
+  EXPECT_FALSE(oclsim::profiling_mode());
+  oclsim::set_profiling_mode(true);
+  EXPECT_TRUE(oclsim::profiling_mode());
+  oclsim::set_profiling_mode(false);
+}
+
+TEST(OclEnqueue, ReadWriteBufferBoundsChecked) {
+  env e;
+  cl_int err;
+  cl_mem m = clCreateBuffer(e.ctx, CL_MEM_READ_WRITE, 16, nullptr, &err);
+  char buf[32];
+  EXPECT_EQ(clEnqueueReadBuffer(e.q, m, CL_TRUE, 8, 16, buf, 0, nullptr, nullptr),
+            CL_INVALID_VALUE);
+  EXPECT_EQ(clEnqueueWriteBuffer(e.q, m, CL_TRUE, 0, 32, buf, 0, nullptr, nullptr),
+            CL_INVALID_VALUE);
+  clReleaseMemObject(m);
+}
+
+}  // namespace
+
+// -- appended: copy/fill/work-group-info coverage ----------------------------
+
+namespace {
+
+TEST(OclCopyBuffer, DeviceToDeviceWithOffsets) {
+  env e;
+  cl_int err;
+  std::vector<int> init{10, 20, 30, 40};
+  cl_mem src = clCreateBuffer(e.ctx, CL_MEM_READ_WRITE | CL_MEM_COPY_HOST_PTR,
+                              16, init.data(), &err);
+  cl_mem dst = clCreateBuffer(e.ctx, CL_MEM_READ_WRITE, 32, nullptr, &err);
+  ASSERT_EQ(clEnqueueCopyBuffer(e.q, src, dst, 4, 8, 8, 0, nullptr, nullptr),
+            CL_SUCCESS);
+  int out[2] = {};
+  ASSERT_EQ(clEnqueueReadBuffer(e.q, dst, CL_TRUE, 8, 8, out, 0, nullptr, nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(out[0], 20);
+  EXPECT_EQ(out[1], 30);
+  EXPECT_EQ(clEnqueueCopyBuffer(e.q, src, dst, 12, 0, 8, 0, nullptr, nullptr),
+            CL_INVALID_VALUE);  // source overrun
+  clReleaseMemObject(src);
+  clReleaseMemObject(dst);
+}
+
+TEST(OclFillBuffer, PatternFill) {
+  env e;
+  cl_int err;
+  cl_mem m = clCreateBuffer(e.ctx, CL_MEM_READ_WRITE, 16, nullptr, &err);
+  const int pattern = 0x0B0B0B0B;
+  ASSERT_EQ(clEnqueueFillBuffer(e.q, m, &pattern, sizeof(pattern), 0, 16, 0,
+                                nullptr, nullptr),
+            CL_SUCCESS);
+  int out[4];
+  ASSERT_EQ(clEnqueueReadBuffer(e.q, m, CL_TRUE, 0, 16, out, 0, nullptr, nullptr),
+            CL_SUCCESS);
+  for (int v : out) EXPECT_EQ(v, pattern);
+  // size not a multiple of the pattern
+  EXPECT_EQ(clEnqueueFillBuffer(e.q, m, &pattern, sizeof(pattern), 0, 10, 0,
+                                nullptr, nullptr),
+            CL_INVALID_VALUE);
+  clReleaseMemObject(m);
+}
+
+TEST(OclKernelWorkGroupInfo, ReportsWavefrontMultipleAndLocalMem) {
+  kernel_env e;
+  size_t multiple = 0;
+  ASSERT_EQ(clGetKernelWorkGroupInfo(e.k, e.dev,
+                                     CL_KERNEL_PREFERRED_WORK_GROUP_SIZE_MULTIPLE,
+                                     sizeof(multiple), &multiple, nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(multiple, 64u);  // wavefront-sized, as on GCN/CDNA
+  cl_ulong lmem = 123;
+  ASSERT_EQ(clGetKernelWorkGroupInfo(e.k, e.dev, CL_KERNEL_LOCAL_MEM_SIZE,
+                                     sizeof(lmem), &lmem, nullptr),
+            CL_SUCCESS);
+  EXPECT_EQ(lmem, 0u);  // add_scalar has no local args
+}
+
+}  // namespace

@@ -1,0 +1,197 @@
+// Integration tests of the two device pipelines (host programs) against
+// each other and the serial reference, across seeds, thresholds, work-group
+// sizes, variants and chunk geometries.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "genome/synth.hpp"
+
+namespace {
+
+using namespace cof;
+
+genome::genome_t small_genome(util::u64 seed, util::usize len = 60000) {
+  genome::synth_params p;
+  p.assembly = "pipe-test";
+  p.chromosomes = {{"chrA", len}, {"chrB", len / 2}};
+  p.seed = seed;
+  return genome::generate(p);
+}
+
+search_config small_config() {
+  return parse_input(example_input("synth:unused"));
+}
+
+TEST(Pipelines, OclSyclSerialAgree) {
+  auto g = small_genome(1);
+  auto cfg = small_config();
+  auto rs = run_search(cfg, g, {.backend = backend_kind::serial});
+  auto ro = run_search(cfg, g, {.backend = backend_kind::opencl, .max_chunk = 16384});
+  auto ry = run_search(cfg, g, {.backend = backend_kind::sycl, .max_chunk = 16384});
+  EXPECT_EQ(rs.records, ro.records);
+  EXPECT_EQ(rs.records, ry.records);
+}
+
+class PipelineSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, util::usize>> {};
+
+TEST_P(PipelineSweep, BackendsAgreeAcrossGeometries) {
+  const auto [seed, wg, chunk] = GetParam();
+  auto g = small_genome(static_cast<util::u64>(seed), 30000);
+  auto cfg = small_config();
+  engine_options ser{.backend = backend_kind::serial};
+  engine_options ocl{.backend = backend_kind::opencl,
+                     .wg_size = static_cast<util::usize>(wg),
+                     .max_chunk = chunk};
+  engine_options syc{.backend = backend_kind::sycl,
+                     .wg_size = static_cast<util::usize>(wg),
+                     .max_chunk = chunk};
+  auto rs = run_search(cfg, g, ser);
+  auto ro = run_search(cfg, g, ocl);
+  auto ry = run_search(cfg, g, syc);
+  EXPECT_EQ(rs.records, ro.records);
+  EXPECT_EQ(rs.records, ry.records);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PipelineSweep,
+    ::testing::Values(std::tuple{2, 0, 8192u}, std::tuple{3, 64, 4096u},
+                      std::tuple{4, 256, 50000u}, std::tuple{5, 32, 1000u},
+                      std::tuple{6, 128, 65536u}));
+
+class VariantSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(VariantSweep, AllComparerVariantsMatchSerial) {
+  const auto v = static_cast<comparer_variant>(GetParam());
+  auto g = small_genome(7, 25000);
+  auto cfg = small_config();
+  auto rs = run_search(cfg, g, {.backend = backend_kind::serial});
+  for (auto backend : {backend_kind::opencl, backend_kind::sycl}) {
+    engine_options opt{.backend = backend, .variant = v, .max_chunk = 9000};
+    auto r = run_search(cfg, g, opt);
+    EXPECT_EQ(r.records, rs.records)
+        << backend_name(backend) << "/" << comparer_variant_name(v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, VariantSweep,
+                         ::testing::Range(0, kNumComparerVariants));
+
+TEST(Pipelines, SiteStraddlingChunkBoundaryIsFound) {
+  // Place a guaranteed hit exactly across a chunk boundary and search with a
+  // chunk size that splits it.
+  genome::genome_t g;
+  g.chroms.push_back({"chr", std::string(3000, 'T')});
+  const std::string site = "GGCCGACCTGTCGCTGACGCTGG";  // query0 + TGG PAM
+  const util::usize chunk_size = 1000;
+  const util::usize pos = chunk_size - 10;  // straddles the first boundary
+  g.chroms[0].seq.replace(pos, site.size(), site);
+  auto cfg = small_config();
+  for (auto backend : {backend_kind::opencl, backend_kind::sycl}) {
+    engine_options opt{.backend = backend, .max_chunk = chunk_size};
+    auto r = run_search(cfg, g, opt);
+    bool found = false;
+    for (const auto& rec : r.records) {
+      if (rec.query_index == 0 && rec.position == pos && rec.direction == '+' &&
+          rec.mismatches == 0) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << backend_name(backend);
+  }
+}
+
+TEST(Pipelines, OverlapDoesNotDuplicateRecords) {
+  genome::genome_t g;
+  g.chroms.push_back({"chr", std::string(2000, 'T')});
+  const std::string site = "GGCCGACCTGTCGCTGACGCTGG";
+  g.chroms[0].seq.replace(500, site.size(), site);  // interior of chunk 1&2 overlap
+  auto cfg = small_config();
+  engine_options opt{.backend = backend_kind::sycl, .max_chunk = 512};
+  auto r = run_search(cfg, g, opt);
+  int hits = 0;
+  for (const auto& rec : r.records) {
+    hits += (rec.query_index == 0 && rec.position == 500 && rec.direction == '+');
+  }
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(Pipelines, ChunkSmallerThanPatternYieldsNothing) {
+  genome::genome_t g;
+  g.chroms.push_back({"tiny", "ACGTACGTAC"});  // 10 < plen 23
+  auto cfg = small_config();
+  for (auto backend : {backend_kind::opencl, backend_kind::sycl}) {
+    auto r = run_search(cfg, g, {.backend = backend});
+    EXPECT_TRUE(r.records.empty());
+  }
+}
+
+TEST(Pipelines, MetricsAccumulate) {
+  auto g = small_genome(8, 20000);
+  auto cfg = small_config();
+  engine_options opt{.backend = backend_kind::sycl, .max_chunk = 8192};
+  auto r = run_search(cfg, g, opt);
+  EXPECT_GT(r.metrics.chunks, 1u);
+  EXPECT_EQ(r.metrics.pipeline.finder_launches, r.metrics.chunks);
+  EXPECT_GT(r.metrics.pipeline.h2d_bytes, g.total_bases());  // chunks + patterns
+  EXPECT_GT(r.metrics.pipeline.kernel_nanos, 0u);
+  EXPECT_GT(r.metrics.elapsed_seconds, 0.0);
+  // one comparer launch per non-empty chunk per query
+  EXPECT_LE(r.metrics.pipeline.comparer_launches,
+            r.metrics.chunks * cfg.queries.size());
+}
+
+TEST(Pipelines, CountingModeMatchesDirectResults) {
+  auto g = small_genome(9, 20000);
+  auto cfg = small_config();
+  prof::profiler prof;
+  engine_options direct{.backend = backend_kind::sycl, .max_chunk = 8192};
+  engine_options counting{.backend = backend_kind::sycl,
+                          .max_chunk = 8192,
+                          .counting = true,
+                          .profiler = &prof};
+  auto rd = run_search(cfg, g, direct);
+  auto rc = run_search(cfg, g, counting);
+  EXPECT_EQ(rd.records, rc.records);
+  EXPECT_GT(prof.get("finder").events[prof::ev::work_item], 0u);
+  EXPECT_GT(prof.get("comparer/base").events[prof::ev::global_load], 0u);
+}
+
+TEST(Pipelines, OclCountingAlsoRecords) {
+  auto g = small_genome(10, 15000);
+  auto cfg = small_config();
+  prof::profiler prof;
+  engine_options opt{.backend = backend_kind::opencl,
+                     .max_chunk = 8192,
+                     .counting = true,
+                     .profiler = &prof};
+  auto r = run_search(cfg, g, opt);
+  EXPECT_GT(prof.get("comparer/base").events[prof::ev::work_item], 0u);
+  EXPECT_GT(prof.get("comparer/base").launches, 0u);
+}
+
+TEST(Pipelines, PlantedRecallAllMismatchLevels) {
+  auto g = small_genome(11, 80000);
+  auto cfg = small_config();
+  const std::string guide = cfg.queries[0].seq.substr(0, 20) + "NGG";
+  std::vector<genome::planted_site> all;
+  for (unsigned mm = 0; mm <= 5; ++mm) {
+    auto planted = genome::plant_sites(g, guide, cfg.pattern, 3, mm, 200 + mm);
+    all.insert(all.end(), planted.begin(), planted.end());
+  }
+  auto r = run_search(cfg, g, {.backend = backend_kind::sycl, .max_chunk = 16384});
+  for (const auto& p : all) {
+    bool found = false;
+    for (const auto& rec : r.records) {
+      if (rec.query_index == 0 && rec.chrom_index == p.chrom_index &&
+          rec.position == p.position && rec.direction == p.strand &&
+          rec.mismatches == p.mismatches) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "planted mm=" << p.mismatches << " at " << p.position;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,136 @@
+// Profiling-layer tests: counters, item-scope flush, profiler reports.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "profile/counters.hpp"
+#include "profile/profiler.hpp"
+
+namespace {
+
+using namespace prof;
+
+TEST(Counters, AddAndSnapshot) {
+  counters::reset();
+  event_counts c;
+  c[ev::global_load] = 5;
+  c[ev::compare] = 7;
+  counters::add_bulk(c);
+  counters::add_bulk(c);
+  auto snap = counters::snapshot();
+  EXPECT_EQ(snap[ev::global_load], 10u);
+  EXPECT_EQ(snap[ev::compare], 14u);
+  EXPECT_EQ(snap[ev::atomic_op], 0u);
+  counters::reset();
+  EXPECT_EQ(counters::snapshot()[ev::global_load], 0u);
+}
+
+TEST(Counters, ItemScopeFlushesOnDestruction) {
+  counters::reset();
+  {
+    item_scope_counts scope;
+    scope.c[ev::local_load] = 3;
+    EXPECT_EQ(counters::snapshot()[ev::local_load], 0u);  // not yet flushed
+  }
+  EXPECT_EQ(counters::snapshot()[ev::local_load], 3u);
+  counters::reset();
+}
+
+TEST(Counters, ConcurrentAddBulk) {
+  counters::reset();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      event_counts c;
+      c[ev::loop_iter] = 1;
+      for (int i = 0; i < 1000; ++i) counters::add_bulk(c);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counters::snapshot()[ev::loop_iter], 4000u);
+  counters::reset();
+}
+
+TEST(EventCounts, Arithmetic) {
+  event_counts a, b;
+  a[ev::compare] = 3;
+  b[ev::compare] = 4;
+  b[ev::branch] = 1;
+  auto c = a + b;
+  EXPECT_EQ(c[ev::compare], 7u);
+  EXPECT_EQ(c[ev::branch], 1u);
+  a += b;
+  EXPECT_EQ(a[ev::compare], 7u);
+}
+
+TEST(EventCounts, TotalGlobalBytes) {
+  event_counts e;
+  e[ev::global_load_bytes] = 100;
+  e[ev::global_store_bytes] = 50;
+  EXPECT_EQ(e.total_global_bytes(), 150u);
+}
+
+TEST(EventCounts, NamesResolve) {
+  for (int i = 0; i < kNumEvents; ++i) {
+    EXPECT_STRNE(ev_name(static_cast<ev>(i)), "?");
+  }
+}
+
+TEST(Profiler, RecordAggregates) {
+  profiler p;
+  event_counts e;
+  e[ev::global_load] = 10;
+  p.record("k", e, 100);
+  p.record("k", e, 50);
+  const auto prof = p.get("k");
+  EXPECT_EQ(prof.launches, 2u);
+  EXPECT_EQ(prof.wall_nanos, 150u);
+  EXPECT_EQ(prof.events[ev::global_load], 20u);
+}
+
+TEST(Profiler, HotspotShare) {
+  profiler p;
+  p.record("hot", {}, 980);
+  p.record("cold", {}, 20);
+  EXPECT_DOUBLE_EQ(p.hotspot_share("hot"), 0.98);
+  EXPECT_DOUBLE_EQ(p.hotspot_share("cold"), 0.02);
+  EXPECT_DOUBLE_EQ(p.hotspot_share("missing"), 0.0);
+  EXPECT_EQ(p.total_kernel_nanos(), 1000u);
+}
+
+TEST(Profiler, EmptyProfilerSafe) {
+  profiler p;
+  EXPECT_EQ(p.total_kernel_nanos(), 0u);
+  EXPECT_DOUBLE_EQ(p.hotspot_share("x"), 0.0);
+  EXPECT_EQ(p.get("x").launches, 0u);
+}
+
+TEST(Profiler, ReportContainsKernelsAndShares) {
+  profiler p;
+  event_counts e;
+  e[ev::global_load_bytes] = 1234;
+  p.record("comparer", e, 900);
+  p.record("finder", {}, 100);
+  const auto report = p.report();
+  EXPECT_NE(report.find("comparer"), std::string::npos);
+  EXPECT_NE(report.find("finder"), std::string::npos);
+  EXPECT_NE(report.find("90.0%"), std::string::npos);
+  EXPECT_NE(report.find("1234"), std::string::npos);
+}
+
+TEST(Profiler, ModelSecondsAccumulate) {
+  profiler p;
+  p.add_model_seconds("k", 1.5);
+  p.add_model_seconds("k", 0.5);
+  EXPECT_DOUBLE_EQ(p.get("k").model_seconds, 2.0);
+}
+
+TEST(Profiler, ClearEmpties) {
+  profiler p;
+  p.record("k", {}, 10);
+  p.clear();
+  EXPECT_TRUE(p.kernels().empty());
+}
+
+}  // namespace

@@ -1,0 +1,156 @@
+// Reproduction-band regression tests: the paper's headline shapes must keep
+// emerging from the measured-events -> device-model path. These guard the
+// calibration (EXPERIMENTS.md) against silent regressions — if a change to
+// the kernels, counting policy or model moves a band, these fail.
+//
+// Small scale (1/8192 assemblies) keeps them fast; the bands are scale-
+// invariant because events extrapolate linearly.
+#include <gtest/gtest.h>
+
+#include "bench_common.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using cv = cof::comparer_variant;
+
+struct repro_fixture {
+  bench::dataset hg19 = bench::make_dataset("hg19", 8192);
+  bench::dataset hg38 = bench::make_dataset("hg38", 8192);
+  bench::measured_run ocl19;
+  bench::measured_run sycl19;
+  bench::measured_run sycl38;
+
+  repro_fixture() {
+    util::set_log_level(util::log_level::warn);
+    ocl19 = bench::run_counting(hg19, cof::backend_kind::opencl, cv::base, 0);
+    sycl19 = bench::run_counting(hg19, cof::backend_kind::sycl, cv::base, 256);
+    sycl38 = bench::run_counting(hg38, cof::backend_kind::sycl, cv::base, 256);
+  }
+
+  static repro_fixture& get() {
+    static repro_fixture f;
+    return f;
+  }
+};
+
+double elapsed(const bench::dataset& ds, const bench::measured_run& m, cv variant,
+               util::u32 wg, const char* gpu) {
+  auto in = bench::make_projection(ds, m, variant, wg);
+  return gpumodel::project_elapsed(gpumodel::gpu_by_name(gpu), in).total_s;
+}
+
+TEST(ReproTable8, AbsoluteElapsedInPaperBallpark) {
+  auto& f = repro_fixture::get();
+  // Paper: 41-71 s across all cells; require the same order of magnitude.
+  for (const char* gpu : {"RVII", "MI60", "MI100"}) {
+    const double s = elapsed(f.hg19, f.sycl19, cv::base, 256, gpu);
+    EXPECT_GT(s, 25.0) << gpu;
+    EXPECT_LT(s, 80.0) << gpu;
+  }
+}
+
+TEST(ReproTable8, SyclNeverSlowerThanOpenCL) {
+  auto& f = repro_fixture::get();
+  for (const char* gpu : {"RVII", "MI60", "MI100"}) {
+    const double ocl = elapsed(f.hg19, f.ocl19, cv::base, 64, gpu);
+    const double sycl = elapsed(f.hg19, f.sycl19, cv::base, 256, gpu);
+    const double speedup = ocl / sycl;
+    EXPECT_GE(speedup, 1.00) << gpu;   // paper band: 1.00 - 1.20
+    EXPECT_LE(speedup, 1.25) << gpu;
+  }
+}
+
+TEST(ReproTable8, Hg38SlowerThanHg19) {
+  auto& f = repro_fixture::get();
+  const double s19 = elapsed(f.hg19, f.sycl19, cv::base, 256, "RVII");
+  const double s38 = elapsed(f.hg38, f.sycl38, cv::base, 256, "RVII");
+  EXPECT_GT(s38, s19);
+}
+
+TEST(ReproTable8, Mi100FastestDevice) {
+  auto& f = repro_fixture::get();
+  const double rvii = elapsed(f.hg19, f.sycl19, cv::base, 256, "RVII");
+  const double mi100 = elapsed(f.hg19, f.sycl19, cv::base, 256, "MI100");
+  EXPECT_LT(mi100, rvii);
+}
+
+TEST(ReproHotspot, ComparerDominatesKernelTime) {
+  auto& f = repro_fixture::get();
+  auto in = bench::make_projection(f.hg19, f.sycl19, cv::base, 256);
+  const auto proj = gpumodel::project_elapsed(gpumodel::gpu_by_name("RVII"), in);
+  const double kernel_share = proj.comparer_s / (proj.comparer_s + proj.finder_s);
+  EXPECT_GT(kernel_share, 0.95);  // paper: ~98%
+  const double elapsed_share = proj.comparer_s / proj.total_s;
+  EXPECT_GT(elapsed_share, 0.50);  // paper: 50-80%
+  EXPECT_LT(elapsed_share, 0.85);
+}
+
+TEST(ReproFig2, CumulativeOptGainInPaperBand) {
+  auto& f = repro_fixture::get();
+  bench::measured_run runs[5];
+  double t[5];
+  for (int v = 0; v < 5; ++v) {
+    runs[v] = bench::run_counting(f.hg19, cof::backend_kind::sycl,
+                                  static_cast<cv>(v), 256);
+    auto in = bench::make_projection(f.hg19, runs[v], static_cast<cv>(v), 256);
+    t[v] = gpumodel::project_elapsed(gpumodel::gpu_by_name("RVII"), in).comparer_s;
+  }
+  // Monotone improvement through opt3...
+  EXPECT_LT(t[1], t[0]);
+  EXPECT_LT(t[2], t[1]);
+  EXPECT_LE(t[3], t[2]);
+  // ...with a cumulative cut in the paper's 18-30% window...
+  const double cut = 1.0 - t[3] / t[0];
+  EXPECT_GT(cut, 0.18);
+  EXPECT_LT(cut, 0.30);
+  // ...and the opt4 occupancy cliff nearly doubles the kernel.
+  const double cliff = t[4] / t[3];
+  EXPECT_GT(cliff, 1.7);
+  EXPECT_LT(cliff, 2.3);
+}
+
+TEST(ReproTable9, OptimisedSpeedupInPaperBand) {
+  auto& f = repro_fixture::get();
+  auto opt3 = bench::run_counting(f.hg19, cof::backend_kind::sycl, cv::opt3, 256);
+  for (const char* gpu : {"RVII", "MI60", "MI100"}) {
+    const double base_s = elapsed(f.hg19, f.sycl19, cv::base, 256, gpu);
+    const double opt_s = elapsed(f.hg19, opt3, cv::opt3, 256, gpu);
+    const double speedup = base_s / opt_s;
+    EXPECT_GT(speedup, 1.09) << gpu;  // paper band: 1.09 - 1.23
+    EXPECT_LT(speedup, 1.30) << gpu;
+  }
+}
+
+TEST(ReproTable10, ResourceRowsWithinTolerance) {
+  const int paper_sgpr[5] = {64, 64, 64, 57, 82};
+  const int paper_vgpr[5] = {22, 22, 22, 10, 10};
+  const int paper_occ[5] = {10, 10, 10, 10, 9};
+  const int paper_code[5] = {6064, 5852, 5408, 4408, 3660};
+  for (int v = 0; v < 5; ++v) {
+    const auto row = gpumodel::resource_usage(static_cast<cv>(v));
+    EXPECT_NEAR(static_cast<int>(row.sgprs), paper_sgpr[v], 2) << v;
+    EXPECT_NEAR(static_cast<int>(row.vgprs), paper_vgpr[v], 1) << v;
+    EXPECT_EQ(static_cast<int>(row.occupancy), paper_occ[v]) << v;
+    EXPECT_NEAR(static_cast<double>(row.code_bytes), paper_code[v],
+                0.08 * paper_code[v])
+        << v;
+  }
+}
+
+TEST(ReproScaling, EventsScaleLinearlyAcrossAssemblyScales) {
+  // The extrapolation premise: per-base event rates are scale-invariant.
+  auto small = bench::make_dataset("hg19", 16384);
+  auto large = bench::make_dataset("hg19", 4096);
+  auto rs = bench::run_counting(small, cof::backend_kind::sycl, cv::base, 256);
+  auto rl = bench::run_counting(large, cof::backend_kind::sycl, cv::base, 256);
+  const auto es = rs.profile->get("comparer/base").events;
+  const auto el = rl.profile->get("comparer/base").events;
+  const double per_base_s = static_cast<double>(es[prof::ev::global_load]) /
+                            static_cast<double>(small.g.total_bases());
+  const double per_base_l = static_cast<double>(el[prof::ev::global_load]) /
+                            static_cast<double>(large.g.total_bases());
+  EXPECT_NEAR(per_base_s / per_base_l, 1.0, 0.15);
+}
+
+}  // namespace

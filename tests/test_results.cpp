@@ -1,0 +1,81 @@
+// Result-record ordering, dedup, site-string rendering, output format.
+#include <gtest/gtest.h>
+
+#include "core/results.hpp"
+
+namespace {
+
+using cof::ot_record;
+
+TEST(Results, SortOrder) {
+  std::vector<ot_record> r{
+      {1, 0, 10, '+', 0, "A"}, {0, 1, 5, '+', 0, "B"}, {0, 0, 20, '-', 0, "C"},
+      {0, 0, 20, '+', 0, "D"}, {0, 0, 5, '+', 0, "E"},
+  };
+  cof::sort_records(r);
+  EXPECT_EQ(r[0].site, "E");
+  EXPECT_EQ(r[1].site, "D");  // '+' < '-' in ASCII
+  EXPECT_EQ(r[2].site, "C");
+  EXPECT_EQ(r[3].site, "B");
+  EXPECT_EQ(r[4].site, "A");
+}
+
+TEST(Results, DedupRemovesChunkOverlapDuplicates) {
+  std::vector<ot_record> r{
+      {0, 0, 10, '+', 2, "AA"}, {0, 0, 10, '+', 2, "AA"}, {0, 0, 10, '-', 2, "AA"},
+      {1, 0, 10, '+', 2, "AA"},
+  };
+  cof::sort_and_dedup(r);
+  EXPECT_EQ(r.size(), 3u);  // same (query,chrom,pos,dir) collapsed
+}
+
+TEST(SiteString, ForwardLowercasesMismatches) {
+  // query AC GT vs ref AGGT: mismatch at position 1 only.
+  EXPECT_EQ(cof::make_site_string("ACGT", "AGGT", '+'), "AgGT");
+}
+
+TEST(SiteString, NInQueryNeverLowercases) {
+  EXPECT_EQ(cof::make_site_string("NNGT", "CAGT", '+'), "CAGT");
+}
+
+TEST(SiteString, RefNLowercasedAgainstConcreteQuery) {
+  EXPECT_EQ(cof::make_site_string("ACGT", "ACGN", '+'), "ACGn");
+}
+
+TEST(SiteString, ReverseStrandIsReverseComplement) {
+  // ref slice GGTC; '-' direction renders rc(GGTC) = GACC; query GACC -> no
+  // mismatches.
+  EXPECT_EQ(cof::make_site_string("GACC", "GGTC", '-'), "GACC");
+}
+
+TEST(SiteString, ReverseStrandMismatchLowercased) {
+  // rc(AGTC) = GACT; query GACC mismatches at position 3 (C vs T).
+  EXPECT_EQ(cof::make_site_string("GACC", "AGTC", '-'), "GACt");
+}
+
+TEST(SiteString, MismatchCountMatchesLowercaseCount) {
+  const std::string query = "ACGTACGTAC";
+  const std::string ref = "ACCTACGAAC";  // mismatches at 2 and 7
+  auto site = cof::make_site_string(query, ref, '+');
+  int lower = 0;
+  for (char c : site) lower += (c >= 'a' && c <= 'z');
+  EXPECT_EQ(lower, 2);
+}
+
+TEST(Results, FormatUpstreamLayout) {
+  genome::genome_t g;
+  g.chroms = {{"chr1", ""}, {"chr2", ""}};
+  std::vector<ot_record> r{{0, 1, 12345, '-', 3, "ACgTa"}};
+  const auto text = cof::format_records(r, {"QUERYSEQ"}, g);
+  EXPECT_EQ(text, "QUERYSEQ\tchr2\t12345\tACgTa\t-\t3\n");
+}
+
+TEST(Results, FormatMultipleRecords) {
+  genome::genome_t g;
+  g.chroms = {{"chrX", ""}};
+  std::vector<ot_record> r{{0, 0, 1, '+', 0, "AA"}, {1, 0, 2, '-', 1, "CC"}};
+  const auto text = cof::format_records(r, {"Q1", "Q2"}, g);
+  EXPECT_EQ(text, "Q1\tchrX\t1\tAA\t+\t0\nQ2\tchrX\t2\tCC\t-\t1\n");
+}
+
+}  // namespace

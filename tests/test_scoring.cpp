@@ -1,0 +1,191 @@
+// Off-target scoring tests (MIT/Hsu single-site score + aggregate guide
+// specificity).
+#include <gtest/gtest.h>
+
+#include "core/scoring.hpp"
+#include "genome/iupac.hpp"
+
+namespace {
+
+using namespace cof;
+using namespace cof::scoring;
+
+const std::string kQuery = "GGCCGACCTGTCGCTGACGCNNN";  // 20-mer guide + N PAM
+
+std::string site_with_mismatches(std::initializer_list<int> guide_positions) {
+  // Build a site string: the query's letters, lower-cased at the given
+  // guide positions (0-based within the 20-mer).
+  std::string site = "GGCCGACCTGTCGCTGACGCTGG";  // concrete PAM
+  for (int p : guide_positions) {
+    site[p] = static_cast<char>(site[p] - 'A' + 'a');
+  }
+  return site;
+}
+
+TEST(MitScore, PerfectMatchScoresOne) {
+  EXPECT_DOUBLE_EQ(mit_site_score(kQuery, site_with_mismatches({})), 1.0);
+}
+
+TEST(MitScore, SingleMismatchUsesPositionWeight) {
+  // Position 1 (0-based) has weight 0 -> score stays 1.0 for m=1 at p=1:
+  // 1 * distance(1) * 1/1^2 = 1.
+  EXPECT_DOUBLE_EQ(mit_site_score(kQuery, site_with_mismatches({1})), 1.0);
+  // Position 13 (0-based) has weight 0.851 -> (1-0.851) = 0.149.
+  EXPECT_NEAR(mit_site_score(kQuery, site_with_mismatches({13})), 0.149, 1e-9);
+}
+
+TEST(MitScore, PamProximalMismatchesHurtMore) {
+  const double distal = mit_site_score(kQuery, site_with_mismatches({2}));
+  const double proximal = mit_site_score(kQuery, site_with_mismatches({17}));
+  EXPECT_GT(distal, proximal);
+}
+
+TEST(MitScore, MoreMismatchesScoreLower) {
+  const double one = mit_site_score(kQuery, site_with_mismatches({5}));
+  const double two = mit_site_score(kQuery, site_with_mismatches({5, 12}));
+  const double three = mit_site_score(kQuery, site_with_mismatches({5, 12, 18}));
+  EXPECT_GT(one, two);
+  EXPECT_GT(two, three);
+}
+
+TEST(MitScore, ClusteredMismatchesScoreLowerThanSpread) {
+  // Same positions' weights, different spacing: adjacent mismatches give a
+  // smaller mean pairwise distance -> smaller distance term.
+  const double clustered = mit_site_score(kQuery, site_with_mismatches({9, 10}));
+  // weights: p9 = 0.079, p10 = 0.445; a weight-identical spread comparison
+  // needs equal-weight positions, so compare the
+  // distance term directly through two equal-weight positions (0 and 1 both
+  // weight 0 vs 0 and 19):
+  const double near = mit_site_score(kQuery, site_with_mismatches({0, 1}));
+  const double far = mit_site_score(kQuery, site_with_mismatches({0, 4}));
+  EXPECT_LT(near, far);
+  EXPECT_GT(clustered, 0.0);
+}
+
+TEST(MitScore, PamPositionsNeverScored) {
+  // Lower-case in the PAM region (query 'N') must not count.
+  std::string site = "GGCCGACCTGTCGCTGACGCtgg";
+  EXPECT_DOUBLE_EQ(mit_site_score(kQuery, site), 1.0);
+}
+
+TEST(MitScore, NonTwentyMerScales) {
+  const std::string q10 = "ACGTACGTACNN";  // 10-mer guide + NN
+  std::string site = "ACGTACGTACGG";
+  site[9] = 'g';  // last guide position -> scaled to table position 18
+  const double s = mit_site_score(q10, site);
+  EXPECT_NEAR(s, 1.0 - 0.685, 1e-9);
+}
+
+TEST(MitSpecificity, NoOffTargetsIsPerfect) {
+  EXPECT_DOUBLE_EQ(mit_specificity({}), 100.0);
+}
+
+TEST(MitSpecificity, DecreasesWithOffTargetLoad) {
+  const double one = mit_specificity({0.5});
+  const double two = mit_specificity({0.5, 0.5});
+  EXPECT_LT(one, 100.0);
+  EXPECT_LT(two, one);
+  EXPECT_NEAR(one, 100.0 * 100.0 / 150.0, 1e-9);
+}
+
+TEST(ScoreSearch, SplitsByQueryAndExcludesOnTarget) {
+  search_config cfg;
+  cfg.genome_path = "<mem>";
+  cfg.pattern = "NNNNNNNNNNNNNNNNNNNNNRG";
+  cfg.queries = {{kQuery, 3}, {kQuery, 3}};
+  std::vector<ot_record> records{
+      {0, 0, 100, '+', 0, site_with_mismatches({})},       // q0 on-target
+      {0, 0, 500, '+', 2, site_with_mismatches({5, 12})},  // q0 off-target
+      {1, 0, 900, '-', 1, site_with_mismatches({13})},     // q1 off-target
+  };
+  auto reports = score_search(cfg, records);
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].records.size(), 2u);
+  EXPECT_EQ(reports[0].hits_by_mismatch[0], 1u);
+  EXPECT_EQ(reports[0].hits_by_mismatch[2], 1u);
+  // q0 aggregate counts only the mm=2 site.
+  const double expected_q0 =
+      mit_specificity({mit_site_score(kQuery, site_with_mismatches({5, 12}))});
+  EXPECT_NEAR(reports[0].specificity, expected_q0, 1e-9);
+  // q1 has no on-target; its single hit counts.
+  EXPECT_LT(reports[1].specificity, 100.0);
+  EXPECT_EQ(reports[1].hits_by_mismatch[1], 1u);
+}
+
+TEST(ScoreSearch, FormatContainsGuidesAndPercents) {
+  search_config cfg;
+  cfg.genome_path = "<mem>";
+  cfg.pattern = "NNNNNNNNNNNNNNNNNNNNNRG";
+  cfg.queries = {{kQuery, 2}};
+  auto reports = score_search(cfg, {});
+  const auto text = format_report(reports);
+  EXPECT_NE(text.find(kQuery), std::string::npos);
+  EXPECT_NE(text.find("100.0%"), std::string::npos);
+}
+
+TEST(HsuWeights, TwentyEntriesInUnitRange) {
+  const auto& w = hsu_weights();
+  ASSERT_EQ(w.size(), 20u);
+  for (double v : w) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(w[13], 0.851);
+}
+
+}  // namespace
+
+// -- appended: scoring property sweeps ----------------------------------------
+
+#include "util/rng.hpp"
+
+namespace {
+
+TEST(MitScoreProperty, AlwaysInUnitInterval) {
+  util::rng rng(777);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string site = "GGCCGACCTGTCGCTGACGCTGG";
+    const auto mm = rng.next_below(8);
+    for (util::u64 m = 0; m < mm; ++m) {
+      const auto p = rng.next_below(20);
+      site[p] = static_cast<char>(genome::upper_base(site[p]) - 'A' + 'a');
+    }
+    const double s = mit_site_score(kQuery, site);
+    ASSERT_GE(s, 0.0);
+    ASSERT_LE(s, 1.0);
+  }
+}
+
+TEST(MitScoreProperty, AddingAMismatchNeverRaisesScore) {
+  util::rng rng(778);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string site = "GGCCGACCTGTCGCTGACGCTGG";
+    std::vector<int> order(20);
+    for (int i = 0; i < 20; ++i) order[i] = i;
+    // random shuffle via Fisher-Yates
+    for (int i = 19; i > 0; --i) {
+      std::swap(order[i], order[rng.next_below(static_cast<util::u64>(i) + 1)]);
+    }
+    double prev = 1.0;
+    for (int m = 0; m < 5; ++m) {
+      site[order[m]] =
+          static_cast<char>(genome::upper_base(site[order[m]]) - 'A' + 'a');
+      const double s = mit_site_score(kQuery, site);
+      ASSERT_LE(s, prev + 1e-12) << "trial " << trial << " m " << m;
+      prev = s;
+    }
+  }
+}
+
+TEST(MitSpecificityProperty, MonotoneDecreasingInLoad) {
+  std::vector<double> offs;
+  double prev = mit_specificity(offs);
+  for (int i = 0; i < 20; ++i) {
+    offs.push_back(0.1);
+    const double s = mit_specificity(offs);
+    ASSERT_LT(s, prev);
+    prev = s;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,243 @@
+// Streaming-reader and streaming-search tests: the disk-chunked path must
+// produce exactly the in-memory results with O(max_chunk) host memory.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/engine_stream.hpp"
+#include "genome/fasta_stream.hpp"
+#include "genome/synth.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct temp_dir {
+  fs::path path;
+  temp_dir() {
+    static int counter = 0;
+    path = fs::temp_directory_path() /
+           ("cof_stream_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter++));
+    fs::create_directories(path);
+  }
+  ~temp_dir() { fs::remove_all(path); }
+};
+
+TEST(FastaStream, ReadsRecordsAndBlocks) {
+  temp_dir dir;
+  const auto file = dir.path / "s.fa";
+  std::ofstream(file) << ">chr1 desc\nACGT\nacgt\n>chr2\nTTTT\n";
+  genome::fasta_stream s(file.string());
+  ASSERT_TRUE(s.next_record());
+  EXPECT_EQ(s.record_name(), "chr1");
+  std::string block;
+  EXPECT_EQ(s.read_bases(block, 3), 3u);
+  EXPECT_EQ(block, "ACG");
+  EXPECT_EQ(s.read_bases(block, 100), 5u);  // rest of the record
+  EXPECT_EQ(block, "ACGTACGT");
+  EXPECT_EQ(s.read_bases(block, 10), 0u);  // exhausted
+  ASSERT_TRUE(s.next_record());
+  EXPECT_EQ(s.record_name(), "chr2");
+  EXPECT_EQ(s.read_all(), "TTTT");
+  EXPECT_FALSE(s.next_record());
+}
+
+TEST(FastaStream, SkipRecordWithoutReading) {
+  temp_dir dir;
+  const auto file = dir.path / "s.fa";
+  std::ofstream(file) << ">a\nAAAA\nCCCC\n>b\nGG\n";
+  genome::fasta_stream s(file.string());
+  ASSERT_TRUE(s.next_record());
+  ASSERT_TRUE(s.next_record());  // skip a's data entirely
+  EXPECT_EQ(s.record_name(), "b");
+  EXPECT_EQ(s.read_all(), "GG");
+}
+
+TEST(FastaStream, HandlesCommentsBlanksAndCrlf) {
+  temp_dir dir;
+  const auto file = dir.path / "s.fa";
+  std::ofstream(file) << "; comment\r\n\r\n>x\r\nAC\r\n; mid\r\nGT\r\n";
+  genome::fasta_stream s(file.string());
+  ASSERT_TRUE(s.next_record());
+  EXPECT_EQ(s.read_all(), "ACGT");
+}
+
+TEST(FastaStream, AgreesWithInMemoryParserOnRandomFiles) {
+  util::rng rng(71);
+  temp_dir dir;
+  for (int trial = 0; trial < 10; ++trial) {
+    // Random records with random line widths.
+    std::vector<genome::chromosome> recs;
+    const auto nrecs = 1 + rng.next_below(4);
+    for (util::u64 r = 0; r < nrecs; ++r) {
+      genome::chromosome c;
+      c.name = "r" + std::to_string(r);
+      const auto len = rng.next_below(5000);
+      for (util::u64 i = 0; i < len; ++i) c.seq += "ACGTN"[rng.next_below(5)];
+      recs.push_back(std::move(c));
+    }
+    const auto file = dir.path / ("t" + std::to_string(trial) + ".fa");
+    genome::write_fasta_file(file.string(), recs, 1 + rng.next_below(100));
+
+    genome::fasta_stream s(file.string());
+    for (const auto& expect : recs) {
+      ASSERT_TRUE(s.next_record());
+      EXPECT_EQ(s.record_name(), expect.name);
+      // Drain in randomly sized blocks.
+      std::string got;
+      while (s.read_bases(got, 1 + rng.next_below(700)) != 0) {
+      }
+      EXPECT_EQ(got, expect.seq);
+    }
+    EXPECT_FALSE(s.next_record());
+  }
+}
+
+TEST(FastaStreamDeath, MissingFile) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(genome::fasta_stream("/no/such.fa"), "cannot open");
+}
+
+TEST(FastaFilesAt, SingleFileAndDirectory) {
+  temp_dir dir;
+  std::ofstream(dir.path / "b.fa") << ">b\nA\n";
+  std::ofstream(dir.path / "a.fasta") << ">a\nC\n";
+  std::ofstream(dir.path / "no.txt") << "x";
+  const auto files = genome::fasta_files_at(dir.path.string());
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_NE(files[0].find("a.fasta"), std::string::npos);
+  const auto single = genome::fasta_files_at((dir.path / "b.fa").string());
+  ASSERT_EQ(single.size(), 1u);
+}
+
+// --- streaming search --------------------------------------------------------
+
+genome::genome_t stream_genome(util::u64 seed) {
+  genome::synth_params p;
+  p.assembly = "stream-test";
+  p.chromosomes = {{"chrA", 40000}, {"chrB", 15000}};
+  p.seed = seed;
+  return genome::generate(p);
+}
+
+TEST(StreamingSearch, MatchesInMemorySearch) {
+  temp_dir dir;
+  auto g = stream_genome(61);
+  auto cfg = cof::parse_input(cof::example_input("<file>"));
+  const std::string guide = cfg.queries[0].seq.substr(0, 20) + "NGG";
+  genome::plant_sites(g, guide, cfg.pattern, 5, 1, 99);
+  const auto file = dir.path / "g.fa";
+  genome::write_fasta_file(file.string(), g.chroms);
+
+  cof::engine_options opt{.backend = cof::backend_kind::sycl, .max_chunk = 7000};
+  const auto mem = cof::run_search(cfg, g, opt);
+  const auto streamed = cof::run_search_streaming(cfg, file.string(), opt);
+  EXPECT_EQ(streamed.records, mem.records);
+  ASSERT_EQ(streamed.chrom_names.size(), 2u);
+  EXPECT_EQ(streamed.chrom_names[0], "chrA");
+  EXPECT_EQ(streamed.streamed_bases, g.total_bases());
+  EXPECT_LE(streamed.peak_chunk_bytes, 7000u);
+}
+
+TEST(StreamingSearch, DirectoryInput) {
+  temp_dir dir;
+  auto g = stream_genome(62);
+  genome::write_fasta_file((dir.path / "a_chrA.fa").string(), {g.chroms[0]});
+  genome::write_fasta_file((dir.path / "b_chrB.fa").string(), {g.chroms[1]});
+  auto cfg = cof::parse_input(cof::example_input("<dir>"));
+  cof::engine_options opt{.backend = cof::backend_kind::sycl, .max_chunk = 9000};
+  const auto mem = cof::run_search(cfg, g, opt);
+  const auto streamed = cof::run_search_streaming(cfg, dir.path.string(), opt);
+  EXPECT_EQ(streamed.records, mem.records);
+}
+
+class StreamChunking : public ::testing::TestWithParam<util::usize> {};
+
+TEST_P(StreamChunking, ChunkSizeInvariant) {
+  temp_dir dir;
+  auto g = stream_genome(63);
+  auto cfg = cof::parse_input(cof::example_input("<file>"));
+  const auto file = dir.path / "g.fa";
+  genome::write_fasta_file(file.string(), g.chroms);
+  const auto reference =
+      cof::run_search(cfg, g, {.backend = cof::backend_kind::serial});
+  cof::engine_options opt{.backend = cof::backend_kind::sycl,
+                          .max_chunk = GetParam()};
+  const auto streamed = cof::run_search_streaming(cfg, file.string(), opt);
+  EXPECT_EQ(streamed.records, reference.records) << "chunk " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Chunks, StreamChunking,
+                         ::testing::Values(512u, 1777u, 8192u, 100000u));
+
+TEST(StreamingSearch, SiteAtExactChunkBoundary) {
+  temp_dir dir;
+  genome::genome_t g;
+  g.chroms.push_back({"chr", std::string(4000, 'T')});
+  const std::string site = "GGCCGACCTGTCGCTGACGCTGG";
+  const util::usize chunk_size = 1000;
+  g.chroms[0].seq.replace(chunk_size - 5, site.size(), site);  // straddles
+  const auto file = dir.path / "g.fa";
+  genome::write_fasta_file(file.string(), g.chroms);
+  auto cfg = cof::parse_input(cof::example_input("<file>"));
+  const auto streamed = cof::run_search_streaming(
+      cfg, file.string(),
+      {.backend = cof::backend_kind::sycl, .max_chunk = chunk_size});
+  bool found = false;
+  for (const auto& rec : streamed.records) {
+    found |= rec.query_index == 0 && rec.position == chunk_size - 5 &&
+             rec.mismatches == 0;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(StreamingSearchDeath, SerialBackendRejected) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  auto cfg = cof::parse_input(cof::example_input("<x>"));
+  EXPECT_DEATH((void)cof::run_search_streaming(
+                   cfg, "/tmp", {.backend = cof::backend_kind::serial}),
+               "serial");
+}
+
+}  // namespace
+
+// -- appended: streaming-vs-memory differential fuzz --------------------------
+
+namespace {
+
+class StreamFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(StreamFuzz, StreamedEqualsInMemoryOnRandomFiles) {
+  util::rng rng(3000 + static_cast<util::u64>(GetParam()));
+  temp_dir dir;
+  // Random multi-record genome with gaps, random wrap width, random chunking.
+  genome::genome_t g;
+  const auto nrecs = 1 + rng.next_below(4);
+  for (util::u64 rix = 0; rix < nrecs; ++rix) {
+    genome::chromosome c;
+    c.name = "f" + std::to_string(rix);
+    const auto len = 100 + rng.next_below(20000);
+    for (util::u64 i = 0; i < len; ++i) {
+      c.seq += rng.next_bool(0.02) ? 'N' : "ACGT"[rng.next_below(4)];
+    }
+    g.chroms.push_back(std::move(c));
+  }
+  const auto file = dir.path / "fuzz.fa";
+  genome::write_fasta_file(file.string(), g.chroms, 1 + rng.next_below(120));
+
+  auto cfg = cof::parse_input(cof::example_input("<fuzz>"));
+  cof::engine_options opt{.backend = cof::backend_kind::sycl,
+                          .max_chunk = 600 + rng.next_below(30000)};
+  const auto mem = cof::run_search(cfg, g, opt);
+  const auto streamed = cof::run_search_streaming(cfg, file.string(), opt);
+  ASSERT_EQ(streamed.records, mem.records)
+      << "seed=" << GetParam() << " chunk=" << opt.max_chunk;
+  EXPECT_EQ(streamed.streamed_bases, g.total_bases());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamFuzz, ::testing::Range(1, 9));
+
+}  // namespace

@@ -1,0 +1,421 @@
+// Tests for the SYCL facade: ranges/ids, selectors, buffers and write-back
+// semantics, accessors (ranged, constant, local), handler commands,
+// nd_item queries, atomic_ref, events and exceptions.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "syclsim/sycl.hpp"
+
+namespace {
+
+TEST(SyclRange, SizesAndEquality) {
+  sycl::range<1> a(5);
+  EXPECT_EQ(a.size(), 5u);
+  sycl::range<2> b(3, 4);
+  EXPECT_EQ(b.size(), 12u);
+  sycl::range<3> c(2, 3, 4);
+  EXPECT_EQ(c.size(), 24u);
+  EXPECT_TRUE(sycl::range<2>(3, 4) == b);
+  EXPECT_FALSE(sycl::range<2>(4, 3) == b);
+}
+
+TEST(SyclId, ImplicitSizeConversion1D) {
+  sycl::id<1> i(7);
+  size_t s = i;
+  EXPECT_EQ(s, 7u);
+}
+
+TEST(SyclNdRange, GroupRange) {
+  sycl::nd_range<1> ndr(sycl::range<1>(256), sycl::range<1>(64));
+  EXPECT_EQ(ndr.get_group_range()[0], 4u);
+}
+
+TEST(SyclSelector, GpuAndCpuSelectors) {
+  EXPECT_TRUE(sycl::gpu_selector{}.select_device().is_gpu());
+  EXPECT_TRUE(sycl::cpu_selector{}.select_device().is_cpu());
+  EXPECT_TRUE(sycl::default_selector{}.select_device().is_gpu());
+  // SYCL 2020 callable form
+  sycl::queue q(sycl::gpu_selector_v);
+  EXPECT_TRUE(q.get_device().is_gpu());
+}
+
+TEST(SyclDevice, InfoQueries) {
+  sycl::device d;
+  EXPECT_FALSE(d.get_info<sycl::info::device::name>().empty());
+  EXPECT_GE(d.get_info<sycl::info::device::max_work_group_size>(), 256u);
+}
+
+TEST(SyclBuffer, WriteBackOnDestruction) {
+  std::vector<int> host(16, 0);
+  {
+    sycl::queue q{sycl::gpu_selector{}};
+    sycl::buffer<int, 1> buf(host.data(), sycl::range<1>(16));
+    q.submit([&](sycl::handler& cgh) {
+      auto acc = buf.get_access<sycl::sycl_write>(cgh);
+      cgh.parallel_for(sycl::range<1>(16),
+                       [=](sycl::item<1> it) { acc[it.get_id(0)] = 9; });
+    });
+    EXPECT_EQ(host[0], 0);  // not yet written back
+  }
+  for (int v : host) EXPECT_EQ(v, 9);
+}
+
+TEST(SyclBuffer, NoWriteBackWithoutDeviceWrite) {
+  std::vector<int> host(8, 3);
+  {
+    sycl::queue q{sycl::gpu_selector{}};
+    sycl::buffer<int, 1> buf(host.data(), sycl::range<1>(8));
+    std::vector<int> out(8);
+    q.submit([&](sycl::handler& cgh) {
+      auto acc = buf.get_access<sycl::sycl_read>(cgh);
+      cgh.copy(acc, out.data());
+    });
+    // Mutate host copy; a read-only buffer must not clobber it on destroy.
+    host[0] = 42;
+  }
+  EXPECT_EQ(host[0], 42);
+}
+
+TEST(SyclBuffer, ConstHostPointerNeverWritesBack) {
+  std::vector<int> host(8, 5);
+  {
+    sycl::buffer<int, 1> buf(static_cast<const int*>(host.data()),
+                             sycl::range<1>(8));
+    sycl::queue q{sycl::gpu_selector{}};
+    q.submit([&](sycl::handler& cgh) {
+      auto acc = buf.get_access<sycl::sycl_read_write>(cgh);
+      cgh.parallel_for(sycl::range<1>(8), [=](sycl::item<1> it) { acc[it[0]] = -1; });
+    });
+  }
+  EXPECT_EQ(host[0], 5);
+}
+
+TEST(SyclBuffer, SetWriteBackFalseDisables) {
+  std::vector<int> host(4, 1);
+  {
+    sycl::queue q{sycl::gpu_selector{}};
+    sycl::buffer<int, 1> buf(host.data(), sycl::range<1>(4));
+    buf.set_write_back(false);
+    q.submit([&](sycl::handler& cgh) {
+      auto acc = buf.get_access<sycl::sycl_write>(cgh);
+      cgh.fill(acc, 7);
+    });
+  }
+  EXPECT_EQ(host[0], 1);
+}
+
+TEST(SyclBuffer, SetFinalDataRedirects) {
+  std::vector<int> host(4, 1), redirected(4, 0);
+  {
+    sycl::queue q{sycl::gpu_selector{}};
+    sycl::buffer<int, 1> buf(host.data(), sycl::range<1>(4));
+    buf.set_final_data(redirected.data());
+    q.submit([&](sycl::handler& cgh) {
+      auto acc = buf.get_access<sycl::sycl_write>(cgh);
+      cgh.fill(acc, 7);
+    });
+  }
+  EXPECT_EQ(host[0], 1);
+  EXPECT_EQ(redirected[0], 7);
+}
+
+TEST(SyclAccessor, RangedAccessorOutOfBoundsThrows) {
+  sycl::queue q{sycl::gpu_selector{}};
+  sycl::buffer<int, 1> buf{sycl::range<1>(10)};
+  EXPECT_THROW(q.submit([&](sycl::handler& cgh) {
+    auto acc =
+        buf.get_access<sycl::sycl_read>(cgh, sycl::range<1>(8), sycl::id<1>(5));
+    (void)acc;
+  }),
+               sycl::exception);
+}
+
+TEST(SyclAccessor, RangedCopyMovesSubrange) {
+  sycl::queue q{sycl::gpu_selector{}};
+  std::vector<int> init(16);
+  std::iota(init.begin(), init.end(), 0);
+  sycl::buffer<int, 1> buf(init.data(), sycl::range<1>(16));
+  buf.set_write_back(false);
+  std::vector<int> out(4, -1);
+  q.submit([&](sycl::handler& cgh) {
+     auto acc =
+         buf.get_access<sycl::sycl_read>(cgh, sycl::range<1>(4), sycl::id<1>(8));
+     cgh.copy(acc, out.data());
+   }).wait();
+  EXPECT_EQ(out, (std::vector<int>{8, 9, 10, 11}));
+}
+
+TEST(SyclAccessor, HostToDeviceRangedCopy) {
+  sycl::queue q{sycl::gpu_selector{}};
+  sycl::buffer<int, 1> buf{sycl::range<1>(8)};
+  std::vector<int> zero(8, 0), src{5, 6}, out(8);
+  q.submit([&](sycl::handler& cgh) {
+    auto acc = buf.get_access<sycl::sycl_write>(cgh);
+    cgh.copy(zero.data(), acc);
+  });
+  q.submit([&](sycl::handler& cgh) {
+    auto acc =
+        buf.get_access<sycl::sycl_write>(cgh, sycl::range<1>(2), sycl::id<1>(3));
+    cgh.copy(src.data(), acc);
+  });
+  q.submit([&](sycl::handler& cgh) {
+    auto acc = buf.get_access<sycl::sycl_read>(cgh);
+    cgh.copy(acc, out.data());
+  });
+  EXPECT_EQ(out, (std::vector<int>{0, 0, 0, 5, 6, 0, 0, 0}));
+}
+
+TEST(SyclAccessor, DeviceToDeviceCopyAndFill) {
+  sycl::queue q{sycl::gpu_selector{}};
+  sycl::buffer<int, 1> a{sycl::range<1>(4)}, b{sycl::range<1>(4)};
+  std::vector<int> out(4);
+  q.submit([&](sycl::handler& cgh) {
+    auto acc = a.get_access<sycl::sycl_write>(cgh);
+    cgh.fill(acc, 3);
+  });
+  q.submit([&](sycl::handler& cgh) {
+    auto src = a.get_access<sycl::sycl_read>(cgh);
+    auto dst = b.get_access<sycl::sycl_write>(cgh);
+    cgh.copy(src, dst);
+  });
+  q.submit([&](sycl::handler& cgh) {
+    auto acc = b.get_access<sycl::sycl_read>(cgh);
+    cgh.copy(acc, out.data());
+  });
+  EXPECT_EQ(out, std::vector<int>(4, 3));
+}
+
+TEST(SyclKernel, NdRangeWithLocalAccessorAndBarrier) {
+  sycl::queue q{sycl::gpu_selector{}};
+  const size_t N = 256, WG = 32;
+  std::vector<int> out(N, 0);
+  {
+    sycl::buffer<int, 1> buf(out.data(), sycl::range<1>(N));
+    q.submit([&](sycl::handler& cgh) {
+      auto acc = buf.get_access<sycl::sycl_write>(cgh);
+      sycl::local_accessor<int, 1> tile(sycl::range<1>(WG), cgh);
+      cgh.parallel_for(sycl::nd_range<1>(sycl::range<1>(N), sycl::range<1>(WG)),
+                       [=](sycl::nd_item<1> it) {
+                         const size_t li = it.get_local_id(0);
+                         tile[li] = static_cast<int>(it.get_global_id(0));
+                         it.barrier(sycl::access::fence_space::local_space);
+                         acc[it.get_global_id(0)] = tile[WG - 1 - li];
+                       });
+    });
+  }
+  for (size_t i = 0; i < N; ++i) {
+    const size_t grp = i / WG, li = i % WG;
+    EXPECT_EQ(out[i], static_cast<int>(grp * WG + (WG - 1 - li)));
+  }
+}
+
+TEST(SyclKernel, MultipleLocalAccessorsGetDistinctStorage) {
+  sycl::queue q{sycl::gpu_selector{}};
+  const size_t WG = 16;
+  int ok = 1;
+  {
+    sycl::buffer<int, 1> buf(&ok, sycl::range<1>(1));
+    q.submit([&](sycl::handler& cgh) {
+      auto acc = buf.get_access<sycl::sycl_write>(cgh);
+      sycl::local_accessor<char, 1> a(sycl::range<1>(WG), cgh);
+      sycl::local_accessor<int, 1> b(sycl::range<1>(WG), cgh);
+      cgh.parallel_for(sycl::nd_range<1>(sycl::range<1>(WG), sycl::range<1>(WG)),
+                       [=](sycl::nd_item<1> it) {
+                         const size_t li = it.get_local_id(0);
+                         a[li] = static_cast<char>(li);
+                         b[li] = 1000 + static_cast<int>(li);
+                         it.barrier();
+                         if (b[li] != 1000 + static_cast<int>(li) ||
+                             a[li] != static_cast<char>(li)) {
+                           acc[0] = 0;  // overlapped allocations
+                         }
+                       });
+    });
+  }
+  EXPECT_EQ(ok, 1);
+}
+
+TEST(SyclKernel, BarrierFreeHintUsesFastPath) {
+  sycl::queue q{sycl::gpu_selector{}};
+  std::vector<int> out(128, 0);
+  {
+    sycl::buffer<int, 1> buf(out.data(), sycl::range<1>(128));
+    q.submit([&](sycl::handler& cgh) {
+      cgh.cof_hint_no_barrier();
+      auto acc = buf.get_access<sycl::sycl_write>(cgh);
+      cgh.parallel_for(sycl::nd_range<1>(sycl::range<1>(128), sycl::range<1>(32)),
+                       [=](sycl::nd_item<1> it) {
+                         acc[it.get_global_id(0)] = static_cast<int>(it.get_group(0));
+                       });
+    });
+  }
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[127], 3);
+}
+
+TEST(SyclKernel, BadNdRangeThrows) {
+  sycl::queue q{sycl::gpu_selector{}};
+  EXPECT_THROW(q.submit([&](sycl::handler& cgh) {
+    cgh.parallel_for(sycl::nd_range<1>(sycl::range<1>(100), sycl::range<1>(48)),
+                     [=](sycl::nd_item<1>) {});
+  }),
+               sycl::exception);
+}
+
+TEST(SyclKernel, SingleTaskRunsOnce) {
+  sycl::queue q{sycl::gpu_selector{}};
+  int n = 0;
+  {
+    sycl::buffer<int, 1> buf(&n, sycl::range<1>(1));
+    q.submit([&](sycl::handler& cgh) {
+      auto acc = buf.get_access<sycl::sycl_read_write>(cgh);
+      cgh.single_task([=] { acc[0] += 1; });
+    });
+  }
+  EXPECT_EQ(n, 1);
+}
+
+TEST(SyclAtomicRef, FetchOps) {
+  sycl::queue q{sycl::gpu_selector{}};
+  struct vals_t {
+    unsigned add = 0;
+    int minv = 1000;
+    int maxv = -1000;
+  } vals;
+  {
+    sycl::buffer<vals_t, 1> buf(&vals, sycl::range<1>(1));
+    q.submit([&](sycl::handler& cgh) {
+      auto acc = buf.get_access<sycl::sycl_read_write>(cgh);
+      cgh.parallel_for(sycl::nd_range<1>(sycl::range<1>(100), sycl::range<1>(10)),
+                       [=](sycl::nd_item<1> it) {
+                         const int v = static_cast<int>(it.get_global_id(0));
+                         sycl::atomic_ref<unsigned> a(acc[0].add);
+                         a.fetch_add(1u);
+                         sycl::atomic_ref<int> mn(acc[0].minv);
+                         mn.fetch_min(v);
+                         sycl::atomic_ref<int> mx(acc[0].maxv);
+                         mx.fetch_max(v);
+                       });
+    });
+  }
+  EXPECT_EQ(vals.add, 100u);
+  EXPECT_EQ(vals.minv, 0);
+  EXPECT_EQ(vals.maxv, 99);
+}
+
+TEST(SyclAtomicRef, ExchangeAndCas) {
+  int x = 5;
+  sycl::atomic_ref<int> a(x);
+  EXPECT_EQ(a.exchange(9), 5);
+  EXPECT_EQ(x, 9);
+  int expected = 9;
+  EXPECT_TRUE(a.compare_exchange_strong(expected, 11));
+  EXPECT_EQ(x, 11);
+  expected = 9;
+  EXPECT_FALSE(a.compare_exchange_strong(expected, 13));
+  EXPECT_EQ(expected, 11);
+}
+
+TEST(SyclEvent, ProfilingTimestampsOrdered) {
+  sycl::queue q{sycl::gpu_selector{}};
+  sycl::buffer<int, 1> buf{sycl::range<1>(1024)};
+  auto ev = q.submit([&](sycl::handler& cgh) {
+    auto acc = buf.get_access<sycl::sycl_write>(cgh);
+    cgh.parallel_for(sycl::range<1>(1024), [=](sycl::item<1> it) {
+      acc[it.get_id(0)] = static_cast<int>(it.get_linear_id());
+    });
+  });
+  const auto submit =
+      ev.get_profiling_info<sycl::info::event_profiling::command_submit>();
+  const auto start =
+      ev.get_profiling_info<sycl::info::event_profiling::command_start>();
+  const auto end = ev.get_profiling_info<sycl::info::event_profiling::command_end>();
+  EXPECT_LE(submit, start);
+  EXPECT_LE(start, end);
+}
+
+TEST(SyclException, CarriesCode) {
+  try {
+    throw sycl::exception("boom", sycl::errc::nd_range);
+  } catch (const sycl::exception& e) {
+    EXPECT_STREQ(e.what(), "boom");
+    EXPECT_EQ(e.code(), sycl::errc::nd_range);
+  }
+}
+
+TEST(SyclKernel, TwoDimensionalNdRange) {
+  sycl::queue q{sycl::gpu_selector{}};
+  const size_t W = 8, H = 4;
+  std::vector<int> out(W * H, -1);
+  {
+    sycl::buffer<int, 1> buf(out.data(), sycl::range<1>(W * H));
+    q.submit([&](sycl::handler& cgh) {
+      auto acc = buf.get_access<sycl::sycl_write>(cgh);
+      cgh.parallel_for(sycl::nd_range<2>(sycl::range<2>(W, H), sycl::range<2>(4, 2)),
+                       [=](sycl::nd_item<2> it) {
+                         acc[it.get_global_id(1) * W + it.get_global_id(0)] =
+                             static_cast<int>(it.get_global_id(0) +
+                                              10 * it.get_global_id(1));
+                       });
+    });
+  }
+  for (size_t y = 0; y < H; ++y) {
+    for (size_t x = 0; x < W; ++x) {
+      EXPECT_EQ(out[y * W + x], static_cast<int>(x + 10 * y));
+    }
+  }
+}
+
+}  // namespace
+
+// -- appended: host_accessor coverage ---------------------------------------
+
+namespace {
+
+TEST(SyclHostAccessor, ReadsDeviceData) {
+  sycl::queue q{sycl::gpu_selector{}};
+  std::vector<int> init{1, 2, 3, 4};
+  sycl::buffer<int, 1> buf(init.data(), sycl::range<1>(4));
+  buf.set_write_back(false);
+  q.submit([&](sycl::handler& cgh) {
+    auto acc = buf.get_access<sycl::sycl_read_write>(cgh);
+    cgh.parallel_for(sycl::range<1>(4), [=](sycl::item<1> it) { acc[it[0]] *= 10; });
+  });
+  sycl::host_accessor<int, 1, sycl::access::mode::read> host(buf);
+  ASSERT_EQ(host.size(), 4u);
+  EXPECT_EQ(host[0], 10);
+  EXPECT_EQ(host[3], 40);
+}
+
+TEST(SyclHostAccessor, WriteModeTriggersWriteBack) {
+  std::vector<int> host(4, 0);
+  {
+    sycl::buffer<int, 1> buf(host.data(), sycl::range<1>(4));
+    sycl::host_accessor<int, 1, sycl::access::mode::write> acc(buf);
+    for (size_t i = 0; i < acc.size(); ++i) acc[i] = static_cast<int>(i) + 7;
+  }
+  EXPECT_EQ(host, (std::vector<int>{7, 8, 9, 10}));
+}
+
+TEST(SyclHostAccessor, ReadModeDoesNotWriteBack) {
+  std::vector<int> host(4, 5);
+  {
+    sycl::buffer<int, 1> buf(host.data(), sycl::range<1>(4));
+    sycl::host_accessor<int, 1, sycl::access::mode::read> acc(buf);
+    EXPECT_EQ(acc[0], 5);
+    host[0] = 42;  // must survive destruction
+  }
+  EXPECT_EQ(host[0], 42);
+}
+
+TEST(SyclHostAccessor, RangeBasedIteration) {
+  sycl::buffer<int, 1> buf{sycl::range<1>(8)};
+  sycl::host_accessor<int> acc(buf);
+  int v = 0;
+  for (int& x : acc) x = v++;
+  EXPECT_EQ(acc[7], 7);
+}
+
+}  // namespace

@@ -1,0 +1,84 @@
+// Unit tests for the worker pool underpinning the ND-range executor.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  util::thread_pool pool(2);
+  std::atomic<int> n{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&n] { n.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(n.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleWithNoTasks) {
+  util::thread_pool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, SizeMatchesRequest) {
+  util::thread_pool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, ZeroSelectsHardwareConcurrency) {
+  util::thread_pool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  util::thread_pool pool(4);
+  const util::usize n = 10007;  // prime, awkward partition
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for_range(n, [&](util::usize b, util::usize e) {
+    for (util::usize i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (util::usize i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  util::thread_pool pool(2);
+  bool called = false;
+  pool.parallel_for_range(0, [&](util::usize, util::usize) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForSmallerThanPool) {
+  util::thread_pool pool(8);
+  std::atomic<int> sum{0};
+  pool.parallel_for_range(3, [&](util::usize b, util::usize e) {
+    for (util::usize i = b; i < e; ++i) sum.fetch_add(static_cast<int>(i));
+  });
+  EXPECT_EQ(sum.load(), 0 + 1 + 2);
+}
+
+TEST(ThreadPool, ReusableAcrossWaves) {
+  util::thread_pool pool(2);
+  std::atomic<int> n{0};
+  for (int wave = 0; wave < 10; ++wave) {
+    for (int i = 0; i < 20; ++i) pool.submit([&n] { n.fetch_add(1); });
+    pool.wait_idle();
+  }
+  EXPECT_EQ(n.load(), 200);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  util::thread_pool pool(1);
+  std::atomic<long> sum{0};
+  pool.parallel_for_range(1000, [&](util::usize b, util::usize e) {
+    for (util::usize i = b; i < e; ++i) sum.fetch_add(1);
+  });
+  EXPECT_EQ(sum.load(), 1000);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&util::thread_pool::global(), &util::thread_pool::global());
+}
+
+}  // namespace

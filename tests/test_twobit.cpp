@@ -1,0 +1,99 @@
+// 2-bit codec tests: round trips, ambiguity tracking, word-boundary edges.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "genome/twobit.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using genome::twobit_seq;
+
+TEST(TwoBit, EncodeDecodeSimple) {
+  const std::string seq = "ACGTACGT";
+  auto packed = twobit_seq::encode(seq);
+  EXPECT_EQ(packed.size(), 8u);
+  EXPECT_EQ(packed.decode(), seq);
+}
+
+TEST(TwoBit, AmbiguousBasesDecodeToN) {
+  auto packed = twobit_seq::encode("ACNRT");
+  EXPECT_EQ(packed.decode(), "ACNNT");  // R is ambiguous too
+  EXPECT_FALSE(packed.is_ambiguous(0));
+  EXPECT_TRUE(packed.is_ambiguous(2));
+  EXPECT_TRUE(packed.is_ambiguous(3));
+  EXPECT_FALSE(packed.is_ambiguous(4));
+}
+
+TEST(TwoBit, At) {
+  auto packed = twobit_seq::encode("GATTACA");
+  EXPECT_EQ(packed.at(0), 'G');
+  EXPECT_EQ(packed.at(3), 'T');
+  EXPECT_EQ(packed.at(6), 'A');
+}
+
+TEST(TwoBit, PackedSizeIsQuarter) {
+  auto packed = twobit_seq::encode(std::string(1000, 'A'));
+  EXPECT_EQ(packed.packed_bytes(), 250u);
+}
+
+TEST(TwoBit, EmptySequence) {
+  auto packed = twobit_seq::encode("");
+  EXPECT_EQ(packed.size(), 0u);
+  EXPECT_EQ(packed.decode(), "");
+}
+
+TEST(TwoBit, NonMultipleOfFourLength) {
+  for (int len = 1; len <= 9; ++len) {
+    std::string s;
+    for (int i = 0; i < len; ++i) s += "ACGT"[i % 4];
+    EXPECT_EQ(twobit_seq::encode(s).decode(), s) << len;
+  }
+}
+
+TEST(TwoBitProperty, RandomRoundTrip) {
+  util::rng rng(31);
+  const std::string alphabet = "ACGTN";
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string s;
+    const auto len = rng.next_below(300);
+    for (util::u64 i = 0; i < len; ++i) s += alphabet[rng.next_below(5)];
+    EXPECT_EQ(twobit_seq::encode(s).decode(), s);
+  }
+}
+
+TEST(TwoBit, RangeAmbiguityDetection) {
+  std::string s(200, 'A');
+  s[100] = 'N';
+  auto packed = twobit_seq::encode(s);
+  EXPECT_FALSE(packed.range_has_ambiguity(0, 100));
+  EXPECT_TRUE(packed.range_has_ambiguity(0, 101));
+  EXPECT_TRUE(packed.range_has_ambiguity(100, 1));
+  EXPECT_FALSE(packed.range_has_ambiguity(101, 99));
+  EXPECT_TRUE(packed.range_has_ambiguity(95, 10));
+}
+
+TEST(TwoBit, RangeAmbiguityAtWordBoundaries) {
+  // Ns at positions 63, 64, 127 exercise the 64-bit word edges.
+  std::string s(192, 'C');
+  s[63] = s[64] = s[127] = 'N';
+  auto packed = twobit_seq::encode(s);
+  EXPECT_TRUE(packed.range_has_ambiguity(63, 1));
+  EXPECT_TRUE(packed.range_has_ambiguity(64, 1));
+  EXPECT_TRUE(packed.range_has_ambiguity(127, 1));
+  EXPECT_FALSE(packed.range_has_ambiguity(0, 63));
+  EXPECT_FALSE(packed.range_has_ambiguity(65, 62));
+  EXPECT_FALSE(packed.range_has_ambiguity(128, 64));
+  EXPECT_TRUE(packed.range_has_ambiguity(0, 192));
+}
+
+TEST(TwoBit, RangeSpanningMultipleWords) {
+  std::string s(300, 'G');
+  s[250] = 'N';
+  auto packed = twobit_seq::encode(s);
+  EXPECT_TRUE(packed.range_has_ambiguity(10, 280));
+  EXPECT_FALSE(packed.range_has_ambiguity(10, 240));
+}
+
+}  // namespace

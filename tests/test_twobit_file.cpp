@@ -1,0 +1,137 @@
+// UCSC .2bit container round-trip and integration tests.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/engine.hpp"
+#include "genome/synth.hpp"
+#include "genome/twobit_file.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct temp_file {
+  fs::path path;
+  explicit temp_file(const char* name) {
+    static int n = 0;
+    path = fs::temp_directory_path() /
+           (std::string("cof_2bit_") + std::to_string(::getpid()) + "_" +
+            std::to_string(n++) + "_" + name);
+  }
+  ~temp_file() { fs::remove(path); }
+};
+
+TEST(TwoBitFile, RoundTripSimple) {
+  temp_file f("simple.2bit");
+  genome::genome_t g;
+  g.chroms = {{"chr1", "ACGTACGTAC"}, {"chr2", "TTTTGGGG"}};
+  genome::write_twobit_file(f.path.string(), g);
+  auto back = genome::read_twobit_file(f.path.string());
+  ASSERT_EQ(back.chroms.size(), 2u);
+  EXPECT_EQ(back.chroms[0].name, "chr1");
+  EXPECT_EQ(back.chroms[0].seq, "ACGTACGTAC");
+  EXPECT_EQ(back.chroms[1].seq, "TTTTGGGG");
+}
+
+TEST(TwoBitFile, NBlocksRestored) {
+  temp_file f("nblocks.2bit");
+  genome::genome_t g;
+  g.chroms = {{"chr", "NNACGTNNNNACNGTNNN"}};
+  genome::write_twobit_file(f.path.string(), g);
+  auto back = genome::read_twobit_file(f.path.string());
+  EXPECT_EQ(back.chroms[0].seq, "NNACGTNNNNACNGTNNN");
+}
+
+TEST(TwoBitFile, AmbiguityCodesCollapseToN) {
+  temp_file f("amb.2bit");
+  genome::genome_t g;
+  g.chroms = {{"chr", "ACRGT"}};  // R is not representable in 2 bits
+  genome::write_twobit_file(f.path.string(), g);
+  auto back = genome::read_twobit_file(f.path.string());
+  EXPECT_EQ(back.chroms[0].seq, "ACNGT");
+}
+
+TEST(TwoBitFile, NonMultipleOfFourLengths) {
+  for (int len = 1; len <= 9; ++len) {
+    temp_file f("len.2bit");
+    std::string seq;
+    for (int i = 0; i < len; ++i) seq += "ACGT"[i % 4];
+    genome::genome_t g;
+    g.chroms = {{"c", seq}};
+    genome::write_twobit_file(f.path.string(), g);
+    EXPECT_EQ(genome::read_twobit_file(f.path.string()).chroms[0].seq, seq) << len;
+  }
+}
+
+TEST(TwoBitFile, RandomRoundTrip) {
+  util::rng rng(101);
+  for (int trial = 0; trial < 10; ++trial) {
+    temp_file f("rand.2bit");
+    genome::genome_t g;
+    const auto nchroms = 1 + rng.next_below(4);
+    for (util::u64 c = 0; c < nchroms; ++c) {
+      genome::chromosome chrom;
+      chrom.name = "c" + std::to_string(c);
+      const auto len = rng.next_below(3000);
+      for (util::u64 i = 0; i < len; ++i) chrom.seq += "ACGTN"[rng.next_below(5)];
+      g.chroms.push_back(std::move(chrom));
+    }
+    genome::write_twobit_file(f.path.string(), g);
+    auto back = genome::read_twobit_file(f.path.string());
+    ASSERT_EQ(back.chroms.size(), g.chroms.size());
+    for (size_t i = 0; i < g.chroms.size(); ++i) {
+      EXPECT_EQ(back.chroms[i].name, g.chroms[i].name);
+      EXPECT_EQ(back.chroms[i].seq, g.chroms[i].seq);
+    }
+  }
+}
+
+TEST(TwoBitFile, PackedSizeRoughlyQuarter) {
+  temp_file f("size.2bit");
+  genome::genome_t g;
+  g.chroms = {{"chr", std::string(100000, 'A')}};
+  genome::write_twobit_file(f.path.string(), g);
+  EXPECT_LT(fs::file_size(f.path), 26000u);
+}
+
+TEST(TwoBitFileDeath, BadSignature) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  temp_file f("bad.2bit");
+  {
+    std::ofstream out(f.path);
+    out << "this is not a 2bit file at all";
+  }
+  EXPECT_DEATH((void)genome::read_twobit_file(f.path.string()), "signature");
+}
+
+TEST(TwoBitFile, LoadGenomeDispatchesOnExtension) {
+  temp_file f("auto.2bit");
+  genome::genome_t g;
+  g.chroms = {{"chrZ", "ACGTNNACGT"}};
+  genome::write_twobit_file(f.path.string(), g);
+  auto loaded = genome::load_genome(f.path.string());
+  ASSERT_EQ(loaded.chroms.size(), 1u);
+  EXPECT_EQ(loaded.chroms[0].seq, "ACGTNNACGT");
+}
+
+TEST(TwoBitFile, EndToEndSearchFrom2bit) {
+  temp_file f("search.2bit");
+  auto g = genome::generate([] {
+    genome::synth_params p;
+    p.assembly = "2bit-e2e";
+    p.chromosomes = {{"chrA", 30000}};
+    p.seed = 111;
+    return p;
+  }());
+  genome::write_twobit_file(f.path.string(), g);
+  auto cfg = cof::parse_input(cof::example_input(f.path.string()));
+  auto from_2bit = cof::load_configured_genome(cfg);
+  auto r1 = cof::run_search(cfg, from_2bit, {.backend = cof::backend_kind::sycl});
+  auto r2 = cof::run_search(cfg, g, {.backend = cof::backend_kind::serial});
+  EXPECT_EQ(r1.records, r2.records);
+}
+
+}  // namespace

@@ -1,0 +1,205 @@
+// USM (unified shared memory) tests: allocation/free, pointer queries,
+// metered memcpy, USM kernels, and equivalence of the USM-based SYCL host
+// program with the buffer-based one.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/engine.hpp"
+#include "genome/synth.hpp"
+#include "syclsim/sycl.hpp"
+
+namespace {
+
+TEST(Usm, AllocateAndFreeEachKind) {
+  sycl::queue q{sycl::gpu_selector{}};
+  sycl::context ctx = q.get_context();
+  auto* d = sycl::malloc_device<int>(10, q);
+  auto* h = sycl::malloc_host<int>(10, q);
+  auto* s = sycl::malloc_shared<int>(10, q);
+  ASSERT_NE(d, nullptr);
+  ASSERT_NE(h, nullptr);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(sycl::get_pointer_type(d, ctx), sycl::usm::alloc::device);
+  EXPECT_EQ(sycl::get_pointer_type(h, ctx), sycl::usm::alloc::host);
+  EXPECT_EQ(sycl::get_pointer_type(s, ctx), sycl::usm::alloc::shared);
+  sycl::free(d, q);
+  sycl::free(h, q);
+  sycl::free(s, q);
+}
+
+TEST(Usm, InteriorPointerResolvesKind) {
+  sycl::queue q{sycl::gpu_selector{}};
+  auto* d = sycl::malloc_device<int>(100, q);
+  EXPECT_EQ(sycl::get_pointer_type(d + 50, q.get_context()),
+            sycl::usm::alloc::device);
+  EXPECT_EQ(sycl::get_pointer_type(d + 100, q.get_context()),
+            sycl::usm::alloc::unknown);  // one past the end
+  sycl::free(d, q);
+}
+
+TEST(Usm, NonUsmPointerIsUnknown) {
+  sycl::queue q{sycl::gpu_selector{}};
+  int stack_var = 0;
+  EXPECT_EQ(sycl::get_pointer_type(&stack_var, q.get_context()),
+            sycl::usm::alloc::unknown);
+}
+
+TEST(Usm, FreeNullptrIsNoop) {
+  sycl::queue q{sycl::gpu_selector{}};
+  sycl::free(nullptr, q);
+  SUCCEED();
+}
+
+TEST(UsmDeath, FreeingNonUsmPointerDies) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(
+      {
+        sycl::queue q{sycl::gpu_selector{}};
+        int x;
+        sycl::free(&x, q);
+      },
+      "non-USM");
+}
+
+TEST(Usm, MemcpyRoundTripAndMetering) {
+  sycl::queue q{sycl::gpu_selector{}};
+  auto& dev = xpu::device::simulator();
+  const auto before = dev.memory();
+  std::vector<int> host(64);
+  for (int i = 0; i < 64; ++i) host[i] = i * i;
+  auto* d = sycl::malloc_device<int>(64, q);
+  q.memcpy(d, host.data(), 64 * sizeof(int));
+  std::vector<int> back(64);
+  q.memcpy(back.data(), d, 64 * sizeof(int));
+  EXPECT_EQ(back, host);
+  const auto after = dev.memory();
+  EXPECT_EQ(after.h2d_bytes - before.h2d_bytes, 64u * sizeof(int));
+  EXPECT_EQ(after.d2h_bytes - before.d2h_bytes, 64u * sizeof(int));
+  sycl::free(d, q);
+}
+
+TEST(Usm, HostToHostMemcpyNotMetered) {
+  sycl::queue q{sycl::gpu_selector{}};
+  auto& dev = xpu::device::simulator();
+  const auto before = dev.memory();
+  std::vector<char> a(32, 1), b(32, 0);
+  q.memcpy(b.data(), a.data(), 32);
+  EXPECT_EQ(a, b);
+  const auto after = dev.memory();
+  EXPECT_EQ(after.h2d_bytes, before.h2d_bytes);
+  EXPECT_EQ(after.d2h_bytes, before.d2h_bytes);
+}
+
+TEST(Usm, MemsetAndFill) {
+  sycl::queue q{sycl::gpu_selector{}};
+  auto* d = sycl::malloc_device<int>(16, q);
+  q.memset(d, 0, 16 * sizeof(int));
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(d[i], 0);
+  q.fill(d, 42, 16);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(d[i], 42);
+  sycl::free(d, q);
+}
+
+TEST(Usm, KernelOnUsmPointers) {
+  sycl::queue q{sycl::gpu_selector{}};
+  const size_t N = 256;
+  auto* in = sycl::malloc_device<int>(N, q);
+  auto* out = sycl::malloc_device<int>(N, q);
+  std::vector<int> host(N);
+  for (size_t i = 0; i < N; ++i) host[i] = static_cast<int>(i);
+  q.memcpy(in, host.data(), N * sizeof(int));
+  q.parallel_for(sycl::nd_range<1>(sycl::range<1>(N), sycl::range<1>(64)),
+                 [=](sycl::nd_item<1> it) {
+                   const size_t i = it.get_global_id(0);
+                   out[i] = in[i] * 2 + 1;
+                 })
+      .wait();
+  std::vector<int> result(N);
+  q.memcpy(result.data(), out, N * sizeof(int));
+  for (size_t i = 0; i < N; ++i) EXPECT_EQ(result[i], static_cast<int>(i) * 2 + 1);
+  sycl::free(in, q);
+  sycl::free(out, q);
+}
+
+TEST(Usm, ZeroByteAllocationReturnsNull) {
+  sycl::queue q{sycl::gpu_selector{}};
+  EXPECT_EQ(sycl::malloc_device(0, q), nullptr);
+}
+
+// --- the USM host program ---------------------------------------------------
+
+TEST(UsmPipeline, MatchesBufferPipeline) {
+  genome::synth_params p;
+  p.assembly = "usm-test";
+  p.chromosomes = {{"chrA", 40000}};
+  p.seed = 21;
+  auto g = genome::generate(p);
+  auto cfg = cof::parse_input(cof::example_input("<mem>"));
+  auto buffers = cof::run_search(
+      cfg, g, {.backend = cof::backend_kind::sycl, .max_chunk = 16384});
+  auto usm = cof::run_search(
+      cfg, g, {.backend = cof::backend_kind::sycl_usm, .max_chunk = 16384});
+  auto serial = cof::run_search(cfg, g, {.backend = cof::backend_kind::serial});
+  EXPECT_EQ(usm.records, buffers.records);
+  EXPECT_EQ(usm.records, serial.records);
+}
+
+TEST(UsmPipeline, NoLeakedUsmAllocations) {
+  const auto before = sycl::detail::usm_live_bytes();
+  {
+    genome::synth_params p;
+    p.assembly = "usm-leak";
+    p.chromosomes = {{"chrA", 20000}};
+    p.seed = 22;
+    auto g = genome::generate(p);
+    auto cfg = cof::parse_input(cof::example_input("<mem>"));
+    (void)cof::run_search(cfg, g,
+                          {.backend = cof::backend_kind::sycl_usm,
+                           .max_chunk = 8192});
+  }
+  EXPECT_EQ(sycl::detail::usm_live_bytes(), before);
+}
+
+TEST(UsmPipeline, AllVariantsAgree) {
+  genome::synth_params p;
+  p.assembly = "usm-var";
+  p.chromosomes = {{"chrA", 25000}};
+  p.seed = 23;
+  auto g = genome::generate(p);
+  auto cfg = cof::parse_input(cof::example_input("<mem>"));
+  auto base = cof::run_search(
+      cfg, g, {.backend = cof::backend_kind::sycl_usm, .max_chunk = 9000});
+  for (int v = 1; v < cof::kNumComparerVariants; ++v) {
+    auto r = cof::run_search(cfg, g,
+                             {.backend = cof::backend_kind::sycl_usm,
+                              .variant = static_cast<cof::comparer_variant>(v),
+                              .max_chunk = 9000});
+    EXPECT_EQ(r.records, base.records) << "variant " << v;
+  }
+}
+
+TEST(UsmPipeline, PlantedRecall) {
+  genome::synth_params p;
+  p.assembly = "usm-plant";
+  p.chromosomes = {{"chrA", 60000}};
+  p.seed = 24;
+  auto g = genome::generate(p);
+  auto cfg = cof::parse_input(cof::example_input("<mem>"));
+  const std::string guide = cfg.queries[0].seq.substr(0, 20) + "NGG";
+  auto planted = genome::plant_sites(g, guide, cfg.pattern, 6, 2, 321);
+  auto r = cof::run_search(
+      cfg, g, {.backend = cof::backend_kind::sycl_usm, .max_chunk = 16384});
+  for (const auto& site : planted) {
+    bool found = false;
+    for (const auto& rec : r.records) {
+      if (rec.query_index == 0 && rec.position == site.position &&
+          rec.direction == site.strand && rec.mismatches == 2) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << site.position;
+  }
+}
+
+}  // namespace
