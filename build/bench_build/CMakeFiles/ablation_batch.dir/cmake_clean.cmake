@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_batch"
+  "../bench/ablation_batch.pdb"
+  "CMakeFiles/ablation_batch.dir/ablation_batch.cpp.o"
+  "CMakeFiles/ablation_batch.dir/ablation_batch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

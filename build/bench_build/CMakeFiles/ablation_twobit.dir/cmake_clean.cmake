@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_twobit"
+  "../bench/ablation_twobit.pdb"
+  "CMakeFiles/ablation_twobit.dir/ablation_twobit.cpp.o"
+  "CMakeFiles/ablation_twobit.dir/ablation_twobit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_twobit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

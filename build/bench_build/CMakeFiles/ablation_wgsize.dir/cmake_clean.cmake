@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_wgsize"
+  "../bench/ablation_wgsize.pdb"
+  "CMakeFiles/ablation_wgsize.dir/ablation_wgsize.cpp.o"
+  "CMakeFiles/ablation_wgsize.dir/ablation_wgsize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wgsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

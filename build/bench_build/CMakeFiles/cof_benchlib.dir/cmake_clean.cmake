@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cof_benchlib.dir/bench_common.cpp.o"
+  "CMakeFiles/cof_benchlib.dir/bench_common.cpp.o.d"
+  "libcof_benchlib.a"
+  "libcof_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cof_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

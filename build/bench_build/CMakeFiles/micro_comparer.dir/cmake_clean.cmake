@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_comparer"
+  "../bench/micro_comparer.pdb"
+  "CMakeFiles/micro_comparer.dir/micro_comparer.cpp.o"
+  "CMakeFiles/micro_comparer.dir/micro_comparer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_comparer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

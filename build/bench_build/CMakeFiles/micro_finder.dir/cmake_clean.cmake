@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_finder"
+  "../bench/micro_finder.pdb"
+  "CMakeFiles/micro_finder.dir/micro_finder.cpp.o"
+  "CMakeFiles/micro_finder.dir/micro_finder.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_finder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

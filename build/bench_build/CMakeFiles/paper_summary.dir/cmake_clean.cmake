@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/paper_summary"
+  "../bench/paper_summary.pdb"
+  "CMakeFiles/paper_summary.dir/paper_summary.cpp.o"
+  "CMakeFiles/paper_summary.dir/paper_summary.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

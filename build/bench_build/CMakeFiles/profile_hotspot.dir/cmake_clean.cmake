@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/profile_hotspot"
+  "../bench/profile_hotspot.pdb"
+  "CMakeFiles/profile_hotspot.dir/profile_hotspot.cpp.o"
+  "CMakeFiles/profile_hotspot.dir/profile_hotspot.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

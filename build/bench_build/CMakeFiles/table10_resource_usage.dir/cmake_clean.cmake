@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table10_resource_usage"
+  "../bench/table10_resource_usage.pdb"
+  "CMakeFiles/table10_resource_usage.dir/table10_resource_usage.cpp.o"
+  "CMakeFiles/table10_resource_usage.dir/table10_resource_usage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_resource_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_programming_steps"
+  "../bench/table1_programming_steps.pdb"
+  "CMakeFiles/table1_programming_steps.dir/table1_programming_steps.cpp.o"
+  "CMakeFiles/table1_programming_steps.dir/table1_programming_steps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_programming_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

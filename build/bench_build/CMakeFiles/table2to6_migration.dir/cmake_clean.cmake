@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2to6_migration"
+  "../bench/table2to6_migration.pdb"
+  "CMakeFiles/table2to6_migration.dir/table2to6_migration.cpp.o"
+  "CMakeFiles/table2to6_migration.dir/table2to6_migration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2to6_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table7_device_specs"
+  "../bench/table7_device_specs.pdb"
+  "CMakeFiles/table7_device_specs.dir/table7_device_specs.cpp.o"
+  "CMakeFiles/table7_device_specs.dir/table7_device_specs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_device_specs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table8_elapsed_time"
+  "../bench/table8_elapsed_time.pdb"
+  "CMakeFiles/table8_elapsed_time.dir/table8_elapsed_time.cpp.o"
+  "CMakeFiles/table8_elapsed_time.dir/table8_elapsed_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_elapsed_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

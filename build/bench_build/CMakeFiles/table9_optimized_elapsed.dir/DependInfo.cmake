@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table9_optimized_elapsed.cpp" "bench_build/CMakeFiles/table9_optimized_elapsed.dir/table9_optimized_elapsed.cpp.o" "gcc" "bench_build/CMakeFiles/table9_optimized_elapsed.dir/table9_optimized_elapsed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench_build/CMakeFiles/cof_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cof_gpumodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cof_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cof_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cof_oclsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cof_syclsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cof_xpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cof_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table9_optimized_elapsed"
+  "../bench/table9_optimized_elapsed.pdb"
+  "CMakeFiles/table9_optimized_elapsed.dir/table9_optimized_elapsed.cpp.o"
+  "CMakeFiles/table9_optimized_elapsed.dir/table9_optimized_elapsed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_optimized_elapsed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

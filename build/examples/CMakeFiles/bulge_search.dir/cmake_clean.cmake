@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bulge_search.dir/bulge_search.cpp.o"
+  "CMakeFiles/bulge_search.dir/bulge_search.cpp.o.d"
+  "bulge_search"
+  "bulge_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bulge_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casoffinder_cli.dir/casoffinder_cli.cpp.o"
+  "CMakeFiles/casoffinder_cli.dir/casoffinder_cli.cpp.o.d"
+  "casoffinder_cli"
+  "casoffinder_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casoffinder_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

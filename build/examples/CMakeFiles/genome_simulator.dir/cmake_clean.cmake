@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genome_simulator.dir/genome_simulator.cpp.o"
+  "CMakeFiles/genome_simulator.dir/genome_simulator.cpp.o.d"
+  "genome_simulator"
+  "genome_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genome_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bulge.cpp" "src/CMakeFiles/cof_core.dir/core/bulge.cpp.o" "gcc" "src/CMakeFiles/cof_core.dir/core/bulge.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/cof_core.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/cof_core.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/CMakeFiles/cof_core.dir/core/engine.cpp.o" "gcc" "src/CMakeFiles/cof_core.dir/core/engine.cpp.o.d"
+  "/root/repo/src/core/engine_stream.cpp" "src/CMakeFiles/cof_core.dir/core/engine_stream.cpp.o" "gcc" "src/CMakeFiles/cof_core.dir/core/engine_stream.cpp.o.d"
+  "/root/repo/src/core/host_ocl.cpp" "src/CMakeFiles/cof_core.dir/core/host_ocl.cpp.o" "gcc" "src/CMakeFiles/cof_core.dir/core/host_ocl.cpp.o.d"
+  "/root/repo/src/core/host_sycl.cpp" "src/CMakeFiles/cof_core.dir/core/host_sycl.cpp.o" "gcc" "src/CMakeFiles/cof_core.dir/core/host_sycl.cpp.o.d"
+  "/root/repo/src/core/host_sycl_twobit.cpp" "src/CMakeFiles/cof_core.dir/core/host_sycl_twobit.cpp.o" "gcc" "src/CMakeFiles/cof_core.dir/core/host_sycl_twobit.cpp.o.d"
+  "/root/repo/src/core/host_sycl_usm.cpp" "src/CMakeFiles/cof_core.dir/core/host_sycl_usm.cpp.o" "gcc" "src/CMakeFiles/cof_core.dir/core/host_sycl_usm.cpp.o.d"
+  "/root/repo/src/core/pattern.cpp" "src/CMakeFiles/cof_core.dir/core/pattern.cpp.o" "gcc" "src/CMakeFiles/cof_core.dir/core/pattern.cpp.o.d"
+  "/root/repo/src/core/results.cpp" "src/CMakeFiles/cof_core.dir/core/results.cpp.o" "gcc" "src/CMakeFiles/cof_core.dir/core/results.cpp.o.d"
+  "/root/repo/src/core/scoring.cpp" "src/CMakeFiles/cof_core.dir/core/scoring.cpp.o" "gcc" "src/CMakeFiles/cof_core.dir/core/scoring.cpp.o.d"
+  "/root/repo/src/core/serial_ref.cpp" "src/CMakeFiles/cof_core.dir/core/serial_ref.cpp.o" "gcc" "src/CMakeFiles/cof_core.dir/core/serial_ref.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cof_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cof_oclsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cof_syclsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cof_xpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cof_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

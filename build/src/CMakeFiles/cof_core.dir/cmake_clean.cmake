@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cof_core.dir/core/bulge.cpp.o"
+  "CMakeFiles/cof_core.dir/core/bulge.cpp.o.d"
+  "CMakeFiles/cof_core.dir/core/config.cpp.o"
+  "CMakeFiles/cof_core.dir/core/config.cpp.o.d"
+  "CMakeFiles/cof_core.dir/core/engine.cpp.o"
+  "CMakeFiles/cof_core.dir/core/engine.cpp.o.d"
+  "CMakeFiles/cof_core.dir/core/engine_stream.cpp.o"
+  "CMakeFiles/cof_core.dir/core/engine_stream.cpp.o.d"
+  "CMakeFiles/cof_core.dir/core/host_ocl.cpp.o"
+  "CMakeFiles/cof_core.dir/core/host_ocl.cpp.o.d"
+  "CMakeFiles/cof_core.dir/core/host_sycl.cpp.o"
+  "CMakeFiles/cof_core.dir/core/host_sycl.cpp.o.d"
+  "CMakeFiles/cof_core.dir/core/host_sycl_twobit.cpp.o"
+  "CMakeFiles/cof_core.dir/core/host_sycl_twobit.cpp.o.d"
+  "CMakeFiles/cof_core.dir/core/host_sycl_usm.cpp.o"
+  "CMakeFiles/cof_core.dir/core/host_sycl_usm.cpp.o.d"
+  "CMakeFiles/cof_core.dir/core/pattern.cpp.o"
+  "CMakeFiles/cof_core.dir/core/pattern.cpp.o.d"
+  "CMakeFiles/cof_core.dir/core/results.cpp.o"
+  "CMakeFiles/cof_core.dir/core/results.cpp.o.d"
+  "CMakeFiles/cof_core.dir/core/scoring.cpp.o"
+  "CMakeFiles/cof_core.dir/core/scoring.cpp.o.d"
+  "CMakeFiles/cof_core.dir/core/serial_ref.cpp.o"
+  "CMakeFiles/cof_core.dir/core/serial_ref.cpp.o.d"
+  "libcof_core.a"
+  "libcof_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cof_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/genome/chunker.cpp" "src/CMakeFiles/cof_genome.dir/genome/chunker.cpp.o" "gcc" "src/CMakeFiles/cof_genome.dir/genome/chunker.cpp.o.d"
+  "/root/repo/src/genome/fasta.cpp" "src/CMakeFiles/cof_genome.dir/genome/fasta.cpp.o" "gcc" "src/CMakeFiles/cof_genome.dir/genome/fasta.cpp.o.d"
+  "/root/repo/src/genome/fasta_stream.cpp" "src/CMakeFiles/cof_genome.dir/genome/fasta_stream.cpp.o" "gcc" "src/CMakeFiles/cof_genome.dir/genome/fasta_stream.cpp.o.d"
+  "/root/repo/src/genome/iupac.cpp" "src/CMakeFiles/cof_genome.dir/genome/iupac.cpp.o" "gcc" "src/CMakeFiles/cof_genome.dir/genome/iupac.cpp.o.d"
+  "/root/repo/src/genome/synth.cpp" "src/CMakeFiles/cof_genome.dir/genome/synth.cpp.o" "gcc" "src/CMakeFiles/cof_genome.dir/genome/synth.cpp.o.d"
+  "/root/repo/src/genome/twobit.cpp" "src/CMakeFiles/cof_genome.dir/genome/twobit.cpp.o" "gcc" "src/CMakeFiles/cof_genome.dir/genome/twobit.cpp.o.d"
+  "/root/repo/src/genome/twobit_file.cpp" "src/CMakeFiles/cof_genome.dir/genome/twobit_file.cpp.o" "gcc" "src/CMakeFiles/cof_genome.dir/genome/twobit_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

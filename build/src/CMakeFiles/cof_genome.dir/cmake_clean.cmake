@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cof_genome.dir/genome/chunker.cpp.o"
+  "CMakeFiles/cof_genome.dir/genome/chunker.cpp.o.d"
+  "CMakeFiles/cof_genome.dir/genome/fasta.cpp.o"
+  "CMakeFiles/cof_genome.dir/genome/fasta.cpp.o.d"
+  "CMakeFiles/cof_genome.dir/genome/fasta_stream.cpp.o"
+  "CMakeFiles/cof_genome.dir/genome/fasta_stream.cpp.o.d"
+  "CMakeFiles/cof_genome.dir/genome/iupac.cpp.o"
+  "CMakeFiles/cof_genome.dir/genome/iupac.cpp.o.d"
+  "CMakeFiles/cof_genome.dir/genome/synth.cpp.o"
+  "CMakeFiles/cof_genome.dir/genome/synth.cpp.o.d"
+  "CMakeFiles/cof_genome.dir/genome/twobit.cpp.o"
+  "CMakeFiles/cof_genome.dir/genome/twobit.cpp.o.d"
+  "CMakeFiles/cof_genome.dir/genome/twobit_file.cpp.o"
+  "CMakeFiles/cof_genome.dir/genome/twobit_file.cpp.o.d"
+  "libcof_genome.a"
+  "libcof_genome.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cof_genome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpumodel/builder.cpp" "src/CMakeFiles/cof_gpumodel.dir/gpumodel/builder.cpp.o" "gcc" "src/CMakeFiles/cof_gpumodel.dir/gpumodel/builder.cpp.o.d"
+  "/root/repo/src/gpumodel/isa.cpp" "src/CMakeFiles/cof_gpumodel.dir/gpumodel/isa.cpp.o" "gcc" "src/CMakeFiles/cof_gpumodel.dir/gpumodel/isa.cpp.o.d"
+  "/root/repo/src/gpumodel/kir.cpp" "src/CMakeFiles/cof_gpumodel.dir/gpumodel/kir.cpp.o" "gcc" "src/CMakeFiles/cof_gpumodel.dir/gpumodel/kir.cpp.o.d"
+  "/root/repo/src/gpumodel/listing.cpp" "src/CMakeFiles/cof_gpumodel.dir/gpumodel/listing.cpp.o" "gcc" "src/CMakeFiles/cof_gpumodel.dir/gpumodel/listing.cpp.o.d"
+  "/root/repo/src/gpumodel/occupancy.cpp" "src/CMakeFiles/cof_gpumodel.dir/gpumodel/occupancy.cpp.o" "gcc" "src/CMakeFiles/cof_gpumodel.dir/gpumodel/occupancy.cpp.o.d"
+  "/root/repo/src/gpumodel/passes.cpp" "src/CMakeFiles/cof_gpumodel.dir/gpumodel/passes.cpp.o" "gcc" "src/CMakeFiles/cof_gpumodel.dir/gpumodel/passes.cpp.o.d"
+  "/root/repo/src/gpumodel/projector.cpp" "src/CMakeFiles/cof_gpumodel.dir/gpumodel/projector.cpp.o" "gcc" "src/CMakeFiles/cof_gpumodel.dir/gpumodel/projector.cpp.o.d"
+  "/root/repo/src/gpumodel/regalloc.cpp" "src/CMakeFiles/cof_gpumodel.dir/gpumodel/regalloc.cpp.o" "gcc" "src/CMakeFiles/cof_gpumodel.dir/gpumodel/regalloc.cpp.o.d"
+  "/root/repo/src/gpumodel/roofline.cpp" "src/CMakeFiles/cof_gpumodel.dir/gpumodel/roofline.cpp.o" "gcc" "src/CMakeFiles/cof_gpumodel.dir/gpumodel/roofline.cpp.o.d"
+  "/root/repo/src/gpumodel/specs.cpp" "src/CMakeFiles/cof_gpumodel.dir/gpumodel/specs.cpp.o" "gcc" "src/CMakeFiles/cof_gpumodel.dir/gpumodel/specs.cpp.o.d"
+  "/root/repo/src/gpumodel/timing.cpp" "src/CMakeFiles/cof_gpumodel.dir/gpumodel/timing.cpp.o" "gcc" "src/CMakeFiles/cof_gpumodel.dir/gpumodel/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cof_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cof_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cof_oclsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cof_syclsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cof_xpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cof_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cof_gpumodel.dir/gpumodel/builder.cpp.o"
+  "CMakeFiles/cof_gpumodel.dir/gpumodel/builder.cpp.o.d"
+  "CMakeFiles/cof_gpumodel.dir/gpumodel/isa.cpp.o"
+  "CMakeFiles/cof_gpumodel.dir/gpumodel/isa.cpp.o.d"
+  "CMakeFiles/cof_gpumodel.dir/gpumodel/kir.cpp.o"
+  "CMakeFiles/cof_gpumodel.dir/gpumodel/kir.cpp.o.d"
+  "CMakeFiles/cof_gpumodel.dir/gpumodel/listing.cpp.o"
+  "CMakeFiles/cof_gpumodel.dir/gpumodel/listing.cpp.o.d"
+  "CMakeFiles/cof_gpumodel.dir/gpumodel/occupancy.cpp.o"
+  "CMakeFiles/cof_gpumodel.dir/gpumodel/occupancy.cpp.o.d"
+  "CMakeFiles/cof_gpumodel.dir/gpumodel/passes.cpp.o"
+  "CMakeFiles/cof_gpumodel.dir/gpumodel/passes.cpp.o.d"
+  "CMakeFiles/cof_gpumodel.dir/gpumodel/projector.cpp.o"
+  "CMakeFiles/cof_gpumodel.dir/gpumodel/projector.cpp.o.d"
+  "CMakeFiles/cof_gpumodel.dir/gpumodel/regalloc.cpp.o"
+  "CMakeFiles/cof_gpumodel.dir/gpumodel/regalloc.cpp.o.d"
+  "CMakeFiles/cof_gpumodel.dir/gpumodel/roofline.cpp.o"
+  "CMakeFiles/cof_gpumodel.dir/gpumodel/roofline.cpp.o.d"
+  "CMakeFiles/cof_gpumodel.dir/gpumodel/specs.cpp.o"
+  "CMakeFiles/cof_gpumodel.dir/gpumodel/specs.cpp.o.d"
+  "CMakeFiles/cof_gpumodel.dir/gpumodel/timing.cpp.o"
+  "CMakeFiles/cof_gpumodel.dir/gpumodel/timing.cpp.o.d"
+  "libcof_gpumodel.a"
+  "libcof_gpumodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cof_gpumodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

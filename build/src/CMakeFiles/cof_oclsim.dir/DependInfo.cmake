@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oclsim/cl_api.cpp" "src/CMakeFiles/cof_oclsim.dir/oclsim/cl_api.cpp.o" "gcc" "src/CMakeFiles/cof_oclsim.dir/oclsim/cl_api.cpp.o.d"
+  "/root/repo/src/oclsim/cl_objects.cpp" "src/CMakeFiles/cof_oclsim.dir/oclsim/cl_objects.cpp.o" "gcc" "src/CMakeFiles/cof_oclsim.dir/oclsim/cl_objects.cpp.o.d"
+  "/root/repo/src/oclsim/cl_registry.cpp" "src/CMakeFiles/cof_oclsim.dir/oclsim/cl_registry.cpp.o" "gcc" "src/CMakeFiles/cof_oclsim.dir/oclsim/cl_registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cof_xpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cof_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cof_oclsim.dir/oclsim/cl_api.cpp.o"
+  "CMakeFiles/cof_oclsim.dir/oclsim/cl_api.cpp.o.d"
+  "CMakeFiles/cof_oclsim.dir/oclsim/cl_objects.cpp.o"
+  "CMakeFiles/cof_oclsim.dir/oclsim/cl_objects.cpp.o.d"
+  "CMakeFiles/cof_oclsim.dir/oclsim/cl_registry.cpp.o"
+  "CMakeFiles/cof_oclsim.dir/oclsim/cl_registry.cpp.o.d"
+  "libcof_oclsim.a"
+  "libcof_oclsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cof_oclsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

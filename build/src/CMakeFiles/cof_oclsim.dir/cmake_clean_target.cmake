@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcof_oclsim.a"
+)

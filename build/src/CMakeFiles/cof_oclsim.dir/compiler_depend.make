@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cof_oclsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cof_profile.dir/profile/counters.cpp.o"
+  "CMakeFiles/cof_profile.dir/profile/counters.cpp.o.d"
+  "CMakeFiles/cof_profile.dir/profile/profiler.cpp.o"
+  "CMakeFiles/cof_profile.dir/profile/profiler.cpp.o.d"
+  "libcof_profile.a"
+  "libcof_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cof_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

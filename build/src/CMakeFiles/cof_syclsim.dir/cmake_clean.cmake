@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cof_syclsim.dir/syclsim/sycl_runtime.cpp.o"
+  "CMakeFiles/cof_syclsim.dir/syclsim/sycl_runtime.cpp.o.d"
+  "libcof_syclsim.a"
+  "libcof_syclsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cof_syclsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

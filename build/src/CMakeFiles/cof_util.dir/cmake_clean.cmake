@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cof_util.dir/util/cli.cpp.o"
+  "CMakeFiles/cof_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/cof_util.dir/util/log.cpp.o"
+  "CMakeFiles/cof_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/cof_util.dir/util/strings.cpp.o"
+  "CMakeFiles/cof_util.dir/util/strings.cpp.o.d"
+  "CMakeFiles/cof_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/cof_util.dir/util/thread_pool.cpp.o.d"
+  "libcof_util.a"
+  "libcof_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cof_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

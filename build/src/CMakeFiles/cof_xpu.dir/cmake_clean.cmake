@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cof_xpu.dir/xpu/ctx_switch.S.o"
+  "CMakeFiles/cof_xpu.dir/xpu/device.cpp.o"
+  "CMakeFiles/cof_xpu.dir/xpu/device.cpp.o.d"
+  "CMakeFiles/cof_xpu.dir/xpu/executor.cpp.o"
+  "CMakeFiles/cof_xpu.dir/xpu/executor.cpp.o.d"
+  "CMakeFiles/cof_xpu.dir/xpu/fiber.cpp.o"
+  "CMakeFiles/cof_xpu.dir/xpu/fiber.cpp.o.d"
+  "CMakeFiles/cof_xpu.dir/xpu/mem.cpp.o"
+  "CMakeFiles/cof_xpu.dir/xpu/mem.cpp.o.d"
+  "libcof_xpu.a"
+  "libcof_xpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/cof_xpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cas12a.dir/test_cas12a.cpp.o"
+  "CMakeFiles/test_cas12a.dir/test_cas12a.cpp.o.d"
+  "test_cas12a"
+  "test_cas12a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cas12a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

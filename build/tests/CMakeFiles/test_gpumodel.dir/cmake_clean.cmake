@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpumodel.dir/test_gpumodel.cpp.o"
+  "CMakeFiles/test_gpumodel.dir/test_gpumodel.cpp.o.d"
+  "test_gpumodel"
+  "test_gpumodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpumodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iupac.dir/test_iupac.cpp.o"
+  "CMakeFiles/test_iupac.dir/test_iupac.cpp.o.d"
+  "test_iupac"
+  "test_iupac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iupac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipelines.dir/test_pipelines.cpp.o"
+  "CMakeFiles/test_pipelines.dir/test_pipelines.cpp.o.d"
+  "test_pipelines"
+  "test_pipelines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_syclsim.dir/test_syclsim.cpp.o"
+  "CMakeFiles/test_syclsim.dir/test_syclsim.cpp.o.d"
+  "test_syclsim"
+  "test_syclsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_syclsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_twobit.dir/test_twobit.cpp.o"
+  "CMakeFiles/test_twobit.dir/test_twobit.cpp.o.d"
+  "test_twobit"
+  "test_twobit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_twobit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

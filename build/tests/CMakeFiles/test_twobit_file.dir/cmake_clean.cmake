@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_twobit_file.dir/test_twobit_file.cpp.o"
+  "CMakeFiles/test_twobit_file.dir/test_twobit_file.cpp.o.d"
+  "test_twobit_file"
+  "test_twobit_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_twobit_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

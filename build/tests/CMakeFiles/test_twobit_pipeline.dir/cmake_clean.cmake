@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_twobit_pipeline.dir/test_twobit_pipeline.cpp.o"
+  "CMakeFiles/test_twobit_pipeline.dir/test_twobit_pipeline.cpp.o.d"
+  "test_twobit_pipeline"
+  "test_twobit_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_twobit_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
