@@ -68,7 +68,9 @@ void bm_comparer_threshold(benchmark::State& state) {
 
 }  // namespace
 
-BENCHMARK(bm_comparer_variant)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_comparer_variant)
+    ->DenseRange(0, cof::kNumComparerVariants - 1)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(bm_comparer_threshold)
     ->Arg(0)
     ->Arg(5)

@@ -127,11 +127,125 @@ __kernel void comparer(unsigned int locicnts, __global char* chr,
   }
 }
 
+/* opt5 (beyond the paper's ladder): the host precomputes one 16-bit deny
+ * LUT per pattern character (bit r set iff mismatch(pat, rep[r])); the
+ * kernel indexes it by the reference character's IUPAC nibble -- one local
+ * load + shift + AND instead of the 14-compare Boolean chain. */
+unsigned int nibble(char r) {
+  switch (r) {
+    case 'A': return 1u;  case 'C': return 2u;  case 'G': return 4u;
+    case 'T': return 8u;  case 'M': return 3u;  case 'R': return 5u;
+    case 'W': return 9u;  case 'S': return 6u;  case 'Y': return 10u;
+    case 'K': return 12u; case 'V': return 7u;  case 'H': return 11u;
+    case 'D': return 13u; case 'B': return 14u; case 'N': return 15u;
+    default: return 0u;
+  }
+}
+
+__kernel void finder_mask(__global char* __restrict chr,
+                          __constant unsigned short* pat_mask,
+                          __constant int* pat_index, unsigned int chrsize,
+                          unsigned int plen, __global unsigned int* __restrict loci,
+                          __global char* __restrict flag,
+                          __global unsigned int* __restrict entrycount,
+                          __local unsigned short* l_pat_mask,
+                          __local int* l_pat_index) {
+  unsigned int i = get_global_id(0);
+  unsigned int li = i - get_group_id(0) * get_local_size(0);
+  if (li == 0) {
+    for (unsigned int k = 0; k < plen * 2; k++) {
+      l_pat_mask[k] = pat_mask[k];
+      l_pat_index[k] = pat_index[k];
+    }
+  }
+  barrier(CLK_LOCAL_MEM_FENCE);
+  if (i >= chrsize) return;
+  int fw = 1, rc = 1;
+  for (unsigned int j = 0; j < plen; j++) {
+    int k = l_pat_index[j];
+    if (k == -1) break;
+    if ((l_pat_mask[k] >> nibble(chr[i + k])) & 1u) { fw = 0; break; }
+  }
+  for (unsigned int j = 0; j < plen; j++) {
+    int k = l_pat_index[plen + j];
+    if (k == -1) break;
+    if ((l_pat_mask[plen + k] >> nibble(chr[i + k])) & 1u) { rc = 0; break; }
+  }
+  if (fw || rc) {
+    unsigned int old = atomic_inc(entrycount);
+    loci[old] = i;
+    flag[old] = (fw && rc) ? 0 : (fw ? 1 : 2);
+  }
+}
+
+__kernel void comparer_opt5(unsigned int locicnts, __global char* __restrict chr,
+                            __global unsigned int* __restrict loci,
+                            __constant unsigned short* comp_mask,
+                            __constant int* comp_index, unsigned int plen,
+                            unsigned short threshold, __global char* __restrict flag,
+                            __global unsigned short* __restrict mm_count,
+                            __global char* __restrict direction,
+                            __global unsigned int* __restrict mm_loci,
+                            __global unsigned int* __restrict entrycount,
+                            __local unsigned short* l_comp_mask,
+                            __local int* l_comp_index) {
+  unsigned int i = get_global_id(0);
+  unsigned int li = i - get_group_id(0) * get_local_size(0);
+  if (li == 0) {
+    for (unsigned int k = 0; k < plen * 2; k++) {
+      l_comp_mask[k] = comp_mask[k];
+      l_comp_index[k] = comp_index[k];
+    }
+  }
+  barrier(CLK_LOCAL_MEM_FENCE);
+  if (i >= locicnts) return;
+  char f = flag[i];
+  unsigned int locus = loci[i];
+  unsigned short lmm_count;
+  unsigned int old;
+  if (f == 0 || f == 1) {
+    lmm_count = 0;
+    for (unsigned int j = 0; j < plen; j++) {
+      int k = l_comp_index[j];
+      if (k == -1) break;
+      if ((l_comp_mask[k] >> nibble(chr[locus + k])) & 1u) {
+        lmm_count++;
+        if (lmm_count > threshold) break;
+      }
+    }
+    if (lmm_count <= threshold) {
+      old = atomic_inc(entrycount);
+      mm_count[old] = lmm_count;
+      direction[old] = '+';
+      mm_loci[old] = locus;
+    }
+  }
+  if (f == 0 || f == 2) {
+    lmm_count = 0;
+    for (unsigned int j = 0; j < plen; j++) {
+      int k = l_comp_index[plen + j];
+      if (k == -1) break;
+      if ((l_comp_mask[k + plen] >> nibble(chr[locus + k])) & 1u) {
+        lmm_count++;
+        if (lmm_count > threshold) break;
+      }
+    }
+    if (lmm_count <= threshold) {
+      old = atomic_inc(entrycount);
+      mm_count[old] = lmm_count;
+      direction[old] = '-';
+      mm_loci[old] = locus;
+    }
+  }
+}
+
 /* Optimised comparer variants (paper SIV.B): opt1 adds __restrict, opt2
  * registers loci[i]/flag[i], opt3 fetches the pattern cooperatively, opt4
  * additionally registers the pattern char read from local memory. Bodies
  * elided here for brevity -- the native implementations are authoritative
- * and shared with the SYCL program. */
+ * and shared with the SYCL program. (comparer_opt5 above is spelled out in
+ * full: its signature differs -- deny-LUT ushorts replace the pattern
+ * chars.) */
 __kernel void comparer_opt1() {}
 __kernel void comparer_opt2() {}
 __kernel void comparer_opt3() {}
@@ -160,6 +274,22 @@ void finder_native(const oclsim::arg_view& a, xpu::xitem& it) {
 }
 
 template <class P>
+void finder_mask_native(const oclsim::arg_view& a, xpu::xitem& it) {
+  finder_args fa;
+  fa.chr = a.global<const char>(0);
+  fa.pat_mask = a.global<const u16>(1);
+  fa.pat_index = a.global<const i32>(2);
+  fa.chrsize = a.scalar<u32>(3);
+  fa.plen = a.scalar<u32>(4);
+  fa.loci = a.global<u32>(5);
+  fa.flag = a.global<char>(6);
+  fa.entrycount = a.global<u32>(7);
+  fa.l_pat_mask = a.local<u16>(8);
+  fa.l_pat_index = a.local<i32>(9);
+  finder_kernel_mask<P>(it, fa);
+}
+
+template <class P>
 void comparer_native_dispatch(comparer_variant v, const oclsim::arg_view& a,
                               xpu::xitem& it) {
   comparer_args ca;
@@ -178,6 +308,28 @@ void comparer_native_dispatch(comparer_variant v, const oclsim::arg_view& a,
   ca.l_comp = a.local<char>(12);
   ca.l_comp_index = a.local<i32>(13);
   comparer_dispatch<P>(v, it, ca);
+}
+
+/// opt5's signature swaps the pattern chars (args 3/12) for the u16 deny
+/// LUTs, so it cannot share comparer_native_dispatch's unpack order.
+template <class P>
+void comparer_opt5_native(const oclsim::arg_view& a, xpu::xitem& it) {
+  comparer_args ca;
+  ca.locicnts = a.scalar<u32>(0);
+  ca.chr = a.global<const char>(1);
+  ca.loci = a.global<const u32>(2);
+  ca.comp_mask = a.global<const u16>(3);
+  ca.comp_index = a.global<const i32>(4);
+  ca.plen = a.scalar<u32>(5);
+  ca.threshold = a.scalar<u16>(6);
+  ca.flag = a.global<const char>(7);
+  ca.mm_count = a.global<u16>(8);
+  ca.direction = a.global<char>(9);
+  ca.mm_loci = a.global<u32>(10);
+  ca.entrycount = a.global<u32>(11);
+  ca.l_comp_mask = a.local<u16>(12);
+  ca.l_comp_index = a.local<i32>(13);
+  comparer_dispatch<P>(comparer_variant::opt5, it, ca);
 }
 
 const std::vector<oclsim::arg_kind> kFinderSig = {
@@ -200,25 +352,40 @@ void comparer_native(const oclsim::arg_view& a, xpu::xitem& it) {
   comparer_native_dispatch<P>(V, a, it);
 }
 
+// Every kernel here has exactly one leading barrier (cooperative pattern
+// fetch, then compute), and the native bodies cooperate with the two-phase
+// executor, so all registrations opt into the barrier-free fast path.
 const bool kKernelsRegistered = [] {
   oclsim::register_kernel({"finder", kFinderSig, /*uses_barrier=*/true,
                            &finder_native<direct_mem>,
-                           &finder_native<counting_mem>});
+                           &finder_native<counting_mem>,
+                           /*single_leading_barrier=*/true});
+  oclsim::register_kernel({"finder_mask", kFinderSig, true,
+                           &finder_mask_native<direct_mem>,
+                           &finder_mask_native<counting_mem>, true});
   oclsim::register_kernel({"comparer", kComparerSig, true,
                            &comparer_native<comparer_variant::base, direct_mem>,
-                           &comparer_native<comparer_variant::base, counting_mem>});
+                           &comparer_native<comparer_variant::base, counting_mem>,
+                           true});
   oclsim::register_kernel({"comparer_opt1", kComparerSig, true,
                            &comparer_native<comparer_variant::opt1, direct_mem>,
-                           &comparer_native<comparer_variant::opt1, counting_mem>});
+                           &comparer_native<comparer_variant::opt1, counting_mem>,
+                           true});
   oclsim::register_kernel({"comparer_opt2", kComparerSig, true,
                            &comparer_native<comparer_variant::opt2, direct_mem>,
-                           &comparer_native<comparer_variant::opt2, counting_mem>});
+                           &comparer_native<comparer_variant::opt2, counting_mem>,
+                           true});
   oclsim::register_kernel({"comparer_opt3", kComparerSig, true,
                            &comparer_native<comparer_variant::opt3, direct_mem>,
-                           &comparer_native<comparer_variant::opt3, counting_mem>});
+                           &comparer_native<comparer_variant::opt3, counting_mem>,
+                           true});
   oclsim::register_kernel({"comparer_opt4", kComparerSig, true,
                            &comparer_native<comparer_variant::opt4, direct_mem>,
-                           &comparer_native<comparer_variant::opt4, counting_mem>});
+                           &comparer_native<comparer_variant::opt4, counting_mem>,
+                           true});
+  oclsim::register_kernel({"comparer_opt5", kComparerSig, true,
+                           &comparer_opt5_native<direct_mem>,
+                           &comparer_opt5_native<counting_mem>, true});
   return true;
 }();
 
@@ -252,8 +419,9 @@ class opencl_pipeline final : public device_pipeline {
     program_ = clCreateProgramWithSource(ctx_, 1, &src, nullptr, &err);
     COF_CL_CHECK(err);
     COF_CL_CHECK(clBuildProgram(program_, 1, &device_, "-O3", nullptr, nullptr));
-    // Step 8: kernel objects.
-    finder_k_ = clCreateKernel(program_, "finder", &err);
+    // Step 8: kernel objects. opt5 pairs the comparer with the bitmask-LUT
+    // finder (the pattern chars never reach the device at all).
+    finder_k_ = clCreateKernel(program_, use_mask() ? "finder_mask" : "finder", &err);
     COF_CL_CHECK(err);
     comparer_k_ = clCreateKernel(program_, comparer_kernel_name(), &err);
     COF_CL_CHECK(err);
@@ -298,15 +466,24 @@ class opencl_pipeline final : public device_pipeline {
     }
     const u32 chrsize = static_cast<u32>(chunk_len_ - pat.plen + 1);
     cl_int err;
-    cl_mem patm = clCreateBuffer(ctx_, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
-                                 pat.device_chars(),
-                                 const_cast<char*>(pat.data()), &err);
+    // Under opt5 the device sees the u16 deny LUTs instead of the chars.
+    cl_mem patm;
+    usize pat_bytes;
+    if (use_mask()) {
+      pat_bytes = pat.mask.size() * sizeof(u16);
+      patm = clCreateBuffer(ctx_, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR, pat_bytes,
+                            const_cast<u16*>(pat.mask_data()), &err);
+    } else {
+      pat_bytes = pat.device_chars();
+      patm = clCreateBuffer(ctx_, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR, pat_bytes,
+                            const_cast<char*>(pat.data()), &err);
+    }
     COF_CL_CHECK(err);
     cl_mem idxm = clCreateBuffer(ctx_, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
                                  pat.index.size() * sizeof(i32),
                                  const_cast<i32*>(pat.index_data()), &err);
     COF_CL_CHECK(err);
-    metrics_.h2d_bytes += pat.device_chars() + pat.index.size() * sizeof(i32);
+    metrics_.h2d_bytes += pat_bytes + pat.index.size() * sizeof(i32);
     zero_counter();
 
     // Step 9: kernel arguments.
@@ -319,7 +496,7 @@ class opencl_pipeline final : public device_pipeline {
     COF_CL_CHECK(clSetKernelArg(finder_k_, 5, sizeof(cl_mem), &loci_));
     COF_CL_CHECK(clSetKernelArg(finder_k_, 6, sizeof(cl_mem), &flag_));
     COF_CL_CHECK(clSetKernelArg(finder_k_, 7, sizeof(cl_mem), &count_));
-    COF_CL_CHECK(clSetKernelArg(finder_k_, 8, pat.device_chars(), nullptr));
+    COF_CL_CHECK(clSetKernelArg(finder_k_, 8, pat_bytes, nullptr));
     COF_CL_CHECK(clSetKernelArg(finder_k_, 9, pat.index.size() * sizeof(i32), nullptr));
 
     locicnt_ = enqueue_and_count(finder_k_, chrsize, "finder");
@@ -347,9 +524,17 @@ class opencl_pipeline final : public device_pipeline {
     COF_CHECK_MSG(query.plen == plen_, "query length != pattern length");
     const usize cap = static_cast<usize>(locicnt_) * 2;
     cl_int err;
-    cl_mem compm = clCreateBuffer(ctx_, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
-                                  query.device_chars(),
-                                  const_cast<char*>(query.data()), &err);
+    cl_mem compm;
+    usize comp_bytes;
+    if (use_mask()) {
+      comp_bytes = query.mask.size() * sizeof(u16);
+      compm = clCreateBuffer(ctx_, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
+                             comp_bytes, const_cast<u16*>(query.mask_data()), &err);
+    } else {
+      comp_bytes = query.device_chars();
+      compm = clCreateBuffer(ctx_, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
+                             comp_bytes, const_cast<char*>(query.data()), &err);
+    }
     COF_CL_CHECK(err);
     cl_mem cidxm = clCreateBuffer(ctx_, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
                                   query.index.size() * sizeof(i32),
@@ -363,7 +548,7 @@ class opencl_pipeline final : public device_pipeline {
     cl_mem mlocim = clCreateBuffer(ctx_, CL_MEM_WRITE_ONLY, cap * sizeof(u32), nullptr,
                                    &err);
     COF_CL_CHECK(err);
-    metrics_.h2d_bytes += query.device_chars() + query.index.size() * sizeof(i32);
+    metrics_.h2d_bytes += comp_bytes + query.index.size() * sizeof(i32);
     zero_counter();
 
     const u32 plen = query.plen;
@@ -379,7 +564,7 @@ class opencl_pipeline final : public device_pipeline {
     COF_CL_CHECK(clSetKernelArg(comparer_k_, 9, sizeof(cl_mem), &dirm));
     COF_CL_CHECK(clSetKernelArg(comparer_k_, 10, sizeof(cl_mem), &mlocim));
     COF_CL_CHECK(clSetKernelArg(comparer_k_, 11, sizeof(cl_mem), &count_));
-    COF_CL_CHECK(clSetKernelArg(comparer_k_, 12, query.device_chars(), nullptr));
+    COF_CL_CHECK(clSetKernelArg(comparer_k_, 12, comp_bytes, nullptr));
     COF_CL_CHECK(
         clSetKernelArg(comparer_k_, 13, query.index.size() * sizeof(i32), nullptr));
 
@@ -420,9 +605,12 @@ class opencl_pipeline final : public device_pipeline {
       case comparer_variant::opt2: return "comparer_opt2";
       case comparer_variant::opt3: return "comparer_opt3";
       case comparer_variant::opt4: return "comparer_opt4";
+      case comparer_variant::opt5: return "comparer_opt5";
     }
     return "comparer";
   }
+
+  bool use_mask() const { return opt_.variant == comparer_variant::opt5; }
 
   void zero_counter() {
     const u32 zero = 0;

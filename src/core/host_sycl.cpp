@@ -97,15 +97,20 @@ class sycl_pipeline final : public device_pipeline {
 
     sycl::buffer<char, 1> pat_buf(pat.data(), sycl::range<1>(pat.device_chars()));
     sycl::buffer<i32, 1> idx_buf(pat.index_data(), sycl::range<1>(pat.index.size()));
+    sycl::buffer<u16, 1> mask_buf(pat.mask_data(), sycl::range<1>(pat.mask.size()));
     metrics_.h2d_bytes += pat.device_chars() + pat.index.size() * sizeof(i32);
     zero_count(*count_buf_);
 
+    const bool use_mask = opt_.variant == comparer_variant::opt5;
+    if (use_mask) metrics_.h2d_bytes += pat.mask.size() * sizeof(u16);
     detail::kernel_record_scope rec(opt_, "finder");
     q_.submit([&](sycl::handler& cgh) {
        cgh.cof_set_name("finder");
+       if (!opt_.counting) cgh.cof_hint_single_leading_barrier();
        auto chr = chr_buf_->get_access<sycl::sycl_read>(cgh);
        auto patc = pat_buf.get_access<sycl::sycl_read, sycl::sycl_cmem>(cgh);
        auto pidx = idx_buf.get_access<sycl::sycl_read, sycl::sycl_cmem>(cgh);
+       auto pmask = mask_buf.get_access<sycl::sycl_read, sycl::sycl_cmem>(cgh);
        auto loci = loci_buf_->get_access<sycl::sycl_write>(cgh);
        auto flag = flag_buf_->get_access<sycl::sycl_write>(cgh);
        auto cnt = count_buf_->get_access<sycl::sycl_read_write>(cgh);
@@ -113,6 +118,8 @@ class sycl_pipeline final : public device_pipeline {
            sycl::range<1>(pat.device_chars()), cgh);
        sycl::accessor<i32, 1, sycl::sycl_read_write, sycl::sycl_lmem> l_idx(
            sycl::range<1>(pat.index.size()), cgh);
+       sycl::accessor<u16, 1, sycl::sycl_read_write, sycl::sycl_lmem> l_mask(
+           sycl::range<1>(pat.mask.size()), cgh);
        const u32 plen = pat.plen;
        cgh.parallel_for(sycl::nd_range<1>(sycl::range<1>(gws), sycl::range<1>(lws)),
                         [=](sycl::nd_item<1> item) {
@@ -120,6 +127,7 @@ class sycl_pipeline final : public device_pipeline {
                           a.chr = chr.get_pointer();
                           a.pat = patc.get_pointer();
                           a.pat_index = pidx.get_pointer();
+                          a.pat_mask = pmask.get_pointer();
                           a.chrsize = chrsize;
                           a.plen = plen;
                           a.loci = loci.get_pointer();
@@ -127,7 +135,12 @@ class sycl_pipeline final : public device_pipeline {
                           a.entrycount = cnt.get_pointer();
                           a.l_pat = l_pat.get_pointer();
                           a.l_pat_index = l_idx.get_pointer();
-                          finder_kernel<P>(item, a);
+                          a.l_pat_mask = l_mask.get_pointer();
+                          if (use_mask) {
+                            finder_kernel_mask<P>(item, a);
+                          } else {
+                            finder_kernel<P>(item, a);
+                          }
                         });
      }).wait();
     const auto stats = q_.cof_last_launch();
@@ -153,11 +166,15 @@ class sycl_pipeline final : public device_pipeline {
     sycl::buffer<char, 1> comp_buf(query.data(), sycl::range<1>(query.device_chars()));
     sycl::buffer<i32, 1> cidx_buf(query.index_data(),
                                   sycl::range<1>(query.index.size()));
+    sycl::buffer<u16, 1> cmask_buf(query.mask_data(), sycl::range<1>(query.mask.size()));
     sycl::buffer<u16, 1> mm_buf{sycl::range<1>(cap)};
     sycl::buffer<char, 1> dir_buf{sycl::range<1>(cap)};
     sycl::buffer<u32, 1> mm_loci_buf{sycl::range<1>(cap)};
     sycl::buffer<u32, 1> ccount_buf{sycl::range<1>(1)};
     metrics_.h2d_bytes += query.device_chars() + query.index.size() * sizeof(i32);
+    if (opt_.variant == comparer_variant::opt5) {
+      metrics_.h2d_bytes += query.mask.size() * sizeof(u16);
+    }
     zero_count(ccount_buf);
 
     const std::string tag = std::string("comparer/") + comparer_variant_name(opt_.variant);
@@ -166,11 +183,13 @@ class sycl_pipeline final : public device_pipeline {
     const u32 locicnt = locicnt_;
     q_.submit([&](sycl::handler& cgh) {
        cgh.cof_set_name(tag.c_str());
+       if (!opt_.counting) cgh.cof_hint_single_leading_barrier();
        auto chr = chr_buf_->get_access<sycl::sycl_read>(cgh);
        auto loci = loci_buf_->get_access<sycl::sycl_read>(cgh);
        auto flag = flag_buf_->get_access<sycl::sycl_read>(cgh);
        auto comp = comp_buf.get_access<sycl::sycl_read, sycl::sycl_cmem>(cgh);
        auto cidx = cidx_buf.get_access<sycl::sycl_read, sycl::sycl_cmem>(cgh);
+       auto cmask = cmask_buf.get_access<sycl::sycl_read, sycl::sycl_cmem>(cgh);
        auto mm = mm_buf.get_access<sycl::sycl_write>(cgh);
        auto dir = dir_buf.get_access<sycl::sycl_write>(cgh);
        auto mloci = mm_loci_buf.get_access<sycl::sycl_write>(cgh);
@@ -179,6 +198,8 @@ class sycl_pipeline final : public device_pipeline {
            sycl::range<1>(query.device_chars()), cgh);
        sycl::accessor<i32, 1, sycl::sycl_read_write, sycl::sycl_lmem> l_cidx(
            sycl::range<1>(query.index.size()), cgh);
+       sycl::accessor<u16, 1, sycl::sycl_read_write, sycl::sycl_lmem> l_cmask(
+           sycl::range<1>(query.mask.size()), cgh);
        const u32 plen = query.plen;
        cgh.parallel_for(sycl::nd_range<1>(sycl::range<1>(gws), sycl::range<1>(lws)),
                         [=](sycl::nd_item<1> item) {
@@ -189,6 +210,7 @@ class sycl_pipeline final : public device_pipeline {
                           a.flag = flag.get_pointer();
                           a.comp = comp.get_pointer();
                           a.comp_index = cidx.get_pointer();
+                          a.comp_mask = cmask.get_pointer();
                           a.plen = plen;
                           a.threshold = threshold;
                           a.mm_count = mm.get_pointer();
@@ -197,6 +219,7 @@ class sycl_pipeline final : public device_pipeline {
                           a.entrycount = cnt.get_pointer();
                           a.l_comp = l_comp.get_pointer();
                           a.l_comp_index = l_cidx.get_pointer();
+                          a.l_comp_mask = l_cmask.get_pointer();
                           comparer_dispatch<P>(variant, item, a);
                         });
      }).wait();
@@ -247,10 +270,12 @@ class sycl_pipeline final : public device_pipeline {
     // Concatenate every query's device arrays.
     std::string comp_all;
     std::vector<i32> cidx_all;
+    std::vector<u16> cmask_all;
     for (const auto& q : queries) {
       COF_CHECK_MSG(q.plen == plen, "batched queries must share one length");
       comp_all += q.fwrc;
       cidx_all.insert(cidx_all.end(), q.index.begin(), q.index.end());
+      cmask_all.insert(cmask_all.end(), q.mask.begin(), q.mask.end());
     }
 
     const usize lws = opt_.wg_size;
@@ -259,6 +284,7 @@ class sycl_pipeline final : public device_pipeline {
 
     sycl::buffer<char, 1> comp_buf(comp_all.data(), sycl::range<1>(comp_all.size()));
     sycl::buffer<i32, 1> cidx_buf(cidx_all.data(), sycl::range<1>(cidx_all.size()));
+    sycl::buffer<u16, 1> cmask_buf(cmask_all.data(), sycl::range<1>(cmask_all.size()));
     sycl::buffer<u16, 1> thr_buf(thresholds.data(), sycl::range<1>(nq));
     sycl::buffer<u16, 1> mm_buf{sycl::range<1>(cap)};
     sycl::buffer<char, 1> dir_buf{sycl::range<1>(cap)};
@@ -269,15 +295,18 @@ class sycl_pipeline final : public device_pipeline {
         comp_all.size() + cidx_all.size() * sizeof(i32) + nq * sizeof(u16);
     zero_count(ccount_buf);
 
+    const bool use_mask = opt_.variant == comparer_variant::opt5;
     detail::kernel_record_scope rec(opt_, "comparer/batch");
     const u32 locicnt = locicnt_;
     q_.submit([&](sycl::handler& cgh) {
        cgh.cof_set_name("comparer/batch");
+       if (!opt_.counting) cgh.cof_hint_single_leading_barrier();
        auto chr = chr_buf_->get_access<sycl::sycl_read>(cgh);
        auto loci = loci_buf_->get_access<sycl::sycl_read>(cgh);
        auto flag = flag_buf_->get_access<sycl::sycl_read>(cgh);
        auto comp = comp_buf.get_access<sycl::sycl_read, sycl::sycl_cmem>(cgh);
        auto cidx = cidx_buf.get_access<sycl::sycl_read, sycl::sycl_cmem>(cgh);
+       auto cmask = cmask_buf.get_access<sycl::sycl_read, sycl::sycl_cmem>(cgh);
        auto thr = thr_buf.get_access<sycl::sycl_read, sycl::sycl_cmem>(cgh);
        auto mm = mm_buf.get_access<sycl::sycl_write>(cgh);
        auto dir = dir_buf.get_access<sycl::sycl_write>(cgh);
@@ -286,6 +315,7 @@ class sycl_pipeline final : public device_pipeline {
        auto cnt = ccount_buf.get_access<sycl::sycl_read_write>(cgh);
        sycl::local_accessor<char, 1> l_comp(sycl::range<1>(comp_all.size()), cgh);
        sycl::local_accessor<i32, 1> l_cidx(sycl::range<1>(cidx_all.size()), cgh);
+       sycl::local_accessor<u16, 1> l_cmask(sycl::range<1>(cmask_all.size()), cgh);
        cgh.parallel_for(sycl::nd_range<1>(sycl::range<1>(gws), sycl::range<1>(lws)),
                         [=](sycl::nd_item<1> item) {
                           comparer_multi_args a;
@@ -295,6 +325,7 @@ class sycl_pipeline final : public device_pipeline {
                           a.flag = flag.get_pointer();
                           a.comp = comp.get_pointer();
                           a.comp_index = cidx.get_pointer();
+                          a.comp_mask = cmask.get_pointer();
                           a.thresholds = thr.get_pointer();
                           a.nqueries = nq;
                           a.plen = plen;
@@ -305,7 +336,12 @@ class sycl_pipeline final : public device_pipeline {
                           a.entrycount = cnt.get_pointer();
                           a.l_comp = l_comp.get_pointer();
                           a.l_comp_index = l_cidx.get_pointer();
-                          comparer_multi_kernel<P>(item, a);
+                          a.l_comp_mask = l_cmask.get_pointer();
+                          if (use_mask) {
+                            comparer_multi_kernel_mask<P>(item, a);
+                          } else {
+                            comparer_multi_kernel<P>(item, a);
+                          }
                         });
      }).wait();
     const auto stats = q_.cof_last_launch();

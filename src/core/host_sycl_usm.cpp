@@ -94,9 +94,15 @@ class sycl_usm_pipeline final : public device_pipeline {
 
     char* patd = sycl::malloc_device<char>(pat.device_chars(), q_);
     i32* idxd = sycl::malloc_device<i32>(pat.index.size(), q_);
+    u16* maskd = sycl::malloc_device<u16>(pat.mask.size(), q_);
     q_.memcpy(patd, pat.data(), pat.device_chars());
     q_.memcpy(idxd, pat.index_data(), pat.index.size() * sizeof(i32));
     metrics_.h2d_bytes += pat.device_chars() + pat.index.size() * sizeof(i32);
+    const bool use_mask = opt_.variant == comparer_variant::opt5;
+    if (use_mask) {
+      q_.memcpy(maskd, pat.mask_data(), pat.mask.size() * sizeof(u16));
+      metrics_.h2d_bytes += pat.mask.size() * sizeof(u16);
+    }
     zero_count(count_);
 
     detail::kernel_record_scope rec(opt_, "finder");
@@ -107,14 +113,17 @@ class sycl_usm_pipeline final : public device_pipeline {
     const u32 plen = pat.plen;
     q_.submit([&](sycl::handler& cgh) {
        cgh.cof_set_name("finder");
+       if (!opt_.counting) cgh.cof_hint_single_leading_barrier();
        sycl::local_accessor<char, 1> l_pat(sycl::range<1>(pat.device_chars()), cgh);
        sycl::local_accessor<i32, 1> l_idx(sycl::range<1>(pat.index.size()), cgh);
+       sycl::local_accessor<u16, 1> l_mask(sycl::range<1>(pat.mask.size()), cgh);
        cgh.parallel_for(sycl::nd_range<1>(sycl::range<1>(gws), sycl::range<1>(lws)),
                         [=](sycl::nd_item<1> item) {
                           finder_args a;
                           a.chr = chr;
                           a.pat = patd;
                           a.pat_index = idxd;
+                          a.pat_mask = maskd;
                           a.chrsize = chrsize;
                           a.plen = plen;
                           a.loci = loci;
@@ -122,7 +131,12 @@ class sycl_usm_pipeline final : public device_pipeline {
                           a.entrycount = count;
                           a.l_pat = l_pat.get_pointer();
                           a.l_pat_index = l_idx.get_pointer();
-                          finder_kernel<P>(item, a);
+                          a.l_pat_mask = l_mask.get_pointer();
+                          if (use_mask) {
+                            finder_kernel_mask<P>(item, a);
+                          } else {
+                            finder_kernel<P>(item, a);
+                          }
                         });
      }).wait();
     const auto stats = q_.cof_last_launch();
@@ -132,6 +146,7 @@ class sycl_usm_pipeline final : public device_pipeline {
 
     sycl::free(patd, q_);
     sycl::free(idxd, q_);
+    sycl::free(maskd, q_);
     locicnt_ = read_count(count_);
     metrics_.total_loci += locicnt_;
     return locicnt_;
@@ -148,6 +163,7 @@ class sycl_usm_pipeline final : public device_pipeline {
 
     char* compd = sycl::malloc_device<char>(query.device_chars(), q_);
     i32* cidxd = sycl::malloc_device<i32>(query.index.size(), q_);
+    u16* cmaskd = sycl::malloc_device<u16>(query.mask.size(), q_);
     u16* mmd = sycl::malloc_device<u16>(cap, q_);
     char* dird = sycl::malloc_device<char>(cap, q_);
     u32* mlocid = sycl::malloc_device<u32>(cap, q_);
@@ -155,6 +171,10 @@ class sycl_usm_pipeline final : public device_pipeline {
     q_.memcpy(compd, query.data(), query.device_chars());
     q_.memcpy(cidxd, query.index_data(), query.index.size() * sizeof(i32));
     metrics_.h2d_bytes += query.device_chars() + query.index.size() * sizeof(i32);
+    if (opt_.variant == comparer_variant::opt5) {
+      q_.memcpy(cmaskd, query.mask_data(), query.mask.size() * sizeof(u16));
+      metrics_.h2d_bytes += query.mask.size() * sizeof(u16);
+    }
     zero_count(ccountd);
 
     const std::string tag =
@@ -168,8 +188,10 @@ class sycl_usm_pipeline final : public device_pipeline {
     const u32 plen = query.plen;
     q_.submit([&](sycl::handler& cgh) {
        cgh.cof_set_name(tag.c_str());
+       if (!opt_.counting) cgh.cof_hint_single_leading_barrier();
        sycl::local_accessor<char, 1> l_comp(sycl::range<1>(query.device_chars()), cgh);
        sycl::local_accessor<i32, 1> l_cidx(sycl::range<1>(query.index.size()), cgh);
+       sycl::local_accessor<u16, 1> l_cmask(sycl::range<1>(query.mask.size()), cgh);
        cgh.parallel_for(sycl::nd_range<1>(sycl::range<1>(gws), sycl::range<1>(lws)),
                         [=](sycl::nd_item<1> item) {
                           comparer_args a;
@@ -179,6 +201,7 @@ class sycl_usm_pipeline final : public device_pipeline {
                           a.flag = flag;
                           a.comp = compd;
                           a.comp_index = cidxd;
+                          a.comp_mask = cmaskd;
                           a.plen = plen;
                           a.threshold = threshold;
                           a.mm_count = mmd;
@@ -187,6 +210,7 @@ class sycl_usm_pipeline final : public device_pipeline {
                           a.entrycount = ccountd;
                           a.l_comp = l_comp.get_pointer();
                           a.l_comp_index = l_cidx.get_pointer();
+                          a.l_comp_mask = l_cmask.get_pointer();
                           comparer_dispatch<P>(variant, item, a);
                         });
      }).wait();
@@ -209,6 +233,7 @@ class sycl_usm_pipeline final : public device_pipeline {
     metrics_.total_entries += n;
     sycl::free(compd, q_);
     sycl::free(cidxd, q_);
+    sycl::free(cmaskd, q_);
     sycl::free(mmd, q_);
     sycl::free(dird, q_);
     sycl::free(mlocid, q_);

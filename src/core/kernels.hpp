@@ -18,6 +18,10 @@
 //          registers once per loop iteration; the Boolean chain then runs
 //          register-only. (On the paper's GPUs this raises VGPR pressure,
 //          drops occupancy 10 -> 9, and nearly doubles kernel time.)
+//   opt5 — (beyond the paper) the host precomputes a 16-bit deny LUT per
+//          pattern character (genome::casoffinder_mismatch_mask); the
+//          mismatch test collapses to one local load + shift/AND, dodging
+//          opt4's register-pressure cliff entirely. Counted as ev::mask_op.
 //
 // Every kernel is a template over a memory policy: `direct_mem` compiles to
 // raw accesses (wall-clock benchmarks); `counting_mem` counts every global/
@@ -72,6 +76,7 @@ struct direct_mem {
     }
     u32 atomic_inc(u32* ptr) const { return std::atomic_ref<u32>(*ptr).fetch_add(1u); }
     void count_compare() const {}
+    void count_mask() const {}
     void count_loop() const {}
     void count_branch() const {}
   };
@@ -118,6 +123,7 @@ struct counting_mem {
       return std::atomic_ref<u32>(*ptr).fetch_add(1u);
     }
     void count_compare() { ++c[prof::ev::compare]; }
+    void count_mask() { ++c[prof::ev::mask_op]; }
     void count_loop() { ++c[prof::ev::loop_iter]; }
     void count_branch() { ++c[prof::ev::branch]; }
   };
@@ -155,6 +161,17 @@ inline bool chain_mismatch(PItem& p, PatLd&& pat, RefLd&& ref) {
          (pv == 'T' && (rv != 'T'));
 }
 
+/// opt5's mismatch test: the pattern character's precomputed 16-bit deny LUT
+/// (see genome::casoffinder_mismatch_mask), indexed by the reference
+/// character's nibble — one shift + AND instead of the 14-compare chain.
+/// `mask()` is the (usually local-memory) load thunk, invoked exactly once.
+/// Bit-identical to chain_mismatch for every character pair.
+template <class PItem, class MaskLd>
+inline bool mask_mismatch(PItem& p, MaskLd&& mask, char rv) {
+  p.count_mask();
+  return ((mask() >> genome::iupac_nibble(rv)) & 1u) != 0;
+}
+
 // ---------------------------------------------------------------------------
 // finder
 // ---------------------------------------------------------------------------
@@ -163,6 +180,7 @@ struct finder_args {
   const char* chr = nullptr;       // chunk sequence (global)
   const char* pat = nullptr;       // pattern | rc(pattern) (constant)
   const i32* pat_index = nullptr;  // non-N positions, -1 terminated (constant)
+  const u16* pat_mask = nullptr;   // per-char deny LUTs (opt5 only, constant)
   u32 chrsize = 0;                 // valid start positions in the chunk
   u32 plen = 0;
   u32* loci = nullptr;             // out: matching positions (global)
@@ -170,21 +188,35 @@ struct finder_args {
   u32* entrycount = nullptr;       // atomic append counter (global)
   char* l_pat = nullptr;           // local, 2*plen
   i32* l_pat_index = nullptr;      // local, 2*plen
+  u16* l_pat_mask = nullptr;       // local, 2*plen (opt5 only)
 };
 
-template <class P, class Item>
-inline void finder_kernel(const Item& it, const finder_args& a) {
+namespace detail {
+
+/// Shared body of the finder: Mask selects the mismatch test (the chain, or
+/// the opt5 bitmask LUT — which also swaps the fetched pattern array). Both
+/// cooperate with the two-phase executor via Item::cof_phase().
+template <class P, class Item, bool Mask>
+inline void finder_impl(const Item& it, const finder_args& a) {
   typename P::item p;
   const usize i = it.get_global_id(0);
   const usize li = i - it.get_group(0) * it.get_local_range(0);
 
-  if (li == 0) {
-    for (u32 k = 0; k < a.plen * 2; ++k) {
-      p.lstore(a.l_pat, k, p.gload(a.pat, k));
-      p.lstore(a.l_pat_index, k, p.gload(a.pat_index, k));
+  const xpu::exec_phase ph = it.cof_phase();
+  if (ph != xpu::exec_phase::post_fetch) {
+    if (li == 0) {
+      for (u32 k = 0; k < a.plen * 2; ++k) {
+        if constexpr (Mask) {
+          p.lstore(a.l_pat_mask, k, p.gload(a.pat_mask, k));
+        } else {
+          p.lstore(a.l_pat, k, p.gload(a.pat, k));
+        }
+        p.lstore(a.l_pat_index, k, p.gload(a.pat_index, k));
+      }
     }
+    if (ph == xpu::exec_phase::fetch_only) return;
+    it.barrier();
   }
-  it.barrier();
   if (i >= a.chrsize) return;
 
   bool strand_match[2];
@@ -195,9 +227,16 @@ inline void finder_kernel(const Item& it, const finder_args& a) {
       const i32 k = p.lload(a.l_pat_index, half * a.plen + j);
       if (k == -1) break;
       const auto ku = static_cast<usize>(k);
-      auto pat = [&] { return p.lload(a.l_pat, half * a.plen + ku); };
-      auto ref = [&] { return p.gload(a.chr, i + ku); };
-      if (chain_mismatch(p, pat, ref)) {
+      bool mismatch;
+      if constexpr (Mask) {
+        auto mask = [&] { return p.lload(a.l_pat_mask, half * a.plen + ku); };
+        mismatch = mask_mismatch(p, mask, p.gload(a.chr, i + ku));
+      } else {
+        auto pat = [&] { return p.lload(a.l_pat, half * a.plen + ku); };
+        auto ref = [&] { return p.gload(a.chr, i + ku); };
+        mismatch = chain_mismatch(p, pat, ref);
+      }
+      if (mismatch) {
         match = false;
         p.count_branch();
         break;
@@ -214,6 +253,20 @@ inline void finder_kernel(const Item& it, const finder_args& a) {
   }
 }
 
+}  // namespace detail
+
+template <class P, class Item>
+inline void finder_kernel(const Item& it, const finder_args& a) {
+  detail::finder_impl<P, Item, false>(it, a);
+}
+
+/// Bitmask-LUT finder (paired with comparer opt5): same scan, but the
+/// mismatch test is one local load + shift/AND.
+template <class P, class Item>
+inline void finder_kernel_mask(const Item& it, const finder_args& a) {
+  detail::finder_impl<P, Item, true>(it, a);
+}
+
 // ---------------------------------------------------------------------------
 // comparer (5 variants)
 // ---------------------------------------------------------------------------
@@ -225,6 +278,7 @@ struct comparer_args {
   const char* flag = nullptr;       // finder output (global)
   const char* comp = nullptr;       // query | rc(query) (constant)
   const i32* comp_index = nullptr;  // non-N positions, -1 terminated
+  const u16* comp_mask = nullptr;   // per-char deny LUTs (opt5 only)
   u32 plen = 0;
   u16 threshold = 0;
   u16* mm_count = nullptr;          // out per entry (global)
@@ -233,10 +287,11 @@ struct comparer_args {
   u32* entrycount = nullptr;        // atomic append counter (global)
   char* l_comp = nullptr;           // local, 2*plen
   i32* l_comp_index = nullptr;      // local, 2*plen
+  u16* l_comp_mask = nullptr;       // local, 2*plen (opt5 only)
 };
 
-enum class comparer_variant : int { base = 0, opt1, opt2, opt3, opt4 };
-inline constexpr int kNumComparerVariants = 5;
+enum class comparer_variant : int { base = 0, opt1, opt2, opt3, opt4, opt5 };
+inline constexpr int kNumComparerVariants = 6;
 
 inline const char* comparer_variant_name(comparer_variant v) {
   switch (v) {
@@ -245,6 +300,7 @@ inline const char* comparer_variant_name(comparer_variant v) {
     case comparer_variant::opt2: return "opt2";
     case comparer_variant::opt3: return "opt3";
     case comparer_variant::opt4: return "opt4";
+    case comparer_variant::opt5: return "opt5";
   }
   return "?";
 }
@@ -322,22 +378,26 @@ inline void comparer_impl(const Item& it, const comparer_args& args) {
   const usize i = it.get_global_id(0);
   const usize li = i - it.get_group(0) * it.get_local_range(0);
 
-  if constexpr (ParallelFetch) {
-    // opt3+: the whole work-group participates in the fetch.
-    for (u32 k = static_cast<u32>(li); k < args.plen * 2;
-         k += static_cast<u32>(it.get_local_range(0))) {
-      p.lstore(args.l_comp, k, p.gload(args.comp, k));
-      p.lstore(args.l_comp_index, k, p.gload(args.comp_index, k));
-    }
-  } else {
-    if (li == 0) {
-      for (u32 k = 0; k < args.plen * 2; ++k) {
+  const xpu::exec_phase ph = it.cof_phase();
+  if (ph != xpu::exec_phase::post_fetch) {
+    if constexpr (ParallelFetch) {
+      // opt3+: the whole work-group participates in the fetch.
+      for (u32 k = static_cast<u32>(li); k < args.plen * 2;
+           k += static_cast<u32>(it.get_local_range(0))) {
         p.lstore(args.l_comp, k, p.gload(args.comp, k));
         p.lstore(args.l_comp_index, k, p.gload(args.comp_index, k));
       }
+    } else {
+      if (li == 0) {
+        for (u32 k = 0; k < args.plen * 2; ++k) {
+          p.lstore(args.l_comp, k, p.gload(args.comp, k));
+          p.lstore(args.l_comp_index, k, p.gload(args.comp_index, k));
+        }
+      }
     }
+    if (ph == xpu::exec_phase::fetch_only) return;
+    it.barrier();
   }
-  it.barrier();
   if (i >= args.locicnts) return;
 
   bool loci_touched = false;
@@ -366,9 +426,69 @@ inline void comparer_impl(const Item& it, const comparer_args& args) {
   }
 }
 
+/// opt5's strand compare: identical flow to compare_strand<.., true, ..>
+/// (restrict, hoisted locus) but the mismatch test is the bitmask LUT — no
+/// pattern characters are read at all, on-device or in local memory.
+template <class PItem>
+inline void compare_strand_mask(PItem& p, const comparer_args& a, usize i, int half,
+                                char dir) {
+  u16 lmm_count = 0;
+  const u32 locus = p.gload(a.loci, i);
+  for (u32 j = 0; j < a.plen; ++j) {
+    p.count_loop();
+    const i32 k = p.lload(a.l_comp_index, half * a.plen + j);
+    if (k == -1) break;
+    const auto ku = static_cast<usize>(k);
+    const char rv = p.gload(a.chr, locus + ku);
+    auto mask = [&] { return p.lload(a.l_comp_mask, half * a.plen + ku); };
+    if (mask_mismatch(p, mask, rv)) {
+      ++lmm_count;
+      if (lmm_count > a.threshold) {
+        p.count_branch();
+        break;
+      }
+    }
+  }
+  if (lmm_count <= a.threshold) {
+    const u32 old = p.atomic_inc(a.entrycount);
+    p.gstore(a.mm_count, old, lmm_count);
+    p.gstore(a.direction, old, dir);
+    p.gstore(a.mm_loci, old, locus);
+  }
+}
+
+/// opt5: opt3's structure (restrict, hoisted loci/flag, cooperative fetch)
+/// with the Boolean chain replaced by the deny-LUT test. The fetch brings in
+/// the u16 masks + index; the pattern chars never leave the host.
+template <class P, class Item>
+inline void comparer_mask_impl(const Item& it, const comparer_args& args) {
+  const char* __restrict__ chr = args.chr;
+  (void)chr;
+  typename P::item p;
+  const usize i = it.get_global_id(0);
+  const usize li = i - it.get_group(0) * it.get_local_range(0);
+
+  const xpu::exec_phase ph = it.cof_phase();
+  if (ph != xpu::exec_phase::post_fetch) {
+    for (u32 k = static_cast<u32>(li); k < args.plen * 2;
+         k += static_cast<u32>(it.get_local_range(0))) {
+      p.lstore(args.l_comp_mask, k, p.gload(args.comp_mask, k));
+      p.lstore(args.l_comp_index, k, p.gload(args.comp_index, k));
+    }
+    if (ph == xpu::exec_phase::fetch_only) return;
+    it.barrier();
+  }
+  if (i >= args.locicnts) return;
+
+  const char f = p.gload(args.flag, i);
+  if (f == 0 || f == 1) compare_strand_mask(p, args, i, 0, '+');
+  if (f == 0 || f == 2) compare_strand_mask(p, args, i, 1, '-');
+}
+
 }  // namespace detail
 
-// The five instantiations (cumulative optimisations, as in the paper).
+// The six instantiations (the paper's four cumulative optimisations plus
+// the bitmask-LUT variant).
 template <class P, class Item>
 inline void comparer_base(const Item& it, const comparer_args& a) {
   detail::comparer_impl<P, Item, false, false, false, false>(it, a);
@@ -389,6 +509,10 @@ template <class P, class Item>
 inline void comparer_opt4(const Item& it, const comparer_args& a) {
   detail::comparer_impl<P, Item, true, true, true, true>(it, a);
 }
+template <class P, class Item>
+inline void comparer_opt5(const Item& it, const comparer_args& a) {
+  detail::comparer_mask_impl<P, Item>(it, a);
+}
 
 // ---------------------------------------------------------------------------
 // batched multi-query comparer (extension)
@@ -406,6 +530,7 @@ struct comparer_multi_args {
   const char* flag = nullptr;
   const char* comp = nullptr;        // nqueries x (query | rc(query))
   const i32* comp_index = nullptr;   // nqueries x 2*plen
+  const u16* comp_mask = nullptr;    // nqueries x 2*plen deny LUTs (opt5)
   const u16* thresholds = nullptr;   // per query
   u32 nqueries = 0;
   u32 plen = 0;
@@ -416,11 +541,12 @@ struct comparer_multi_args {
   u32* entrycount = nullptr;
   char* l_comp = nullptr;            // local, nqueries * 2*plen
   i32* l_comp_index = nullptr;       // local, nqueries * 2*plen
+  u16* l_comp_mask = nullptr;        // local, nqueries * 2*plen (opt5)
 };
 
 namespace detail {
 
-template <class PItem>
+template <class PItem, bool Mask>
 inline void compare_strand_multi(PItem& p, const comparer_multi_args& a, u32 q,
                                  int half, char dir, u32 locus) {
   const u32 base = (q * 2 + static_cast<u32>(half)) * a.plen;
@@ -431,9 +557,16 @@ inline void compare_strand_multi(PItem& p, const comparer_multi_args& a, u32 q,
     const i32 k = p.lload(a.l_comp_index, base + j);
     if (k == -1) break;
     const auto ku = static_cast<usize>(k);
-    const char pv = p.lload(a.l_comp, base + ku);
     const char rv = p.gload(a.chr, locus + ku);
-    if (chain_mismatch(p, [&] { return pv; }, [&] { return rv; })) {
+    bool mismatch;
+    if constexpr (Mask) {
+      auto mask = [&] { return p.lload(a.l_comp_mask, base + ku); };
+      mismatch = mask_mismatch(p, mask, rv);
+    } else {
+      const char pv = p.lload(a.l_comp, base + ku);
+      mismatch = chain_mismatch(p, [&] { return pv; }, [&] { return rv; });
+    }
+    if (mismatch) {
       ++lmm_count;
       if (lmm_count > threshold) {
         p.count_branch();
@@ -450,31 +583,50 @@ inline void compare_strand_multi(PItem& p, const comparer_multi_args& a, u32 q,
   }
 }
 
-}  // namespace detail
-
-template <class P, class Item>
-inline void comparer_multi_kernel(const Item& it, const comparer_multi_args& a) {
+template <class P, class Item, bool Mask>
+inline void comparer_multi_impl(const Item& it, const comparer_multi_args& a) {
   typename P::item p;
   const usize i = it.get_global_id(0);
   const usize li = i - it.get_group(0) * it.get_local_range(0);
 
-  // Cooperative fetch of every query's pattern arrays.
-  const u32 total = a.nqueries * a.plen * 2;
-  for (u32 k = static_cast<u32>(li); k < total;
-       k += static_cast<u32>(it.get_local_range(0))) {
-    p.lstore(a.l_comp, k, p.gload(a.comp, k));
-    p.lstore(a.l_comp_index, k, p.gload(a.comp_index, k));
+  const xpu::exec_phase ph = it.cof_phase();
+  if (ph != xpu::exec_phase::post_fetch) {
+    // Cooperative fetch of every query's pattern arrays.
+    const u32 total = a.nqueries * a.plen * 2;
+    for (u32 k = static_cast<u32>(li); k < total;
+         k += static_cast<u32>(it.get_local_range(0))) {
+      if constexpr (Mask) {
+        p.lstore(a.l_comp_mask, k, p.gload(a.comp_mask, k));
+      } else {
+        p.lstore(a.l_comp, k, p.gload(a.comp, k));
+      }
+      p.lstore(a.l_comp_index, k, p.gload(a.comp_index, k));
+    }
+    if (ph == xpu::exec_phase::fetch_only) return;
+    it.barrier();
   }
-  it.barrier();
   if (i >= a.locicnts) return;
 
   // loci[i]/flag[i]: ONE read each for all queries.
   const char f = p.gload(a.flag, i);
   const u32 locus = p.gload(a.loci, i);
   for (u32 q = 0; q < a.nqueries; ++q) {
-    if (f == 0 || f == 1) detail::compare_strand_multi(p, a, q, 0, '+', locus);
-    if (f == 0 || f == 2) detail::compare_strand_multi(p, a, q, 1, '-', locus);
+    if (f == 0 || f == 1) compare_strand_multi<typename P::item, Mask>(p, a, q, 0, '+', locus);
+    if (f == 0 || f == 2) compare_strand_multi<typename P::item, Mask>(p, a, q, 1, '-', locus);
   }
+}
+
+}  // namespace detail
+
+template <class P, class Item>
+inline void comparer_multi_kernel(const Item& it, const comparer_multi_args& a) {
+  detail::comparer_multi_impl<P, Item, false>(it, a);
+}
+
+/// Batched comparer with the opt5 bitmask-LUT mismatch test.
+template <class P, class Item>
+inline void comparer_multi_kernel_mask(const Item& it, const comparer_multi_args& a) {
+  detail::comparer_multi_impl<P, Item, true>(it, a);
 }
 
 /// Uniform dispatch: run the selected comparer variant.
@@ -487,6 +639,7 @@ inline void comparer_dispatch(comparer_variant v, const Item& it,
     case comparer_variant::opt2: comparer_opt2<P>(it, a); return;
     case comparer_variant::opt3: comparer_opt3<P>(it, a); return;
     case comparer_variant::opt4: comparer_opt4<P>(it, a); return;
+    case comparer_variant::opt5: comparer_opt5<P>(it, a); return;
   }
 }
 

@@ -24,6 +24,11 @@ device_pattern build(std::string_view raw) {
   p.plen = static_cast<u32>(p.seq.size());
   p.fwrc = p.seq + genome::reverse_complement(p.seq);
 
+  p.mask.resize(p.fwrc.size());
+  for (usize k = 0; k < p.fwrc.size(); ++k) {
+    p.mask[k] = genome::casoffinder_mismatch_mask(p.fwrc[k]);
+  }
+
   p.index.assign(static_cast<usize>(p.plen) * 2, -1);
   for (int half = 0; half < 2; ++half) {
     usize w = 0;

@@ -29,10 +29,12 @@ struct device_pattern {
   std::string seq;             // normalised input (upper case, U->T)
   std::string fwrc;            // seq + reverse_complement(seq), 2*plen chars
   std::vector<i32> index;      // 2*plen entries, -1-terminated per half
+  std::vector<util::u16> mask; // 2*plen deny LUTs (opt5; see iupac.hpp)
   u32 plen = 0;
 
   const char* data() const { return fwrc.data(); }
   const i32* index_data() const { return index.data(); }
+  const util::u16* mask_data() const { return mask.data(); }
   usize device_chars() const { return fwrc.size(); }
 };
 

@@ -69,4 +69,56 @@ constexpr char upper_base(char c) {
   return (c >= 'a' && c <= 'z') ? static_cast<char>(c - 'a' + 'A') : c;
 }
 
+// ---------------------------------------------------------------------------
+// bitmask-LUT form of casoffinder_mismatch (the opt5 kernels)
+// ---------------------------------------------------------------------------
+
+/// Case-sensitive 4-bit nibble of a reference character: upper-case IUPAC
+/// codes map to their A|C|G|T combination (A=1, C=2, G=4, T=8, ..., N=15);
+/// every other character (lower case, unknown) maps to 0. Injective on
+/// upper-case IUPAC codes, which is what makes the 16-bit LUT below exact.
+constexpr u8 iupac_nibble(char c) {
+  switch (c) {
+    case 'A': return 1;
+    case 'C': return 2;
+    case 'G': return 4;
+    case 'T': return 8;
+    case 'M': return 1 | 2;
+    case 'R': return 1 | 4;
+    case 'W': return 1 | 8;
+    case 'S': return 2 | 4;
+    case 'Y': return 2 | 8;
+    case 'K': return 4 | 8;
+    case 'V': return 1 | 2 | 4;
+    case 'H': return 1 | 2 | 8;
+    case 'D': return 1 | 4 | 8;
+    case 'B': return 2 | 4 | 8;
+    case 'N': return 15;
+    default: return 0;
+  }
+}
+
+/// One representative reference character per nibble value. Bit 0 stands in
+/// for every character iupac_nibble sends to 0 — they all take the chain's
+/// default branch, so one representative ('?') covers them exactly.
+inline constexpr char kNibbleRep[16] = {'?', 'A', 'C', 'M', 'G', 'R', 'S', 'V',
+                                        'T', 'W', 'Y', 'H', 'K', 'D', 'B', 'N'};
+
+/// 16-bit deny LUT for one pattern character: bit `iupac_nibble(ref)` is set
+/// iff `casoffinder_mismatch(pat, ref)`. Because iupac_nibble is injective on
+/// upper-case IUPAC codes and all remaining characters behave identically in
+/// the chain, `(mask >> iupac_nibble(ref)) & 1` reproduces the chain for
+/// every (pat, ref) character pair — including its quirks (pattern 'R' lets
+/// reference 'N' through; pattern 'A' rejects it). A plain 4-bit allowed-set
+/// intersection cannot: it would flag pat 'R' vs ref 'N' as a mismatch.
+constexpr util::u16 casoffinder_mismatch_mask(char pat) {
+  util::u16 m = 0;
+  for (int r = 0; r < 16; ++r) {
+    if (casoffinder_mismatch(pat, kNibbleRep[r])) {
+      m = static_cast<util::u16>(m | (1u << r));
+    }
+  }
+  return m;
+}
+
 }  // namespace genome

@@ -245,7 +245,11 @@ kir_kernel build_comparer_variant(cof::comparer_variant v, const build_params& p
   if (level >= static_cast<int>(cv::opt1)) pass_restrict_cse(k);
   if (level >= static_cast<int>(cv::opt2)) pass_register_hoist(k);
   if (level >= static_cast<int>(cv::opt3)) pass_cooperative_fetch(k, p);
-  if (level >= static_cast<int>(cv::opt4)) pass_promote_lds_to_reg(k, p);
+  // opt4 promotes the chain's LDS pattern reads into scalar registers;
+  // opt5 instead deletes the chain entirely (deny-LUT test), so there is
+  // nothing left to promote and scalar pressure stays at opt3 levels.
+  if (v == cv::opt4) pass_promote_lds_to_reg(k, p);
+  if (v == cv::opt5) pass_mask_lut(k, p);
   k.name = std::string("comparer/") + cof::comparer_variant_name(v);
   return k;
 }

@@ -214,4 +214,70 @@ void pass_promote_lds_to_reg(kir_kernel& k, const build_params& p) {
   k.ops = std::move(out);
 }
 
+void pass_mask_lut(kir_kernel& k, const build_params& p) {
+  // Replace each unrolled iteration's Boolean chain with the deny-LUT test.
+  // The builder emits the chain as consecutive 5-op condition groups
+  //   lds_read l_comp[k]/<iu>, vcmp(pat), vcmp(ref), s_and, s_or
+  // repeated chain_conditions times per iteration; none of the earlier
+  // passes reorder or split them (restrict/hoist only touch vmem loads,
+  // cooperative fetch only the comp[...] region). The first group of an
+  // iteration becomes
+  //   lds_read l_comp_mask/<iu>   (the u16 deny LUT)
+  //   valu nibble(ref)            (reference char -> 4-bit LUT index)
+  //   valu mask >> nib & 1        (shift + and)
+  //   vcmp                        (the mismatch branch condition)
+  // and every further group of that iteration is deleted outright.
+  static const std::string kChainKey = "l_comp[k]/";
+  std::set<std::string> rewritten;
+  std::vector<kir_op> out;
+  out.reserve(k.ops.size());
+  usize i = 0;
+  bool removed_any = false;
+  while (i < k.ops.size()) {
+    const kir_op& op = k.ops[i];
+    if (!(op.kind == op_kind::lds_read && util::starts_with(op.addr_key, kChainKey))) {
+      out.push_back(op);
+      ++i;
+      continue;
+    }
+    COF_CHECK_MSG(i + 4 < k.ops.size() && k.ops[i + 1].kind == op_kind::vcmp &&
+                      k.ops[i + 2].kind == op_kind::vcmp &&
+                      k.ops[i + 3].kind == op_kind::salu &&
+                      k.ops[i + 4].kind == op_kind::salu,
+                  "mask-lut pass expects the chain's 5-op condition groups");
+    removed_any = true;
+    const std::string iu = op.addr_key.substr(kChainKey.size());
+    if (rewritten.insert(iu).second) {
+      // vcmp(ref) carries the reference-char value the LUT is indexed by.
+      COF_CHECK_MSG(!k.ops[i + 2].uses.empty(), "chain ref compare lost its use");
+      const int ref = k.ops[i + 2].uses[0];
+      kir_op rd;
+      rd.kind = op_kind::lds_read;
+      rd.addr_key = "l_comp_mask/" + iu;
+      rd.def = k.new_value();
+      out.push_back(rd);
+      kir_op nib;
+      nib.kind = op_kind::valu;
+      nib.def = k.new_value();
+      nib.uses = {ref};
+      out.push_back(nib);
+      kir_op test;
+      test.kind = op_kind::valu;
+      test.def = k.new_value();
+      test.uses = {rd.def, nib.def};
+      out.push_back(test);
+      kir_op cmp;
+      cmp.kind = op_kind::vcmp;
+      cmp.uses = {test.def};
+      out.push_back(cmp);
+    }
+    i += 5;  // drop the condition group
+  }
+  COF_CHECK_MSG(removed_any, "mask-lut pass found no IUPAC chain");
+  k.ops = std::move(out);
+  dce_dead_valu(k);
+  // LDS now holds the u16 deny LUTs instead of the pattern chars.
+  k.lds_bytes = p.plen * 2 * (2 + 4);
+}
+
 }  // namespace gpumodel

@@ -17,6 +17,13 @@
 //     promoted values are work-group-uniform, so they occupy *scalar*
 //     registers — across the unrolled iterations this is what pushes SGPR
 //     pressure past the occupancy cliff (Table X).
+//   pass_mask_lut           (opt5) — the whole 14-condition IUPAC chain of
+//     each unrolled iteration collapses into one LDS read of the pattern
+//     character's precomputed 16-bit deny LUT plus a nibble/shift/AND test.
+//     Applied on top of opt3 *instead of* promote_lds_to_reg: no pattern
+//     values need promoting (the chain is gone), so scalar pressure stays at
+//     opt3 levels and occupancy holds at 10 waves while the code shrinks
+//     well below opt4's.
 #pragma once
 
 #include "gpumodel/builder.hpp"
@@ -28,5 +35,6 @@ void pass_restrict_cse(kir_kernel& k);
 void pass_register_hoist(kir_kernel& k);
 void pass_cooperative_fetch(kir_kernel& k, const build_params& p);
 void pass_promote_lds_to_reg(kir_kernel& k, const build_params& p);
+void pass_mask_lut(kir_kernel& k, const build_params& p);
 
 }  // namespace gpumodel

@@ -16,6 +16,7 @@ namespace {
 
 // Dynamic VALU instructions charged per counted event (per active lane).
 constexpr double kInstPerCompare = 14.0;  // the IUPAC chain, short-circuit avg
+constexpr double kInstPerMaskOp = 3.0;    // opt5 deny-LUT test: nibble + shift + and
 constexpr double kInstPerLoopIter = 6.0;  // index read, bounds, increment
 constexpr double kInstPerGlobalLoad = 4.0;  // address + waitcnt + issue
 constexpr double kInstPerLocalAccess = 2.0;
@@ -91,6 +92,7 @@ kernel_time_breakdown kernel_time(const gpu_spec& gpu, const kernel_time_input& 
           : 1.0;
   const double inst =
       kInstPerCompare * static_cast<double>(e[ev::compare]) +
+      kInstPerMaskOp * static_cast<double>(e[ev::mask_op]) +
       code_ratio * kInstPerLoopIter * static_cast<double>(e[ev::loop_iter]) +
       kInstPerGlobalLoad *
           static_cast<double>(e[ev::global_load] + e[ev::global_load_repeat] +

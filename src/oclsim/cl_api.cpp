@@ -407,6 +407,11 @@ cl_int clEnqueueNDRangeKernel(cl_command_queue q, cl_kernel kernel, cl_uint work
   cfg.dims = work_dim;
   cfg.name = kernel->def->name.c_str();
   cfg.uses_barrier = kernel->def->uses_barrier;
+  // Two-phase fast path: only for kernels declaring a single leading
+  // barrier, and never while the counting twin is active (it would build
+  // the counting policy item once per phase, doubling work_item counts).
+  cfg.single_leading_barrier =
+      kernel->def->single_leading_barrier && !oclsim::profiling_mode();
   for (cl_uint d = 0; d < work_dim; ++d) {
     cfg.global[d] = gws[d];
     cfg.local[d] = (lws != nullptr) ? lws[d] : pick_local_size(gws[d]);

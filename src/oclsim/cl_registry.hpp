@@ -85,6 +85,11 @@ struct kernel_def {
   bool uses_barrier = false;
   void (*invoke)(const arg_view& args, xpu::xitem& item) = nullptr;
   void (*invoke_counting)(const arg_view& args, xpu::xitem& item) = nullptr;
+  /// The kernel's only barrier is a single leading one (cooperative fetch
+  /// then compute); enqueues may run it on the barrier-free two-phase
+  /// executor path. Ignored while profiling (the counting twin would be
+  /// constructed twice per item, double-counting work_items).
+  bool single_leading_barrier = false;
 };
 
 /// Driver-level profiling toggle: while on, enqueues run the counting twin

@@ -25,6 +25,7 @@ enum class ev : int {
   local_store,
   atomic_op,           // device-scope atomics
   compare,             // base-vs-pattern character comparisons
+  mask_op,             // bitmask-LUT mismatch tests (opt5: shift + AND)
   branch,              // divergent-branch events (early exits etc.)
   loop_iter,           // inner-loop iterations
   work_item,           // work-items executed

@@ -256,6 +256,10 @@ class nd_item {
     xi_->barrier();
   }
 
+  /// cof extension: execution phase under the two-phase fast path (always
+  /// `full` on the fiber and barrier-free paths). See xpu::exec_phase.
+  xpu::exec_phase cof_phase() const { return xi_->cof_phase(); }
+
  private:
   const xpu::xitem* xi_;
 };
@@ -707,6 +711,7 @@ class handler {
       }
     }
     cfg.uses_barrier = !no_barrier_hint_;
+    cfg.single_leading_barrier = single_leading_barrier_hint_;
     pending_ = [kernel, cfg, this] {
       stats_ = dev().run(cfg, [&kernel](xpu::xitem& xi) {
         nd_item<D> it(&xi);
@@ -792,6 +797,11 @@ class handler {
   /// Assert the kernel never executes a group barrier: enables the fast
   /// (non-fiber) work-group scheduler. A barrier in such a kernel aborts.
   void cof_hint_no_barrier() { no_barrier_hint_ = true; }
+  /// Assert the kernel's only barrier is the one right after its leading
+  /// cooperative local-memory fetch and that it honours nd_item::cof_phase():
+  /// enables the two-phase (fiber-free) work-group scheduler. A kernel that
+  /// still reaches barrier() under this hint aborts deterministically.
+  void cof_hint_single_leading_barrier() { single_leading_barrier_hint_ = true; }
 
  private:
   friend class queue;
@@ -826,6 +836,7 @@ class handler {
   size_t local_bytes_ = 0;
   const char* name_ = "";
   bool no_barrier_hint_ = false;
+  bool single_leading_barrier_hint_ = false;
   xpu::launch_stats stats_{};
   std::vector<std::shared_ptr<detail::buffer_impl>> keepalive_;
 };

@@ -62,6 +62,29 @@ void run_group_fast(const launch_config& cfg, kernel_invoke_fn fn, void* ctx,
   }
 }
 
+/// Execute one work-group of a single-leading-barrier kernel as two plain
+/// loops: every work-item runs the fetch phase (kernel returns at the
+/// barrier point), then every work-item runs the post-fetch phase (kernel
+/// skips the fetch and the barrier). Same observable behaviour as the fiber
+/// scheduler for cooperating kernels, with no fiber stacks or context
+/// switches. Non-cooperating kernels that still call barrier() fail a
+/// deterministic check in xitem::barrier().
+void run_group_two_phase(const launch_config& cfg, kernel_invoke_fn fn, void* ctx,
+                         const usize group[3], char* local_base) {
+  usize local[3];
+  for (int phase = 0; phase < 2; ++phase) {
+    const exec_phase ph = phase == 0 ? exec_phase::fetch_only : exec_phase::post_fetch;
+    for (local[2] = 0; local[2] < cfg.local[2]; ++local[2]) {
+      for (local[1] = 0; local[1] < cfg.local[1]; ++local[1]) {
+        for (local[0] = 0; local[0] < cfg.local[0]; ++local[0]) {
+          xitem item(&cfg, group, local, nullptr, local_base, ph);
+          fn(ctx, item);
+        }
+      }
+    }
+  }
+}
+
 /// Execute one work-group with fibers so item code can suspend at barriers.
 /// Round-based scheduler: every live fiber is resumed once per round; at the
 /// end of a round every live fiber must be parked at the barrier (or all
@@ -136,7 +159,11 @@ launch_stats launch_raw(util::thread_pool& pool, const launch_config& cfg,
       usize group[3];
       decompose_group(cfg, g, group);
       if (cfg.uses_barrier) {
-        run_group_fibers(cfg, fn, ctx, group, base);
+        if (cfg.single_leading_barrier) {
+          run_group_two_phase(cfg, fn, ctx, group, base);
+        } else {
+          run_group_fibers(cfg, fn, ctx, group, base);
+        }
       } else {
         run_group_fast(cfg, fn, ctx, group, base);
       }

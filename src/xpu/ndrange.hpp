@@ -18,6 +18,15 @@ struct launch_config {
   usize local[3] = {1, 1, 1};   // work-group size per dimension (divides global)
   usize local_mem_bytes = 0;    // shared local memory per work-group
   bool uses_barrier = false;    // enables the fiber-based group scheduler
+  /// Fast path for kernels whose only barrier is the one right after the
+  /// leading cooperative local-memory fetch (the finder and every comparer
+  /// variant): the executor runs each group as two plain loops — a fetch
+  /// phase, then a main phase — with no per-item fiber stacks or context
+  /// switches. Kernels must cooperate by querying xitem::cof_phase():
+  /// return after the fetch in fetch_only, skip fetch + barrier in
+  /// post_fetch. A kernel that still reaches barrier() under this mode
+  /// fails a deterministic check. Only honoured when uses_barrier is set.
+  bool single_leading_barrier = false;
   const char* name = "";        // kernel name for profiling
 
   usize global_linear() const { return global[0] * global[1] * global[2]; }
@@ -33,13 +42,20 @@ struct group_barrier_ctl;  // defined in executor.cpp
 void barrier_yield(group_barrier_ctl* ctl);
 }  // namespace detail
 
+/// Which part of a single-leading-barrier kernel this invocation runs.
+/// `full` is the ordinary case (fiber or fast path, whole kernel body);
+/// the two-phase executor invokes every item once with `fetch_only` (up to
+/// the barrier) and then once with `post_fetch` (everything after it).
+enum class exec_phase : int { full = 0, fetch_only, post_fetch };
+
 /// Handle describing one work-item's coordinates within a launch. Mirrors
 /// the queryable state of an OpenCL work-item / SYCL nd_item.
 class xitem {
  public:
   xitem(const launch_config* cfg, const usize group[3], const usize local[3],
-        detail::group_barrier_ctl* ctl, char* local_base)
-      : cfg_(cfg), ctl_(ctl), local_base_(local_base) {
+        detail::group_barrier_ctl* ctl, char* local_base,
+        exec_phase phase = exec_phase::full)
+      : cfg_(cfg), ctl_(ctl), local_base_(local_base), phase_(phase) {
     for (int d = 0; d < 3; ++d) {
       group_[d] = group[d];
       local_[d] = local[d];
@@ -65,10 +81,20 @@ class xitem {
   /// launch declared uses_barrier; all work-items of the group must reach
   /// the same number of barriers (checked by the scheduler).
   void barrier() const {
+    COF_CHECK_MSG(phase_ == exec_phase::full,
+                  "barrier() reached under two-phase (single_leading_barrier) "
+                  "execution: the kernel must return in fetch_only and skip "
+                  "the fetch and barrier in post_fetch");
     COF_CHECK_MSG(ctl_ != nullptr,
                   "barrier() in a launch that did not declare uses_barrier");
     detail::barrier_yield(ctl_);
   }
+
+  /// Execution phase of this invocation (see exec_phase / launch_config::
+  /// single_leading_barrier). Kernels that support the two-phase fast path
+  /// branch on this; kernels that ignore it still run correctly on the
+  /// fiber and fast paths, where it is always `full`.
+  exec_phase cof_phase() const { return phase_; }
 
   /// Base of this work-group's shared local memory arena.
   char* local_mem_base() const { return local_base_; }
@@ -80,6 +106,7 @@ class xitem {
   const launch_config* cfg_;
   detail::group_barrier_ctl* ctl_;
   char* local_base_;
+  exec_phase phase_ = exec_phase::full;
 };
 
 }  // namespace xpu

@@ -1,0 +1,11 @@
+// Compatibility shim for the bundled GoogleTest, which predates the
+// GTEST_FLAG_SET macro (added in googletest 1.12). Death tests here only
+// set death_test_style; map the macro onto the classic flag accessor.
+// Include after <gtest/gtest.h>.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#ifndef GTEST_FLAG_SET
+#define GTEST_FLAG_SET(name, value) (::testing::GTEST_FLAG(name) = (value))
+#endif

@@ -2,6 +2,8 @@
 // DNA/RNA bulges.
 #include <gtest/gtest.h>
 
+#include "gtest_compat.hpp"
+
 #include "core/bulge.hpp"
 #include "genome/iupac.hpp"
 

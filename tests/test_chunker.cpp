@@ -1,6 +1,8 @@
 // Chunker tests: coverage of every fixed-length window, overlap handling.
 #include <gtest/gtest.h>
 
+#include "gtest_compat.hpp"
+
 #include <set>
 
 #include "genome/chunker.hpp"

@@ -1,6 +1,8 @@
 // Input-file format tests.
 #include <gtest/gtest.h>
 
+#include "gtest_compat.hpp"
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>

@@ -1,6 +1,8 @@
 // Unit tests for simulated device memory and transfer metering.
 #include <gtest/gtest.h>
 
+#include "gtest_compat.hpp"
+
 #include <vector>
 
 #include "xpu/device.hpp"

@@ -2,6 +2,8 @@
 // local memory, validation.
 #include <gtest/gtest.h>
 
+#include "gtest_compat.hpp"
+
 #include <atomic>
 #include <numeric>
 #include <vector>
@@ -210,6 +212,73 @@ TEST(Executor, FiberAndFastPathAgree) {
   cfg.uses_barrier = true;
   dev().run(cfg, [&](xitem& it) { body(it, b); });
   EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// two-phase (single_leading_barrier) fast path
+// ---------------------------------------------------------------------------
+
+TEST(TwoPhase, MatchesFiberPathForCooperatingKernel) {
+  // The cas-offinder shape: work-item 0 populates local memory, one leading
+  // barrier, then every item reads its slot. A cooperating kernel branches
+  // on cof_phase() and must produce identical output on both schedulers.
+  launch_config cfg;
+  cfg.global[0] = 1024;
+  cfg.local[0] = 64;
+  cfg.local_mem_bytes = 64;
+  cfg.uses_barrier = true;
+  auto body = [](xitem& it, std::vector<int>& out) {
+    char* tile = it.local_mem_base();
+    const xpu::exec_phase ph = it.cof_phase();
+    if (ph != xpu::exec_phase::post_fetch) {
+      if (it.get_local_id(0) == 0) {
+        for (util::usize k = 0; k < 64; ++k) {
+          tile[k] = static_cast<char>(k + it.get_group(0));
+        }
+      }
+      if (ph == xpu::exec_phase::fetch_only) return;
+      it.barrier();
+    }
+    out[it.get_global_id(0)] = tile[it.get_local_id(0)];
+  };
+  std::vector<int> fib(1024, -1), two(1024, -2);
+  cfg.single_leading_barrier = false;
+  dev().run(cfg, [&](xitem& it) { body(it, fib); });
+  cfg.single_leading_barrier = true;
+  dev().run(cfg, [&](xitem& it) { body(it, two); });
+  EXPECT_EQ(two, fib);
+}
+
+TEST(TwoPhase, FullPhaseReportedOnFiberAndFastPaths) {
+  // Kernels not launched under single_leading_barrier always observe the
+  // `full` phase, on both the fiber scheduler and the no-barrier fast loop.
+  for (const bool barrier : {false, true}) {
+    launch_config cfg;
+    cfg.global[0] = 64;
+    cfg.local[0] = 16;
+    cfg.uses_barrier = barrier;
+    std::atomic<int> bad{0};
+    dev().run(cfg, [&](xitem& it) {
+      if (it.cof_phase() != xpu::exec_phase::full) bad.fetch_add(1);
+    });
+    EXPECT_EQ(bad.load(), 0) << "uses_barrier=" << barrier;
+  }
+}
+
+TEST(TwoPhaseDeath, NonCooperatingBarrierDetected) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(
+      {
+        xpu::device d("death4", 1);
+        launch_config cfg;
+        cfg.global[0] = 4;
+        cfg.local[0] = 4;
+        cfg.uses_barrier = true;
+        cfg.single_leading_barrier = true;
+        // Ignores cof_phase() and hits the barrier in both phases.
+        d.run(cfg, [&](xitem& it) { it.barrier(); });
+      },
+      "two-phase");
 }
 
 // Property sweep: barrier correctness across group geometries.

@@ -1,6 +1,8 @@
 // FASTA parser/writer tests, including directory loading.
 #include <gtest/gtest.h>
 
+#include "gtest_compat.hpp"
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>

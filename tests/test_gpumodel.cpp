@@ -3,6 +3,8 @@
 // model's monotonicity properties.
 #include <gtest/gtest.h>
 
+#include "gtest_compat.hpp"
+
 #include "gpumodel/builder.hpp"
 #include "gpumodel/isa.hpp"
 #include "gpumodel/occupancy.hpp"

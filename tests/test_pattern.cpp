@@ -1,6 +1,8 @@
 // Pattern/query device-array construction tests.
 #include <gtest/gtest.h>
 
+#include "gtest_compat.hpp"
+
 #include "core/pattern.hpp"
 #include "genome/iupac.hpp"
 

@@ -2,6 +2,8 @@
 // produce exactly the in-memory results with O(max_chunk) host memory.
 #include <gtest/gtest.h>
 
+#include "gtest_compat.hpp"
+
 #include <filesystem>
 #include <fstream>
 

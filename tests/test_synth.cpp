@@ -2,6 +2,8 @@
 // presets, planted-site ground truth, URI parsing.
 #include <gtest/gtest.h>
 
+#include "gtest_compat.hpp"
+
 #include "genome/iupac.hpp"
 #include "genome/synth.hpp"
 

@@ -1,6 +1,8 @@
 // UCSC .2bit container round-trip and integration tests.
 #include <gtest/gtest.h>
 
+#include "gtest_compat.hpp"
+
 #include <filesystem>
 #include <fstream>
 

@@ -3,6 +3,8 @@
 // program with the buffer-based one.
 #include <gtest/gtest.h>
 
+#include "gtest_compat.hpp"
+
 #include <vector>
 
 #include "core/engine.hpp"
