@@ -34,6 +34,13 @@ struct engine_options {
   /// Supported by the buffer-based SYCL pipeline; other backends fall back
   /// to per-query launches.
   bool batch_queries = false;
+  /// Streaming mode (run_search_streaming) only: drive the two-deep async
+  /// pipeline — decode of chunk N+1 overlaps the device phase of chunk N,
+  /// every chunk's queries go through ONE batched comparer launch with a
+  /// deferred entry download, and record formatting runs on the shared
+  /// thread pool. false preserves the synchronous per-query loop (the PR 1
+  /// behaviour, kept as the bench baseline). Results are identical.
+  bool stream_async = true;
   /// Host threads, each driving its own pipeline over a shared chunk queue
   /// — the multi-device extension the paper marks as future work ("the SYCL
   /// application currently executes on a single GPU device"). Results are

@@ -1,40 +1,250 @@
 #include "core/engine_stream.hpp"
 
+#include <optional>
+
 #include "genome/fasta_stream.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace cof {
 
-streamed_outcome run_search_streaming(const search_config& cfg,
-                                      const std::string& path,
-                                      const engine_options& opt) {
-  util::stopwatch sw;
-  streamed_outcome out;
+namespace {
 
-  COF_CHECK_MSG(opt.backend != backend_kind::serial,
-                "streaming mode drives a device pipeline; use run_search for "
-                "the serial reference");
+// ---------------------------------------------------------------------------
+// chunk_source: pull-based FASTA decode. Reproduces the synchronous loop's
+// chunking exactly — one chrom event per record (even empty ones), chunks of
+// up to max_chunk bases, a plen-1 overlap carried across chunk boundaries so
+// straddling sites are re-scanned, and a carry-only tail chunk when a record
+// ends exactly on a chunk boundary. Single reader: the engine serialises
+// decode jobs (the next one is submitted only after the previous completed).
+// ---------------------------------------------------------------------------
+class chunk_source {
+ public:
+  struct event {
+    enum kind_t { chrom, chunk, end };
+    kind_t kind = end;
+    std::string name;   // chrom
+    std::string text;   // chunk
+    util::u64 start = 0;  // chunk: chromosome offset of text[0]
+  };
+
+  chunk_source(const std::string& path, usize max_chunk, usize overlap)
+      : files_(genome::fasta_files_at(path)),
+        max_chunk_(max_chunk),
+        overlap_(overlap) {}
+
+  util::u64 streamed_bases() const { return streamed_bases_; }
+
+  event next() {
+    for (;;) {
+      if (!stream_) {
+        if (file_idx_ >= files_.size()) return {};
+        stream_.emplace(files_[file_idx_++]);
+      }
+      if (!in_record_) {
+        if (!stream_->next_record()) {
+          stream_.reset();
+          continue;
+        }
+        in_record_ = true;
+        carry_.clear();
+        next_start_ = 0;
+        event ev;
+        ev.kind = event::chrom;
+        ev.name = stream_->record_name();
+        return ev;
+      }
+      std::string buf = std::move(carry_);
+      carry_.clear();
+      const usize got = stream_->read_bases(buf, max_chunk_ - buf.size());
+      streamed_bases_ += got;
+      const bool record_done = buf.size() < max_chunk_;
+      if (buf.empty()) {
+        in_record_ = false;
+        continue;
+      }
+      event ev;
+      ev.kind = event::chunk;
+      ev.start = next_start_;
+      if (record_done) {
+        in_record_ = false;
+      } else {
+        next_start_ += buf.size() - overlap_;
+        carry_.assign(buf.data() + buf.size() - overlap_, overlap_);
+      }
+      ev.text = std::move(buf);
+      return ev;
+    }
+  }
+
+ private:
+  std::vector<std::string> files_;
+  usize file_idx_ = 0;
+  std::optional<genome::fasta_stream> stream_;
+  bool in_record_ = false;
+  std::string carry_;
+  util::u64 next_start_ = 0;
+  util::u64 streamed_bases_ = 0;
+  usize max_chunk_ = 0;
+  usize overlap_ = 0;
+};
+
+std::unique_ptr<device_pipeline> make_pipeline(const engine_options& opt) {
   pipeline_options popt;
   popt.variant = opt.variant;
   popt.wg_size = opt.wg_size;
   popt.counting = opt.counting;
   popt.profiler = opt.profiler;
-  std::unique_ptr<device_pipeline> pipe;
   switch (opt.backend) {
-    case backend_kind::opencl: pipe = make_opencl_pipeline(popt); break;
-    case backend_kind::sycl_usm: pipe = make_sycl_usm_pipeline(popt); break;
-    case backend_kind::sycl_twobit: pipe = make_sycl_twobit_pipeline(popt); break;
-    default: pipe = make_sycl_pipeline(popt); break;
+    case backend_kind::opencl: return make_opencl_pipeline(popt);
+    case backend_kind::sycl_usm: return make_sycl_usm_pipeline(popt);
+    case backend_kind::sycl_twobit: return make_sycl_twobit_pipeline(popt);
+    default: return make_sycl_pipeline(popt);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Async engine: two-deep software pipeline over a 3-slot ring.
+//
+//   decode N+1 (pool) | device N (main)   | format N-1 (pool)
+//
+// While the device runs finder + one batched comparer launch for chunk N,
+// the pool decodes chunk N+1 from the FASTA stream and formats chunk N-1's
+// entries into records. Three slots so chunk N-1's text stays alive for its
+// format job while N executes and N+1 decodes. Only the main thread touches
+// the pipeline (metrics included); jobs touch only their own slot.
+// ---------------------------------------------------------------------------
+struct stream_slot {
+  std::string text;
+  util::u64 chunk_start = 0;
+  std::vector<std::string> new_chroms;  // chrom events preceding this chunk
+  bool has_chunk = false;
+  util::thread_pool::job decode_job;
+  util::thread_pool::job format_job;
+  std::vector<ot_record> records;  // format output, merged by main on reuse
+};
+
+streamed_outcome run_streaming_async(const search_config& cfg,
+                                     const std::string& path,
+                                     const engine_options& opt,
+                                     device_pipeline* pipe,
+                                     const device_pattern& pat,
+                                     const std::vector<device_pattern>& dev_queries,
+                                     usize overlap, util::stopwatch& sw) {
+  streamed_outcome out;
+  util::thread_pool& pool = util::thread_pool::global();
+  chunk_source source(path, opt.max_chunk, overlap);
+
+  std::vector<u16> thresholds;
+  thresholds.reserve(cfg.queries.size());
+  for (const auto& q : cfg.queries) thresholds.push_back(q.max_mismatches);
+
+  constexpr usize kSlots = 3;
+  stream_slot slots[kSlots];
+
+  // Reclaim a slot (wait out its format job, merge its records), then start
+  // decoding the next chunk into it off the critical path.
+  auto prefetch = [&](stream_slot& slot) {
+    slot.format_job.wait();
+    slot.format_job = {};
+    out.records.insert(out.records.end(),
+                       std::make_move_iterator(slot.records.begin()),
+                       std::make_move_iterator(slot.records.end()));
+    slot.records.clear();
+    slot.new_chroms.clear();
+    slot.has_chunk = false;
+    slot.decode_job = pool.submit_job([&slot, &source] {
+      for (;;) {
+        chunk_source::event ev = source.next();
+        if (ev.kind == chunk_source::event::chrom) {
+          slot.new_chroms.push_back(std::move(ev.name));
+          continue;
+        }
+        if (ev.kind == chunk_source::event::chunk) {
+          slot.text = std::move(ev.text);
+          slot.chunk_start = ev.start;
+          slot.has_chunk = true;
+        }
+        return;  // chunk ready or source exhausted
+      }
+    });
+  };
+
+  prefetch(slots[0]);
+  for (usize cur = 0;; cur = (cur + 1) % kSlots) {
+    stream_slot& slot = slots[cur];
+    slot.decode_job.wait();
+    slot.decode_job = {};
+    for (auto& name : slot.new_chroms) out.chrom_names.push_back(std::move(name));
+    slot.new_chroms.clear();
+    if (!slot.has_chunk) break;  // source exhausted
+
+    // Overlap: start decoding the next chunk before this one's device phase.
+    prefetch(slots[(cur + 1) % kSlots]);
+
+    const u32 chrom_index = static_cast<u32>(out.chrom_names.size()) - 1;
+    ++out.metrics.chunks;
+    out.peak_chunk_bytes = std::max(out.peak_chunk_bytes, slot.text.size());
+    LOG_DEBUG("stream chunk@%llu: %zu bases",
+              static_cast<unsigned long long>(slot.chunk_start), slot.text.size());
+
+    pipe->load_chunk_async(slot.text).wait();
+    const u32 hits = pipe->run_finder(pat);
+    if (hits == 0) continue;
+    // ONE batched launch for every query; the finder's loci/flag arrays are
+    // consumed device-side, the entry download is deferred past the launch.
+    pipe->launch_comparer_batch(dev_queries, thresholds).wait();
+    device_pipeline::entries entries = pipe->fetch_entries();
+    if (entries.size() == 0) continue;
+
+    // Record formatting happens on the pool, off the device critical path.
+    // The job reads only its slot's text plus the shared (immutable) query
+    // patterns; the slot is not reused until this job is waited out.
+    slot.format_job = pool.submit_job(
+        [&slot, &dev_queries, chrom_index, plen = pat.plen,
+         ent = std::move(entries)] {
+          slot.records.reserve(ent.size());
+          for (usize e = 0; e < ent.size(); ++e) {
+            const u32 qi = ent.qidx[e];
+            const std::string_view slice(slot.text.data() + ent.loci[e], plen);
+            slot.records.push_back(ot_record{
+                qi, chrom_index, slot.chunk_start + ent.loci[e], ent.dir[e],
+                ent.mm[e],
+                make_site_string(dev_queries[qi].seq, slice, ent.dir[e])});
+          }
+        });
   }
 
-  const device_pattern pat = make_pattern(cfg.pattern);
-  std::vector<device_pattern> dev_queries;
-  dev_queries.reserve(cfg.queries.size());
-  for (const auto& q : cfg.queries) dev_queries.push_back(make_query(q.seq));
-  const usize overlap = pat.plen > 0 ? pat.plen - 1 : 0;
-  COF_CHECK_MSG(opt.max_chunk > overlap, "max_chunk must exceed pattern length");
+  // Drain: the loop broke at the end-of-source slot; only format jobs of the
+  // other slots can still be outstanding.
+  for (auto& slot : slots) {
+    slot.format_job.wait();
+    out.records.insert(out.records.end(),
+                       std::make_move_iterator(slot.records.begin()),
+                       std::make_move_iterator(slot.records.end()));
+    slot.records.clear();
+  }
 
+  out.streamed_bases = source.streamed_bases();
+  sort_and_dedup(out.records);
+  out.metrics.pipeline = pipe->metrics();
+  out.metrics.elapsed_seconds = sw.seconds();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Synchronous engine: the PR 1 loop, kept verbatim as the bench baseline —
+// blocking decode, then one comparer launch per query per chunk.
+// ---------------------------------------------------------------------------
+streamed_outcome run_streaming_sync(const search_config& cfg,
+                                    const std::string& path,
+                                    const engine_options& opt,
+                                    device_pipeline* pipe,
+                                    const device_pattern& pat,
+                                    const std::vector<device_pattern>& dev_queries,
+                                    usize overlap, util::stopwatch& sw) {
+  streamed_outcome out;
   std::string chunk;
   chunk.reserve(opt.max_chunk);
 
@@ -86,6 +296,33 @@ streamed_outcome run_search_streaming(const search_config& cfg,
   out.metrics.pipeline = pipe->metrics();
   out.metrics.elapsed_seconds = sw.seconds();
   return out;
+}
+
+}  // namespace
+
+streamed_outcome run_search_streaming(const search_config& cfg,
+                                      const std::string& path,
+                                      const engine_options& opt) {
+  util::stopwatch sw;
+
+  COF_CHECK_MSG(opt.backend != backend_kind::serial,
+                "streaming mode drives a device pipeline; use run_search for "
+                "the serial reference");
+  std::unique_ptr<device_pipeline> pipe = make_pipeline(opt);
+
+  const device_pattern pat = make_pattern(cfg.pattern);
+  std::vector<device_pattern> dev_queries;
+  dev_queries.reserve(cfg.queries.size());
+  for (const auto& q : cfg.queries) dev_queries.push_back(make_query(q.seq));
+  const usize overlap = pat.plen > 0 ? pat.plen - 1 : 0;
+  COF_CHECK_MSG(opt.max_chunk > overlap, "max_chunk must exceed pattern length");
+
+  if (opt.stream_async) {
+    return run_streaming_async(cfg, path, opt, pipe.get(), pat, dev_queries,
+                               overlap, sw);
+  }
+  return run_streaming_sync(cfg, path, opt, pipe.get(), pat, dev_queries,
+                            overlap, sw);
 }
 
 }  // namespace cof

@@ -239,6 +239,60 @@ __kernel void comparer_opt5(unsigned int locicnts, __global char* __restrict chr
   }
 }
 
+/* Batched multi-query comparer: one launch covers every query in the input
+ * set; each candidate site reads its flag/locus once and reuses them across
+ * queries, and the cooperative local fetch covers all queries' patterns.
+ * The opt5 (bitmask-LUT) configuration falls back to this char-chain body on
+ * the OpenCL path: chain and LUT mismatch tests are bit-identical, only the
+ * per-character cost differs. */
+__kernel void comparer_multi(unsigned int locicnts, __global char* chr,
+                             __global unsigned int* loci, __global char* flag,
+                             __constant char* comp, __constant int* comp_index,
+                             __constant unsigned short* thresholds,
+                             unsigned int nqueries, unsigned int plen,
+                             __global unsigned short* mm_count,
+                             __global char* direction,
+                             __global unsigned int* mm_loci,
+                             __global unsigned short* mm_query,
+                             __global unsigned int* entrycount,
+                             __local char* l_comp, __local int* l_comp_index) {
+  unsigned int i = get_global_id(0);
+  unsigned int li = i - get_group_id(0) * get_local_size(0);
+  unsigned int total = nqueries * plen * 2;
+  for (unsigned int k = li; k < total; k += get_local_size(0)) {
+    l_comp[k] = comp[k];
+    l_comp_index[k] = comp_index[k];
+  }
+  barrier(CLK_LOCAL_MEM_FENCE);
+  if (i >= locicnts) return;
+  char f = flag[i];
+  unsigned int locus = loci[i];
+  for (unsigned int q = 0; q < nqueries; q++) {
+    for (int half = 0; half < 2; half++) {
+      if (half == 0 ? (f == 0 || f == 1) : (f == 0 || f == 2)) {
+        unsigned int base = (q * 2 + half) * plen;
+        unsigned short threshold = thresholds[q];
+        unsigned short lmm_count = 0;
+        for (unsigned int j = 0; j < plen; j++) {
+          int k = l_comp_index[base + j];
+          if (k == -1) break;
+          if (mismatch(l_comp[base + k], chr[locus + k])) {
+            lmm_count++;
+            if (lmm_count > threshold) break;
+          }
+        }
+        if (lmm_count <= threshold) {
+          unsigned int old = atomic_inc(entrycount);
+          mm_count[old] = lmm_count;
+          direction[old] = half == 0 ? '+' : '-';
+          mm_loci[old] = locus;
+          mm_query[old] = (unsigned short)q;
+        }
+      }
+    }
+  }
+}
+
 /* Optimised comparer variants (paper SIV.B): opt1 adds __restrict, opt2
  * registers loci[i]/flag[i], opt3 fetches the pattern cooperatively, opt4
  * additionally registers the pattern char read from local memory. Bodies
@@ -347,6 +401,38 @@ const std::vector<oclsim::arg_kind> kComparerSig = {
     oclsim::arg_kind::local,  oclsim::arg_kind::local,
 };
 
+/// comparer_multi's unpack order follows the batched OpenCL signature above.
+template <class P>
+void comparer_multi_native(const oclsim::arg_view& a, xpu::xitem& it) {
+  comparer_multi_args ca;
+  ca.locicnts = a.scalar<u32>(0);
+  ca.chr = a.global<const char>(1);
+  ca.loci = a.global<const u32>(2);
+  ca.flag = a.global<const char>(3);
+  ca.comp = a.global<const char>(4);
+  ca.comp_index = a.global<const i32>(5);
+  ca.thresholds = a.global<const u16>(6);
+  ca.nqueries = a.scalar<u32>(7);
+  ca.plen = a.scalar<u32>(8);
+  ca.mm_count = a.global<u16>(9);
+  ca.direction = a.global<char>(10);
+  ca.mm_loci = a.global<u32>(11);
+  ca.mm_query = a.global<u16>(12);
+  ca.entrycount = a.global<u32>(13);
+  ca.l_comp = a.local<char>(14);
+  ca.l_comp_index = a.local<i32>(15);
+  comparer_multi_kernel<P>(it, ca);
+}
+
+const std::vector<oclsim::arg_kind> kComparerMultiSig = {
+    oclsim::arg_kind::scalar, oclsim::arg_kind::mem,    oclsim::arg_kind::mem,
+    oclsim::arg_kind::mem,    oclsim::arg_kind::mem,    oclsim::arg_kind::mem,
+    oclsim::arg_kind::mem,    oclsim::arg_kind::scalar, oclsim::arg_kind::scalar,
+    oclsim::arg_kind::mem,    oclsim::arg_kind::mem,    oclsim::arg_kind::mem,
+    oclsim::arg_kind::mem,    oclsim::arg_kind::mem,    oclsim::arg_kind::local,
+    oclsim::arg_kind::local,
+};
+
 template <comparer_variant V, class P>
 void comparer_native(const oclsim::arg_view& a, xpu::xitem& it) {
   comparer_native_dispatch<P>(V, a, it);
@@ -386,6 +472,9 @@ const bool kKernelsRegistered = [] {
   oclsim::register_kernel({"comparer_opt5", kComparerSig, true,
                            &comparer_opt5_native<direct_mem>,
                            &comparer_opt5_native<counting_mem>, true});
+  oclsim::register_kernel({"comparer_multi", kComparerMultiSig, true,
+                           &comparer_multi_native<direct_mem>,
+                           &comparer_multi_native<counting_mem>, true});
   return true;
 }();
 
@@ -425,11 +514,15 @@ class opencl_pipeline final : public device_pipeline {
     COF_CL_CHECK(err);
     comparer_k_ = clCreateKernel(program_, comparer_kernel_name(), &err);
     COF_CL_CHECK(err);
+    comparer_multi_k_ = clCreateKernel(program_, "comparer_multi", &err);
+    COF_CL_CHECK(err);
   }
 
   ~opencl_pipeline() override {
     // Step 13: explicit resource release (reverse creation order).
+    release_batch();
     release_chunk();
+    if (comparer_multi_k_ != nullptr) clReleaseKernel(comparer_multi_k_);
     if (comparer_k_ != nullptr) clReleaseKernel(comparer_k_);
     if (finder_k_ != nullptr) clReleaseKernel(finder_k_);
     if (program_ != nullptr) clReleaseProgram(program_);
@@ -595,6 +688,128 @@ class opencl_pipeline final : public device_pipeline {
     return out;
   }
 
+  entries run_comparer_batch(const std::vector<device_pattern>& queries,
+                             const std::vector<u16>& thresholds) override {
+    launch_comparer_batch(queries, thresholds);
+    return fetch_entries();
+  }
+
+  /// Batched comparer, launch half: one comparer_multi enqueue consumes the
+  /// finder's device-resident loci/flag buffers for every query. Output
+  /// buffers (incl. a dedicated entry counter, so the shared counter stays
+  /// free for the next finder) stay staged until fetch_entries.
+  pipe_event launch_comparer_batch(const std::vector<device_pattern>& queries,
+                                   const std::vector<u16>& thresholds) override {
+    release_batch();
+    batch_staged_ = true;
+    if (locicnt_ == 0 || queries.empty()) return {};  // fetch yields empty
+    COF_CHECK(queries.size() == thresholds.size());
+    const u32 nq = static_cast<u32>(queries.size());
+    const u32 plen = queries.front().plen;
+    COF_CHECK_MSG(plen == plen_, "query length != pattern length");
+
+    std::string comp_all;
+    std::vector<i32> cidx_all;
+    for (const auto& q : queries) {
+      COF_CHECK_MSG(q.plen == plen, "batched queries must share one length");
+      comp_all += q.fwrc;
+      cidx_all.insert(cidx_all.end(), q.index.begin(), q.index.end());
+    }
+
+    const usize cap = static_cast<usize>(locicnt_) * 2 * nq;
+    batch_cap_ = cap;
+    cl_int err;
+    cl_mem compm = clCreateBuffer(ctx_, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
+                                  comp_all.size(), comp_all.data(), &err);
+    COF_CL_CHECK(err);
+    cl_mem cidxm = clCreateBuffer(ctx_, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
+                                  cidx_all.size() * sizeof(i32), cidx_all.data(),
+                                  &err);
+    COF_CL_CHECK(err);
+    cl_mem thrm = clCreateBuffer(ctx_, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
+                                 nq * sizeof(u16),
+                                 const_cast<u16*>(thresholds.data()), &err);
+    COF_CL_CHECK(err);
+    batch_mm_ = clCreateBuffer(ctx_, CL_MEM_WRITE_ONLY, cap * sizeof(u16), nullptr,
+                               &err);
+    COF_CL_CHECK(err);
+    batch_dir_ = clCreateBuffer(ctx_, CL_MEM_WRITE_ONLY, cap, nullptr, &err);
+    COF_CL_CHECK(err);
+    batch_loci_ = clCreateBuffer(ctx_, CL_MEM_WRITE_ONLY, cap * sizeof(u32), nullptr,
+                                 &err);
+    COF_CL_CHECK(err);
+    batch_query_ = clCreateBuffer(ctx_, CL_MEM_WRITE_ONLY, cap * sizeof(u16), nullptr,
+                                  &err);
+    COF_CL_CHECK(err);
+    batch_count_ = clCreateBuffer(ctx_, CL_MEM_READ_WRITE, sizeof(u32), nullptr, &err);
+    COF_CL_CHECK(err);
+    metrics_.h2d_bytes +=
+        comp_all.size() + cidx_all.size() * sizeof(i32) + nq * sizeof(u16);
+    const u32 zero = 0;
+    COF_CL_CHECK(clEnqueueWriteBuffer(q_, batch_count_, CL_TRUE, 0, sizeof(u32),
+                                      &zero, 0, nullptr, nullptr));
+    metrics_.h2d_bytes += sizeof(u32);
+
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 0, sizeof(u32), &locicnt_));
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 1, sizeof(cl_mem), &chr_));
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 2, sizeof(cl_mem), &loci_));
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 3, sizeof(cl_mem), &flag_));
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 4, sizeof(cl_mem), &compm));
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 5, sizeof(cl_mem), &cidxm));
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 6, sizeof(cl_mem), &thrm));
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 7, sizeof(u32), &nq));
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 8, sizeof(u32), &plen));
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 9, sizeof(cl_mem), &batch_mm_));
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 10, sizeof(cl_mem), &batch_dir_));
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 11, sizeof(cl_mem), &batch_loci_));
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 12, sizeof(cl_mem), &batch_query_));
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 13, sizeof(cl_mem), &batch_count_));
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 14, comp_all.size(), nullptr));
+    COF_CL_CHECK(
+        clSetKernelArg(comparer_multi_k_, 15, cidx_all.size() * sizeof(i32), nullptr));
+
+    enqueue_profiled(comparer_multi_k_, locicnt_, "comparer/batch");
+    ++metrics_.comparer_launches;
+
+    COF_CL_CHECK(clReleaseMemObject(compm));
+    COF_CL_CHECK(clReleaseMemObject(cidxm));
+    COF_CL_CHECK(clReleaseMemObject(thrm));
+    return {};
+  }
+
+  /// Batched comparer, fetch half: deferred download of the staged entry
+  /// buffers, then release of the device objects.
+  entries fetch_entries() override {
+    COF_CHECK_MSG(batch_staged_, "fetch_entries without launch_comparer_batch");
+    batch_staged_ = false;
+    entries out;
+    if (batch_cap_ == 0) return out;  // empty launch (no loci or no queries)
+
+    u32 n = 0;
+    COF_CL_CHECK(clEnqueueReadBuffer(q_, batch_count_, CL_TRUE, 0, sizeof(u32), &n, 0,
+                                     nullptr, nullptr));
+    metrics_.d2h_bytes += sizeof(u32);
+    COF_CHECK(n <= batch_cap_);
+    out.mm.resize(n);
+    out.dir.resize(n);
+    out.loci.resize(n);
+    out.qidx.resize(n);
+    if (n != 0) {
+      COF_CL_CHECK(clEnqueueReadBuffer(q_, batch_mm_, CL_TRUE, 0, n * sizeof(u16),
+                                       out.mm.data(), 0, nullptr, nullptr));
+      COF_CL_CHECK(clEnqueueReadBuffer(q_, batch_dir_, CL_TRUE, 0, n, out.dir.data(),
+                                       0, nullptr, nullptr));
+      COF_CL_CHECK(clEnqueueReadBuffer(q_, batch_loci_, CL_TRUE, 0, n * sizeof(u32),
+                                       out.loci.data(), 0, nullptr, nullptr));
+      COF_CL_CHECK(clEnqueueReadBuffer(q_, batch_query_, CL_TRUE, 0, n * sizeof(u16),
+                                       out.qidx.data(), 0, nullptr, nullptr));
+      metrics_.d2h_bytes += n * (2 * sizeof(u16) + 1 + sizeof(u32));
+    }
+    metrics_.total_entries += n;
+    release_batch();
+    return out;
+  }
+
   const pipeline_metrics& metrics() const override { return metrics_; }
 
  private:
@@ -620,9 +835,8 @@ class opencl_pipeline final : public device_pipeline {
   }
 
   /// Step 10 + 12: enqueue an ND-range kernel (runtime-chosen lws unless the
-  /// caller pinned one), wait on its event, read the profiled span and the
-  /// atomic counter back.
-  u32 enqueue_and_count(cl_kernel k, usize work_items, const std::string& tag) {
+  /// caller pinned one), wait on its event, read the profiled span back.
+  void enqueue_profiled(cl_kernel k, usize work_items, const std::string& tag) {
     const usize lws = opt_.wg_size != 0 ? opt_.wg_size
                                         : oclsim_default_lws(work_items);
     const usize gws = util::round_up<usize>(work_items, lws);
@@ -644,7 +858,11 @@ class opencl_pipeline final : public device_pipeline {
     COF_CL_CHECK(clReleaseEvent(ev));
     metrics_.kernel_nanos += t1 - t0;
     rec.finish(t1 - t0);
+  }
 
+  /// enqueue_profiled + read the shared atomic counter back.
+  u32 enqueue_and_count(cl_kernel k, usize work_items, const std::string& tag) {
+    enqueue_profiled(k, work_items, tag);
     u32 count = 0;
     COF_CL_CHECK(clEnqueueReadBuffer(q_, count_, CL_TRUE, 0, sizeof(u32), &count, 0,
                                      nullptr, nullptr));
@@ -664,6 +882,16 @@ class opencl_pipeline final : public device_pipeline {
     chr_ = loci_ = flag_ = count_ = nullptr;
   }
 
+  void release_batch() {
+    if (batch_mm_ != nullptr) clReleaseMemObject(batch_mm_);
+    if (batch_dir_ != nullptr) clReleaseMemObject(batch_dir_);
+    if (batch_loci_ != nullptr) clReleaseMemObject(batch_loci_);
+    if (batch_query_ != nullptr) clReleaseMemObject(batch_query_);
+    if (batch_count_ != nullptr) clReleaseMemObject(batch_count_);
+    batch_mm_ = batch_dir_ = batch_loci_ = batch_query_ = batch_count_ = nullptr;
+    batch_cap_ = 0;
+  }
+
   pipeline_options opt_;
   pipeline_metrics metrics_;
   cl_platform_id platform_ = nullptr;
@@ -673,10 +901,20 @@ class opencl_pipeline final : public device_pipeline {
   cl_program program_ = nullptr;
   cl_kernel finder_k_ = nullptr;
   cl_kernel comparer_k_ = nullptr;
+  cl_kernel comparer_multi_k_ = nullptr;
   cl_mem chr_ = nullptr;
   cl_mem loci_ = nullptr;
   cl_mem flag_ = nullptr;
   cl_mem count_ = nullptr;
+  // Staged output of the last launch_comparer_batch (released by
+  // fetch_entries or the destructor).
+  cl_mem batch_mm_ = nullptr;
+  cl_mem batch_dir_ = nullptr;
+  cl_mem batch_loci_ = nullptr;
+  cl_mem batch_query_ = nullptr;
+  cl_mem batch_count_ = nullptr;
+  usize batch_cap_ = 0;
+  bool batch_staged_ = false;
   usize chunk_len_ = 0;
   u32 locicnt_ = 0;
   u32 plen_ = 0;

@@ -57,9 +57,21 @@ class sycl_pipeline final : public device_pipeline {
 
   entries run_comparer_batch(const std::vector<device_pattern>& queries,
                              const std::vector<u16>& thresholds) override {
-    if (opt_.counting) return run_comparer_batch_impl<counting_mem>(queries, thresholds);
-    return run_comparer_batch_impl<direct_mem>(queries, thresholds);
+    launch_comparer_batch(queries, thresholds);
+    return fetch_entries();
   }
+
+  pipe_event launch_comparer_batch(const std::vector<device_pattern>& queries,
+                                   const std::vector<u16>& thresholds) override {
+    if (opt_.counting) {
+      launch_batch_impl<counting_mem>(queries, thresholds);
+    } else {
+      launch_batch_impl<direct_mem>(queries, thresholds);
+    }
+    return {};
+  }
+
+  entries fetch_entries() override { return fetch_staged(); }
 
   const pipeline_metrics& metrics() const override { return metrics_; }
 
@@ -255,13 +267,16 @@ class sycl_pipeline final : public device_pipeline {
     return out;
   }
 
-  /// Batched comparer: one launch covers every query (see
-  /// kernels.hpp/comparer_multi_kernel). Entries carry their query index.
+  /// Batched comparer, launch half: one kernel covers every query (see
+  /// kernels.hpp/comparer_multi_kernel), consuming the finder's loci/flag
+  /// buffers device-side. Output buffers stay device-resident as staged
+  /// members until fetch_staged() downloads them.
   template <class P>
-  entries run_comparer_batch_impl(const std::vector<device_pattern>& queries,
-                                  const std::vector<u16>& thresholds) {
-    entries out;
-    if (locicnt_ == 0 || queries.empty()) return out;
+  void launch_batch_impl(const std::vector<device_pattern>& queries,
+                         const std::vector<u16>& thresholds) {
+    batch_staged_ = true;
+    batch_cap_ = 0;
+    if (locicnt_ == 0 || queries.empty()) return;  // fetch yields empty
     COF_CHECK(queries.size() == thresholds.size());
     const u32 nq = static_cast<u32>(queries.size());
     const u32 plen = queries.front().plen;
@@ -286,11 +301,17 @@ class sycl_pipeline final : public device_pipeline {
     sycl::buffer<i32, 1> cidx_buf(cidx_all.data(), sycl::range<1>(cidx_all.size()));
     sycl::buffer<u16, 1> cmask_buf(cmask_all.data(), sycl::range<1>(cmask_all.size()));
     sycl::buffer<u16, 1> thr_buf(thresholds.data(), sycl::range<1>(nq));
-    sycl::buffer<u16, 1> mm_buf{sycl::range<1>(cap)};
-    sycl::buffer<char, 1> dir_buf{sycl::range<1>(cap)};
-    sycl::buffer<u32, 1> mm_loci_buf{sycl::range<1>(cap)};
-    sycl::buffer<u16, 1> mm_query_buf{sycl::range<1>(cap)};
-    sycl::buffer<u32, 1> ccount_buf{sycl::range<1>(1)};
+    batch_mm_buf_.emplace(sycl::range<1>(cap));
+    batch_dir_buf_.emplace(sycl::range<1>(cap));
+    batch_loci_buf_.emplace(sycl::range<1>(cap));
+    batch_query_buf_.emplace(sycl::range<1>(cap));
+    batch_count_buf_.emplace(sycl::range<1>(1));
+    auto& mm_buf = *batch_mm_buf_;
+    auto& dir_buf = *batch_dir_buf_;
+    auto& mm_loci_buf = *batch_loci_buf_;
+    auto& mm_query_buf = *batch_query_buf_;
+    auto& ccount_buf = *batch_count_buf_;
+    batch_cap_ = cap;
     metrics_.h2d_bytes +=
         comp_all.size() + cidx_all.size() * sizeof(i32) + nq * sizeof(u16);
     zero_count(ccount_buf);
@@ -348,9 +369,18 @@ class sycl_pipeline final : public device_pipeline {
     metrics_.kernel_nanos += stats.wall_nanos;
     ++metrics_.comparer_launches;
     rec.finish(stats.wall_nanos);
+  }
 
-    const u32 n = read_count(ccount_buf);
-    COF_CHECK(n <= cap);
+  /// Batched comparer, fetch half: deferred download of the staged entry
+  /// buffers (count + four arrays), then release of the device storage.
+  entries fetch_staged() {
+    COF_CHECK_MSG(batch_staged_, "fetch_entries without launch_comparer_batch");
+    batch_staged_ = false;
+    entries out;
+    if (batch_cap_ == 0) return out;  // empty launch (no loci or no queries)
+
+    const u32 n = read_count(*batch_count_buf_);
+    COF_CHECK(n <= batch_cap_);
     out.mm.resize(n);
     out.dir.resize(n);
     out.loci.resize(n);
@@ -363,13 +393,19 @@ class sycl_pipeline final : public device_pipeline {
            cgh.copy(acc, dst);
          }).wait();
       };
-      copy_out(mm_buf, out.mm.data());
-      copy_out(dir_buf, out.dir.data());
-      copy_out(mm_loci_buf, out.loci.data());
-      copy_out(mm_query_buf, out.qidx.data());
+      copy_out(*batch_mm_buf_, out.mm.data());
+      copy_out(*batch_dir_buf_, out.dir.data());
+      copy_out(*batch_loci_buf_, out.loci.data());
+      copy_out(*batch_query_buf_, out.qidx.data());
       metrics_.d2h_bytes += n * (2 * sizeof(u16) + 1 + sizeof(u32));
     }
     metrics_.total_entries += n;
+    batch_mm_buf_.reset();
+    batch_dir_buf_.reset();
+    batch_loci_buf_.reset();
+    batch_query_buf_.reset();
+    batch_count_buf_.reset();
+    batch_cap_ = 0;
     return out;
   }
 
@@ -380,6 +416,15 @@ class sycl_pipeline final : public device_pipeline {
   std::optional<sycl::buffer<u32, 1>> loci_buf_;
   std::optional<sycl::buffer<char, 1>> flag_buf_;
   std::optional<sycl::buffer<u32, 1>> count_buf_;
+  // Staged output of the last launch_comparer_batch (device-resident until
+  // fetch_staged).
+  std::optional<sycl::buffer<u16, 1>> batch_mm_buf_;
+  std::optional<sycl::buffer<char, 1>> batch_dir_buf_;
+  std::optional<sycl::buffer<u32, 1>> batch_loci_buf_;
+  std::optional<sycl::buffer<u16, 1>> batch_query_buf_;
+  std::optional<sycl::buffer<u32, 1>> batch_count_buf_;
+  usize batch_cap_ = 0;
+  bool batch_staged_ = false;
   usize chunk_len_ = 0;
   u32 locicnt_ = 0;
   u32 plen_ = 0;

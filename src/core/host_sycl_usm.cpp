@@ -19,7 +19,10 @@ class sycl_usm_pipeline final : public device_pipeline {
     if (opt_.wg_size == 0) opt_.wg_size = 256;
   }
 
-  ~sycl_usm_pipeline() override { release_chunk(); }
+  ~sycl_usm_pipeline() override {
+    release_batch();
+    release_chunk();
+  }
 
   const char* name() const override { return "sycl-usm"; }
 
@@ -53,6 +56,24 @@ class sycl_usm_pipeline final : public device_pipeline {
     if (opt_.counting) return run_comparer_impl<counting_mem>(query, threshold);
     return run_comparer_impl<direct_mem>(query, threshold);
   }
+
+  entries run_comparer_batch(const std::vector<device_pattern>& queries,
+                             const std::vector<u16>& thresholds) override {
+    launch_comparer_batch(queries, thresholds);
+    return fetch_entries();
+  }
+
+  pipe_event launch_comparer_batch(const std::vector<device_pattern>& queries,
+                                   const std::vector<u16>& thresholds) override {
+    if (opt_.counting) {
+      launch_batch_impl<counting_mem>(queries, thresholds);
+    } else {
+      launch_batch_impl<direct_mem>(queries, thresholds);
+    }
+    return {};
+  }
+
+  entries fetch_entries() override { return fetch_staged(); }
 
   const pipeline_metrics& metrics() const override { return metrics_; }
 
@@ -241,6 +262,151 @@ class sycl_usm_pipeline final : public device_pipeline {
     return out;
   }
 
+  /// Batched comparer, launch half: one multi-query kernel over the
+  /// device-resident loci/flag arrays; output allocations stay on device
+  /// (staged members) until fetch_staged() downloads and frees them.
+  template <class P>
+  void launch_batch_impl(const std::vector<device_pattern>& queries,
+                         const std::vector<u16>& thresholds) {
+    release_batch();
+    batch_staged_ = true;
+    if (locicnt_ == 0 || queries.empty()) return;  // fetch yields empty
+    COF_CHECK(queries.size() == thresholds.size());
+    const u32 nq = static_cast<u32>(queries.size());
+    const u32 plen = queries.front().plen;
+    COF_CHECK_MSG(plen == plen_, "query length != pattern length");
+
+    std::string comp_all;
+    std::vector<i32> cidx_all;
+    std::vector<u16> cmask_all;
+    for (const auto& q : queries) {
+      COF_CHECK_MSG(q.plen == plen, "batched queries must share one length");
+      comp_all += q.fwrc;
+      cidx_all.insert(cidx_all.end(), q.index.begin(), q.index.end());
+      cmask_all.insert(cmask_all.end(), q.mask.begin(), q.mask.end());
+    }
+
+    const usize lws = opt_.wg_size;
+    const usize gws = util::round_up<usize>(locicnt_, lws);
+    const usize cap = static_cast<usize>(locicnt_) * 2 * nq;
+    batch_cap_ = cap;
+
+    char* compd = sycl::malloc_device<char>(comp_all.size(), q_);
+    i32* cidxd = sycl::malloc_device<i32>(cidx_all.size(), q_);
+    u16* cmaskd = sycl::malloc_device<u16>(cmask_all.size(), q_);
+    u16* thrd = sycl::malloc_device<u16>(nq, q_);
+    batch_mm_ = sycl::malloc_device<u16>(cap, q_);
+    batch_dir_ = sycl::malloc_device<char>(cap, q_);
+    batch_loci_ = sycl::malloc_device<u32>(cap, q_);
+    batch_query_ = sycl::malloc_device<u16>(cap, q_);
+    batch_count_ = sycl::malloc_device<u32>(1, q_);
+    q_.memcpy(compd, comp_all.data(), comp_all.size());
+    q_.memcpy(cidxd, cidx_all.data(), cidx_all.size() * sizeof(i32));
+    q_.memcpy(thrd, thresholds.data(), nq * sizeof(u16));
+    metrics_.h2d_bytes +=
+        comp_all.size() + cidx_all.size() * sizeof(i32) + nq * sizeof(u16);
+    if (opt_.variant == comparer_variant::opt5) {
+      q_.memcpy(cmaskd, cmask_all.data(), cmask_all.size() * sizeof(u16));
+      metrics_.h2d_bytes += cmask_all.size() * sizeof(u16);
+    }
+    zero_count(batch_count_);
+
+    const bool use_mask = opt_.variant == comparer_variant::opt5;
+    detail::kernel_record_scope rec(opt_, "comparer/batch");
+    const u32 locicnt = locicnt_;
+    const char* chr = chr_;
+    const u32* loci = loci_;
+    const char* flag = flag_;
+    u16* mmd = batch_mm_;
+    char* dird = batch_dir_;
+    u32* mlocid = batch_loci_;
+    u16* mqueryd = batch_query_;
+    u32* ccountd = batch_count_;
+    q_.submit([&](sycl::handler& cgh) {
+       cgh.cof_set_name("comparer/batch");
+       if (!opt_.counting) cgh.cof_hint_single_leading_barrier();
+       sycl::local_accessor<char, 1> l_comp(sycl::range<1>(comp_all.size()), cgh);
+       sycl::local_accessor<i32, 1> l_cidx(sycl::range<1>(cidx_all.size()), cgh);
+       sycl::local_accessor<u16, 1> l_cmask(sycl::range<1>(cmask_all.size()), cgh);
+       cgh.parallel_for(sycl::nd_range<1>(sycl::range<1>(gws), sycl::range<1>(lws)),
+                        [=](sycl::nd_item<1> item) {
+                          comparer_multi_args a;
+                          a.locicnts = locicnt;
+                          a.chr = chr;
+                          a.loci = loci;
+                          a.flag = flag;
+                          a.comp = compd;
+                          a.comp_index = cidxd;
+                          a.comp_mask = cmaskd;
+                          a.thresholds = thrd;
+                          a.nqueries = nq;
+                          a.plen = plen;
+                          a.mm_count = mmd;
+                          a.direction = dird;
+                          a.mm_loci = mlocid;
+                          a.mm_query = mqueryd;
+                          a.entrycount = ccountd;
+                          a.l_comp = l_comp.get_pointer();
+                          a.l_comp_index = l_cidx.get_pointer();
+                          a.l_comp_mask = l_cmask.get_pointer();
+                          if (use_mask) {
+                            comparer_multi_kernel_mask<P>(item, a);
+                          } else {
+                            comparer_multi_kernel<P>(item, a);
+                          }
+                        });
+     }).wait();
+    const auto stats = q_.cof_last_launch();
+    metrics_.kernel_nanos += stats.wall_nanos;
+    ++metrics_.comparer_launches;
+    rec.finish(stats.wall_nanos);
+
+    sycl::free(compd, q_);
+    sycl::free(cidxd, q_);
+    sycl::free(cmaskd, q_);
+    sycl::free(thrd, q_);
+  }
+
+  /// Batched comparer, fetch half: deferred download + free of the staged
+  /// device allocations.
+  entries fetch_staged() {
+    COF_CHECK_MSG(batch_staged_, "fetch_entries without launch_comparer_batch");
+    batch_staged_ = false;
+    entries out;
+    if (batch_cap_ == 0) return out;  // empty launch (no loci or no queries)
+
+    const u32 n = read_count(batch_count_);
+    COF_CHECK(n <= batch_cap_);
+    out.mm.resize(n);
+    out.dir.resize(n);
+    out.loci.resize(n);
+    out.qidx.resize(n);
+    if (n != 0) {
+      q_.memcpy(out.mm.data(), batch_mm_, n * sizeof(u16));
+      q_.memcpy(out.dir.data(), batch_dir_, n);
+      q_.memcpy(out.loci.data(), batch_loci_, n * sizeof(u32));
+      q_.memcpy(out.qidx.data(), batch_query_, n * sizeof(u16));
+      metrics_.d2h_bytes += n * (2 * sizeof(u16) + 1 + sizeof(u32));
+    }
+    metrics_.total_entries += n;
+    release_batch();
+    return out;
+  }
+
+  void release_batch() {
+    sycl::free(batch_mm_, q_);
+    sycl::free(batch_dir_, q_);
+    sycl::free(batch_loci_, q_);
+    sycl::free(batch_query_, q_);
+    sycl::free(batch_count_, q_);
+    batch_mm_ = nullptr;
+    batch_dir_ = nullptr;
+    batch_loci_ = nullptr;
+    batch_query_ = nullptr;
+    batch_count_ = nullptr;
+    batch_cap_ = 0;
+  }
+
   pipeline_options opt_;
   sycl::queue q_;
   pipeline_metrics metrics_;
@@ -248,6 +414,15 @@ class sycl_usm_pipeline final : public device_pipeline {
   u32* loci_ = nullptr;
   char* flag_ = nullptr;
   u32* count_ = nullptr;
+  // Staged output of the last launch_comparer_batch (freed by fetch_staged,
+  // release_batch, or the destructor).
+  u16* batch_mm_ = nullptr;
+  char* batch_dir_ = nullptr;
+  u32* batch_loci_ = nullptr;
+  u16* batch_query_ = nullptr;
+  u32* batch_count_ = nullptr;
+  usize batch_cap_ = 0;
+  bool batch_staged_ = false;
   usize chunk_len_ = 0;
   u32 locicnt_ = 0;
   u32 plen_ = 0;

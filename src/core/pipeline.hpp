@@ -43,6 +43,15 @@ struct pipeline_metrics {
   util::u64 total_entries = 0;    // comparer entries across chunks/queries
 };
 
+/// Completion handle for async pipeline operations. Both simulated runtimes
+/// execute kernels and copies synchronously inside the submitting call, so
+/// wait() is structurally where a real backend would block — the streaming
+/// engine calls it at the same points a production queue would require.
+class pipe_event {
+ public:
+  void wait() const {}
+};
+
 class device_pipeline {
  public:
   struct entries {
@@ -59,6 +68,15 @@ class device_pipeline {
 
   /// Upload a genome chunk to the device.
   virtual void load_chunk(std::string_view seq) = 0;
+
+  /// Async upload: returns once the transfer is enqueued; the returned
+  /// event completes when the chunk is device-resident. The host `seq`
+  /// storage may be reused after the event completes. The default forwards
+  /// to load_chunk (the sim runtimes copy at submission).
+  virtual pipe_event load_chunk_async(std::string_view seq) {
+    load_chunk(seq);
+    return {};
+  }
 
   /// Run the finder over the loaded chunk; hits stay device-resident.
   /// Returns the hit count.
@@ -86,7 +104,32 @@ class device_pipeline {
     return all;
   }
 
+  /// Split batched comparer: launch_comparer_batch starts the single
+  /// multi-query launch (finder loci/flags are consumed device-side, no
+  /// host round trip); fetch_entries later downloads the entry list. This
+  /// is the deferred-download half of the async interface — the engine
+  /// launches chunk N's comparer, overlaps host work, then fetches.
+  /// Defaults stage run_comparer_batch's result so every facade (including
+  /// ones without a batched kernel) supports the split protocol.
+  virtual pipe_event launch_comparer_batch(const std::vector<device_pattern>& queries,
+                                           const std::vector<u16>& thresholds) {
+    staged_ = run_comparer_batch(queries, thresholds);
+    staged_valid_ = true;
+    return {};
+  }
+
+  /// Download the entries staged by the last launch_comparer_batch.
+  virtual entries fetch_entries() {
+    COF_CHECK(staged_valid_);
+    staged_valid_ = false;
+    return std::move(staged_);
+  }
+
   virtual const pipeline_metrics& metrics() const = 0;
+
+ protected:
+  entries staged_;            // default launch/fetch staging
+  bool staged_valid_ = false;
 };
 
 std::unique_ptr<device_pipeline> make_opencl_pipeline(const pipeline_options& opt);

@@ -1,76 +1,260 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace util {
 
-thread_pool::thread_pool(unsigned threads) {
-  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
-  workers_.reserve(threads);
-  for (unsigned i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+namespace {
+
+/// Heap-allocated task carrying a std::function (submit / submit_job path).
+struct fn_task final : detail::task_base {
+  std::function<void()> fn;
+  std::shared_ptr<detail::job_state> job;  // null for plain submit
+
+  explicit fn_task(std::function<void()> f) : fn(std::move(f)) {
+    run = [](detail::task_base* t) {
+      auto* self = static_cast<fn_task*>(t);
+      self->fn();
+      if (self->job != nullptr) {
+        std::lock_guard lock(self->job->mu);
+        self->job->done = true;
+        self->job->cv.notify_all();
+      }
+      delete self;
+    };
   }
+};
+
+/// Completion latch for one parallel_for_range batch. The last finisher
+/// flips `done` and notifies while holding the mutex, so the waiting caller
+/// cannot observe completion and destroy the latch while the finisher still
+/// touches it.
+struct range_latch {
+  std::atomic<usize> remaining;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+
+  explicit range_latch(usize n) : remaining(n) {}
+
+  void count_down() {
+    if (remaining.fetch_sub(1) == 1) {
+      std::lock_guard lock(mu);
+      done = true;
+      cv.notify_all();
+    }
+  }
+  void wait() {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [this] { return done; });
+  }
+};
+
+/// Identity of the worker thread currently running inside a pool: lets
+/// nested submits from task bodies land on the worker's own deque instead
+/// of the inject queue.
+thread_local thread_pool* tl_worker_pool = nullptr;
+thread_local unsigned tl_worker_slot = 0;
+
+}  // namespace
+
+/// One block of a parallel_for_range batch. All blocks live in a single
+/// vector on the caller's stack frame — no per-block heap allocation and no
+/// per-block std::function.
+struct thread_pool::range_block final : detail::task_base {
+  const std::function<void(usize, usize)>* fn = nullptr;
+  usize begin = 0;
+  usize end = 0;
+  range_latch* latch = nullptr;
+
+  range_block() {
+    run = [](detail::task_base* t) {
+      auto* self = static_cast<range_block*>(t);
+      (*self->fn)(self->begin, self->end);
+      self->latch->count_down();  // last touch of caller-owned storage
+    };
+  }
+};
+
+thread_pool::thread_pool(unsigned threads) {
+  unsigned n = threads;
+  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+  deques_.reserve(n + 1);
+  for (unsigned i = 0; i < n + 1; ++i)
+    deques_.push_back(std::make_unique<detail::steal_deque>());
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 thread_pool::~thread_pool() {
   {
-    std::lock_guard lock(mu_);
-    stop_ = true;
+    // Publish stop under the sleep mutex so a worker cannot check the wait
+    // predicate between our store and its sleep.
+    std::lock_guard lock(sleep_mu_);
+    stop_.store(true);
   }
   cv_task_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers_) w.join();  // workers drain all queues before exit
+}
+
+unsigned thread_pool::slot_of_this_thread() {
+  if (tl_worker_pool == this) return tl_worker_slot;
+  if (client_owner_.load() == std::this_thread::get_id()) return size();
+  return kNoSlot;
+}
+
+unsigned thread_pool::claim_client_slot() {
+  const auto me = std::this_thread::get_id();
+  std::thread::id unclaimed{};
+  if (client_owner_.load() == me ||
+      client_owner_.compare_exchange_strong(unclaimed, me))
+    return size();
+  return kNoSlot;
+}
+
+void thread_pool::enqueue(detail::task_base* t, unsigned slot) {
+  pending_.fetch_add(1);
+  in_flight_.fetch_add(1);
+  if (slot == kNoSlot || !deques_[slot]->push(t)) {
+    std::lock_guard lock(inject_mu_);
+    inject_.push_back(t);
+  }
+  wake_workers(1);
+}
+
+void thread_pool::wake_workers(usize count) {
+  // Dekker-style pairing with the worker sleep sequence: we bumped pending_
+  // before this load; a worker bumps sleepers_ before re-checking pending_.
+  // Whatever the interleaving, one side observes the other.
+  if (sleepers_.load() == 0) return;
+  std::lock_guard lock(sleep_mu_);
+  if (count == 1)
+    cv_task_.notify_one();
+  else
+    cv_task_.notify_all();
 }
 
 void thread_pool::submit(std::function<void()> task) {
-  {
-    std::lock_guard lock(mu_);
-    COF_CHECK(!stop_);
-    queue_.push_back(std::move(task));
-    ++in_flight_;
+  COF_CHECK(!stop_.load());
+  enqueue(new fn_task(std::move(task)), slot_of_this_thread());
+}
+
+thread_pool::job thread_pool::submit_job(std::function<void()> task) {
+  COF_CHECK(!stop_.load());
+  auto* t = new fn_task(std::move(task));
+  t->job = std::make_shared<detail::job_state>();
+  job j;
+  j.st_ = t->job;
+  enqueue(t, slot_of_this_thread());
+  return j;
+}
+
+detail::task_base* thread_pool::find_task(unsigned self_slot) {
+  if (self_slot != kNoSlot) {
+    if (detail::task_base* t = deques_[self_slot]->pop()) return t;
   }
-  cv_task_.notify_one();
+  {
+    std::lock_guard lock(inject_mu_);
+    if (!inject_.empty()) {
+      detail::task_base* t = inject_.front();
+      inject_.pop_front();
+      return t;
+    }
+  }
+  // Steal scan, starting just past our own slot to spread contention.
+  const usize nd = deques_.size();
+  const usize start = (self_slot == kNoSlot ? 0 : self_slot + 1);
+  for (usize k = 0; k < nd; ++k) {
+    if (detail::task_base* t = deques_[(start + k) % nd]->steal()) return t;
+  }
+  return nullptr;
+}
+
+void thread_pool::execute(detail::task_base* t) {
+  pending_.fetch_sub(1);
+  t->run(t);
+  if (in_flight_.fetch_sub(1) == 1) {
+    std::lock_guard lock(idle_mu_);
+    cv_idle_.notify_all();
+  }
+}
+
+void thread_pool::worker_loop(unsigned idx) {
+  tl_worker_pool = this;
+  tl_worker_slot = idx;
+  for (;;) {
+    if (detail::task_base* t = find_task(idx)) {
+      execute(t);
+      continue;
+    }
+    // A failed scan is not proof of idleness (a lost steal race counts as a
+    // miss), so the exit/sleep decision keys off pending_, not the scan.
+    if (stop_.load() && pending_.load() == 0) break;
+    sleepers_.fetch_add(1);
+    {
+      std::unique_lock lock(sleep_mu_);
+      cv_task_.wait(lock, [this] { return stop_.load() || pending_.load() != 0; });
+    }
+    sleepers_.fetch_sub(1);
+  }
+  tl_worker_pool = nullptr;
 }
 
 void thread_pool::wait_idle() {
-  std::unique_lock lock(mu_);
-  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  // Help drain so an external caller with queued client-slot work makes
+  // progress even when every worker is busy elsewhere.
+  const unsigned slot = slot_of_this_thread();
+  while (detail::task_base* t = find_task(slot)) execute(t);
+  std::unique_lock lock(idle_mu_);
+  cv_idle_.wait(lock, [this] { return in_flight_.load() == 0; });
 }
 
 void thread_pool::parallel_for_range(usize n,
-                                     const std::function<void(usize, usize)>& fn) {
+                                     const std::function<void(usize, usize)>& fn,
+                                     usize blocks_per_worker) {
   if (n == 0) return;
-  const usize nblocks = std::min<usize>(n, size());
-  if (nblocks <= 1) {
+  if (blocks_per_worker == 0) blocks_per_worker = 1;
+  const usize nblocks =
+      std::min<usize>(n, static_cast<usize>(size()) * blocks_per_worker);
+  if (nblocks <= 1 || size() <= 1) {
+    // A lone worker gains nothing from queueing; the caller would only be
+    // waiting on itself.
     fn(0, n);
     return;
   }
-  const usize per = ceil_div(n, nblocks);
-  for (usize b = 0; b < nblocks; ++b) {
-    const usize begin = b * per;
-    const usize end = std::min(n, begin + per);
-    if (begin >= end) break;
-    submit([&fn, begin, end] { fn(begin, end); });
-  }
-  wait_idle();
-}
 
-void thread_pool::worker_loop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock lock(mu_);
-      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
-    }
-    task();
-    {
-      std::lock_guard lock(mu_);
-      --in_flight_;
-      if (in_flight_ == 0) cv_idle_.notify_all();
+  unsigned slot = slot_of_this_thread();
+  if (slot == kNoSlot) slot = claim_client_slot();
+
+  range_latch latch(nblocks);
+  std::vector<range_block> blocks(nblocks);
+  const usize per = n / nblocks;
+  const usize rem = n % nblocks;
+  usize begin = 0;
+  for (usize b = 0; b < nblocks; ++b) {
+    const usize len = per + (b < rem ? 1 : 0);
+    blocks[b].fn = &fn;
+    blocks[b].begin = begin;
+    blocks[b].end = begin + len;
+    blocks[b].latch = &latch;
+    begin += len;
+    pending_.fetch_add(1);
+    in_flight_.fetch_add(1);
+    if (slot == kNoSlot || !deques_[slot]->push(&blocks[b])) {
+      std::lock_guard lock(inject_mu_);
+      inject_.push_back(&blocks[b]);
     }
   }
+  wake_workers(nblocks);
+
+  // Help: our own deque holds this batch's blocks (freshest first); run them
+  // here, then wait out any that were stolen by workers.
+  if (slot != kNoSlot) {
+    while (detail::task_base* t = deques_[slot]->pop()) execute(t);
+  }
+  latch.wait();
 }
 
 thread_pool& thread_pool::global() {

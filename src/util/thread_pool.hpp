@@ -1,11 +1,31 @@
-// Fixed-size worker pool used by the xpu executor to spread work-groups
-// across hardware threads. Tasks are void() callables; parallel_for_range
-// provides the blocked-index pattern the executor needs.
+// Work-stealing worker pool used by the xpu executor to spread work-groups
+// across hardware threads and by the streaming engine to overlap host-side
+// decode/format work with device phases.
+//
+// Scheduling model (replaces the original central mutex queue):
+//   * every worker owns a bounded Chase-Lev deque: the owner pushes/pops
+//     work at the bottom (LIFO, cache-warm), idle workers steal from the
+//     top (FIFO, oldest first);
+//   * one extra deque is reserved for the "client" thread — the first
+//     non-worker thread that runs a parallel_for_range (in practice the
+//     main thread driving the executor), so its blocks are stealable
+//     work items rather than mutex-queue entries;
+//   * a mutex-guarded inject queue absorbs external submits and deque
+//     overflow; workers drain it when their own deque runs dry, then
+//     steal from everyone else before sleeping.
+//
+// parallel_for_range splits the range into ~blocks_per_worker blocks per
+// worker (so ragged per-item costs rebalance via stealing), allocates the
+// block descriptors in one array (no per-block std::function), and the
+// caller helps execute blocks from its own deque while it waits.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -13,6 +33,79 @@
 #include "util/common.hpp"
 
 namespace util {
+
+namespace detail {
+
+/// Intrusive task node. `run` executes the task; it also owns cleanup
+/// (heap tasks delete themselves, block tasks are caller-owned storage).
+struct task_base {
+  void (*run)(task_base*) = nullptr;
+};
+
+/// Bounded single-owner Chase-Lev deque of task pointers. The owner thread
+/// calls push/pop (bottom end); any thread may steal (top end). All atomics
+/// are seq_cst: the classic relaxed/fence formulation is both easy to get
+/// wrong and poorly modelled by TSan; task hand-off cost is dominated by
+/// the task body here, not the deque.
+class steal_deque {
+ public:
+  static constexpr usize kCapacity = 4096;  // power of two
+
+  /// Owner only. False when full (caller falls back to the inject queue).
+  bool push(task_base* t) {
+    const i64 b = bottom_.load();
+    const i64 top = top_.load();
+    if (b - top >= static_cast<i64>(kCapacity)) return false;
+    ring_[static_cast<usize>(b) & kMask].store(t);
+    bottom_.store(b + 1);
+    return true;
+  }
+
+  /// Owner only. Null when empty.
+  task_base* pop() {
+    const i64 b = bottom_.load() - 1;
+    bottom_.store(b);
+    i64 top = top_.load();
+    if (top > b) {  // empty
+      bottom_.store(b + 1);
+      return nullptr;
+    }
+    task_base* t = ring_[static_cast<usize>(b) & kMask].load();
+    if (top == b) {
+      // Last element: race the thieves for it.
+      if (!top_.compare_exchange_strong(top, top + 1)) t = nullptr;
+      bottom_.store(b + 1);
+    }
+    return t;
+  }
+
+  /// Any thread. Null when empty or when the race for the top element
+  /// was lost (the caller treats both as "try elsewhere").
+  task_base* steal() {
+    i64 top = top_.load();
+    const i64 b = bottom_.load();
+    if (top >= b) return nullptr;
+    task_base* t = ring_[static_cast<usize>(top) & kMask].load();
+    if (!top_.compare_exchange_strong(top, top + 1)) return nullptr;
+    return t;
+  }
+
+  bool looks_empty() const { return top_.load() >= bottom_.load(); }
+
+ private:
+  static constexpr usize kMask = kCapacity - 1;
+  alignas(64) std::atomic<i64> top_{0};
+  alignas(64) std::atomic<i64> bottom_{0};
+  std::array<std::atomic<task_base*>, kCapacity> ring_{};
+};
+
+struct job_state {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+};
+
+}  // namespace detail
 
 class thread_pool {
  public:
@@ -26,28 +119,78 @@ class thread_pool {
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
   /// Enqueue a task; tasks may not throw (kernel code reports via COF_CHECK).
+  /// Worker threads enqueue onto their own deque; other threads inject.
   void submit(std::function<void()> task);
+
+  /// Waitable handle for a task submitted with submit_job.
+  class job {
+   public:
+    job() = default;
+    bool valid() const { return st_ != nullptr; }
+    /// Block until the task has run. Must not be called from a pool worker
+    /// (the waited task could be queued behind the caller). No-op when
+    /// default-constructed; waiting repeatedly is fine.
+    void wait() const {
+      if (st_ == nullptr) return;
+      std::unique_lock lock(st_->mu);
+      st_->cv.wait(lock, [this] { return st_->done; });
+    }
+
+   private:
+    friend class thread_pool;
+    std::shared_ptr<detail::job_state> st_;
+  };
+
+  /// submit() returning a handle the caller can wait on individually
+  /// (wait_idle waits for *everything*, which serialises independent
+  /// pipelines).
+  job submit_job(std::function<void()> task);
 
   /// Block until all submitted tasks have finished.
   void wait_idle();
 
-  /// Run fn(i) for i in [0, n), partitioned into contiguous blocks across
-  /// the pool, and wait for completion. fn must be thread-safe.
-  void parallel_for_range(usize n, const std::function<void(usize begin, usize end)>& fn);
+  /// Run fn(begin, end) over contiguous blocks covering [0, n) and wait for
+  /// completion. fn must be thread-safe. The range is split into about
+  /// blocks_per_worker blocks per worker (min one item each) so ragged
+  /// per-item costs balance across threads via stealing; the caller's own
+  /// blocks execute on its deque while it waits.
+  void parallel_for_range(usize n, const std::function<void(usize begin, usize end)>& fn,
+                          usize blocks_per_worker = 4);
 
   /// Process-wide shared pool (lazily constructed).
   static thread_pool& global();
 
  private:
-  void worker_loop();
+  struct range_block;  // thread_pool.cpp
+
+  void worker_loop(unsigned idx);
+  /// Deque slot for the calling thread: workers get their own slot, the
+  /// first external caller gets the client slot, anyone else kNoSlot.
+  unsigned slot_of_this_thread();
+  unsigned claim_client_slot();
+  void enqueue(detail::task_base* t, unsigned slot);
+  void wake_workers(usize count);
+  detail::task_base* find_task(unsigned self_slot);
+  void execute(detail::task_base* t);
+
+  static constexpr unsigned kNoSlot = ~0u;
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
+  /// size() worker deques + 1 client-thread deque.
+  std::vector<std::unique_ptr<detail::steal_deque>> deques_;
+  std::atomic<std::thread::id> client_owner_{};  // owner of deques_[size()]
+
+  std::mutex inject_mu_;
+  std::deque<detail::task_base*> inject_;
+
+  std::atomic<usize> pending_{0};    // enqueued, not yet taken
+  std::atomic<usize> in_flight_{0};  // enqueued or running
+  std::atomic<usize> sleepers_{0};
+  std::atomic<bool> stop_{false};
+  std::mutex sleep_mu_;
   std::condition_variable cv_task_;
+  std::mutex idle_mu_;
   std::condition_variable cv_idle_;
-  usize in_flight_ = 0;  // queued + running
-  bool stop_ = false;
 };
 
 }  // namespace util

@@ -174,7 +174,11 @@ launch_stats launch_raw(util::thread_pool& pool, const launch_config& cfg,
   if (pool.size() <= 1 || ngroups <= 1) {
     run_groups(0, ngroups);
   } else {
-    pool.parallel_for_range(ngroups, run_groups);
+    // Groups are submitted as stealable blocks (~4 per worker): comparer
+    // groups are ragged — loci density varies wildly across the chromosome —
+    // so one equal slice per worker leaves threads idle behind the densest
+    // slice. Idle workers steal blocks from the loaded ones instead.
+    pool.parallel_for_range(ngroups, run_groups, /*blocks_per_worker=*/4);
   }
 
   launch_stats stats;

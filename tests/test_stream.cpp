@@ -243,3 +243,115 @@ TEST_P(StreamFuzz, StreamedEqualsInMemoryOnRandomFiles) {
 INSTANTIATE_TEST_SUITE_P(Seeds, StreamFuzz, ::testing::Range(1, 9));
 
 }  // namespace
+
+// -- appended: async two-deep pipeline ----------------------------------------
+
+namespace {
+
+/// The async pipeline (decode overlap + single batched comparer launch +
+/// deferred downloads + pool-side formatting) must be bit-identical to the
+/// synchronous per-query loop, including chrom bookkeeping and chunk-boundary
+/// overlap sites.
+TEST(StreamingAsync, MatchesSynchronousLoop) {
+  temp_dir dir;
+  auto g = stream_genome(64);
+  auto cfg = cof::parse_input(cof::example_input("<file>"));
+  const std::string guide = cfg.queries[0].seq.substr(0, 20) + "NGG";
+  genome::plant_sites(g, guide, cfg.pattern, 7, 2, 17);
+  const auto file = dir.path / "g.fa";
+  genome::write_fasta_file(file.string(), g.chroms);
+
+  cof::engine_options async_opt{.backend = cof::backend_kind::sycl,
+                                .max_chunk = 7000};
+  async_opt.stream_async = true;
+  cof::engine_options sync_opt = async_opt;
+  sync_opt.stream_async = false;
+
+  const auto a = cof::run_search_streaming(cfg, file.string(), async_opt);
+  const auto s = cof::run_search_streaming(cfg, file.string(), sync_opt);
+  EXPECT_EQ(a.records, s.records);
+  EXPECT_EQ(a.chrom_names, s.chrom_names);
+  EXPECT_EQ(a.streamed_bases, s.streamed_bases);
+  EXPECT_EQ(a.metrics.chunks, s.metrics.chunks);
+  EXPECT_EQ(a.peak_chunk_bytes, s.peak_chunk_bytes);
+}
+
+/// Per-chunk comparer launches drop from num_queries to exactly 1 on the
+/// async path: for every chunk with finder hits, the sync loop launches once
+/// per query, the async path once total.
+TEST(StreamingAsync, SingleBatchedComparerLaunchPerChunk) {
+  temp_dir dir;
+  auto g = stream_genome(65);
+  auto cfg = cof::parse_input(cof::example_input("<file>"));
+  ASSERT_EQ(cfg.queries.size(), 3u);
+  const auto file = dir.path / "g.fa";
+  genome::write_fasta_file(file.string(), g.chroms);
+
+  cof::engine_options opt{.backend = cof::backend_kind::sycl, .max_chunk = 6000};
+  opt.stream_async = true;
+  const auto a = cof::run_search_streaming(cfg, file.string(), opt);
+  opt.stream_async = false;
+  const auto s = cof::run_search_streaming(cfg, file.string(), opt);
+
+  // Both paths chunk identically, so chunks-with-hits agree; the async count
+  // is one launch per such chunk, the sync count num_queries per chunk.
+  EXPECT_EQ(a.metrics.pipeline.comparer_launches * cfg.queries.size(),
+            s.metrics.pipeline.comparer_launches);
+  EXPECT_LE(a.metrics.pipeline.comparer_launches, a.metrics.chunks);
+  EXPECT_EQ(a.metrics.pipeline.finder_launches, s.metrics.pipeline.finder_launches);
+  EXPECT_EQ(a.records, s.records);
+}
+
+/// Every device backend must produce the serial reference's records through
+/// the async streaming path (exercises the batched launch/fetch protocol of
+/// each facade: buffer SYCL, USM, OpenCL comparer_multi, twobit fallback).
+class StreamBackends : public ::testing::TestWithParam<cof::backend_kind> {};
+
+TEST_P(StreamBackends, AsyncStreamedMatchesSerialReference) {
+  temp_dir dir;
+  auto g = stream_genome(66);
+  auto cfg = cof::parse_input(cof::example_input("<file>"));
+  const std::string guide = cfg.queries[1].seq.substr(0, 20) + "NGG";
+  genome::plant_sites(g, guide, cfg.pattern, 4, 1, 23);
+  const auto file = dir.path / "g.fa";
+  genome::write_fasta_file(file.string(), g.chroms);
+
+  const auto reference =
+      cof::run_search(cfg, g, {.backend = cof::backend_kind::serial});
+  cof::engine_options opt{.backend = GetParam(), .max_chunk = 9000};
+  opt.stream_async = true;
+  const auto streamed = cof::run_search_streaming(cfg, file.string(), opt);
+  EXPECT_EQ(streamed.records, reference.records);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, StreamBackends,
+                         ::testing::Values(cof::backend_kind::opencl,
+                                           cof::backend_kind::sycl,
+                                           cof::backend_kind::sycl_usm,
+                                           cof::backend_kind::sycl_twobit));
+
+/// Chunk-boundary site straddling a chunk edge must survive the async path's
+/// overlap carry (same planted-site setup as the synchronous boundary test).
+TEST(StreamingAsync, SiteAtExactChunkBoundary) {
+  temp_dir dir;
+  genome::genome_t g;
+  g.chroms.push_back({"chr", std::string(4000, 'T')});
+  const std::string site = "GGCCGACCTGTCGCTGACGCTGG";
+  const util::usize chunk_size = 1000;
+  g.chroms[0].seq.replace(chunk_size - 5, site.size(), site);  // straddles
+  const auto file = dir.path / "g.fa";
+  genome::write_fasta_file(file.string(), g.chroms);
+  auto cfg = cof::parse_input(cof::example_input("<file>"));
+  cof::engine_options opt{.backend = cof::backend_kind::sycl,
+                          .max_chunk = chunk_size};
+  opt.stream_async = true;
+  const auto streamed = cof::run_search_streaming(cfg, file.string(), opt);
+  bool found = false;
+  for (const auto& rec : streamed.records) {
+    found |= rec.query_index == 0 && rec.position == chunk_size - 5 &&
+             rec.mismatches == 0;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace

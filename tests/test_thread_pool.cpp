@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
 #include <vector>
 
 #include "util/thread_pool.hpp"
@@ -79,6 +80,126 @@ TEST(ThreadPool, SingleThreadPoolRunsInline) {
 
 TEST(ThreadPool, GlobalPoolIsSingleton) {
   EXPECT_EQ(&util::thread_pool::global(), &util::thread_pool::global());
+}
+
+// -- appended: work-stealing scheduler ---------------------------------------
+
+/// Many severely unbalanced tasks: a few long grinds plus a swarm of trivial
+/// ones. With per-worker deques the long tasks pin their owners and the swarm
+/// must migrate to idle workers via steals; the test only asserts completion
+/// and exact counts (TSan asserts the ordering rules).
+TEST(ThreadPoolStealing, UnbalancedTaskStress) {
+  util::thread_pool pool(4);
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 8; ++round) {
+    for (int i = 0; i < 400; ++i) {
+      const bool heavy = i % 100 == 0;
+      pool.submit([&sum, heavy] {
+        long local = 0;
+        const int spins = heavy ? 20000 : 5;
+        for (int k = 0; k < spins; ++k) local += k % 7;
+        sum.fetch_add(1 + local - local);
+      });
+    }
+    pool.wait_idle();
+  }
+  EXPECT_EQ(sum.load(), 8 * 400);
+}
+
+/// Tasks submitted from inside workers land on the submitting worker's own
+/// deque (LIFO hot path) and remain stealable; the fan-out must fully drain.
+TEST(ThreadPoolStealing, NestedSubmitsFromWorkers) {
+  util::thread_pool pool(4);
+  std::atomic<int> n{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&pool, &n] {
+      n.fetch_add(1);
+      for (int j = 0; j < 10; ++j) {
+        pool.submit([&pool, &n] {
+          n.fetch_add(1);
+          pool.submit([&n] { n.fetch_add(1); });
+        });
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(n.load(), 50 + 50 * 10 + 50 * 10);
+}
+
+/// Explicit grain control: any blocks_per_worker must still cover the range
+/// exactly once, including grains that produce more blocks than elements
+/// would sensibly need.
+TEST(ThreadPoolStealing, GrainParameterCoversRangeExactlyOnce) {
+  util::thread_pool pool(3);
+  for (util::usize grain : {1u, 2u, 16u, 64u}) {
+    const util::usize n = 4099;  // prime
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for_range(
+        n,
+        [&](util::usize b, util::usize e) {
+          for (util::usize i = b; i < e; ++i) hits[i].fetch_add(1);
+        },
+        grain);
+    for (util::usize i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1)
+        << "grain " << grain << " index " << i;
+  }
+}
+
+TEST(ThreadPoolStealing, SubmitJobIsWaitable) {
+  util::thread_pool pool(2);
+  std::atomic<int> n{0};
+  std::vector<util::thread_pool::job> jobs;
+  for (int i = 0; i < 32; ++i) {
+    jobs.push_back(pool.submit_job([&n] { n.fetch_add(1); }));
+  }
+  for (auto& j : jobs) j.wait();
+  EXPECT_EQ(n.load(), 32);
+  jobs.front().wait();  // waiting again is a no-op
+  EXPECT_TRUE(jobs.front().valid());
+}
+
+/// Two external threads drive parallel_for_range concurrently on one pool:
+/// only one can own the client deque, the other goes through the inject
+/// queue. Both ranges must complete exactly once.
+TEST(ThreadPoolStealing, ConcurrentExternalParallelForCallers) {
+  util::thread_pool pool(4);
+  const util::usize n = 5003;
+  std::vector<std::atomic<int>> a(n), b(n);
+  auto drive = [&pool, n](std::vector<std::atomic<int>>& hits) {
+    for (int round = 0; round < 4; ++round) {
+      pool.parallel_for_range(n, [&](util::usize lo, util::usize hi) {
+        for (util::usize i = lo; i < hi; ++i) hits[i].fetch_add(1);
+      });
+    }
+  };
+  std::thread ta(drive, std::ref(a));
+  std::thread tb(drive, std::ref(b));
+  ta.join();
+  tb.join();
+  for (util::usize i = 0; i < n; ++i) {
+    ASSERT_EQ(a[i].load(), 4) << i;
+    ASSERT_EQ(b[i].load(), 4) << i;
+  }
+}
+
+/// parallel_for_range issued from inside a worker task: the caller helps by
+/// draining its own deque, and blocks stolen by other workers finish
+/// elsewhere; the nested range must complete without deadlock.
+TEST(ThreadPoolStealing, NestedParallelForFromWorker) {
+  util::thread_pool pool(4);
+  std::atomic<long> sum{0};
+  std::atomic<int> outer_done{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&pool, &sum, &outer_done] {
+      pool.parallel_for_range(1000, [&sum](util::usize b, util::usize e) {
+        for (util::usize i = b; i < e; ++i) sum.fetch_add(1);
+      });
+      outer_done.fetch_add(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(outer_done.load(), 8);
+  EXPECT_EQ(sum.load(), 8 * 1000);
 }
 
 }  // namespace
