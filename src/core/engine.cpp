@@ -42,6 +42,7 @@ search_outcome run_search(const search_config& cfg, const genome::genome_t& g,
   popt.wg_size = opt.wg_size;
   popt.counting = opt.counting;
   popt.profiler = opt.profiler;
+  popt.max_entries = opt.max_entries;
   auto make_pipe = [&]() -> std::unique_ptr<device_pipeline> {
     switch (opt.backend) {
       case backend_kind::opencl: return make_opencl_pipeline(popt);
@@ -105,6 +106,7 @@ search_outcome run_search(const search_config& cfg, const genome::genome_t& g,
     out.records.insert(out.records.end(), local_records.begin(),
                        local_records.end());
     const auto& pm = pipe->metrics();
+    out.metrics.per_queue.push_back(pm);
     out.metrics.pipeline.kernel_nanos += pm.kernel_nanos;
     out.metrics.pipeline.finder_launches += pm.finder_launches;
     out.metrics.pipeline.comparer_launches += pm.comparer_launches;

@@ -45,14 +45,23 @@ struct engine_options {
   /// — the multi-device extension the paper marks as future work ("the SYCL
   /// application currently executes on a single GPU device"). Results are
   /// identical for any value (canonical order + dedup). 0/1 = single queue.
+  /// Applies to run_search and run_search_streaming (async path).
   usize num_queues = 1;
+  /// Cap on per-chunk device entry allocations (see
+  /// pipeline_options::max_entries). 0 = worst-case sizing (never
+  /// overflows); a too-small cap aborts with an overflow report instead of
+  /// writing out of bounds.
+  usize max_entries = 0;
 };
 
 struct run_metrics {
   /// Paper-style elapsed seconds: chunking + kernels + transfers + result
   /// assembly; excludes environment setup and genome file I/O.
   double elapsed_seconds = 0.0;
+  /// Sum across queues; per_queue holds each queue's own accounting when
+  /// num_queues > 0 workers actually ran.
   pipeline_metrics pipeline;
+  std::vector<pipeline_metrics> per_queue;
   usize chunks = 0;
 };
 

@@ -1,9 +1,15 @@
 #include "core/engine_stream.hpp"
 
+#include <atomic>
+#include <filesystem>
 #include <optional>
+#include <thread>
+
+#include <unistd.h>
 
 #include "genome/fasta_stream.hpp"
 #include "util/log.hpp"
+#include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -14,10 +20,12 @@ namespace {
 // ---------------------------------------------------------------------------
 // chunk_source: pull-based FASTA decode. Reproduces the synchronous loop's
 // chunking exactly — one chrom event per record (even empty ones), chunks of
-// up to max_chunk bases, a plen-1 overlap carried across chunk boundaries so
-// straddling sites are re-scanned, and a carry-only tail chunk when a record
-// ends exactly on a chunk boundary. Single reader: the engine serialises
-// decode jobs (the next one is submitted only after the previous completed).
+// up to max_chunk bases, and a plen-1 overlap carried across chunk
+// boundaries so straddling sites are re-scanned. A record whose length lands
+// exactly on a chunk boundary ends at that boundary: the carried overlap
+// alone never forms a trailing chunk (its bases were already scanned as the
+// tail of the previous chunk). Single reader: the engine's producer thread
+// is the only caller.
 // ---------------------------------------------------------------------------
 class chunk_source {
  public:
@@ -57,13 +65,20 @@ class chunk_source {
       }
       std::string buf = std::move(carry_);
       carry_.clear();
+      const usize carried = buf.size();
       const usize got = stream_->read_bases(buf, max_chunk_ - buf.size());
       streamed_bases_ += got;
-      const bool record_done = buf.size() < max_chunk_;
-      if (buf.empty()) {
+      if (got == 0) {
+        // EOF with nothing new: either an empty record, or the record ended
+        // exactly on the previous chunk boundary. Any carried overlap was
+        // already scanned as the tail of that chunk — emitting it again
+        // would be a redundant carry-only chunk.
         in_record_ = false;
         continue;
       }
+      COF_CHECK_MSG(buf.size() > carried,
+                    "chunk must extend past the carried overlap");
+      const bool record_done = buf.size() < max_chunk_;
       event ev;
       ev.kind = event::chunk;
       ev.start = next_start_;
@@ -96,6 +111,7 @@ std::unique_ptr<device_pipeline> make_pipeline(const engine_options& opt) {
   popt.wg_size = opt.wg_size;
   popt.counting = opt.counting;
   popt.profiler = opt.profiler;
+  popt.max_entries = opt.max_entries;
   switch (opt.backend) {
     case backend_kind::opencl: return make_opencl_pipeline(popt);
     case backend_kind::sycl_usm: return make_sycl_usm_pipeline(popt);
@@ -104,138 +120,177 @@ std::unique_ptr<device_pipeline> make_pipeline(const engine_options& opt) {
   }
 }
 
+std::string spill_path(usize queue_index) {
+  static std::atomic<unsigned> serial{0};
+  return (std::filesystem::temp_directory_path() /
+          util::format("cof_spill_%ld_%u_q%zu.run", static_cast<long>(::getpid()),
+                       serial.fetch_add(1), queue_index))
+      .string();
+}
+
 // ---------------------------------------------------------------------------
-// Async engine: two-deep software pipeline over a 3-slot ring.
+// Async engine: one decode producer feeding num_queues device consumers
+// over a bounded chunk queue.
 //
-//   decode N+1 (pool) | device N (main)   | format N-1 (pool)
+//   decode (producer) -> bounded_queue -> device queue 0..N-1 -> spill files
+//                                          |
+//                                          +-> format+spill job (pool)
 //
-// While the device runs finder + one batched comparer launch for chunk N,
-// the pool decodes chunk N+1 from the FASTA stream and formats chunk N-1's
-// entries into records. Three slots so chunk N-1's text stays alive for its
-// format job while N executes and N+1 decodes. Only the main thread touches
-// the pipeline (metrics included); jobs touch only their own slot.
+// The producer (the calling thread) decodes chunks from the FASTA stream
+// and pushes them to the queue; backpressure (capacity num_queues + 2)
+// bounds the decoded-but-unprocessed text to a fixed lookahead. Each
+// consumer owns one pipeline: it runs finder + ONE batched comparer launch
+// per chunk, then hands the entry batch to a pool job that formats records
+// and spills them to the queue's own temp file as one sorted run. Format
+// jobs are chained per queue (the next is submitted only after the previous
+// finished), which (a) keeps the spill writer single-owner, (b) bounds
+// live chunk texts to two per queue, and (c) preserves the two-deep
+// decode/device/format overlap at num_queues == 1. After the consumers
+// join, every queue's runs are k-way merged (with key dedup) into canonical
+// order — identical output to sort_and_dedup over an in-memory record set,
+// for any queue count.
 // ---------------------------------------------------------------------------
-struct stream_slot {
+struct stream_chunk {
   std::string text;
-  util::u64 chunk_start = 0;
-  std::vector<std::string> new_chroms;  // chrom events preceding this chunk
-  bool has_chunk = false;
-  util::thread_pool::job decode_job;
-  util::thread_pool::job format_job;
-  std::vector<ot_record> records;  // format output, merged by main on reuse
+  util::u64 start = 0;
+  u32 chrom_index = 0;
 };
 
 streamed_outcome run_streaming_async(const search_config& cfg,
                                      const std::string& path,
                                      const engine_options& opt,
-                                     device_pipeline* pipe,
                                      const device_pattern& pat,
                                      const std::vector<device_pattern>& dev_queries,
-                                     usize overlap, util::stopwatch& sw) {
+                                     usize overlap, util::stopwatch& sw,
+                                     const record_sink& sink) {
   streamed_outcome out;
   util::thread_pool& pool = util::thread_pool::global();
-  chunk_source source(path, opt.max_chunk, overlap);
 
   std::vector<u16> thresholds;
   thresholds.reserve(cfg.queries.size());
   for (const auto& q : cfg.queries) thresholds.push_back(q.max_mismatches);
 
-  constexpr usize kSlots = 3;
-  stream_slot slots[kSlots];
+  // Profiling serialises the queues (the process-global event counters are
+  // reset/snapshot around each launch, as a profiler would).
+  usize queues = std::max<usize>(1, opt.num_queues);
+  if (opt.counting) queues = 1;
 
-  // Reclaim a slot (wait out its format job, merge its records), then start
-  // decoding the next chunk into it off the critical path.
-  auto prefetch = [&](stream_slot& slot) {
-    slot.format_job.wait();
-    slot.format_job = {};
-    out.records.insert(out.records.end(),
-                       std::make_move_iterator(slot.records.begin()),
-                       std::make_move_iterator(slot.records.end()));
-    slot.records.clear();
-    slot.new_chroms.clear();
-    slot.has_chunk = false;
-    slot.decode_job = pool.submit_job([&slot, &source] {
-      for (;;) {
-        chunk_source::event ev = source.next();
-        if (ev.kind == chunk_source::event::chrom) {
-          slot.new_chroms.push_back(std::move(ev.name));
-          continue;
-        }
-        if (ev.kind == chunk_source::event::chunk) {
-          slot.text = std::move(ev.text);
-          slot.chunk_start = ev.start;
-          slot.has_chunk = true;
-        }
-        return;  // chunk ready or source exhausted
-      }
-    });
+  struct queue_state {
+    std::unique_ptr<device_pipeline> pipe;
+    std::unique_ptr<record_spill_writer> writer;
+    usize chunks = 0;
+    usize peak_chunk_bytes = 0;
   };
-
-  prefetch(slots[0]);
-  for (usize cur = 0;; cur = (cur + 1) % kSlots) {
-    stream_slot& slot = slots[cur];
-    slot.decode_job.wait();
-    slot.decode_job = {};
-    for (auto& name : slot.new_chroms) out.chrom_names.push_back(std::move(name));
-    slot.new_chroms.clear();
-    if (!slot.has_chunk) break;  // source exhausted
-
-    // Overlap: start decoding the next chunk before this one's device phase.
-    prefetch(slots[(cur + 1) % kSlots]);
-
-    const u32 chrom_index = static_cast<u32>(out.chrom_names.size()) - 1;
-    ++out.metrics.chunks;
-    out.peak_chunk_bytes = std::max(out.peak_chunk_bytes, slot.text.size());
-    LOG_DEBUG("stream chunk@%llu: %zu bases",
-              static_cast<unsigned long long>(slot.chunk_start), slot.text.size());
-
-    pipe->load_chunk_async(slot.text).wait();
-    const u32 hits = pipe->run_finder(pat);
-    if (hits == 0) continue;
-    // ONE batched launch for every query; the finder's loci/flag arrays are
-    // consumed device-side, the entry download is deferred past the launch.
-    pipe->launch_comparer_batch(dev_queries, thresholds).wait();
-    device_pipeline::entries entries = pipe->fetch_entries();
-    if (entries.size() == 0) continue;
-
-    // Record formatting happens on the pool, off the device critical path.
-    // The job reads only its slot's text plus the shared (immutable) query
-    // patterns; the slot is not reused until this job is waited out.
-    slot.format_job = pool.submit_job(
-        [&slot, &dev_queries, chrom_index, plen = pat.plen,
-         ent = std::move(entries)] {
-          slot.records.reserve(ent.size());
-          for (usize e = 0; e < ent.size(); ++e) {
-            const u32 qi = ent.qidx[e];
-            const std::string_view slice(slot.text.data() + ent.loci[e], plen);
-            slot.records.push_back(ot_record{
-                qi, chrom_index, slot.chunk_start + ent.loci[e], ent.dir[e],
-                ent.mm[e],
-                make_site_string(dev_queries[qi].seq, slice, ent.dir[e])});
-          }
-        });
+  std::vector<queue_state> qs(queues);
+  for (usize i = 0; i < queues; ++i) {
+    qs[i].pipe = make_pipeline(opt);
+    qs[i].writer = std::make_unique<record_spill_writer>(spill_path(i));
   }
 
-  // Drain: the loop broke at the end-of-source slot; only format jobs of the
-  // other slots can still be outstanding.
-  for (auto& slot : slots) {
-    slot.format_job.wait();
-    out.records.insert(out.records.end(),
-                       std::make_move_iterator(slot.records.begin()),
-                       std::make_move_iterator(slot.records.end()));
-    slot.records.clear();
+  util::bounded_queue<stream_chunk> chunk_queue(queues + 2);
+
+  auto consume = [&](queue_state& st) {
+    util::thread_pool::job format_job;
+    stream_chunk ch;
+    while (chunk_queue.pop(ch)) {
+      ++st.chunks;
+      st.peak_chunk_bytes = std::max(st.peak_chunk_bytes, ch.text.size());
+      LOG_DEBUG("stream chunk@%llu: %zu bases",
+                static_cast<unsigned long long>(ch.start), ch.text.size());
+      st.pipe->load_chunk_async(ch.text).wait();
+      const u32 hits = st.pipe->run_finder(pat);
+      if (hits == 0) continue;
+      // ONE batched launch for every query; the finder's loci/flag arrays
+      // are consumed device-side, the entry download deferred past launch.
+      st.pipe->launch_comparer_batch(dev_queries, thresholds).wait();
+      device_pipeline::entries entries = st.pipe->fetch_entries();
+      if (entries.size() == 0) continue;
+
+      // Record formatting + spilling runs on the pool, off the device
+      // critical path. Chained per queue: wait out the previous job so the
+      // spill writer stays single-owner and at most one batch (plus the
+      // chunk text it slices) is held per queue.
+      format_job.wait();
+      format_job = pool.submit_job(
+          [text = std::move(ch.text), ent = std::move(entries),
+           chrom = ch.chrom_index, start = ch.start, writer = st.writer.get(),
+           &dev_queries, plen = pat.plen] {
+            std::vector<ot_record> batch;
+            batch.reserve(ent.size());
+            for (usize e = 0; e < ent.size(); ++e) {
+              const u32 qi = ent.qidx[e];
+              const std::string_view slice(text.data() + ent.loci[e], plen);
+              batch.push_back(ot_record{
+                  qi, chrom, start + ent.loci[e], ent.dir[e], ent.mm[e],
+                  make_site_string(dev_queries[qi].seq, slice, ent.dir[e])});
+            }
+            writer->spill(batch);
+          });
+    }
+    format_job.wait();
+    st.writer->finish();
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(queues);
+  for (auto& st : qs) workers.emplace_back(consume, std::ref(st));
+
+  // Producer: the only thread touching the FASTA stream and chrom_names.
+  chunk_source source(path, opt.max_chunk, overlap);
+  for (;;) {
+    chunk_source::event ev = source.next();
+    if (ev.kind == chunk_source::event::chrom) {
+      out.chrom_names.push_back(std::move(ev.name));
+      continue;
+    }
+    if (ev.kind == chunk_source::event::end) break;
+    stream_chunk ch;
+    ch.text = std::move(ev.text);
+    ch.start = ev.start;
+    ch.chrom_index = static_cast<u32>(out.chrom_names.size()) - 1;
+    chunk_queue.push(std::move(ch));
+  }
+  chunk_queue.close();
+  for (auto& t : workers) t.join();
+
+  std::vector<std::string> spill_paths;
+  for (auto& st : qs) {
+    out.metrics.chunks += st.chunks;
+    out.peak_chunk_bytes = std::max(out.peak_chunk_bytes, st.peak_chunk_bytes);
+    out.peak_record_bytes += st.writer->peak_run_bytes();
+    out.spill_runs += st.writer->runs();
+    spill_paths.push_back(st.writer->path());
+    const auto& pm = st.pipe->metrics();
+    out.metrics.per_queue.push_back(pm);
+    out.metrics.pipeline.kernel_nanos += pm.kernel_nanos;
+    out.metrics.pipeline.finder_launches += pm.finder_launches;
+    out.metrics.pipeline.comparer_launches += pm.comparer_launches;
+    out.metrics.pipeline.h2d_bytes += pm.h2d_bytes;
+    out.metrics.pipeline.d2h_bytes += pm.d2h_bytes;
+    out.metrics.pipeline.total_loci += pm.total_loci;
+    out.metrics.pipeline.total_entries += pm.total_entries;
+  }
+
+  // Canonical-order merge with key dedup — byte-identical to sorting and
+  // deduplicating the whole record set in memory, regardless of how the
+  // chunks were interleaved across queues.
+  if (sink) {
+    out.total_records = merge_spill_runs(spill_paths, sink);
+  } else {
+    out.total_records = merge_spill_runs(spill_paths, [&out](ot_record&& r) {
+      out.records.push_back(std::move(r));
+    });
   }
 
   out.streamed_bases = source.streamed_bases();
-  sort_and_dedup(out.records);
-  out.metrics.pipeline = pipe->metrics();
   out.metrics.elapsed_seconds = sw.seconds();
   return out;
 }
 
 // ---------------------------------------------------------------------------
 // Synchronous engine: the PR 1 loop, kept verbatim as the bench baseline —
-// blocking decode, then one comparer launch per query per chunk.
+// blocking decode, then one comparer launch per query per chunk, records
+// accumulated in memory until end of run.
 // ---------------------------------------------------------------------------
 streamed_outcome run_streaming_sync(const search_config& cfg,
                                     const std::string& path,
@@ -243,7 +298,8 @@ streamed_outcome run_streaming_sync(const search_config& cfg,
                                     device_pipeline* pipe,
                                     const device_pattern& pat,
                                     const std::vector<device_pattern>& dev_queries,
-                                    usize overlap, util::stopwatch& sw) {
+                                    usize overlap, util::stopwatch& sw,
+                                    const record_sink& sink) {
   streamed_outcome out;
   std::string chunk;
   chunk.reserve(opt.max_chunk);
@@ -278,8 +334,11 @@ streamed_outcome run_streaming_sync(const search_config& cfg,
       for (;;) {
         const usize got = stream.read_bases(chunk, opt.max_chunk - chunk.size());
         out.streamed_bases += got;
+        // EOF with nothing new: the record was empty or ended exactly on
+        // the previous chunk boundary — the carried overlap was already
+        // scanned, so there is no carry-only tail chunk to search.
+        if (got == 0) break;
         const bool record_done = chunk.size() < opt.max_chunk;
-        if (chunk.empty()) break;
         LOG_DEBUG("stream %s@%llu: %zu bases%s", stream.record_name().c_str(),
                   static_cast<unsigned long long>(chunk_start), chunk.size(),
                   record_done ? " (tail)" : "");
@@ -293,6 +352,14 @@ streamed_outcome run_streaming_sync(const search_config& cfg,
   }
 
   sort_and_dedup(out.records);
+  for (const auto& r : out.records) {
+    out.peak_record_bytes += sizeof(ot_record) + r.site.size();
+  }
+  out.total_records = out.records.size();
+  if (sink) {
+    for (auto& r : out.records) sink(std::move(r));
+    out.records.clear();
+  }
   out.metrics.pipeline = pipe->metrics();
   out.metrics.elapsed_seconds = sw.seconds();
   return out;
@@ -303,12 +370,18 @@ streamed_outcome run_streaming_sync(const search_config& cfg,
 streamed_outcome run_search_streaming(const search_config& cfg,
                                       const std::string& path,
                                       const engine_options& opt) {
+  return run_search_streaming(cfg, path, opt, record_sink{});
+}
+
+streamed_outcome run_search_streaming(const search_config& cfg,
+                                      const std::string& path,
+                                      const engine_options& opt,
+                                      const record_sink& sink) {
   util::stopwatch sw;
 
   COF_CHECK_MSG(opt.backend != backend_kind::serial,
                 "streaming mode drives a device pipeline; use run_search for "
                 "the serial reference");
-  std::unique_ptr<device_pipeline> pipe = make_pipeline(opt);
 
   const device_pattern pat = make_pattern(cfg.pattern);
   std::vector<device_pattern> dev_queries;
@@ -318,11 +391,12 @@ streamed_outcome run_search_streaming(const search_config& cfg,
   COF_CHECK_MSG(opt.max_chunk > overlap, "max_chunk must exceed pattern length");
 
   if (opt.stream_async) {
-    return run_streaming_async(cfg, path, opt, pipe.get(), pat, dev_queries,
-                               overlap, sw);
+    return run_streaming_async(cfg, path, opt, pat, dev_queries, overlap, sw,
+                               sink);
   }
+  std::unique_ptr<device_pipeline> pipe = make_pipeline(opt);
   return run_streaming_sync(cfg, path, opt, pipe.get(), pat, dev_queries,
-                            overlap, sw);
+                            overlap, sw, sink);
 }
 
 }  // namespace cof

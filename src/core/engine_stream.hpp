@@ -1,28 +1,59 @@
 // Streaming search: feed a FASTA file (or directory) through device-sized
 // chunks without ever holding a whole chromosome in host memory — the way
 // Cas-OFFinder processes multi-gigabyte assemblies on modest hosts. Host
-// memory use is O(max_chunk), independent of genome size.
+// memory use is O(max_chunk · num_queues), independent of genome size:
+// decoded chunks fan out over a bounded queue to num_queues device
+// pipelines, and each queue's formatted records spill to disk per chunk
+// (sorted runs, k-way merged into canonical order at the end) instead of
+// accumulating until end of run.
 #pragma once
+
+#include <functional>
 
 #include "core/engine.hpp"
 
 namespace cof {
 
 struct streamed_outcome {
+  /// Canonical (sorted, deduplicated) records. Left empty when a record
+  /// sink was supplied — the sink received them instead.
   std::vector<ot_record> records;
   std::vector<std::string> chrom_names;  // streamed order; records index it
   run_metrics metrics;
   util::u64 streamed_bases = 0;
   util::usize peak_chunk_bytes = 0;
+  /// Bounded-memory accounting: the most record bytes the engine held in
+  /// host memory at once. Async path: sum over queues of the largest
+  /// single-chunk batch (per-chunk bound — records spill to disk between
+  /// chunks). Sync path: the whole accumulated record set (the contrast
+  /// the spill writer exists to avoid).
+  util::usize peak_record_bytes = 0;
+  /// Sorted runs spilled across all queues (async path; 0 in sync mode).
+  util::usize spill_runs = 0;
+  /// Records after the merge-dedup (== records.size() unless a sink
+  /// consumed them).
+  util::u64 total_records = 0;
 };
+
+/// Per-record output hook for the streaming search: receives each final
+/// record in canonical order, exactly once (after dedup).
+using record_sink = std::function<void(ot_record&&)>;
 
 /// Run the search against the FASTA file/directory at `path` (the config's
 /// genome line is ignored). Results are identical to loading the genome and
-/// calling run_search. Multi-queue is not supported in streaming mode
-/// (chunks are produced sequentially from the stream); opt.num_queues is
-/// ignored.
+/// calling run_search. opt.num_queues > 1 (async path) decodes once and
+/// fans the chunks out to that many independent device pipelines over a
+/// bounded queue; results stay byte-identical for any queue count.
 streamed_outcome run_search_streaming(const search_config& cfg,
                                       const std::string& path,
                                       const engine_options& opt = {});
+
+/// As above, but hand each final record to `sink` instead of materialising
+/// outcome.records — the full result set never lives in host memory, so
+/// output size no longer bounds the run (write-to-file pipelines).
+streamed_outcome run_search_streaming(const search_config& cfg,
+                                      const std::string& path,
+                                      const engine_options& opt,
+                                      const record_sink& sink);
 
 }  // namespace cof

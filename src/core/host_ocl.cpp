@@ -4,6 +4,7 @@
 // source, clSetKernelArg marshaling (with size-only local-memory args),
 // clEnqueueNDRangeKernel with a runtime-chosen work-group size (lws = NULL),
 // explicit clEnqueue{Read,Write}Buffer transfers, and manual clRelease*.
+#include <algorithm>
 #include <cstring>
 
 #include "core/pipeline.hpp"
@@ -41,6 +42,7 @@ __kernel void finder(__global char* chr, __constant char* pat,
                      __constant int* pat_index, unsigned int chrsize,
                      unsigned int plen, __global unsigned int* loci,
                      __global char* flag, __global unsigned int* entrycount,
+                     unsigned int entry_capacity,
                      __local char* l_pat, __local int* l_pat_index) {
   unsigned int i = get_global_id(0);
   unsigned int li = i - get_group_id(0) * get_local_size(0);
@@ -65,8 +67,12 @@ __kernel void finder(__global char* chr, __constant char* pat,
   }
   if (fw || rc) {
     unsigned int old = atomic_inc(entrycount);
-    loci[old] = i;
-    flag[old] = (fw && rc) ? 0 : (fw ? 1 : 2);
+    /* The counter keeps advancing past the capacity so the host can detect
+     * and report the overflow; only the store is dropped. */
+    if (old < entry_capacity) {
+      loci[old] = i;
+      flag[old] = (fw && rc) ? 0 : (fw ? 1 : 2);
+    }
   }
 }
 
@@ -77,7 +83,8 @@ __kernel void comparer(unsigned int locicnts, __global char* chr,
                        __global unsigned short* mm_count,
                        __global char* direction,
                        __global unsigned int* mm_loci,
-                       __global unsigned int* entrycount, __local char* l_comp,
+                       __global unsigned int* entrycount,
+                       unsigned int entry_capacity, __local char* l_comp,
                        __local int* l_comp_index) {
   unsigned int i = get_global_id(0);
   unsigned int li = i - get_group_id(0) * get_local_size(0);
@@ -103,9 +110,11 @@ __kernel void comparer(unsigned int locicnts, __global char* chr,
     }
     if (lmm_count <= threshold) {
       old = atomic_inc(entrycount);
-      mm_count[old] = lmm_count;
-      direction[old] = '+';
-      mm_loci[old] = loci[i];
+      if (old < entry_capacity) {
+        mm_count[old] = lmm_count;
+        direction[old] = '+';
+        mm_loci[old] = loci[i];
+      }
     }
   }
   if (flag[i] == 0 || flag[i] == 2) {
@@ -120,9 +129,11 @@ __kernel void comparer(unsigned int locicnts, __global char* chr,
     }
     if (lmm_count <= threshold) {
       old = atomic_inc(entrycount);
-      mm_count[old] = lmm_count;
-      direction[old] = '-';
-      mm_loci[old] = loci[i];
+      if (old < entry_capacity) {
+        mm_count[old] = lmm_count;
+        direction[old] = '-';
+        mm_loci[old] = loci[i];
+      }
     }
   }
 }
@@ -148,6 +159,7 @@ __kernel void finder_mask(__global char* __restrict chr,
                           unsigned int plen, __global unsigned int* __restrict loci,
                           __global char* __restrict flag,
                           __global unsigned int* __restrict entrycount,
+                          unsigned int entry_capacity,
                           __local unsigned short* l_pat_mask,
                           __local int* l_pat_index) {
   unsigned int i = get_global_id(0);
@@ -173,8 +185,10 @@ __kernel void finder_mask(__global char* __restrict chr,
   }
   if (fw || rc) {
     unsigned int old = atomic_inc(entrycount);
-    loci[old] = i;
-    flag[old] = (fw && rc) ? 0 : (fw ? 1 : 2);
+    if (old < entry_capacity) {
+      loci[old] = i;
+      flag[old] = (fw && rc) ? 0 : (fw ? 1 : 2);
+    }
   }
 }
 
@@ -187,6 +201,7 @@ __kernel void comparer_opt5(unsigned int locicnts, __global char* __restrict chr
                             __global char* __restrict direction,
                             __global unsigned int* __restrict mm_loci,
                             __global unsigned int* __restrict entrycount,
+                            unsigned int entry_capacity,
                             __local unsigned short* l_comp_mask,
                             __local int* l_comp_index) {
   unsigned int i = get_global_id(0);
@@ -215,9 +230,11 @@ __kernel void comparer_opt5(unsigned int locicnts, __global char* __restrict chr
     }
     if (lmm_count <= threshold) {
       old = atomic_inc(entrycount);
-      mm_count[old] = lmm_count;
-      direction[old] = '+';
-      mm_loci[old] = locus;
+      if (old < entry_capacity) {
+        mm_count[old] = lmm_count;
+        direction[old] = '+';
+        mm_loci[old] = locus;
+      }
     }
   }
   if (f == 0 || f == 2) {
@@ -232,9 +249,11 @@ __kernel void comparer_opt5(unsigned int locicnts, __global char* __restrict chr
     }
     if (lmm_count <= threshold) {
       old = atomic_inc(entrycount);
-      mm_count[old] = lmm_count;
-      direction[old] = '-';
-      mm_loci[old] = locus;
+      if (old < entry_capacity) {
+        mm_count[old] = lmm_count;
+        direction[old] = '-';
+        mm_loci[old] = locus;
+      }
     }
   }
 }
@@ -255,6 +274,7 @@ __kernel void comparer_multi(unsigned int locicnts, __global char* chr,
                              __global unsigned int* mm_loci,
                              __global unsigned short* mm_query,
                              __global unsigned int* entrycount,
+                             unsigned int entry_capacity,
                              __local char* l_comp, __local int* l_comp_index) {
   unsigned int i = get_global_id(0);
   unsigned int li = i - get_group_id(0) * get_local_size(0);
@@ -283,10 +303,12 @@ __kernel void comparer_multi(unsigned int locicnts, __global char* chr,
         }
         if (lmm_count <= threshold) {
           unsigned int old = atomic_inc(entrycount);
-          mm_count[old] = lmm_count;
-          direction[old] = half == 0 ? '+' : '-';
-          mm_loci[old] = locus;
-          mm_query[old] = (unsigned short)q;
+          if (old < entry_capacity) {
+            mm_count[old] = lmm_count;
+            direction[old] = half == 0 ? '+' : '-';
+            mm_loci[old] = locus;
+            mm_query[old] = (unsigned short)q;
+          }
         }
       }
     }
@@ -322,8 +344,9 @@ void finder_native(const oclsim::arg_view& a, xpu::xitem& it) {
   fa.loci = a.global<u32>(5);
   fa.flag = a.global<char>(6);
   fa.entrycount = a.global<u32>(7);
-  fa.l_pat = a.local<char>(8);
-  fa.l_pat_index = a.local<i32>(9);
+  fa.entry_capacity = a.scalar<u32>(8);
+  fa.l_pat = a.local<char>(9);
+  fa.l_pat_index = a.local<i32>(10);
   finder_kernel<P>(it, fa);
 }
 
@@ -338,8 +361,9 @@ void finder_mask_native(const oclsim::arg_view& a, xpu::xitem& it) {
   fa.loci = a.global<u32>(5);
   fa.flag = a.global<char>(6);
   fa.entrycount = a.global<u32>(7);
-  fa.l_pat_mask = a.local<u16>(8);
-  fa.l_pat_index = a.local<i32>(9);
+  fa.entry_capacity = a.scalar<u32>(8);
+  fa.l_pat_mask = a.local<u16>(9);
+  fa.l_pat_index = a.local<i32>(10);
   finder_kernel_mask<P>(it, fa);
 }
 
@@ -359,12 +383,13 @@ void comparer_native_dispatch(comparer_variant v, const oclsim::arg_view& a,
   ca.direction = a.global<char>(9);
   ca.mm_loci = a.global<u32>(10);
   ca.entrycount = a.global<u32>(11);
-  ca.l_comp = a.local<char>(12);
-  ca.l_comp_index = a.local<i32>(13);
+  ca.entry_capacity = a.scalar<u32>(12);
+  ca.l_comp = a.local<char>(13);
+  ca.l_comp_index = a.local<i32>(14);
   comparer_dispatch<P>(v, it, ca);
 }
 
-/// opt5's signature swaps the pattern chars (args 3/12) for the u16 deny
+/// opt5's signature swaps the pattern chars (args 3/13) for the u16 deny
 /// LUTs, so it cannot share comparer_native_dispatch's unpack order.
 template <class P>
 void comparer_opt5_native(const oclsim::arg_view& a, xpu::xitem& it) {
@@ -381,16 +406,17 @@ void comparer_opt5_native(const oclsim::arg_view& a, xpu::xitem& it) {
   ca.direction = a.global<char>(9);
   ca.mm_loci = a.global<u32>(10);
   ca.entrycount = a.global<u32>(11);
-  ca.l_comp_mask = a.local<u16>(12);
-  ca.l_comp_index = a.local<i32>(13);
+  ca.entry_capacity = a.scalar<u32>(12);
+  ca.l_comp_mask = a.local<u16>(13);
+  ca.l_comp_index = a.local<i32>(14);
   comparer_dispatch<P>(comparer_variant::opt5, it, ca);
 }
 
 const std::vector<oclsim::arg_kind> kFinderSig = {
     oclsim::arg_kind::mem,    oclsim::arg_kind::mem,    oclsim::arg_kind::mem,
     oclsim::arg_kind::scalar, oclsim::arg_kind::scalar, oclsim::arg_kind::mem,
-    oclsim::arg_kind::mem,    oclsim::arg_kind::mem,    oclsim::arg_kind::local,
-    oclsim::arg_kind::local,
+    oclsim::arg_kind::mem,    oclsim::arg_kind::mem,    oclsim::arg_kind::scalar,
+    oclsim::arg_kind::local,  oclsim::arg_kind::local,
 };
 
 const std::vector<oclsim::arg_kind> kComparerSig = {
@@ -398,7 +424,7 @@ const std::vector<oclsim::arg_kind> kComparerSig = {
     oclsim::arg_kind::mem,    oclsim::arg_kind::mem,    oclsim::arg_kind::scalar,
     oclsim::arg_kind::scalar, oclsim::arg_kind::mem,    oclsim::arg_kind::mem,
     oclsim::arg_kind::mem,    oclsim::arg_kind::mem,    oclsim::arg_kind::mem,
-    oclsim::arg_kind::local,  oclsim::arg_kind::local,
+    oclsim::arg_kind::scalar, oclsim::arg_kind::local,  oclsim::arg_kind::local,
 };
 
 /// comparer_multi's unpack order follows the batched OpenCL signature above.
@@ -419,8 +445,9 @@ void comparer_multi_native(const oclsim::arg_view& a, xpu::xitem& it) {
   ca.mm_loci = a.global<u32>(11);
   ca.mm_query = a.global<u16>(12);
   ca.entrycount = a.global<u32>(13);
-  ca.l_comp = a.local<char>(14);
-  ca.l_comp_index = a.local<i32>(15);
+  ca.entry_capacity = a.scalar<u32>(14);
+  ca.l_comp = a.local<char>(15);
+  ca.l_comp_index = a.local<i32>(16);
   comparer_multi_kernel<P>(it, ca);
 }
 
@@ -429,8 +456,8 @@ const std::vector<oclsim::arg_kind> kComparerMultiSig = {
     oclsim::arg_kind::mem,    oclsim::arg_kind::mem,    oclsim::arg_kind::mem,
     oclsim::arg_kind::mem,    oclsim::arg_kind::scalar, oclsim::arg_kind::scalar,
     oclsim::arg_kind::mem,    oclsim::arg_kind::mem,    oclsim::arg_kind::mem,
-    oclsim::arg_kind::mem,    oclsim::arg_kind::mem,    oclsim::arg_kind::local,
-    oclsim::arg_kind::local,
+    oclsim::arg_kind::mem,    oclsim::arg_kind::mem,    oclsim::arg_kind::scalar,
+    oclsim::arg_kind::local,  oclsim::arg_kind::local,
 };
 
 template <comparer_variant V, class P>
@@ -536,15 +563,17 @@ class opencl_pipeline final : public device_pipeline {
     release_chunk();
     chunk_len_ = seq.size();
     locicnt_ = 0;
+    loci_cap_ = cap_entries(chunk_len_);
+    const usize loci_n = std::max<usize>(1, loci_cap_);
     cl_int err;
     // Step 5 + 11: memory objects, host-to-device transfer.
     chr_ = clCreateBuffer(ctx_, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR, chunk_len_,
                           const_cast<char*>(seq.data()), &err);
     COF_CL_CHECK(err);
-    loci_ = clCreateBuffer(ctx_, CL_MEM_READ_WRITE, chunk_len_ * sizeof(u32), nullptr,
+    loci_ = clCreateBuffer(ctx_, CL_MEM_READ_WRITE, loci_n * sizeof(u32), nullptr,
                            &err);
     COF_CL_CHECK(err);
-    flag_ = clCreateBuffer(ctx_, CL_MEM_READ_WRITE, chunk_len_, nullptr, &err);
+    flag_ = clCreateBuffer(ctx_, CL_MEM_READ_WRITE, loci_n, nullptr, &err);
     COF_CL_CHECK(err);
     count_ = clCreateBuffer(ctx_, CL_MEM_READ_WRITE, sizeof(u32), nullptr, &err);
     COF_CL_CHECK(err);
@@ -589,10 +618,13 @@ class opencl_pipeline final : public device_pipeline {
     COF_CL_CHECK(clSetKernelArg(finder_k_, 5, sizeof(cl_mem), &loci_));
     COF_CL_CHECK(clSetKernelArg(finder_k_, 6, sizeof(cl_mem), &flag_));
     COF_CL_CHECK(clSetKernelArg(finder_k_, 7, sizeof(cl_mem), &count_));
-    COF_CL_CHECK(clSetKernelArg(finder_k_, 8, pat_bytes, nullptr));
-    COF_CL_CHECK(clSetKernelArg(finder_k_, 9, pat.index.size() * sizeof(i32), nullptr));
+    const u32 loci_cap = static_cast<u32>(loci_cap_);
+    COF_CL_CHECK(clSetKernelArg(finder_k_, 8, sizeof(u32), &loci_cap));
+    COF_CL_CHECK(clSetKernelArg(finder_k_, 9, pat_bytes, nullptr));
+    COF_CL_CHECK(clSetKernelArg(finder_k_, 10, pat.index.size() * sizeof(i32), nullptr));
 
     locicnt_ = enqueue_and_count(finder_k_, chrsize, "finder");
+    check_overflow("finder", locicnt_, loci_cap_);
     metrics_.total_loci += locicnt_;
     ++metrics_.finder_launches;
 
@@ -615,7 +647,7 @@ class opencl_pipeline final : public device_pipeline {
     entries out;
     if (locicnt_ == 0) return out;
     COF_CHECK_MSG(query.plen == plen_, "query length != pattern length");
-    const usize cap = static_cast<usize>(locicnt_) * 2;
+    const usize cap = cap_entries(static_cast<usize>(locicnt_) * 2);
     cl_int err;
     cl_mem compm;
     usize comp_bytes;
@@ -657,14 +689,16 @@ class opencl_pipeline final : public device_pipeline {
     COF_CL_CHECK(clSetKernelArg(comparer_k_, 9, sizeof(cl_mem), &dirm));
     COF_CL_CHECK(clSetKernelArg(comparer_k_, 10, sizeof(cl_mem), &mlocim));
     COF_CL_CHECK(clSetKernelArg(comparer_k_, 11, sizeof(cl_mem), &count_));
-    COF_CL_CHECK(clSetKernelArg(comparer_k_, 12, comp_bytes, nullptr));
+    const u32 entry_cap = static_cast<u32>(cap);
+    COF_CL_CHECK(clSetKernelArg(comparer_k_, 12, sizeof(u32), &entry_cap));
+    COF_CL_CHECK(clSetKernelArg(comparer_k_, 13, comp_bytes, nullptr));
     COF_CL_CHECK(
-        clSetKernelArg(comparer_k_, 13, query.index.size() * sizeof(i32), nullptr));
+        clSetKernelArg(comparer_k_, 14, query.index.size() * sizeof(i32), nullptr));
 
     const std::string tag =
         std::string("comparer/") + comparer_variant_name(opt_.variant);
     const u32 n = enqueue_and_count(comparer_k_, locicnt_, tag);
-    COF_CHECK(n <= cap);
+    check_overflow("comparer", n, cap);
     ++metrics_.comparer_launches;
     metrics_.total_entries += n;
 
@@ -716,7 +750,7 @@ class opencl_pipeline final : public device_pipeline {
       cidx_all.insert(cidx_all.end(), q.index.begin(), q.index.end());
     }
 
-    const usize cap = static_cast<usize>(locicnt_) * 2 * nq;
+    const usize cap = cap_entries(static_cast<usize>(locicnt_) * 2 * nq);
     batch_cap_ = cap;
     cl_int err;
     cl_mem compm = clCreateBuffer(ctx_, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
@@ -764,9 +798,11 @@ class opencl_pipeline final : public device_pipeline {
     COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 11, sizeof(cl_mem), &batch_loci_));
     COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 12, sizeof(cl_mem), &batch_query_));
     COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 13, sizeof(cl_mem), &batch_count_));
-    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 14, comp_all.size(), nullptr));
+    const u32 entry_cap = static_cast<u32>(cap);
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 14, sizeof(u32), &entry_cap));
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 15, comp_all.size(), nullptr));
     COF_CL_CHECK(
-        clSetKernelArg(comparer_multi_k_, 15, cidx_all.size() * sizeof(i32), nullptr));
+        clSetKernelArg(comparer_multi_k_, 16, cidx_all.size() * sizeof(i32), nullptr));
 
     enqueue_profiled(comparer_multi_k_, locicnt_, "comparer/batch");
     ++metrics_.comparer_launches;
@@ -789,7 +825,7 @@ class opencl_pipeline final : public device_pipeline {
     COF_CL_CHECK(clEnqueueReadBuffer(q_, batch_count_, CL_TRUE, 0, sizeof(u32), &n, 0,
                                      nullptr, nullptr));
     metrics_.d2h_bytes += sizeof(u32);
-    COF_CHECK(n <= batch_cap_);
+    check_overflow("comparer/batch", n, batch_cap_);
     out.mm.resize(n);
     out.dir.resize(n);
     out.loci.resize(n);
@@ -826,6 +862,22 @@ class opencl_pipeline final : public device_pipeline {
   }
 
   bool use_mask() const { return opt_.variant == comparer_variant::opt5; }
+
+  /// Entry-allocation size for a worst-case demand, honouring the
+  /// max_entries cap (0 = worst case, which cannot overflow).
+  usize cap_entries(usize worst) const {
+    return opt_.max_entries != 0 ? std::min(worst, opt_.max_entries) : worst;
+  }
+
+  /// The kernels drop appends past the capacity but keep counting, so a
+  /// count above the allocation means the cap was too small for this chunk.
+  static void check_overflow(const char* kernel, u32 count, usize cap) {
+    COF_CHECK_MSG(count <= cap,
+                  util::format("%s entry-buffer overflow: %u entries exceed "
+                               "the allocated capacity %zu (raise max_entries "
+                               "or use worst-case sizing)",
+                               kernel, count, cap));
+  }
 
   void zero_counter() {
     const u32 zero = 0;
@@ -916,6 +968,7 @@ class opencl_pipeline final : public device_pipeline {
   usize batch_cap_ = 0;
   bool batch_staged_ = false;
   usize chunk_len_ = 0;
+  usize loci_cap_ = 0;
   u32 locicnt_ = 0;
   u32 plen_ = 0;
 };

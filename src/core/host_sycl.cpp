@@ -2,10 +2,12 @@
 // buffers constructed from host pointers, constant/local accessors, lambda
 // kernels submitted to the queue, data movement through ranged accessors and
 // handler::copy, cleanup implicit in destructors.
+#include <algorithm>
 #include <optional>
 
 #include "core/pipeline.hpp"
 #include "syclsim/sycl.hpp"
+#include "util/strings.hpp"
 #include "util/timer.hpp"
 
 namespace cof {
@@ -24,10 +26,13 @@ class sycl_pipeline final : public device_pipeline {
   void load_chunk(std::string_view seq) override {
     chunk_len_ = seq.size();
     locicnt_ = 0;
-    // Device-resident chunk + worst-case hit arrays (every position a hit).
+    // Device-resident chunk + hit arrays: worst case (every position a hit)
+    // unless opt_.max_entries caps the allocation — the kernels clamp their
+    // appends to the capacity and the host reports any overflow.
+    loci_cap_ = cap_entries(chunk_len_);
     chr_buf_.emplace(seq.data(), sycl::range<1>(chunk_len_));
-    loci_buf_.emplace(sycl::range<1>(chunk_len_));
-    flag_buf_.emplace(sycl::range<1>(chunk_len_));
+    loci_buf_.emplace(sycl::range<1>(std::max<usize>(1, loci_cap_)));
+    flag_buf_.emplace(sycl::range<1>(std::max<usize>(1, loci_cap_)));
     count_buf_.emplace(sycl::range<1>(1));
     metrics_.h2d_bytes += chunk_len_;
   }
@@ -96,6 +101,22 @@ class sycl_pipeline final : public device_pipeline {
     return count;
   }
 
+  /// Entry-allocation size for a worst-case demand, honouring the
+  /// max_entries cap (0 = worst case, which cannot overflow).
+  usize cap_entries(usize worst) const {
+    return opt_.max_entries != 0 ? std::min(worst, opt_.max_entries) : worst;
+  }
+
+  /// The kernels drop appends past the capacity but keep counting, so a
+  /// count above the allocation means the cap was too small for this chunk.
+  static void check_overflow(const char* kernel, u32 count, usize cap) {
+    COF_CHECK_MSG(count <= cap,
+                  util::format("%s entry-buffer overflow: %u entries exceed "
+                               "the allocated capacity %zu (raise max_entries "
+                               "or use worst-case sizing)",
+                               kernel, count, cap));
+  }
+
   template <class P>
   u32 run_finder_impl(const device_pattern& pat) {
     plen_ = pat.plen;
@@ -133,6 +154,7 @@ class sycl_pipeline final : public device_pipeline {
        sycl::accessor<u16, 1, sycl::sycl_read_write, sycl::sycl_lmem> l_mask(
            sycl::range<1>(pat.mask.size()), cgh);
        const u32 plen = pat.plen;
+       const usize loci_cap = loci_cap_;
        cgh.parallel_for(sycl::nd_range<1>(sycl::range<1>(gws), sycl::range<1>(lws)),
                         [=](sycl::nd_item<1> item) {
                           finder_args a;
@@ -145,6 +167,7 @@ class sycl_pipeline final : public device_pipeline {
                           a.loci = loci.get_pointer();
                           a.flag = flag.get_pointer();
                           a.entrycount = cnt.get_pointer();
+                          a.entry_capacity = static_cast<u32>(loci_cap);
                           a.l_pat = l_pat.get_pointer();
                           a.l_pat_index = l_idx.get_pointer();
                           a.l_pat_mask = l_mask.get_pointer();
@@ -161,6 +184,7 @@ class sycl_pipeline final : public device_pipeline {
     rec.finish(stats.wall_nanos);
 
     locicnt_ = read_count(*count_buf_);
+    check_overflow("finder", locicnt_, loci_cap_);
     metrics_.total_loci += locicnt_;
     return locicnt_;
   }
@@ -173,7 +197,8 @@ class sycl_pipeline final : public device_pipeline {
 
     const usize lws = opt_.wg_size;
     const usize gws = util::round_up<usize>(locicnt_, lws);
-    const usize cap = static_cast<usize>(locicnt_) * 2;  // fw + rc per locus
+    // fw + rc per locus worst case, shrunk by the max_entries cap.
+    const usize cap = cap_entries(static_cast<usize>(locicnt_) * 2);
 
     sycl::buffer<char, 1> comp_buf(query.data(), sycl::range<1>(query.device_chars()));
     sycl::buffer<i32, 1> cidx_buf(query.index_data(),
@@ -229,6 +254,7 @@ class sycl_pipeline final : public device_pipeline {
                           a.direction = dir.get_pointer();
                           a.mm_loci = mloci.get_pointer();
                           a.entrycount = cnt.get_pointer();
+                          a.entry_capacity = static_cast<u32>(cap);
                           a.l_comp = l_comp.get_pointer();
                           a.l_comp_index = l_cidx.get_pointer();
                           a.l_comp_mask = l_cmask.get_pointer();
@@ -241,7 +267,7 @@ class sycl_pipeline final : public device_pipeline {
     rec.finish(stats.wall_nanos);
 
     const u32 n = read_count(ccount_buf);
-    COF_CHECK(n <= cap);
+    check_overflow("comparer", n, cap);
     out.mm.resize(n);
     out.dir.resize(n);
     out.loci.resize(n);
@@ -295,7 +321,7 @@ class sycl_pipeline final : public device_pipeline {
 
     const usize lws = opt_.wg_size;
     const usize gws = util::round_up<usize>(locicnt_, lws);
-    const usize cap = static_cast<usize>(locicnt_) * 2 * nq;
+    const usize cap = cap_entries(static_cast<usize>(locicnt_) * 2 * nq);
 
     sycl::buffer<char, 1> comp_buf(comp_all.data(), sycl::range<1>(comp_all.size()));
     sycl::buffer<i32, 1> cidx_buf(cidx_all.data(), sycl::range<1>(cidx_all.size()));
@@ -355,6 +381,7 @@ class sycl_pipeline final : public device_pipeline {
                           a.mm_loci = mloci.get_pointer();
                           a.mm_query = mquery.get_pointer();
                           a.entrycount = cnt.get_pointer();
+                          a.entry_capacity = static_cast<u32>(cap);
                           a.l_comp = l_comp.get_pointer();
                           a.l_comp_index = l_cidx.get_pointer();
                           a.l_comp_mask = l_cmask.get_pointer();
@@ -380,7 +407,7 @@ class sycl_pipeline final : public device_pipeline {
     if (batch_cap_ == 0) return out;  // empty launch (no loci or no queries)
 
     const u32 n = read_count(*batch_count_buf_);
-    COF_CHECK(n <= batch_cap_);
+    check_overflow("comparer/batch", n, batch_cap_);
     out.mm.resize(n);
     out.dir.resize(n);
     out.loci.resize(n);
@@ -426,6 +453,7 @@ class sycl_pipeline final : public device_pipeline {
   usize batch_cap_ = 0;
   bool batch_staged_ = false;
   usize chunk_len_ = 0;
+  usize loci_cap_ = 0;
   u32 locicnt_ = 0;
   u32 plen_ = 0;
 };

@@ -1,12 +1,14 @@
 // SYCL host program over 2-bit packed chunks (the upstream memory
 // optimisation, §V [21]): the host packs each chunk with genome::twobit_seq
 // and uploads ~3/8 of the char payload (2 bits/base + 1 ambiguity bit/base).
+#include <algorithm>
 #include <optional>
 
 #include "core/kernels_twobit.hpp"
 #include "core/pipeline.hpp"
 #include "genome/twobit.hpp"
 #include "syclsim/sycl.hpp"
+#include "util/strings.hpp"
 #include "util/timer.hpp"
 
 namespace cof {
@@ -30,8 +32,9 @@ class sycl_twobit_pipeline final : public device_pipeline {
                         sycl::range<1>(std::max<usize>(1, packed_.packed_bytes())));
     amb_buf_.emplace(packed_.ambiguity_words().data(),
                      sycl::range<1>(std::max<usize>(1, packed_.ambiguity_words().size())));
-    loci_buf_.emplace(sycl::range<1>(std::max<usize>(1, chunk_len_)));
-    flag_buf_.emplace(sycl::range<1>(std::max<usize>(1, chunk_len_)));
+    loci_cap_ = cap_entries(chunk_len_);
+    loci_buf_.emplace(sycl::range<1>(std::max<usize>(1, loci_cap_)));
+    flag_buf_.emplace(sycl::range<1>(std::max<usize>(1, loci_cap_)));
     count_buf_.emplace(sycl::range<1>(1));
     metrics_.h2d_bytes +=
         packed_.packed_bytes() + packed_.ambiguity_words().size() * sizeof(u64);
@@ -82,6 +85,22 @@ class sycl_twobit_pipeline final : public device_pipeline {
     return count;
   }
 
+  /// Entry-allocation size for a worst-case demand, honouring the
+  /// max_entries cap (0 = worst case, which cannot overflow).
+  usize cap_entries(usize worst) const {
+    return opt_.max_entries != 0 ? std::min(worst, opt_.max_entries) : worst;
+  }
+
+  /// The kernels drop appends past the capacity but keep counting, so a
+  /// count above the allocation means the cap was too small for this chunk.
+  static void check_overflow(const char* kernel, u32 count, usize cap) {
+    COF_CHECK_MSG(count <= cap,
+                  util::format("%s entry-buffer overflow: %u entries exceed "
+                               "the allocated capacity %zu (raise max_entries "
+                               "or use worst-case sizing)",
+                               kernel, count, cap));
+  }
+
   template <class P>
   u32 run_finder_impl(const device_pattern& pat) {
     plen_ = pat.plen;
@@ -111,6 +130,7 @@ class sycl_twobit_pipeline final : public device_pipeline {
        sycl::local_accessor<char, 1> l_pat(sycl::range<1>(pat.device_chars()), cgh);
        sycl::local_accessor<i32, 1> l_idx(sycl::range<1>(pat.index.size()), cgh);
        const u32 plen = pat.plen;
+       const u32 loci_cap = static_cast<u32>(loci_cap_);
        cgh.parallel_for(sycl::nd_range<1>(sycl::range<1>(gws), sycl::range<1>(lws)),
                         [=](sycl::nd_item<1> item) {
                           finder_twobit_args a;
@@ -123,6 +143,7 @@ class sycl_twobit_pipeline final : public device_pipeline {
                           a.loci = loci.get_pointer();
                           a.flag = flag.get_pointer();
                           a.entrycount = cnt.get_pointer();
+                          a.entry_capacity = loci_cap;
                           a.l_pat = l_pat.get_pointer();
                           a.l_pat_index = l_idx.get_pointer();
                           finder_twobit_kernel<P>(item, a);
@@ -134,6 +155,7 @@ class sycl_twobit_pipeline final : public device_pipeline {
     rec.finish(stats.wall_nanos);
 
     locicnt_ = read_count(*count_buf_);
+    check_overflow("finder", locicnt_, loci_cap_);
     metrics_.total_loci += locicnt_;
     return locicnt_;
   }
@@ -145,7 +167,7 @@ class sycl_twobit_pipeline final : public device_pipeline {
     COF_CHECK_MSG(query.plen == plen_, "query length != pattern length");
     const usize lws = opt_.wg_size;
     const usize gws = util::round_up<usize>(locicnt_, lws);
-    const usize cap = static_cast<usize>(locicnt_) * 2;
+    const usize cap = cap_entries(static_cast<usize>(locicnt_) * 2);
 
     sycl::buffer<char, 1> comp_buf(query.data(), sycl::range<1>(query.device_chars()));
     sycl::buffer<i32, 1> cidx_buf(query.index_data(),
@@ -174,6 +196,7 @@ class sycl_twobit_pipeline final : public device_pipeline {
        sycl::local_accessor<char, 1> l_comp(sycl::range<1>(query.device_chars()), cgh);
        sycl::local_accessor<i32, 1> l_cidx(sycl::range<1>(query.index.size()), cgh);
        const u32 plen = query.plen;
+       const u32 entry_cap = static_cast<u32>(cap);
        cgh.parallel_for(sycl::nd_range<1>(sycl::range<1>(gws), sycl::range<1>(lws)),
                         [=](sycl::nd_item<1> item) {
                           comparer_twobit_args a;
@@ -190,6 +213,7 @@ class sycl_twobit_pipeline final : public device_pipeline {
                           a.direction = dir.get_pointer();
                           a.mm_loci = mloci.get_pointer();
                           a.entrycount = cnt.get_pointer();
+                          a.entry_capacity = entry_cap;
                           a.l_comp = l_comp.get_pointer();
                           a.l_comp_index = l_cidx.get_pointer();
                           comparer_twobit_kernel<P>(item, a);
@@ -201,7 +225,7 @@ class sycl_twobit_pipeline final : public device_pipeline {
     rec.finish(stats.wall_nanos);
 
     const u32 n = read_count(ccount_buf);
-    COF_CHECK(n <= cap);
+    check_overflow("comparer", n, cap);
     out.mm.resize(n);
     out.dir.resize(n);
     out.loci.resize(n);
@@ -237,6 +261,7 @@ class sycl_twobit_pipeline final : public device_pipeline {
   std::optional<sycl::buffer<char, 1>> flag_buf_;
   std::optional<sycl::buffer<u32, 1>> count_buf_;
   usize chunk_len_ = 0;
+  usize loci_cap_ = 0;
   u32 locicnt_ = 0;
   u32 plen_ = 0;
 };

@@ -4,8 +4,11 @@
 // paper's port started with buffers). Data management here is explicit:
 // sycl::malloc_device + queue::memcpy + sycl::free, kernels consume raw
 // device pointers; only shared local memory still goes through accessors.
+#include <algorithm>
+
 #include "core/pipeline.hpp"
 #include "syclsim/sycl.hpp"
+#include "util/strings.hpp"
 #include "util/timer.hpp"
 
 namespace cof {
@@ -30,9 +33,10 @@ class sycl_usm_pipeline final : public device_pipeline {
     release_chunk();
     chunk_len_ = seq.size();
     locicnt_ = 0;
+    loci_cap_ = cap_entries(chunk_len_);
     chr_ = sycl::malloc_device<char>(chunk_len_, q_);
-    loci_ = sycl::malloc_device<u32>(chunk_len_, q_);
-    flag_ = sycl::malloc_device<char>(chunk_len_, q_);
+    loci_ = sycl::malloc_device<u32>(loci_cap_, q_);
+    flag_ = sycl::malloc_device<char>(loci_cap_, q_);
     count_ = sycl::malloc_device<u32>(1, q_);
     q_.memcpy(chr_, seq.data(), chunk_len_);
     metrics_.h2d_bytes += chunk_len_;
@@ -102,6 +106,22 @@ class sycl_usm_pipeline final : public device_pipeline {
     return n;
   }
 
+  /// Entry-allocation size for a worst-case demand, honouring the
+  /// max_entries cap (0 = worst case, which cannot overflow).
+  usize cap_entries(usize worst) const {
+    return opt_.max_entries != 0 ? std::min(worst, opt_.max_entries) : worst;
+  }
+
+  /// The kernels drop appends past the capacity but keep counting, so a
+  /// count above the allocation means the cap was too small for this chunk.
+  static void check_overflow(const char* kernel, u32 count, usize cap) {
+    COF_CHECK_MSG(count <= cap,
+                  util::format("%s entry-buffer overflow: %u entries exceed "
+                               "the allocated capacity %zu (raise max_entries "
+                               "or use worst-case sizing)",
+                               kernel, count, cap));
+  }
+
   template <class P>
   u32 run_finder_impl(const device_pattern& pat) {
     plen_ = pat.plen;
@@ -132,6 +152,7 @@ class sycl_usm_pipeline final : public device_pipeline {
     char* flag = flag_;
     u32* count = count_;
     const u32 plen = pat.plen;
+    const u32 loci_cap = static_cast<u32>(loci_cap_);
     q_.submit([&](sycl::handler& cgh) {
        cgh.cof_set_name("finder");
        if (!opt_.counting) cgh.cof_hint_single_leading_barrier();
@@ -150,6 +171,7 @@ class sycl_usm_pipeline final : public device_pipeline {
                           a.loci = loci;
                           a.flag = flag;
                           a.entrycount = count;
+                          a.entry_capacity = loci_cap;
                           a.l_pat = l_pat.get_pointer();
                           a.l_pat_index = l_idx.get_pointer();
                           a.l_pat_mask = l_mask.get_pointer();
@@ -169,6 +191,7 @@ class sycl_usm_pipeline final : public device_pipeline {
     sycl::free(idxd, q_);
     sycl::free(maskd, q_);
     locicnt_ = read_count(count_);
+    check_overflow("finder", locicnt_, loci_cap_);
     metrics_.total_loci += locicnt_;
     return locicnt_;
   }
@@ -180,7 +203,7 @@ class sycl_usm_pipeline final : public device_pipeline {
     COF_CHECK_MSG(query.plen == plen_, "query length != pattern length");
     const usize lws = opt_.wg_size;
     const usize gws = util::round_up<usize>(locicnt_, lws);
-    const usize cap = static_cast<usize>(locicnt_) * 2;
+    const usize cap = cap_entries(static_cast<usize>(locicnt_) * 2);
 
     char* compd = sycl::malloc_device<char>(query.device_chars(), q_);
     i32* cidxd = sycl::malloc_device<i32>(query.index.size(), q_);
@@ -207,6 +230,7 @@ class sycl_usm_pipeline final : public device_pipeline {
     const u32* loci = loci_;
     const char* flag = flag_;
     const u32 plen = query.plen;
+    const u32 entry_cap = static_cast<u32>(cap);
     q_.submit([&](sycl::handler& cgh) {
        cgh.cof_set_name(tag.c_str());
        if (!opt_.counting) cgh.cof_hint_single_leading_barrier();
@@ -229,6 +253,7 @@ class sycl_usm_pipeline final : public device_pipeline {
                           a.direction = dird;
                           a.mm_loci = mlocid;
                           a.entrycount = ccountd;
+                          a.entry_capacity = entry_cap;
                           a.l_comp = l_comp.get_pointer();
                           a.l_comp_index = l_cidx.get_pointer();
                           a.l_comp_mask = l_cmask.get_pointer();
@@ -241,7 +266,7 @@ class sycl_usm_pipeline final : public device_pipeline {
     rec.finish(stats.wall_nanos);
 
     const u32 n = read_count(ccountd);
-    COF_CHECK(n <= cap);
+    check_overflow("comparer", n, cap);
     out.mm.resize(n);
     out.dir.resize(n);
     out.loci.resize(n);
@@ -288,7 +313,7 @@ class sycl_usm_pipeline final : public device_pipeline {
 
     const usize lws = opt_.wg_size;
     const usize gws = util::round_up<usize>(locicnt_, lws);
-    const usize cap = static_cast<usize>(locicnt_) * 2 * nq;
+    const usize cap = cap_entries(static_cast<usize>(locicnt_) * 2 * nq);
     batch_cap_ = cap;
 
     char* compd = sycl::malloc_device<char>(comp_all.size(), q_);
@@ -322,6 +347,7 @@ class sycl_usm_pipeline final : public device_pipeline {
     u32* mlocid = batch_loci_;
     u16* mqueryd = batch_query_;
     u32* ccountd = batch_count_;
+    const u32 entry_cap = static_cast<u32>(cap);
     q_.submit([&](sycl::handler& cgh) {
        cgh.cof_set_name("comparer/batch");
        if (!opt_.counting) cgh.cof_hint_single_leading_barrier();
@@ -346,6 +372,7 @@ class sycl_usm_pipeline final : public device_pipeline {
                           a.mm_loci = mlocid;
                           a.mm_query = mqueryd;
                           a.entrycount = ccountd;
+                          a.entry_capacity = entry_cap;
                           a.l_comp = l_comp.get_pointer();
                           a.l_comp_index = l_cidx.get_pointer();
                           a.l_comp_mask = l_cmask.get_pointer();
@@ -376,7 +403,7 @@ class sycl_usm_pipeline final : public device_pipeline {
     if (batch_cap_ == 0) return out;  // empty launch (no loci or no queries)
 
     const u32 n = read_count(batch_count_);
-    COF_CHECK(n <= batch_cap_);
+    check_overflow("comparer/batch", n, batch_cap_);
     out.mm.resize(n);
     out.dir.resize(n);
     out.loci.resize(n);
@@ -424,6 +451,7 @@ class sycl_usm_pipeline final : public device_pipeline {
   usize batch_cap_ = 0;
   bool batch_staged_ = false;
   usize chunk_len_ = 0;
+  usize loci_cap_ = 0;
   u32 locicnt_ = 0;
   u32 plen_ = 0;
 };

@@ -186,6 +186,11 @@ struct finder_args {
   u32* loci = nullptr;             // out: matching positions (global)
   char* flag = nullptr;            // out: 0 both strands, 1 fw, 2 rc (global)
   u32* entrycount = nullptr;       // atomic append counter (global)
+  /// Capacity of the loci/flag output arrays. Appends at or past it are
+  /// dropped (the counter still advances, so the host can detect and report
+  /// the overflow instead of the kernel writing out of bounds). Defaults to
+  /// unbounded for direct kernel callers that size outputs worst-case.
+  u32 entry_capacity = ~u32{0};
   char* l_pat = nullptr;           // local, 2*plen
   i32* l_pat_index = nullptr;      // local, 2*plen
   u16* l_pat_mask = nullptr;       // local, 2*plen (opt5 only)
@@ -247,9 +252,11 @@ inline void finder_impl(const Item& it, const finder_args& a) {
 
   if (strand_match[0] || strand_match[1]) {
     const u32 old = p.atomic_inc(a.entrycount);
-    p.gstore(a.loci, old, static_cast<u32>(i));
-    const char f = strand_match[0] && strand_match[1] ? 0 : (strand_match[0] ? 1 : 2);
-    p.gstore(a.flag, old, f);
+    if (old < a.entry_capacity) {
+      p.gstore(a.loci, old, static_cast<u32>(i));
+      const char f = strand_match[0] && strand_match[1] ? 0 : (strand_match[0] ? 1 : 2);
+      p.gstore(a.flag, old, f);
+    }
   }
 }
 
@@ -285,6 +292,9 @@ struct comparer_args {
   char* direction = nullptr;        // out: '+' or '-' (global)
   u32* mm_loci = nullptr;           // out (global)
   u32* entrycount = nullptr;        // atomic append counter (global)
+  /// Output-array capacity; appends at or past it are dropped (counter
+  /// still advances so the host can report the overflow).
+  u32 entry_capacity = ~u32{0};
   char* l_comp = nullptr;           // local, 2*plen
   i32* l_comp_index = nullptr;      // local, 2*plen
   u16* l_comp_mask = nullptr;       // local, 2*plen (opt5 only)
@@ -355,14 +365,17 @@ inline void compare_strand(PItem& p, const comparer_args& a, usize i, int half,
   }
   if (lmm_count <= a.threshold) {
     const u32 old = p.atomic_inc(a.entrycount);
-    p.gstore(a.mm_count, old, lmm_count);
-    p.gstore(a.direction, old, dir);
-    if constexpr (HoistLoci) {
-      p.gstore(a.mm_loci, old, hoisted_locus);
-    } else {
-      const u32 locus = loci_touched ? p.gload_repeat(a.loci, i) : p.gload(a.loci, i);
-      loci_touched = true;
-      p.gstore(a.mm_loci, old, locus);
+    if (old < a.entry_capacity) {
+      p.gstore(a.mm_count, old, lmm_count);
+      p.gstore(a.direction, old, dir);
+      if constexpr (HoistLoci) {
+        p.gstore(a.mm_loci, old, hoisted_locus);
+      } else {
+        const u32 locus =
+            loci_touched ? p.gload_repeat(a.loci, i) : p.gload(a.loci, i);
+        loci_touched = true;
+        p.gstore(a.mm_loci, old, locus);
+      }
     }
   }
 }
@@ -451,9 +464,11 @@ inline void compare_strand_mask(PItem& p, const comparer_args& a, usize i, int h
   }
   if (lmm_count <= a.threshold) {
     const u32 old = p.atomic_inc(a.entrycount);
-    p.gstore(a.mm_count, old, lmm_count);
-    p.gstore(a.direction, old, dir);
-    p.gstore(a.mm_loci, old, locus);
+    if (old < a.entry_capacity) {
+      p.gstore(a.mm_count, old, lmm_count);
+      p.gstore(a.direction, old, dir);
+      p.gstore(a.mm_loci, old, locus);
+    }
   }
 }
 
@@ -539,6 +554,9 @@ struct comparer_multi_args {
   u32* mm_loci = nullptr;
   u16* mm_query = nullptr;           // out: query index per entry
   u32* entrycount = nullptr;
+  /// Output-array capacity; appends at or past it are dropped (counter
+  /// still advances so the host can report the overflow).
+  u32 entry_capacity = ~u32{0};
   char* l_comp = nullptr;            // local, nqueries * 2*plen
   i32* l_comp_index = nullptr;       // local, nqueries * 2*plen
   u16* l_comp_mask = nullptr;        // local, nqueries * 2*plen (opt5)
@@ -576,10 +594,12 @@ inline void compare_strand_multi(PItem& p, const comparer_multi_args& a, u32 q,
   }
   if (lmm_count <= threshold) {
     const u32 old = p.atomic_inc(a.entrycount);
-    p.gstore(a.mm_count, old, lmm_count);
-    p.gstore(a.direction, old, dir);
-    p.gstore(a.mm_loci, old, locus);
-    p.gstore(a.mm_query, old, static_cast<u16>(q));
+    if (old < a.entry_capacity) {
+      p.gstore(a.mm_count, old, lmm_count);
+      p.gstore(a.direction, old, dir);
+      p.gstore(a.mm_loci, old, locus);
+      p.gstore(a.mm_query, old, static_cast<u16>(q));
+    }
   }
 }
 

@@ -55,6 +55,9 @@ struct finder_twobit_args {
   u32* loci = nullptr;
   char* flag = nullptr;
   u32* entrycount = nullptr;
+  /// Output-array capacity; appends at or past it are dropped (counter
+  /// still advances so the host can report the overflow).
+  u32 entry_capacity = ~u32{0};
   char* l_pat = nullptr;
   i32* l_pat_index = nullptr;
 };
@@ -93,9 +96,11 @@ inline void finder_twobit_kernel(const Item& it, const finder_twobit_args& a) {
   }
   if (strand_match[0] || strand_match[1]) {
     const u32 old = p.atomic_inc(a.entrycount);
-    p.gstore(a.loci, old, static_cast<u32>(i));
-    const char f = strand_match[0] && strand_match[1] ? 0 : (strand_match[0] ? 1 : 2);
-    p.gstore(a.flag, old, f);
+    if (old < a.entry_capacity) {
+      p.gstore(a.loci, old, static_cast<u32>(i));
+      const char f = strand_match[0] && strand_match[1] ? 0 : (strand_match[0] ? 1 : 2);
+      p.gstore(a.flag, old, f);
+    }
   }
 }
 
@@ -113,6 +118,9 @@ struct comparer_twobit_args {
   char* direction = nullptr;
   u32* mm_loci = nullptr;
   u32* entrycount = nullptr;
+  /// Output-array capacity; appends at or past it are dropped (counter
+  /// still advances so the host can report the overflow).
+  u32 entry_capacity = ~u32{0};
   char* l_comp = nullptr;
   i32* l_comp_index = nullptr;
 };
@@ -139,9 +147,11 @@ inline void compare_strand_twobit(PItem& p, const comparer_twobit_args& a, int h
   }
   if (lmm_count <= a.threshold) {
     const u32 old = p.atomic_inc(a.entrycount);
-    p.gstore(a.mm_count, old, lmm_count);
-    p.gstore(a.direction, old, dir);
-    p.gstore(a.mm_loci, old, locus);
+    if (old < a.entry_capacity) {
+      p.gstore(a.mm_count, old, lmm_count);
+      p.gstore(a.direction, old, dir);
+      p.gstore(a.mm_loci, old, locus);
+    }
   }
 }
 

@@ -30,6 +30,12 @@ struct pipeline_options {
   /// Run instrumented kernels and record event counts into `profiler`.
   bool counting = false;
   prof::profiler* profiler = nullptr;
+  /// Cap on device entry-output allocations (loci, comparer entries).
+  /// 0 = size worst-case (every position a hit; 2*loci entries per query),
+  /// which can never overflow. A non-zero cap shrinks the allocations; the
+  /// kernels clamp appends to it and the host reports an overflow error
+  /// (instead of out-of-bounds writes) when the count exceeds the cap.
+  usize max_entries = 0;
 };
 
 /// Per-run accounting a pipeline accumulates (for the elapsed-time model).

@@ -1,6 +1,10 @@
 #include "core/results.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <queue>
 #include <tuple>
 
 #include "genome/iupac.hpp"
@@ -53,6 +57,151 @@ std::string format_records(const std::vector<ot_record>& records,
                         r.direction, static_cast<unsigned>(r.mismatches));
   }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Spill runs: fixed-field little-endian serialisation, one run per spilled
+// batch. Run layout: u64 count, u64 payload bytes, then `count` records of
+//   u32 query_index, u32 chrom_index, u64 position, char direction,
+//   u16 mismatches, u32 site length, site bytes.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <class T>
+void put_raw(std::string& buf, const T& v) {
+  buf.append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+void serialize_record(std::string& buf, const ot_record& r) {
+  put_raw(buf, r.query_index);
+  put_raw(buf, r.chrom_index);
+  put_raw(buf, r.position);
+  put_raw(buf, r.direction);
+  put_raw(buf, r.mismatches);
+  put_raw(buf, static_cast<u32>(r.site.size()));
+  buf.append(r.site);
+}
+
+template <class T>
+bool get_raw(std::istream& in, T& v) {
+  return static_cast<bool>(in.read(reinterpret_cast<char*>(&v), sizeof(T)));
+}
+
+bool read_record(std::istream& in, ot_record& r) {
+  u32 site_len = 0;
+  if (!get_raw(in, r.query_index) || !get_raw(in, r.chrom_index) ||
+      !get_raw(in, r.position) || !get_raw(in, r.direction) ||
+      !get_raw(in, r.mismatches) || !get_raw(in, site_len)) {
+    return false;
+  }
+  r.site.resize(site_len);
+  return site_len == 0 ||
+         static_cast<bool>(in.read(r.site.data(), site_len));
+}
+
+}  // namespace
+
+record_spill_writer::record_spill_writer(std::string path)
+    : path_(std::move(path)),
+      out_(path_, std::ios::binary | std::ios::trunc) {
+  COF_CHECK_MSG(out_.good(), "cannot create spill file " + path_);
+}
+
+record_spill_writer::~record_spill_writer() {
+  out_.close();
+  std::remove(path_.c_str());
+}
+
+void record_spill_writer::spill(std::vector<ot_record>& batch) {
+  if (batch.empty()) return;
+  sort_records(batch);
+  std::string payload;
+  for (const auto& r : batch) serialize_record(payload, r);
+  const u64 count = batch.size();
+  const u64 bytes = payload.size();
+  out_.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out_.write(reinterpret_cast<const char*>(&bytes), sizeof(bytes));
+  out_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  COF_CHECK_MSG(out_.good(), "spill write failed: " + path_);
+  ++runs_;
+  records_ += count;
+  peak_run_bytes_ = std::max(peak_run_bytes_, payload.size());
+  batch.clear();
+}
+
+void record_spill_writer::finish() {
+  out_.flush();
+  COF_CHECK_MSG(out_.good(), "spill flush failed: " + path_);
+  out_.close();
+}
+
+u64 merge_spill_runs(const std::vector<std::string>& paths,
+                     const std::function<void(ot_record&&)>& sink) {
+  // One cursor per run; runs within a file share the ifstream and seek to
+  // their own offset per read (records are variable-length, so the offset
+  // is re-sampled after every read).
+  struct run_cursor {
+    std::ifstream* in = nullptr;
+    u64 offset = 0;
+    u64 remaining = 0;
+    ot_record next;
+  };
+  std::vector<std::unique_ptr<std::ifstream>> files;
+  std::vector<run_cursor> cursors;
+  for (const auto& path : paths) {
+    auto in = std::make_unique<std::ifstream>(path, std::ios::binary);
+    COF_CHECK_MSG(in->good(), "cannot open spill file " + path);
+    // Index the run headers: (count, bytes) then a payload to skip over.
+    u64 offset = 0;
+    for (;;) {
+      u64 count = 0, bytes = 0;
+      in->seekg(static_cast<std::streamoff>(offset));
+      if (!get_raw(*in, count)) break;  // clean EOF between runs
+      COF_CHECK_MSG(get_raw(*in, bytes), "truncated spill run header: " + path);
+      if (count != 0) cursors.push_back({in.get(), offset + 16, count, {}});
+      offset += 16 + bytes;
+    }
+    in->clear();  // the header scan ran the stream into EOF
+    files.push_back(std::move(in));
+  }
+
+  // Prime every cursor with its first record.
+  auto advance = [](run_cursor& c) {
+    c.in->seekg(static_cast<std::streamoff>(c.offset));
+    COF_CHECK_MSG(read_record(*c.in, c.next), "truncated spill run");
+    c.offset = static_cast<u64>(c.in->tellg());
+    --c.remaining;
+  };
+  for (auto& c : cursors) advance(c);
+
+  // Min-heap on the canonical key; ties broken arbitrarily (duplicate keys
+  // carry byte-identical payloads, so dedup keeps an equivalent record).
+  auto greater = [&cursors](usize a, usize b) {
+    return key(cursors[b].next) < key(cursors[a].next);
+  };
+  std::priority_queue<usize, std::vector<usize>, decltype(greater)> heap(greater);
+  for (usize i = 0; i < cursors.size(); ++i) heap.push(i);
+
+  u64 emitted = 0;
+  ot_record last;
+  bool have_last = false;
+  while (!heap.empty()) {
+    const usize i = heap.top();
+    heap.pop();
+    run_cursor& c = cursors[i];
+    if (!have_last || key(last) != key(c.next)) {
+      last = c.next;
+      have_last = true;
+      ++emitted;
+      sink(std::move(c.next));
+    }
+    if (c.remaining != 0) {
+      advance(c);
+      heap.push(i);
+    }
+  }
+  return emitted;
 }
 
 }  // namespace cof

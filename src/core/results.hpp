@@ -3,6 +3,8 @@
 //   <query>\t<chrom>\t<position>\t<site (mismatches lower-case)>\t<strand>\t<mm>
 #pragma once
 
+#include <fstream>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -43,5 +45,54 @@ std::string make_site_string(const std::string& query, std::string_view ref_slic
 std::string format_records(const std::vector<ot_record>& records,
                            const std::vector<std::string>& query_seqs,
                            const genome::genome_t& g);
+
+/// Streams per-chunk record batches to a temporary spill file as sorted
+/// runs, so the streaming engine's host memory for records stays bounded by
+/// the largest single batch instead of the whole genome's result set. Each
+/// spill() sorts the batch, serialises it after a (count, bytes) run
+/// header, and releases the host copy; merge_spill_runs() later k-way
+/// merges every run back into canonical order. Single-owner: not
+/// thread-safe (the engine chains one writer per device queue).
+class record_spill_writer {
+ public:
+  /// Creates/truncates the spill file at `path`.
+  explicit record_spill_writer(std::string path);
+  /// Closes and removes the spill file.
+  ~record_spill_writer();
+
+  record_spill_writer(const record_spill_writer&) = delete;
+  record_spill_writer& operator=(const record_spill_writer&) = delete;
+
+  /// Sort `batch` into canonical order and append it as one run. The batch
+  /// is consumed (cleared) so its memory can be reused. Empty batches are
+  /// dropped.
+  void spill(std::vector<ot_record>& batch);
+
+  /// Flush and close for reading. Call once, before merge_spill_runs.
+  void finish();
+
+  const std::string& path() const { return path_; }
+  usize runs() const { return runs_; }
+  u64 records() const { return records_; }
+  /// Serialised bytes of the largest single run — the writer's bound on
+  /// in-memory record storage (one batch at a time).
+  usize peak_run_bytes() const { return peak_run_bytes_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  usize runs_ = 0;
+  u64 records_ = 0;
+  usize peak_run_bytes_ = 0;
+};
+
+/// K-way merge every sorted run in `paths` (spill files produced by
+/// record_spill_writer) into canonical order, dropping duplicate keys the
+/// way sort_and_dedup does (chunk-overlap re-scans and multi-queue overlap
+/// produce byte-identical duplicates), and hand each surviving record to
+/// `sink`. Returns the number of records emitted. Host memory is O(#runs):
+/// one in-flight record per run.
+u64 merge_spill_runs(const std::vector<std::string>& paths,
+                     const std::function<void(ot_record&&)>& sink);
 
 }  // namespace cof

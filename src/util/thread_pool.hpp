@@ -20,6 +20,7 @@
 // caller helps execute blocks from its own deque while it waits.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <condition_variable>
@@ -191,6 +192,57 @@ class thread_pool {
   std::condition_variable cv_task_;
   std::mutex idle_mu_;
   std::condition_variable cv_idle_;
+};
+
+/// Bounded blocking MPMC channel: producers block while full, consumers
+/// block while empty. close() wakes everyone — subsequent pushes fail,
+/// pops drain the remaining items and then fail. Used by the streaming
+/// engine to fan decoded chunks out to the per-queue device workers with
+/// a fixed lookahead (backpressure keeps host memory bounded).
+template <class T>
+class bounded_queue {
+ public:
+  explicit bounded_queue(usize capacity) : capacity_(std::max<usize>(1, capacity)) {}
+
+  bounded_queue(const bounded_queue&) = delete;
+  bounded_queue& operator=(const bounded_queue&) = delete;
+
+  /// Blocks while full. False (item dropped) if the queue was closed.
+  bool push(T item) {
+    std::unique_lock lock(mu_);
+    cv_push_.wait(lock, [this] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    cv_pop_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty. False when the queue is closed and drained.
+  bool pop(T& out) {
+    std::unique_lock lock(mu_);
+    cv_pop_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    cv_push_.notify_one();
+    return true;
+  }
+
+  /// Idempotent. Pending pops still drain the buffered items.
+  void close() {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+    cv_push_.notify_all();
+    cv_pop_.notify_all();
+  }
+
+ private:
+  const usize capacity_;
+  std::mutex mu_;
+  std::condition_variable cv_push_;  // waited by producers (space available)
+  std::condition_variable cv_pop_;   // waited by consumers (item available)
+  std::deque<T> items_;
+  bool closed_ = false;
 };
 
 }  // namespace util

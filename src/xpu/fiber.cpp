@@ -5,6 +5,10 @@
 
 #include <cstring>
 
+#if COF_FIBER_TSAN
+#include <sanitizer/tsan_interface.h>
+#endif
+
 namespace xpu {
 
 using util::usize;
@@ -57,7 +61,35 @@ fiber_stack_pool& fiber_stack_pool::this_thread() {
 
 namespace {
 thread_local fiber* tl_current_fiber = nullptr;
+
+// TSan must be told about every stack switch immediately before it happens;
+// no-ops outside sanitized builds.
+#if COF_FIBER_TSAN
+void* tsan_current_fiber() { return __tsan_get_current_fiber(); }
+void tsan_switch_to(void* ctx) { __tsan_switch_to_fiber(ctx, 0); }
+void* tsan_recreate_fiber(void* old) {
+  if (old != nullptr) __tsan_destroy_fiber(old);
+  return __tsan_create_fiber(0);
+}
+void tsan_retire_fiber(void*& ctx) {
+  if (ctx != nullptr) {
+    __tsan_destroy_fiber(ctx);
+    ctx = nullptr;
+  }
+}
+#else
+void* tsan_current_fiber() { return nullptr; }
+void tsan_switch_to(void*) {}
+void* tsan_recreate_fiber(void*) { return nullptr; }
+void tsan_retire_fiber(void*&) {}
+#endif
 }  // namespace
+
+#if COF_FIBER_TSAN
+fiber::~fiber() {
+  if (tsan_fiber_ != nullptr) __tsan_destroy_fiber(tsan_fiber_);
+}
+#endif
 
 // Runs the fiber body; reached via the first context switch into the fiber.
 void fiber_trampoline_dispatch() {
@@ -67,6 +99,7 @@ void fiber_trampoline_dispatch() {
   // Final switch back to the scheduler; this fiber is never resumed again.
 #if COF_FIBER_UCONTEXT
   // ucontext path returns via uc_link instead.
+  tsan_switch_to(f->tsan_sched_);
 #else
   fiber::yield();
 #endif
@@ -87,20 +120,25 @@ void fiber::start(fiber_stack* stack, entry_t entry, void* arg) {
   fiber_ctx_.uc_stack.ss_size = stack->size();
   fiber_ctx_.uc_link = &sched_ctx_;
   makecontext(&fiber_ctx_, reinterpret_cast<void (*)()>(ucontext_entry), 0);
+  tsan_fiber_ = tsan_recreate_fiber(tsan_fiber_);
 }
 
 bool fiber::resume() {
   COF_CHECK(!done_);
   fiber* prev = tl_current_fiber;
   tl_current_fiber = this;
+  tsan_sched_ = tsan_current_fiber();
+  tsan_switch_to(tsan_fiber_);
   COF_CHECK(swapcontext(&sched_ctx_, &fiber_ctx_) == 0);
   tl_current_fiber = prev;
+  if (done_) tsan_retire_fiber(tsan_fiber_);
   return done_;
 }
 
 void fiber::yield() {
   fiber* f = tl_current_fiber;
   COF_CHECK_MSG(f != nullptr, "fiber::yield outside a fiber");
+  tsan_switch_to(f->tsan_sched_);
   COF_CHECK(swapcontext(&f->fiber_ctx_, &f->sched_ctx_) == 0);
 }
 
@@ -133,20 +171,25 @@ void fiber::start(fiber_stack* stack, entry_t entry, void* arg) {
   for (int i = 0; i < 6; ++i) slots[i] = 0;             // rbp..r15 garbage-safe
   slots[6] = reinterpret_cast<util::u64>(&cof_fiber_trampoline);
   fiber_sp_ = slots;
+  tsan_fiber_ = tsan_recreate_fiber(tsan_fiber_);
 }
 
 bool fiber::resume() {
   COF_CHECK(!done_);
   fiber* prev = tl_current_fiber;
   tl_current_fiber = this;
+  tsan_sched_ = tsan_current_fiber();
+  tsan_switch_to(tsan_fiber_);
   cof_ctx_switch(&sched_sp_, fiber_sp_);
   tl_current_fiber = prev;
+  if (done_) tsan_retire_fiber(tsan_fiber_);
   return done_;
 }
 
 void fiber::yield() {
   fiber* f = tl_current_fiber;
   COF_CHECK_MSG(f != nullptr, "fiber::yield outside a fiber");
+  tsan_switch_to(f->tsan_sched_);
   cof_ctx_switch(&f->fiber_sp_, f->sched_sp_);
 }
 

@@ -19,6 +19,20 @@
 #define COF_FIBER_UCONTEXT 1
 #endif
 
+// ThreadSanitizer cannot follow stack switches it did not perform itself
+// (neither the ctx_switch.S fast path nor glibc swapcontext): its shadow
+// stack keeps growing across switches until the stack depot overflows, and
+// reports reference frames from the wrong work-item. The fiber API
+// (__tsan_create_fiber / __tsan_switch_to_fiber) tells it about every
+// switch so barrier kernels are TSan-clean.
+#if defined(__SANITIZE_THREAD__)
+#define COF_FIBER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define COF_FIBER_TSAN 1
+#endif
+#endif
+
 namespace xpu {
 
 /// A reusable fiber stack (mmap'd, with a PROT_NONE guard page at the low
@@ -63,6 +77,9 @@ class fiber {
   fiber() = default;
   fiber(const fiber&) = delete;
   fiber& operator=(const fiber&) = delete;
+#if COF_FIBER_TSAN
+  ~fiber();
+#endif
 
   /// Prepare the fiber to run entry(arg) on the given stack.
   void start(fiber_stack* stack, entry_t entry, void* arg);
@@ -90,6 +107,8 @@ class fiber {
   entry_t entry_ = nullptr;
   void* arg_ = nullptr;
   bool done_ = false;
+  void* tsan_fiber_ = nullptr;  // __tsan_create_fiber context (TSan builds)
+  void* tsan_sched_ = nullptr;  // scheduler thread's context during resume()
 };
 
 }  // namespace xpu

@@ -8,6 +8,7 @@
 #include <fstream>
 
 #include "core/engine_stream.hpp"
+#include "genome/chunker.hpp"
 #include "genome/fasta_stream.hpp"
 #include "genome/synth.hpp"
 #include "util/rng.hpp"
@@ -352,6 +353,182 @@ TEST(StreamingAsync, SiteAtExactChunkBoundary) {
              rec.mismatches == 0;
   }
   EXPECT_TRUE(found);
+}
+
+}  // namespace
+
+// -- appended: chunk-boundary regression, overflow guard, multi-queue ---------
+
+namespace {
+
+/// Regression: a record whose length is exactly max_chunk plus a whole
+/// number of strides (stride = max_chunk - overlap) hits EOF exactly on a
+/// chunk boundary. The streaming reader used to emit the carried overlap as
+/// a degenerate trailing chunk — bases already scanned as the tail of the
+/// previous chunk — inflating metrics.chunks past the in-memory chunker's
+/// count. Both streaming paths must now match genome::make_chunks exactly.
+class StreamBoundary : public ::testing::TestWithParam<cof::backend_kind> {};
+
+TEST_P(StreamBoundary, ExactMultipleRecordHasNoCarryOnlyChunk) {
+  temp_dir dir;
+  auto cfg = cof::parse_input(cof::example_input("<file>"));
+  const util::usize chunk_size = 1000;
+  const util::usize overlap = cfg.pattern.size() - 1;
+  // One full chunk plus one full stride: EOF lands exactly where the second
+  // chunk ends, leaving only the carried overlap behind.
+  const util::usize len = chunk_size + (chunk_size - overlap);
+  util::rng rng(991);
+  genome::genome_t g;
+  genome::chromosome c;
+  c.name = "exact";
+  for (util::usize i = 0; i < len; ++i) c.seq += "ACGT"[rng.next_below(4)];
+  g.chroms.push_back(std::move(c));
+  const auto file = dir.path / "g.fa";
+  genome::write_fasta_file(file.string(), g.chroms);
+
+  const auto chunks = genome::make_chunks(g, chunk_size, overlap);
+  ASSERT_EQ(chunks.size(), 2u);  // the in-memory chunker's (correct) count
+
+  const auto mem =
+      cof::run_search(cfg, g, {.backend = cof::backend_kind::serial});
+  for (const bool async : {false, true}) {
+    cof::engine_options opt{.backend = GetParam(), .max_chunk = chunk_size};
+    opt.stream_async = async;
+    const auto streamed = cof::run_search_streaming(cfg, file.string(), opt);
+    EXPECT_EQ(streamed.metrics.chunks, chunks.size()) << "async=" << async;
+    EXPECT_EQ(streamed.streamed_bases, len) << "async=" << async;
+    EXPECT_EQ(streamed.records, mem.records) << "async=" << async;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, StreamBoundary,
+                         ::testing::Values(cof::backend_kind::opencl,
+                                           cof::backend_kind::sycl,
+                                           cof::backend_kind::sycl_usm,
+                                           cof::backend_kind::sycl_twobit));
+
+/// An entry buffer sized below the hit count must be reported as a clean
+/// overflow abort, not silent truncation or an out-of-bounds store. The
+/// kernel counter keeps advancing past the capacity (only stores are
+/// dropped), so the host can compare count against capacity after download.
+class StreamOverflow : public ::testing::TestWithParam<cof::backend_kind> {};
+
+TEST_P(StreamOverflow, UndersizedEntryBufferDies) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  temp_dir dir;
+  auto g = stream_genome(67);
+  auto cfg = cof::parse_input(cof::example_input("<file>"));
+  const auto file = dir.path / "g.fa";
+  genome::write_fasta_file(file.string(), g.chroms);
+  cof::engine_options opt{.backend = GetParam(), .max_chunk = 9000};
+  opt.max_entries = 2;  // far below the PAM hit count of a 55 kb random genome
+  EXPECT_DEATH((void)cof::run_search_streaming(cfg, file.string(), opt),
+               "entry-buffer overflow");
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, StreamOverflow,
+                         ::testing::Values(cof::backend_kind::opencl,
+                                           cof::backend_kind::sycl,
+                                           cof::backend_kind::sycl_usm,
+                                           cof::backend_kind::sycl_twobit));
+
+/// The non-streamed engine path checks the same capacity.
+TEST(StreamOverflow, RunSearchUndersizedEntryBufferDies) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  auto g = stream_genome(69);
+  auto cfg = cof::parse_input(cof::example_input("<synth>"));
+  cof::engine_options opt{.backend = cof::backend_kind::sycl, .max_chunk = 9000};
+  opt.max_entries = 2;
+  EXPECT_DEATH((void)cof::run_search(cfg, g, opt), "entry-buffer overflow");
+}
+
+/// A max_entries cap that is merely generous (above the actual hit count but
+/// below worst-case sizing) must change nothing about the results.
+TEST(StreamOverflow, GenerousCapMatchesWorstCaseSizing) {
+  temp_dir dir;
+  auto g = stream_genome(67);
+  auto cfg = cof::parse_input(cof::example_input("<file>"));
+  const auto file = dir.path / "g.fa";
+  genome::write_fasta_file(file.string(), g.chroms);
+  cof::engine_options opt{.backend = cof::backend_kind::sycl, .max_chunk = 9000};
+  const auto worst = cof::run_search_streaming(cfg, file.string(), opt);
+  opt.max_entries = util::usize{1} << 20;
+  const auto capped = cof::run_search_streaming(cfg, file.string(), opt);
+  EXPECT_EQ(capped.records, worst.records);
+}
+
+/// Multi-queue streaming: chunks fan out over the bounded queue to
+/// num_queues device pipelines, records spill per queue and k-way merge back
+/// — the output must be byte-identical to num_queues == 1 and to the
+/// in-memory search for any queue count and interleaving.
+class StreamMultiQueue : public ::testing::TestWithParam<util::usize> {};
+
+TEST_P(StreamMultiQueue, ByteIdenticalForAnyQueueCount) {
+  temp_dir dir;
+  auto g = stream_genome(68);
+  auto cfg = cof::parse_input(cof::example_input("<file>"));
+  const std::string guide = cfg.queries[0].seq.substr(0, 20) + "NGG";
+  genome::plant_sites(g, guide, cfg.pattern, 6, 2, 31);
+  const auto file = dir.path / "g.fa";
+  genome::write_fasta_file(file.string(), g.chroms);
+
+  cof::engine_options opt{.backend = cof::backend_kind::sycl, .max_chunk = 5000};
+  const auto mem = cof::run_search(cfg, g, opt);
+  opt.stream_async = false;
+  const auto sync = cof::run_search_streaming(cfg, file.string(), opt);
+  opt.stream_async = true;
+  opt.num_queues = GetParam();
+  const auto streamed = cof::run_search_streaming(cfg, file.string(), opt);
+
+  EXPECT_EQ(streamed.records, mem.records);
+  EXPECT_EQ(streamed.chrom_names, sync.chrom_names);
+  EXPECT_EQ(streamed.metrics.chunks, sync.metrics.chunks);
+  ASSERT_EQ(streamed.metrics.per_queue.size(), GetParam());
+  EXPECT_EQ(streamed.total_records, streamed.records.size());
+  EXPECT_GE(streamed.spill_runs, 1u);
+  ASSERT_FALSE(streamed.records.empty());
+  // Bounded-memory accounting: the async path holds at most one formatted
+  // batch per queue at a time, so its peak must undercut the sync loop's
+  // whole accumulated record set.
+  EXPECT_GT(streamed.peak_record_bytes, 0u);
+  EXPECT_LT(streamed.peak_record_bytes, sync.peak_record_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Queues, StreamMultiQueue,
+                         ::testing::Values(util::usize{1}, util::usize{2},
+                                           util::usize{4}));
+
+/// The record_sink overload streams each canonical record exactly once and
+/// leaves outcome.records empty — output never accumulates in host memory.
+TEST(StreamingSearch, RecordSinkReceivesCanonicalRecords) {
+  temp_dir dir;
+  auto g = stream_genome(70);
+  auto cfg = cof::parse_input(cof::example_input("<file>"));
+  const std::string guide = cfg.queries[2].seq.substr(0, 20) + "NGG";
+  genome::plant_sites(g, guide, cfg.pattern, 5, 1, 43);
+  const auto file = dir.path / "g.fa";
+  genome::write_fasta_file(file.string(), g.chroms);
+
+  cof::engine_options opt{.backend = cof::backend_kind::sycl, .max_chunk = 6000};
+  const auto mem = cof::run_search(cfg, g, opt);
+
+  opt.num_queues = 2;
+  std::vector<cof::ot_record> sunk;
+  const auto streamed = cof::run_search_streaming(
+      cfg, file.string(), opt,
+      [&sunk](cof::ot_record&& r) { sunk.push_back(std::move(r)); });
+  EXPECT_TRUE(streamed.records.empty());
+  EXPECT_EQ(streamed.total_records, sunk.size());
+  EXPECT_EQ(sunk, mem.records);
+
+  opt.stream_async = false;
+  opt.num_queues = 1;
+  std::vector<cof::ot_record> sunk_sync;
+  const auto s = cof::run_search_streaming(
+      cfg, file.string(), opt,
+      [&sunk_sync](cof::ot_record&& r) { sunk_sync.push_back(std::move(r)); });
+  EXPECT_TRUE(s.records.empty());
+  EXPECT_EQ(sunk_sync, mem.records);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -200,6 +202,130 @@ TEST(ThreadPoolStealing, NestedParallelForFromWorker) {
   pool.wait_idle();
   EXPECT_EQ(outer_done.load(), 8);
   EXPECT_EQ(sum.load(), 8 * 1000);
+}
+
+}  // namespace
+
+// -- appended: bounded_queue (streaming-engine chunk channel) -----------------
+
+namespace {
+
+TEST(BoundedQueue, FifoWithinCapacity) {
+  util::bounded_queue<int> q(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.push(i));
+  int v = -1;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.pop(v));
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST(BoundedQueue, CloseDrainsBufferedItemsThenFails) {
+  util::bounded_queue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  q.close();
+  EXPECT_FALSE(q.push(3));  // closed: the item is dropped
+  int v = 0;
+  ASSERT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 1);
+  ASSERT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 2);
+  EXPECT_FALSE(q.pop(v));  // drained
+  q.close();               // idempotent
+  EXPECT_FALSE(q.pop(v));
+}
+
+TEST(BoundedQueue, PushBlocksOnFullUntilPopped) {
+  util::bounded_queue<int> q(1);
+  ASSERT_TRUE(q.push(0));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&q, &pushed] {
+    EXPECT_TRUE(q.push(1));  // backpressure: waits for the pop below
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(pushed.load());
+  int v = -1;
+  ASSERT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 0);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  ASSERT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 1);
+}
+
+TEST(BoundedQueue, PopBlocksOnEmptyUntilPushed) {
+  util::bounded_queue<int> q(2);
+  std::thread producer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_TRUE(q.push(7));
+  });
+  int v = -1;
+  ASSERT_TRUE(q.pop(v));  // waits for the delayed producer
+  EXPECT_EQ(v, 7);
+  producer.join();
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer) {
+  util::bounded_queue<int> q(2);
+  std::atomic<bool> done{false};
+  std::thread consumer([&q, &done] {
+    int v = 0;
+    EXPECT_FALSE(q.pop(v));  // woken by close, nothing to drain
+    done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(BoundedQueue, ManyProducersManyConsumersDeliverEverythingOnce) {
+  util::bounded_queue<int> q(8);
+  constexpr int kProducers = 4, kConsumers = 3, kPerProducer = 500;
+  std::atomic<long> sum{0};
+  std::atomic<int> count{0};
+  std::vector<std::thread> producers, consumers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        EXPECT_TRUE(q.push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&q, &sum, &count] {
+      int v = 0;
+      while (q.pop(v)) {
+        sum.fetch_add(v);
+        count.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+  const long n = kProducers * kPerProducer;
+  EXPECT_EQ(count.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(BoundedQueue, ZeroCapacityClampsToOne) {
+  util::bounded_queue<int> q(0);
+  EXPECT_TRUE(q.push(5));
+  int v = 0;
+  ASSERT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 5);
+}
+
+TEST(BoundedQueue, CarriesMoveOnlyItems) {
+  util::bounded_queue<std::unique_ptr<int>> q(2);
+  EXPECT_TRUE(q.push(std::make_unique<int>(9)));
+  std::unique_ptr<int> p;
+  ASSERT_TRUE(q.pop(p));
+  ASSERT_TRUE(p != nullptr);
+  EXPECT_EQ(*p, 9);
 }
 
 }  // namespace
