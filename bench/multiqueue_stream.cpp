@@ -69,6 +69,8 @@ struct mode_result {
   u64 total_records = 0;
   u64 chunks = 0;
   std::vector<ot_record> records;
+  stream_stage_times stages;
+  usize peak_queue_depth = 0;
 };
 
 mode_result run_mode(const search_config& cfg, const std::string& fasta,
@@ -85,6 +87,8 @@ mode_result run_mode(const search_config& cfg, const std::string& fasta,
     r.total_records = out.total_records;
     r.chunks = out.metrics.chunks;
     r.records = std::move(out.records);
+    r.stages = out.stage_times;
+    r.peak_queue_depth = out.peak_queue_depth;
   }
   return r;
 }
@@ -101,6 +105,11 @@ int main(int argc, char** argv) {
   cli.opt("proj-scale", "scale divisor for the instrumented projection run",
           "512");
   cli.opt("out", "output JSON path", "BENCH_multiqueue.json");
+  cli.opt("trace-out",
+          "write a Chrome trace-event JSON (Perfetto-loadable) of one extra "
+          "untimed run at the highest queue count", "");
+  cli.opt("metrics-json",
+          "write the obs metrics-registry snapshot of that run", "");
   if (!cli.parse(argc, argv)) return 1;
   util::set_log_level(util::log_level::warn);
 
@@ -142,6 +151,20 @@ int main(int argc, char** argv) {
     opt.num_queues = nq;
     mq.push_back(run_mode(cfg, fasta, opt, reps));
   }
+
+  // Tracing runs separately from the timed reps so the exporter cost never
+  // pollutes the numbers above.
+  const std::string trace_out = cli.get("trace-out");
+  const std::string metrics_json = cli.get("metrics-json");
+  if (!trace_out.empty() || !metrics_json.empty()) {
+    engine_options topt = opt;
+    topt.num_queues = queue_counts.back();
+    topt.trace_out = trace_out;
+    topt.metrics_json = metrics_json;
+    run_search_streaming(cfg, fasta, topt);
+    if (!trace_out.empty()) std::printf("wrote %s\n", trace_out.c_str());
+    if (!metrics_json.empty()) std::printf("wrote %s\n", metrics_json.c_str());
+  }
   std::filesystem::remove(fasta);
 
   const auto bps = [bases](u64 nanos) {
@@ -161,6 +184,15 @@ int main(int argc, char** argv) {
         static_cast<double>(mq[0].best_nanos) /
             static_cast<double>(mq[i].best_nanos),
         mq[i].peak_record_bytes, mq[i].spill_runs);
+  }
+  std::printf("\nbackpressure / where did the time go (best rep per queue "
+              "count):\n");
+  for (usize i = 0; i < mq.size(); ++i) {
+    const auto& st = mq[i].stages;
+    std::printf("  queues=%zu: peak depth %zu  decode %.3fs  queue-wait %.3fs  "
+                "device %.3fs  format %.3fs  merge %.3fs\n",
+                queue_counts[i], mq[i].peak_queue_depth, st.decode_s,
+                st.queue_wait_s, st.device_s, st.format_s, st.merge_s);
   }
   const double wall_speedup2 = static_cast<double>(mq[0].best_nanos) /
                                static_cast<double>(mq[1].best_nanos);
@@ -231,7 +263,10 @@ int main(int argc, char** argv) {
                  "    {\"num_queues\": %zu, \"best_nanos\": %llu, "
                  "\"bases_per_s\": %.0f, \"speedup_vs_q1\": %.3f, "
                  "\"peak_record_bytes\": %zu, \"spill_runs\": %zu, "
-                 "\"records\": %llu}%s\n",
+                 "\"records\": %llu, \"peak_queue_depth\": %zu, "
+                 "\"stages\": {\"decode_s\": %.6f, \"queue_wait_s\": %.6f, "
+                 "\"device_s\": %.6f, \"format_s\": %.6f, "
+                 "\"merge_s\": %.6f}}%s\n",
                  queue_counts[i],
                  static_cast<unsigned long long>(mq[i].best_nanos),
                  bps(mq[i].best_nanos),
@@ -239,6 +274,9 @@ int main(int argc, char** argv) {
                      static_cast<double>(mq[i].best_nanos),
                  mq[i].peak_record_bytes, mq[i].spill_runs,
                  static_cast<unsigned long long>(mq[i].total_records),
+                 mq[i].peak_queue_depth, mq[i].stages.decode_s,
+                 mq[i].stages.queue_wait_s, mq[i].stages.device_s,
+                 mq[i].stages.format_s, mq[i].stages.merge_s,
                  i + 1 < mq.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"host_cores\": %u,\n  \"q2_wall_speedup\": %.3f,\n",

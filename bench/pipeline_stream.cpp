@@ -55,6 +55,9 @@ struct mode_result {
   u64 comparer_launches = 0;
   u64 chunks = 0;
   std::vector<ot_record> records;
+  stream_stage_times stages;
+  std::vector<stream_stage_times> queue_stages;
+  usize peak_queue_depth = 0;
 };
 
 mode_result run_mode(const search_config& cfg, const std::string& fasta,
@@ -70,8 +73,27 @@ mode_result run_mode(const search_config& cfg, const std::string& fasta,
     r.comparer_launches = out.metrics.pipeline.comparer_launches;
     r.chunks = out.metrics.chunks;
     r.records = std::move(out.records);
+    r.stages = out.stage_times;
+    r.queue_stages = out.queue_stages;
+    r.peak_queue_depth = out.peak_queue_depth;
   }
   return r;
+}
+
+void print_stage_table(const char* label, const mode_result& r) {
+  std::printf("\nwhere did the time go (%s):\n", label);
+  std::printf("  decode %.3fs  queue-wait %.3fs  device %.3fs  format %.3fs  "
+              "merge %.3fs\n",
+              r.stages.decode_s, r.stages.queue_wait_s, r.stages.device_s,
+              r.stages.format_s, r.stages.merge_s);
+  for (usize i = 0; i < r.queue_stages.size(); ++i) {
+    const auto& q = r.queue_stages[i];
+    std::printf("  q%zu: wait %.3fs  device %.3fs  format %.3fs\n", i,
+                q.queue_wait_s, q.device_s, q.format_s);
+  }
+  if (r.peak_queue_depth != 0) {
+    std::printf("  peak queue depth %zu\n", r.peak_queue_depth);
+  }
 }
 
 }  // namespace
@@ -84,6 +106,11 @@ int main(int argc, char** argv) {
   cli.opt("chunk", "max_chunk fed to the device (bytes)", "262144");
   cli.opt("reps", "timed repetitions per mode", "3");
   cli.opt("out", "output JSON path", "BENCH_pipeline.json");
+  cli.opt("trace-out",
+          "write a Chrome trace-event JSON (Perfetto-loadable) of one extra "
+          "untimed async run", "");
+  cli.opt("metrics-json",
+          "write the obs metrics-registry snapshot of that run", "");
   if (!cli.parse(argc, argv)) return 1;
   util::set_log_level(util::log_level::warn);
 
@@ -116,6 +143,27 @@ int main(int argc, char** argv) {
 
   const mode_result sync = run_mode(cfg, fasta, opt, false, reps);
   const mode_result async = run_mode(cfg, fasta, opt, true, reps);
+
+  // Tracing runs separately from the timed reps so the exporter cost never
+  // pollutes the numbers above.
+  const std::string trace_out = cli.get("trace-out");
+  const std::string metrics_json = cli.get("metrics-json");
+  if (!trace_out.empty() || !metrics_json.empty()) {
+    engine_options topt = opt;
+    topt.stream_async = true;
+    topt.trace_out = trace_out;
+    topt.metrics_json = metrics_json;
+    const auto traced = run_search_streaming(cfg, fasta, topt);
+    if (!trace_out.empty()) std::printf("wrote %s\n", trace_out.c_str());
+    if (!metrics_json.empty()) std::printf("wrote %s\n", metrics_json.c_str());
+    // Per-queue stage seconds of the traced run itself, so the span totals
+    // in the trace can be reconciled against the same run's accounting.
+    for (usize q = 0; q < traced.queue_stages.size(); ++q) {
+      const auto& s = traced.queue_stages[q];
+      std::printf("traced q%zu: wait %.3fs  device %.3fs  format %.3fs\n", q,
+                  s.queue_wait_s, s.device_s, s.format_s);
+    }
+  }
   std::filesystem::remove(fasta);
 
   const double sync_bps =
@@ -134,6 +182,7 @@ int main(int argc, char** argv) {
   std::printf("\nspeedup %.2fx  launches per hit-chunk %zux -> 1x  results %s\n",
               speedup, cfg.queries.size(),
               identical ? "identical" : "DIVERGED");
+  print_stage_table("async, best-rep", async);
 
   const std::string out = cli.get("out");
   FILE* f = std::fopen(out.c_str(), "w");
@@ -161,6 +210,13 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(async.best_nanos), async_bps,
                static_cast<unsigned long long>(async.comparer_launches),
                static_cast<unsigned long long>(async.chunks));
+  std::fprintf(f,
+               "  \"async_stages\": {\"decode_s\": %.6f, \"queue_wait_s\": %.6f, "
+               "\"device_s\": %.6f, \"format_s\": %.6f, \"merge_s\": %.6f, "
+               "\"peak_queue_depth\": %zu},\n",
+               async.stages.decode_s, async.stages.queue_wait_s,
+               async.stages.device_s, async.stages.format_s,
+               async.stages.merge_s, async.peak_queue_depth);
   std::fprintf(f, "  \"speedup\": %.3f,\n  \"identical\": %s\n}\n", speedup,
                identical ? "true" : "false");
   std::fclose(f);

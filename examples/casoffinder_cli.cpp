@@ -38,6 +38,10 @@ int main(int argc, char** argv) {
                      "loading the genome (O(chunk) host memory)");
   cli.flag("batch", "one comparer launch per chunk covering all queries");
   cli.opt("queues", "host threads each driving a device pipeline", "1");
+  cli.opt("trace-out", "write a Chrome trace-event JSON (Perfetto-loadable) "
+                       "of the run", "");
+  cli.opt("metrics-json", "write the obs metrics snapshot (counters/gauges/"
+                          "histograms) as JSON", "");
   if (!cli.parse(argc, argv)) return 1;
 
   util::set_log_level(util::log_level::warn);
@@ -61,6 +65,8 @@ int main(int argc, char** argv) {
   opt.max_chunk = cli.get_u64("chunk");
   opt.batch_queries = cli.get_flag("batch");
   opt.num_queues = cli.get_u64("queues");
+  opt.trace_out = cli.get("trace-out");
+  opt.metrics_json = cli.get("metrics-json");
   const std::string vname = cli.get("variant");
   bool found_variant = false;
   for (int v = 0; v < cof::kNumComparerVariants; ++v) {

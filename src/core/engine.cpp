@@ -5,6 +5,8 @@
 #include <thread>
 
 #include "genome/synth.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
@@ -28,6 +30,8 @@ genome::genome_t load_configured_genome(const search_config& cfg) {
 
 search_outcome run_search(const search_config& cfg, const genome::genome_t& g,
                           const engine_options& opt) {
+  // Per-run observability lifetime (same contract as the streaming engine).
+  obs::run_scope obs_guard(!opt.trace_out.empty() || !opt.metrics_json.empty());
   util::stopwatch sw;
   search_outcome out;
 
@@ -135,6 +139,13 @@ search_outcome run_search(const search_config& cfg, const genome::genome_t& g,
   sort_and_dedup(out.records);
 
   out.metrics.elapsed_seconds = sw.seconds();
+  if (obs::enabled()) {
+    if (opt.profiler != nullptr) obs::fold_profiler(*opt.profiler);
+    if (!opt.trace_out.empty()) obs::write_trace(opt.trace_out);
+    if (!opt.metrics_json.empty()) {
+      obs::metrics_registry::global().write_json(opt.metrics_json);
+    }
+  }
   return out;
 }
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "core/config.hpp"
 #include "core/pipeline.hpp"
@@ -52,6 +53,14 @@ struct engine_options {
   /// overflows); a too-small cap aborts with an overflow report instead of
   /// writing out of bounds.
   usize max_entries = 0;
+  /// Non-empty: enable the obs subsystem for this run and write a Chrome
+  /// trace-event JSON (Perfetto / chrome://tracing loadable) of the run's
+  /// spans and counter tracks to this path. Empty (default): tracing stays
+  /// off and every probe is a single relaxed atomic load.
+  std::string trace_out;
+  /// Non-empty: enable the obs subsystem and write the metrics-registry
+  /// snapshot (counters / gauges / latency histograms) as JSON to this path.
+  std::string metrics_json;
 };
 
 struct run_metrics {

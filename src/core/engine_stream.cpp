@@ -8,6 +8,8 @@
 #include <unistd.h>
 
 #include "genome/fasta_stream.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
@@ -175,11 +177,37 @@ streamed_outcome run_streaming_async(const search_config& cfg,
   usize queues = std::max<usize>(1, opt.num_queues);
   if (opt.counting) queues = 1;
 
+  // Stage accounting is always on (a few process_nanos() reads per chunk);
+  // the span/counter probes additionally gate on obs::enabled(), cached
+  // once here — run_scope has already set it for the whole run.
+  const bool tracing = obs::enabled();
+  obs::metrics_registry& reg = obs::metrics_registry::global();
+  obs::counter_metric* m_chunks = tracing ? &reg.counter("stream.chunks") : nullptr;
+  obs::gauge_metric* m_depth = tracing ? &reg.gauge("stream.queue_depth") : nullptr;
+  obs::histogram_metric* m_decode = nullptr;
+  obs::histogram_metric* m_push = nullptr;
+  obs::histogram_metric* m_pop = nullptr;
+  obs::histogram_metric* m_device = nullptr;
+  obs::histogram_metric* m_format = nullptr;
+  if (tracing) {
+    const auto& bounds = obs::default_latency_bounds_us();
+    m_decode = &reg.histogram("stream.decode_us", bounds);
+    m_push = &reg.histogram("stream.push_wait_us", bounds);
+    m_pop = &reg.histogram("stream.pop_wait_us", bounds);
+    m_device = &reg.histogram("stream.device_us", bounds);
+    m_format = &reg.histogram("stream.format_us", bounds);
+  }
+  const util::thread_pool::sched_stats pool0 = pool.stats();
+
   struct queue_state {
     std::unique_ptr<device_pipeline> pipe;
     std::unique_ptr<record_spill_writer> writer;
     usize chunks = 0;
     usize peak_chunk_bytes = 0;
+    u64 wait_ns = 0;    // blocked on pop + on the previous format job
+    u64 device_ns = 0;  // H2D + finder + comparer batch + fetch
+    u64 format_ns = 0;  // written by the chained format jobs; the job
+                        // chain (wait() before submit) orders the writes
   };
   std::vector<queue_state> qs(queues);
   for (usize i = 0; i < queues; ++i) {
@@ -189,32 +217,65 @@ streamed_outcome run_streaming_async(const search_config& cfg,
 
   util::bounded_queue<stream_chunk> chunk_queue(queues + 2);
 
-  auto consume = [&](queue_state& st) {
+  auto consume = [&](queue_state& st, usize queue_index) {
+    if (tracing) {
+      obs::set_thread_name(util::format("stream.queue-%zu", queue_index));
+    }
     util::thread_pool::job format_job;
     stream_chunk ch;
-    while (chunk_queue.pop(ch)) {
+    for (;;) {
+      u64 t0 = util::process_nanos();
+      bool got;
+      {
+        obs::span sp("queue.pop", "stream");
+        got = chunk_queue.pop(ch);
+      }
+      const u64 pop_ns = util::process_nanos() - t0;
+      st.wait_ns += pop_ns;
+      if (m_pop != nullptr) m_pop->observe(pop_ns / 1000);
+      if (m_depth != nullptr) {
+        const util::i64 depth = static_cast<util::i64>(chunk_queue.size());
+        m_depth->set(depth);
+        obs::counter_track("queue.depth", static_cast<double>(depth));
+      }
+      if (!got) break;
       ++st.chunks;
+      if (m_chunks != nullptr) m_chunks->add(1);
       st.peak_chunk_bytes = std::max(st.peak_chunk_bytes, ch.text.size());
       LOG_DEBUG("stream chunk@%llu: %zu bases",
                 static_cast<unsigned long long>(ch.start), ch.text.size());
+      t0 = util::process_nanos();
       st.pipe->load_chunk_async(ch.text).wait();
       const u32 hits = st.pipe->run_finder(pat);
-      if (hits == 0) continue;
-      // ONE batched launch for every query; the finder's loci/flag arrays
-      // are consumed device-side, the entry download deferred past launch.
-      st.pipe->launch_comparer_batch(dev_queries, thresholds).wait();
-      device_pipeline::entries entries = st.pipe->fetch_entries();
+      device_pipeline::entries entries;
+      if (hits != 0) {
+        // ONE batched launch for every query; the finder's loci/flag arrays
+        // are consumed device-side, the entry download deferred past launch.
+        st.pipe->launch_comparer_batch(dev_queries, thresholds).wait();
+        entries = st.pipe->fetch_entries();
+      }
+      const u64 device_ns = util::process_nanos() - t0;
+      st.device_ns += device_ns;
+      if (m_device != nullptr) m_device->observe(device_ns / 1000);
       if (entries.size() == 0) continue;
 
       // Record formatting + spilling runs on the pool, off the device
       // critical path. Chained per queue: wait out the previous job so the
       // spill writer stays single-owner and at most one batch (plus the
       // chunk text it slices) is held per queue.
-      format_job.wait();
+      t0 = util::process_nanos();
+      {
+        obs::span sp("format.wait", "stream");
+        format_job.wait();
+      }
+      st.wait_ns += util::process_nanos() - t0;
       format_job = pool.submit_job(
           [text = std::move(ch.text), ent = std::move(entries),
            chrom = ch.chrom_index, start = ch.start, writer = st.writer.get(),
-           &dev_queries, plen = pat.plen] {
+           &dev_queries, plen = pat.plen, stp = &st, m_format] {
+            const u64 f0 = util::process_nanos();
+            obs::span sp("format", "stream");
+            sp.arg("entries", static_cast<double>(ent.size()));
             std::vector<ot_record> batch;
             batch.reserve(ent.size());
             for (usize e = 0; e < ent.size(); ++e) {
@@ -225,33 +286,72 @@ streamed_outcome run_streaming_async(const search_config& cfg,
                   make_site_string(dev_queries[qi].seq, slice, ent.dir[e])});
             }
             writer->spill(batch);
+            const u64 format_ns = util::process_nanos() - f0;
+            stp->format_ns += format_ns;
+            if (m_format != nullptr) m_format->observe(format_ns / 1000);
           });
     }
-    format_job.wait();
+    {
+      obs::span sp("format.wait", "stream");
+      const u64 t0 = util::process_nanos();
+      format_job.wait();
+      st.wait_ns += util::process_nanos() - t0;
+    }
     st.writer->finish();
   };
 
   std::vector<std::thread> workers;
   workers.reserve(queues);
-  for (auto& st : qs) workers.emplace_back(consume, std::ref(st));
+  for (usize i = 0; i < queues; ++i) {
+    workers.emplace_back(consume, std::ref(qs[i]), i);
+  }
 
   // Producer: the only thread touching the FASTA stream and chrom_names.
+  if (tracing) obs::set_thread_name("stream.producer");
   chunk_source source(path, opt.max_chunk, overlap);
+  u64 decode_ns = 0, push_ns = 0;
   for (;;) {
-    chunk_source::event ev = source.next();
+    u64 t0 = util::process_nanos();
+    chunk_source::event ev;
+    {
+      obs::span sp("decode", "stream");
+      ev = source.next();
+      if (ev.kind == chunk_source::event::chunk) {
+        sp.arg("bases", static_cast<double>(ev.text.size()));
+      }
+    }
+    const u64 d_ns = util::process_nanos() - t0;
+    decode_ns += d_ns;
     if (ev.kind == chunk_source::event::chrom) {
       out.chrom_names.push_back(std::move(ev.name));
       continue;
     }
     if (ev.kind == chunk_source::event::end) break;
+    if (m_decode != nullptr) m_decode->observe(d_ns / 1000);
     stream_chunk ch;
     ch.text = std::move(ev.text);
     ch.start = ev.start;
     ch.chrom_index = static_cast<u32>(out.chrom_names.size()) - 1;
-    chunk_queue.push(std::move(ch));
+    t0 = util::process_nanos();
+    {
+      obs::span sp("queue.push", "stream");
+      chunk_queue.push(std::move(ch));
+    }
+    const u64 p_ns = util::process_nanos() - t0;
+    push_ns += p_ns;
+    if (m_push != nullptr) m_push->observe(p_ns / 1000);
+    const usize depth = chunk_queue.size();
+    out.peak_queue_depth = std::max(out.peak_queue_depth, depth);
+    if (m_depth != nullptr) {
+      m_depth->set(static_cast<util::i64>(depth));
+      obs::counter_track("queue.depth", static_cast<double>(depth));
+    }
   }
   chunk_queue.close();
   for (auto& t : workers) t.join();
+
+  out.stage_times.decode_s = static_cast<double>(decode_ns) / 1e9;
+  out.stage_times.queue_wait_s = static_cast<double>(push_ns) / 1e9;
 
   std::vector<std::string> spill_paths;
   for (auto& st : qs) {
@@ -269,17 +369,38 @@ streamed_outcome run_streaming_async(const search_config& cfg,
     out.metrics.pipeline.d2h_bytes += pm.d2h_bytes;
     out.metrics.pipeline.total_loci += pm.total_loci;
     out.metrics.pipeline.total_entries += pm.total_entries;
+    stream_stage_times qt;
+    qt.queue_wait_s = static_cast<double>(st.wait_ns) / 1e9;
+    qt.device_s = static_cast<double>(st.device_ns) / 1e9;
+    qt.format_s = static_cast<double>(st.format_ns) / 1e9;
+    out.queue_stages.push_back(qt);
+    out.stage_times.queue_wait_s += qt.queue_wait_s;
+    out.stage_times.device_s += qt.device_s;
+    out.stage_times.format_s += qt.format_s;
   }
 
   // Canonical-order merge with key dedup — byte-identical to sorting and
   // deduplicating the whole record set in memory, regardless of how the
   // chunks were interleaved across queues.
+  const u64 merge0 = util::process_nanos();
   if (sink) {
     out.total_records = merge_spill_runs(spill_paths, sink);
   } else {
     out.total_records = merge_spill_runs(spill_paths, [&out](ot_record&& r) {
       out.records.push_back(std::move(r));
     });
+  }
+  out.stage_times.merge_s =
+      static_cast<double>(util::process_nanos() - merge0) / 1e9;
+
+  if (tracing) {
+    const util::thread_pool::sched_stats pool1 = pool.stats();
+    reg.counter("pool.steals").add(pool1.steals - pool0.steals);
+    reg.counter("pool.injects").add(pool1.injects - pool0.injects);
+    reg.counter("pool.sleeps").add(pool1.sleeps - pool0.sleeps);
+    reg.counter("pool.executed").add(pool1.executed - pool0.executed);
+    reg.counter("stream.spill_runs").add(out.spill_runs);
+    reg.counter("stream.records").add(out.total_records);
   }
 
   out.streamed_bases = source.streamed_bases();
@@ -303,17 +424,23 @@ streamed_outcome run_streaming_sync(const search_config& cfg,
   streamed_outcome out;
   std::string chunk;
   chunk.reserve(opt.max_chunk);
+  u64 decode_ns = 0, device_ns = 0, format_ns = 0;
 
   auto search_chunk = [&](u32 chrom_index, util::u64 chunk_start) {
     ++out.metrics.chunks;
     out.peak_chunk_bytes = std::max(out.peak_chunk_bytes, chunk.size());
+    u64 t0 = util::process_nanos();
     pipe->load_chunk(chunk);
     const u32 hits = pipe->run_finder(pat);
+    device_ns += util::process_nanos() - t0;
     if (hits == 0) return;
     for (u32 qi = 0; qi < cfg.queries.size(); ++qi) {
+      t0 = util::process_nanos();
       const auto entries =
           pipe->run_comparer(dev_queries[qi], cfg.queries[qi].max_mismatches);
+      device_ns += util::process_nanos() - t0;
       const std::string& qseq = dev_queries[qi].seq;
+      t0 = util::process_nanos();
       for (usize e = 0; e < entries.size(); ++e) {
         // The chunk buffer is still host-resident: slice the site from it.
         const std::string_view slice(chunk.data() + entries.loci[e], pat.plen);
@@ -321,6 +448,7 @@ streamed_outcome run_streaming_sync(const search_config& cfg,
             qi, chrom_index, chunk_start + entries.loci[e], entries.dir[e],
             entries.mm[e], make_site_string(qseq, slice, entries.dir[e])});
       }
+      format_ns += util::process_nanos() - t0;
     }
   };
 
@@ -332,7 +460,9 @@ streamed_outcome run_streaming_sync(const search_config& cfg,
       util::u64 chunk_start = 0;  // chromosome offset of chunk[0]
       chunk.clear();
       for (;;) {
+        const u64 d0 = util::process_nanos();
         const usize got = stream.read_bases(chunk, opt.max_chunk - chunk.size());
+        decode_ns += util::process_nanos() - d0;
         out.streamed_bases += got;
         // EOF with nothing new: the record was empty or ended exactly on
         // the previous chunk boundary — the carried overlap was already
@@ -351,7 +481,12 @@ streamed_outcome run_streaming_sync(const search_config& cfg,
     }
   }
 
+  const u64 m0 = util::process_nanos();
   sort_and_dedup(out.records);
+  out.stage_times.merge_s = static_cast<double>(util::process_nanos() - m0) / 1e9;
+  out.stage_times.decode_s = static_cast<double>(decode_ns) / 1e9;
+  out.stage_times.device_s = static_cast<double>(device_ns) / 1e9;
+  out.stage_times.format_s = static_cast<double>(format_ns) / 1e9;
   for (const auto& r : out.records) {
     out.peak_record_bytes += sizeof(ot_record) + r.site.size();
   }
@@ -377,6 +512,11 @@ streamed_outcome run_search_streaming(const search_config& cfg,
                                       const std::string& path,
                                       const engine_options& opt,
                                       const record_sink& sink) {
+  // Per-run observability lifetime: enables + clears the tracer and the
+  // metrics registry when either output was requested, restores the
+  // previous state on exit. With neither set, every probe below is one
+  // relaxed atomic load.
+  obs::run_scope obs_guard(!opt.trace_out.empty() || !opt.metrics_json.empty());
   util::stopwatch sw;
 
   COF_CHECK_MSG(opt.backend != backend_kind::serial,
@@ -390,13 +530,23 @@ streamed_outcome run_search_streaming(const search_config& cfg,
   const usize overlap = pat.plen > 0 ? pat.plen - 1 : 0;
   COF_CHECK_MSG(opt.max_chunk > overlap, "max_chunk must exceed pattern length");
 
+  streamed_outcome out;
   if (opt.stream_async) {
-    return run_streaming_async(cfg, path, opt, pat, dev_queries, overlap, sw,
-                               sink);
+    out = run_streaming_async(cfg, path, opt, pat, dev_queries, overlap, sw,
+                              sink);
+  } else {
+    std::unique_ptr<device_pipeline> pipe = make_pipeline(opt);
+    out = run_streaming_sync(cfg, path, opt, pipe.get(), pat, dev_queries,
+                             overlap, sw, sink);
   }
-  std::unique_ptr<device_pipeline> pipe = make_pipeline(opt);
-  return run_streaming_sync(cfg, path, opt, pipe.get(), pat, dev_queries,
-                            overlap, sw, sink);
+  if (obs::enabled()) {
+    if (opt.profiler != nullptr) obs::fold_profiler(*opt.profiler);
+    if (!opt.trace_out.empty()) obs::write_trace(opt.trace_out);
+    if (!opt.metrics_json.empty()) {
+      obs::metrics_registry::global().write_json(opt.metrics_json);
+    }
+  }
+  return out;
 }
 
 }  // namespace cof

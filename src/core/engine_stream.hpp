@@ -14,6 +14,20 @@
 
 namespace cof {
 
+/// "Where did the time go" wall-time breakdown for one streaming run (or
+/// one queue of it), in seconds. Always measured (a few clock reads per
+/// chunk) — independent of whether tracing is enabled. Stages overlap
+/// across threads, so the components sum to more than elapsed wall time;
+/// within one queue's thread they partition its loop.
+struct stream_stage_times {
+  double decode_s = 0;      // producer: FASTA decode + chunk assembly
+  double queue_wait_s = 0;  // blocked on the bounded queue (push + pop) and
+                            // on the previous format job (backpressure)
+  double device_s = 0;      // H2D + finder + comparer batch + entry fetch
+  double format_s = 0;      // record formatting + spill-run writes (pool)
+  double merge_s = 0;       // final k-way merge of the spill runs
+};
+
 struct streamed_outcome {
   /// Canonical (sorted, deduplicated) records. Left empty when a record
   /// sink was supplied — the sink received them instead.
@@ -33,6 +47,15 @@ struct streamed_outcome {
   /// Records after the merge-dedup (== records.size() unless a sink
   /// consumed them).
   util::u64 total_records = 0;
+  /// Run-wide stage breakdown: decode/merge from the producer thread,
+  /// queue_wait/device/format summed across queues.
+  stream_stage_times stage_times;
+  /// Per-queue breakdown (async path; empty in sync mode). decode/merge are
+  /// producer-side and stay 0 here.
+  std::vector<stream_stage_times> queue_stages;
+  /// Most chunks ever resident in the bounded queue (async path) — the
+  /// backpressure high-water mark against capacity num_queues + 2.
+  util::usize peak_queue_depth = 0;
 };
 
 /// Per-record output hook for the streaming search: receives each final

@@ -560,6 +560,8 @@ class opencl_pipeline final : public device_pipeline {
   const char* name() const override { return "opencl"; }
 
   void load_chunk(std::string_view seq) override {
+    obs::span sp("h2d.chunk", "device");
+    sp.arg("bytes", static_cast<double>(seq.size()));
     release_chunk();
     chunk_len_ = seq.size();
     locicnt_ = 0;
@@ -581,6 +583,7 @@ class opencl_pipeline final : public device_pipeline {
   }
 
   u32 run_finder(const device_pattern& pat) override {
+    obs::span sp("finder", "device");
     plen_ = pat.plen;
     if (chunk_len_ < pat.plen) {
       locicnt_ = 0;
@@ -627,6 +630,7 @@ class opencl_pipeline final : public device_pipeline {
     check_overflow("finder", locicnt_, loci_cap_);
     metrics_.total_loci += locicnt_;
     ++metrics_.finder_launches;
+    sp.arg("hits", static_cast<double>(locicnt_));
 
     COF_CL_CHECK(clReleaseMemObject(patm));
     COF_CL_CHECK(clReleaseMemObject(idxm));
@@ -644,6 +648,7 @@ class opencl_pipeline final : public device_pipeline {
   }
 
   entries run_comparer(const device_pattern& query, u16 threshold) override {
+    obs::span sp("comparer", "device");
     entries out;
     if (locicnt_ == 0) return out;
     COF_CHECK_MSG(query.plen == plen_, "query length != pattern length");
@@ -734,6 +739,8 @@ class opencl_pipeline final : public device_pipeline {
   /// free for the next finder) stay staged until fetch_entries.
   pipe_event launch_comparer_batch(const std::vector<device_pattern>& queries,
                                    const std::vector<u16>& thresholds) override {
+    obs::span sp("comparer.batch", "device");
+    sp.arg("queries", static_cast<double>(queries.size()));
     release_batch();
     batch_staged_ = true;
     if (locicnt_ == 0 || queries.empty()) return {};  // fetch yields empty
@@ -816,6 +823,7 @@ class opencl_pipeline final : public device_pipeline {
   /// Batched comparer, fetch half: deferred download of the staged entry
   /// buffers, then release of the device objects.
   entries fetch_entries() override {
+    obs::span sp("fetch", "device");
     COF_CHECK_MSG(batch_staged_, "fetch_entries without launch_comparer_batch");
     batch_staged_ = false;
     entries out;
@@ -842,6 +850,7 @@ class opencl_pipeline final : public device_pipeline {
       metrics_.d2h_bytes += n * (2 * sizeof(u16) + 1 + sizeof(u32));
     }
     metrics_.total_entries += n;
+    sp.arg("entries", static_cast<double>(n));
     release_batch();
     return out;
   }

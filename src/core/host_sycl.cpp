@@ -24,6 +24,8 @@ class sycl_pipeline final : public device_pipeline {
   const char* name() const override { return "sycl"; }
 
   void load_chunk(std::string_view seq) override {
+    obs::span sp("h2d.chunk", "device");
+    sp.arg("bytes", static_cast<double>(seq.size()));
     chunk_len_ = seq.size();
     locicnt_ = 0;
     // Device-resident chunk + hit arrays: worst case (every position a hit)
@@ -38,8 +40,11 @@ class sycl_pipeline final : public device_pipeline {
   }
 
   u32 run_finder(const device_pattern& pat) override {
-    if (opt_.counting) return run_finder_impl<counting_mem>(pat);
-    return run_finder_impl<direct_mem>(pat);
+    obs::span sp("finder", "device");
+    const u32 hits = opt_.counting ? run_finder_impl<counting_mem>(pat)
+                                   : run_finder_impl<direct_mem>(pat);
+    sp.arg("hits", static_cast<double>(hits));
+    return hits;
   }
 
   std::vector<u32> read_loci() override {
@@ -56,8 +61,9 @@ class sycl_pipeline final : public device_pipeline {
   }
 
   entries run_comparer(const device_pattern& query, u16 threshold) override {
-    if (opt_.counting) return run_comparer_impl<counting_mem>(query, threshold);
-    return run_comparer_impl<direct_mem>(query, threshold);
+    obs::span sp("comparer", "device");
+    return opt_.counting ? run_comparer_impl<counting_mem>(query, threshold)
+                         : run_comparer_impl<direct_mem>(query, threshold);
   }
 
   entries run_comparer_batch(const std::vector<device_pattern>& queries,
@@ -68,6 +74,8 @@ class sycl_pipeline final : public device_pipeline {
 
   pipe_event launch_comparer_batch(const std::vector<device_pattern>& queries,
                                    const std::vector<u16>& thresholds) override {
+    obs::span sp("comparer.batch", "device");
+    sp.arg("queries", static_cast<double>(queries.size()));
     if (opt_.counting) {
       launch_batch_impl<counting_mem>(queries, thresholds);
     } else {
@@ -76,7 +84,12 @@ class sycl_pipeline final : public device_pipeline {
     return {};
   }
 
-  entries fetch_entries() override { return fetch_staged(); }
+  entries fetch_entries() override {
+    obs::span sp("fetch", "device");
+    entries out = fetch_staged();
+    sp.arg("entries", static_cast<double>(out.size()));
+    return out;
+  }
 
   const pipeline_metrics& metrics() const override { return metrics_; }
 

@@ -25,6 +25,8 @@ class sycl_twobit_pipeline final : public device_pipeline {
   const char* name() const override { return "sycl-2bit"; }
 
   void load_chunk(std::string_view seq) override {
+    obs::span sp("h2d.chunk", "device");
+    sp.arg("bytes", static_cast<double>(seq.size()));
     chunk_len_ = seq.size();
     locicnt_ = 0;
     packed_ = genome::twobit_seq::encode(seq);
@@ -41,8 +43,11 @@ class sycl_twobit_pipeline final : public device_pipeline {
   }
 
   u32 run_finder(const device_pattern& pat) override {
-    if (opt_.counting) return run_finder_impl<counting_mem>(pat);
-    return run_finder_impl<direct_mem>(pat);
+    obs::span sp("finder", "device");
+    const u32 hits = opt_.counting ? run_finder_impl<counting_mem>(pat)
+                                   : run_finder_impl<direct_mem>(pat);
+    sp.arg("hits", static_cast<double>(hits));
+    return hits;
   }
 
   std::vector<u32> read_loci() override {
@@ -59,8 +64,9 @@ class sycl_twobit_pipeline final : public device_pipeline {
   }
 
   entries run_comparer(const device_pattern& query, u16 threshold) override {
-    if (opt_.counting) return run_comparer_impl<counting_mem>(query, threshold);
-    return run_comparer_impl<direct_mem>(query, threshold);
+    obs::span sp("comparer", "device");
+    return opt_.counting ? run_comparer_impl<counting_mem>(query, threshold)
+                         : run_comparer_impl<direct_mem>(query, threshold);
   }
 
   const pipeline_metrics& metrics() const override { return metrics_; }

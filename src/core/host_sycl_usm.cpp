@@ -30,6 +30,8 @@ class sycl_usm_pipeline final : public device_pipeline {
   const char* name() const override { return "sycl-usm"; }
 
   void load_chunk(std::string_view seq) override {
+    obs::span sp("h2d.chunk", "device");
+    sp.arg("bytes", static_cast<double>(seq.size()));
     release_chunk();
     chunk_len_ = seq.size();
     locicnt_ = 0;
@@ -43,8 +45,11 @@ class sycl_usm_pipeline final : public device_pipeline {
   }
 
   u32 run_finder(const device_pattern& pat) override {
-    if (opt_.counting) return run_finder_impl<counting_mem>(pat);
-    return run_finder_impl<direct_mem>(pat);
+    obs::span sp("finder", "device");
+    const u32 hits = opt_.counting ? run_finder_impl<counting_mem>(pat)
+                                   : run_finder_impl<direct_mem>(pat);
+    sp.arg("hits", static_cast<double>(hits));
+    return hits;
   }
 
   std::vector<u32> read_loci() override {
@@ -57,8 +62,9 @@ class sycl_usm_pipeline final : public device_pipeline {
   }
 
   entries run_comparer(const device_pattern& query, u16 threshold) override {
-    if (opt_.counting) return run_comparer_impl<counting_mem>(query, threshold);
-    return run_comparer_impl<direct_mem>(query, threshold);
+    obs::span sp("comparer", "device");
+    return opt_.counting ? run_comparer_impl<counting_mem>(query, threshold)
+                         : run_comparer_impl<direct_mem>(query, threshold);
   }
 
   entries run_comparer_batch(const std::vector<device_pattern>& queries,
@@ -69,6 +75,8 @@ class sycl_usm_pipeline final : public device_pipeline {
 
   pipe_event launch_comparer_batch(const std::vector<device_pattern>& queries,
                                    const std::vector<u16>& thresholds) override {
+    obs::span sp("comparer.batch", "device");
+    sp.arg("queries", static_cast<double>(queries.size()));
     if (opt_.counting) {
       launch_batch_impl<counting_mem>(queries, thresholds);
     } else {
@@ -77,7 +85,12 @@ class sycl_usm_pipeline final : public device_pipeline {
     return {};
   }
 
-  entries fetch_entries() override { return fetch_staged(); }
+  entries fetch_entries() override {
+    obs::span sp("fetch", "device");
+    entries out = fetch_staged();
+    sp.arg("entries", static_cast<double>(out.size()));
+    return out;
+  }
 
   const pipeline_metrics& metrics() const override { return metrics_; }
 

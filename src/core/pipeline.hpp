@@ -17,6 +17,7 @@
 
 #include "core/kernels.hpp"
 #include "core/pattern.hpp"
+#include "obs/trace.hpp"
 #include "profile/profiler.hpp"
 
 namespace cof {
@@ -119,6 +120,8 @@ class device_pipeline {
   /// ones without a batched kernel) supports the split protocol.
   virtual pipe_event launch_comparer_batch(const std::vector<device_pattern>& queries,
                                            const std::vector<u16>& thresholds) {
+    obs::span sp("comparer.batch", "device");
+    sp.arg("queries", static_cast<double>(queries.size()));
     staged_ = run_comparer_batch(queries, thresholds);
     staged_valid_ = true;
     return {};
@@ -126,8 +129,10 @@ class device_pipeline {
 
   /// Download the entries staged by the last launch_comparer_batch.
   virtual entries fetch_entries() {
+    obs::span sp("fetch", "device");
     COF_CHECK(staged_valid_);
     staged_valid_ = false;
+    sp.arg("entries", static_cast<double>(staged_.size()));
     return std::move(staged_);
   }
 

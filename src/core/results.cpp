@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "genome/iupac.hpp"
+#include "obs/trace.hpp"
 #include "util/strings.hpp"
 
 namespace cof {
@@ -115,6 +116,8 @@ record_spill_writer::~record_spill_writer() {
 
 void record_spill_writer::spill(std::vector<ot_record>& batch) {
   if (batch.empty()) return;
+  obs::span sp("spill", "io");
+  sp.arg("records", static_cast<double>(batch.size()));
   sort_records(batch);
   std::string payload;
   for (const auto& r : batch) serialize_record(payload, r);
@@ -138,6 +141,8 @@ void record_spill_writer::finish() {
 
 u64 merge_spill_runs(const std::vector<std::string>& paths,
                      const std::function<void(ot_record&&)>& sink) {
+  obs::span sp("merge", "io");
+  sp.arg("files", static_cast<double>(paths.size()));
   // One cursor per run; runs within a file share the ifstream and seek to
   // their own offset per read (records are variable-length, so the offset
   // is re-sampled after every read).

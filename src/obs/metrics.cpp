@@ -1,0 +1,188 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace obs {
+
+histogram_metric::histogram_metric(std::vector<u64> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  for (usize i = 1; i < bounds_.size(); ++i) {
+    COF_CHECK_MSG(bounds_[i - 1] < bounds_[i],
+                  "histogram bounds must be strictly increasing");
+  }
+}
+
+usize histogram_metric::bucket_of(u64 sample) const {
+  // First bound strictly above the sample: exclusive upper bounds, so
+  // sample == bounds_[i] belongs to bucket i + 1.
+  usize lo = 0, hi = bounds_.size();
+  while (lo < hi) {
+    const usize mid = (lo + hi) / 2;
+    if (sample < bounds_[mid]) hi = mid;
+    else lo = mid + 1;
+  }
+  return lo;
+}
+
+void histogram_metric::observe(u64 sample) {
+  counts_[bucket_of(sample)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  u64 prev = min_.load(std::memory_order_relaxed);
+  while (sample < prev &&
+         !min_.compare_exchange_weak(prev, sample, std::memory_order_relaxed)) {
+  }
+  prev = max_.load(std::memory_order_relaxed);
+  while (sample > prev &&
+         !max_.compare_exchange_weak(prev, sample, std::memory_order_relaxed)) {
+  }
+}
+
+void histogram_metric::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~u64{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+const std::vector<u64>& default_latency_bounds_us() {
+  static const std::vector<u64> bounds = {
+      50,     100,    250,    500,     1000,    2500,   5000,
+      10000,  25000,  50000,  100000,  250000,  500000, 1000000};
+  return bounds;
+}
+
+struct metrics_registry::impl {
+  mutable std::mutex mu;
+  std::map<std::string, std::unique_ptr<counter_metric>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<gauge_metric>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<histogram_metric>, std::less<>> histograms;
+};
+
+metrics_registry::impl& metrics_registry::state() const {
+  static impl* s = new impl();  // leaked: outlives exit-time races
+  return *s;
+}
+
+metrics_registry& metrics_registry::global() {
+  static metrics_registry r;
+  return r;
+}
+
+counter_metric& metrics_registry::counter(std::string_view name) {
+  impl& s = state();
+  std::lock_guard lock(s.mu);
+  auto it = s.counters.find(name);
+  if (it == s.counters.end()) {
+    it = s.counters.emplace(std::string(name), std::make_unique<counter_metric>())
+             .first;
+  }
+  return *it->second;
+}
+
+gauge_metric& metrics_registry::gauge(std::string_view name) {
+  impl& s = state();
+  std::lock_guard lock(s.mu);
+  auto it = s.gauges.find(name);
+  if (it == s.gauges.end()) {
+    it = s.gauges.emplace(std::string(name), std::make_unique<gauge_metric>())
+             .first;
+  }
+  return *it->second;
+}
+
+histogram_metric& metrics_registry::histogram(std::string_view name,
+                                              const std::vector<u64>& bounds) {
+  impl& s = state();
+  std::lock_guard lock(s.mu);
+  auto it = s.histograms.find(name);
+  if (it == s.histograms.end()) {
+    it = s.histograms
+             .emplace(std::string(name),
+                      std::make_unique<histogram_metric>(bounds))
+             .first;
+  } else {
+    COF_CHECK_MSG(it->second->bounds() == bounds,
+                  "histogram re-registered with different bounds: " +
+                      std::string(name));
+  }
+  return *it->second;
+}
+
+void metrics_registry::reset() {
+  impl& s = state();
+  std::lock_guard lock(s.mu);
+  for (auto& [name, c] : s.counters) c->reset();
+  for (auto& [name, g] : s.gauges) g->reset();
+  for (auto& [name, h] : s.histograms) h->reset();
+}
+
+std::string metrics_registry::json() const {
+  impl& s = state();
+  std::lock_guard lock(s.mu);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : s.counters) {
+    out += util::format("%s\n    \"%s\": %llu", first ? "" : ",", name.c_str(),
+                        static_cast<unsigned long long>(c->value()));
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : s.gauges) {
+    out += util::format("%s\n    \"%s\": {\"value\": %lld, \"max\": %lld}",
+                        first ? "" : ",", name.c_str(),
+                        static_cast<long long>(g->value()),
+                        static_cast<long long>(g->max_value()));
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : s.histograms) {
+    out += util::format("%s\n    \"%s\": {\"bounds\": [", first ? "" : ",",
+                        name.c_str());
+    first = false;
+    for (usize i = 0; i < h->bounds().size(); ++i) {
+      out += util::format("%s%llu", i == 0 ? "" : ", ",
+                          static_cast<unsigned long long>(h->bounds()[i]));
+    }
+    out += "], \"counts\": [";
+    for (usize i = 0; i <= h->bounds().size(); ++i) {
+      out += util::format("%s%llu", i == 0 ? "" : ", ",
+                          static_cast<unsigned long long>(h->bucket_count(i)));
+    }
+    const u64 n = h->count();
+    out += util::format(
+        "], \"count\": %llu, \"sum\": %llu, \"min\": %llu, \"max\": %llu}",
+        static_cast<unsigned long long>(n),
+        static_cast<unsigned long long>(h->sum()),
+        static_cast<unsigned long long>(n == 0 ? 0 : h->min()),
+        static_cast<unsigned long long>(h->max()));
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+bool metrics_registry::write_json(const std::string& path) const {
+  const std::string body = json();
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    LOG_ERROR("cannot open metrics output %s", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  if (!ok) LOG_ERROR("short write to metrics output %s", path.c_str());
+  return ok;
+}
+
+}  // namespace obs

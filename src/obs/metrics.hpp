@@ -1,0 +1,123 @@
+// Metrics registry: named counters, gauges, and fixed-bucket latency
+// histograms, all lock-free on the record path (relaxed atomics) and
+// exportable as JSON. Companion to the span tracer (obs/trace.hpp): spans
+// answer "when", the registry answers "how much in total".
+//
+// Handles returned by the registry are stable for the life of the process —
+// reset() zeroes values but never invalidates pointers, so hot paths fetch
+// a handle once per run and hammer the atomics.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace obs {
+
+using util::i64;
+using util::u64;
+using util::usize;
+
+/// Monotonic event count.
+class counter_metric {
+ public:
+  void add(u64 delta = 1) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  u64 value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<u64> v_{0};
+};
+
+/// Point-in-time level (queue depth, bytes held). Tracks the high-water
+/// mark across sets so a summary survives without sampling.
+class gauge_metric {
+ public:
+  void set(i64 v) {
+    v_.store(v, std::memory_order_relaxed);
+    i64 prev = max_.load(std::memory_order_relaxed);
+    while (v > prev &&
+           !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+  }
+  i64 value() const { return v_.load(std::memory_order_relaxed); }
+  i64 max_value() const { return max_.load(std::memory_order_relaxed); }
+  void reset() {
+    v_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<i64> v_{0};
+  std::atomic<i64> max_{0};
+};
+
+/// Fixed-bucket histogram over non-negative integer samples (latencies in
+/// microseconds, sizes in bytes). Bucket i covers [bounds[i-1], bounds[i])
+/// — upper bounds are exclusive, so a sample exactly on a boundary lands in
+/// the bucket above it — with one implicit overflow bucket for samples >=
+/// the last bound. Bounds are fixed at registration; re-registering the
+/// same name must pass identical bounds.
+class histogram_metric {
+ public:
+  explicit histogram_metric(std::vector<u64> bounds);
+
+  void observe(u64 sample);
+
+  /// Bucket index `sample` falls into (== bounds().size() for overflow).
+  usize bucket_of(u64 sample) const;
+
+  const std::vector<u64>& bounds() const { return bounds_; }
+  u64 bucket_count(usize bucket) const {
+    return counts_[bucket].load(std::memory_order_relaxed);
+  }
+  u64 count() const { return count_.load(std::memory_order_relaxed); }
+  u64 sum() const { return sum_.load(std::memory_order_relaxed); }
+  u64 min() const { return min_.load(std::memory_order_relaxed); }  // 0 if empty
+  u64 max() const { return max_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  std::vector<u64> bounds_;
+  std::vector<std::atomic<u64>> counts_;  // bounds_.size() + 1 (overflow)
+  std::atomic<u64> count_{0};
+  std::atomic<u64> sum_{0};
+  std::atomic<u64> min_{~u64{0}};
+  std::atomic<u64> max_{0};
+};
+
+/// Upper bounds (microseconds) the engine's stage-latency histograms use:
+/// roughly log-spaced 50us .. 1s.
+const std::vector<u64>& default_latency_bounds_us();
+
+/// Process-global registry. Thread-safe: lookups take a mutex (do them once
+/// per run), recorded values are atomics.
+class metrics_registry {
+ public:
+  static metrics_registry& global();
+
+  counter_metric& counter(std::string_view name);
+  gauge_metric& gauge(std::string_view name);
+  /// First registration fixes the bounds; later calls must match (checked).
+  histogram_metric& histogram(std::string_view name,
+                              const std::vector<u64>& bounds);
+
+  /// Zero every value (handles stay valid). Per-run lifetime: run_scope
+  /// calls this so back-to-back runs export independent snapshots.
+  void reset();
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}
+  std::string json() const;
+  bool write_json(const std::string& path) const;
+
+ private:
+  metrics_registry() = default;
+
+  struct impl;
+  impl& state() const;
+};
+
+}  // namespace obs

@@ -1,0 +1,343 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "profile/profiler.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+/// One buffered trace event. Strings are static or interned — the event
+/// never owns memory, so ring slots are plain values.
+struct trace_event {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  u64 ts_ns = 0;
+  u64 dur_ns = 0;   // 'X' only
+  u64 id = 0;       // 'b'/'e' pairing id
+  double value = 0; // 'C' only
+  const char* arg_key[2] = {nullptr, nullptr};
+  double arg_val[2] = {0, 0};
+  u32 nargs = 0;
+  u32 tid = 0;
+  char ph = 'X';
+};
+
+constexpr usize kRingCapacity = 1 << 16;  // events per thread
+
+/// Per-thread event ring. The owning thread is the only writer; the
+/// exporter/clearer read under the same mutex, so TSan sees every hand-off.
+struct thread_ring {
+  std::mutex mu;
+  std::vector<trace_event> ring;
+  usize next = 0;        // ring insert position
+  usize count = 0;       // events currently held (<= capacity)
+  u64 dropped = 0;       // overwritten since last clear
+  u32 tid = 0;           // small stable id (util::thread_ordinal)
+  const char* name = nullptr;  // interned thread name, null = unnamed
+};
+
+struct tracer_state {
+  std::mutex registry_mu;
+  // shared_ptr: a ring must outlive its thread (export can happen after the
+  // recording thread exited) and the thread_local must stay valid while the
+  // thread lives even if the registry is cleared.
+  std::vector<std::shared_ptr<thread_ring>> rings;
+
+  std::mutex intern_mu;
+  std::deque<std::string> interned;
+};
+
+tracer_state& state() {
+  static tracer_state* s = new tracer_state();  // leaked: outlives exit-time races
+  return *s;
+}
+
+thread_ring& this_thread_ring() {
+  thread_local std::shared_ptr<thread_ring> tl_ring = [] {
+    auto r = std::make_shared<thread_ring>();
+    r->tid = util::thread_ordinal();
+    auto& s = state();
+    std::lock_guard lock(s.registry_mu);
+    s.rings.push_back(r);
+    return r;
+  }();
+  return *tl_ring;
+}
+
+void record(const trace_event& ev) {
+  thread_ring& r = this_thread_ring();
+  std::lock_guard lock(r.mu);
+  if (r.ring.empty()) r.ring.resize(kRingCapacity);
+  if (r.count == kRingCapacity) ++r.dropped;
+  else ++r.count;
+  trace_event e = ev;
+  e.tid = r.tid;
+  r.ring[r.next] = e;
+  r.next = (r.next + 1) % kRingCapacity;
+}
+
+void append_json_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += util::format("\\u%04x", c);
+    } else {
+      out += c;
+    }
+  }
+}
+
+void append_number(std::string& out, double v) {
+  // Counter values and args are integral in practice; print them exactly.
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 9.0e15) {
+    out += util::format("%lld", static_cast<long long>(v));
+  } else {
+    out += util::format("%.6g", v);
+  }
+}
+
+void append_event_json(std::string& out, const trace_event& ev) {
+  out += "{\"name\":\"";
+  append_json_escaped(out, ev.name);
+  out += "\",";
+  if (ev.cat != nullptr) {
+    out += "\"cat\":\"";
+    append_json_escaped(out, ev.cat);
+    out += "\",";
+  }
+  out += util::format("\"ph\":\"%c\",\"pid\":1,\"tid\":%u,\"ts\":%.3f", ev.ph,
+                      ev.tid, static_cast<double>(ev.ts_ns) / 1e3);
+  if (ev.ph == 'X') out += util::format(",\"dur\":%.3f", static_cast<double>(ev.dur_ns) / 1e3);
+  if (ev.ph == 'b' || ev.ph == 'e') out += util::format(",\"id\":%llu", static_cast<unsigned long long>(ev.id));
+  if (ev.ph == 'C') {
+    out += ",\"args\":{\"value\":";
+    append_number(out, ev.value);
+    out += "}";
+  } else if (ev.nargs != 0) {
+    out += ",\"args\":{";
+    for (u32 a = 0; a < ev.nargs; ++a) {
+      if (a != 0) out += ',';
+      out += '"';
+      append_json_escaped(out, ev.arg_key[a]);
+      out += "\":";
+      append_number(out, ev.arg_val[a]);
+    }
+    out += "}";
+  }
+  out += "}";
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+u64 now_ns() { return util::process_nanos(); }
+
+const char* intern(std::string_view s) {
+  auto& st = state();
+  std::lock_guard lock(st.intern_mu);
+  for (const auto& existing : st.interned) {
+    if (existing == s) return existing.c_str();
+  }
+  st.interned.emplace_back(s);
+  return st.interned.back().c_str();
+}
+
+span::span(const char* name, const char* cat) {
+  if (!enabled()) return;
+  active_ = true;
+  name_ = name;
+  cat_ = cat;
+  start_ = now_ns();
+}
+
+span::~span() {
+  if (!active_) return;
+  trace_event ev;
+  ev.name = name_;
+  ev.cat = cat_;
+  ev.ph = 'X';
+  ev.ts_ns = start_;
+  ev.dur_ns = now_ns() - start_;
+  ev.nargs = nargs_;
+  for (u32 a = 0; a < nargs_; ++a) {
+    ev.arg_key[a] = arg_key_[a];
+    ev.arg_val[a] = arg_val_[a];
+  }
+  record(ev);
+}
+
+void span::arg(const char* key, double value) {
+  if (!active_ || nargs_ >= 2) return;
+  arg_key_[nargs_] = key;
+  arg_val_[nargs_] = value;
+  ++nargs_;
+}
+
+void async_begin(const char* name, const char* cat, u64 id) {
+  if (!enabled()) return;
+  trace_event ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ph = 'b';
+  ev.id = id;
+  ev.ts_ns = now_ns();
+  record(ev);
+}
+
+void async_end(const char* name, const char* cat, u64 id) {
+  if (!enabled()) return;
+  trace_event ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ph = 'e';
+  ev.id = id;
+  ev.ts_ns = now_ns();
+  record(ev);
+}
+
+void counter_track(const char* name, double value) {
+  if (!enabled()) return;
+  trace_event ev;
+  ev.name = name;
+  ev.ph = 'C';
+  ev.value = value;
+  ev.ts_ns = now_ns();
+  record(ev);
+}
+
+void set_thread_name(std::string_view name) {
+  const char* n = intern(name);
+  thread_ring& r = this_thread_ring();
+  std::lock_guard lock(r.mu);
+  r.name = n;
+}
+
+void fold_profiler(const prof::profiler& p) {
+  if (!enabled()) return;
+  for (const auto& [kernel, profile] : p.kernels()) {
+    counter_track(intern("kernel/" + kernel + "/wall_ms"),
+                  static_cast<double>(profile.wall_nanos) / 1e6);
+    counter_track(intern("kernel/" + kernel + "/launches"),
+                  static_cast<double>(profile.launches));
+  }
+}
+
+void trace_clear() {
+  auto& s = state();
+  std::lock_guard reg_lock(s.registry_mu);
+  for (auto& r : s.rings) {
+    std::lock_guard lock(r->mu);
+    r->next = 0;
+    r->count = 0;
+    r->dropped = 0;
+  }
+}
+
+u64 trace_dropped() {
+  auto& s = state();
+  std::lock_guard reg_lock(s.registry_mu);
+  u64 total = 0;
+  for (auto& r : s.rings) {
+    std::lock_guard lock(r->mu);
+    total += r->dropped;
+  }
+  return total;
+}
+
+std::string trace_json() {
+  // Snapshot every ring (oldest first), then serialise in timestamp order
+  // so Perfetto's JSON importer never sees out-of-order complete events.
+  struct named_thread {
+    u32 tid;
+    const char* name;
+  };
+  std::vector<trace_event> events;
+  std::vector<named_thread> names;
+  u64 dropped = 0;
+  {
+    auto& s = state();
+    std::lock_guard reg_lock(s.registry_mu);
+    for (auto& r : s.rings) {
+      std::lock_guard lock(r->mu);
+      dropped += r->dropped;
+      if (r->name != nullptr) names.push_back({r->tid, r->name});
+      const usize first = (r->next + kRingCapacity - r->count) % kRingCapacity;
+      for (usize i = 0; i < r->count; ++i) {
+        events.push_back(r->ring[(first + i) % kRingCapacity]);
+      }
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const trace_event& a, const trace_event& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":";
+  out += util::format("%llu", static_cast<unsigned long long>(dropped));
+  out += "},\"traceEvents\":[\n";
+  bool first_ev = true;
+  for (const auto& n : names) {
+    if (!first_ev) out += ",\n";
+    first_ev = false;
+    out += util::format(
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%u,"
+        "\"args\":{\"name\":\"",
+        n.tid);
+    append_json_escaped(out, n.name);
+    out += "\"}}";
+  }
+  for (const auto& ev : events) {
+    if (!first_ev) out += ",\n";
+    first_ev = false;
+    append_event_json(out, ev);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_trace(const std::string& path) {
+  const std::string json = trace_json();
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    LOG_ERROR("cannot open trace output %s", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  if (!ok) LOG_ERROR("short write to trace output %s", path.c_str());
+  return ok;
+}
+
+run_scope::run_scope(bool on) : on_(on), prev_(enabled()) {
+  if (!on_) return;
+  set_enabled(true);
+  trace_clear();
+  metrics_registry::global().reset();
+}
+
+run_scope::~run_scope() {
+  if (on_) set_enabled(prev_);
+}
+
+}  // namespace obs

@@ -1,0 +1,118 @@
+// Low-overhead span tracer for the streaming engine: RAII scopes, explicit
+// async spans, and counter tracks recorded into per-thread ring buffers and
+// exported as Chrome trace-event JSON (load in Perfetto / chrome://tracing).
+//
+// Cost model: every probe checks one relaxed atomic (obs::enabled()) and
+// returns immediately when tracing is off — the streaming hot path pays a
+// handful of nanoseconds per chunk. When tracing is on, a record takes one
+// short per-thread mutex (uncontended: the owning thread is the only
+// writer; the exporter is the only reader) and one ring slot; rings
+// overwrite their oldest events when full and count the overwrites.
+//
+// Per-run lifetime: the engines wrap a run in obs::run_scope, which enables
+// the subsystem, clears the rings and the metrics registry on entry, and
+// restores the previous enable state on exit — mirroring
+// prof::profiler::clear() so back-to-back runs export independent data.
+// One traced run at a time; concurrent traced runs would interleave.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/common.hpp"
+
+namespace prof {
+class profiler;
+}
+
+namespace obs {
+
+using util::i64;
+using util::u32;
+using util::u64;
+using util::usize;
+
+/// Master switch shared by the tracer and the engine-side metric probes.
+/// Relaxed atomic load; callers on hot paths may cache the value per run.
+bool enabled();
+void set_enabled(bool on);
+
+/// Nanoseconds since the process epoch (util::process_nanos), the timebase
+/// of every recorded event.
+u64 now_ns();
+
+/// Intern a dynamic string (thread names, per-queue counter names) into a
+/// process-lifetime pool, returning a stable pointer the event structs can
+/// hold. Interning takes a mutex — do it once per name, not per event.
+const char* intern(std::string_view s);
+
+/// RAII complete-span ('X') scope. Name/category must outlive the tracer
+/// (string literals or intern()ed). Up to two numeric args.
+class span {
+ public:
+  span(const char* name, const char* cat);
+  ~span();
+
+  span(const span&) = delete;
+  span& operator=(const span&) = delete;
+
+  /// Attach a numeric argument (shown in the Perfetto args panel). At most
+  /// two; extras are dropped.
+  void arg(const char* key, double value);
+
+ private:
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  const char* arg_key_[2] = {nullptr, nullptr};
+  double arg_val_[2] = {0, 0};
+  u64 start_ = 0;
+  u32 nargs_ = 0;
+  bool active_ = false;
+};
+
+/// Explicit async span halves ('b'/'e'): begin and end may run on different
+/// threads; Perfetto pairs them by (cat, name, id).
+void async_begin(const char* name, const char* cat, u64 id);
+void async_end(const char* name, const char* cat, u64 id);
+
+/// Counter track ('C'): one sample of `name` at the current timestamp.
+void counter_track(const char* name, double value);
+
+/// Name the calling thread in the trace (and pin its track ordering).
+void set_thread_name(std::string_view name);
+
+/// Fold a profiler's per-kernel profiles into the trace as counter tracks
+/// (kernel/<name> wall milliseconds and launch counts), sampled at the
+/// current timestamp.
+void fold_profiler(const prof::profiler& p);
+
+/// Drop every buffered event (all threads) and reset the drop counter.
+void trace_clear();
+
+/// Events overwritten because a thread ring wrapped since the last clear.
+u64 trace_dropped();
+
+/// Render the buffered events as a Chrome trace-event JSON object.
+std::string trace_json();
+
+/// Write trace_json() to `path`. False (with a log line) on I/O failure.
+bool write_trace(const std::string& path);
+
+/// Per-run lifetime guard used by the engines: on construction (when `on`)
+/// enables the subsystem and clears the tracer + metrics registry; on
+/// destruction restores the previous enable state. Pass on=false for an
+/// untraced run (a no-op guard).
+class run_scope {
+ public:
+  explicit run_scope(bool on);
+  ~run_scope();
+
+  run_scope(const run_scope&) = delete;
+  run_scope& operator=(const run_scope&) = delete;
+
+ private:
+  bool on_ = false;
+  bool prev_ = false;
+};
+
+}  // namespace obs

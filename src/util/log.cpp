@@ -6,6 +6,8 @@
 #include <mutex>
 #include <vector>
 
+#include "util/timer.hpp"
+
 namespace util {
 
 namespace {
@@ -27,6 +29,12 @@ const char* level_name(log_level lvl) {
 void set_log_level(log_level lvl) { g_level.store(static_cast<int>(lvl)); }
 log_level get_log_level() { return static_cast<log_level>(g_level.load()); }
 
+unsigned thread_ordinal() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned ordinal = next.fetch_add(1);
+  return ordinal;
+}
+
 namespace detail {
 
 std::string log_format(const char* fmt, ...) {
@@ -47,8 +55,11 @@ std::string log_format(const char* fmt, ...) {
 }
 
 void log_emit(log_level lvl, const std::string& msg) {
+  const double ms = static_cast<double>(process_nanos()) / 1e6;
+  const unsigned tid = thread_ordinal();
   std::lock_guard lock(g_emit_mu);
-  std::fprintf(stderr, "[%s] %s\n", level_name(lvl), msg.c_str());
+  std::fprintf(stderr, "[%10.3f t%u %s] %s\n", ms, tid, level_name(lvl),
+               msg.c_str());
 }
 
 }  // namespace detail

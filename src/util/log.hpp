@@ -1,6 +1,12 @@
 // Minimal leveled logger. Single global sink (stderr), thread-safe line
 // emission, runtime level filter. Benches set the level to `warn` so table
 // output stays clean.
+//
+// Line format (stable — tests and log scrapers may rely on it):
+//   [<ms since process start> t<thread ordinal> <LEVEL>] <message>
+// The timestamp is monotonic and the ordinal is a small stable per-thread
+// id (the same id the obs tracer uses), so interleaved multi-queue logs
+// stay attributable to the thread that emitted them.
 #pragma once
 
 #include <string>
@@ -11,6 +17,10 @@ enum class log_level { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
 
 void set_log_level(log_level lvl);
 log_level get_log_level();
+
+/// Small stable id of the calling thread, assigned in first-use order
+/// (main thread is usually 0). Shared by log lines and trace events.
+unsigned thread_ordinal();
 
 namespace detail {
 void log_emit(log_level lvl, const std::string& msg);

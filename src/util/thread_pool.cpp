@@ -118,6 +118,7 @@ void thread_pool::enqueue(detail::task_base* t, unsigned slot) {
   pending_.fetch_add(1);
   in_flight_.fetch_add(1);
   if (slot == kNoSlot || !deques_[slot]->push(t)) {
+    injects_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard lock(inject_mu_);
     inject_.push_back(t);
   }
@@ -167,13 +168,17 @@ detail::task_base* thread_pool::find_task(unsigned self_slot) {
   const usize nd = deques_.size();
   const usize start = (self_slot == kNoSlot ? 0 : self_slot + 1);
   for (usize k = 0; k < nd; ++k) {
-    if (detail::task_base* t = deques_[(start + k) % nd]->steal()) return t;
+    if (detail::task_base* t = deques_[(start + k) % nd]->steal()) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return t;
+    }
   }
   return nullptr;
 }
 
 void thread_pool::execute(detail::task_base* t) {
   pending_.fetch_sub(1);
+  executed_.fetch_add(1, std::memory_order_relaxed);
   t->run(t);
   if (in_flight_.fetch_sub(1) == 1) {
     std::lock_guard lock(idle_mu_);
@@ -192,6 +197,7 @@ void thread_pool::worker_loop(unsigned idx) {
     // A failed scan is not proof of idleness (a lost steal race counts as a
     // miss), so the exit/sleep decision keys off pending_, not the scan.
     if (stop_.load() && pending_.load() == 0) break;
+    sleeps_.fetch_add(1, std::memory_order_relaxed);
     sleepers_.fetch_add(1);
     {
       std::unique_lock lock(sleep_mu_);
@@ -243,6 +249,7 @@ void thread_pool::parallel_for_range(usize n,
     pending_.fetch_add(1);
     in_flight_.fetch_add(1);
     if (slot == kNoSlot || !deques_[slot]->push(&blocks[b])) {
+      injects_.fetch_add(1, std::memory_order_relaxed);
       std::lock_guard lock(inject_mu_);
       inject_.push_back(&blocks[b]);
     }

@@ -161,6 +161,22 @@ class thread_pool {
   /// Process-wide shared pool (lazily constructed).
   static thread_pool& global();
 
+  /// Scheduler-behaviour counters since construction (monotonic; observers
+  /// diff two snapshots to scope them to a run). Relaxed atomics — cheap
+  /// enough to keep always-on.
+  struct sched_stats {
+    u64 steals = 0;   // tasks taken from another thread's deque
+    u64 injects = 0;  // tasks that went through the mutex-guarded queue
+    u64 sleeps = 0;   // times a worker went to sleep empty-handed
+    u64 executed = 0; // tasks run to completion
+  };
+  sched_stats stats() const {
+    return {steals_.load(std::memory_order_relaxed),
+            injects_.load(std::memory_order_relaxed),
+            sleeps_.load(std::memory_order_relaxed),
+            executed_.load(std::memory_order_relaxed)};
+  }
+
  private:
   struct range_block;  // thread_pool.cpp
 
@@ -186,6 +202,10 @@ class thread_pool {
 
   std::atomic<usize> pending_{0};    // enqueued, not yet taken
   std::atomic<usize> in_flight_{0};  // enqueued or running
+  std::atomic<u64> steals_{0};
+  std::atomic<u64> injects_{0};
+  std::atomic<u64> sleeps_{0};
+  std::atomic<u64> executed_{0};
   std::atomic<usize> sleepers_{0};
   std::atomic<bool> stop_{false};
   std::mutex sleep_mu_;
@@ -236,9 +256,18 @@ class bounded_queue {
     cv_pop_.notify_all();
   }
 
+  /// Items currently buffered (racy by nature — a snapshot for depth
+  /// gauges, not for control flow).
+  usize size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+  usize capacity() const { return capacity_; }
+
  private:
   const usize capacity_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_push_;  // waited by producers (space available)
   std::condition_variable cv_pop_;   // waited by consumers (item available)
   std::deque<T> items_;

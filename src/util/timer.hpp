@@ -38,4 +38,13 @@ class stopwatch {
   clock::time_point start_;
 };
 
+/// Monotonic nanoseconds since the process epoch (first call). One shared
+/// epoch so log lines and trace events line up on the same axis.
+inline u64 process_nanos() {
+  static const stopwatch::clock::time_point epoch = stopwatch::clock::now();
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              stopwatch::clock::now() - epoch)
+                              .count());
+}
+
 }  // namespace util

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 #include "xpu/fiber.hpp"
 
@@ -148,8 +149,17 @@ launch_stats launch_raw(util::thread_pool& pool, const launch_config& cfg,
 
   util::stopwatch sw;
   const usize ngroups = cfg.group_count_linear();
+  obs::span launch_sp("xpu.launch", "xpu");
+  launch_sp.arg("groups", static_cast<double>(ngroups));
+  launch_sp.arg("work_items", static_cast<double>(cfg.global_linear()));
 
   auto run_groups = [&cfg, fn, ctx](usize begin, usize end) {
+    // One span per stealable group block: with tracing on, the trace shows
+    // how the pool spread (and re-balanced) the ragged comparer groups
+    // across threads; with tracing off this is a single relaxed load.
+    obs::span sp("xpu.groups", "xpu");
+    sp.arg("first_group", static_cast<double>(begin));
+    sp.arg("groups", static_cast<double>(end - begin));
     // Per-group local memory arena, reused across the groups this thread runs.
     thread_local std::vector<char> local_arena;
     if (local_arena.size() < cfg.local_mem_bytes) local_arena.resize(cfg.local_mem_bytes);

@@ -1,0 +1,619 @@
+// Observability tests: trace-event JSON export (schema + per-thread span
+// nesting), metrics registry (exact histogram bucket boundaries, reset
+// semantics), per-run lifetime (back-to-back runs export independent data),
+// concurrent recording from several threads (the `tsan` label re-runs this
+// under COF_SANITIZE=thread), and end-to-end engine traces carrying the
+// expected span names for every host facade.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine_stream.hpp"
+#include "genome/fasta.hpp"
+#include "genome/synth.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using namespace cof;
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON parser — enough to validate the exporters'
+// output without external dependencies. Throws std::runtime_error on any
+// syntax error, which fails the test.
+// ---------------------------------------------------------------------------
+struct jvalue {
+  enum kind_t { j_null, j_bool, j_number, j_string, j_array, j_object };
+  kind_t kind = j_null;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<jvalue> arr;
+  std::map<std::string, jvalue> obj;
+
+  const jvalue& at(const std::string& key) const {
+    auto it = obj.find(key);
+    if (it == obj.end()) throw std::runtime_error("missing key: " + key);
+    return it->second;
+  }
+  bool has(const std::string& key) const { return obj.count(key) != 0; }
+};
+
+class json_parser {
+ public:
+  explicit json_parser(const std::string& text) : s_(text) {}
+
+  jvalue parse() {
+    jvalue v = value();
+    ws();
+    if (pos_ != s_.size()) throw std::runtime_error("trailing JSON content");
+    return v;
+  }
+
+ private:
+  void ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    if (pos_ >= s_.size()) throw std::runtime_error("unexpected end of JSON");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "' at " +
+                               std::to_string(pos_));
+    }
+    ++pos_;
+  }
+  bool consume(const char* lit) {
+    const usize n = std::char_traits<char>::length(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  jvalue value() {
+    ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      jvalue v;
+      v.kind = jvalue::j_string;
+      v.str = string();
+      return v;
+    }
+    jvalue v;
+    if (consume("true")) {
+      v.kind = jvalue::j_bool;
+      v.b = true;
+      return v;
+    }
+    if (consume("false")) {
+      v.kind = jvalue::j_bool;
+      return v;
+    }
+    if (consume("null")) return v;
+    return number();
+  }
+
+  jvalue object() {
+    jvalue v;
+    v.kind = jvalue::j_object;
+    expect('{');
+    ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      ws();
+      std::string key = string();
+      ws();
+      expect(':');
+      v.obj[key] = value();
+      ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  jvalue array() {
+    jvalue v;
+    v.kind = jvalue::j_array;
+    expect('[');
+    ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.arr.push_back(value());
+      ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) throw std::runtime_error("bad \\u escape");
+          out += '?';  // code point fidelity is not under test
+          pos_ += 4;
+          break;
+        }
+        default: throw std::runtime_error("bad escape");
+      }
+    }
+  }
+
+  jvalue number() {
+    const usize start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '-' ||
+            s_[pos_] == '+' || s_[pos_] == '.' || s_[pos_] == 'e' ||
+            s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) throw std::runtime_error("expected a JSON value");
+    jvalue v;
+    v.kind = jvalue::j_number;
+    v.num = std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
+    return v;
+  }
+
+  const std::string& s_;
+  usize pos_ = 0;
+};
+
+jvalue parse_json(const std::string& text) { return json_parser(text).parse(); }
+
+std::vector<const jvalue*> events_named(const jvalue& trace,
+                                        const std::string& name) {
+  std::vector<const jvalue*> out;
+  for (const auto& ev : trace.at("traceEvents").arr) {
+    if (ev.has("name") && ev.at("name").str == name) out.push_back(&ev);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, BucketBoundariesAreExclusive) {
+  obs::histogram_metric h({50, 100, 250});
+  // Bucket i covers [bounds[i-1], bounds[i]): a sample exactly on a bound
+  // lands in the bucket ABOVE it; >= last bound is the overflow bucket.
+  EXPECT_EQ(h.bucket_of(0), 0u);
+  EXPECT_EQ(h.bucket_of(49), 0u);
+  EXPECT_EQ(h.bucket_of(50), 1u);
+  EXPECT_EQ(h.bucket_of(99), 1u);
+  EXPECT_EQ(h.bucket_of(100), 2u);
+  EXPECT_EQ(h.bucket_of(249), 2u);
+  EXPECT_EQ(h.bucket_of(250), 3u);  // overflow
+  EXPECT_EQ(h.bucket_of(~util::u64{0}), 3u);
+}
+
+TEST(Histogram, CountsSumMinMax) {
+  obs::histogram_metric h({10, 100});
+  for (util::u64 s : {0u, 9u, 10u, 50u, 99u, 100u, 5000u}) h.observe(s);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_EQ(h.sum(), 0u + 9 + 10 + 50 + 99 + 100 + 5000);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 5000u);
+  EXPECT_EQ(h.bucket_count(0), 2u);  // 0, 9
+  EXPECT_EQ(h.bucket_count(1), 3u);  // 10, 50, 99
+  EXPECT_EQ(h.bucket_count(2), 2u);  // 100, 5000 (overflow)
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.bucket_count(1), 0u);
+}
+
+TEST(MetricsRegistry, JsonParsesAndCarriesValues) {
+  auto& reg = obs::metrics_registry::global();
+  reg.reset();
+  reg.counter("t.counter").add(41);
+  reg.counter("t.counter").add(1);
+  reg.gauge("t.gauge").set(7);
+  reg.gauge("t.gauge").set(3);  // max stays 7
+  auto& h = reg.histogram("t.hist", {10, 100});
+  h.observe(5);
+  h.observe(150);
+
+  const jvalue doc = parse_json(reg.json());
+  EXPECT_EQ(doc.at("counters").at("t.counter").num, 42);
+  EXPECT_EQ(doc.at("gauges").at("t.gauge").at("value").num, 3);
+  EXPECT_EQ(doc.at("gauges").at("t.gauge").at("max").num, 7);
+  const jvalue& hist = doc.at("histograms").at("t.hist");
+  EXPECT_EQ(hist.at("count").num, 2);
+  EXPECT_EQ(hist.at("sum").num, 155);
+  ASSERT_EQ(hist.at("bounds").arr.size(), 2u);
+  ASSERT_EQ(hist.at("counts").arr.size(), 3u);
+  EXPECT_EQ(hist.at("counts").arr[0].num, 1);
+  EXPECT_EQ(hist.at("counts").arr[2].num, 1);
+  reg.reset();
+}
+
+TEST(MetricsRegistry, ResetKeepsHandlesValid) {
+  auto& reg = obs::metrics_registry::global();
+  auto& c = reg.counter("t.reset");
+  c.add(5);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(2);
+  EXPECT_EQ(reg.counter("t.reset").value(), 2u);  // same node
+  EXPECT_EQ(&reg.counter("t.reset"), &c);
+  reg.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+TEST(Trace, DisabledRecordsNothing) {
+  obs::set_enabled(false);
+  obs::trace_clear();
+  {
+    obs::span sp("ghost", "test");
+    obs::counter_track("ghost.counter", 1);
+  }
+  const jvalue doc = parse_json(obs::trace_json());
+  EXPECT_TRUE(events_named(doc, "ghost").empty());
+}
+
+TEST(Trace, JsonSchemaAndSpanContent) {
+  obs::run_scope scope(true);
+  obs::set_thread_name("obs-test-main");
+  {
+    obs::span sp("outer", "test");
+    sp.arg("alpha", 3.5);
+    sp.arg("beta", -2);
+    obs::span inner("inner", "test");
+  }
+  obs::async_begin("apair", "test", 9);
+  obs::async_end("apair", "test", 9);
+  obs::counter_track("level", 4);
+
+  const jvalue doc = parse_json(obs::trace_json());
+  ASSERT_TRUE(doc.has("traceEvents"));
+  for (const auto& ev : doc.at("traceEvents").arr) {
+    ASSERT_TRUE(ev.has("name"));
+    ASSERT_TRUE(ev.has("ph"));
+    ASSERT_TRUE(ev.has("pid"));
+    ASSERT_TRUE(ev.has("tid"));
+  }
+
+  const auto outer = events_named(doc, "outer");
+  ASSERT_EQ(outer.size(), 1u);
+  EXPECT_EQ(outer[0]->at("ph").str, "X");
+  EXPECT_EQ(outer[0]->at("cat").str, "test");
+  EXPECT_GE(outer[0]->at("dur").num, 0.0);
+  EXPECT_EQ(outer[0]->at("args").at("alpha").num, 3.5);
+  EXPECT_EQ(outer[0]->at("args").at("beta").num, -2);
+
+  EXPECT_EQ(events_named(doc, "apair").size(), 2u);  // 'b' + 'e'
+  const auto counters = events_named(doc, "level");
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0]->at("ph").str, "C");
+
+  // Thread-name metadata record for the calling thread.
+  bool named = false;
+  for (const auto* m : events_named(doc, "thread_name")) {
+    named |= m->at("ph").str == "M" &&
+             m->at("args").at("name").str == "obs-test-main";
+  }
+  EXPECT_TRUE(named);
+}
+
+TEST(Trace, SpanNestingWellFormedPerThread) {
+  obs::run_scope scope(true);
+  auto emit_nested = [] {
+    for (int i = 0; i < 50; ++i) {
+      obs::span a("depth0", "nest");
+      {
+        obs::span b("depth1", "nest");
+        obs::span c("depth2", "nest");
+      }
+      obs::span d("depth1b", "nest");
+    }
+  };
+  std::thread t1(emit_nested), t2(emit_nested);
+  t1.join();
+  t2.join();
+
+  // Within each thread, complete spans must nest like a call stack: sorted
+  // by start time, every span either contains or is disjoint from the next
+  // (no partial overlap).
+  const jvalue doc = parse_json(obs::trace_json());
+  std::map<double, std::vector<std::pair<double, double>>> by_tid;
+  for (const auto& ev : doc.at("traceEvents").arr) {
+    if (ev.at("ph").str != "X" || ev.at("cat").str != "nest") continue;
+    by_tid[ev.at("tid").num].push_back(
+        {ev.at("ts").num, ev.at("ts").num + ev.at("dur").num});
+  }
+  ASSERT_EQ(by_tid.size(), 2u);
+  for (auto& [tid, spans] : by_tid) {
+    ASSERT_EQ(spans.size(), 200u);  // 4 spans x 50 iterations
+    // Start ascending, end DESCENDING: on identical start times the
+    // enclosing span must come first for the stack check below.
+    std::sort(spans.begin(), spans.end(),
+              [](const auto& a, const auto& b) {
+                return a.first != b.first ? a.first < b.first
+                                          : a.second > b.second;
+              });
+    std::vector<std::pair<double, double>> stack;
+    for (const auto& sp : spans) {
+      while (!stack.empty() && sp.first >= stack.back().second) stack.pop_back();
+      if (!stack.empty()) {
+        // Open ancestor: must fully contain this span.
+        EXPECT_LE(sp.second, stack.back().second + 1e-6);
+      }
+      stack.push_back(sp);
+    }
+  }
+}
+
+TEST(Trace, ConcurrentRecordingFromFourThreads) {
+  // num_queues=4-shaped load: four writer threads hammer spans, counters,
+  // and registry metrics while the subsystem is live. The tsan ctest label
+  // re-runs this under COF_SANITIZE=thread.
+  obs::run_scope scope(true);
+  auto& reg = obs::metrics_registry::global();
+  auto& hist = reg.histogram("t.mt_hist", obs::default_latency_bounds_us());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t, &reg, &hist] {
+      obs::set_thread_name("writer-" + std::to_string(t));
+      for (int i = 0; i < 5000; ++i) {
+        obs::span sp("mt", "test");
+        sp.arg("i", i);
+        obs::counter_track("mt.count", i);
+        reg.counter("t.mt_counter").add(1);
+        reg.gauge("t.mt_gauge").set(i);
+        hist.observe(static_cast<util::u64>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(reg.counter("t.mt_counter").value(), 4u * 5000u);
+  EXPECT_EQ(hist.count(), 4u * 5000u);
+  // Export must parse even after ring wrap-around (rings drop oldest).
+  const jvalue doc = parse_json(obs::trace_json());
+  EXPECT_FALSE(events_named(doc, "mt").empty());
+}
+
+TEST(Trace, BackToBackRunsAreIndependent) {
+  std::string first, second;
+  {
+    obs::run_scope scope(true);
+    obs::metrics_registry::global().counter("t.run").add(11);
+    obs::span sp("first-run-span", "test");
+    sp.arg("x", 1);
+  }
+  // run_scope cleared on entry, so the export has to happen inside; emulate
+  // the engine: export before the scope closes.
+  {
+    obs::run_scope scope(true);
+    { obs::span sp("first-run-span", "test"); }
+    first = obs::trace_json();
+    EXPECT_EQ(obs::metrics_registry::global().counter("t.run").value(), 0u)
+        << "run_scope must reset metric values from the previous run";
+  }
+  {
+    obs::run_scope scope(true);
+    { obs::span sp("second-run-span", "test"); }
+    second = obs::trace_json();
+  }
+  const jvalue doc1 = parse_json(first);
+  const jvalue doc2 = parse_json(second);
+  EXPECT_EQ(events_named(doc1, "first-run-span").size(), 1u);
+  EXPECT_TRUE(events_named(doc1, "second-run-span").empty());
+  EXPECT_EQ(events_named(doc2, "second-run-span").size(), 1u);
+  EXPECT_TRUE(events_named(doc2, "first-run-span").empty())
+      << "second run's trace must not carry the first run's spans";
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration: a traced streaming run must produce a parseable
+// Chrome trace carrying the full set of pipeline span names, for every
+// host facade, plus the metrics snapshot and the stage-time breakdown.
+// ---------------------------------------------------------------------------
+
+struct temp_dir {
+  std::filesystem::path path;
+  temp_dir() {
+    static int counter = 0;
+    path = std::filesystem::temp_directory_path() /
+           ("cof_obs_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter++));
+    std::filesystem::create_directories(path);
+  }
+  ~temp_dir() { std::filesystem::remove_all(path); }
+};
+
+genome::genome_t obs_genome() {
+  genome::synth_params p;
+  p.assembly = "obs-test";
+  p.chromosomes = {{"chrA", 40000}, {"chrB", 20000}};
+  p.seed = 977;
+  auto g = genome::generate(p);
+  // Plant the example input's first query (+TGG PAM) throughout both
+  // chromosomes so every chunk produces comparer entries — the format and
+  // spill spans only exist on chunks that yield records.
+  const std::string site = "GGCCGACCTGTCGCTGACGCTGG";
+  for (auto& chrom : g.chroms) {
+    for (usize pos = 500; pos + site.size() < chrom.seq.size(); pos += 2000) {
+      chrom.seq.replace(pos, site.size(), site);
+    }
+  }
+  return g;
+}
+
+class FacadeTrace : public ::testing::TestWithParam<backend_kind> {};
+
+TEST_P(FacadeTrace, StreamingRunEmitsAllPipelineSpans) {
+  temp_dir dir;
+  const auto g = obs_genome();
+  const auto fasta = (dir.path / "g.fa").string();
+  genome::write_fasta_file(fasta, g.chroms);
+  const auto trace_path = (dir.path / "trace.json").string();
+  const auto metrics_path = (dir.path / "metrics.json").string();
+
+  auto cfg = parse_input(example_input("<mem>"));
+  engine_options opt;
+  opt.backend = GetParam();
+  opt.max_chunk = 8192;
+  opt.num_queues = 2;
+  opt.trace_out = trace_path;
+  opt.metrics_json = metrics_path;
+  const auto out = run_search_streaming(cfg, fasta, opt);
+  EXPECT_FALSE(obs::enabled()) << "run_scope must restore the disabled state";
+
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const jvalue doc = parse_json(ss.str());
+
+  for (const char* name :
+       {"decode", "queue.push", "queue.pop", "h2d.chunk", "finder",
+        "comparer.batch", "fetch", "format", "spill", "merge"}) {
+    EXPECT_FALSE(events_named(doc, name).empty())
+        << "missing span '" << name << "' for backend "
+        << backend_name(GetParam());
+  }
+
+  // The metrics snapshot parses and carries the streaming instruments.
+  std::ifstream min(metrics_path);
+  ASSERT_TRUE(min.good());
+  std::stringstream ms;
+  ms << min.rdbuf();
+  const jvalue mdoc = parse_json(ms.str());
+  EXPECT_EQ(mdoc.at("counters").at("stream.chunks").num,
+            static_cast<double>(out.metrics.chunks));
+  EXPECT_TRUE(mdoc.at("histograms").has("stream.device_us"));
+  EXPECT_TRUE(mdoc.at("gauges").has("stream.queue_depth"));
+
+  // Stage breakdown: one entry per queue, and device time was measured.
+  ASSERT_EQ(out.queue_stages.size(), 2u);
+  EXPECT_GT(out.stage_times.device_s, 0.0);
+  EXPECT_GT(out.stage_times.decode_s, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFacades, FacadeTrace,
+                         ::testing::Values(backend_kind::sycl,
+                                           backend_kind::sycl_usm,
+                                           backend_kind::sycl_twobit,
+                                           backend_kind::opencl));
+
+TEST(ObsEngine, UntracedRunLeavesSubsystemDisabled) {
+  temp_dir dir;
+  const auto g = obs_genome();
+  const auto fasta = (dir.path / "g.fa").string();
+  genome::write_fasta_file(fasta, g.chroms);
+  auto cfg = parse_input(example_input("<mem>"));
+  engine_options opt;
+  opt.backend = backend_kind::sycl;
+  opt.max_chunk = 8192;
+  obs::trace_clear();
+  const auto out = run_search_streaming(cfg, fasta, opt);
+  EXPECT_FALSE(obs::enabled());
+  // Thread-name metadata ('M') persists across clears by design; no data
+  // events may have been recorded.
+  const jvalue doc = parse_json(obs::trace_json());
+  for (const auto& ev : doc.at("traceEvents").arr) {
+    EXPECT_EQ(ev.at("ph").str, "M") << "unexpected event: " << ev.at("name").str;
+  }
+  // The always-on stage breakdown is still populated.
+  EXPECT_GT(out.stage_times.device_s, 0.0);
+}
+
+TEST(ObsEngine, BackToBackTracedRunsExportIndependentFiles) {
+  temp_dir dir;
+  const auto g = obs_genome();
+  const auto fasta = (dir.path / "g.fa").string();
+  genome::write_fasta_file(fasta, g.chroms);
+  auto cfg = parse_input(example_input("<mem>"));
+  engine_options opt;
+  opt.backend = backend_kind::sycl;
+  opt.max_chunk = 8192;
+
+  opt.trace_out = (dir.path / "t1.json").string();
+  opt.metrics_json = (dir.path / "m1.json").string();
+  const auto r1 = run_search_streaming(cfg, fasta, opt);
+  opt.trace_out = (dir.path / "t2.json").string();
+  opt.metrics_json = (dir.path / "m2.json").string();
+  const auto r2 = run_search_streaming(cfg, fasta, opt);
+  EXPECT_EQ(r1.records, r2.records);
+
+  auto slurp = [](const std::string& p) {
+    std::ifstream in(p);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+  const jvalue m1 = parse_json(slurp((dir.path / "m1.json").string()));
+  const jvalue m2 = parse_json(slurp((dir.path / "m2.json").string()));
+  // Identical runs, independent registries: the second snapshot's chunk
+  // counter covers run 2 only, not runs 1+2 accumulated.
+  EXPECT_EQ(m1.at("counters").at("stream.chunks").num,
+            m2.at("counters").at("stream.chunks").num);
+  const jvalue t2 = parse_json(slurp((dir.path / "t2.json").string()));
+  ASSERT_FALSE(t2.at("traceEvents").arr.empty());
+}
+
+TEST(ObsLog, ThreadOrdinalsAreStableAndDistinct) {
+  const unsigned self = util::thread_ordinal();
+  EXPECT_EQ(util::thread_ordinal(), self);  // stable within a thread
+  unsigned other = self;
+  std::thread t([&other] { other = util::thread_ordinal(); });
+  t.join();
+  EXPECT_NE(other, self);  // distinct across threads
+}
+
+}  // namespace
