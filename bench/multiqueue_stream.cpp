@@ -71,6 +71,7 @@ struct mode_result {
   std::vector<ot_record> records;
   stream_stage_times stages;
   usize peak_queue_depth = 0;
+  recovery_metrics recovery;
 };
 
 mode_result run_mode(const search_config& cfg, const std::string& fasta,
@@ -89,6 +90,7 @@ mode_result run_mode(const search_config& cfg, const std::string& fasta,
     r.records = std::move(out.records);
     r.stages = out.stage_times;
     r.peak_queue_depth = out.peak_queue_depth;
+    r.recovery = out.metrics.recovery;
   }
   return r;
 }
@@ -110,6 +112,10 @@ int main(int argc, char** argv) {
           "untimed run at the highest queue count", "");
   cli.opt("metrics-json",
           "write the obs metrics-registry snapshot of that run", "");
+  cli.opt("fault",
+          "fault-injection plan for an extra degradation run at the highest "
+          "queue count (e.g. 'spill.write=prob:0.05:7,entry.clamp=prob:0.02:"
+          "11'); measures recovery overhead vs the clean run", "");
   if (!cli.parse(argc, argv)) return 1;
   util::set_log_level(util::log_level::warn);
 
@@ -150,6 +156,30 @@ int main(int argc, char** argv) {
   for (const usize nq : queue_counts) {
     opt.num_queues = nq;
     mq.push_back(run_mode(cfg, fasta, opt, reps));
+  }
+
+  // Fault-degradation run: same workload with an injection plan armed, at
+  // the highest queue count. The wall-time delta against the clean run is
+  // the price of the recovery machinery actually firing (retries, splits,
+  // spill backoff) — the records must still come out identical.
+  const std::string fault_plan = cli.get("fault");
+  mode_result faulted;
+  bool fault_identical = true;
+  bool fault_failed = false;
+  std::string fault_error;
+  double fault_overhead_pct = 0.0;
+  if (!fault_plan.empty()) {
+    engine_options fopt = opt;
+    fopt.num_queues = queue_counts.back();
+    fopt.faults = fault_plan;
+    try {
+      faulted = run_mode(cfg, fasta, fopt, reps);
+    } catch (const std::exception& e) {
+      // An unrecoverable plan (e.g. queue.push=always) is a legal input;
+      // report the clean failure instead of crashing the bench.
+      fault_failed = true;
+      fault_error = e.what();
+    }
   }
 
   // Tracing runs separately from the timed reps so the exporter cost never
@@ -194,6 +224,35 @@ int main(int argc, char** argv) {
                 queue_counts[i], mq[i].peak_queue_depth, st.decode_s,
                 st.queue_wait_s, st.device_s, st.format_s, st.merge_s);
   }
+  if (!fault_plan.empty()) {
+    std::printf("\nfault degradation (plan '%s', queues=%zu):\n",
+                fault_plan.c_str(), queue_counts.back());
+    if (fault_failed) {
+      std::printf("  run failed cleanly: %s\n", fault_error.c_str());
+    } else {
+      fault_identical = faulted.records == sync.records;
+      const u64 clean_ns = mq.back().best_nanos;
+      fault_overhead_pct =
+          100.0 * (static_cast<double>(faulted.best_nanos) /
+                       static_cast<double>(clean_ns) -
+                   1.0);
+      std::printf(
+          "  %10llu ns  %12.0f bases/s  %+.1f%% vs clean  results %s\n",
+          static_cast<unsigned long long>(faulted.best_nanos),
+          bps(faulted.best_nanos), fault_overhead_pct,
+          fault_identical ? "identical" : "DIVERGED");
+      std::printf("  recovery: %llu overflow retries, %llu chunk splits, "
+                  "%llu recovered overflows, %llu spill retries\n",
+                  static_cast<unsigned long long>(
+                      faulted.recovery.overflow_retries),
+                  static_cast<unsigned long long>(faulted.recovery.chunk_splits),
+                  static_cast<unsigned long long>(
+                      faulted.recovery.recovered_overflows),
+                  static_cast<unsigned long long>(
+                      faulted.recovery.spill_retries));
+    }
+  }
+
   const double wall_speedup2 = static_cast<double>(mq[0].best_nanos) /
                                static_cast<double>(mq[1].best_nanos);
   const unsigned host_cores =
@@ -286,6 +345,30 @@ int main(int argc, char** argv) {
                "\"overhead_s\": %.3f, \"elapsed_s\": [%.3f, %.3f, %.3f]},\n",
                gpu->name.c_str(), compute_s, overhead_s, projected_s(1),
                projected_s(2), projected_s(4));
+  if (!fault_plan.empty()) {
+    if (fault_failed) {
+      std::fprintf(f,
+                   "  \"fault\": {\"plan\": \"%s\", \"failed\": true, "
+                   "\"error\": \"%s\"},\n",
+                   fault_plan.c_str(), fault_error.c_str());
+    } else {
+      std::fprintf(
+          f,
+          "  \"fault\": {\"plan\": \"%s\", \"failed\": false, "
+          "\"best_nanos\": %llu, \"bases_per_s\": %.0f, "
+          "\"overhead_pct\": %.2f, \"identical\": %s, "
+          "\"overflow_retries\": %llu, \"chunk_splits\": %llu, "
+          "\"recovered_overflows\": %llu, \"spill_retries\": %llu},\n",
+          fault_plan.c_str(),
+          static_cast<unsigned long long>(faulted.best_nanos),
+          bps(faulted.best_nanos), fault_overhead_pct,
+          fault_identical ? "true" : "false",
+          static_cast<unsigned long long>(faulted.recovery.overflow_retries),
+          static_cast<unsigned long long>(faulted.recovery.chunk_splits),
+          static_cast<unsigned long long>(faulted.recovery.recovered_overflows),
+          static_cast<unsigned long long>(faulted.recovery.spill_retries));
+    }
+  }
   std::fprintf(f, "  \"q2_speedup\": %.3f,\n  \"identical\": %s\n}\n",
                speedup2, identical ? "true" : "false");
   std::fclose(f);

@@ -42,6 +42,14 @@ int main(int argc, char** argv) {
                        "of the run", "");
   cli.opt("metrics-json", "write the obs metrics snapshot (counters/gauges/"
                           "histograms) as JSON", "");
+  cli.opt("max-entries", "cap per-chunk device entry allocations (0 = "
+                         "worst-case sizing); streaming runs recover from "
+                         "an undersized cap by retrying/splitting", "0");
+  cli.opt("fault", "fault-injection plan, e.g. "
+                   "'spill.write=hit:1,dev.launch=prob:0.01:7' "
+                   "(sites: dev.alloc dev.launch pipe.event queue.push "
+                   "queue.pop spill.write spill.merge entry.clamp; modes: "
+                   "always, hit:N, prob:P[:seed], off)", "");
   if (!cli.parse(argc, argv)) return 1;
 
   util::set_log_level(util::log_level::warn);
@@ -67,6 +75,8 @@ int main(int argc, char** argv) {
   opt.num_queues = cli.get_u64("queues");
   opt.trace_out = cli.get("trace-out");
   opt.metrics_json = cli.get("metrics-json");
+  opt.max_entries = cli.get_u64("max-entries");
+  opt.faults = cli.get("fault");
   const std::string vname = cli.get("variant");
   bool found_variant = false;
   for (int v = 0; v < cof::kNumComparerVariants; ++v) {
@@ -86,7 +96,25 @@ int main(int argc, char** argv) {
   if (cli.get_flag("stream")) {
     COF_CHECK_MSG(opt.backend != cof::backend_kind::serial,
                   "--stream needs a device backend (O, G, S, U or P)");
-    const auto streamed = cof::run_search_streaming(cfg, cfg.genome_path, opt);
+    // Unrecoverable failures (exhausted fault retries, stalled queues)
+    // surface as exceptions with the failing site in the message; report
+    // them as a clean fatal error instead of std::terminate.
+    cof::streamed_outcome streamed;
+    try {
+      streamed = cof::run_search_streaming(cfg, cfg.genome_path, opt);
+    } catch (const std::exception& e) {
+      util::die(e.what());
+    }
+    const auto& rec = streamed.metrics.recovery;
+    if (rec.overflow_retries + rec.chunk_splits + rec.spill_retries != 0) {
+      std::fprintf(stderr,
+                   "recovery: %llu overflow retries, %llu chunk splits, "
+                   "%llu recovered overflows, %llu spill retries\n",
+                   static_cast<unsigned long long>(rec.overflow_retries),
+                   static_cast<unsigned long long>(rec.chunk_splits),
+                   static_cast<unsigned long long>(rec.recovered_overflows),
+                   static_cast<unsigned long long>(rec.spill_retries));
+    }
     std::fprintf(stderr,
                  "%s (streamed): %zu records, %.3fs, %llu bases through "
                  "%zu chunks (peak chunk %s)\n",

@@ -32,6 +32,8 @@ search_outcome run_search(const search_config& cfg, const genome::genome_t& g,
                           const engine_options& opt) {
   // Per-run observability lifetime (same contract as the streaming engine).
   obs::run_scope obs_guard(!opt.trace_out.empty() || !opt.metrics_json.empty());
+  // Fault plan: COF_FAULT plus opt.faults, armed for this run only.
+  fault::scope fault_guard(opt.faults);
   util::stopwatch sw;
   search_outcome out;
 
@@ -120,17 +122,29 @@ search_outcome run_search(const search_config& cfg, const genome::genome_t& g,
     out.metrics.pipeline.total_entries += pm.total_entries;
   };
 
+  // Device/entry-capacity failures surface as exceptions here; the batch
+  // engine has no per-chunk recovery (that is the streaming engine's job),
+  // so they keep their historical behaviour: a fatal report. An exception
+  // escaping a std::thread would call std::terminate without the message.
+  auto guarded = [&] {
+    try {
+      worker();
+    } catch (const std::exception& e) {
+      util::die(e.what());
+    }
+  };
+
   // Profiling serialises the queues (the process-global event counters are
   // reset/snapshot around each launch, as a profiler would).
   usize queues =
       std::max<usize>(1, std::min(opt.num_queues, std::max<usize>(1, chunks.size())));
   if (opt.counting) queues = 1;
   if (queues <= 1) {
-    worker();
+    guarded();
   } else {
     std::vector<std::thread> threads;
     threads.reserve(queues);
-    for (usize t = 0; t < queues; ++t) threads.emplace_back(worker);
+    for (usize t = 0; t < queues; ++t) threads.emplace_back(guarded);
     for (auto& t : threads) t.join();
   }
 

@@ -61,6 +61,31 @@ struct engine_options {
   /// Non-empty: enable the obs subsystem and write the metrics-registry
   /// snapshot (counters / gauges / latency histograms) as JSON to this path.
   std::string metrics_json;
+  /// Fault-injection plan for this run ("site=mode[,site=mode...]"; see
+  /// fault/fault.hpp). Applied on top of the COF_FAULT environment variable.
+  /// Empty (default): nothing armed beyond COF_FAULT.
+  std::string faults;
+  /// Streaming only: when a chunk overflows its max_entries-capped device
+  /// allocation, retry it with a geometrically grown capacity (bounded by
+  /// the worst case) or split it in half instead of dying. false restores
+  /// the fatal overflow report.
+  bool overflow_recovery = true;
+  /// Overflow recovery: retry capacities never grow past this many entries;
+  /// once a retry would exceed it the chunk is split in half instead
+  /// (bounded-memory guarantee). 0 = no cap (grow to worst case, no splits).
+  usize max_retry_entries = 0;
+  /// Streaming bounded-queue hand-off timeout. A push/pop that waits this
+  /// long reports a stall (queue.push / queue.pop failure) instead of
+  /// hanging the run forever.
+  usize queue_timeout_ms = 60000;
+};
+
+/// Overflow/fault recovery accounting for one streaming run.
+struct recovery_metrics {
+  util::u64 overflow_retries = 0;     // chunk re-runs with a grown capacity
+  util::u64 chunk_splits = 0;         // chunks split in half after an overflow
+  util::u64 recovered_overflows = 0;  // overflows that ended in a clean chunk
+  util::u64 spill_retries = 0;        // spill writes retried after a failure
 };
 
 struct run_metrics {
@@ -72,6 +97,7 @@ struct run_metrics {
   pipeline_metrics pipeline;
   std::vector<pipeline_metrics> per_queue;
   usize chunks = 0;
+  recovery_metrics recovery;
 };
 
 struct search_outcome {

@@ -1,12 +1,16 @@
 #include "core/engine_stream.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <exception>
 #include <filesystem>
+#include <mutex>
 #include <optional>
 #include <thread>
 
 #include <unistd.h>
 
+#include "fault/fault.hpp"
 #include "genome/fasta_stream.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -107,13 +111,14 @@ class chunk_source {
   usize overlap_ = 0;
 };
 
-std::unique_ptr<device_pipeline> make_pipeline(const engine_options& opt) {
+std::unique_ptr<device_pipeline> make_pipeline(const engine_options& opt,
+                                               usize max_entries) {
   pipeline_options popt;
   popt.variant = opt.variant;
   popt.wg_size = opt.wg_size;
   popt.counting = opt.counting;
   popt.profiler = opt.profiler;
-  popt.max_entries = opt.max_entries;
+  popt.max_entries = max_entries;
   switch (opt.backend) {
     case backend_kind::opencl: return make_opencl_pipeline(popt);
     case backend_kind::sycl_usm: return make_sycl_usm_pipeline(popt);
@@ -151,12 +156,51 @@ std::string spill_path(usize queue_index) {
 // join, every queue's runs are k-way merged (with key dedup) into canonical
 // order — identical output to sort_and_dedup over an in-memory record set,
 // for any queue count.
+//
+// Failure model: a chunk whose max_entries-capped allocation overflows is
+// retried with a geometrically grown capacity (seeded by the true demand the
+// kernels round-trip, bounded by the worst case) or split in half when
+// growing would exceed max_retry_entries; transient device faults rebuild
+// the queue's pipeline and retry; spill-write failures retry with backoff.
+// Anything unrecoverable wins the first-failure race, closes the queue, and
+// is rethrown after the join — spill files are removed on unwind, so a
+// failed run never leaves partial output.
 // ---------------------------------------------------------------------------
 struct stream_chunk {
   std::string text;
   util::u64 start = 0;
   u32 chrom_index = 0;
 };
+
+/// A chunk awaiting (re-)processing on a queue's recovery work stack.
+/// `overflowed` marks chunks that already hit an entry overflow, so a later
+/// clean completion counts as a recovery (split halves inherit the mark).
+struct work_item {
+  stream_chunk ch;
+  bool overflowed = false;
+};
+
+void accumulate(pipeline_metrics& into, const pipeline_metrics& pm) {
+  into.kernel_nanos += pm.kernel_nanos;
+  into.finder_launches += pm.finder_launches;
+  into.comparer_launches += pm.comparer_launches;
+  into.h2d_bytes += pm.h2d_bytes;
+  into.d2h_bytes += pm.d2h_bytes;
+  into.total_loci += pm.total_loci;
+  into.total_entries += pm.total_entries;
+}
+
+// Bounded recovery attempts per chunk: a real overflow converges in one or
+// two retries (the thrown error carries the true demand), so the bound only
+// exists to turn an `entry.clamp=always` fault plan into a clean error
+// instead of a retry livelock.
+constexpr usize kMaxOverflowAttempts = 12;
+// Transient device faults (dev.alloc / dev.launch / pipe.event) get a fresh
+// pipeline and a few retries before the run fails cleanly.
+constexpr usize kMaxDeviceAttempts = 4;
+// Spill writes roll back to the previous run boundary on failure; retried
+// with short exponential backoff before the run fails.
+constexpr usize kMaxSpillAttempts = 4;
 
 streamed_outcome run_streaming_async(const search_config& cfg,
                                      const std::string& path,
@@ -199,9 +243,17 @@ streamed_outcome run_streaming_async(const search_config& cfg,
   }
   const util::thread_pool::sched_stats pool0 = pool.stats();
 
+  const auto queue_timeout =
+      std::chrono::milliseconds(std::max<usize>(1, opt.queue_timeout_ms));
+
   struct queue_state {
     std::unique_ptr<device_pipeline> pipe;
     std::unique_ptr<record_spill_writer> writer;
+    /// This queue's current entry cap. Grows when a chunk overflows and
+    /// stays grown (sticky), so a dense region pays the rebuild once.
+    usize cur_max_entries = 0;
+    /// Metrics accumulated by pipelines retired in recovery rebuilds.
+    pipeline_metrics retired;
     usize chunks = 0;
     usize peak_chunk_bytes = 0;
     u64 wait_ns = 0;    // blocked on pop + on the previous format job
@@ -211,93 +263,249 @@ streamed_outcome run_streaming_async(const search_config& cfg,
   };
   std::vector<queue_state> qs(queues);
   for (usize i = 0; i < queues; ++i) {
-    qs[i].pipe = make_pipeline(opt);
+    qs[i].cur_max_entries = opt.max_entries;
+    qs[i].pipe = make_pipeline(opt, qs[i].cur_max_entries);
     qs[i].writer = std::make_unique<record_spill_writer>(spill_path(i));
   }
 
   util::bounded_queue<stream_chunk> chunk_queue(queues + 2);
+
+  // First failure wins: it closes the chunk queue so every thread unwinds,
+  // and is rethrown once the workers have joined. The rethrow unwinds this
+  // frame, destroying the spill writers — which remove their files — so a
+  // failed run never leaves partial output behind.
+  std::mutex fail_mu;
+  std::exception_ptr failure;
+  std::atomic<bool> failed{false};
+  auto record_failure = [&](std::exception_ptr ep) {
+    std::lock_guard lock(fail_mu);
+    if (failure == nullptr) {
+      failure = std::move(ep);
+      failed.store(true, std::memory_order_release);
+      chunk_queue.close();
+    }
+  };
+
+  std::atomic<u64> overflow_retries{0};
+  std::atomic<u64> chunk_splits{0};
+  std::atomic<u64> recovered_overflows{0};
+  std::atomic<u64> spill_retries{0};
+
+  // Replace a queue's pipeline (fresh device state, possibly a new entry
+  // cap), folding the old one's accounting into the retired bucket first.
+  auto rebuild = [&](queue_state& st) {
+    accumulate(st.retired, st.pipe->metrics());
+    st.pipe = make_pipeline(opt, st.cur_max_entries);
+  };
 
   auto consume = [&](queue_state& st, usize queue_index) {
     if (tracing) {
       obs::set_thread_name(util::format("stream.queue-%zu", queue_index));
     }
     util::thread_pool::job format_job;
-    stream_chunk ch;
-    for (;;) {
-      u64 t0 = util::process_nanos();
-      bool got;
-      {
-        obs::span sp("queue.pop", "stream");
-        got = chunk_queue.pop(ch);
-      }
-      const u64 pop_ns = util::process_nanos() - t0;
-      st.wait_ns += pop_ns;
-      if (m_pop != nullptr) m_pop->observe(pop_ns / 1000);
-      if (m_depth != nullptr) {
-        const util::i64 depth = static_cast<util::i64>(chunk_queue.size());
-        m_depth->set(depth);
-        obs::counter_track("queue.depth", static_cast<double>(depth));
-      }
-      if (!got) break;
-      ++st.chunks;
-      if (m_chunks != nullptr) m_chunks->add(1);
-      st.peak_chunk_bytes = std::max(st.peak_chunk_bytes, ch.text.size());
-      LOG_DEBUG("stream chunk@%llu: %zu bases",
-                static_cast<unsigned long long>(ch.start), ch.text.size());
-      t0 = util::process_nanos();
-      st.pipe->load_chunk_async(ch.text).wait();
-      const u32 hits = st.pipe->run_finder(pat);
-      device_pipeline::entries entries;
-      if (hits != 0) {
-        // ONE batched launch for every query; the finder's loci/flag arrays
-        // are consumed device-side, the entry download deferred past launch.
-        st.pipe->launch_comparer_batch(dev_queries, thresholds).wait();
-        entries = st.pipe->fetch_entries();
-      }
-      const u64 device_ns = util::process_nanos() - t0;
-      st.device_ns += device_ns;
-      if (m_device != nullptr) m_device->observe(device_ns / 1000);
-      if (entries.size() == 0) continue;
+    try {
+      stream_chunk ch;
+      for (;;) {
+        if (failed.load(std::memory_order_acquire)) break;
+        u64 t0 = util::process_nanos();
+        util::wait_status got;
+        {
+          obs::span sp("queue.pop", "stream");
+          fault::inject_point(fault::site::queue_pop);
+          got = chunk_queue.pop_for(ch, queue_timeout);
+        }
+        const u64 pop_ns = util::process_nanos() - t0;
+        st.wait_ns += pop_ns;
+        if (m_pop != nullptr) m_pop->observe(pop_ns / 1000);
+        if (m_depth != nullptr) {
+          const util::i64 depth = static_cast<util::i64>(chunk_queue.size());
+          m_depth->set(depth);
+          obs::counter_track("queue.depth", static_cast<double>(depth));
+        }
+        if (got == util::wait_status::closed) break;
+        if (got == util::wait_status::timeout) {
+          if (failed.load(std::memory_order_acquire)) break;
+          throw std::runtime_error(
+              util::format("stream queue.pop stalled: no chunk arrived for "
+                           "%zu ms", opt.queue_timeout_ms));
+        }
+        ++st.chunks;
+        if (m_chunks != nullptr) m_chunks->add(1);
+        st.peak_chunk_bytes = std::max(st.peak_chunk_bytes, ch.text.size());
+        LOG_DEBUG("stream chunk@%llu: %zu bases",
+                  static_cast<unsigned long long>(ch.start), ch.text.size());
 
-      // Record formatting + spilling runs on the pool, off the device
-      // critical path. Chained per queue: wait out the previous job so the
-      // spill writer stays single-owner and at most one batch (plus the
-      // chunk text it slices) is held per queue.
-      t0 = util::process_nanos();
+        // Device phase with overflow/fault recovery: the work stack holds
+        // the chunk — and, after a split, its halves — still to process.
+        std::vector<work_item> work;
+        work.push_back(work_item{std::move(ch), false});
+        while (!work.empty()) {
+          work_item item = std::move(work.back());
+          work.pop_back();
+          for (usize attempt = 0;; ++attempt) {
+            t0 = util::process_nanos();
+            try {
+              st.pipe->load_chunk_async(item.ch.text).wait();
+              const u32 hits = st.pipe->run_finder(pat);
+              device_pipeline::entries entries;
+              if (hits != 0) {
+                // ONE batched launch for every query; the finder's loci/flag
+                // arrays are consumed device-side, the entry download
+                // deferred past launch.
+                st.pipe->launch_comparer_batch(dev_queries, thresholds).wait();
+                entries = st.pipe->fetch_entries();
+              }
+              const u64 device_ns = util::process_nanos() - t0;
+              st.device_ns += device_ns;
+              if (m_device != nullptr) m_device->observe(device_ns / 1000);
+              if (item.overflowed) {
+                recovered_overflows.fetch_add(1, std::memory_order_relaxed);
+              }
+              if (entries.size() != 0) {
+                // Record formatting + spilling runs on the pool, off the
+                // device critical path. Chained per queue: wait out the
+                // previous job so the spill writer stays single-owner and
+                // at most one batch (plus the chunk text it slices) is held
+                // per queue.
+                const u64 w0 = util::process_nanos();
+                {
+                  obs::span sp("format.wait", "stream");
+                  format_job.wait();
+                }
+                st.wait_ns += util::process_nanos() - w0;
+                format_job = pool.submit_job(
+                    [text = std::move(item.ch.text), ent = std::move(entries),
+                     chrom = item.ch.chrom_index, start = item.ch.start,
+                     writer = st.writer.get(), &dev_queries, plen = pat.plen,
+                     stp = &st, m_format, &spill_retries, &record_failure] {
+                      // Pool jobs may not throw: a spill that keeps failing
+                      // past its retries fails the run via record_failure.
+                      try {
+                        const u64 f0 = util::process_nanos();
+                        obs::span sp("format", "stream");
+                        sp.arg("entries", static_cast<double>(ent.size()));
+                        std::vector<ot_record> batch;
+                        batch.reserve(ent.size());
+                        for (usize e = 0; e < ent.size(); ++e) {
+                          const u32 qi = ent.qidx[e];
+                          const std::string_view slice(text.data() + ent.loci[e],
+                                                       plen);
+                          batch.push_back(ot_record{
+                              qi, chrom, start + ent.loci[e], ent.dir[e],
+                              ent.mm[e],
+                              make_site_string(dev_queries[qi].seq, slice,
+                                               ent.dir[e])});
+                        }
+                        // spill() rolls back to the previous run boundary on
+                        // failure and leaves the batch intact — retry it.
+                        for (usize a = 0;; ++a) {
+                          try {
+                            writer->spill(batch);
+                            break;
+                          } catch (const spill_error&) {
+                            if (a + 1 >= kMaxSpillAttempts) throw;
+                            spill_retries.fetch_add(1,
+                                                    std::memory_order_relaxed);
+                            std::this_thread::sleep_for(
+                                std::chrono::milliseconds(1u << a));
+                          }
+                        }
+                        const u64 format_ns = util::process_nanos() - f0;
+                        stp->format_ns += format_ns;
+                        if (m_format != nullptr) {
+                          m_format->observe(format_ns / 1000);
+                        }
+                      } catch (...) {
+                        record_failure(std::current_exception());
+                      }
+                    });
+              }
+              break;  // chunk done
+            } catch (const entry_overflow_error& e) {
+              st.device_ns += util::process_nanos() - t0;
+              if (!opt.overflow_recovery || attempt + 1 >= kMaxOverflowAttempts) {
+                throw;
+              }
+              obs::span sp("recover.retry", "stream");
+              sp.arg("required", static_cast<double>(e.required()));
+              sp.arg("capacity", static_cast<double>(e.capacity()));
+              item.overflowed = true;
+              const usize cur = st.cur_max_entries;
+              if (cur != 0) {
+                // Grow geometrically but never past the worst case (every
+                // position a hit for every query — the sizing max_entries=0
+                // would have used); the true demand the error round-tripped
+                // short-circuits the doubling.
+                const usize nq = std::max<usize>(1, dev_queries.size());
+                const usize worst = item.ch.text.size() * 2 * nq;
+                usize grown = std::min<usize>(
+                    worst, std::max<usize>(e.required(), cur * 2));
+                if (opt.max_retry_entries != 0 &&
+                    grown > opt.max_retry_entries) {
+                  // Splitting halves the demand instead of growing the
+                  // allocation past the cap (the bounded-memory guarantee).
+                  // The left half keeps the plen-1 overlap past the cut so
+                  // straddling sites stay covered; the duplicates the
+                  // overlap re-scan produces are dropped by the merge.
+                  const usize mid = item.ch.text.size() / 2;
+                  if (mid > 0 && mid + overlap < item.ch.text.size()) {
+                    obs::span ssp("recover.split", "stream");
+                    ssp.arg("bases",
+                            static_cast<double>(item.ch.text.size()));
+                    chunk_splits.fetch_add(1, std::memory_order_relaxed);
+                    work_item right;
+                    right.overflowed = true;
+                    right.ch.text = item.ch.text.substr(mid);
+                    right.ch.start = item.ch.start + mid;
+                    right.ch.chrom_index = item.ch.chrom_index;
+                    item.ch.text.resize(mid + overlap);
+                    work.push_back(std::move(right));
+                    work.push_back(std::move(item));
+                    break;  // halves re-enter via the work stack
+                  }
+                  grown = std::min(grown, opt.max_retry_entries);
+                  if (grown <= cur) throw;  // can neither grow nor split
+                }
+                if (grown > cur) {
+                  st.cur_max_entries = grown;
+                  rebuild(st);
+                }
+              }
+              // cur == 0 is worst-case sizing: only an injected entry.clamp
+              // lands here — retry as-is within the attempt bound.
+              overflow_retries.fetch_add(1, std::memory_order_relaxed);
+            } catch (const fault::injected_error&) {
+              // Transient device failure (dev.alloc / dev.launch /
+              // pipe.event): fresh device state, bounded retries.
+              st.device_ns += util::process_nanos() - t0;
+              if (attempt + 1 >= kMaxDeviceAttempts) throw;
+              rebuild(st);
+            }
+          }
+        }
+      }
       {
         obs::span sp("format.wait", "stream");
+        const u64 t0 = util::process_nanos();
         format_job.wait();
+        st.wait_ns += util::process_nanos() - t0;
       }
-      st.wait_ns += util::process_nanos() - t0;
-      format_job = pool.submit_job(
-          [text = std::move(ch.text), ent = std::move(entries),
-           chrom = ch.chrom_index, start = ch.start, writer = st.writer.get(),
-           &dev_queries, plen = pat.plen, stp = &st, m_format] {
-            const u64 f0 = util::process_nanos();
-            obs::span sp("format", "stream");
-            sp.arg("entries", static_cast<double>(ent.size()));
-            std::vector<ot_record> batch;
-            batch.reserve(ent.size());
-            for (usize e = 0; e < ent.size(); ++e) {
-              const u32 qi = ent.qidx[e];
-              const std::string_view slice(text.data() + ent.loci[e], plen);
-              batch.push_back(ot_record{
-                  qi, chrom, start + ent.loci[e], ent.dir[e], ent.mm[e],
-                  make_site_string(dev_queries[qi].seq, slice, ent.dir[e])});
-            }
-            writer->spill(batch);
-            const u64 format_ns = util::process_nanos() - f0;
-            stp->format_ns += format_ns;
-            if (m_format != nullptr) m_format->observe(format_ns / 1000);
-          });
+      // finish() clears the stream state before throwing, so the final
+      // flush gets the same bounded retry as the per-batch spills.
+      for (usize a = 0;; ++a) {
+        try {
+          st.writer->finish();
+          break;
+        } catch (const spill_error&) {
+          if (a + 1 >= kMaxSpillAttempts) throw;
+          spill_retries.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(std::chrono::milliseconds(1u << a));
+        }
+      }
+    } catch (...) {
+      record_failure(std::current_exception());
+      format_job.wait();  // the chained job must not outlive this frame
     }
-    {
-      obs::span sp("format.wait", "stream");
-      const u64 t0 = util::process_nanos();
-      format_job.wait();
-      st.wait_ns += util::process_nanos() - t0;
-    }
-    st.writer->finish();
   };
 
   std::vector<std::thread> workers;
@@ -310,45 +518,63 @@ streamed_outcome run_streaming_async(const search_config& cfg,
   if (tracing) obs::set_thread_name("stream.producer");
   chunk_source source(path, opt.max_chunk, overlap);
   u64 decode_ns = 0, push_ns = 0;
-  for (;;) {
-    u64 t0 = util::process_nanos();
-    chunk_source::event ev;
-    {
-      obs::span sp("decode", "stream");
-      ev = source.next();
-      if (ev.kind == chunk_source::event::chunk) {
-        sp.arg("bases", static_cast<double>(ev.text.size()));
+  try {
+    for (;;) {
+      if (failed.load(std::memory_order_acquire)) break;
+      u64 t0 = util::process_nanos();
+      chunk_source::event ev;
+      {
+        obs::span sp("decode", "stream");
+        ev = source.next();
+        if (ev.kind == chunk_source::event::chunk) {
+          sp.arg("bases", static_cast<double>(ev.text.size()));
+        }
+      }
+      const u64 d_ns = util::process_nanos() - t0;
+      decode_ns += d_ns;
+      if (ev.kind == chunk_source::event::chrom) {
+        out.chrom_names.push_back(std::move(ev.name));
+        continue;
+      }
+      if (ev.kind == chunk_source::event::end) break;
+      if (m_decode != nullptr) m_decode->observe(d_ns / 1000);
+      stream_chunk ch;
+      ch.text = std::move(ev.text);
+      ch.start = ev.start;
+      ch.chrom_index = static_cast<u32>(out.chrom_names.size()) - 1;
+      t0 = util::process_nanos();
+      util::wait_status ws;
+      {
+        obs::span sp("queue.push", "stream");
+        fault::inject_point(fault::site::queue_push);
+        ws = chunk_queue.push_for(ch, queue_timeout);
+      }
+      const u64 p_ns = util::process_nanos() - t0;
+      push_ns += p_ns;
+      if (m_push != nullptr) m_push->observe(p_ns / 1000);
+      if (ws == util::wait_status::closed) break;  // a consumer failed
+      if (ws == util::wait_status::timeout) {
+        if (failed.load(std::memory_order_acquire)) break;
+        throw std::runtime_error(
+            util::format("stream queue.push stalled: no consumer took a "
+                         "chunk for %zu ms", opt.queue_timeout_ms));
+      }
+      const usize depth = chunk_queue.size();
+      out.peak_queue_depth = std::max(out.peak_queue_depth, depth);
+      if (m_depth != nullptr) {
+        m_depth->set(static_cast<util::i64>(depth));
+        obs::counter_track("queue.depth", static_cast<double>(depth));
       }
     }
-    const u64 d_ns = util::process_nanos() - t0;
-    decode_ns += d_ns;
-    if (ev.kind == chunk_source::event::chrom) {
-      out.chrom_names.push_back(std::move(ev.name));
-      continue;
-    }
-    if (ev.kind == chunk_source::event::end) break;
-    if (m_decode != nullptr) m_decode->observe(d_ns / 1000);
-    stream_chunk ch;
-    ch.text = std::move(ev.text);
-    ch.start = ev.start;
-    ch.chrom_index = static_cast<u32>(out.chrom_names.size()) - 1;
-    t0 = util::process_nanos();
-    {
-      obs::span sp("queue.push", "stream");
-      chunk_queue.push(std::move(ch));
-    }
-    const u64 p_ns = util::process_nanos() - t0;
-    push_ns += p_ns;
-    if (m_push != nullptr) m_push->observe(p_ns / 1000);
-    const usize depth = chunk_queue.size();
-    out.peak_queue_depth = std::max(out.peak_queue_depth, depth);
-    if (m_depth != nullptr) {
-      m_depth->set(static_cast<util::i64>(depth));
-      obs::counter_track("queue.depth", static_cast<double>(depth));
-    }
+  } catch (...) {
+    record_failure(std::current_exception());
   }
   chunk_queue.close();
   for (auto& t : workers) t.join();
+
+  // Everything has joined; `failure` is stable. Rethrow before touching the
+  // outputs — unwinding destroys the spill writers, removing their files.
+  if (failure != nullptr) std::rethrow_exception(failure);
 
   out.stage_times.decode_s = static_cast<double>(decode_ns) / 1e9;
   out.stage_times.queue_wait_s = static_cast<double>(push_ns) / 1e9;
@@ -360,15 +586,10 @@ streamed_outcome run_streaming_async(const search_config& cfg,
     out.peak_record_bytes += st.writer->peak_run_bytes();
     out.spill_runs += st.writer->runs();
     spill_paths.push_back(st.writer->path());
-    const auto& pm = st.pipe->metrics();
+    pipeline_metrics pm = st.retired;
+    accumulate(pm, st.pipe->metrics());
     out.metrics.per_queue.push_back(pm);
-    out.metrics.pipeline.kernel_nanos += pm.kernel_nanos;
-    out.metrics.pipeline.finder_launches += pm.finder_launches;
-    out.metrics.pipeline.comparer_launches += pm.comparer_launches;
-    out.metrics.pipeline.h2d_bytes += pm.h2d_bytes;
-    out.metrics.pipeline.d2h_bytes += pm.d2h_bytes;
-    out.metrics.pipeline.total_loci += pm.total_loci;
-    out.metrics.pipeline.total_entries += pm.total_entries;
+    accumulate(out.metrics.pipeline, pm);
     stream_stage_times qt;
     qt.queue_wait_s = static_cast<double>(st.wait_ns) / 1e9;
     qt.device_s = static_cast<double>(st.device_ns) / 1e9;
@@ -378,6 +599,11 @@ streamed_outcome run_streaming_async(const search_config& cfg,
     out.stage_times.device_s += qt.device_s;
     out.stage_times.format_s += qt.format_s;
   }
+
+  out.metrics.recovery.overflow_retries = overflow_retries.load();
+  out.metrics.recovery.chunk_splits = chunk_splits.load();
+  out.metrics.recovery.recovered_overflows = recovered_overflows.load();
+  out.metrics.recovery.spill_retries = spill_retries.load();
 
   // Canonical-order merge with key dedup — byte-identical to sorting and
   // deduplicating the whole record set in memory, regardless of how the
@@ -401,6 +627,13 @@ streamed_outcome run_streaming_async(const search_config& cfg,
     reg.counter("pool.executed").add(pool1.executed - pool0.executed);
     reg.counter("stream.spill_runs").add(out.spill_runs);
     reg.counter("stream.records").add(out.total_records);
+    reg.counter("recover.overflow_retries")
+        .add(out.metrics.recovery.overflow_retries);
+    reg.counter("recover.chunk_splits").add(out.metrics.recovery.chunk_splits);
+    reg.counter("recover.recovered_overflows")
+        .add(out.metrics.recovery.recovered_overflows);
+    reg.counter("recover.spill_retries")
+        .add(out.metrics.recovery.spill_retries);
   }
 
   out.streamed_bases = source.streamed_bases();
@@ -517,6 +750,8 @@ streamed_outcome run_search_streaming(const search_config& cfg,
   // previous state on exit. With neither set, every probe below is one
   // relaxed atomic load.
   obs::run_scope obs_guard(!opt.trace_out.empty() || !opt.metrics_json.empty());
+  // Fault plan: COF_FAULT plus opt.faults, armed for this run only.
+  fault::scope fault_guard(opt.faults);
   util::stopwatch sw;
 
   COF_CHECK_MSG(opt.backend != backend_kind::serial,
@@ -535,7 +770,7 @@ streamed_outcome run_search_streaming(const search_config& cfg,
     out = run_streaming_async(cfg, path, opt, pat, dev_queries, overlap, sw,
                               sink);
   } else {
-    std::unique_ptr<device_pipeline> pipe = make_pipeline(opt);
+    std::unique_ptr<device_pipeline> pipe = make_pipeline(opt, opt.max_entries);
     out = run_streaming_sync(cfg, path, opt, pipe.get(), pat, dev_queries,
                              overlap, sw, sink);
   }

@@ -562,6 +562,7 @@ class opencl_pipeline final : public device_pipeline {
   void load_chunk(std::string_view seq) override {
     obs::span sp("h2d.chunk", "device");
     sp.arg("bytes", static_cast<double>(seq.size()));
+    fault::inject_point(fault::site::dev_alloc);
     release_chunk();
     chunk_len_ = seq.size();
     locicnt_ = 0;
@@ -584,6 +585,7 @@ class opencl_pipeline final : public device_pipeline {
 
   u32 run_finder(const device_pattern& pat) override {
     obs::span sp("finder", "device");
+    fault::inject_point(fault::site::dev_launch);
     plen_ = pat.plen;
     if (chunk_len_ < pat.plen) {
       locicnt_ = 0;
@@ -627,7 +629,7 @@ class opencl_pipeline final : public device_pipeline {
     COF_CL_CHECK(clSetKernelArg(finder_k_, 10, pat.index.size() * sizeof(i32), nullptr));
 
     locicnt_ = enqueue_and_count(finder_k_, chrsize, "finder");
-    check_overflow("finder", locicnt_, loci_cap_);
+    detail::check_entry_capacity("finder", locicnt_, loci_cap_);
     metrics_.total_loci += locicnt_;
     ++metrics_.finder_launches;
     sp.arg("hits", static_cast<double>(locicnt_));
@@ -703,7 +705,7 @@ class opencl_pipeline final : public device_pipeline {
     const std::string tag =
         std::string("comparer/") + comparer_variant_name(opt_.variant);
     const u32 n = enqueue_and_count(comparer_k_, locicnt_, tag);
-    check_overflow("comparer", n, cap);
+    detail::check_entry_capacity("comparer", n, cap);
     ++metrics_.comparer_launches;
     metrics_.total_entries += n;
 
@@ -741,6 +743,7 @@ class opencl_pipeline final : public device_pipeline {
                                    const std::vector<u16>& thresholds) override {
     obs::span sp("comparer.batch", "device");
     sp.arg("queries", static_cast<double>(queries.size()));
+    fault::inject_point(fault::site::dev_launch);
     release_batch();
     batch_staged_ = true;
     if (locicnt_ == 0 || queries.empty()) return {};  // fetch yields empty
@@ -833,7 +836,7 @@ class opencl_pipeline final : public device_pipeline {
     COF_CL_CHECK(clEnqueueReadBuffer(q_, batch_count_, CL_TRUE, 0, sizeof(u32), &n, 0,
                                      nullptr, nullptr));
     metrics_.d2h_bytes += sizeof(u32);
-    check_overflow("comparer/batch", n, batch_cap_);
+    detail::check_entry_capacity("comparer/batch", n, batch_cap_);
     out.mm.resize(n);
     out.dir.resize(n);
     out.loci.resize(n);
@@ -876,16 +879,6 @@ class opencl_pipeline final : public device_pipeline {
   /// max_entries cap (0 = worst case, which cannot overflow).
   usize cap_entries(usize worst) const {
     return opt_.max_entries != 0 ? std::min(worst, opt_.max_entries) : worst;
-  }
-
-  /// The kernels drop appends past the capacity but keep counting, so a
-  /// count above the allocation means the cap was too small for this chunk.
-  static void check_overflow(const char* kernel, u32 count, usize cap) {
-    COF_CHECK_MSG(count <= cap,
-                  util::format("%s entry-buffer overflow: %u entries exceed "
-                               "the allocated capacity %zu (raise max_entries "
-                               "or use worst-case sizing)",
-                               kernel, count, cap));
   }
 
   void zero_counter() {

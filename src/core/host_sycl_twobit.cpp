@@ -27,6 +27,7 @@ class sycl_twobit_pipeline final : public device_pipeline {
   void load_chunk(std::string_view seq) override {
     obs::span sp("h2d.chunk", "device");
     sp.arg("bytes", static_cast<double>(seq.size()));
+    fault::inject_point(fault::site::dev_alloc);
     chunk_len_ = seq.size();
     locicnt_ = 0;
     packed_ = genome::twobit_seq::encode(seq);
@@ -44,6 +45,7 @@ class sycl_twobit_pipeline final : public device_pipeline {
 
   u32 run_finder(const device_pattern& pat) override {
     obs::span sp("finder", "device");
+    fault::inject_point(fault::site::dev_launch);
     const u32 hits = opt_.counting ? run_finder_impl<counting_mem>(pat)
                                    : run_finder_impl<direct_mem>(pat);
     sp.arg("hits", static_cast<double>(hits));
@@ -95,16 +97,6 @@ class sycl_twobit_pipeline final : public device_pipeline {
   /// max_entries cap (0 = worst case, which cannot overflow).
   usize cap_entries(usize worst) const {
     return opt_.max_entries != 0 ? std::min(worst, opt_.max_entries) : worst;
-  }
-
-  /// The kernels drop appends past the capacity but keep counting, so a
-  /// count above the allocation means the cap was too small for this chunk.
-  static void check_overflow(const char* kernel, u32 count, usize cap) {
-    COF_CHECK_MSG(count <= cap,
-                  util::format("%s entry-buffer overflow: %u entries exceed "
-                               "the allocated capacity %zu (raise max_entries "
-                               "or use worst-case sizing)",
-                               kernel, count, cap));
   }
 
   template <class P>
@@ -161,7 +153,7 @@ class sycl_twobit_pipeline final : public device_pipeline {
     rec.finish(stats.wall_nanos);
 
     locicnt_ = read_count(*count_buf_);
-    check_overflow("finder", locicnt_, loci_cap_);
+    detail::check_entry_capacity("finder", locicnt_, loci_cap_);
     metrics_.total_loci += locicnt_;
     return locicnt_;
   }
@@ -231,7 +223,7 @@ class sycl_twobit_pipeline final : public device_pipeline {
     rec.finish(stats.wall_nanos);
 
     const u32 n = read_count(ccount_buf);
-    check_overflow("comparer", n, cap);
+    detail::check_entry_capacity("comparer", n, cap);
     out.mm.resize(n);
     out.dir.resize(n);
     out.loci.resize(n);

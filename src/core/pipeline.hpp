@@ -11,16 +11,47 @@
 #pragma once
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/kernels.hpp"
 #include "core/pattern.hpp"
+#include "fault/fault.hpp"
 #include "obs/trace.hpp"
 #include "profile/profiler.hpp"
 
 namespace cof {
+
+/// Recoverable entry-buffer overflow: a chunk produced more finder hits or
+/// comparer entries than the max_entries-capped allocation could hold. The
+/// kernels keep advancing the append counter past the capacity (only stores
+/// are clamped), so `required` round-trips the TRUE demand — the streaming
+/// engine sizes its retry from it, and the message reports it. run_search
+/// turns this into the historical fatal report; run_search_streaming
+/// retries the chunk with a grown capacity or splits it.
+class entry_overflow_error : public std::runtime_error {
+ public:
+  entry_overflow_error(std::string kernel, util::u64 required, util::u64 capacity)
+      : std::runtime_error(kernel + " entry-buffer overflow: " +
+                           std::to_string(required) +
+                           " entries exceed the allocated capacity " +
+                           std::to_string(capacity) +
+                           " (raise max_entries or use worst-case sizing)"),
+        kernel_(std::move(kernel)),
+        required_(required),
+        capacity_(capacity) {}
+
+  const std::string& kernel() const { return kernel_; }
+  util::u64 required() const { return required_; }
+  util::u64 capacity() const { return capacity_; }
+
+ private:
+  std::string kernel_;
+  util::u64 required_;
+  util::u64 capacity_;
+};
 
 struct pipeline_options {
   comparer_variant variant = comparer_variant::base;
@@ -53,10 +84,11 @@ struct pipeline_metrics {
 /// Completion handle for async pipeline operations. Both simulated runtimes
 /// execute kernels and copies synchronously inside the submitting call, so
 /// wait() is structurally where a real backend would block — the streaming
-/// engine calls it at the same points a production queue would require.
+/// engine calls it at the same points a production queue would require, and
+/// the pipe.event fault site models a completion failure surfacing there.
 class pipe_event {
  public:
-  void wait() const {}
+  void wait() const { fault::inject_point(fault::site::pipe_event); }
 };
 
 class device_pipeline {
@@ -122,6 +154,7 @@ class device_pipeline {
                                            const std::vector<u16>& thresholds) {
     obs::span sp("comparer.batch", "device");
     sp.arg("queries", static_cast<double>(queries.size()));
+    fault::inject_point(fault::site::dev_launch);
     staged_ = run_comparer_batch(queries, thresholds);
     staged_valid_ = true;
     return {};
@@ -160,6 +193,18 @@ std::vector<std::string> sycl_programming_steps();
 const char* opencl_kernel_source();
 
 namespace detail {
+
+/// Shared post-download capacity check for every facade: the kernels drop
+/// appends past the capacity but keep counting, so a count above the
+/// allocation means the cap was too small for this chunk — `count` is the
+/// true demand and rides the thrown error into the retry sizing. The
+/// entry.clamp fault site forces this same path (with the observed count as
+/// demand) so recovery is exercisable without crafting a saturating genome.
+inline void check_entry_capacity(const char* kernel, u32 count, usize cap) {
+  if (count > cap || fault::should_fail(fault::site::entry_clamp)) {
+    throw entry_overflow_error(kernel, count, cap);
+  }
+}
 
 /// RAII helper: when counting, isolates prof::counters around one launch and
 /// records the snapshot (plus wall nanos) into the profiler under `kernel`.

@@ -7,6 +7,7 @@
 #include <queue>
 #include <tuple>
 
+#include "fault/fault.hpp"
 #include "genome/iupac.hpp"
 #include "obs/trace.hpp"
 #include "util/strings.hpp"
@@ -123,10 +124,21 @@ void record_spill_writer::spill(std::vector<ot_record>& batch) {
   for (const auto& r : batch) serialize_record(payload, r);
   const u64 count = batch.size();
   const u64 bytes = payload.size();
-  out_.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  out_.write(reinterpret_cast<const char*>(&bytes), sizeof(bytes));
-  out_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-  COF_CHECK_MSG(out_.good(), "spill write failed: " + path_);
+  const std::streampos run_start = out_.tellp();
+  bool failed = fault::should_fail(fault::site::spill_write);
+  if (!failed) {
+    out_.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    out_.write(reinterpret_cast<const char*>(&bytes), sizeof(bytes));
+    out_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    failed = !out_.good();
+  }
+  if (failed) {
+    // Roll back to the previous run boundary so the file never holds a
+    // partial run; the batch stays populated for the caller's retry.
+    out_.clear();
+    out_.seekp(run_start);
+    throw spill_error("spill write failed: " + path_);
+  }
   ++runs_;
   records_ += count;
   peak_run_bytes_ = std::max(peak_run_bytes_, payload.size());
@@ -135,7 +147,10 @@ void record_spill_writer::spill(std::vector<ot_record>& batch) {
 
 void record_spill_writer::finish() {
   out_.flush();
-  COF_CHECK_MSG(out_.good(), "spill flush failed: " + path_);
+  if (!out_.good() || fault::should_fail(fault::site::spill_write)) {
+    out_.clear();
+    throw spill_error("spill flush failed: " + path_);
+  }
   out_.close();
 }
 
@@ -143,6 +158,7 @@ u64 merge_spill_runs(const std::vector<std::string>& paths,
                      const std::function<void(ot_record&&)>& sink) {
   obs::span sp("merge", "io");
   sp.arg("files", static_cast<double>(paths.size()));
+  fault::inject_point(fault::site::spill_merge);
   // One cursor per run; runs within a file share the ifstream and seek to
   // their own offset per read (records are variable-length, so the offset
   // is re-sampled after every read).

@@ -5,6 +5,7 @@
 
 #include <fstream>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,15 @@ std::string format_records(const std::vector<ot_record>& records,
                            const std::vector<std::string>& query_seqs,
                            const genome::genome_t& g);
 
+/// Recoverable spill-file I/O failure: a run append or flush did not reach
+/// the disk. spill() rolls the file back to the previous run boundary
+/// before throwing, so the caller may retry the same batch (the streaming
+/// engine does, with backoff) or abandon the run cleanly.
+class spill_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// Streams per-chunk record batches to a temporary spill file as sorted
 /// runs, so the streaming engine's host memory for records stays bounded by
 /// the largest single batch instead of the whole genome's result set. Each
@@ -65,10 +75,13 @@ class record_spill_writer {
 
   /// Sort `batch` into canonical order and append it as one run. The batch
   /// is consumed (cleared) so its memory can be reused. Empty batches are
-  /// dropped.
+  /// dropped. Throws spill_error on a write failure, after rolling the file
+  /// back to the previous run boundary — the (sorted) batch is left intact
+  /// so the caller can retry the same spill.
   void spill(std::vector<ot_record>& batch);
 
   /// Flush and close for reading. Call once, before merge_spill_runs.
+  /// Throws spill_error if the flush fails.
   void finish();
 
   const std::string& path() const { return path_; }

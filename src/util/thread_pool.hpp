@@ -23,6 +23,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -214,11 +215,16 @@ class thread_pool {
   std::condition_variable cv_idle_;
 };
 
+/// Outcome of a timed bounded_queue hand-off.
+enum class wait_status { ready, closed, timeout };
+
 /// Bounded blocking MPMC channel: producers block while full, consumers
 /// block while empty. close() wakes everyone — subsequent pushes fail,
 /// pops drain the remaining items and then fail. Used by the streaming
 /// engine to fan decoded chunks out to the per-queue device workers with
-/// a fixed lookahead (backpressure keeps host memory bounded).
+/// a fixed lookahead (backpressure keeps host memory bounded). The _for
+/// variants bound the wait so a stalled peer surfaces as a timeout the
+/// caller can report instead of a silent hang.
 template <class T>
 class bounded_queue {
  public:
@@ -237,6 +243,20 @@ class bounded_queue {
     return true;
   }
 
+  /// push with a bounded wait. On timeout the item is left in `item`
+  /// untouched; the caller decides whether to retry or fail the run.
+  wait_status push_for(T& item, std::chrono::nanoseconds timeout) {
+    std::unique_lock lock(mu_);
+    if (!cv_push_.wait_for(lock, timeout,
+                           [this] { return items_.size() < capacity_ || closed_; })) {
+      return wait_status::timeout;
+    }
+    if (closed_) return wait_status::closed;
+    items_.push_back(std::move(item));
+    cv_pop_.notify_one();
+    return wait_status::ready;
+  }
+
   /// Blocks while empty. False when the queue is closed and drained.
   bool pop(T& out) {
     std::unique_lock lock(mu_);
@@ -246,6 +266,21 @@ class bounded_queue {
     items_.pop_front();
     cv_push_.notify_one();
     return true;
+  }
+
+  /// pop with a bounded wait. timeout = still open but nothing arrived;
+  /// closed = closed AND drained.
+  wait_status pop_for(T& out, std::chrono::nanoseconds timeout) {
+    std::unique_lock lock(mu_);
+    if (!cv_pop_.wait_for(lock, timeout,
+                          [this] { return !items_.empty() || closed_; })) {
+      return wait_status::timeout;
+    }
+    if (items_.empty()) return wait_status::closed;
+    out = std::move(items_.front());
+    items_.pop_front();
+    cv_push_.notify_one();
+    return wait_status::ready;
   }
 
   /// Idempotent. Pending pops still drain the buffered items.

@@ -1,0 +1,391 @@
+// Fault-injection suite: the registry's spec/mode semantics, and one
+// deterministic failure-path check per registered site wired through the
+// streaming engine — every injected fault must end in either full recovery
+// (byte-identical records vs an un-faulted run) or a clean site-named
+// error; never a hang, a crash, or silent truncation. Failed runs must not
+// leave spill files behind.
+#include <gtest/gtest.h>
+
+#include "gtest_compat.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "core/engine_stream.hpp"
+#include "core/pipeline.hpp"
+#include "fault/fault.hpp"
+#include "genome/chunker.hpp"
+#include "genome/synth.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct temp_dir {
+  fs::path path;
+  temp_dir() {
+    static int counter = 0;
+    path = fs::temp_directory_path() /
+           ("cof_fault_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter++));
+    fs::create_directories(path);
+  }
+  ~temp_dir() { fs::remove_all(path); }
+};
+
+genome::genome_t fault_genome(util::u64 seed) {
+  genome::synth_params p;
+  p.assembly = "fault-test";
+  p.chromosomes = {{"chrA", 40000}, {"chrB", 15000}};
+  p.seed = seed;
+  return genome::generate(p);
+}
+
+struct stream_case {
+  cof::search_config cfg;
+  std::string file;
+};
+
+/// Synth genome with `planted` real off-target sites written to a FASTA
+/// file — so every streaming run in this suite has records to compare.
+stream_case make_case(const temp_dir& dir, util::u64 seed, util::usize planted) {
+  stream_case c;
+  auto g = fault_genome(seed);
+  c.cfg = cof::parse_input(cof::example_input("<file>"));
+  const std::string guide = c.cfg.queries[0].seq.substr(0, 20) + "NGG";
+  genome::plant_sites(g, guide, c.cfg.pattern, planted, 2, seed + 1);
+  c.file = (dir.path / "g.fa").string();
+  genome::write_fasta_file(c.file, g.chroms);
+  return c;
+}
+
+/// Spill files live in the system temp dir as cof_spill_<pid>_...; a failed
+/// run must remove every one it created.
+util::usize spill_files_for_this_pid() {
+  const std::string prefix = "cof_spill_" + std::to_string(::getpid()) + "_";
+  util::usize n = 0;
+  for (const auto& e : fs::directory_iterator(fs::temp_directory_path())) {
+    if (e.path().filename().string().rfind(prefix, 0) == 0) ++n;
+  }
+  return n;
+}
+
+// --- registry semantics ------------------------------------------------------
+
+TEST(FaultRegistry, HitModeFiresOnExactlyTheNthHit) {
+  fault::reset();
+  fault::configure("dev.launch=hit:2");
+  EXPECT_TRUE(fault::armed());
+  EXPECT_FALSE(fault::should_fail(fault::site::dev_launch));
+  EXPECT_TRUE(fault::should_fail(fault::site::dev_launch));
+  EXPECT_FALSE(fault::should_fail(fault::site::dev_launch));
+  const auto st = fault::stats(fault::site::dev_launch);
+  EXPECT_EQ(st.hits, 3u);
+  EXPECT_EQ(st.injected, 1u);
+  fault::reset();
+  EXPECT_FALSE(fault::armed());
+}
+
+TEST(FaultRegistry, AlwaysAndOffModes) {
+  fault::reset();
+  fault::configure("pipe.event=always");
+  EXPECT_TRUE(fault::should_fail(fault::site::pipe_event));
+  EXPECT_TRUE(fault::should_fail(fault::site::pipe_event));
+  // Other sites stay dark, and unarmed probes cost nothing.
+  EXPECT_FALSE(fault::should_fail(fault::site::dev_alloc));
+  fault::configure("pipe.event=off");
+  EXPECT_FALSE(fault::armed());
+  EXPECT_FALSE(fault::should_fail(fault::site::pipe_event));
+  fault::reset();
+}
+
+TEST(FaultRegistry, ProbModeIsDeterministicPerSeed) {
+  auto draw = [](const char* spec) {
+    fault::reset();
+    fault::configure(spec);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(fault::should_fail(fault::site::spill_write));
+    }
+    fault::reset();
+    return fired;
+  };
+  const auto a = draw("spill.write=prob:0.5:42");
+  const auto b = draw("spill.write=prob:0.5:42");
+  const auto c = draw("spill.write=prob:0.5:43");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // P=0.5 over 64 draws: both outcomes must appear.
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 64);
+}
+
+TEST(FaultRegistry, InjectPointThrowsSiteNamedError) {
+  fault::reset();
+  fault::configure("spill.merge=always");
+  try {
+    fault::inject_point(fault::site::spill_merge);
+    FAIL() << "expected injected_error";
+  } catch (const fault::injected_error& e) {
+    EXPECT_EQ(e.site(), "spill.merge");
+    EXPECT_NE(std::string(e.what()).find("spill.merge"), std::string::npos);
+  }
+  fault::reset();
+}
+
+TEST(FaultRegistry, ScopeAppliesEnvThenSpecsAndDisarmsOnExit) {
+  ::setenv("COF_FAULT", "dev.alloc=always", 1);
+  {
+    fault::scope guard("dev.alloc=off,queue.pop=hit:1");
+    // The explicit spec overrides the environment for dev.alloc.
+    EXPECT_FALSE(fault::should_fail(fault::site::dev_alloc));
+    EXPECT_TRUE(fault::should_fail(fault::site::queue_pop));
+  }
+  ::unsetenv("COF_FAULT");
+  EXPECT_FALSE(fault::armed());
+  // Counters survive scope exit for post-run assertions.
+  EXPECT_EQ(fault::stats(fault::site::queue_pop).injected, 1u);
+  fault::reset();
+}
+
+TEST(FaultRegistryDeath, UnknownSiteAndBadModeDie) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(fault::configure("bogus.site=always"), "unknown fault site");
+  EXPECT_DEATH(fault::configure("dev.alloc=sometimes"), "unknown fault mode");
+  EXPECT_DEATH(fault::configure("dev.alloc"), "site=mode");
+  EXPECT_DEATH(fault::configure("dev.alloc=hit:0"), "hit:N");
+  EXPECT_DEATH(fault::configure("dev.alloc=prob:1.5"), "prob:P");
+}
+
+// --- per-site streaming matrix -----------------------------------------------
+
+struct site_case {
+  const char* site;
+  bool recovers;  // true: records must match the clean run; false: clean
+                  // site-attributable error (and no leftover spill files)
+};
+
+class FaultSites : public ::testing::TestWithParam<site_case> {};
+
+/// One injected fault per registered site, at the first hit: the recoverable
+/// sites must produce byte-identical records to an un-faulted run; the rest
+/// must surface a clean error naming the site — and never leave partial
+/// spill output behind.
+TEST_P(FaultSites, SingleFaultRecoversOrFailsClean) {
+  const auto& tc = GetParam();
+  temp_dir dir;
+  const auto c = make_case(dir, 101, 6);
+
+  cof::engine_options opt{.backend = cof::backend_kind::sycl, .max_chunk = 9000};
+  const auto clean = cof::run_search_streaming(c.cfg, c.file, opt);
+  ASSERT_FALSE(clean.records.empty());
+
+  opt.faults = std::string(tc.site) + "=hit:1";
+  const util::usize spills_before = spill_files_for_this_pid();
+  if (tc.recovers) {
+    const auto faulted = cof::run_search_streaming(c.cfg, c.file, opt);
+    EXPECT_EQ(faulted.records, clean.records) << tc.site;
+    EXPECT_GE(fault::stats(tc.site).injected, 1u) << tc.site;
+  } else {
+    try {
+      (void)cof::run_search_streaming(c.cfg, c.file, opt);
+      FAIL() << tc.site << ": expected a clean failure";
+    } catch (const fault::injected_error& e) {
+      EXPECT_EQ(e.site(), tc.site);
+    }
+  }
+  // Recovery or failure, the run's spill files are gone.
+  EXPECT_EQ(spill_files_for_this_pid(), spills_before) << tc.site;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sites, FaultSites,
+    ::testing::Values(site_case{"dev.alloc", true},
+                      site_case{"dev.launch", true},
+                      site_case{"pipe.event", true},
+                      site_case{"queue.push", false},
+                      site_case{"queue.pop", false},
+                      site_case{"spill.write", true},
+                      site_case{"spill.merge", false},
+                      site_case{"entry.clamp", true}),
+    [](const ::testing::TestParamInfo<site_case>& info) {
+      std::string name = info.param.site;
+      for (auto& c : name) {
+        if (c == '.') c = '_';
+      }
+      return name;
+    });
+
+/// Inject at a mid-run hit and at the LAST hit (learned by counting hits
+/// with a never-firing plan first), for a recoverable site: recovery must
+/// hold wherever the fault lands, not just on the first operation.
+TEST(FaultSites, MidAndLastHitStillRecover) {
+  temp_dir dir;
+  const auto c = make_case(dir, 102, 6);
+
+  cof::engine_options opt{.backend = cof::backend_kind::sycl, .max_chunk = 6000};
+  // Count the site's hits without firing (hit:N far past any real count).
+  opt.faults = "dev.launch=hit:1000000000";
+  const auto clean = cof::run_search_streaming(c.cfg, c.file, opt);
+  const util::u64 total = fault::stats("dev.launch").hits;
+  ASSERT_GE(total, 3u);
+
+  for (const util::u64 n : {total / 2, total}) {
+    opt.faults = "dev.launch=hit:" + std::to_string(n);
+    const auto faulted = cof::run_search_streaming(c.cfg, c.file, opt);
+    EXPECT_EQ(faulted.records, clean.records) << "hit:" << n;
+    EXPECT_EQ(fault::stats("dev.launch").injected, 1u) << "hit:" << n;
+  }
+}
+
+/// A fault plan that exhausts the bounded retries must end in a clean,
+/// site-attributable error — not a livelock. `always` keeps firing through
+/// every retry.
+TEST(FaultSites, ExhaustedRetriesFailCleanNotForever) {
+  temp_dir dir;
+  const auto c = make_case(dir, 103, 4);
+  cof::engine_options opt{.backend = cof::backend_kind::sycl, .max_chunk = 9000};
+
+  opt.faults = "dev.alloc=always";
+  EXPECT_THROW((void)cof::run_search_streaming(c.cfg, c.file, opt),
+               fault::injected_error);
+  EXPECT_EQ(spill_files_for_this_pid(), 0u);
+
+  // entry.clamp=always forces the overflow path on every attempt; the
+  // attempt bound turns it into the historical overflow error.
+  opt.faults = "entry.clamp=always";
+  EXPECT_THROW((void)cof::run_search_streaming(c.cfg, c.file, opt),
+               cof::entry_overflow_error);
+  EXPECT_EQ(spill_files_for_this_pid(), 0u);
+}
+
+/// Identical fault plans must produce identical outcomes (the registry's
+/// determinism carried through the whole engine). prob mode may or may not
+/// exhaust the bounded spill retries — but two runs with the same seed must
+/// agree on which.
+TEST(FaultSites, DeterministicAcrossRuns) {
+  temp_dir dir;
+  const auto c = make_case(dir, 104, 6);
+  cof::engine_options opt{.backend = cof::backend_kind::sycl, .max_chunk = 7000};
+  opt.faults = "spill.write=prob:0.4:7";
+
+  struct outcome {
+    bool threw = false;
+    std::string error;
+    std::vector<cof::ot_record> records;
+    util::u64 spill_retries = 0;
+    bool operator==(const outcome&) const = default;
+  };
+  auto run = [&] {
+    outcome o;
+    try {
+      auto r = cof::run_search_streaming(c.cfg, c.file, opt);
+      o.records = std::move(r.records);
+      o.spill_retries = r.metrics.recovery.spill_retries;
+    } catch (const std::exception& e) {
+      o.threw = true;
+      o.error = e.what();
+    }
+    return o;
+  };
+  const outcome a = run();
+  const outcome b = run();
+  EXPECT_TRUE(a == b) << "prob-mode fault plan not reproducible";
+}
+
+// --- overflow recovery property test -----------------------------------------
+
+/// Saturation property: a tiny max_entries must not change a single record
+/// on any backend at any queue count — the engine retries with grown
+/// capacity (and reports it) until the chunk fits.
+TEST(OverflowRecovery, TinyCapMatchesUncappedOnEveryBackendAndQueueCount) {
+  temp_dir dir;
+  const auto c = make_case(dir, 105, 12);  // dense hits
+
+  for (const auto backend :
+       {cof::backend_kind::opencl, cof::backend_kind::sycl,
+        cof::backend_kind::sycl_usm, cof::backend_kind::sycl_twobit}) {
+    cof::engine_options opt{.backend = backend, .max_chunk = 9000};
+    const auto uncapped = cof::run_search_streaming(c.cfg, c.file, opt);
+    ASSERT_FALSE(uncapped.records.empty());
+    for (const util::usize queues : {1u, 2u, 4u}) {
+      opt.num_queues = queues;
+      opt.max_entries = 3;
+      const auto capped = cof::run_search_streaming(c.cfg, c.file, opt);
+      EXPECT_EQ(capped.records, uncapped.records)
+          << cof::backend_name(backend) << " queues=" << queues;
+      EXPECT_GE(capped.metrics.recovery.overflow_retries, 1u)
+          << cof::backend_name(backend) << " queues=" << queues;
+      EXPECT_GE(capped.metrics.recovery.recovered_overflows, 1u)
+          << cof::backend_name(backend) << " queues=" << queues;
+    }
+  }
+}
+
+/// When growing would exceed max_retry_entries, the engine splits the chunk
+/// instead (bounded memory) — and the records still match.
+TEST(OverflowRecovery, SplitsInsteadOfGrowingPastTheMemoryCap) {
+  temp_dir dir;
+  const auto c = make_case(dir, 106, 8);
+
+  cof::engine_options opt{.backend = cof::backend_kind::sycl, .max_chunk = 9000};
+  const auto uncapped = cof::run_search_streaming(c.cfg, c.file, opt);
+  opt.max_entries = 3;
+  opt.max_retry_entries = 256;  // growth cap well below per-chunk demand
+  const auto capped = cof::run_search_streaming(c.cfg, c.file, opt);
+  EXPECT_EQ(capped.records, uncapped.records);
+  EXPECT_GE(capped.metrics.recovery.chunk_splits, 1u);
+  EXPECT_GE(capped.metrics.recovery.recovered_overflows, 1u);
+}
+
+// --- true-demand regression --------------------------------------------------
+
+/// The kernels keep advancing the entry counter past the capacity (only the
+/// stores are clamped), so the overflow error must report the TRUE demand —
+/// exactly the hit count an uncapped run observes — not the clamped
+/// capacity. The retry sizing consumes this number; a regression here would
+/// silently degrade recovery to blind doubling.
+class TrueDemand : public ::testing::TestWithParam<cof::backend_kind> {};
+
+TEST_P(TrueDemand, OverflowErrorRoundTripsTheKernelCounter) {
+  auto g = fault_genome(107);
+  const auto pat = cof::make_pattern("NNNNNNNNNNNNNNNNNNNNNGG");
+  const std::string_view seq(g.chroms[0].seq.data(), 9000);
+
+  auto make = [&](util::usize max_entries) {
+    cof::pipeline_options popt;
+    popt.max_entries = max_entries;
+    switch (GetParam()) {
+      case cof::backend_kind::opencl: return cof::make_opencl_pipeline(popt);
+      case cof::backend_kind::sycl_usm: return cof::make_sycl_usm_pipeline(popt);
+      case cof::backend_kind::sycl_twobit:
+        return cof::make_sycl_twobit_pipeline(popt);
+      default: return cof::make_sycl_pipeline(popt);
+    }
+  };
+
+  auto uncapped = make(0);
+  uncapped->load_chunk(seq);
+  const util::u32 hits = uncapped->run_finder(pat);
+  ASSERT_GT(hits, 2u);
+
+  auto capped = make(2);
+  capped->load_chunk(seq);
+  try {
+    (void)capped->run_finder(pat);
+    FAIL() << "expected entry_overflow_error";
+  } catch (const cof::entry_overflow_error& e) {
+    EXPECT_EQ(e.kernel(), "finder");
+    EXPECT_EQ(e.required(), hits);  // true demand, not the clamped count
+    EXPECT_EQ(e.capacity(), 2u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, TrueDemand,
+                         ::testing::Values(cof::backend_kind::opencl,
+                                           cof::backend_kind::sycl,
+                                           cof::backend_kind::sycl_usm,
+                                           cof::backend_kind::sycl_twobit));
+
+}  // namespace

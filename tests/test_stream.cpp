@@ -407,23 +407,40 @@ INSTANTIATE_TEST_SUITE_P(Backends, StreamBoundary,
                                            cof::backend_kind::sycl_usm,
                                            cof::backend_kind::sycl_twobit));
 
-/// An entry buffer sized below the hit count must be reported as a clean
-/// overflow abort, not silent truncation or an out-of-bounds store. The
-/// kernel counter keeps advancing past the capacity (only stores are
-/// dropped), so the host can compare count against capacity after download.
+/// An entry buffer sized below the hit count overflows; the kernel counter
+/// keeps advancing past the capacity (only stores are dropped), so the host
+/// learns the true demand. The streaming engine now RECOVERS: the chunk is
+/// retried with a grown allocation and the results must be byte-identical
+/// to worst-case sizing. With recovery disabled it stays a clean error.
 class StreamOverflow : public ::testing::TestWithParam<cof::backend_kind> {};
 
-TEST_P(StreamOverflow, UndersizedEntryBufferDies) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+TEST_P(StreamOverflow, UndersizedEntryBufferRecovers) {
   temp_dir dir;
   auto g = stream_genome(67);
   auto cfg = cof::parse_input(cof::example_input("<file>"));
   const auto file = dir.path / "g.fa";
   genome::write_fasta_file(file.string(), g.chroms);
   cof::engine_options opt{.backend = GetParam(), .max_chunk = 9000};
+  const auto worst = cof::run_search_streaming(cfg, file.string(), opt);
   opt.max_entries = 2;  // far below the PAM hit count of a 55 kb random genome
-  EXPECT_DEATH((void)cof::run_search_streaming(cfg, file.string(), opt),
-               "entry-buffer overflow");
+  const auto capped = cof::run_search_streaming(cfg, file.string(), opt);
+  EXPECT_EQ(capped.records, worst.records);
+  EXPECT_GE(capped.metrics.recovery.overflow_retries, 1u);
+  EXPECT_GE(capped.metrics.recovery.recovered_overflows, 1u);
+  EXPECT_EQ(worst.metrics.recovery.overflow_retries, 0u);
+}
+
+TEST_P(StreamOverflow, UndersizedEntryBufferThrowsWithRecoveryOff) {
+  temp_dir dir;
+  auto g = stream_genome(67);
+  auto cfg = cof::parse_input(cof::example_input("<file>"));
+  const auto file = dir.path / "g.fa";
+  genome::write_fasta_file(file.string(), g.chroms);
+  cof::engine_options opt{.backend = GetParam(), .max_chunk = 9000};
+  opt.max_entries = 2;
+  opt.overflow_recovery = false;
+  EXPECT_THROW((void)cof::run_search_streaming(cfg, file.string(), opt),
+               cof::entry_overflow_error);
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, StreamOverflow,
