@@ -1,9 +1,11 @@
-// Optimisation-ladder ablation (base..opt5): for every comparer variant, one
+// Optimisation-ladder ablation (base..opt6): for every comparer variant, one
 // counting pass collects the device-event profile (global loads, chain
-// compares, mask-LUT tests) and repeated direct passes measure simulated
-// wall time. A second section isolates the executor ablation: the same
-// comparer launch on the fiber scheduler vs the two-phase
-// single-leading-barrier fast path. Emits BENCH_opt_ladder.json.
+// compares, mask-LUT tests, SWAR word evaluations) and repeated direct
+// passes measure simulated wall time — on both dispatch paths (the AVX2
+// lane rows and the COF_FORCE_SCALAR per-item fallback; they only diverge
+// at opt6, where the lane body exists). A second section isolates the
+// executor ablation: the same comparer launch on the fiber scheduler vs the
+// two-phase single-leading-barrier fast path. Emits BENCH_opt_ladder.json.
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -14,6 +16,7 @@
 #include "core/kernels.hpp"
 #include "core/pipeline.hpp"
 #include "util/cli.hpp"
+#include "util/cpufeat.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 #include "xpu/device.hpp"
@@ -28,13 +31,36 @@ constexpr const char* kQuery = "GGCCGACCTGTCGCTGACGCNNN";
 
 struct variant_row {
   std::string name;
-  u64 wall_nanos = 0;  // best-of-reps simulated comparer wall time
+  u64 wall_nanos = 0;         // best-of-reps wall time, SIMD lanes allowed
+  u64 wall_scalar_nanos = 0;  // best-of-reps wall time, forced-scalar path
   u64 global_loads = 0;
   u64 global_load_repeats = 0;
   u64 compares = 0;   // 14-way chain evaluations
   u64 mask_ops = 0;   // deny-LUT shift/AND tests (opt5)
+  u64 swar_ops = 0;   // 64-bit SWAR word evaluations (opt6)
   u64 entries = 0;
 };
+
+/// Best-of-reps comparer wall time on the currently selected dispatch path.
+u64 timed_pass(comparer_variant v, const std::string& chunk,
+               const device_pattern& pat, const device_pattern& query, u64 reps,
+               u64& entries_out) {
+  pipeline_options opt;
+  opt.variant = v;
+  opt.wg_size = 256;
+  auto pipe = make_sycl_pipeline(opt);
+  pipe->load_chunk(chunk);
+  pipe->run_finder(pat);
+  pipe->run_comparer(query, 5);  // warm-up
+  u64 best = ~u64{0};
+  for (u64 r = 0; r < reps; ++r) {
+    util::stopwatch sw;
+    auto e = pipe->run_comparer(query, 5);
+    best = std::min(best, sw.nanos());
+    entries_out = e.size();
+  }
+  return best;
+}
 
 variant_row measure_variant(comparer_variant v, const std::string& chunk,
                             const device_pattern& pat, const device_pattern& query,
@@ -59,25 +85,18 @@ variant_row measure_variant(comparer_variant v, const std::string& chunk,
     row.global_load_repeats = prof.events[prof::ev::global_load_repeat];
     row.compares = prof.events[prof::ev::compare];
     row.mask_ops = prof.events[prof::ev::mask_op];
+    row.swar_ops = prof.events[prof::ev::swar_op];
   }
 
-  // Timed pass: direct (uninstrumented) kernels, best-of-reps wall time.
+  // Timed passes: direct (uninstrumented) kernels, best-of-reps wall time,
+  // once per dispatch path.
+  row.wall_nanos = timed_pass(v, chunk, pat, query, reps, row.entries);
   {
-    pipeline_options opt;
-    opt.variant = v;
-    opt.wg_size = 256;
-    auto pipe = make_sycl_pipeline(opt);
-    pipe->load_chunk(chunk);
-    pipe->run_finder(pat);
-    pipe->run_comparer(query, 5);  // warm-up
-    u64 best = ~u64{0};
-    for (u64 r = 0; r < reps; ++r) {
-      util::stopwatch sw;
-      auto e = pipe->run_comparer(query, 5);
-      best = std::min(best, sw.nanos());
-      row.entries = e.size();
-    }
-    row.wall_nanos = best;
+    const bool prev = util::force_scalar();
+    util::force_scalar(true);
+    u64 entries_scalar = 0;
+    row.wall_scalar_nanos = timed_pass(v, chunk, pat, query, reps, entries_scalar);
+    util::force_scalar(prev);
   }
   return row;
 }
@@ -205,8 +224,8 @@ exec_result measure_executor(const std::string& chunk, const device_pattern& pat
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::cli cli("ablation_opt5",
-                "Optimisation-ladder ablation (base..opt5) + executor fast path");
+  util::cli cli("ablation_opt_ladder",
+                "Optimisation-ladder ablation (base..opt6) + executor fast path");
   cli.opt("scale", "hg19 scale divisor; the chunk is the largest synthetic chromosome (scale 8192 -> ~30 kb)", "8192");
   cli.opt("reps", "timed repetitions per measurement", "5");
   cli.opt("out", "output JSON path", "BENCH_opt_ladder.json");
@@ -218,7 +237,10 @@ int main(int argc, char** argv) {
 
   bench::print_banner("opt_ladder",
                       "simulated comparer wall time + counted device events per "
-                      "variant; fiber vs two-phase executor");
+                      "variant, both dispatch paths; fiber vs two-phase "
+                      "executor");
+  std::printf("simd lanes: %s\n",
+              util::simd_lanes_enabled() ? "avx2" : "disabled (scalar)");
 
   auto g = genome::generate(genome::hg19_like(scale, 11));
   const auto& seq = g.chroms[0].seq;
@@ -233,13 +255,15 @@ int main(int argc, char** argv) {
     rows.push_back(measure_variant(static_cast<comparer_variant>(v), chunk, pat,
                                    query, reps));
     const auto& r = rows.back();
-    std::printf("%-8s wall %10llu ns  gload %8llu (+%llu rep)  compare %8llu  "
-                "mask_op %8llu  entries %llu\n",
+    std::printf("%-8s wall %10llu ns (scalar %10llu)  gload %8llu (+%llu rep)  "
+                "compare %8llu  mask_op %8llu  swar_op %6llu  entries %llu\n",
                 r.name.c_str(), static_cast<unsigned long long>(r.wall_nanos),
+                static_cast<unsigned long long>(r.wall_scalar_nanos),
                 static_cast<unsigned long long>(r.global_loads),
                 static_cast<unsigned long long>(r.global_load_repeats),
                 static_cast<unsigned long long>(r.compares),
                 static_cast<unsigned long long>(r.mask_ops),
+                static_cast<unsigned long long>(r.swar_ops),
                 static_cast<unsigned long long>(r.entries));
   }
 
@@ -262,20 +286,25 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f,
                "{\n  \"bench\": \"opt_ladder\",\n  \"scale\": %llu,\n"
-               "  \"chunk_bases\": %zu,\n",
-               static_cast<unsigned long long>(scale), chunk.size());
+               "  \"chunk_bases\": %zu,\n  \"simd_lanes\": %s,\n",
+               static_cast<unsigned long long>(scale), chunk.size(),
+               util::simd_lanes_enabled() ? "true" : "false");
   std::fprintf(f, "  \"variants\": [\n");
   for (usize i = 0; i < rows.size(); ++i) {
     const auto& r = rows[i];
     std::fprintf(f,
                  "    {\"variant\": \"%s\", \"wall_nanos\": %llu, "
+                 "\"wall_scalar_nanos\": %llu, "
                  "\"global_loads\": %llu, \"global_load_repeats\": %llu, "
-                 "\"compares\": %llu, \"mask_ops\": %llu, \"entries\": %llu}%s\n",
+                 "\"compares\": %llu, \"mask_ops\": %llu, \"swar_ops\": %llu, "
+                 "\"entries\": %llu}%s\n",
                  r.name.c_str(), static_cast<unsigned long long>(r.wall_nanos),
+                 static_cast<unsigned long long>(r.wall_scalar_nanos),
                  static_cast<unsigned long long>(r.global_loads),
                  static_cast<unsigned long long>(r.global_load_repeats),
                  static_cast<unsigned long long>(r.compares),
                  static_cast<unsigned long long>(r.mask_ops),
+                 static_cast<unsigned long long>(r.swar_ops),
                  static_cast<unsigned long long>(r.entries),
                  i + 1 < rows.size() ? "," : "");
   }

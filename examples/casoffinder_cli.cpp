@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
                  false);
   cli.positional("output", "output file ('-' or empty = stdout)", false);
   cli.opt("wg", "work-group size (0 = backend default)", "0");
-  cli.opt("variant", "comparer variant: base|opt1|opt2|opt3|opt4|opt5", "base");
+  cli.opt("variant", "comparer variant: base|opt1|opt2|opt3|opt4|opt5|opt6", "base");
   cli.opt("chunk", "max device chunk bytes", "4194304");
   cli.flag("profile", "print the kernel hotspot profile");
   cli.flag("score", "print MIT specificity scores per guide");

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "core/kernels_swar.hpp"
 #include "core/pipeline.hpp"
 #include "oclsim/cl.hpp"
 #include "oclsim/cl_objects.hpp"
@@ -315,6 +316,161 @@ __kernel void comparer_multi(unsigned int locicnts, __global char* chr,
   }
 }
 
+/* opt6: two-bit SWAR comparer. The chunk additionally travels as 2-bit
+ * packed codes (32 bases per ulong) plus ambiguity flags in the same
+ * geometry; the host precomputes, per query half and per 32-base word, one
+ * 64-bit deny mask for each reference code (plus a fifth 'N' mask). One
+ * word evaluation replaces up to 32 opt5 iterations; ambiguous reference
+ * positions fall back to the opt5 LUT against the raw chars. */
+__kernel void comparer_opt6(unsigned int locicnts, __global char* __restrict chr,
+                            __global ulong* __restrict chr_packed2,
+                            __global ulong* __restrict chr_amb2,
+                            __global unsigned int* __restrict loci,
+                            __global char* __restrict flag,
+                            __constant ulong* comp_swar,
+                            __constant unsigned short* comp_mask,
+                            unsigned int plen, unsigned int swar_words,
+                            unsigned short threshold,
+                            __global unsigned short* __restrict mm_count,
+                            __global char* __restrict direction,
+                            __global unsigned int* __restrict mm_loci,
+                            __global unsigned int* __restrict entrycount,
+                            unsigned int entry_capacity,
+                            __local ulong* l_comp_swar,
+                            __local unsigned short* l_comp_mask) {
+  unsigned int i = get_global_id(0);
+  unsigned int li = i - get_group_id(0) * get_local_size(0);
+  const ulong even = 0x5555555555555555UL;
+  for (unsigned int k = li; k < 2 * swar_words * 5; k += get_local_size(0))
+    l_comp_swar[k] = comp_swar[k];
+  for (unsigned int k = li; k < plen * 2; k += get_local_size(0))
+    l_comp_mask[k] = comp_mask[k];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  if (i >= locicnts) return;
+  char f = flag[i];
+  unsigned int locus = loci[i];
+  for (int half = 0; half < 2; half++) {
+    if (!(f == 0 || f == (char)(half + 1))) continue;
+    unsigned int sbase = (unsigned int)half * swar_words * 5;
+    unsigned int mbase = (unsigned int)half * plen;
+    unsigned int shift = 2u * (locus & 31u);
+    unsigned int wi = locus >> 5;
+    unsigned short lmm = 0;
+    int under = 1;
+    for (unsigned int w = 0; w < swar_words && under; w++) {
+      ulong lo = chr_packed2[wi + w], hi = chr_packed2[wi + w + 1];
+      ulong ref = (lo >> shift) | ((hi << (63u - shift)) << 1);
+      ulong amb = (chr_amb2[wi + w] >> shift) |
+                  ((chr_amb2[wi + w + 1] << (63u - shift)) << 1);
+      unsigned int nb = plen - 32u * w;
+      ulong active = nb >= 32u ? ~0UL : (1UL << (2u * nb)) - 1;
+      amb &= active;
+      ulong mm = 0;
+      for (int c = 0; c < 4; c++) {
+        ulong bc = c == 0 ? 0UL : (c == 1 ? even : (c == 2 ? ~even : ~0UL));
+        ulong t = ~(ref ^ bc);
+        mm |= t & (t >> 1) & even & l_comp_swar[sbase + w * 5 + c];
+      }
+      lmm += (unsigned short)popcount(mm & ~amb);
+      ulong rest = amb;
+      while (rest != 0) {
+        unsigned int j = (unsigned int)(63 - clz(rest & -rest)) >> 1;
+        rest &= rest - 1;
+        unsigned int k = 32u * w + j;
+        if ((l_comp_mask[mbase + k] >> nibble(chr[locus + k])) & 1u) lmm++;
+      }
+      if (lmm > threshold) under = 0;
+    }
+    if (under) {
+      unsigned int old = atomic_inc(entrycount);
+      if (old < entry_capacity) {
+        mm_count[old] = lmm;
+        direction[old] = half == 0 ? '+' : '-';
+        mm_loci[old] = locus;
+      }
+    }
+  }
+}
+
+/* Batched multi-query twin of comparer_opt6: per-query SWAR deny masks and
+ * LUTs are concatenated, loci[i]/flag[i] read once per candidate site. */
+__kernel void comparer_multi_opt6(unsigned int locicnts,
+                                  __global char* __restrict chr,
+                                  __global ulong* __restrict chr_packed2,
+                                  __global ulong* __restrict chr_amb2,
+                                  __global unsigned int* __restrict loci,
+                                  __global char* __restrict flag,
+                                  __constant ulong* comp_swar,
+                                  __constant unsigned short* comp_mask,
+                                  __constant unsigned short* thresholds,
+                                  unsigned int nqueries, unsigned int plen,
+                                  unsigned int swar_words,
+                                  __global unsigned short* __restrict mm_count,
+                                  __global char* __restrict direction,
+                                  __global unsigned int* __restrict mm_loci,
+                                  __global unsigned short* __restrict mm_query,
+                                  __global unsigned int* __restrict entrycount,
+                                  unsigned int entry_capacity,
+                                  __local ulong* l_comp_swar,
+                                  __local unsigned short* l_comp_mask) {
+  unsigned int i = get_global_id(0);
+  unsigned int li = i - get_group_id(0) * get_local_size(0);
+  const ulong even = 0x5555555555555555UL;
+  for (unsigned int k = li; k < nqueries * 2 * swar_words * 5; k += get_local_size(0))
+    l_comp_swar[k] = comp_swar[k];
+  for (unsigned int k = li; k < nqueries * plen * 2; k += get_local_size(0))
+    l_comp_mask[k] = comp_mask[k];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  if (i >= locicnts) return;
+  char f = flag[i];
+  unsigned int locus = loci[i];
+  for (unsigned int q = 0; q < nqueries; q++) {
+    unsigned short threshold = thresholds[q];
+    for (int half = 0; half < 2; half++) {
+      if (!(f == 0 || f == (char)(half + 1))) continue;
+      unsigned int sbase = (q * 2 + (unsigned int)half) * swar_words * 5;
+      unsigned int mbase = (q * 2 + (unsigned int)half) * plen;
+      unsigned int shift = 2u * (locus & 31u);
+      unsigned int wi = locus >> 5;
+      unsigned short lmm = 0;
+      int under = 1;
+      for (unsigned int w = 0; w < swar_words && under; w++) {
+        ulong lo = chr_packed2[wi + w], hi = chr_packed2[wi + w + 1];
+        ulong ref = (lo >> shift) | ((hi << (63u - shift)) << 1);
+        ulong amb = (chr_amb2[wi + w] >> shift) |
+                    ((chr_amb2[wi + w + 1] << (63u - shift)) << 1);
+        unsigned int nb = plen - 32u * w;
+        ulong active = nb >= 32u ? ~0UL : (1UL << (2u * nb)) - 1;
+        amb &= active;
+        ulong mm = 0;
+        for (int c = 0; c < 4; c++) {
+          ulong bc = c == 0 ? 0UL : (c == 1 ? even : (c == 2 ? ~even : ~0UL));
+          ulong t = ~(ref ^ bc);
+          mm |= t & (t >> 1) & even & l_comp_swar[sbase + w * 5 + c];
+        }
+        lmm += (unsigned short)popcount(mm & ~amb);
+        ulong rest = amb;
+        while (rest != 0) {
+          unsigned int j = (unsigned int)(63 - clz(rest & -rest)) >> 1;
+          rest &= rest - 1;
+          unsigned int k = 32u * w + j;
+          if ((l_comp_mask[mbase + k] >> nibble(chr[locus + k])) & 1u) lmm++;
+        }
+        if (lmm > threshold) under = 0;
+      }
+      if (under) {
+        unsigned int old = atomic_inc(entrycount);
+        if (old < entry_capacity) {
+          mm_count[old] = lmm;
+          direction[old] = half == 0 ? '+' : '-';
+          mm_loci[old] = locus;
+          mm_query[old] = (unsigned short)q;
+        }
+      }
+    }
+  }
+}
+
 /* Optimised comparer variants (paper SIV.B): opt1 adds __restrict, opt2
  * registers loci[i]/flag[i], opt3 fetches the pattern cooperatively, opt4
  * additionally registers the pattern char read from local memory. Bodies
@@ -465,6 +621,92 @@ void comparer_native(const oclsim::arg_view& a, xpu::xitem& it) {
   comparer_native_dispatch<P>(V, a, it);
 }
 
+/// Shared unpack of comparer_opt6's global/scalar arguments (0..15); the
+/// two local args (16/17) resolve only inside a kernel item context, so the
+/// lane entry points them at the globals instead.
+void comparer_opt6_unpack(const oclsim::arg_view& a, comparer_swar_args& ca) {
+  ca.locicnts = a.scalar<u32>(0);
+  ca.chr = a.global<const char>(1);
+  ca.chr_packed2 = a.global<const u64>(2);
+  ca.chr_amb2 = a.global<const u64>(3);
+  ca.loci = a.global<const u32>(4);
+  ca.flag = a.global<const char>(5);
+  ca.comp_swar = a.global<const u64>(6);
+  ca.comp_mask = a.global<const u16>(7);
+  ca.plen = a.scalar<u32>(8);
+  ca.swar_words = a.scalar<u32>(9);
+  ca.threshold = a.scalar<u16>(10);
+  ca.mm_count = a.global<u16>(11);
+  ca.direction = a.global<char>(12);
+  ca.mm_loci = a.global<u32>(13);
+  ca.entrycount = a.global<u32>(14);
+  ca.entry_capacity = a.scalar<u32>(15);
+}
+
+template <class P>
+void comparer_opt6_native(const oclsim::arg_view& a, xpu::xitem& it) {
+  comparer_swar_args ca;
+  comparer_opt6_unpack(a, ca);
+  ca.l_comp_swar = a.local<u64>(16);
+  ca.l_comp_mask = a.local<u16>(17);
+  comparer_swar_kernel<P, xpu::xitem, true>(it, ca);
+}
+
+/// Lane-batched row body (executor lane dispatch, profiling off only): no
+/// cooperative fetch, constants read straight from the global arguments.
+void comparer_opt6_lanes(const oclsim::arg_view& a, usize first, usize nlanes) {
+  comparer_swar_args ca;
+  comparer_opt6_unpack(a, ca);
+  ca.l_comp_swar = const_cast<u64*>(ca.comp_swar);
+  ca.l_comp_mask = const_cast<u16*>(ca.comp_mask);
+  comparer_swar_lanes<true>(ca, first, nlanes);
+}
+
+template <class P>
+void comparer_multi_opt6_native(const oclsim::arg_view& a, xpu::xitem& it) {
+  comparer_multi_swar_args ca;
+  ca.locicnts = a.scalar<u32>(0);
+  ca.chr = a.global<const char>(1);
+  ca.chr_packed2 = a.global<const u64>(2);
+  ca.chr_amb2 = a.global<const u64>(3);
+  ca.loci = a.global<const u32>(4);
+  ca.flag = a.global<const char>(5);
+  ca.comp_swar = a.global<const u64>(6);
+  ca.comp_mask = a.global<const u16>(7);
+  ca.thresholds = a.global<const u16>(8);
+  ca.nqueries = a.scalar<u32>(9);
+  ca.plen = a.scalar<u32>(10);
+  ca.swar_words = a.scalar<u32>(11);
+  ca.mm_count = a.global<u16>(12);
+  ca.direction = a.global<char>(13);
+  ca.mm_loci = a.global<u32>(14);
+  ca.mm_query = a.global<u16>(15);
+  ca.entrycount = a.global<u32>(16);
+  ca.entry_capacity = a.scalar<u32>(17);
+  ca.l_comp_swar = a.local<u64>(18);
+  ca.l_comp_mask = a.local<u16>(19);
+  comparer_multi_swar_kernel<P, xpu::xitem, true>(it, ca);
+}
+
+const std::vector<oclsim::arg_kind> kComparerOpt6Sig = {
+    oclsim::arg_kind::scalar, oclsim::arg_kind::mem,    oclsim::arg_kind::mem,
+    oclsim::arg_kind::mem,    oclsim::arg_kind::mem,    oclsim::arg_kind::mem,
+    oclsim::arg_kind::mem,    oclsim::arg_kind::mem,    oclsim::arg_kind::scalar,
+    oclsim::arg_kind::scalar, oclsim::arg_kind::scalar, oclsim::arg_kind::mem,
+    oclsim::arg_kind::mem,    oclsim::arg_kind::mem,    oclsim::arg_kind::mem,
+    oclsim::arg_kind::scalar, oclsim::arg_kind::local,  oclsim::arg_kind::local,
+};
+
+const std::vector<oclsim::arg_kind> kComparerMultiOpt6Sig = {
+    oclsim::arg_kind::scalar, oclsim::arg_kind::mem,    oclsim::arg_kind::mem,
+    oclsim::arg_kind::mem,    oclsim::arg_kind::mem,    oclsim::arg_kind::mem,
+    oclsim::arg_kind::mem,    oclsim::arg_kind::mem,    oclsim::arg_kind::mem,
+    oclsim::arg_kind::scalar, oclsim::arg_kind::scalar, oclsim::arg_kind::scalar,
+    oclsim::arg_kind::mem,    oclsim::arg_kind::mem,    oclsim::arg_kind::mem,
+    oclsim::arg_kind::mem,    oclsim::arg_kind::mem,    oclsim::arg_kind::scalar,
+    oclsim::arg_kind::local,  oclsim::arg_kind::local,
+};
+
 // Every kernel here has exactly one leading barrier (cooperative pattern
 // fetch, then compute), and the native bodies cooperate with the two-phase
 // executor, so all registrations opt into the barrier-free fast path.
@@ -502,6 +744,13 @@ const bool kKernelsRegistered = [] {
   oclsim::register_kernel({"comparer_multi", kComparerMultiSig, true,
                            &comparer_multi_native<direct_mem>,
                            &comparer_multi_native<counting_mem>, true});
+  oclsim::register_kernel({"comparer_opt6", kComparerOpt6Sig, true,
+                           &comparer_opt6_native<direct_mem>,
+                           &comparer_opt6_native<counting_mem>, true,
+                           &comparer_opt6_lanes});
+  oclsim::register_kernel({"comparer_multi_opt6", kComparerMultiOpt6Sig, true,
+                           &comparer_multi_opt6_native<direct_mem>,
+                           &comparer_multi_opt6_native<counting_mem>, true});
   return true;
 }();
 
@@ -541,7 +790,11 @@ class opencl_pipeline final : public device_pipeline {
     COF_CL_CHECK(err);
     comparer_k_ = clCreateKernel(program_, comparer_kernel_name(), &err);
     COF_CL_CHECK(err);
-    comparer_multi_k_ = clCreateKernel(program_, "comparer_multi", &err);
+    comparer_multi_k_ = clCreateKernel(program_,
+                                       opt_.variant == comparer_variant::opt6
+                                           ? "comparer_multi_opt6"
+                                           : "comparer_multi",
+                                       &err);
     COF_CL_CHECK(err);
   }
 
@@ -581,6 +834,19 @@ class opencl_pipeline final : public device_pipeline {
     count_ = clCreateBuffer(ctx_, CL_MEM_READ_WRITE, sizeof(u32), nullptr, &err);
     COF_CL_CHECK(err);
     metrics_.h2d_bytes += chunk_len_;
+    if (opt_.variant == comparer_variant::opt6) {
+      // opt6 twin: 2-bit codes + ambiguity flags in SWAR word geometry.
+      const swar_ref swar = swar_pack(seq);
+      chr2_ = clCreateBuffer(ctx_, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
+                             swar.packed2.size() * sizeof(u64),
+                             const_cast<u64*>(swar.packed2.data()), &err);
+      COF_CL_CHECK(err);
+      amb2_ = clCreateBuffer(ctx_, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
+                             swar.amb2.size() * sizeof(u64),
+                             const_cast<u64*>(swar.amb2.data()), &err);
+      COF_CL_CHECK(err);
+      metrics_.h2d_bytes += (swar.packed2.size() + swar.amb2.size()) * sizeof(u64);
+    }
   }
 
   u32 run_finder(const device_pattern& pat) override {
@@ -654,6 +920,9 @@ class opencl_pipeline final : public device_pipeline {
     entries out;
     if (locicnt_ == 0) return out;
     COF_CHECK_MSG(query.plen == plen_, "query length != pattern length");
+    if (opt_.variant == comparer_variant::opt6) {
+      return run_comparer_swar(query, threshold);
+    }
     const usize cap = cap_entries(static_cast<usize>(locicnt_) * 2);
     cl_int err;
     cl_mem compm;
@@ -729,6 +998,83 @@ class opencl_pipeline final : public device_pipeline {
     return out;
   }
 
+  /// opt6: SWAR comparer. clSetKernelArg marshals the per-word deny masks
+  /// (and the opt5 LUTs for the ambiguity fallback) against comparer_opt6's
+  /// registered signature; the enqueue picks the lane-batched native body
+  /// up automatically when profiling is off.
+  entries run_comparer_swar(const device_pattern& query, u16 threshold) {
+    entries out;
+    const usize cap = cap_entries(static_cast<usize>(locicnt_) * 2);
+    cl_int err;
+    cl_mem cswarm = clCreateBuffer(ctx_, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
+                                   query.swar.size() * sizeof(u64),
+                                   const_cast<u64*>(query.swar_data()), &err);
+    COF_CL_CHECK(err);
+    cl_mem cmaskm = clCreateBuffer(ctx_, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
+                                   query.mask.size() * sizeof(u16),
+                                   const_cast<u16*>(query.mask_data()), &err);
+    COF_CL_CHECK(err);
+    cl_mem mmm = clCreateBuffer(ctx_, CL_MEM_WRITE_ONLY, cap * sizeof(u16), nullptr,
+                                &err);
+    COF_CL_CHECK(err);
+    cl_mem dirm = clCreateBuffer(ctx_, CL_MEM_WRITE_ONLY, cap, nullptr, &err);
+    COF_CL_CHECK(err);
+    cl_mem mlocim = clCreateBuffer(ctx_, CL_MEM_WRITE_ONLY, cap * sizeof(u32), nullptr,
+                                   &err);
+    COF_CL_CHECK(err);
+    metrics_.h2d_bytes +=
+        query.swar.size() * sizeof(u64) + query.mask.size() * sizeof(u16);
+    zero_counter();
+
+    const u32 plen = query.plen;
+    const u32 swar_words = query.swar_words;
+    COF_CL_CHECK(clSetKernelArg(comparer_k_, 0, sizeof(u32), &locicnt_));
+    COF_CL_CHECK(clSetKernelArg(comparer_k_, 1, sizeof(cl_mem), &chr_));
+    COF_CL_CHECK(clSetKernelArg(comparer_k_, 2, sizeof(cl_mem), &chr2_));
+    COF_CL_CHECK(clSetKernelArg(comparer_k_, 3, sizeof(cl_mem), &amb2_));
+    COF_CL_CHECK(clSetKernelArg(comparer_k_, 4, sizeof(cl_mem), &loci_));
+    COF_CL_CHECK(clSetKernelArg(comparer_k_, 5, sizeof(cl_mem), &flag_));
+    COF_CL_CHECK(clSetKernelArg(comparer_k_, 6, sizeof(cl_mem), &cswarm));
+    COF_CL_CHECK(clSetKernelArg(comparer_k_, 7, sizeof(cl_mem), &cmaskm));
+    COF_CL_CHECK(clSetKernelArg(comparer_k_, 8, sizeof(u32), &plen));
+    COF_CL_CHECK(clSetKernelArg(comparer_k_, 9, sizeof(u32), &swar_words));
+    COF_CL_CHECK(clSetKernelArg(comparer_k_, 10, sizeof(u16), &threshold));
+    COF_CL_CHECK(clSetKernelArg(comparer_k_, 11, sizeof(cl_mem), &mmm));
+    COF_CL_CHECK(clSetKernelArg(comparer_k_, 12, sizeof(cl_mem), &dirm));
+    COF_CL_CHECK(clSetKernelArg(comparer_k_, 13, sizeof(cl_mem), &mlocim));
+    COF_CL_CHECK(clSetKernelArg(comparer_k_, 14, sizeof(cl_mem), &count_));
+    const u32 entry_cap = static_cast<u32>(cap);
+    COF_CL_CHECK(clSetKernelArg(comparer_k_, 15, sizeof(u32), &entry_cap));
+    COF_CL_CHECK(
+        clSetKernelArg(comparer_k_, 16, query.swar.size() * sizeof(u64), nullptr));
+    COF_CL_CHECK(
+        clSetKernelArg(comparer_k_, 17, query.mask.size() * sizeof(u16), nullptr));
+
+    const u32 n = enqueue_and_count(comparer_k_, locicnt_, "comparer/opt6");
+    detail::check_entry_capacity("comparer", n, cap);
+    ++metrics_.comparer_launches;
+    metrics_.total_entries += n;
+
+    out.mm.resize(n);
+    out.dir.resize(n);
+    out.loci.resize(n);
+    if (n != 0) {
+      COF_CL_CHECK(clEnqueueReadBuffer(q_, mmm, CL_TRUE, 0, n * sizeof(u16),
+                                       out.mm.data(), 0, nullptr, nullptr));
+      COF_CL_CHECK(clEnqueueReadBuffer(q_, dirm, CL_TRUE, 0, n, out.dir.data(), 0,
+                                       nullptr, nullptr));
+      COF_CL_CHECK(clEnqueueReadBuffer(q_, mlocim, CL_TRUE, 0, n * sizeof(u32),
+                                       out.loci.data(), 0, nullptr, nullptr));
+      metrics_.d2h_bytes += n * (sizeof(u16) + 1 + sizeof(u32));
+    }
+    COF_CL_CHECK(clReleaseMemObject(cswarm));
+    COF_CL_CHECK(clReleaseMemObject(cmaskm));
+    COF_CL_CHECK(clReleaseMemObject(mmm));
+    COF_CL_CHECK(clReleaseMemObject(dirm));
+    COF_CL_CHECK(clReleaseMemObject(mlocim));
+    return out;
+  }
+
   entries run_comparer_batch(const std::vector<device_pattern>& queries,
                              const std::vector<u16>& thresholds) override {
     launch_comparer_batch(queries, thresholds);
@@ -751,6 +1097,10 @@ class opencl_pipeline final : public device_pipeline {
     const u32 nq = static_cast<u32>(queries.size());
     const u32 plen = queries.front().plen;
     COF_CHECK_MSG(plen == plen_, "query length != pattern length");
+    if (opt_.variant == comparer_variant::opt6) {
+      launch_batch_swar(queries, thresholds);
+      return {};
+    }
 
     std::string comp_all;
     std::vector<i32> cidx_all;
@@ -823,6 +1173,88 @@ class opencl_pipeline final : public device_pipeline {
     return {};
   }
 
+  /// Batched comparer, opt6 launch: comparer_multi_opt6 over the
+  /// concatenated per-query SWAR deny masks and ambiguity-fallback LUTs.
+  void launch_batch_swar(const std::vector<device_pattern>& queries,
+                         const std::vector<u16>& thresholds) {
+    const u32 nq = static_cast<u32>(queries.size());
+    const u32 plen = queries.front().plen;
+    const u32 swar_words = queries.front().swar_words;
+    std::vector<u64> swar_all;
+    std::vector<u16> cmask_all;
+    for (const auto& q : queries) {
+      COF_CHECK_MSG(q.plen == plen, "batched queries must share one length");
+      swar_all.insert(swar_all.end(), q.swar.begin(), q.swar.end());
+      cmask_all.insert(cmask_all.end(), q.mask.begin(), q.mask.end());
+    }
+
+    const usize cap = cap_entries(static_cast<usize>(locicnt_) * 2 * nq);
+    batch_cap_ = cap;
+    cl_int err;
+    cl_mem cswarm = clCreateBuffer(ctx_, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
+                                   swar_all.size() * sizeof(u64), swar_all.data(),
+                                   &err);
+    COF_CL_CHECK(err);
+    cl_mem cmaskm = clCreateBuffer(ctx_, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
+                                   cmask_all.size() * sizeof(u16), cmask_all.data(),
+                                   &err);
+    COF_CL_CHECK(err);
+    cl_mem thrm = clCreateBuffer(ctx_, CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
+                                 nq * sizeof(u16),
+                                 const_cast<u16*>(thresholds.data()), &err);
+    COF_CL_CHECK(err);
+    batch_mm_ = clCreateBuffer(ctx_, CL_MEM_WRITE_ONLY, cap * sizeof(u16), nullptr,
+                               &err);
+    COF_CL_CHECK(err);
+    batch_dir_ = clCreateBuffer(ctx_, CL_MEM_WRITE_ONLY, cap, nullptr, &err);
+    COF_CL_CHECK(err);
+    batch_loci_ = clCreateBuffer(ctx_, CL_MEM_WRITE_ONLY, cap * sizeof(u32), nullptr,
+                                 &err);
+    COF_CL_CHECK(err);
+    batch_query_ = clCreateBuffer(ctx_, CL_MEM_WRITE_ONLY, cap * sizeof(u16), nullptr,
+                                  &err);
+    COF_CL_CHECK(err);
+    batch_count_ = clCreateBuffer(ctx_, CL_MEM_READ_WRITE, sizeof(u32), nullptr, &err);
+    COF_CL_CHECK(err);
+    metrics_.h2d_bytes += swar_all.size() * sizeof(u64) +
+                          cmask_all.size() * sizeof(u16) + nq * sizeof(u16);
+    const u32 zero = 0;
+    COF_CL_CHECK(clEnqueueWriteBuffer(q_, batch_count_, CL_TRUE, 0, sizeof(u32),
+                                      &zero, 0, nullptr, nullptr));
+    metrics_.h2d_bytes += sizeof(u32);
+
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 0, sizeof(u32), &locicnt_));
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 1, sizeof(cl_mem), &chr_));
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 2, sizeof(cl_mem), &chr2_));
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 3, sizeof(cl_mem), &amb2_));
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 4, sizeof(cl_mem), &loci_));
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 5, sizeof(cl_mem), &flag_));
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 6, sizeof(cl_mem), &cswarm));
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 7, sizeof(cl_mem), &cmaskm));
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 8, sizeof(cl_mem), &thrm));
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 9, sizeof(u32), &nq));
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 10, sizeof(u32), &plen));
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 11, sizeof(u32), &swar_words));
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 12, sizeof(cl_mem), &batch_mm_));
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 13, sizeof(cl_mem), &batch_dir_));
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 14, sizeof(cl_mem), &batch_loci_));
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 15, sizeof(cl_mem), &batch_query_));
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 16, sizeof(cl_mem), &batch_count_));
+    const u32 entry_cap = static_cast<u32>(cap);
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 17, sizeof(u32), &entry_cap));
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 18,
+                                swar_all.size() * sizeof(u64), nullptr));
+    COF_CL_CHECK(clSetKernelArg(comparer_multi_k_, 19,
+                                cmask_all.size() * sizeof(u16), nullptr));
+
+    enqueue_profiled(comparer_multi_k_, locicnt_, "comparer/batch-opt6");
+    ++metrics_.comparer_launches;
+
+    COF_CL_CHECK(clReleaseMemObject(cswarm));
+    COF_CL_CHECK(clReleaseMemObject(cmaskm));
+    COF_CL_CHECK(clReleaseMemObject(thrm));
+  }
+
   /// Batched comparer, fetch half: deferred download of the staged entry
   /// buffers, then release of the device objects.
   entries fetch_entries() override {
@@ -869,11 +1301,14 @@ class opencl_pipeline final : public device_pipeline {
       case comparer_variant::opt3: return "comparer_opt3";
       case comparer_variant::opt4: return "comparer_opt4";
       case comparer_variant::opt5: return "comparer_opt5";
+      case comparer_variant::opt6: return "comparer_opt6";
     }
     return "comparer";
   }
 
-  bool use_mask() const { return opt_.variant == comparer_variant::opt5; }
+  // opt5 and opt6 both pair with the bitmask-LUT finder (the pattern chars
+  // never reach the device; opt6's ambiguity fallback reuses the same LUTs).
+  bool use_mask() const { return comparer_variant_uses_mask(opt_.variant); }
 
   /// Entry-allocation size for a worst-case demand, honouring the
   /// max_entries cap (0 = worst case, which cannot overflow).
@@ -933,7 +1368,9 @@ class opencl_pipeline final : public device_pipeline {
     if (loci_ != nullptr) clReleaseMemObject(loci_);
     if (flag_ != nullptr) clReleaseMemObject(flag_);
     if (count_ != nullptr) clReleaseMemObject(count_);
-    chr_ = loci_ = flag_ = count_ = nullptr;
+    if (chr2_ != nullptr) clReleaseMemObject(chr2_);
+    if (amb2_ != nullptr) clReleaseMemObject(amb2_);
+    chr_ = loci_ = flag_ = count_ = chr2_ = amb2_ = nullptr;
   }
 
   void release_batch() {
@@ -960,6 +1397,8 @@ class opencl_pipeline final : public device_pipeline {
   cl_mem loci_ = nullptr;
   cl_mem flag_ = nullptr;
   cl_mem count_ = nullptr;
+  cl_mem chr2_ = nullptr;  // opt6 SWAR twin
+  cl_mem amb2_ = nullptr;  // opt6 SWAR twin
   // Staged output of the last launch_comparer_batch (released by
   // fetch_entries or the destructor).
   cl_mem batch_mm_ = nullptr;

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "core/kernels_swar.hpp"
 #include "core/pipeline.hpp"
 #include "syclsim/sycl.hpp"
 #include "util/strings.hpp"
@@ -38,6 +39,15 @@ class sycl_pipeline final : public device_pipeline {
     flag_buf_.emplace(sycl::range<1>(std::max<usize>(1, loci_cap_)));
     count_buf_.emplace(sycl::range<1>(1));
     metrics_.h2d_bytes += chunk_len_;
+    if (opt_.variant == comparer_variant::opt6) {
+      // opt6 keeps a 2-bit packed twin of the chunk resident (plus the
+      // ambiguity flags) for the SWAR comparer; the char chunk stays for the
+      // finder and the ambiguous-base fallback.
+      const swar_ref packed = swar_pack(seq);
+      chr2_buf_.emplace(packed.packed2.data(), sycl::range<1>(packed.packed2.size()));
+      amb2_buf_.emplace(packed.amb2.data(), sycl::range<1>(packed.amb2.size()));
+      metrics_.h2d_bytes += 2 * packed.packed2.size() * sizeof(util::u64);
+    }
   }
 
   u32 run_finder(const device_pattern& pat) override {
@@ -140,7 +150,7 @@ class sycl_pipeline final : public device_pipeline {
     metrics_.h2d_bytes += pat.device_chars() + pat.index.size() * sizeof(i32);
     zero_count(*count_buf_);
 
-    const bool use_mask = opt_.variant == comparer_variant::opt5;
+    const bool use_mask = comparer_variant_uses_mask(opt_.variant);
     if (use_mask) metrics_.h2d_bytes += pat.mask.size() * sizeof(u16);
     detail::kernel_record_scope rec(opt_, "finder");
     q_.submit([&](sycl::handler& cgh) {
@@ -200,6 +210,9 @@ class sycl_pipeline final : public device_pipeline {
     entries out;
     if (locicnt_ == 0) return out;
     COF_CHECK_MSG(query.plen == plen_, "query length != pattern length");
+    if (opt_.variant == comparer_variant::opt6) {
+      return run_comparer_swar<P>(query, threshold);
+    }
 
     const usize lws = opt_.wg_size;
     const usize gws = util::round_up<usize>(locicnt_, lws);
@@ -272,6 +285,15 @@ class sycl_pipeline final : public device_pipeline {
     ++metrics_.comparer_launches;
     rec.finish(stats.wall_nanos);
 
+    return download_entries(mm_buf, dir_buf, mm_loci_buf, ccount_buf, cap);
+  }
+
+  /// Count readback + entry-array download shared by the single-query
+  /// comparer launches (opt5-and-below and the opt6 SWAR twin).
+  entries download_entries(sycl::buffer<u16, 1>& mm_buf, sycl::buffer<char, 1>& dir_buf,
+                           sycl::buffer<u32, 1>& mm_loci_buf,
+                           sycl::buffer<u32, 1>& ccount_buf, usize cap) {
+    entries out;
     const u32 n = read_count(ccount_buf);
     detail::check_entry_capacity("comparer", n, cap);
     out.mm.resize(n);
@@ -299,6 +321,98 @@ class sycl_pipeline final : public device_pipeline {
     return out;
   }
 
+  /// opt6: SWAR comparer over the 2-bit packed chunk twin, raw-char LUT
+  /// fallback for ambiguous reference bases. Non-counting runs additionally
+  /// install the lane-batched row body, which the executor substitutes for
+  /// per-item execution when the host's SIMD lanes are enabled.
+  template <class P>
+  entries run_comparer_swar(const device_pattern& query, u16 threshold) {
+    const usize lws = opt_.wg_size;
+    const usize gws = util::round_up<usize>(locicnt_, lws);
+    const usize cap = cap_entries(static_cast<usize>(locicnt_) * 2);
+
+    sycl::buffer<util::u64, 1> cswar_buf(query.swar_data(),
+                                         sycl::range<1>(query.swar.size()));
+    sycl::buffer<u16, 1> cmask_buf(query.mask_data(), sycl::range<1>(query.mask.size()));
+    sycl::buffer<u16, 1> mm_buf{sycl::range<1>(cap)};
+    sycl::buffer<char, 1> dir_buf{sycl::range<1>(cap)};
+    sycl::buffer<u32, 1> mm_loci_buf{sycl::range<1>(cap)};
+    sycl::buffer<u32, 1> ccount_buf{sycl::range<1>(1)};
+    metrics_.h2d_bytes +=
+        query.swar.size() * sizeof(util::u64) + query.mask.size() * sizeof(u16);
+    zero_count(ccount_buf);
+
+    const std::string tag =
+        std::string("comparer/") + comparer_variant_name(opt_.variant);
+    detail::kernel_record_scope rec(opt_, tag);
+    const u32 locicnt = locicnt_;
+    const u32 plen = query.plen;
+    const u32 swar_words = query.swar_words;
+    const sycl::nd_range<1> ndr{sycl::range<1>(gws), sycl::range<1>(lws)};
+    q_.submit([&](sycl::handler& cgh) {
+       cgh.cof_set_name(tag.c_str());
+       if (!opt_.counting) cgh.cof_hint_single_leading_barrier();
+       auto chr = chr_buf_->get_access<sycl::sycl_read>(cgh);
+       auto chr2 = chr2_buf_->get_access<sycl::sycl_read>(cgh);
+       auto amb2 = amb2_buf_->get_access<sycl::sycl_read>(cgh);
+       auto loci = loci_buf_->get_access<sycl::sycl_read>(cgh);
+       auto flag = flag_buf_->get_access<sycl::sycl_read>(cgh);
+       auto cswar = cswar_buf.get_access<sycl::sycl_read, sycl::sycl_cmem>(cgh);
+       auto cmask = cmask_buf.get_access<sycl::sycl_read, sycl::sycl_cmem>(cgh);
+       auto mm = mm_buf.get_access<sycl::sycl_write>(cgh);
+       auto dir = dir_buf.get_access<sycl::sycl_write>(cgh);
+       auto mloci = mm_loci_buf.get_access<sycl::sycl_write>(cgh);
+       auto cnt = ccount_buf.get_access<sycl::sycl_read_write>(cgh);
+       sycl::local_accessor<util::u64, 1> l_swar(sycl::range<1>(query.swar.size()),
+                                                 cgh);
+       sycl::local_accessor<u16, 1> l_cmask(sycl::range<1>(query.mask.size()), cgh);
+       const auto fill_args = [=](comparer_swar_args& a) {
+         a.locicnts = locicnt;
+         a.chr_packed2 = chr2.get_pointer();
+         a.chr_amb2 = amb2.get_pointer();
+         a.chr = chr.get_pointer();
+         a.loci = loci.get_pointer();
+         a.flag = flag.get_pointer();
+         a.comp_swar = cswar.get_pointer();
+         a.comp_mask = cmask.get_pointer();
+         a.plen = plen;
+         a.swar_words = swar_words;
+         a.threshold = threshold;
+         a.mm_count = mm.get_pointer();
+         a.direction = dir.get_pointer();
+         a.mm_loci = mloci.get_pointer();
+         a.entrycount = cnt.get_pointer();
+         a.entry_capacity = static_cast<u32>(cap);
+       };
+       const auto kernel = [=](sycl::nd_item<1> item) {
+         comparer_swar_args a;
+         fill_args(a);
+         a.l_comp_swar = l_swar.get_pointer();
+         a.l_comp_mask = l_cmask.get_pointer();
+         comparer_swar_kernel<P, sycl::nd_item<1>, true>(item, a);
+       };
+       if (opt_.counting) {
+         cgh.parallel_for(ndr, kernel);
+       } else {
+         cgh.cof_parallel_for_lanes(
+             ndr, kernel, [=](size_t first, size_t nlanes) {
+               comparer_swar_args a;
+               fill_args(a);
+               // Lane rows skip the cooperative fetch; constants are read
+               // straight from the global arrays.
+               a.l_comp_swar = cswar.get_pointer();
+               a.l_comp_mask = cmask.get_pointer();
+               comparer_swar_lanes<true>(a, first, nlanes);
+             });
+       }
+     }).wait();
+    const auto stats = q_.cof_last_launch();
+    metrics_.kernel_nanos += stats.wall_nanos;
+    ++metrics_.comparer_launches;
+    rec.finish(stats.wall_nanos);
+    return download_entries(mm_buf, dir_buf, mm_loci_buf, ccount_buf, cap);
+  }
+
   /// Batched comparer, launch half: one kernel covers every query (see
   /// kernels.hpp/comparer_multi_kernel), consuming the finder's loci/flag
   /// buffers device-side. Output buffers stay device-resident as staged
@@ -306,6 +420,10 @@ class sycl_pipeline final : public device_pipeline {
   template <class P>
   void launch_batch_impl(const std::vector<device_pattern>& queries,
                          const std::vector<u16>& thresholds) {
+    if (opt_.variant == comparer_variant::opt6) {
+      launch_batch_swar<P>(queries, thresholds);
+      return;
+    }
     batch_staged_ = true;
     batch_cap_ = 0;
     if (locicnt_ == 0 || queries.empty()) return;  // fetch yields empty
@@ -404,6 +522,100 @@ class sycl_pipeline final : public device_pipeline {
     rec.finish(stats.wall_nanos);
   }
 
+  /// Batched comparer under opt6: one SWAR kernel covers every query,
+  /// reading loci/flag once per locus (comparer_multi_swar_kernel).
+  template <class P>
+  void launch_batch_swar(const std::vector<device_pattern>& queries,
+                         const std::vector<u16>& thresholds) {
+    batch_staged_ = true;
+    batch_cap_ = 0;
+    if (locicnt_ == 0 || queries.empty()) return;  // fetch yields empty
+    COF_CHECK(queries.size() == thresholds.size());
+    const u32 nq = static_cast<u32>(queries.size());
+    const u32 plen = queries.front().plen;
+    const u32 swar_words = queries.front().swar_words;
+    COF_CHECK_MSG(plen == plen_, "query length != pattern length");
+
+    // Concatenate every query's SWAR deny masks and fallback LUTs.
+    std::vector<util::u64> swar_all;
+    std::vector<u16> cmask_all;
+    for (const auto& q : queries) {
+      COF_CHECK_MSG(q.plen == plen, "batched queries must share one length");
+      swar_all.insert(swar_all.end(), q.swar.begin(), q.swar.end());
+      cmask_all.insert(cmask_all.end(), q.mask.begin(), q.mask.end());
+    }
+
+    const usize lws = opt_.wg_size;
+    const usize gws = util::round_up<usize>(locicnt_, lws);
+    const usize cap = cap_entries(static_cast<usize>(locicnt_) * 2 * nq);
+
+    sycl::buffer<util::u64, 1> cswar_buf(swar_all.data(),
+                                         sycl::range<1>(swar_all.size()));
+    sycl::buffer<u16, 1> cmask_buf(cmask_all.data(), sycl::range<1>(cmask_all.size()));
+    sycl::buffer<u16, 1> thr_buf(thresholds.data(), sycl::range<1>(nq));
+    batch_mm_buf_.emplace(sycl::range<1>(cap));
+    batch_dir_buf_.emplace(sycl::range<1>(cap));
+    batch_loci_buf_.emplace(sycl::range<1>(cap));
+    batch_query_buf_.emplace(sycl::range<1>(cap));
+    batch_count_buf_.emplace(sycl::range<1>(1));
+    batch_cap_ = cap;
+    metrics_.h2d_bytes += swar_all.size() * sizeof(util::u64) +
+                          cmask_all.size() * sizeof(u16) + nq * sizeof(u16);
+    zero_count(*batch_count_buf_);
+
+    detail::kernel_record_scope rec(opt_, "comparer/batch");
+    const u32 locicnt = locicnt_;
+    q_.submit([&](sycl::handler& cgh) {
+       cgh.cof_set_name("comparer/batch");
+       if (!opt_.counting) cgh.cof_hint_single_leading_barrier();
+       auto chr = chr_buf_->get_access<sycl::sycl_read>(cgh);
+       auto chr2 = chr2_buf_->get_access<sycl::sycl_read>(cgh);
+       auto amb2 = amb2_buf_->get_access<sycl::sycl_read>(cgh);
+       auto loci = loci_buf_->get_access<sycl::sycl_read>(cgh);
+       auto flag = flag_buf_->get_access<sycl::sycl_read>(cgh);
+       auto cswar = cswar_buf.get_access<sycl::sycl_read, sycl::sycl_cmem>(cgh);
+       auto cmask = cmask_buf.get_access<sycl::sycl_read, sycl::sycl_cmem>(cgh);
+       auto thr = thr_buf.get_access<sycl::sycl_read, sycl::sycl_cmem>(cgh);
+       auto mm = batch_mm_buf_->get_access<sycl::sycl_write>(cgh);
+       auto dir = batch_dir_buf_->get_access<sycl::sycl_write>(cgh);
+       auto mloci = batch_loci_buf_->get_access<sycl::sycl_write>(cgh);
+       auto mquery = batch_query_buf_->get_access<sycl::sycl_write>(cgh);
+       auto cnt = batch_count_buf_->get_access<sycl::sycl_read_write>(cgh);
+       sycl::local_accessor<util::u64, 1> l_swar(sycl::range<1>(swar_all.size()), cgh);
+       sycl::local_accessor<u16, 1> l_cmask(sycl::range<1>(cmask_all.size()), cgh);
+       cgh.parallel_for(
+           sycl::nd_range<1>(sycl::range<1>(gws), sycl::range<1>(lws)),
+           [=](sycl::nd_item<1> item) {
+             comparer_multi_swar_args a;
+             a.locicnts = locicnt;
+             a.chr_packed2 = chr2.get_pointer();
+             a.chr_amb2 = amb2.get_pointer();
+             a.chr = chr.get_pointer();
+             a.loci = loci.get_pointer();
+             a.flag = flag.get_pointer();
+             a.comp_swar = cswar.get_pointer();
+             a.comp_mask = cmask.get_pointer();
+             a.thresholds = thr.get_pointer();
+             a.nqueries = nq;
+             a.plen = plen;
+             a.swar_words = swar_words;
+             a.mm_count = mm.get_pointer();
+             a.direction = dir.get_pointer();
+             a.mm_loci = mloci.get_pointer();
+             a.mm_query = mquery.get_pointer();
+             a.entrycount = cnt.get_pointer();
+             a.entry_capacity = static_cast<u32>(cap);
+             a.l_comp_swar = l_swar.get_pointer();
+             a.l_comp_mask = l_cmask.get_pointer();
+             comparer_multi_swar_kernel<P, sycl::nd_item<1>, true>(item, a);
+           });
+     }).wait();
+    const auto stats = q_.cof_last_launch();
+    metrics_.kernel_nanos += stats.wall_nanos;
+    ++metrics_.comparer_launches;
+    rec.finish(stats.wall_nanos);
+  }
+
   /// Batched comparer, fetch half: deferred download of the staged entry
   /// buffers (count + four arrays), then release of the device storage.
   entries fetch_staged() {
@@ -446,6 +658,9 @@ class sycl_pipeline final : public device_pipeline {
   sycl::queue q_;
   pipeline_metrics metrics_;
   std::optional<sycl::buffer<char, 1>> chr_buf_;
+  // opt6: 2-bit packed chunk twin + ambiguity flags (see kernels_swar.hpp).
+  std::optional<sycl::buffer<util::u64, 1>> chr2_buf_;
+  std::optional<sycl::buffer<util::u64, 1>> amb2_buf_;
   std::optional<sycl::buffer<u32, 1>> loci_buf_;
   std::optional<sycl::buffer<char, 1>> flag_buf_;
   std::optional<sycl::buffer<u32, 1>> count_buf_;

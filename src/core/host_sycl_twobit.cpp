@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "core/kernels_swar.hpp"
 #include "core/kernels_twobit.hpp"
 #include "core/pipeline.hpp"
 #include "genome/twobit.hpp"
@@ -35,6 +36,14 @@ class sycl_twobit_pipeline final : public device_pipeline {
                         sycl::range<1>(std::max<usize>(1, packed_.packed_bytes())));
     amb_buf_.emplace(packed_.ambiguity_words().data(),
                      sycl::range<1>(std::max<usize>(1, packed_.ambiguity_words().size())));
+    if (opt_.variant == comparer_variant::opt6) {
+      // opt6 twin: 2-bit codes in SWAR word geometry (32 bases/u64 plus tail
+      // padding) next to the nibble-packed chunk the finder reads.
+      const swar_ref swar = swar_pack(seq);
+      chr2_buf_.emplace(swar.packed2.data(), sycl::range<1>(swar.packed2.size()));
+      amb2_buf_.emplace(swar.amb2.data(), sycl::range<1>(swar.amb2.size()));
+      metrics_.h2d_bytes += (swar.packed2.size() + swar.amb2.size()) * sizeof(u64);
+    }
     loci_cap_ = cap_entries(chunk_len_);
     loci_buf_.emplace(sycl::range<1>(std::max<usize>(1, loci_cap_)));
     flag_buf_.emplace(sycl::range<1>(std::max<usize>(1, loci_cap_)));
@@ -163,6 +172,9 @@ class sycl_twobit_pipeline final : public device_pipeline {
     entries out;
     if (locicnt_ == 0) return out;
     COF_CHECK_MSG(query.plen == plen_, "query length != pattern length");
+    if (opt_.variant == comparer_variant::opt6) {
+      return run_comparer_swar<P>(query, threshold);
+    }
     const usize lws = opt_.wg_size;
     const usize gws = util::round_up<usize>(locicnt_, lws);
     const usize cap = cap_entries(static_cast<usize>(locicnt_) * 2);
@@ -249,12 +261,119 @@ class sycl_twobit_pipeline final : public device_pipeline {
     return out;
   }
 
+  /// opt6: SWAR comparer over the 2-bit twin arrays. CharRef = false — this
+  /// facade never keeps the raw chars resident, so ambiguous reference bases
+  /// take the collapsed-'N' path (the per-word 'N' deny mask), exactly the
+  /// semantics of comparer_twobit_kernel. Non-counting runs install the
+  /// lane-batched row body for the executor's SIMD dispatch.
+  template <class P>
+  entries run_comparer_swar(const device_pattern& query, u16 threshold) {
+    const usize lws = opt_.wg_size;
+    const usize gws = util::round_up<usize>(locicnt_, lws);
+    const usize cap = cap_entries(static_cast<usize>(locicnt_) * 2);
+
+    sycl::buffer<u64, 1> cswar_buf(query.swar_data(), sycl::range<1>(query.swar.size()));
+    sycl::buffer<u16, 1> mm_buf{sycl::range<1>(cap)};
+    sycl::buffer<char, 1> dir_buf{sycl::range<1>(cap)};
+    sycl::buffer<u32, 1> mm_loci_buf{sycl::range<1>(cap)};
+    sycl::buffer<u32, 1> ccount_buf{sycl::range<1>(1)};
+    metrics_.h2d_bytes += query.swar.size() * sizeof(u64);
+    zero_count(ccount_buf);
+
+    detail::kernel_record_scope rec(opt_, "comparer/2bit-opt6");
+    const u32 locicnt = locicnt_;
+    const u32 plen = query.plen;
+    const u32 swar_words = query.swar_words;
+    const sycl::nd_range<1> ndr{sycl::range<1>(gws), sycl::range<1>(lws)};
+    q_.submit([&](sycl::handler& cgh) {
+       cgh.cof_set_name("comparer/2bit-opt6");
+       if (!opt_.counting) cgh.cof_hint_single_leading_barrier();
+       auto chr2 = chr2_buf_->get_access<sycl::sycl_read>(cgh);
+       auto amb2 = amb2_buf_->get_access<sycl::sycl_read>(cgh);
+       auto loci = loci_buf_->get_access<sycl::sycl_read>(cgh);
+       auto flag = flag_buf_->get_access<sycl::sycl_read>(cgh);
+       auto cswar = cswar_buf.get_access<sycl::sycl_read, sycl::sycl_cmem>(cgh);
+       auto mm = mm_buf.get_access<sycl::sycl_write>(cgh);
+       auto dir = dir_buf.get_access<sycl::sycl_write>(cgh);
+       auto mloci = mm_loci_buf.get_access<sycl::sycl_write>(cgh);
+       auto cnt = ccount_buf.get_access<sycl::sycl_read_write>(cgh);
+       sycl::local_accessor<u64, 1> l_swar(sycl::range<1>(query.swar.size()), cgh);
+       const auto fill_args = [=](comparer_swar_args& a) {
+         a.locicnts = locicnt;
+         a.chr_packed2 = chr2.get_pointer();
+         a.chr_amb2 = amb2.get_pointer();
+         a.loci = loci.get_pointer();
+         a.flag = flag.get_pointer();
+         a.comp_swar = cswar.get_pointer();
+         a.plen = plen;
+         a.swar_words = swar_words;
+         a.threshold = threshold;
+         a.mm_count = mm.get_pointer();
+         a.direction = dir.get_pointer();
+         a.mm_loci = mloci.get_pointer();
+         a.entrycount = cnt.get_pointer();
+         a.entry_capacity = static_cast<u32>(cap);
+       };
+       const auto kernel = [=](sycl::nd_item<1> item) {
+         comparer_swar_args a;
+         fill_args(a);
+         a.l_comp_swar = l_swar.get_pointer();
+         comparer_swar_kernel<P, sycl::nd_item<1>, false>(item, a);
+       };
+       if (opt_.counting) {
+         cgh.parallel_for(ndr, kernel);
+       } else {
+         cgh.cof_parallel_for_lanes(ndr, kernel, [=](size_t first, size_t nlanes) {
+           comparer_swar_args a;
+           fill_args(a);
+           // Lane rows skip the cooperative fetch; masks come straight from
+           // the constant-memory array.
+           a.l_comp_swar = cswar.get_pointer();
+           comparer_swar_lanes<false>(a, first, nlanes);
+         });
+       }
+     }).wait();
+    const auto stats = q_.cof_last_launch();
+    metrics_.kernel_nanos += stats.wall_nanos;
+    ++metrics_.comparer_launches;
+    rec.finish(stats.wall_nanos);
+
+    entries out;
+    const u32 n = read_count(ccount_buf);
+    detail::check_entry_capacity("comparer", n, cap);
+    out.mm.resize(n);
+    out.dir.resize(n);
+    out.loci.resize(n);
+    if (n != 0) {
+      q_.submit([&](sycl::handler& cgh) {
+         auto acc = mm_buf.get_access<sycl::sycl_read>(cgh, sycl::range<1>(n),
+                                                       sycl::id<1>(0));
+         cgh.copy(acc, out.mm.data());
+       }).wait();
+      q_.submit([&](sycl::handler& cgh) {
+         auto acc = dir_buf.get_access<sycl::sycl_read>(cgh, sycl::range<1>(n),
+                                                        sycl::id<1>(0));
+         cgh.copy(acc, out.dir.data());
+       }).wait();
+      q_.submit([&](sycl::handler& cgh) {
+         auto acc = mm_loci_buf.get_access<sycl::sycl_read>(cgh, sycl::range<1>(n),
+                                                            sycl::id<1>(0));
+         cgh.copy(acc, out.loci.data());
+       }).wait();
+      metrics_.d2h_bytes += n * (sizeof(u16) + 1 + sizeof(u32));
+    }
+    metrics_.total_entries += n;
+    return out;
+  }
+
   pipeline_options opt_;
   sycl::queue q_;
   pipeline_metrics metrics_;
   genome::twobit_seq packed_;
   std::optional<sycl::buffer<u8, 1>> packed_buf_;
   std::optional<sycl::buffer<u64, 1>> amb_buf_;
+  std::optional<sycl::buffer<u64, 1>> chr2_buf_;  // opt6 SWAR twin
+  std::optional<sycl::buffer<u64, 1>> amb2_buf_;  // opt6 SWAR twin
   std::optional<sycl::buffer<u32, 1>> loci_buf_;
   std::optional<sycl::buffer<char, 1>> flag_buf_;
   std::optional<sycl::buffer<u32, 1>> count_buf_;

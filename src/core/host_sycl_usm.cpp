@@ -6,6 +6,7 @@
 // device pointers; only shared local memory still goes through accessors.
 #include <algorithm>
 
+#include "core/kernels_swar.hpp"
 #include "core/pipeline.hpp"
 #include "syclsim/sycl.hpp"
 #include "util/strings.hpp"
@@ -43,6 +44,16 @@ class sycl_usm_pipeline final : public device_pipeline {
     count_ = sycl::malloc_device<u32>(1, q_);
     q_.memcpy(chr_, seq.data(), chunk_len_);
     metrics_.h2d_bytes += chunk_len_;
+    if (opt_.variant == comparer_variant::opt6) {
+      // opt6: device-resident 2-bit packed twin + ambiguity flags for the
+      // SWAR comparer (the char chunk stays for the finder and fallback).
+      const swar_ref packed = swar_pack(seq);
+      chr2_ = sycl::malloc_device<util::u64>(packed.packed2.size(), q_);
+      amb2_ = sycl::malloc_device<util::u64>(packed.amb2.size(), q_);
+      q_.memcpy(chr2_, packed.packed2.data(), packed.packed2.size() * sizeof(util::u64));
+      q_.memcpy(amb2_, packed.amb2.data(), packed.amb2.size() * sizeof(util::u64));
+      metrics_.h2d_bytes += 2 * packed.packed2.size() * sizeof(util::u64);
+    }
   }
 
   u32 run_finder(const device_pattern& pat) override {
@@ -100,10 +111,14 @@ class sycl_usm_pipeline final : public device_pipeline {
  private:
   void release_chunk() {
     sycl::free(chr_, q_);
+    sycl::free(chr2_, q_);
+    sycl::free(amb2_, q_);
     sycl::free(loci_, q_);
     sycl::free(flag_, q_);
     sycl::free(count_, q_);
     chr_ = nullptr;
+    chr2_ = nullptr;
+    amb2_ = nullptr;
     loci_ = nullptr;
     flag_ = nullptr;
     count_ = nullptr;
@@ -145,7 +160,7 @@ class sycl_usm_pipeline final : public device_pipeline {
     q_.memcpy(patd, pat.data(), pat.device_chars());
     q_.memcpy(idxd, pat.index_data(), pat.index.size() * sizeof(i32));
     metrics_.h2d_bytes += pat.device_chars() + pat.index.size() * sizeof(i32);
-    const bool use_mask = opt_.variant == comparer_variant::opt5;
+    const bool use_mask = comparer_variant_uses_mask(opt_.variant);
     if (use_mask) {
       q_.memcpy(maskd, pat.mask_data(), pat.mask.size() * sizeof(u16));
       metrics_.h2d_bytes += pat.mask.size() * sizeof(u16);
@@ -207,6 +222,9 @@ class sycl_usm_pipeline final : public device_pipeline {
     entries out;
     if (locicnt_ == 0) return out;
     COF_CHECK_MSG(query.plen == plen_, "query length != pattern length");
+    if (opt_.variant == comparer_variant::opt6) {
+      return run_comparer_swar<P>(query, threshold);
+    }
     const usize lws = opt_.wg_size;
     const usize gws = util::round_up<usize>(locicnt_, lws);
     const usize cap = cap_entries(static_cast<usize>(locicnt_) * 2);
@@ -293,12 +311,110 @@ class sycl_usm_pipeline final : public device_pipeline {
     return out;
   }
 
+  /// opt6: SWAR comparer over the packed USM twin of the chunk, raw-char
+  /// LUT fallback for ambiguous bases. Non-counting runs install the
+  /// lane-batched row body (AVX2 when the host has it, scalar otherwise).
+  template <class P>
+  entries run_comparer_swar(const device_pattern& query, u16 threshold) {
+    entries out;
+    const usize lws = opt_.wg_size;
+    const usize gws = util::round_up<usize>(locicnt_, lws);
+    const usize cap = cap_entries(static_cast<usize>(locicnt_) * 2);
+
+    util::u64* csward = sycl::malloc_device<util::u64>(query.swar.size(), q_);
+    u16* cmaskd = sycl::malloc_device<u16>(query.mask.size(), q_);
+    u16* mmd = sycl::malloc_device<u16>(cap, q_);
+    char* dird = sycl::malloc_device<char>(cap, q_);
+    u32* mlocid = sycl::malloc_device<u32>(cap, q_);
+    u32* ccountd = sycl::malloc_device<u32>(1, q_);
+    q_.memcpy(csward, query.swar_data(), query.swar.size() * sizeof(util::u64));
+    q_.memcpy(cmaskd, query.mask_data(), query.mask.size() * sizeof(u16));
+    metrics_.h2d_bytes +=
+        query.swar.size() * sizeof(util::u64) + query.mask.size() * sizeof(u16);
+    zero_count(ccountd);
+
+    const std::string tag =
+        std::string("comparer/") + comparer_variant_name(opt_.variant);
+    detail::kernel_record_scope rec(opt_, tag);
+    comparer_swar_args base;
+    base.locicnts = locicnt_;
+    base.chr_packed2 = chr2_;
+    base.chr_amb2 = amb2_;
+    base.chr = chr_;
+    base.loci = loci_;
+    base.flag = flag_;
+    base.comp_swar = csward;
+    base.comp_mask = cmaskd;
+    base.plen = query.plen;
+    base.swar_words = query.swar_words;
+    base.threshold = threshold;
+    base.mm_count = mmd;
+    base.direction = dird;
+    base.mm_loci = mlocid;
+    base.entrycount = ccountd;
+    base.entry_capacity = static_cast<u32>(cap);
+    const sycl::nd_range<1> ndr{sycl::range<1>(gws), sycl::range<1>(lws)};
+    q_.submit([&](sycl::handler& cgh) {
+       cgh.cof_set_name(tag.c_str());
+       if (!opt_.counting) cgh.cof_hint_single_leading_barrier();
+       sycl::local_accessor<util::u64, 1> l_swar(sycl::range<1>(query.swar.size()),
+                                                 cgh);
+       sycl::local_accessor<u16, 1> l_cmask(sycl::range<1>(query.mask.size()), cgh);
+       const auto kernel = [=](sycl::nd_item<1> item) {
+         comparer_swar_args a = base;
+         a.l_comp_swar = l_swar.get_pointer();
+         a.l_comp_mask = l_cmask.get_pointer();
+         comparer_swar_kernel<P, sycl::nd_item<1>, true>(item, a);
+       };
+       if (opt_.counting) {
+         cgh.parallel_for(ndr, kernel);
+       } else {
+         cgh.cof_parallel_for_lanes(ndr, kernel, [=](size_t first, size_t nlanes) {
+           comparer_swar_args a = base;
+           // Lane rows skip the cooperative fetch; constants come straight
+           // from the device-global arrays (read-only through these aliases).
+           a.l_comp_swar = const_cast<util::u64*>(a.comp_swar);
+           a.l_comp_mask = const_cast<u16*>(a.comp_mask);
+           comparer_swar_lanes<true>(a, first, nlanes);
+         });
+       }
+     }).wait();
+    const auto stats = q_.cof_last_launch();
+    metrics_.kernel_nanos += stats.wall_nanos;
+    ++metrics_.comparer_launches;
+    rec.finish(stats.wall_nanos);
+
+    const u32 n = read_count(ccountd);
+    detail::check_entry_capacity("comparer", n, cap);
+    out.mm.resize(n);
+    out.dir.resize(n);
+    out.loci.resize(n);
+    if (n != 0) {
+      q_.memcpy(out.mm.data(), mmd, n * sizeof(u16));
+      q_.memcpy(out.dir.data(), dird, n);
+      q_.memcpy(out.loci.data(), mlocid, n * sizeof(u32));
+      metrics_.d2h_bytes += n * (sizeof(u16) + 1 + sizeof(u32));
+    }
+    metrics_.total_entries += n;
+    sycl::free(csward, q_);
+    sycl::free(cmaskd, q_);
+    sycl::free(mmd, q_);
+    sycl::free(dird, q_);
+    sycl::free(mlocid, q_);
+    sycl::free(ccountd, q_);
+    return out;
+  }
+
   /// Batched comparer, launch half: one multi-query kernel over the
   /// device-resident loci/flag arrays; output allocations stay on device
   /// (staged members) until fetch_staged() downloads and frees them.
   template <class P>
   void launch_batch_impl(const std::vector<device_pattern>& queries,
                          const std::vector<u16>& thresholds) {
+    if (opt_.variant == comparer_variant::opt6) {
+      launch_batch_swar<P>(queries, thresholds);
+      return;
+    }
     release_batch();
     batch_staged_ = true;
     if (locicnt_ == 0 || queries.empty()) return;  // fetch yields empty
@@ -400,6 +516,92 @@ class sycl_usm_pipeline final : public device_pipeline {
     sycl::free(thrd, q_);
   }
 
+  /// Batched comparer under opt6: one multi-query SWAR kernel
+  /// (comparer_multi_swar_kernel), loci/flag read once per locus.
+  template <class P>
+  void launch_batch_swar(const std::vector<device_pattern>& queries,
+                         const std::vector<u16>& thresholds) {
+    release_batch();
+    batch_staged_ = true;
+    if (locicnt_ == 0 || queries.empty()) return;  // fetch yields empty
+    COF_CHECK(queries.size() == thresholds.size());
+    const u32 nq = static_cast<u32>(queries.size());
+    const u32 plen = queries.front().plen;
+    const u32 swar_words = queries.front().swar_words;
+    COF_CHECK_MSG(plen == plen_, "query length != pattern length");
+
+    std::vector<util::u64> swar_all;
+    std::vector<u16> cmask_all;
+    for (const auto& q : queries) {
+      COF_CHECK_MSG(q.plen == plen, "batched queries must share one length");
+      swar_all.insert(swar_all.end(), q.swar.begin(), q.swar.end());
+      cmask_all.insert(cmask_all.end(), q.mask.begin(), q.mask.end());
+    }
+
+    const usize lws = opt_.wg_size;
+    const usize gws = util::round_up<usize>(locicnt_, lws);
+    const usize cap = cap_entries(static_cast<usize>(locicnt_) * 2 * nq);
+    batch_cap_ = cap;
+
+    util::u64* csward = sycl::malloc_device<util::u64>(swar_all.size(), q_);
+    u16* cmaskd = sycl::malloc_device<u16>(cmask_all.size(), q_);
+    u16* thrd = sycl::malloc_device<u16>(nq, q_);
+    batch_mm_ = sycl::malloc_device<u16>(cap, q_);
+    batch_dir_ = sycl::malloc_device<char>(cap, q_);
+    batch_loci_ = sycl::malloc_device<u32>(cap, q_);
+    batch_query_ = sycl::malloc_device<u16>(cap, q_);
+    batch_count_ = sycl::malloc_device<u32>(1, q_);
+    q_.memcpy(csward, swar_all.data(), swar_all.size() * sizeof(util::u64));
+    q_.memcpy(cmaskd, cmask_all.data(), cmask_all.size() * sizeof(u16));
+    q_.memcpy(thrd, thresholds.data(), nq * sizeof(u16));
+    metrics_.h2d_bytes += swar_all.size() * sizeof(util::u64) +
+                          cmask_all.size() * sizeof(u16) + nq * sizeof(u16);
+    zero_count(batch_count_);
+
+    detail::kernel_record_scope rec(opt_, "comparer/batch");
+    comparer_multi_swar_args base;
+    base.locicnts = locicnt_;
+    base.chr_packed2 = chr2_;
+    base.chr_amb2 = amb2_;
+    base.chr = chr_;
+    base.loci = loci_;
+    base.flag = flag_;
+    base.comp_swar = csward;
+    base.comp_mask = cmaskd;
+    base.thresholds = thrd;
+    base.nqueries = nq;
+    base.plen = plen;
+    base.swar_words = swar_words;
+    base.mm_count = batch_mm_;
+    base.direction = batch_dir_;
+    base.mm_loci = batch_loci_;
+    base.mm_query = batch_query_;
+    base.entrycount = batch_count_;
+    base.entry_capacity = static_cast<u32>(cap);
+    q_.submit([&](sycl::handler& cgh) {
+       cgh.cof_set_name("comparer/batch");
+       if (!opt_.counting) cgh.cof_hint_single_leading_barrier();
+       sycl::local_accessor<util::u64, 1> l_swar(sycl::range<1>(swar_all.size()), cgh);
+       sycl::local_accessor<u16, 1> l_cmask(sycl::range<1>(cmask_all.size()), cgh);
+       cgh.parallel_for(sycl::nd_range<1>(sycl::range<1>(gws), sycl::range<1>(lws)),
+                        [=](sycl::nd_item<1> item) {
+                          comparer_multi_swar_args a = base;
+                          a.l_comp_swar = l_swar.get_pointer();
+                          a.l_comp_mask = l_cmask.get_pointer();
+                          comparer_multi_swar_kernel<P, sycl::nd_item<1>, true>(item,
+                                                                                a);
+                        });
+     }).wait();
+    const auto stats = q_.cof_last_launch();
+    metrics_.kernel_nanos += stats.wall_nanos;
+    ++metrics_.comparer_launches;
+    rec.finish(stats.wall_nanos);
+
+    sycl::free(csward, q_);
+    sycl::free(cmaskd, q_);
+    sycl::free(thrd, q_);
+  }
+
   /// Batched comparer, fetch half: deferred download + free of the staged
   /// device allocations.
   entries fetch_staged() {
@@ -444,6 +646,9 @@ class sycl_usm_pipeline final : public device_pipeline {
   sycl::queue q_;
   pipeline_metrics metrics_;
   char* chr_ = nullptr;
+  // opt6: 2-bit packed chunk twin + ambiguity flags (see kernels_swar.hpp).
+  util::u64* chr2_ = nullptr;
+  util::u64* amb2_ = nullptr;
   u32* loci_ = nullptr;
   char* flag_ = nullptr;
   u32* count_ = nullptr;

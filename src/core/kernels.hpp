@@ -77,6 +77,7 @@ struct direct_mem {
     u32 atomic_inc(u32* ptr) const { return std::atomic_ref<u32>(*ptr).fetch_add(1u); }
     void count_compare() const {}
     void count_mask() const {}
+    void count_swar() const {}
     void count_loop() const {}
     void count_branch() const {}
   };
@@ -124,6 +125,7 @@ struct counting_mem {
     }
     void count_compare() { ++c[prof::ev::compare]; }
     void count_mask() { ++c[prof::ev::mask_op]; }
+    void count_swar() { ++c[prof::ev::swar_op]; }
     void count_loop() { ++c[prof::ev::loop_iter]; }
     void count_branch() { ++c[prof::ev::branch]; }
   };
@@ -300,8 +302,8 @@ struct comparer_args {
   u16* l_comp_mask = nullptr;       // local, 2*plen (opt5 only)
 };
 
-enum class comparer_variant : int { base = 0, opt1, opt2, opt3, opt4, opt5 };
-inline constexpr int kNumComparerVariants = 6;
+enum class comparer_variant : int { base = 0, opt1, opt2, opt3, opt4, opt5, opt6 };
+inline constexpr int kNumComparerVariants = 7;
 
 inline const char* comparer_variant_name(comparer_variant v) {
   switch (v) {
@@ -311,8 +313,16 @@ inline const char* comparer_variant_name(comparer_variant v) {
     case comparer_variant::opt3: return "opt3";
     case comparer_variant::opt4: return "opt4";
     case comparer_variant::opt5: return "opt5";
+    case comparer_variant::opt6: return "opt6";
   }
   return "?";
+}
+
+/// Variants whose mismatch test consumes the precomputed deny-LUT masks
+/// (opt5's per-character LUT; opt6 derives its per-word SWAR masks from the
+/// same table). These pair with the bitmask-LUT finder.
+inline constexpr bool comparer_variant_uses_mask(comparer_variant v) {
+  return v >= comparer_variant::opt5;
 }
 
 namespace detail {
@@ -649,7 +659,9 @@ inline void comparer_multi_kernel_mask(const Item& it, const comparer_multi_args
   detail::comparer_multi_impl<P, Item, true>(it, a);
 }
 
-/// Uniform dispatch: run the selected comparer variant.
+/// Uniform dispatch: run the selected comparer variant. opt6 consumes the
+/// two-bit SWAR argument block instead (kernels_swar.hpp); callers route it
+/// before reaching this switch.
 template <class P, class Item>
 inline void comparer_dispatch(comparer_variant v, const Item& it,
                               const comparer_args& a) {
@@ -660,6 +672,9 @@ inline void comparer_dispatch(comparer_variant v, const Item& it,
     case comparer_variant::opt3: comparer_opt3<P>(it, a); return;
     case comparer_variant::opt4: comparer_opt4<P>(it, a); return;
     case comparer_variant::opt5: comparer_opt5<P>(it, a); return;
+    case comparer_variant::opt6:
+      COF_CHECK_MSG(false, "opt6 dispatches through comparer_swar_args");
+      return;
   }
 }
 

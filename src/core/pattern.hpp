@@ -24,17 +24,28 @@ using util::i32;
 using util::u32;
 using util::usize;
 
+/// u64 entries per (half, word) in device_pattern::swar: four per-reference-
+/// code deny masks (A, C, G, T order) followed by the ambiguous-reference
+/// ('N') deny mask. Each mask carries one bit per base at even bit positions
+/// (bit 2*j for base j of the word), aligned with the 2-bit packed reference
+/// words the opt6 comparer scans (kernels_swar.hpp).
+inline constexpr usize kSwarMasksPerWord = 5;
+
 /// Device-ready arrays for one search/compare sequence pair.
 struct device_pattern {
   std::string seq;             // normalised input (upper case, U->T)
   std::string fwrc;            // seq + reverse_complement(seq), 2*plen chars
   std::vector<i32> index;      // 2*plen entries, -1-terminated per half
   std::vector<util::u16> mask; // 2*plen deny LUTs (opt5; see iupac.hpp)
+  std::vector<util::u64> swar; // 2*swar_words*kSwarMasksPerWord per-word deny
+                               // masks (opt6; derived from `mask`)
   u32 plen = 0;
+  u32 swar_words = 0;          // 32-base words covering one half (ceil(plen/32))
 
   const char* data() const { return fwrc.data(); }
   const i32* index_data() const { return index.data(); }
   const util::u16* mask_data() const { return mask.data(); }
+  const util::u64* swar_data() const { return swar.data(); }
   usize device_chars() const { return fwrc.size(); }
 };
 

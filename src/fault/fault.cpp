@@ -105,8 +105,9 @@ void apply_one(registry_t& r, std::string_view spec) {
 
 const std::vector<std::string>& known_sites() {
   static const std::vector<std::string> sites = {
-      site::dev_alloc,  site::dev_launch,  site::pipe_event, site::queue_push,
-      site::queue_pop,  site::spill_write, site::spill_merge, site::entry_clamp};
+      site::dev_alloc,  site::dev_launch,  site::pipe_event,  site::queue_push,
+      site::queue_pop,  site::spill_write, site::spill_merge, site::entry_clamp,
+      site::exec_kernel, site::fasta_parse};
   return sites;
 }
 

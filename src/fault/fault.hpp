@@ -1,7 +1,9 @@
 // Deterministic fault-injection registry. Named sites are wired through the
 // layers of the engine that can actually fail in production — device
-// allocation and kernel launch in the host facades, pipe-event completion,
-// bounded-queue hand-off, spill-run I/O, and the entry-capacity check — and
+// allocation and kernel launch in the host facades, mid-kernel work-group
+// execution in the xpu executor, pipe-event completion, bounded-queue
+// hand-off, spill-run I/O, the entry-capacity check, and mid-parse FASTA
+// decode — and
 // armed per run from the COF_FAULT environment variable, engine_options::
 // faults, or the CLI's --fault flag.
 //
@@ -54,6 +56,8 @@ inline constexpr const char* queue_pop = "queue.pop";      // consumer chunk tak
 inline constexpr const char* spill_write = "spill.write";  // spill-run append
 inline constexpr const char* spill_merge = "spill.merge";  // k-way run merge
 inline constexpr const char* entry_clamp = "entry.clamp";  // entry-capacity check
+inline constexpr const char* exec_kernel = "exec.kernel";  // mid-kernel, per work-group
+inline constexpr const char* fasta_parse = "fasta.parse";  // mid-parse, per FASTA line block
 }  // namespace site
 
 /// Every site the engine wires an injection point through.

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "fault/fault.hpp"
 #include "genome/iupac.hpp"
 #include "genome/twobit_file.hpp"
 #include "util/strings.hpp"
@@ -36,6 +37,9 @@ std::vector<chromosome> parse_fasta(std::string_view text) {
       continue;
     }
     COF_CHECK_MSG(cur != nullptr, "FASTA sequence data before any '>' header");
+    // Mid-parse fault site: one hit per sequence line, so hit:N lands inside
+    // a record with part of its bases already appended.
+    fault::inject_point(fault::site::fasta_parse);
     cur->seq.reserve(cur->seq.size() + line.size());
     for (char c : line) {
       if (std::isspace(static_cast<unsigned char>(c))) continue;

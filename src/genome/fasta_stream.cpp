@@ -4,6 +4,7 @@
 #include <cctype>
 #include <filesystem>
 
+#include "fault/fault.hpp"
 #include "genome/iupac.hpp"
 #include "util/strings.hpp"
 
@@ -15,6 +16,9 @@ fasta_stream::fasta_stream(const std::string& path)
 }
 
 bool fasta_stream::fill_line() {
+  // Same mid-parse site as the buffered parser: one hit per line pulled off
+  // the file, firing inside next_record/read_bases of a live stream.
+  fault::inject_point(fault::site::fasta_parse);
   line_.clear();
   line_pos_ = 0;
   while (std::getline(in_, line_)) {

@@ -249,7 +249,9 @@ kir_kernel build_comparer_variant(cof::comparer_variant v, const build_params& p
   // opt5 instead deletes the chain entirely (deny-LUT test), so there is
   // nothing left to promote and scalar pressure stays at opt3 levels.
   if (v == cv::opt4) pass_promote_lds_to_reg(k, p);
-  if (v == cv::opt5) pass_mask_lut(k, p);
+  if (v == cv::opt5 || v == cv::opt6) pass_mask_lut(k, p);
+  // opt6 collapses the deny-LUT iterations into 64-bit SWAR word tests.
+  if (v == cv::opt6) pass_swar(k, p);
   k.name = std::string("comparer/") + cof::comparer_variant_name(v);
   return k;
 }

@@ -280,4 +280,110 @@ void pass_mask_lut(kir_kernel& k, const build_params& p) {
   k.lds_bytes = p.plen * 2 * (2 + 4);
 }
 
+void pass_swar(kir_kernel& k, const build_params& p) {
+  // Applied on top of opt5: each strand's unrolled per-character loop
+  // (lds_read l_comp_index, byte-wide chr load, deny-LUT test — repeated
+  // main_unroll times) collapses into ceil(plen/32) word evaluations of the
+  // 2-bit packed chunk: an unaligned two-word window fetch of packed codes
+  // and ambiguity flags, shift-combine, four XOR/AND SWAR tests against the
+  // per-word deny masks in LDS, and one popcount feeding the running
+  // mismatch count. Iterations are located by their l_comp_index read and
+  // consumed through their lmm-increment/threshold/branch tail; the first
+  // iteration of a half is rewritten, the rest are deleted.
+  static const std::string kIdxKey = "l_comp_index/";
+  const u32 words = (p.plen + 31) / 32;
+  std::vector<kir_op> out;
+  out.reserve(k.ops.size());
+  bool removed_any = false;
+  usize i = 0;
+  while (i < k.ops.size()) {
+    const kir_op& op = k.ops[i];
+    if (!(op.kind == op_kind::lds_read && util::starts_with(op.addr_key, kIdxKey))) {
+      out.push_back(op);
+      ++i;
+      continue;
+    }
+    removed_any = true;
+    const std::string iu = op.addr_key.substr(kIdxKey.size());
+    // Consume the whole iteration: everything up to and including the
+    // branch that follows the vcmp that follows the lmm self-increment
+    // (valu whose def appears in its own uses).
+    usize j = i;
+    int lmm = -1;
+    while (j < k.ops.size()) {
+      const kir_op& cur = k.ops[j];
+      if (cur.kind == op_kind::branch && j >= i + 2 &&
+          k.ops[j - 1].kind == op_kind::vcmp && k.ops[j - 2].kind == op_kind::valu &&
+          k.ops[j - 2].def >= 0 && !k.ops[j - 2].uses.empty() &&
+          k.ops[j - 2].def == k.ops[j - 2].uses[0]) {
+        lmm = k.ops[j - 2].def;
+        ++j;
+        break;
+      }
+      ++j;
+    }
+    COF_CHECK_MSG(lmm >= 0, "swar pass expects the lmm increment/branch tail");
+    if (iu.size() >= 2 && iu.compare(iu.size() - 2, 2, "#0") == 0) {
+      const std::string h = iu.substr(0, iu.size() - 2);
+      const usize mark = k.ops.size();
+      for (u32 w = 0; w < words; ++w) {
+        const std::string wk = h + util::format("@%u", w);
+        // Two-word window fetch of the packed codes and ambiguity flags
+        // (one shared address computation per array).
+        const int pa = k.new_value();
+        k.emit(op_kind::valu, "chr2[a]/" + wk, pa);
+        const int lo = k.new_value(), hi = k.new_value();
+        k.emit(op_kind::vmem_load, "chr2[lo]/" + wk, lo, {pa});
+        k.emit(op_kind::vmem_load, "chr2[hi]/" + wk, hi, {pa});
+        const int aa = k.new_value();
+        k.emit(op_kind::valu, "amb2[a]/" + wk, aa);
+        const int alo = k.new_value(), ahi = k.new_value();
+        k.emit(op_kind::vmem_load, "amb2[lo]/" + wk, alo, {aa});
+        k.emit(op_kind::vmem_load, "amb2[hi]/" + wk, ahi, {aa});
+        // Shift-combine into the 64-bit window (ref and amb), plus the
+        // ragged-tail active mask.
+        const int ref = k.new_value();
+        k.emit(op_kind::valu, "", ref, {lo, hi});
+        k.emit(op_kind::valu, "", ref, {lo, hi});
+        const int amb = k.new_value();
+        k.emit(op_kind::valu, "", amb, {alo, ahi});
+        k.emit(op_kind::valu, "", amb, {alo, ahi});
+        // Four code tests: deny-mask LDS read, XOR/NOT/AND fold, OR into
+        // the accumulated mismatch word.
+        const int mm = k.new_value();
+        k.emit(op_kind::valu, "", mm);
+        for (int c = 0; c < 4; ++c) {
+          const int deny = k.new_value();
+          k.emit(op_kind::lds_read,
+                 "l_comp_swar/" + wk + util::format("#%d", c), deny);
+          const int eq = k.new_value();
+          k.emit(op_kind::valu, "", eq, {ref});
+          k.emit(op_kind::valu, "", mm, {mm, eq, deny});
+        }
+        // Mask off ambiguous lanes ('N' deny-mask fallback) and popcount
+        // into the running mismatch count.
+        const int ndeny = k.new_value();
+        k.emit(op_kind::lds_read, "l_comp_swar/" + wk + "#n", ndeny);
+        const int pc = k.new_value();
+        k.emit(op_kind::valu, "", pc, {mm, amb, ndeny});
+        k.emit(op_kind::valu, "", pc, {pc});
+        k.emit(op_kind::valu, "", lmm, {lmm, pc});
+        // Threshold early-exit.
+        k.emit(op_kind::vcmp, "", -1, {lmm});
+        k.emit(op_kind::branch, "");
+      }
+      // emit() appended to k.ops; move the new block into place.
+      out.insert(out.end(), k.ops.begin() + static_cast<long>(mark), k.ops.end());
+      k.ops.erase(k.ops.begin() + static_cast<long>(mark), k.ops.end());
+    }
+    i = j;  // drop the consumed iteration
+  }
+  COF_CHECK_MSG(removed_any, "swar pass found no unrolled compare iterations");
+  k.ops = std::move(out);
+  dce_dead_valu(k);
+  // LDS now holds the per-word deny masks plus the opt5 LUTs retained for
+  // the ambiguity fallback.
+  k.lds_bytes = 2 * words * 5 * 8 + p.plen * 2 * 2;
+}
+
 }  // namespace gpumodel

@@ -24,6 +24,12 @@
 //     values need promoting (the chain is gone), so scalar pressure stays at
 //     opt3 levels and occupancy holds at 10 waves while the code shrinks
 //     well below opt4's.
+//   pass_swar               (opt6) — applied on top of mask_lut: each
+//     strand's unrolled per-character loop collapses into ceil(plen/32)
+//     two-bit SWAR word evaluations (two-word window fetch, shift-combine,
+//     four XOR/AND deny-mask tests, popcount), so the static code shrinks
+//     again while the per-word LDS deny masks join the retained opt5 LUTs
+//     (the ambiguity fallback) in local memory.
 #pragma once
 
 #include "gpumodel/builder.hpp"
@@ -36,5 +42,6 @@ void pass_register_hoist(kir_kernel& k);
 void pass_cooperative_fetch(kir_kernel& k, const build_params& p);
 void pass_promote_lds_to_reg(kir_kernel& k, const build_params& p);
 void pass_mask_lut(kir_kernel& k, const build_params& p);
+void pass_swar(kir_kernel& k, const build_params& p);
 
 }  // namespace gpumodel

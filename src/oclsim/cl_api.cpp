@@ -438,7 +438,16 @@ cl_int clEnqueueNDRangeKernel(cl_command_queue q, cl_kernel kernel, cl_uint work
                  ? def->invoke_counting
                  : def->invoke;
   const cl_ulong start = util::stopwatch::now_nanos();
-  q->device->impl().run(cfg, [fn, &view](xpu::xitem& item) { fn(view, item); });
+  if (!oclsim::profiling_mode() && def->invoke_lanes != nullptr) {
+    auto* lfn = def->invoke_lanes;
+    q->device->impl().run_lanes(
+        cfg, [fn, &view](xpu::xitem& item) { fn(view, item); },
+        [lfn, &view](const xpu::xitem& first, usize n) {
+          lfn(view, first.get_global_id(0), n);
+        });
+  } else {
+    q->device->impl().run(cfg, [fn, &view](xpu::xitem& item) { fn(view, item); });
+  }
   const cl_ulong end = util::stopwatch::now_nanos();
   maybe_out_event(event_out, queued, start, end);
   return CL_SUCCESS;

@@ -90,6 +90,14 @@ struct kernel_def {
   /// executor path. Ignored while profiling (the counting twin would be
   /// constructed twice per item, double-counting work_items).
   bool single_leading_barrier = false;
+  /// Optional lane-batched row body (executor.hpp, kernel_invoke_lanes_fn):
+  /// covers the whole dim-0 row of work-items starting at global id
+  /// `first_gid0`, reading its constants from the global arguments (no
+  /// barrier, no local args). Enqueues hand it to the executor's lane
+  /// dispatch when profiling is off; per-item `invoke` remains the fallback
+  /// for scalar-forced hosts.
+  void (*invoke_lanes)(const arg_view& args, usize first_gid0,
+                       usize nlanes) = nullptr;
 };
 
 /// Driver-level profiling toggle: while on, enqueues run the counting twin

@@ -26,6 +26,8 @@ enum class ev : int {
   atomic_op,           // device-scope atomics
   compare,             // base-vs-pattern character comparisons
   mask_op,             // bitmask-LUT mismatch tests (opt5: shift + AND)
+  swar_op,             // 64-bit SWAR word evaluations (opt6: XOR/AND/popcount
+                       // over 32 packed bases at once)
   branch,              // divergent-branch events (early exits etc.)
   loop_iter,           // inner-loop iterations
   work_item,           // work-items executed

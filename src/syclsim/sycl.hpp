@@ -803,6 +803,41 @@ class handler {
   /// still reaches barrier() under this hint aborts deterministically.
   void cof_hint_single_leading_barrier() { single_leading_barrier_hint_ = true; }
 
+  /// parallel_for plus a lane-batched row body `lanes(first_gid0, nlanes)`
+  /// covering the contiguous dim-0 row of work-items that starts at global
+  /// id `first_gid0`. The executor substitutes it for per-item invocation
+  /// (including the cooperative fetch phase) when the host's SIMD lanes are
+  /// enabled (util::simd_lanes_enabled()); otherwise `kernel` runs per item
+  /// as usual. The row body must therefore be self-contained: no barrier,
+  /// no local_accessor — it reads its constants from global memory.
+  template <int D, class K, class L>
+  void cof_parallel_for_lanes(const nd_range<D>& ndr, const K& kernel,
+                              const L& lanes) {
+    xpu::launch_config cfg = base_cfg();
+    cfg.dims = D;
+    for (int i = 0; i < D; ++i) {
+      cfg.global[i] = ndr.get_global_range()[i];
+      cfg.local[i] = ndr.get_local_range()[i];
+      if (cfg.local[i] == 0 || cfg.global[i] % cfg.local[i] != 0) {
+        throw exception("nd_range: local size must divide global size",
+                        errc::nd_range);
+      }
+    }
+    cfg.uses_barrier = !no_barrier_hint_;
+    cfg.single_leading_barrier = single_leading_barrier_hint_;
+    pending_ = [kernel, lanes, cfg, this] {
+      stats_ = dev().run_lanes(
+          cfg,
+          [&kernel](xpu::xitem& xi) {
+            nd_item<D> it(&xi);
+            kernel(it);
+          },
+          [&lanes](const xpu::xitem& first, size_t n) {
+            lanes(first.get_global_id(0), n);
+          });
+    };
+  }
+
  private:
   friend class queue;
   template <class, int, access::mode, access::target>

@@ -1,0 +1,50 @@
+#include "util/cpufeat.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace util {
+
+namespace {
+
+cpu_features detect() {
+  cpu_features f;
+#if defined(__x86_64__) || defined(_M_X64)
+  __builtin_cpu_init();
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.popcnt = __builtin_cpu_supports("popcnt");
+#endif
+  return f;
+}
+
+bool env_force_scalar() {
+  const char* v = std::getenv("COF_FORCE_SCALAR");
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+std::atomic<bool>& force_flag() {
+  static std::atomic<bool> flag(env_force_scalar());
+  return flag;
+}
+
+}  // namespace
+
+const cpu_features& cpu() {
+  static const cpu_features f = detect();
+  return f;
+}
+
+void force_scalar(bool on) { force_flag().store(on, std::memory_order_relaxed); }
+
+bool force_scalar() {
+#if defined(COF_FORCE_SCALAR_BUILD)
+  return true;
+#else
+  return force_flag().load(std::memory_order_relaxed);
+#endif
+}
+
+bool simd_lanes_enabled() { return cpu().avx2 && !force_scalar(); }
+
+}  // namespace util

@@ -1,0 +1,33 @@
+// Runtime CPU-feature detection for the SIMD lane-dispatch path (opt6).
+//
+// The xpu executor and the SWAR comparer pick between an AVX2 lane-batched
+// body and a scalar per-work-item loop at runtime, so one binary runs
+// correctly on any x86-64 host (and non-x86 hosts fall back to scalar
+// unconditionally). Tests pin either path: the COF_FORCE_SCALAR environment
+// variable (read once, at first query) or force_scalar() disable the SIMD
+// path process-wide; a build with -DCOF_FORCE_SCALAR_BUILD pins it at
+// compile time (the `scalar` CMake preset).
+#pragma once
+
+namespace util {
+
+/// CPUID-derived feature flags of the executing host.
+struct cpu_features {
+  bool avx2 = false;
+  bool popcnt = false;
+};
+
+/// Detected features, computed once on first call.
+const cpu_features& cpu();
+
+/// Process-wide override: when true, simd_lanes_enabled() is false even on
+/// AVX2 hosts. Initialised from COF_FORCE_SCALAR (any non-empty value other
+/// than "0"); tests flip it to exercise both dispatch paths in one process.
+void force_scalar(bool on);
+bool force_scalar();
+
+/// True when the lane-batched (AVX2) execution path may be used: the host
+/// supports AVX2 and no scalar override is in force.
+bool simd_lanes_enabled();
+
+}  // namespace util

@@ -39,8 +39,20 @@ class device {
     return s;
   }
 
-  launch_stats run_raw(const launch_config& cfg, kernel_invoke_fn fn, void* ctx) {
-    launch_stats s = launch_raw(pool_, cfg, fn, ctx);
+  launch_stats run_raw(const launch_config& cfg, kernel_invoke_fn fn, void* ctx,
+                       kernel_invoke_lanes_fn lanes_fn = nullptr,
+                       void* lanes_ctx = nullptr) {
+    launch_stats s = launch_raw(pool_, cfg, fn, ctx, lanes_fn, lanes_ctx);
+    record_launch(cfg.name, s);
+    return s;
+  }
+
+  /// run() with a lane-batched row body alongside the per-item kernel
+  /// (executor.hpp: kernel_invoke_lanes_fn).
+  template <class F, class L>
+  launch_stats run_lanes(const launch_config& cfg, F&& f, L&& l) {
+    launch_stats s =
+        launch_lanes(pool_, cfg, std::forward<F>(f), std::forward<L>(l));
     record_launch(cfg.name, s);
     return s;
   }

@@ -1,8 +1,11 @@
 #include "xpu/executor.hpp"
 
+#include <atomic>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "obs/trace.hpp"
+#include "util/cpufeat.hpp"
 #include "util/timer.hpp"
 #include "xpu/fiber.hpp"
 
@@ -59,6 +62,22 @@ void run_group_fast(const launch_config& cfg, kernel_invoke_fn fn, void* ctx,
         xitem item(&cfg, group, local, nullptr, local_base);
         fn(ctx, item);
       }
+    }
+  }
+}
+
+/// Execute one work-group through the kernel's lane-batched row body: one
+/// call per contiguous dim-0 row. Only reached for kernels that provided a
+/// lanes entry, whose contract (executor.hpp) makes the row self-contained —
+/// so neither the fiber scheduler nor the cooperative fetch phase runs here.
+void run_group_lanes(const launch_config& cfg, kernel_invoke_lanes_fn lanes_fn,
+                     void* lanes_ctx, const usize group[3], char* local_base) {
+  usize local[3] = {0, 0, 0};
+  for (local[2] = 0; local[2] < cfg.local[2]; ++local[2]) {
+    for (local[1] = 0; local[1] < cfg.local[1]; ++local[1]) {
+      local[0] = 0;
+      xitem first(&cfg, group, local, nullptr, local_base);
+      lanes_fn(lanes_ctx, first, cfg.local[0]);
     }
   }
 }
@@ -140,12 +159,19 @@ void run_group_fibers(const launch_config& cfg, kernel_invoke_fn fn, void* ctx,
 }  // namespace
 
 launch_stats launch_raw(util::thread_pool& pool, const launch_config& cfg,
-                        kernel_invoke_fn fn, void* ctx) {
+                        kernel_invoke_fn fn, void* ctx,
+                        kernel_invoke_lanes_fn lanes_fn, void* lanes_ctx) {
   COF_CHECK(cfg.dims >= 1 && cfg.dims <= 3);
   for (unsigned d = 0; d < 3; ++d) {
     COF_CHECK_MSG(cfg.local[d] > 0 && cfg.global[d] % cfg.local[d] == 0,
                   "work-group size must divide the ND-range size in each dim");
   }
+  // Lane dispatch: honoured only when the host has the SIMD lanes enabled
+  // (runtime CPU-feature check + COF_FORCE_SCALAR override) and the kernel
+  // shape admits barrier-free rows. Fiber-scheduled kernels (arbitrary
+  // barriers) always run per-item.
+  const bool use_lanes = lanes_fn != nullptr && util::simd_lanes_enabled() &&
+                         (!cfg.uses_barrier || cfg.single_leading_barrier);
 
   util::stopwatch sw;
   const usize ngroups = cfg.group_count_linear();
@@ -153,7 +179,14 @@ launch_stats launch_raw(util::thread_pool& pool, const launch_config& cfg,
   launch_sp.arg("groups", static_cast<double>(ngroups));
   launch_sp.arg("work_items", static_cast<double>(cfg.global_linear()));
 
-  auto run_groups = [&cfg, fn, ctx](usize begin, usize end) {
+  // Mid-kernel fault site. Pool tasks must not throw (a throw would unwind a
+  // worker loop and leave the range latch hanging), so a firing site flags
+  // the launch, the remaining group blocks drain as no-ops, and the launching
+  // thread converts the flag into the usual injected_error after the join.
+  std::atomic<bool> fault_hit{false};
+
+  auto run_groups = [&cfg, fn, ctx, use_lanes, lanes_fn, lanes_ctx,
+                     &fault_hit](usize begin, usize end) {
     // One span per stealable group block: with tracing on, the trace shows
     // how the pool spread (and re-balanced) the ragged comparer groups
     // across threads; with tracing off this is a single relaxed load.
@@ -166,9 +199,16 @@ launch_stats launch_raw(util::thread_pool& pool, const launch_config& cfg,
     char* base = cfg.local_mem_bytes != 0 ? local_arena.data() : nullptr;
     tl_local_mem_base = base;
     for (usize g = begin; g < end; ++g) {
+      if (fault_hit.load(std::memory_order_relaxed)) break;
+      if (fault::should_fail(fault::site::exec_kernel)) {
+        fault_hit.store(true, std::memory_order_relaxed);
+        break;
+      }
       usize group[3];
       decompose_group(cfg, g, group);
-      if (cfg.uses_barrier) {
+      if (use_lanes) {
+        run_group_lanes(cfg, lanes_fn, lanes_ctx, group, base);
+      } else if (cfg.uses_barrier) {
         if (cfg.single_leading_barrier) {
           run_group_two_phase(cfg, fn, ctx, group, base);
         } else {
@@ -191,10 +231,15 @@ launch_stats launch_raw(util::thread_pool& pool, const launch_config& cfg,
     pool.parallel_for_range(ngroups, run_groups, /*blocks_per_worker=*/4);
   }
 
+  if (fault_hit.load(std::memory_order_relaxed)) {
+    throw fault::injected_error(fault::site::exec_kernel);
+  }
+
   launch_stats stats;
   stats.wall_nanos = sw.nanos();
   stats.groups = ngroups;
   stats.work_items = cfg.global_linear();
+  stats.lanes_dispatch = use_lanes;
   return stats;
 }
 

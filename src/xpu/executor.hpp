@@ -16,13 +16,30 @@ struct launch_stats {
   u64 wall_nanos = 0;
   usize groups = 0;
   usize work_items = 0;
+  /// True when the launch dispatched through the lane-batched row body
+  /// instead of per-item invocation (see kernel_invoke_lanes_fn).
+  bool lanes_dispatch = false;
 };
 
 using kernel_invoke_fn = void (*)(void* ctx, xitem& item);
 
+/// Optional lane-batched entry point: one call covers the contiguous dim-0
+/// row of work-items starting at `first` (nlanes = the dim-0 local range).
+/// Providing one is a promise that the row body is self-contained — no
+/// barrier, no work-group local-memory cooperation (constants are read
+/// straight from the kernel's global arguments) — so the executor replaces
+/// per-item invocation (and, for single-leading-barrier kernels, the
+/// cooperative fetch phase) with one row call. The executor only selects it
+/// when util::simd_lanes_enabled() holds; otherwise the ordinary per-item
+/// path runs, which keeps a scalar dispatch path testable via
+/// COF_FORCE_SCALAR.
+using kernel_invoke_lanes_fn = void (*)(void* ctx, const xitem& first, usize nlanes);
+
 /// Type-erased entry point (implementation in executor.cpp).
 launch_stats launch_raw(util::thread_pool& pool, const launch_config& cfg,
-                        kernel_invoke_fn fn, void* ctx);
+                        kernel_invoke_fn fn, void* ctx,
+                        kernel_invoke_lanes_fn lanes_fn = nullptr,
+                        void* lanes_ctx = nullptr);
 
 /// Launch `f(xitem&)` over the ND-range described by cfg.
 template <class F>
@@ -30,6 +47,21 @@ launch_stats launch(util::thread_pool& pool, const launch_config& cfg, F&& f) {
   using Fn = std::remove_reference_t<F>;
   kernel_invoke_fn thunk = [](void* c, xitem& it) { (*static_cast<Fn*>(c))(it); };
   return launch_raw(pool, cfg, thunk, const_cast<Fn*>(&f));
+}
+
+/// Launch with a lane-batched row body `l(const xitem& first, usize nlanes)`
+/// alongside the per-item fallback `f(xitem&)`.
+template <class F, class L>
+launch_stats launch_lanes(util::thread_pool& pool, const launch_config& cfg, F&& f,
+                          L&& l) {
+  using Fn = std::remove_reference_t<F>;
+  using Ln = std::remove_reference_t<L>;
+  kernel_invoke_fn thunk = [](void* c, xitem& it) { (*static_cast<Fn*>(c))(it); };
+  kernel_invoke_lanes_fn lthunk = [](void* c, const xitem& first, usize n) {
+    (*static_cast<Ln*>(c))(first, n);
+  };
+  return launch_raw(pool, cfg, thunk, const_cast<Fn*>(&f), lthunk,
+                    const_cast<Ln*>(&l));
 }
 
 /// Thread-local base pointer of the work-group local-memory arena for the

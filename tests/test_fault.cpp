@@ -208,7 +208,15 @@ INSTANTIATE_TEST_SUITE_P(
                       site_case{"queue.pop", false},
                       site_case{"spill.write", true},
                       site_case{"spill.merge", false},
-                      site_case{"entry.clamp", true}),
+                      site_case{"entry.clamp", true},
+                      // Mid-kernel executor fault: surfaces after the group
+                      // join as injected_error, so the device-phase retry
+                      // rebuilds the pipeline and re-runs the chunk.
+                      site_case{"exec.kernel", true},
+                      // Mid-parse decoder fault: the producer owns the FASTA
+                      // stream; a parse fault cannot be replayed (the stream
+                      // position is gone), so it must fail clean.
+                      site_case{"fasta.parse", false}),
     [](const ::testing::TestParamInfo<site_case>& info) {
       std::string name = info.param.site;
       for (auto& c : name) {
@@ -216,6 +224,49 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return name;
     });
+
+/// A failed parse must leave the process reusable: the same config re-run
+/// without the fault produces the full record set, and the registry's
+/// counters record exactly one injection.
+TEST(FaultSites, FastaParseFailureThenCleanRerunSucceeds) {
+  temp_dir dir;
+  const auto c = make_case(dir, 108, 6);
+  cof::engine_options opt{.backend = cof::backend_kind::sycl, .max_chunk = 9000};
+  const auto clean = cof::run_search_streaming(c.cfg, c.file, opt);
+  ASSERT_FALSE(clean.records.empty());
+
+  opt.faults = "fasta.parse=hit:3";  // land mid-parse, not on the first line
+  try {
+    (void)cof::run_search_streaming(c.cfg, c.file, opt);
+    FAIL() << "expected injected_error";
+  } catch (const fault::injected_error& e) {
+    EXPECT_EQ(e.site(), std::string("fasta.parse"));
+  }
+  EXPECT_EQ(fault::stats("fasta.parse").injected, 1u);
+  EXPECT_GE(fault::stats("fasta.parse").hits, 3u);
+  EXPECT_EQ(spill_files_for_this_pid(), 0u);
+
+  opt.faults.clear();
+  const auto rerun = cof::run_search_streaming(c.cfg, c.file, opt);
+  EXPECT_EQ(rerun.records, clean.records);
+}
+
+/// Mid-kernel faults must recover on the opt6 SWAR path too — both kernel
+/// argument blocks flow through the same executor fault site.
+TEST(FaultSites, ExecKernelRecoversOnSwarVariant) {
+  temp_dir dir;
+  const auto c = make_case(dir, 109, 6);
+  cof::engine_options opt{.backend = cof::backend_kind::sycl,
+                          .variant = cof::comparer_variant::opt6,
+                          .max_chunk = 9000};
+  const auto clean = cof::run_search_streaming(c.cfg, c.file, opt);
+  ASSERT_FALSE(clean.records.empty());
+
+  opt.faults = "exec.kernel=hit:5";
+  const auto faulted = cof::run_search_streaming(c.cfg, c.file, opt);
+  EXPECT_EQ(faulted.records, clean.records);
+  EXPECT_EQ(fault::stats("exec.kernel").injected, 1u);
+}
 
 /// Inject at a mid-run hit and at the LAST hit (learned by counting hits
 /// with a never-firing plan first), for a recoverable site: recovery must

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/kernels.hpp"
+#include "core/kernels_swar.hpp"
 #include "core/pattern.hpp"
 #include "genome/iupac.hpp"
 #include "util/rng.hpp"
@@ -140,10 +141,77 @@ struct cmp_run {
   std::vector<u32> loci;
 };
 
+cmp_run canonicalise(const std::vector<u16>& mm, const std::vector<char>& dir,
+                     const std::vector<u32>& mloci, u32 count) {
+  cmp_run r;
+  std::vector<std::tuple<u32, char, u16>> z;
+  for (u32 i = 0; i < count; ++i) z.emplace_back(mloci[i], dir[i], mm[i]);
+  std::sort(z.begin(), z.end());
+  for (auto& [l, d, m] : z) {
+    r.loci.push_back(l);
+    r.dir.push_back(d);
+    r.mm.push_back(m);
+  }
+  return r;
+}
+
+/// opt6 runs through its own argument block: the chunk is 2-bit packed on
+/// the fly and the query's per-word SWAR deny masks land in local memory.
+cmp_run run_comparer_swar(const std::string& chunk, const std::vector<u32>& loci,
+                          const std::vector<char>& flags, const device_pattern& query,
+                          u16 threshold, usize wg, bool counting) {
+  const u32 n = static_cast<u32>(loci.size());
+  const usize cap = static_cast<usize>(n) * 2;
+  std::vector<u16> mm(cap, 0);
+  std::vector<char> dir(cap, 0);
+  std::vector<u32> mloci(cap, 0);
+  u32 count = 0;
+  const auto sref = swar_pack(chunk);
+
+  xpu::launch_config cfg;
+  cfg.global[0] = util::round_up<usize>(n, wg);
+  cfg.local[0] = wg;
+  cfg.local_mem_bytes =
+      query.swar.size() * sizeof(util::u64) + query.mask.size() * sizeof(u16) + 128;
+  cfg.uses_barrier = true;
+  comparer_swar_args a;
+  a.locicnts = n;
+  a.chr_packed2 = sref.packed2.data();
+  a.chr_amb2 = sref.amb2.data();
+  a.chr = chunk.data();
+  a.loci = loci.data();
+  a.flag = flags.data();
+  a.comp_swar = query.swar_data();
+  a.comp_mask = query.mask_data();
+  a.plen = query.plen;
+  a.swar_words = query.swar_words;
+  a.threshold = threshold;
+  a.mm_count = mm.data();
+  a.direction = dir.data();
+  a.mm_loci = mloci.data();
+  a.entrycount = &count;
+  dev().run(cfg, [&](xpu::xitem& it) {
+    char* base = it.local_mem_base();
+    const usize mask_off =
+        util::round_up<usize>(query.swar.size() * sizeof(util::u64), 8);
+    a.l_comp_swar = reinterpret_cast<util::u64*>(base);
+    a.l_comp_mask = reinterpret_cast<u16*>(base + mask_off);
+    if (counting) {
+      comparer_swar_kernel<counting_mem, xpu::xitem, true>(it, a);
+    } else {
+      comparer_swar_kernel<direct_mem, xpu::xitem, true>(it, a);
+    }
+  });
+  return canonicalise(mm, dir, mloci, count);
+}
+
 cmp_run run_comparer(comparer_variant v, const std::string& chunk,
                      const std::vector<u32>& loci, const std::vector<char>& flags,
                      const device_pattern& query, u16 threshold, usize wg = 8,
                      bool counting = false) {
+  if (v == comparer_variant::opt6) {
+    return run_comparer_swar(chunk, loci, flags, query, threshold, wg, counting);
+  }
   const u32 n = static_cast<u32>(loci.size());
   const usize cap = static_cast<usize>(n) * 2;
   std::vector<u16> mm(cap, 0);
@@ -186,17 +254,7 @@ cmp_run run_comparer(comparer_variant v, const std::string& chunk,
     }
   };
   dev().run(cfg, body);
-
-  cmp_run r;
-  std::vector<std::tuple<u32, char, u16>> z;
-  for (u32 i = 0; i < count; ++i) z.emplace_back(mloci[i], dir[i], mm[i]);
-  std::sort(z.begin(), z.end());
-  for (auto& [l, d, m] : z) {
-    r.loci.push_back(l);
-    r.dir.push_back(d);
-    r.mm.push_back(m);
-  }
-  return r;
+  return canonicalise(mm, dir, mloci, count);
 }
 
 TEST(ComparerKernel, CountsMismatchesForward) {

@@ -1,0 +1,465 @@
+// opt6 SWAR comparer tests: exhaustive IUPAC x mismatch-count equivalence
+// against opt5, ragged-tail fuzz across pattern lengths, both dispatch
+// paths (AVX2 lanes and the forced-scalar fallback), and engine-level
+// byte-identity of opt6 output across all four backends and queue counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/engine_stream.hpp"
+#include "core/kernels.hpp"
+#include "core/kernels_swar.hpp"
+#include "core/pattern.hpp"
+#include "genome/synth.hpp"
+#include "util/cpufeat.hpp"
+#include "util/rng.hpp"
+#include "xpu/device.hpp"
+
+namespace {
+
+using namespace cof;
+namespace fs = std::filesystem;
+
+xpu::device& dev() {
+  static xpu::device d("swar", 1);
+  return d;
+}
+
+/// RAII force_scalar toggle so a failing assertion cannot leak the override
+/// into later tests.
+struct scalar_guard {
+  bool prev;
+  explicit scalar_guard(bool on) : prev(util::force_scalar()) {
+    util::force_scalar(on);
+  }
+  ~scalar_guard() { util::force_scalar(prev); }
+};
+
+struct cmp_run {
+  std::vector<u16> mm;
+  std::vector<char> dir;
+  std::vector<u32> loci;
+
+  bool operator==(const cmp_run& o) const {
+    return mm == o.mm && dir == o.dir && loci == o.loci;
+  }
+};
+
+cmp_run canonicalise(const std::vector<u16>& mm, const std::vector<char>& dir,
+                     const std::vector<u32>& mloci, u32 count) {
+  cmp_run r;
+  std::vector<std::tuple<u32, char, u16>> z;
+  for (u32 i = 0; i < count; ++i) z.emplace_back(mloci[i], dir[i], mm[i]);
+  std::sort(z.begin(), z.end());
+  for (auto& [l, d, m] : z) {
+    r.loci.push_back(l);
+    r.dir.push_back(d);
+    r.mm.push_back(m);
+  }
+  return r;
+}
+
+/// Reference path: the opt5 deny-LUT comparer through the ordinary argument
+/// block.
+cmp_run run_opt5(const std::string& chunk, const std::vector<u32>& loci,
+                 const std::vector<char>& flags, const device_pattern& query,
+                 u16 threshold, usize wg = 8) {
+  const u32 n = static_cast<u32>(loci.size());
+  const usize cap = static_cast<usize>(n) * 2;
+  std::vector<u16> mm(cap, 0);
+  std::vector<char> dir(cap, 0);
+  std::vector<u32> mloci(cap, 0);
+  u32 count = 0;
+
+  xpu::launch_config cfg;
+  cfg.global[0] = util::round_up<usize>(n, wg);
+  cfg.local[0] = wg;
+  cfg.local_mem_bytes =
+      query.device_chars() * (1 + sizeof(i32)) + query.mask.size() * sizeof(u16) + 128;
+  cfg.uses_barrier = true;
+  comparer_args a;
+  a.locicnts = n;
+  a.chr = chunk.data();
+  a.loci = loci.data();
+  a.flag = flags.data();
+  a.comp = query.data();
+  a.comp_index = query.index_data();
+  a.comp_mask = query.mask_data();
+  a.plen = query.plen;
+  a.threshold = threshold;
+  a.mm_count = mm.data();
+  a.direction = dir.data();
+  a.mm_loci = mloci.data();
+  a.entrycount = &count;
+  dev().run(cfg, [&](xpu::xitem& it) {
+    char* base = it.local_mem_base();
+    const usize idx_off = util::round_up<usize>(query.device_chars(), 8);
+    const usize mask_off =
+        util::round_up<usize>(idx_off + query.index.size() * sizeof(i32), 8);
+    a.l_comp = base;
+    a.l_comp_index = reinterpret_cast<i32*>(base + idx_off);
+    a.l_comp_mask = reinterpret_cast<u16*>(base + mask_off);
+    comparer_dispatch<direct_mem>(comparer_variant::opt5, it, a);
+  });
+  return canonicalise(mm, dir, mloci, count);
+}
+
+/// opt6 path. `via_lanes` launches through the executor's lane-batched row
+/// body (the production dispatch); otherwise the per-item kernel runs.
+cmp_run run_opt6(const std::string& chunk, const std::vector<u32>& loci,
+                 const std::vector<char>& flags, const device_pattern& query,
+                 u16 threshold, usize wg = 8, bool via_lanes = false,
+                 xpu::launch_stats* stats_out = nullptr) {
+  const u32 n = static_cast<u32>(loci.size());
+  const usize cap = static_cast<usize>(n) * 2;
+  std::vector<u16> mm(cap, 0);
+  std::vector<char> dir(cap, 0);
+  std::vector<u32> mloci(cap, 0);
+  u32 count = 0;
+  const auto sref = swar_pack(chunk);
+
+  xpu::launch_config cfg;
+  cfg.global[0] = util::round_up<usize>(n, wg);
+  cfg.local[0] = wg;
+  cfg.local_mem_bytes =
+      query.swar.size() * sizeof(util::u64) + query.mask.size() * sizeof(u16) + 128;
+  cfg.uses_barrier = true;
+  cfg.single_leading_barrier = true;
+  comparer_swar_args a;
+  a.locicnts = n;
+  a.chr_packed2 = sref.packed2.data();
+  a.chr_amb2 = sref.amb2.data();
+  a.chr = chunk.data();
+  a.loci = loci.data();
+  a.flag = flags.data();
+  a.comp_swar = query.swar_data();
+  a.comp_mask = query.mask_data();
+  a.plen = query.plen;
+  a.swar_words = query.swar_words;
+  a.threshold = threshold;
+  a.mm_count = mm.data();
+  a.direction = dir.data();
+  a.mm_loci = mloci.data();
+  a.entrycount = &count;
+  auto item_body = [&](xpu::xitem& it) {
+    char* base = it.local_mem_base();
+    const usize mask_off =
+        util::round_up<usize>(query.swar.size() * sizeof(util::u64), 8);
+    a.l_comp_swar = reinterpret_cast<util::u64*>(base);
+    a.l_comp_mask = reinterpret_cast<u16*>(base + mask_off);
+    comparer_swar_kernel<direct_mem, xpu::xitem, true>(it, a);
+  };
+  xpu::launch_stats stats;
+  if (via_lanes) {
+    stats = dev().run_lanes(cfg, item_body,
+                            [&](const xpu::xitem& first, usize nlanes) {
+                              comparer_swar_args la = a;
+                              la.l_comp_swar = const_cast<util::u64*>(a.comp_swar);
+                              la.l_comp_mask = const_cast<u16*>(a.comp_mask);
+                              comparer_swar_lanes<true>(la, first.get_global_id(0),
+                                                        nlanes);
+                            });
+  } else {
+    stats = dev().run(cfg, item_body);
+  }
+  if (stats_out != nullptr) *stats_out = stats;
+  return canonicalise(mm, dir, mloci, count);
+}
+
+std::string random_chunk(util::rng& rng, usize len, bool with_n) {
+  const char* alpha = with_n ? "ACGTN" : "ACGT";
+  const util::u64 nalpha = with_n ? 5 : 4;
+  std::string s;
+  for (usize i = 0; i < len; ++i) s += alpha[rng.next_below(nalpha)];
+  return s;
+}
+
+/// All loci valid for (chunk, plen), random flags.
+void random_loci(util::rng& rng, usize chunk_len, u32 plen, usize count,
+                 std::vector<u32>& loci, std::vector<char>& flags) {
+  loci.clear();
+  flags.clear();
+  const u32 span = static_cast<u32>(chunk_len) - plen + 1;
+  for (usize i = 0; i < count; ++i) {
+    loci.push_back(static_cast<u32>(rng.next_below(span)));
+    flags.push_back(static_cast<char>(rng.next_below(3)));
+  }
+  std::sort(loci.begin(), loci.end());
+}
+
+constexpr const char* kIupac = "ACGTRYSWKMBDHVN";
+
+// ---------------------------------------------------------------------------
+// Exhaustive equivalence: every IUPAC pattern base x every mismatch count.
+// ---------------------------------------------------------------------------
+
+// For each of the 15 IUPAC codes placed at every position of a short query,
+// and for every threshold 0..plen, opt6 must report exactly the opt5 hits
+// (same loci, strands and mismatch counts). The reference chunk mixes all
+// four bases plus ambiguous 'N' so each deny mask row and the ambiguity
+// fallback are all exercised.
+TEST(SwarEquivalence, AllIupacBasesAllThresholds) {
+  util::rng rng(601);
+  const std::string chunk = random_chunk(rng, 96, /*with_n=*/true);
+  std::vector<u32> loci;
+  std::vector<char> flags;
+  constexpr u32 kPlen = 9;
+  random_loci(rng, chunk.size(), kPlen, 24, loci, flags);
+
+  for (const char* c = kIupac; *c != '\0'; ++c) {
+    for (u32 pos = 0; pos < kPlen; ++pos) {
+      std::string q(kPlen, 'A');
+      q[pos] = *c;
+      const auto query = make_pattern(q);
+      for (u16 threshold = 0; threshold <= kPlen; ++threshold) {
+        const auto want = run_opt5(chunk, loci, flags, query, threshold);
+        const auto got = run_opt6(chunk, loci, flags, query, threshold);
+        ASSERT_EQ(got, want) << "base=" << *c << " pos=" << pos
+                             << " threshold=" << threshold;
+      }
+    }
+  }
+}
+
+// Dense all-ambiguous query: every position a different IUPAC code, so one
+// window evaluation mixes plain deny-mask tests with LUT fallbacks at many
+// offsets at once.
+TEST(SwarEquivalence, MixedIupacQuery) {
+  util::rng rng(602);
+  const std::string chunk = random_chunk(rng, 128, /*with_n=*/true);
+  const std::string q = "ACGTRYSWKMBDHVNRYN";  // plen 18
+  const auto query = make_pattern(q);
+  std::vector<u32> loci;
+  std::vector<char> flags;
+  random_loci(rng, chunk.size(), query.plen, 40, loci, flags);
+  for (u16 threshold : {u16{0}, u16{3}, u16{9}, u16{18}}) {
+    const auto want = run_opt5(chunk, loci, flags, query, threshold);
+    const auto got = run_opt6(chunk, loci, flags, query, threshold);
+    ASSERT_EQ(got, want) << "threshold=" << threshold;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ragged-tail fuzz: every pattern length around the 32-base word boundary.
+// ---------------------------------------------------------------------------
+
+// plen 1..40 crosses the one-word/two-word boundary (32) and exercises every
+// tail length of the active mask; random IUPAC queries and random loci.
+TEST(SwarFuzz, RaggedTailLengths) {
+  util::rng rng(603);
+  for (u32 plen = 1; plen <= 40; ++plen) {
+    const std::string chunk = random_chunk(rng, plen + 160, /*with_n=*/true);
+    std::string q;
+    for (u32 i = 0; i < plen; ++i) q += kIupac[rng.next_below(15)];
+    const auto query = make_pattern(q);
+    std::vector<u32> loci;
+    std::vector<char> flags;
+    random_loci(rng, chunk.size(), plen, 32, loci, flags);
+    const u16 threshold = static_cast<u16>(rng.next_below(plen + 1));
+    const auto want = run_opt5(chunk, loci, flags, query, threshold);
+    const auto got = run_opt6(chunk, loci, flags, query, threshold);
+    ASSERT_EQ(got, want) << "plen=" << plen << " threshold=" << threshold;
+  }
+}
+
+// Loci landing on every in-word offset (0..31) so the two-word shift-combine
+// window fetch is exercised at each shift amount, including shift 0.
+TEST(SwarFuzz, EveryWindowShift) {
+  util::rng rng(604);
+  const std::string chunk = random_chunk(rng, 96, /*with_n=*/false);
+  const auto query = make_pattern("GGCCGACCTGTCGCTGACGCNRG");
+  std::vector<u32> loci;
+  std::vector<char> flags;
+  for (u32 l = 0; l < 64; ++l) {
+    loci.push_back(l);
+    flags.push_back(static_cast<char>(l % 3));
+  }
+  for (u16 threshold : {u16{5}, u16{12}, u16{23}}) {
+    const auto want = run_opt5(chunk, loci, flags, query, threshold);
+    const auto got = run_opt6(chunk, loci, flags, query, threshold);
+    ASSERT_EQ(got, want) << "threshold=" << threshold;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch paths: AVX2 lane rows vs the forced-scalar fallback.
+// ---------------------------------------------------------------------------
+
+// The lane-batched row body must match the per-item kernel bit for bit, on
+// whichever path the host actually selects.
+TEST(SwarDispatch, LanesMatchPerItem) {
+  util::rng rng(605);
+  const std::string chunk = random_chunk(rng, 256, /*with_n=*/true);
+  const auto query = make_pattern("GGCCGACCTGTCGCTGACGCNRG");
+  std::vector<u32> loci;
+  std::vector<char> flags;
+  random_loci(rng, chunk.size(), query.plen, 120, loci, flags);
+
+  const auto per_item = run_opt6(chunk, loci, flags, query, 6, 16, false);
+  xpu::launch_stats stats;
+  const auto lanes = run_opt6(chunk, loci, flags, query, 6, 16, true, &stats);
+  EXPECT_EQ(lanes, per_item);
+  // On an AVX2 host without the scalar override the executor must actually
+  // have taken the lane path.
+  EXPECT_EQ(stats.lanes_dispatch, util::simd_lanes_enabled());
+}
+
+// COF_FORCE_SCALAR / force_scalar() pins the per-item path; results must be
+// identical and the launch must report scalar dispatch.
+TEST(SwarDispatch, ForcedScalarMatchesSimd) {
+  util::rng rng(606);
+  const std::string chunk = random_chunk(rng, 200, /*with_n=*/true);
+  const auto query = make_pattern("ACGTRYSWKMBDHVNACGTNGG");
+  std::vector<u32> loci;
+  std::vector<char> flags;
+  random_loci(rng, chunk.size(), query.plen, 64, loci, flags);
+
+  cmp_run simd, scalar;
+  xpu::launch_stats simd_stats, scalar_stats;
+  simd = run_opt6(chunk, loci, flags, query, 8, 16, true, &simd_stats);
+  {
+    scalar_guard guard(true);
+    EXPECT_FALSE(util::simd_lanes_enabled());
+    scalar = run_opt6(chunk, loci, flags, query, 8, 16, true, &scalar_stats);
+  }
+  EXPECT_EQ(scalar, simd);
+  EXPECT_FALSE(scalar_stats.lanes_dispatch);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level byte-identity: all four backends x {1,2,4} queues.
+// ---------------------------------------------------------------------------
+
+genome::genome_t swar_genome(util::u64 seed) {
+  genome::synth_params p;
+  p.assembly = "swar-test";
+  p.chromosomes = {{"chrA", 40000}, {"chrB", 20000}};
+  p.seed = seed;
+  return genome::generate(p);
+}
+
+class SwarBackendSweep
+    : public ::testing::TestWithParam<std::pair<backend_kind, int>> {};
+
+// opt6 must produce byte-identical search output to the same backend's opt5
+// across every queue count. (Comparing within one backend keeps the twobit
+// facade's collapsed-'N' semantics out of the equation.)
+TEST_P(SwarBackendSweep, Opt6MatchesOpt5) {
+  const auto [backend, queues] = GetParam();
+  auto g = swar_genome(71);
+  auto cfg = parse_input(example_input("<mem>"));
+  engine_options opt5{.backend = backend,
+                      .variant = comparer_variant::opt5,
+                      .max_chunk = 8192,
+                      .num_queues = static_cast<usize>(queues)};
+  engine_options opt6 = opt5;
+  opt6.variant = comparer_variant::opt6;
+  const auto want = run_search(cfg, g, opt5);
+  const auto got = run_search(cfg, g, opt6);
+  EXPECT_EQ(got.records, want.records);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BackendsAndQueues, SwarBackendSweep,
+    ::testing::Values(std::pair{backend_kind::sycl, 1},
+                      std::pair{backend_kind::sycl, 2},
+                      std::pair{backend_kind::sycl, 4},
+                      std::pair{backend_kind::opencl, 1},
+                      std::pair{backend_kind::opencl, 2},
+                      std::pair{backend_kind::opencl, 4},
+                      std::pair{backend_kind::sycl_usm, 1},
+                      std::pair{backend_kind::sycl_usm, 2},
+                      std::pair{backend_kind::sycl_usm, 4},
+                      std::pair{backend_kind::sycl_twobit, 1},
+                      std::pair{backend_kind::sycl_twobit, 2},
+                      std::pair{backend_kind::sycl_twobit, 4}));
+
+// The batched multi-query comparer (comparer_multi_opt6) runs when
+// batch_queries is set; it must agree with the per-query path.
+TEST(SwarEngine, BatchedQueriesMatchUnbatched) {
+  auto g = swar_genome(72);
+  auto cfg = parse_input(example_input("<mem>"));
+  for (backend_kind backend :
+       {backend_kind::sycl, backend_kind::opencl, backend_kind::sycl_usm,
+        backend_kind::sycl_twobit}) {
+    engine_options plain{.backend = backend,
+                         .variant = comparer_variant::opt6,
+                         .max_chunk = 8192};
+    engine_options batched = plain;
+    batched.batch_queries = true;
+    const auto want = run_search(cfg, g, plain);
+    const auto got = run_search(cfg, g, batched);
+    EXPECT_EQ(got.records, want.records)
+        << "backend=" << static_cast<int>(backend);
+  }
+}
+
+// Streamed (disk-chunked) output with opt6 must equal the in-memory opt5
+// result for every backend, on both dispatch paths.
+TEST(SwarEngine, StreamedOutputMatchesAcrossDispatchPaths) {
+  struct temp_dir {
+    fs::path path;
+    temp_dir() {
+      path = fs::temp_directory_path() /
+             ("cof_swar_" + std::to_string(::getpid()));
+      fs::create_directories(path);
+    }
+    ~temp_dir() { fs::remove_all(path); }
+  } dir;
+
+  auto g = swar_genome(73);
+  auto cfg = parse_input(example_input("<file>"));
+  const std::string guide = cfg.queries[0].seq.substr(0, 20) + "NGG";
+  genome::plant_sites(g, guide, cfg.pattern, 4, 1, 74);
+  const auto file = dir.path / "g.fa";
+  genome::write_fasta_file(file.string(), g.chroms);
+
+  for (backend_kind backend :
+       {backend_kind::sycl, backend_kind::opencl, backend_kind::sycl_usm,
+        backend_kind::sycl_twobit}) {
+    engine_options base{.backend = backend,
+                        .variant = comparer_variant::opt5,
+                        .max_chunk = 7000,
+                        .num_queues = 2};
+    engine_options opt6 = base;
+    opt6.variant = comparer_variant::opt6;
+    const auto want = run_search(cfg, g, base);
+    const auto simd = run_search_streaming(cfg, file.string(), opt6);
+    EXPECT_EQ(simd.records, want.records)
+        << "backend=" << static_cast<int>(backend);
+    {
+      scalar_guard guard(true);
+      const auto scalar = run_search_streaming(cfg, file.string(), opt6);
+      EXPECT_EQ(scalar.records, want.records)
+          << "scalar, backend=" << static_cast<int>(backend);
+    }
+  }
+}
+
+// Counting mode (profiler attached) must not disturb opt6 results, and must
+// record SWAR word evaluations rather than per-character events.
+TEST(SwarEngine, CountingRunMatchesAndCountsSwarOps) {
+  auto g = swar_genome(75);
+  auto cfg = parse_input(example_input("<mem>"));
+  engine_options plain{.backend = backend_kind::sycl,
+                       .variant = comparer_variant::opt6,
+                       .max_chunk = 8192};
+  prof::profiler p;
+  engine_options counting = plain;
+  counting.counting = true;
+  counting.profiler = &p;
+  const auto want = run_search(cfg, g, plain);
+  const auto got = run_search(cfg, g, counting);
+  EXPECT_EQ(got.records, want.records);
+  util::u64 swar_ops = 0;
+  for (const auto& [name, prof] : p.kernels()) {
+    swar_ops += prof.events[prof::ev::swar_op];
+  }
+  EXPECT_GT(swar_ops, 0u);
+}
+
+}  // namespace
