@@ -14,7 +14,9 @@
 
 #include "core/engine.hpp"
 #include "core/engine_stream.hpp"
+#include "core/index.hpp"
 #include "core/scoring.hpp"
+#include "fault/fault.hpp"
 #include "genome/synth.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
@@ -48,12 +50,38 @@ int main(int argc, char** argv) {
   cli.opt("fault", "fault-injection plan, e.g. "
                    "'spill.write=hit:1,dev.launch=prob:0.01:7' "
                    "(sites: dev.alloc dev.launch pipe.event queue.push "
-                   "queue.pop spill.write spill.merge entry.clamp; modes: "
+                   "queue.pop spill.write spill.merge entry.clamp "
+                   "index.persist index.load; modes: "
                    "always, hit:N, prob:P[:seed], off)", "");
+  cli.opt("build-index", "build the genome/PAM index (decode + finder over "
+                         "every chunk), persist it to this .cofidx path and "
+                         "exit", "");
+  cli.opt("index", ".cofidx cache path: load it if present (warm — no FASTA "
+                   "decode, no finder launches), otherwise build from the "
+                   "input genome and persist it here, then answer the "
+                   "queries with comparer-only launches", "");
+  cli.multi("query", "guide RNA GUIDE[:MM] (repeatable; replaces the input "
+                     "file's query list; MM defaults to 5)");
   if (!cli.parse(argc, argv)) return 1;
 
   util::set_log_level(util::log_level::warn);
-  const auto cfg = cof::read_input_file(cli.get_positional("input"));
+  auto cfg = cof::read_input_file(cli.get_positional("input"));
+
+  // Repeated --query GUIDE[:MM] replaces the input file's query list — the
+  // serving shape the index exists for: one cached index, arbitrary guides.
+  if (!cli.get_multi("query").empty()) {
+    cfg.queries.clear();
+    for (const std::string& spec : cli.get_multi("query")) {
+      std::string seq = spec;
+      unsigned long long mm = 5;
+      if (const auto colon = spec.rfind(':'); colon != std::string::npos) {
+        seq = spec.substr(0, colon);
+        COF_CHECK_MSG(util::parse_u64(spec.substr(colon + 1), mm),
+                      "--query wants GUIDE[:MM]: " + spec);
+      }
+      cfg.queries.push_back({seq, static_cast<util::u16>(mm)});
+    }
+  }
 
   cof::engine_options opt;
   const std::string dev = cli.get_positional("device").empty()
@@ -93,7 +121,37 @@ int main(int argc, char** argv) {
     opt.profiler = &profiler;
   }
 
-  if (cli.get_flag("stream")) {
+  // --build-index: the cold phase alone — decode + finder over every chunk,
+  // persist the result, exit. Later runs pass the file via --index.
+  if (!cli.get("build-index").empty()) {
+    const std::string ipath = cli.get("build-index");
+    COF_CHECK_MSG(opt.backend != cof::backend_kind::serial,
+                  "--build-index needs a device backend (O, G, S, U or P)");
+    util::stopwatch bsw;
+    try {
+      // Standalone build runs outside the engines, so arm the fault
+      // registry here — injected persist failures die cleanly below.
+      fault::scope fault_guard(opt.faults);
+      const genome::genome_t g = cof::load_configured_genome(cfg);
+      const auto idx = cof::build_index(g, cfg.pattern, opt);
+      cof::save_index(ipath, idx);
+      std::fprintf(stderr,
+                   "index: built %zu chunks, %llu candidate sites over %llu "
+                   "bases in %.3fs -> %s\n",
+                   idx.chunks.size(),
+                   static_cast<unsigned long long>(idx.total_hits()),
+                   static_cast<unsigned long long>(idx.source_bases),
+                   bsw.seconds(), ipath.c_str());
+    } catch (const std::exception& e) {
+      util::die(e.what());
+    }
+    return 0;
+  }
+  opt.index_path = cli.get("index");
+
+  // --index routes through the streaming engine's index/query split even
+  // without --stream: warm runs never decode FASTA or launch the finder.
+  if (cli.get_flag("stream") || !opt.index_path.empty()) {
     COF_CHECK_MSG(opt.backend != cof::backend_kind::serial,
                   "--stream needs a device backend (O, G, S, U or P)");
     // Unrecoverable failures (exhausted fault retries, stalled queues)
@@ -106,14 +164,25 @@ int main(int argc, char** argv) {
       util::die(e.what());
     }
     const auto& rec = streamed.metrics.recovery;
-    if (rec.overflow_retries + rec.chunk_splits + rec.spill_retries != 0) {
+    if (rec.overflow_retries + rec.chunk_splits + rec.spill_retries != 0 ||
+        streamed.used_index) {
+      std::string index_part;
+      if (streamed.used_index) {
+        index_part = util::format(
+            ", index cache %s (%llu chunk uploads, %llu device-resident "
+            "reuses)",
+            streamed.index_cache_hit ? "hit" : "miss",
+            static_cast<unsigned long long>(streamed.index_chunk_misses),
+            static_cast<unsigned long long>(streamed.index_chunk_hits));
+      }
       std::fprintf(stderr,
                    "recovery: %llu overflow retries, %llu chunk splits, "
-                   "%llu recovered overflows, %llu spill retries\n",
+                   "%llu recovered overflows, %llu spill retries%s\n",
                    static_cast<unsigned long long>(rec.overflow_retries),
                    static_cast<unsigned long long>(rec.chunk_splits),
                    static_cast<unsigned long long>(rec.recovered_overflows),
-                   static_cast<unsigned long long>(rec.spill_retries));
+                   static_cast<unsigned long long>(rec.spill_retries),
+                   index_part.c_str());
     }
     std::fprintf(stderr,
                  "%s (streamed): %zu records, %.3fs, %llu bases through "

@@ -1,9 +1,11 @@
 #include "core/engine.hpp"
 
 #include <atomic>
+#include <filesystem>
 #include <mutex>
 #include <thread>
 
+#include "core/index.hpp"
 #include "genome/synth.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -36,6 +38,44 @@ search_outcome run_search(const search_config& cfg, const genome::genome_t& g,
   fault::scope fault_guard(opt.faults);
   util::stopwatch sw;
   search_outcome out;
+
+  // Index/query split: answer the queries against a prebuilt (or cached)
+  // genome index with comparer-only launches instead of re-running the
+  // finder over every chunk.
+  if (opt.index != nullptr || !opt.index_path.empty()) {
+    COF_CHECK_MSG(opt.backend != backend_kind::serial,
+                  "index queries drive a device pipeline (pick O, G, S, U or P)");
+    genome_index owned;
+    const genome_index* idx = opt.index;
+    bool cache_hit = idx != nullptr;  // prebuilt in memory counts as warm
+    if (idx == nullptr) {
+      if (std::filesystem::exists(opt.index_path)) {
+        owned = load_index(opt.index_path);
+        cache_hit = true;
+      } else {
+        owned = build_index(g, cfg.pattern, opt);
+        save_index(opt.index_path, owned);
+      }
+      idx = &owned;
+    }
+    if (obs::enabled()) {
+      obs::metrics_registry::global()
+          .counter(cache_hit ? "index.cache.hit" : "index.cache.miss")
+          .add(1);
+    }
+    check_index_compatible(*idx, cfg);
+    index_query_session session(*idx, opt);
+    out = session.query(cfg.queries);
+    out.metrics.elapsed_seconds = sw.seconds();
+    if (obs::enabled()) {
+      if (opt.profiler != nullptr) obs::fold_profiler(*opt.profiler);
+      if (!opt.trace_out.empty()) obs::write_trace(opt.trace_out);
+      if (!opt.metrics_json.empty()) {
+        obs::metrics_registry::global().write_json(opt.metrics_json);
+      }
+    }
+    return out;
+  }
 
   if (opt.backend == backend_kind::serial) {
     out.records = serial_search(cfg.pattern, cfg.queries, g);

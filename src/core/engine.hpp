@@ -15,6 +15,8 @@
 
 namespace cof {
 
+struct genome_index;  // core/index.hpp
+
 enum class backend_kind { serial, opencl, sycl, sycl_usm, sycl_twobit };
 
 const char* backend_name(backend_kind k);
@@ -78,6 +80,15 @@ struct engine_options {
   /// long reports a stall (queue.push / queue.pop failure) instead of
   /// hanging the run forever.
   usize queue_timeout_ms = 60000;
+  /// Warm query path: answer the queries against this prebuilt genome index
+  /// (comparer-only launches — no FASTA decode, no finder). The index must
+  /// outlive the run. Takes precedence over index_path.
+  const genome_index* index = nullptr;
+  /// Warm/cold index cache: when non-empty and `index` is null, load the
+  /// .cofidx file at this path if it exists (cache hit), otherwise build the
+  /// index from the input genome and persist it here (cache miss), then
+  /// answer the queries against it.
+  std::string index_path;
 };
 
 /// Overflow/fault recovery accounting for one streaming run.

@@ -1,5 +1,6 @@
 #include "core/engine_stream.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <exception>
@@ -10,6 +11,7 @@
 
 #include <unistd.h>
 
+#include "core/index.hpp"
 #include "fault/fault.hpp"
 #include "genome/fasta_stream.hpp"
 #include "obs/metrics.hpp"
@@ -733,6 +735,76 @@ streamed_outcome run_streaming_sync(const search_config& cfg,
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Index/query split. Resolves the index — in-memory (opt.index), from the
+// .cofidx cache at opt.index_path (warm), or built from the FASTA at `path`
+// and persisted (cold) — then answers the queries with comparer-only
+// launches through an index_query_session. Results are byte-identical to
+// the classic streaming run for any backend and queue count (same chunk
+// geometry, same kernels, same canonical sort+dedup).
+// ---------------------------------------------------------------------------
+streamed_outcome run_streaming_indexed(const search_config& cfg,
+                                       const std::string& path,
+                                       const engine_options& opt,
+                                       util::stopwatch& sw,
+                                       const record_sink& sink) {
+  streamed_outcome out;
+  out.used_index = true;
+  genome_index owned;
+  const genome_index* idx = opt.index;
+  bool cache_hit = idx != nullptr;  // prebuilt in memory counts as warm
+  if (idx == nullptr) {
+    if (std::filesystem::exists(opt.index_path)) {
+      util::stopwatch lsw;
+      owned = load_index(opt.index_path);
+      out.stage_times.index_load_s = lsw.seconds();
+      cache_hit = true;
+    } else {
+      // Cold path: the one place the warm split still decodes FASTA and
+      // launches the finder — once, to populate the cache.
+      util::stopwatch bsw;
+      search_config src = cfg;
+      src.genome_path = path;
+      const genome::genome_t g = load_configured_genome(src);
+      owned = build_index(g, cfg.pattern, opt);
+      out.stage_times.index_build_s = bsw.seconds();
+      save_index(opt.index_path, owned);
+      out.streamed_bases = owned.source_bases;
+    }
+    idx = &owned;
+  }
+  if (obs::enabled()) {
+    obs::metrics_registry::global()
+        .counter(cache_hit ? "index.cache.hit" : "index.cache.miss")
+        .add(1);
+  }
+  out.index_cache_hit = cache_hit;
+  check_index_compatible(*idx, cfg);
+
+  index_query_session session(*idx, opt);
+  util::stopwatch qsw;
+  search_outcome q = session.query(cfg.queries);
+  out.stage_times.query_s = qsw.seconds();
+  out.records = std::move(q.records);
+  out.metrics = q.metrics;
+  out.chrom_names = idx->chrom_names;
+  out.index_chunk_hits = session.chunk_hits();
+  out.index_chunk_misses = session.chunk_misses();
+  for (const auto& ch : idx->chunks) {
+    out.peak_chunk_bytes = std::max(out.peak_chunk_bytes, ch.text.size());
+  }
+  for (const auto& r : out.records) {
+    out.peak_record_bytes += sizeof(ot_record) + r.site.size();
+  }
+  out.total_records = out.records.size();
+  if (sink) {
+    for (auto& r : out.records) sink(std::move(r));
+    out.records.clear();
+  }
+  out.metrics.elapsed_seconds = sw.seconds();
+  return out;
+}
+
 }  // namespace
 
 streamed_outcome run_search_streaming(const search_config& cfg,
@@ -757,6 +829,21 @@ streamed_outcome run_search_streaming(const search_config& cfg,
   COF_CHECK_MSG(opt.backend != backend_kind::serial,
                 "streaming mode drives a device pipeline; use run_search for "
                 "the serial reference");
+
+  // Index/query split: a prebuilt (or cached) index answers the queries
+  // with comparer-only launches — zero FASTA decode, zero finder launches
+  // on the warm path.
+  if (opt.index != nullptr || !opt.index_path.empty()) {
+    streamed_outcome out = run_streaming_indexed(cfg, path, opt, sw, sink);
+    if (obs::enabled()) {
+      if (opt.profiler != nullptr) obs::fold_profiler(*opt.profiler);
+      if (!opt.trace_out.empty()) obs::write_trace(opt.trace_out);
+      if (!opt.metrics_json.empty()) {
+        obs::metrics_registry::global().write_json(opt.metrics_json);
+      }
+    }
+    return out;
+  }
 
   const device_pattern pat = make_pattern(cfg.pattern);
   std::vector<device_pattern> dev_queries;

@@ -26,6 +26,10 @@ struct stream_stage_times {
   double device_s = 0;      // H2D + finder + comparer batch + entry fetch
   double format_s = 0;      // record formatting + spill-run writes (pool)
   double merge_s = 0;       // final k-way merge of the spill runs
+  // Index/query split (zero on classic cold runs without an index):
+  double index_build_s = 0;  // cold: decode + finder over every chunk
+  double index_load_s = 0;   // warm: .cofidx read + validation
+  double query_s = 0;        // comparer-only query phase over the index
 };
 
 struct streamed_outcome {
@@ -56,6 +60,12 @@ struct streamed_outcome {
   /// Most chunks ever resident in the bounded queue (async path) — the
   /// backpressure high-water mark against capacity num_queues + 2.
   util::usize peak_queue_depth = 0;
+  /// Index/query split accounting (engine_options::index / index_path).
+  bool used_index = false;       // run went through the index query path
+  bool index_cache_hit = false;  // index came prebuilt (in memory or .cofidx)
+                                 // rather than being built this run
+  util::u64 index_chunk_hits = 0;    // chunk uploads skipped (device-resident)
+  util::u64 index_chunk_misses = 0;  // chunk uploads performed
 };
 
 /// Per-record output hook for the streaming search: receives each final

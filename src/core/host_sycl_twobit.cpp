@@ -74,6 +74,46 @@ class sycl_twobit_pipeline final : public device_pipeline {
     return out;
   }
 
+  std::vector<char> read_flags() override {
+    std::vector<char> out(locicnt_);
+    if (locicnt_ != 0) {
+      q_.submit([&](sycl::handler& cgh) {
+         auto acc = flag_buf_->get_access<sycl::sycl_read>(
+             cgh, sycl::range<1>(locicnt_), sycl::id<1>(0));
+         cgh.copy(acc, out.data());
+       }).wait();
+      metrics_.d2h_bytes += locicnt_;
+    }
+    return out;
+  }
+
+  void load_indexed_chunk(std::string_view seq, u32 plen,
+                          const std::vector<u32>& loci,
+                          const std::vector<char>& flags) override {
+    obs::span sp("h2d.index_chunk", "device");
+    sp.arg("hits", static_cast<double>(loci.size()));
+    load_chunk(seq);
+    detail::check_entry_capacity("finder", static_cast<u32>(loci.size()),
+                                 loci_cap_);
+    const u32 n = static_cast<u32>(loci.size());
+    if (n != 0) {
+      q_.submit([&](sycl::handler& cgh) {
+         auto acc = loci_buf_->get_access<sycl::sycl_write>(
+             cgh, sycl::range<1>(n), sycl::id<1>(0));
+         cgh.copy(loci.data(), acc);
+       }).wait();
+      q_.submit([&](sycl::handler& cgh) {
+         auto acc = flag_buf_->get_access<sycl::sycl_write>(
+             cgh, sycl::range<1>(n), sycl::id<1>(0));
+         cgh.copy(flags.data(), acc);
+       }).wait();
+      metrics_.h2d_bytes += n * (sizeof(u32) + sizeof(char));
+    }
+    locicnt_ = n;
+    plen_ = plen;
+    metrics_.total_loci += n;
+  }
+
   entries run_comparer(const device_pattern& query, u16 threshold) override {
     obs::span sp("comparer", "device");
     return opt_.counting ? run_comparer_impl<counting_mem>(query, threshold)

@@ -74,6 +74,34 @@ class sycl_usm_pipeline final : public device_pipeline {
     return out;
   }
 
+  std::vector<char> read_flags() override {
+    std::vector<char> out(locicnt_);
+    if (locicnt_ != 0) {
+      q_.memcpy(out.data(), flag_, locicnt_);
+      metrics_.d2h_bytes += locicnt_;
+    }
+    return out;
+  }
+
+  void load_indexed_chunk(std::string_view seq, u32 plen,
+                          const std::vector<u32>& loci,
+                          const std::vector<char>& flags) override {
+    obs::span sp("h2d.index_chunk", "device");
+    sp.arg("hits", static_cast<double>(loci.size()));
+    load_chunk(seq);
+    detail::check_entry_capacity("finder", static_cast<u32>(loci.size()),
+                                 loci_cap_);
+    const u32 n = static_cast<u32>(loci.size());
+    if (n != 0) {
+      q_.memcpy(loci_, loci.data(), n * sizeof(u32));
+      q_.memcpy(flag_, flags.data(), n);
+      metrics_.h2d_bytes += n * (sizeof(u32) + sizeof(char));
+    }
+    locicnt_ = n;
+    plen_ = plen;
+    metrics_.total_loci += n;
+  }
+
   entries run_comparer(const device_pattern& query, u16 threshold) override {
     obs::span sp("comparer", "device");
     return opt_.counting ? run_comparer_impl<counting_mem>(query, threshold)

@@ -1,0 +1,514 @@
+#include "core/index.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+#include "genome/chunker.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+
+namespace cof {
+
+namespace {
+
+using util::u64;
+using util::u8;
+
+constexpr u32 kIndexMagic = 0x58464F43;  // "COFX" read little-endian
+constexpr u32 kIndexVersion = 1;
+
+u64 fnv1a64(const std::string& s) {
+  u64 h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<u8>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void put_u32(std::string& out, u32 v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::string& out, u64 v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+/// Bounds-checked little-endian reader over an in-memory byte range. Every
+/// overrun throws index_error — a truncated or hostile file can never cause
+/// an out-of-bounds read.
+struct reader {
+  const std::string& d;
+  usize pos = 0;
+
+  void need(usize n) const {
+    if (pos > d.size() || n > d.size() - pos) {
+      throw index_error(fault::site::index_load, "truncated index file");
+    }
+  }
+  u8 get_u8() {
+    need(1);
+    return static_cast<u8>(d[pos++]);
+  }
+  u32 get_u32() {
+    need(4);
+    u32 v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<u32>(static_cast<u8>(d[pos + i])) << (8 * i);
+    pos += 4;
+    return v;
+  }
+  u64 get_u64() {
+    need(8);
+    u64 v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<u64>(static_cast<u8>(d[pos + i])) << (8 * i);
+    pos += 8;
+    return v;
+  }
+  std::string get_bytes(usize n) {
+    need(n);
+    std::string s = d.substr(pos, n);
+    pos += n;
+    return s;
+  }
+};
+
+/// 2-bit pack (A=0 C=1 G=2 T=3, LSB-first within each byte — the twobit_seq
+/// layout). Non-ACGT bases pack as 0 and are recorded as (position, raw
+/// char) exceptions so the decode is byte-exact for any input.
+std::string pack_text(const std::string& text,
+                      std::vector<std::pair<u32, char>>& exceptions) {
+  std::string packed((text.size() + 3) / 4, '\0');
+  for (usize i = 0; i < text.size(); ++i) {
+    u8 code = 0;
+    switch (text[i]) {
+      case 'A': code = 0; break;
+      case 'C': code = 1; break;
+      case 'G': code = 2; break;
+      case 'T': code = 3; break;
+      default:
+        exceptions.emplace_back(static_cast<u32>(i), text[i]);
+        break;
+    }
+    packed[i >> 2] = static_cast<char>(static_cast<u8>(packed[i >> 2]) |
+                                       (code << ((i & 3) * 2)));
+  }
+  return packed;
+}
+
+std::string unpack_text(const std::string& packed, usize len,
+                        const std::vector<std::pair<u32, char>>& exceptions) {
+  static constexpr char kBases[4] = {'A', 'C', 'G', 'T'};
+  std::string text(len, 'A');
+  for (usize i = 0; i < len; ++i) {
+    text[i] = kBases[(static_cast<u8>(packed[i >> 2]) >> ((i & 3) * 2)) & 3];
+  }
+  for (const auto& [pos, ch] : exceptions) {
+    if (pos >= len) {
+      throw index_error(fault::site::index_load,
+                        "exception position past chunk end");
+    }
+    text[pos] = ch;
+  }
+  return text;
+}
+
+std::unique_ptr<device_pipeline> make_index_pipeline(const engine_options& opt,
+                                                     usize max_entries) {
+  pipeline_options popt;
+  popt.variant = opt.variant;
+  popt.wg_size = opt.wg_size;
+  popt.counting = opt.counting;
+  popt.profiler = opt.profiler;
+  popt.max_entries = max_entries;
+  switch (opt.backend) {
+    case backend_kind::opencl: return make_opencl_pipeline(popt);
+    case backend_kind::sycl_usm: return make_sycl_usm_pipeline(popt);
+    case backend_kind::sycl_twobit: return make_sycl_twobit_pipeline(popt);
+    default: return make_sycl_pipeline(popt);
+  }
+}
+
+void merge_pipeline_metrics(run_metrics& m, const pipeline_metrics& pm) {
+  m.per_queue.push_back(pm);
+  m.pipeline.kernel_nanos += pm.kernel_nanos;
+  m.pipeline.finder_launches += pm.finder_launches;
+  m.pipeline.comparer_launches += pm.comparer_launches;
+  m.pipeline.h2d_bytes += pm.h2d_bytes;
+  m.pipeline.d2h_bytes += pm.d2h_bytes;
+  m.pipeline.total_loci += pm.total_loci;
+  m.pipeline.total_entries += pm.total_entries;
+}
+
+}  // namespace
+
+genome_index build_index(const genome::genome_t& g, const std::string& pattern,
+                         const engine_options& opt) {
+  COF_CHECK_MSG(opt.backend != backend_kind::serial,
+                "build_index drives a device pipeline (pick O, G, S, U or P)");
+  obs::span sp("index.build", "engine");
+  genome_index idx;
+  idx.pattern = pattern;
+  idx.max_chunk = opt.max_chunk;
+  idx.source_bases = g.total_bases();
+  for (const auto& c : g.chroms) idx.chrom_names.push_back(c.name);
+
+  const device_pattern pat = make_pattern(pattern);
+  const usize overlap = pat.plen > 0 ? pat.plen - 1 : 0;
+  const auto chunks = genome::make_chunks(g, opt.max_chunk, overlap);
+  idx.chunks.resize(chunks.size());
+  sp.arg("chunks", static_cast<double>(chunks.size()));
+
+  // Finder-only sweep, worst-case entry sizing: the index must be complete,
+  // so the build ignores opt.max_entries (a capped build could silently
+  // drop hits; warm queries re-apply the cap on upload).
+  std::atomic<usize> next{0};
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  auto worker = [&] {
+    try {
+      auto pipe = make_index_pipeline(opt, /*max_entries=*/0);
+      for (;;) {
+        const usize ci = next.fetch_add(1);
+        if (ci >= chunks.size()) break;
+        const auto& ch = chunks[ci];
+        const std::string_view seq = genome::chunk_view(g, ch);
+        pipe->load_chunk(seq);
+        const u32 hits = pipe->run_finder(pat);
+        index_chunk& out = idx.chunks[ci];
+        out.chrom_index = static_cast<u32>(ch.chrom_index);
+        out.start = ch.offset;
+        out.text.assign(seq.data(), seq.size());
+        if (hits != 0) {
+          out.loci = pipe->read_loci();
+          out.flags = pipe->read_flags();
+        }
+      }
+    } catch (...) {
+      std::lock_guard lock(err_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  usize queues = std::max<usize>(1, std::min(opt.num_queues,
+                                             std::max<usize>(1, chunks.size())));
+  if (opt.counting) queues = 1;
+  if (queues <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(queues);
+    for (usize t = 0; t < queues; ++t) threads.emplace_back(worker);
+    for (auto& t : threads) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  sp.arg("hits", static_cast<double>(idx.total_hits()));
+  return idx;
+}
+
+void save_index(const std::string& path, const genome_index& idx) {
+  obs::span sp("index.persist", "engine");
+  // Payload first: per-chunk records with their offsets, so the header can
+  // carry the offset table and the payload checksum.
+  std::string payload;
+  std::vector<u64> offsets;
+  offsets.reserve(idx.chunks.size());
+  for (const auto& ch : idx.chunks) {
+    fault::inject_point(fault::site::index_persist);
+    offsets.push_back(payload.size());
+    put_u32(payload, ch.chrom_index);
+    put_u64(payload, ch.start);
+    put_u32(payload, static_cast<u32>(ch.text.size()));
+    std::vector<std::pair<u32, char>> exceptions;
+    payload += pack_text(ch.text, exceptions);
+    put_u32(payload, static_cast<u32>(exceptions.size()));
+    for (const auto& [pos, c] : exceptions) {
+      put_u32(payload, pos);
+      payload.push_back(c);
+    }
+    put_u32(payload, static_cast<u32>(ch.loci.size()));
+    for (const u32 l : ch.loci) put_u32(payload, l);
+    payload.append(ch.flags.data(), ch.flags.size());
+  }
+  fault::inject_point(fault::site::index_persist);  // header write
+
+  std::string header;
+  put_u32(header, kIndexMagic);
+  put_u32(header, kIndexVersion);
+  put_u32(header, static_cast<u32>(idx.pattern.size()));
+  header += idx.pattern;
+  put_u64(header, idx.max_chunk);
+  put_u64(header, idx.source_bases);
+  put_u32(header, static_cast<u32>(idx.chrom_names.size()));
+  for (const auto& n : idx.chrom_names) {
+    put_u32(header, static_cast<u32>(n.size()));
+    header += n;
+  }
+  put_u32(header, static_cast<u32>(idx.chunks.size()));
+  put_u64(header, payload.size());
+  put_u64(header, fnv1a64(payload));
+  for (const u64 off : offsets) put_u64(header, off);
+
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f.good()) {
+    throw index_error(fault::site::index_persist,
+                      "cannot open for write: " + path);
+  }
+  f.write(header.data(), static_cast<std::streamsize>(header.size()));
+  f.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  f.flush();
+  if (!f.good()) {
+    throw index_error(fault::site::index_persist, "write failed: " + path);
+  }
+  sp.arg("bytes", static_cast<double>(header.size() + payload.size()));
+}
+
+genome_index load_index(const std::string& path) {
+  obs::span sp("index.load", "engine");
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) {
+    throw index_error(fault::site::index_load, "cannot open: " + path);
+  }
+  std::string data((std::istreambuf_iterator<char>(f)),
+                   std::istreambuf_iterator<char>());
+  if (f.bad()) {
+    throw index_error(fault::site::index_load, "read failed: " + path);
+  }
+  sp.arg("bytes", static_cast<double>(data.size()));
+
+  fault::inject_point(fault::site::index_load);  // header parse
+  reader r{data};
+  if (r.get_u32() != kIndexMagic) {
+    throw index_error(fault::site::index_load,
+                      "bad magic (not a .cofidx file): " + path);
+  }
+  const u32 version = r.get_u32();
+  if (version != kIndexVersion) {
+    throw index_error(fault::site::index_load,
+                      "unsupported index version " + std::to_string(version) +
+                          " (this build reads version " +
+                          std::to_string(kIndexVersion) + "): " + path);
+  }
+  genome_index idx;
+  idx.pattern = r.get_bytes(r.get_u32());
+  idx.max_chunk = r.get_u64();
+  idx.source_bases = r.get_u64();
+  const u32 nchroms = r.get_u32();
+  for (u32 i = 0; i < nchroms; ++i) {
+    idx.chrom_names.push_back(r.get_bytes(r.get_u32()));
+  }
+  const u32 nchunks = r.get_u32();
+  const u64 payload_bytes = r.get_u64();
+  const u64 checksum = r.get_u64();
+  std::vector<u64> offsets;
+  offsets.reserve(nchunks);
+  for (u32 i = 0; i < nchunks; ++i) offsets.push_back(r.get_u64());
+
+  if (data.size() - r.pos != payload_bytes) {
+    throw index_error(fault::site::index_load,
+                      "truncated index file (payload size mismatch): " + path);
+  }
+  const std::string payload = data.substr(r.pos);
+  if (fnv1a64(payload) != checksum) {
+    throw index_error(fault::site::index_load,
+                      "payload checksum mismatch (corrupt index): " + path);
+  }
+
+  idx.chunks.reserve(nchunks);
+  for (u32 i = 0; i < nchunks; ++i) {
+    fault::inject_point(fault::site::index_load);
+    if (offsets[i] > payload.size()) {
+      throw index_error(fault::site::index_load, "chunk offset past payload end");
+    }
+    reader cr{payload, static_cast<usize>(offsets[i])};
+    index_chunk ch;
+    ch.chrom_index = cr.get_u32();
+    if (ch.chrom_index >= idx.chrom_names.size()) {
+      throw index_error(fault::site::index_load, "chunk chromosome out of range");
+    }
+    ch.start = cr.get_u64();
+    const u32 text_len = cr.get_u32();
+    const std::string packed = cr.get_bytes((static_cast<usize>(text_len) + 3) / 4);
+    const u32 nexc = cr.get_u32();
+    if (nexc > text_len) {
+      throw index_error(fault::site::index_load, "exception count past chunk size");
+    }
+    std::vector<std::pair<u32, char>> exceptions;
+    exceptions.reserve(nexc);
+    for (u32 e = 0; e < nexc; ++e) {
+      const u32 pos = cr.get_u32();
+      const char c = static_cast<char>(cr.get_u8());
+      exceptions.emplace_back(pos, c);
+    }
+    ch.text = unpack_text(packed, text_len, exceptions);
+    const u32 nloci = cr.get_u32();
+    if (nloci > text_len) {
+      throw index_error(fault::site::index_load, "hit count past chunk size");
+    }
+    ch.loci.reserve(nloci);
+    for (u32 l = 0; l < nloci; ++l) {
+      const u32 locus = cr.get_u32();
+      if (locus >= text_len) {
+        throw index_error(fault::site::index_load, "hit locus past chunk end");
+      }
+      ch.loci.push_back(locus);
+    }
+    const std::string flags = cr.get_bytes(nloci);
+    ch.flags.assign(flags.begin(), flags.end());
+    idx.chunks.push_back(std::move(ch));
+  }
+  return idx;
+}
+
+void check_index_compatible(const genome_index& idx, const search_config& cfg) {
+  if (idx.pattern != cfg.pattern) {
+    throw index_error(fault::site::index_load,
+                      "index built for pattern " + idx.pattern +
+                          " cannot answer pattern " + cfg.pattern +
+                          " (rebuild with --build-index)");
+  }
+  for (const auto& q : cfg.queries) {
+    if (q.seq.size() != idx.pattern.size()) {
+      throw index_error(fault::site::index_load,
+                        "query length " + std::to_string(q.seq.size()) +
+                            " != indexed pattern length " +
+                            std::to_string(idx.pattern.size()));
+    }
+  }
+}
+
+/// One device pipeline plus the chunks pinned to it. `loaded` tracks which
+/// chunk's text/loci/flags are device-resident: a slot that owns a single
+/// chunk uploads it once and every later query() reuses the buffers; a slot
+/// cycling several chunks re-uploads on each visit (device residency is one
+/// chunk per queue — the same memory bound as the streaming engine).
+struct index_query_session::slot {
+  std::unique_ptr<device_pipeline> pipe;
+  std::vector<usize> chunk_ids;
+  usize loaded = ~usize{0};
+};
+
+index_query_session::index_query_session(const genome_index& idx,
+                                         const engine_options& opt)
+    : idx_(idx), opt_(opt) {
+  COF_CHECK_MSG(opt_.backend != backend_kind::serial,
+                "index queries drive a device pipeline (pick O, G, S, U or P)");
+  usize nslots = std::max<usize>(
+      1, std::min(opt_.num_queues, std::max<usize>(1, idx_.chunks.size())));
+  if (opt_.counting) nslots = 1;  // profiling serialises the queues
+  for (usize s = 0; s < nslots; ++s) {
+    slots_.push_back(std::make_unique<slot>());
+    slots_.back()->pipe = make_index_pipeline(opt_, opt_.max_entries);
+  }
+  for (usize ci = 0; ci < idx_.chunks.size(); ++ci) {
+    slots_[ci % nslots]->chunk_ids.push_back(ci);
+  }
+}
+
+index_query_session::~index_query_session() = default;
+
+search_outcome index_query_session::query(const std::vector<query_spec>& queries) {
+  obs::span sp("query", "engine");
+  sp.arg("guides", static_cast<double>(queries.size()));
+  util::stopwatch sw;
+  search_outcome out;
+  out.metrics.chunks = idx_.chunks.size();
+  if (queries.empty()) {
+    out.metrics.elapsed_seconds = sw.seconds();
+    return out;
+  }
+
+  std::vector<device_pattern> dev_queries;
+  dev_queries.reserve(queries.size());
+  std::vector<u16> thresholds;
+  for (const auto& q : queries) {
+    dev_queries.push_back(make_query(q.seq));
+    thresholds.push_back(q.max_mismatches);
+  }
+  const u32 plen = dev_queries.front().plen;
+
+  const bool tracing = obs::enabled();
+  std::mutex merge_mu;
+  std::exception_ptr first_error;
+  auto worker = [&](slot& sl) {
+    try {
+      std::vector<ot_record> local;
+      u64 hits = 0;
+      u64 misses = 0;
+      for (const usize ci : sl.chunk_ids) {
+        const index_chunk& ch = idx_.chunks[ci];
+        if (ch.loci.empty()) continue;
+        if (sl.loaded == ci) {
+          ++hits;
+        } else {
+          sl.pipe->load_indexed_chunk(ch.text, plen, ch.loci, ch.flags);
+          sl.loaded = ci;
+          ++misses;
+        }
+        // One multi-query launch per chunk: N guides coalesce into a single
+        // comparer_multi (or opt6 SWAR) dispatch over the resident loci.
+        sl.pipe->launch_comparer_batch(dev_queries, thresholds).wait();
+        const auto entries = sl.pipe->fetch_entries();
+        for (usize e = 0; e < entries.size(); ++e) {
+          const u32 qi = entries.qidx[e];
+          const u64 pos = ch.start + entries.loci[e];
+          const std::string_view slice(ch.text.data() + entries.loci[e], plen);
+          local.push_back(ot_record{
+              qi, ch.chrom_index, pos, entries.dir[e], entries.mm[e],
+              make_site_string(dev_queries[qi].seq, slice, entries.dir[e])});
+        }
+      }
+      chunk_hits_.fetch_add(hits);
+      chunk_misses_.fetch_add(misses);
+      if (tracing) {
+        auto& reg = obs::metrics_registry::global();
+        if (hits != 0) reg.counter("index.chunk.hit").add(hits);
+        if (misses != 0) reg.counter("index.chunk.miss").add(misses);
+      }
+      std::lock_guard lock(merge_mu);
+      out.records.insert(out.records.end(), local.begin(), local.end());
+      merge_pipeline_metrics(out.metrics, sl.pipe->metrics());
+    } catch (...) {
+      std::lock_guard lock(merge_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  if (slots_.size() <= 1) {
+    worker(*slots_.front());
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(slots_.size());
+    for (auto& sl : slots_) threads.emplace_back(worker, std::ref(*sl));
+    for (auto& t : threads) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  // Overlap regions live in two chunks; canonical order + dedup, exactly as
+  // the cold engine does.
+  sort_and_dedup(out.records);
+  out.metrics.elapsed_seconds = sw.seconds();
+  return out;
+}
+
+search_outcome run_query(const genome_index& idx,
+                         const std::vector<query_spec>& queries,
+                         const engine_options& opt) {
+  obs::run_scope obs_guard(!opt.trace_out.empty() || !opt.metrics_json.empty());
+  fault::scope fault_guard(opt.faults);
+  index_query_session session(idx, opt);
+  search_outcome out = session.query(queries);
+  if (obs::enabled()) {
+    if (!opt.trace_out.empty()) obs::write_trace(opt.trace_out);
+    if (!opt.metrics_json.empty()) {
+      obs::metrics_registry::global().write_json(opt.metrics_json);
+    }
+  }
+  return out;
+}
+
+}  // namespace cof

@@ -1,0 +1,127 @@
+// Index/query split of the search engine. The finder's output depends only
+// on (genome, PAM pattern) — not on the guides — so it is built ONCE as a
+// genome_index (decoded chunk text + finder hit loci/strand flags per
+// chunk), kept device-resident across query batches, and persisted to a
+// versioned `.cofidx` file. Warm queries then answer any set of guide RNAs
+// with comparer-only launches: zero FASTA decode, zero finder launches, and
+// N concurrent guides coalesce into one multi-query comparer launch per
+// chunk (the comparer_multi / opt6 batched path).
+//
+//   genome_index idx = build_index(g, cfg.pattern, opt);   // cold, once
+//   save_index("hg19.cofidx", idx);                        // persist
+//   ...
+//   genome_index idx = load_index("hg19.cofidx");          // warm
+//   index_query_session s(idx, opt);
+//   auto hits = s.query(cfg.queries);                      // comparer only
+//
+// File format (.cofidx, little-endian; see DESIGN.md §12):
+//   magic u32 'COFX' | version u32 | pattern (u32 len + bytes)
+//   max_chunk u64 | source_bases u64
+//   nchroms u32, per chrom: u32 len + bytes
+//   nchunks u32 | payload_bytes u64 | payload FNV-1a64 checksum
+//   per-chunk payload offset table (nchunks × u64)
+//   payload, per chunk: chrom_index u32 | start u64 | text_len u32 |
+//     2-bit packed text | exception list (pos u32, raw char u8)* for
+//     non-ACGT bases | n_loci u32 | loci u32[] | flags char[]
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace cof {
+
+/// One device-chunk of the index: the decoded chunk text (overlap included,
+/// byte-exact with the FASTA decode) plus the finder's output for it.
+struct index_chunk {
+  u32 chrom_index = 0;
+  util::u64 start = 0;         // offset of text[0] within the chromosome
+  std::string text;            // decoded bases, length == chunk length
+  std::vector<u32> loci;       // finder hits, text-relative
+  std::vector<char> flags;     // per hit: 0 = both strands, 1 = fw, 2 = rc
+};
+
+struct genome_index {
+  std::string pattern;         // the PAM pattern the finder ran with
+  usize max_chunk = 0;         // chunking geometry the index was built at
+  util::u64 source_bases = 0;  // total bases of the source genome
+  std::vector<std::string> chrom_names;
+  std::vector<index_chunk> chunks;
+
+  util::u64 total_hits() const {
+    util::u64 n = 0;
+    for (const auto& c : chunks) n += c.loci.size();
+    return n;
+  }
+};
+
+/// Corrupt/incompatible-index failure. Unlike the engine's COF_CHECK paths
+/// this THROWS (never aborts, never reads past a buffer): a damaged cache
+/// file must surface as a clean, site-named error the caller can turn into
+/// a rebuild or a fatal report. what() is prefixed with the site
+/// ("index.load" / "index.persist").
+class index_error : public std::runtime_error {
+ public:
+  index_error(std::string site, const std::string& message)
+      : std::runtime_error(site + ": " + message), site_(std::move(site)) {}
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+/// Cold phase: decode + finder over every chunk of `g` (worst-case entry
+/// sizing — the index must be complete), one device pipeline per
+/// opt.num_queues. Only opt.backend/variant/wg_size/num_queues matter here.
+genome_index build_index(const genome::genome_t& g, const std::string& pattern,
+                         const engine_options& opt = {});
+
+/// Persist to / restore from the versioned .cofidx format. Both throw
+/// index_error (site "index.persist" / "index.load") on I/O failure,
+/// truncation, bad magic, version skew, or checksum mismatch.
+void save_index(const std::string& path, const genome_index& idx);
+genome_index load_index(const std::string& path);
+
+/// Throws index_error when the index cannot answer cfg (pattern mismatch —
+/// the finder ran with a different PAM, or query length != pattern length).
+void check_index_compatible(const genome_index& idx, const search_config& cfg);
+
+/// Warm phase: device-resident index with upload-once semantics. The
+/// session owns opt.num_queues pipelines; each chunk is pinned to one
+/// pipeline (round-robin) and uploaded at most once per residency —
+/// repeated query() calls against the same chunk reuse the device buffers
+/// (chunk_hits counts the reuses, chunk_misses the uploads). Every query()
+/// runs ONE batched multi-query comparer launch per chunk. The caller is
+/// responsible for obs/fault scoping (run_query below, or the engine).
+class index_query_session {
+ public:
+  index_query_session(const genome_index& idx, const engine_options& opt);
+  ~index_query_session();
+  index_query_session(const index_query_session&) = delete;
+  index_query_session& operator=(const index_query_session&) = delete;
+
+  search_outcome query(const std::vector<query_spec>& queries);
+
+  util::u64 chunk_hits() const { return chunk_hits_.load(); }
+  util::u64 chunk_misses() const { return chunk_misses_.load(); }
+
+ private:
+  struct slot;
+  const genome_index& idx_;
+  engine_options opt_;
+  std::vector<std::unique_ptr<slot>> slots_;
+  std::atomic<util::u64> chunk_hits_{0};
+  std::atomic<util::u64> chunk_misses_{0};
+};
+
+/// One-shot warm query with its own obs/fault scoping — the standalone
+/// equivalent of run_search against a prebuilt index.
+search_outcome run_query(const genome_index& idx,
+                         const std::vector<query_spec>& queries,
+                         const engine_options& opt = {});
+
+}  // namespace cof

@@ -124,6 +124,31 @@ class device_pipeline {
   /// Copy the finder's hit positions back to the host.
   virtual std::vector<u32> read_loci() = 0;
 
+  /// Copy the finder's per-hit strand flags back to the host (0 = both
+  /// strands matched the PAM, 1 = forward only, 2 = reverse only). Length
+  /// equals the last finder run's hit count. The index build phase persists
+  /// these so warm queries can skip the finder entirely.
+  virtual std::vector<char> read_flags() {
+    throw std::logic_error(std::string(name()) + ": read_flags not implemented");
+  }
+
+  /// Warm-path upload: load a chunk together with PREBUILT finder output
+  /// (loci + strand flags from a genome_index) so subsequent comparer
+  /// launches run without a finder launch. Implementations upload the chunk
+  /// text and write loci/flags straight into the device buffers the finder
+  /// would have filled. Throws entry_overflow_error when the pipeline's
+  /// max_entries cap cannot hold the prebuilt hits.
+  virtual void load_indexed_chunk(std::string_view seq, u32 plen,
+                                  const std::vector<u32>& loci,
+                                  const std::vector<char>& flags) {
+    (void)seq;
+    (void)plen;
+    (void)loci;
+    (void)flags;
+    throw std::logic_error(std::string(name()) +
+                           ": load_indexed_chunk not implemented");
+  }
+
   /// Run the comparer for one query against the finder's hits.
   virtual entries run_comparer(const device_pattern& query, u16 threshold) = 0;
 

@@ -107,7 +107,8 @@ const std::vector<std::string>& known_sites() {
   static const std::vector<std::string> sites = {
       site::dev_alloc,  site::dev_launch,  site::pipe_event,  site::queue_push,
       site::queue_pop,  site::spill_write, site::spill_merge, site::entry_clamp,
-      site::exec_kernel, site::fasta_parse};
+      site::exec_kernel, site::fasta_parse, site::index_persist,
+      site::index_load};
   return sites;
 }
 

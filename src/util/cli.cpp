@@ -20,6 +20,12 @@ void cli::opt(const std::string& name, const std::string& help, std::string def)
   opts_[name] = opt_spec{help, std::move(def), /*is_flag=*/false, false};
 }
 
+void cli::multi(const std::string& name, const std::string& help) {
+  opt_spec spec{help, "", /*is_flag=*/false, false};
+  spec.is_multi = true;
+  opts_[name] = std::move(spec);
+}
+
 void cli::positional(const std::string& name, const std::string& help, bool required) {
   positionals_.push_back(pos_spec{name, help, required, ""});
 }
@@ -51,14 +57,22 @@ bool cli::parse(int argc, const char* const* argv) {
           return false;
         }
       } else if (has_inline) {
-        it->second.value = inline_value;
+        if (it->second.is_multi) {
+          it->second.values.push_back(inline_value);
+        } else {
+          it->second.value = inline_value;
+        }
       } else {
         if (i + 1 >= argc) {
           std::fprintf(stderr, "%s: option --%s needs a value\n", prog_.c_str(),
                        name.c_str());
           return false;
         }
-        it->second.value = argv[++i];
+        if (it->second.is_multi) {
+          it->second.values.push_back(argv[++i]);
+        } else {
+          it->second.value = argv[++i];
+        }
       }
     } else {
       if (pos_idx >= positionals_.size()) {
@@ -94,6 +108,12 @@ const std::string& cli::get(const std::string& name) const {
   auto it = opts_.find(name);
   COF_CHECK_MSG(it != opts_.end() && !it->second.is_flag, name);
   return it->second.value;
+}
+
+const std::vector<std::string>& cli::get_multi(const std::string& name) const {
+  auto it = opts_.find(name);
+  COF_CHECK_MSG(it != opts_.end() && it->second.is_multi, name);
+  return it->second.values;
 }
 
 u64 cli::get_u64(const std::string& name) const {

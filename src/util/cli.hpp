@@ -25,6 +25,8 @@ class cli {
   void flag(const std::string& name, const std::string& help);
   /// Valued option: --name <value>, with default.
   void opt(const std::string& name, const std::string& help, std::string def);
+  /// Repeatable valued option: every --name <value> occurrence accumulates.
+  void multi(const std::string& name, const std::string& help);
   /// Positional argument, in declaration order.
   void positional(const std::string& name, const std::string& help, bool required);
 
@@ -33,6 +35,8 @@ class cli {
 
   bool get_flag(const std::string& name) const;
   const std::string& get(const std::string& name) const;
+  /// Every value a repeatable option collected, in command-line order.
+  const std::vector<std::string>& get_multi(const std::string& name) const;
   u64 get_u64(const std::string& name) const;
   double get_double(const std::string& name) const;
   /// Positional by name; empty if absent (only valid for optional ones).
@@ -46,6 +50,8 @@ class cli {
     std::string value;   // default, then parsed
     bool is_flag = false;
     bool seen = false;
+    bool is_multi = false;
+    std::vector<std::string> values;  // multi options accumulate here
   };
   struct pos_spec {
     std::string name;

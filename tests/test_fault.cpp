@@ -181,6 +181,17 @@ TEST_P(FaultSites, SingleFaultRecoversOrFailsClean) {
   const auto clean = cof::run_search_streaming(c.cfg, c.file, opt);
   ASSERT_FALSE(clean.records.empty());
 
+  // The index sites only fire on the index/query split: route the faulted
+  // run through it (index.persist lands on the cold build-and-persist path;
+  // index.load needs a cache built by a clean warm run first).
+  if (std::string_view(tc.site).rfind("index.", 0) == 0) {
+    opt.index_path = (dir.path / "g.cofidx").string();
+    if (std::string_view(tc.site) == "index.load") {
+      const auto warm = cof::run_search_streaming(c.cfg, c.file, opt);
+      EXPECT_EQ(warm.records, clean.records) << tc.site;
+    }
+  }
+
   opt.faults = std::string(tc.site) + "=hit:1";
   const util::usize spills_before = spill_files_for_this_pid();
   if (tc.recovers) {
@@ -216,7 +227,12 @@ INSTANTIATE_TEST_SUITE_P(
                       // Mid-parse decoder fault: the producer owns the FASTA
                       // stream; a parse fault cannot be replayed (the stream
                       // position is gone), so it must fail clean.
-                      site_case{"fasta.parse", false}),
+                      site_case{"fasta.parse", false},
+                      // Index cache I/O: a failed persist or load has no
+                      // retry loop (the caller rebuilds or falls back to a
+                      // cold run), so both must fail clean.
+                      site_case{"index.persist", false},
+                      site_case{"index.load", false}),
     [](const ::testing::TestParamInfo<site_case>& info) {
       std::string name = info.param.site;
       for (auto& c : name) {
@@ -288,6 +304,55 @@ TEST(FaultSites, MidAndLastHitStillRecover) {
     EXPECT_EQ(faulted.records, clean.records) << "hit:" << n;
     EXPECT_EQ(fault::stats("dev.launch").injected, 1u) << "hit:" << n;
   }
+}
+
+/// The index cache sites inject once per chunk plus once for the header, so
+/// hit-1/mid/last land at the start, middle and end of the .cofidx
+/// write/read. Every landing must end in a clean site-named error — and a
+/// failed persist must not leave a cache file behind for later runs to
+/// trust.
+TEST(FaultSites, IndexPersistAndLoadFailCleanAtEveryHit) {
+  temp_dir dir;
+  const auto c = make_case(dir, 110, 6);
+  cof::engine_options opt{.backend = cof::backend_kind::sycl, .max_chunk = 9000};
+  opt.index_path = (dir.path / "g.cofidx").string();
+
+  // Learn each site's hit count with a never-firing plan: one cold run
+  // (build + persist) and one warm run (load).
+  opt.faults = "index.persist=hit:1000000000";
+  const auto cold = cof::run_search_streaming(c.cfg, c.file, opt);
+  const util::u64 persist_hits = fault::stats("index.persist").hits;
+  opt.faults = "index.load=hit:1000000000";
+  const auto warm = cof::run_search_streaming(c.cfg, c.file, opt);
+  const util::u64 load_hits = fault::stats("index.load").hits;
+  EXPECT_EQ(warm.records, cold.records);
+  ASSERT_GE(persist_hits, 3u);
+  ASSERT_GE(load_hits, 3u);
+
+  for (const util::u64 n : {util::u64{1}, persist_hits / 2, persist_hits}) {
+    fs::remove(opt.index_path);  // force the cold build-and-persist path
+    opt.faults = "index.persist=hit:" + std::to_string(n);
+    try {
+      (void)cof::run_search_streaming(c.cfg, c.file, opt);
+      FAIL() << "index.persist hit:" << n << ": expected a clean failure";
+    } catch (const fault::injected_error& e) {
+      EXPECT_EQ(e.site(), std::string("index.persist")) << "hit:" << n;
+    }
+    EXPECT_FALSE(fs::exists(opt.index_path)) << "hit:" << n;
+  }
+
+  opt.faults.clear();
+  (void)cof::run_search_streaming(c.cfg, c.file, opt);  // rebuild the cache
+  for (const util::u64 n : {util::u64{1}, load_hits / 2, load_hits}) {
+    opt.faults = "index.load=hit:" + std::to_string(n);
+    try {
+      (void)cof::run_search_streaming(c.cfg, c.file, opt);
+      FAIL() << "index.load hit:" << n << ": expected a clean failure";
+    } catch (const fault::injected_error& e) {
+      EXPECT_EQ(e.site(), std::string("index.load")) << "hit:" << n;
+    }
+  }
+  EXPECT_EQ(spill_files_for_this_pid(), 0u);
 }
 
 /// A fault plan that exhausts the bounded retries must end in a clean,

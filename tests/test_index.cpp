@@ -1,0 +1,359 @@
+// Index/query split suite: .cofidx round-trip (build → persist → load →
+// query) property tests on synth genomes, warm-vs-cold byte-identity across
+// every backend and queue count, zero-decode/zero-finder warm-path
+// assertions via the obs counters, device upload-once semantics, and
+// corrupt-index hardening (truncation, bad magic, checksum mismatch,
+// version skew — clean site-named errors, never UB reads).
+#include <gtest/gtest.h>
+
+#include "gtest_compat.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "core/engine_stream.hpp"
+#include "core/index.hpp"
+#include "genome/fasta.hpp"
+#include "genome/synth.hpp"
+#include "obs/metrics.hpp"
+#include "util/common.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct temp_dir {
+  fs::path path;
+  temp_dir() {
+    static int counter = 0;
+    path = fs::temp_directory_path() /
+           ("cof_index_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter++));
+    fs::create_directories(path);
+  }
+  ~temp_dir() { fs::remove_all(path); }
+};
+
+genome::genome_t index_genome(util::u64 seed) {
+  genome::synth_params p;
+  p.assembly = "index-test";
+  p.chromosomes = {{"chrA", 40000}, {"chrB", 15000}};
+  p.seed = seed;
+  return genome::generate(p);
+}
+
+struct stream_case {
+  cof::search_config cfg;
+  std::string file;
+};
+
+/// Synth genome (leading telomere N runs exercise the exception list) with
+/// planted off-target sites, written to FASTA — every run has records.
+stream_case make_case(const temp_dir& dir, util::u64 seed, util::usize planted) {
+  stream_case c;
+  auto g = index_genome(seed);
+  c.cfg = cof::parse_input(cof::example_input("<file>"));
+  const std::string guide = c.cfg.queries[0].seq.substr(0, 20) + "NGG";
+  genome::plant_sites(g, guide, c.cfg.pattern, planted, 2, seed + 1);
+  c.file = (dir.path / "g.fa").string();
+  genome::write_fasta_file(c.file, g.chroms);
+  return c;
+}
+
+bool index_equal(const cof::genome_index& a, const cof::genome_index& b) {
+  if (a.pattern != b.pattern || a.max_chunk != b.max_chunk ||
+      a.source_bases != b.source_bases || a.chrom_names != b.chrom_names ||
+      a.chunks.size() != b.chunks.size()) {
+    return false;
+  }
+  for (util::usize i = 0; i < a.chunks.size(); ++i) {
+    const auto& x = a.chunks[i];
+    const auto& y = b.chunks[i];
+    if (x.chrom_index != y.chrom_index || x.start != y.start ||
+        x.text != y.text || x.loci != y.loci || x.flags != y.flags) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- round-trip property -----------------------------------------------------
+
+/// build → persist → load must be lossless for every field — including the
+/// byte-exact chunk text, whose non-ACGT bases ride the exception list.
+TEST(IndexRoundTrip, PersistLoadIsLossless) {
+  temp_dir dir;
+  for (const util::u64 seed : {201u, 202u, 203u}) {
+    const auto c = make_case(dir, seed, 6);
+    const genome::genome_t g = genome::load_genome(c.file);
+    cof::engine_options opt{.backend = cof::backend_kind::sycl,
+                            .max_chunk = 9000};
+    const auto built = cof::build_index(g, c.cfg.pattern, opt);
+    ASSERT_GT(built.total_hits(), 0u) << "seed " << seed;
+    // The synth telomeres guarantee non-ACGT text, so the exception path is
+    // actually exercised.
+    bool has_n = false;
+    for (const auto& ch : built.chunks) {
+      has_n = has_n || ch.text.find('N') != std::string::npos;
+    }
+    EXPECT_TRUE(has_n) << "seed " << seed;
+
+    const std::string path = (dir.path / "rt.cofidx").string();
+    cof::save_index(path, built);
+    const auto loaded = cof::load_index(path);
+    EXPECT_TRUE(index_equal(built, loaded)) << "seed " << seed;
+  }
+}
+
+/// The full serving loop: a loaded index answers queries identically to the
+/// just-built one and to a cold full run.
+TEST(IndexRoundTrip, LoadedIndexAnswersIdenticallyToColdRun) {
+  temp_dir dir;
+  const auto c = make_case(dir, 204, 6);
+  cof::engine_options opt{.backend = cof::backend_kind::sycl, .max_chunk = 9000};
+  const auto cold = cof::run_search_streaming(c.cfg, c.file, opt);
+  ASSERT_FALSE(cold.records.empty());
+
+  const genome::genome_t g = genome::load_genome(c.file);
+  const auto built = cof::build_index(g, c.cfg.pattern, opt);
+  const std::string path = (dir.path / "rt.cofidx").string();
+  cof::save_index(path, built);
+  const auto loaded = cof::load_index(path);
+
+  const auto from_built = cof::run_query(built, c.cfg.queries, opt);
+  const auto from_loaded = cof::run_query(loaded, c.cfg.queries, opt);
+  EXPECT_EQ(from_built.records, cold.records);
+  EXPECT_EQ(from_loaded.records, cold.records);
+}
+
+// --- warm-vs-cold byte-identity ----------------------------------------------
+
+/// 4 backends × {1,2,4} queues: the warm index path (in-memory and via
+/// .cofidx) must be byte-identical to the classic cold streaming run.
+TEST(IndexQuery, WarmMatchesColdOnEveryBackendAndQueueCount) {
+  temp_dir dir;
+  const auto c = make_case(dir, 205, 8);
+  const std::string path = (dir.path / "g.cofidx").string();
+
+  // One index serves every backend: finder hits depend only on
+  // (genome, PAM), not on the host programming model.
+  {
+    const genome::genome_t g = genome::load_genome(c.file);
+    cof::engine_options bopt{.backend = cof::backend_kind::sycl,
+                             .max_chunk = 9000};
+    cof::save_index(path, cof::build_index(g, c.cfg.pattern, bopt));
+  }
+
+  for (const auto backend :
+       {cof::backend_kind::opencl, cof::backend_kind::sycl,
+        cof::backend_kind::sycl_usm, cof::backend_kind::sycl_twobit}) {
+    cof::engine_options opt{.backend = backend, .max_chunk = 9000};
+    const auto cold = cof::run_search_streaming(c.cfg, c.file, opt);
+    ASSERT_FALSE(cold.records.empty()) << cof::backend_name(backend);
+    for (const util::usize queues : {1u, 2u, 4u}) {
+      opt.num_queues = queues;
+      opt.index_path = path;
+      const auto warm = cof::run_search_streaming(c.cfg, c.file, opt);
+      EXPECT_EQ(warm.records, cold.records)
+          << cof::backend_name(backend) << " queues=" << queues;
+      EXPECT_TRUE(warm.used_index);
+      EXPECT_TRUE(warm.index_cache_hit);
+      opt.index_path.clear();
+    }
+  }
+}
+
+/// The batched multi-query coalescing must not change results: 1 guide at a
+/// time vs all guides in one query() call agree (per-chunk comparer_multi
+/// launch covers every guide).
+TEST(IndexQuery, CoalescedGuidesMatchPerGuideQueries) {
+  temp_dir dir;
+  const auto c = make_case(dir, 206, 6);
+  const genome::genome_t g = genome::load_genome(c.file);
+  cof::engine_options opt{.backend = cof::backend_kind::sycl, .max_chunk = 9000};
+  const auto idx = cof::build_index(g, c.cfg.pattern, opt);
+
+  cof::index_query_session session(idx, opt);
+  const auto coalesced = session.query(c.cfg.queries);
+  std::vector<cof::ot_record> separate;
+  for (util::usize qi = 0; qi < c.cfg.queries.size(); ++qi) {
+    auto one = session.query({c.cfg.queries[qi]});
+    for (auto& r : one.records) {
+      r.query_index = static_cast<util::u32>(qi);  // restore the batch index
+      separate.push_back(std::move(r));
+    }
+  }
+  cof::sort_and_dedup(separate);
+  EXPECT_EQ(coalesced.records, separate);
+}
+
+// --- zero-decode / zero-finder warm path -------------------------------------
+
+/// Acceptance: warm queries do ZERO FASTA decode and ZERO finder launches,
+/// asserted via the obs counters and the pipeline metrics.
+TEST(IndexQuery, WarmPathDoesZeroDecodeAndZeroFinderLaunches) {
+  temp_dir dir;
+  const auto c = make_case(dir, 207, 6);
+  const std::string path = (dir.path / "g.cofidx").string();
+  cof::engine_options opt{.backend = cof::backend_kind::sycl, .max_chunk = 9000};
+
+  // Cold run with the cache path set: builds + persists (cache miss).
+  opt.index_path = path;
+  opt.metrics_json = (dir.path / "cold.json").string();  // enables obs
+  const auto cold = cof::run_search_streaming(c.cfg, c.file, opt);
+  ASSERT_FALSE(cold.records.empty());
+  EXPECT_TRUE(cold.used_index);
+  EXPECT_FALSE(cold.index_cache_hit);
+  EXPECT_GT(cold.streamed_bases, 0u);  // the build decoded the genome once
+  EXPECT_EQ(obs::metrics_registry::global().counter("index.cache.miss").value(),
+            1u);
+
+  // Warm run: loads the cache — no decode, no finder.
+  opt.metrics_json = (dir.path / "warm.json").string();
+  const auto warm = cof::run_search_streaming(c.cfg, c.file, opt);
+  EXPECT_EQ(warm.records, cold.records);
+  EXPECT_TRUE(warm.index_cache_hit);
+  EXPECT_EQ(warm.streamed_bases, 0u);                       // zero FASTA decode
+  EXPECT_EQ(warm.metrics.pipeline.finder_launches, 0u);     // zero finder
+  EXPECT_GT(warm.metrics.pipeline.comparer_launches, 0u);   // comparer only
+  EXPECT_GT(warm.stage_times.query_s, 0.0);
+  EXPECT_GT(warm.stage_times.index_load_s, 0.0);
+  EXPECT_EQ(warm.stage_times.index_build_s, 0.0);
+  auto& reg = obs::metrics_registry::global();
+  EXPECT_EQ(reg.counter("index.cache.hit").value(), 1u);
+  EXPECT_GT(reg.counter("index.chunk.miss").value(), 0u);
+  EXPECT_EQ(warm.index_chunk_misses, reg.counter("index.chunk.miss").value());
+}
+
+/// Upload-once semantics: a slot that owns one chunk uploads it on the
+/// first query and reuses the device-resident buffers on every later one.
+TEST(IndexQuery, DeviceResidentChunksAreUploadedOnce) {
+  temp_dir dir;
+  const auto c = make_case(dir, 208, 6);
+  const genome::genome_t g = genome::load_genome(c.file);
+  // max_chunk > chromosome size: one chunk per chromosome, one slot each.
+  cof::engine_options opt{.backend = cof::backend_kind::sycl,
+                          .max_chunk = 1 << 20};
+  opt.num_queues = 2;
+  const auto idx = cof::build_index(g, c.cfg.pattern, opt);
+  ASSERT_EQ(idx.chunks.size(), 2u);
+
+  cof::index_query_session session(idx, opt);
+  const auto first = session.query(c.cfg.queries);
+  EXPECT_EQ(session.chunk_misses(), 2u);
+  EXPECT_EQ(session.chunk_hits(), 0u);
+  const auto second = session.query(c.cfg.queries);
+  EXPECT_EQ(session.chunk_misses(), 2u);  // no re-upload
+  EXPECT_EQ(session.chunk_hits(), 2u);
+  EXPECT_EQ(second.records, first.records);
+  EXPECT_EQ(second.metrics.pipeline.finder_launches, 0u);
+}
+
+// --- corrupt-index hardening -------------------------------------------------
+
+class CorruptIndex : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto c = make_case(dir_, 209, 4);
+    const genome::genome_t g = genome::load_genome(c.file);
+    cof::engine_options opt{.backend = cof::backend_kind::sycl,
+                            .max_chunk = 9000};
+    idx_ = cof::build_index(g, c.cfg.pattern, opt);
+    path_ = (dir_.path / "g.cofidx").string();
+    cof::save_index(path_, idx_);
+    cfg_ = c.cfg;
+  }
+
+  std::string read_file() const {
+    std::ifstream f(path_, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(f)),
+                       std::istreambuf_iterator<char>());
+  }
+  void write_file(const std::string& data) const {
+    std::ofstream f(path_, std::ios::binary | std::ios::trunc);
+    f << data;
+  }
+  void expect_load_fails(const std::string& needle) const {
+    try {
+      (void)cof::load_index(path_);
+      FAIL() << "expected index_error (" << needle << ")";
+    } catch (const cof::index_error& e) {
+      EXPECT_EQ(e.site(), std::string("index.load"));
+      EXPECT_NE(std::string(e.what()).find("index.load"), std::string::npos);
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  }
+
+  temp_dir dir_;
+  cof::genome_index idx_;
+  std::string path_;
+  cof::search_config cfg_;
+};
+
+TEST_F(CorruptIndex, TruncatedFileFailsClean) {
+  const std::string data = read_file();
+  // Every truncation point must fail clean — header, offset table, payload.
+  for (const util::usize keep :
+       {util::usize{3}, util::usize{17}, data.size() / 2, data.size() - 1}) {
+    write_file(data.substr(0, keep));
+    expect_load_fails("truncated");
+  }
+}
+
+TEST_F(CorruptIndex, BadMagicFailsClean) {
+  std::string data = read_file();
+  data[0] = 'X';
+  write_file(data);
+  expect_load_fails("bad magic");
+}
+
+TEST_F(CorruptIndex, VersionSkewFailsClean) {
+  std::string data = read_file();
+  data[4] = 99;  // version field, little-endian low byte
+  write_file(data);
+  expect_load_fails("unsupported index version 99");
+}
+
+TEST_F(CorruptIndex, PayloadChecksumMismatchFailsClean) {
+  std::string data = read_file();
+  data.back() = static_cast<char>(data.back() ^ 0x40);  // flip a payload bit
+  write_file(data);
+  expect_load_fails("checksum mismatch");
+}
+
+TEST_F(CorruptIndex, MissingFileFailsClean) {
+  fs::remove(path_);
+  expect_load_fails("cannot open");
+}
+
+TEST_F(CorruptIndex, PatternMismatchIsRejected) {
+  auto cfg = cfg_;
+  cfg.pattern = "NNNNNNNNNNNNNNNNNNNNNGG";  // index was built for ...NRG
+  EXPECT_THROW(cof::check_index_compatible(idx_, cfg), cof::index_error);
+  cfg = cfg_;
+  cfg.queries[0].seq = "ACGT";  // length != pattern length
+  EXPECT_THROW(cof::check_index_compatible(idx_, cfg), cof::index_error);
+}
+
+/// The CLI surfaces a corrupt cache as a clean fatal report (util::die),
+/// never UB: same conversion every front end applies.
+TEST_F(CorruptIndex, CliStyleHandlingDiesWithSiteNamedReport) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  std::string data = read_file();
+  data[0] = 'X';
+  write_file(data);
+  const std::string p = path_;
+  EXPECT_DEATH(
+      {
+        try {
+          (void)cof::load_index(p);
+        } catch (const std::exception& e) {
+          util::die(e.what());
+        }
+      },
+      "index.load.*bad magic");
+}
+
+}  // namespace
