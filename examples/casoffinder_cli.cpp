@@ -78,6 +78,9 @@ int main(int argc, char** argv) {
         seq = spec.substr(0, colon);
         COF_CHECK_MSG(util::parse_u64(spec.substr(colon + 1), mm),
                       "--query wants GUIDE[:MM]: " + spec);
+        COF_CHECK_MSG(mm <= 0xFFFF, "--query mismatch count " +
+                                        std::to_string(mm) +
+                                        " out of range (max 65535): " + spec);
       }
       cfg.queries.push_back({seq, static_cast<util::u16>(mm)});
     }

@@ -64,6 +64,10 @@ search_outcome run_search(const search_config& cfg, const genome::genome_t& g,
           .add(1);
     }
     check_index_compatible(*idx, cfg);
+    // The genome is in memory here, so a stale or foreign index (names,
+    // size or content differing from `g`) is rejected instead of silently
+    // answering for the wrong genome.
+    check_index_matches_genome(*idx, g);
     index_query_session session(*idx, opt);
     out = session.query(cfg.queries);
     out.metrics.elapsed_seconds = sw.seconds();

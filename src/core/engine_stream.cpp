@@ -13,6 +13,7 @@
 
 #include "core/index.hpp"
 #include "fault/fault.hpp"
+#include "genome/fasta.hpp"
 #include "genome/fasta_stream.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -780,6 +781,17 @@ streamed_outcome run_streaming_indexed(const search_config& cfg,
   }
   out.index_cache_hit = cache_hit;
   check_index_compatible(*idx, cfg);
+  // A warm index never sees the decoded genome, so verify its identity
+  // against a decode-free summary scan of the source (names, base count,
+  // content hash — no sequence materialised, no finder). Sources that
+  // cannot be summarised cheaply (synth: URIs, .2bit) skip the check; the
+  // cold branch above built from the genome and is trivially consistent.
+  if (cache_hit) {
+    if (const auto sum = genome::summarize_source(path)) {
+      check_index_matches_source(*idx, sum->names, sum->total_bases,
+                                 sum->hash);
+    }
+  }
 
   index_query_session session(*idx, opt);
   util::stopwatch qsw;

@@ -144,6 +144,39 @@ void merge_pipeline_metrics(run_metrics& m, const pipeline_metrics& pm) {
   m.pipeline.total_entries += pm.total_entries;
 }
 
+/// pipeline_metrics accumulate over the pipeline's lifetime; a long-lived
+/// session must report per-query() deltas or the second and later outcomes
+/// double-count every prior call.
+pipeline_metrics metrics_delta(const pipeline_metrics& now,
+                               const pipeline_metrics& prev) {
+  pipeline_metrics d;
+  d.kernel_nanos = now.kernel_nanos - prev.kernel_nanos;
+  d.finder_launches = now.finder_launches - prev.finder_launches;
+  d.comparer_launches = now.comparer_launches - prev.comparer_launches;
+  d.h2d_bytes = now.h2d_bytes - prev.h2d_bytes;
+  d.d2h_bytes = now.d2h_bytes - prev.d2h_bytes;
+  d.total_loci = now.total_loci - prev.total_loci;
+  d.total_entries = now.total_entries - prev.total_entries;
+  return d;
+}
+
+void check_query_lengths(const genome_index& idx,
+                         const std::vector<query_spec>& queries) {
+  for (const auto& q : queries) {
+    if (q.seq.size() != idx.pattern.size()) {
+      throw index_error(fault::site::index_load,
+                        "query length " + std::to_string(q.seq.size()) +
+                            " != indexed pattern length " +
+                            std::to_string(idx.pattern.size()));
+    }
+  }
+}
+
+std::string describe_genome(const std::vector<std::string>& names, u64 bases) {
+  return std::to_string(names.size()) + " sequences / " +
+         std::to_string(bases) + " bases";
+}
+
 }  // namespace
 
 genome_index build_index(const genome::genome_t& g, const std::string& pattern,
@@ -155,6 +188,7 @@ genome_index build_index(const genome::genome_t& g, const std::string& pattern,
   idx.pattern = pattern;
   idx.max_chunk = opt.max_chunk;
   idx.source_bases = g.total_bases();
+  idx.content_hash = genome::content_hash(g);
   for (const auto& c : g.chroms) idx.chrom_names.push_back(c.name);
 
   const device_pattern pat = make_pattern(pattern);
@@ -243,6 +277,7 @@ void save_index(const std::string& path, const genome_index& idx) {
   header += idx.pattern;
   put_u64(header, idx.max_chunk);
   put_u64(header, idx.source_bases);
+  put_u64(header, idx.content_hash);
   put_u32(header, static_cast<u32>(idx.chrom_names.size()));
   for (const auto& n : idx.chrom_names) {
     put_u32(header, static_cast<u32>(n.size()));
@@ -297,6 +332,7 @@ genome_index load_index(const std::string& path) {
   idx.pattern = r.get_bytes(r.get_u32());
   idx.max_chunk = r.get_u64();
   idx.source_bases = r.get_u64();
+  idx.content_hash = r.get_u64();
   const u32 nchroms = r.get_u32();
   for (u32 i = 0; i < nchroms; ++i) {
     idx.chrom_names.push_back(r.get_bytes(r.get_u32()));
@@ -318,6 +354,11 @@ genome_index load_index(const std::string& path) {
                       "payload checksum mismatch (corrupt index): " + path);
   }
 
+  // Warm queries read a full pattern window at every locus — host-side for
+  // the site string and in the comparer kernels — so a hostile locus is any
+  // that leaves fewer than plen bytes before the chunk end, not just one
+  // past it.
+  const usize plen = idx.pattern.size();
   idx.chunks.reserve(nchunks);
   for (u32 i = 0; i < nchunks; ++i) {
     fault::inject_point(fault::site::index_load);
@@ -352,8 +393,9 @@ genome_index load_index(const std::string& path) {
     ch.loci.reserve(nloci);
     for (u32 l = 0; l < nloci; ++l) {
       const u32 locus = cr.get_u32();
-      if (locus >= text_len) {
-        throw index_error(fault::site::index_load, "hit locus past chunk end");
+      if (locus >= text_len || text_len - locus < plen) {
+        throw index_error(fault::site::index_load,
+                          "hit locus leaves no pattern window before chunk end");
       }
       ch.loci.push_back(locus);
     }
@@ -371,14 +413,34 @@ void check_index_compatible(const genome_index& idx, const search_config& cfg) {
                           " cannot answer pattern " + cfg.pattern +
                           " (rebuild with --build-index)");
   }
-  for (const auto& q : cfg.queries) {
-    if (q.seq.size() != idx.pattern.size()) {
-      throw index_error(fault::site::index_load,
-                        "query length " + std::to_string(q.seq.size()) +
-                            " != indexed pattern length " +
-                            std::to_string(idx.pattern.size()));
-    }
+  check_query_lengths(idx, cfg.queries);
+}
+
+void check_index_matches_source(const genome_index& idx,
+                                const std::vector<std::string>& chrom_names,
+                                u64 total_bases, u64 content_hash) {
+  if (idx.chrom_names != chrom_names || idx.source_bases != total_bases ||
+      idx.content_hash != content_hash) {
+    throw index_error(
+        fault::site::index_load,
+        "index genome mismatch: built from " +
+            describe_genome(idx.chrom_names, idx.source_bases) +
+            ", configured genome is " +
+            describe_genome(chrom_names, total_bases) +
+            (idx.chrom_names == chrom_names && idx.source_bases == total_bases
+                 ? " with different sequence content"
+                 : "") +
+            " (rebuild with --build-index)");
   }
+}
+
+void check_index_matches_genome(const genome_index& idx,
+                                const genome::genome_t& g) {
+  std::vector<std::string> names;
+  names.reserve(g.chroms.size());
+  for (const auto& c : g.chroms) names.push_back(c.name);
+  check_index_matches_source(idx, names, g.total_bases(),
+                             genome::content_hash(g));
 }
 
 /// One device pipeline plus the chunks pinned to it. `loaded` tracks which
@@ -390,6 +452,7 @@ struct index_query_session::slot {
   std::unique_ptr<device_pipeline> pipe;
   std::vector<usize> chunk_ids;
   usize loaded = ~usize{0};
+  pipeline_metrics reported;  // snapshot already merged into past outcomes
 };
 
 index_query_session::index_query_session(const genome_index& idx,
@@ -414,6 +477,9 @@ index_query_session::~index_query_session() = default;
 search_outcome index_query_session::query(const std::vector<query_spec>& queries) {
   obs::span sp("query", "engine");
   sp.arg("guides", static_cast<double>(queries.size()));
+  // Every entry point validates guide lengths — the slices below and the
+  // comparer kernels assume one plen for the whole batch.
+  check_query_lengths(idx_, queries);
   util::stopwatch sw;
   search_outcome out;
   out.metrics.chunks = idx_.chunks.size();
@@ -471,7 +537,9 @@ search_outcome index_query_session::query(const std::vector<query_spec>& queries
       }
       std::lock_guard lock(merge_mu);
       out.records.insert(out.records.end(), local.begin(), local.end());
-      merge_pipeline_metrics(out.metrics, sl.pipe->metrics());
+      const pipeline_metrics pm = sl.pipe->metrics();
+      merge_pipeline_metrics(out.metrics, metrics_delta(pm, sl.reported));
+      sl.reported = pm;
     } catch (...) {
       std::lock_guard lock(merge_mu);
       if (!first_error) first_error = std::current_exception();

@@ -16,7 +16,7 @@
 //
 // File format (.cofidx, little-endian; see DESIGN.md §12):
 //   magic u32 'COFX' | version u32 | pattern (u32 len + bytes)
-//   max_chunk u64 | source_bases u64
+//   max_chunk u64 | source_bases u64 | genome content hash u64
 //   nchroms u32, per chrom: u32 len + bytes
 //   nchunks u32 | payload_bytes u64 | payload FNV-1a64 checksum
 //   per-chunk payload offset table (nchunks × u64)
@@ -49,6 +49,7 @@ struct genome_index {
   std::string pattern;         // the PAM pattern the finder ran with
   usize max_chunk = 0;         // chunking geometry the index was built at
   util::u64 source_bases = 0;  // total bases of the source genome
+  util::u64 content_hash = 0;  // genome::content_hash of the source genome
   std::vector<std::string> chrom_names;
   std::vector<index_chunk> chunks;
 
@@ -89,6 +90,18 @@ genome_index load_index(const std::string& path);
 /// Throws index_error when the index cannot answer cfg (pattern mismatch —
 /// the finder ran with a different PAM, or query length != pattern length).
 void check_index_compatible(const genome_index& idx, const search_config& cfg);
+
+/// Throws index_error when the index was built from a different genome than
+/// the one configured (chromosome names, base count or content hash
+/// disagree) — a cached .cofidx for assembly X must never silently answer
+/// queries as if it covered assembly Y. The genome_t overload verifies the
+/// full content hash; the summary overload is the decode-free streaming
+/// variant fed by genome::summarize_source.
+void check_index_matches_genome(const genome_index& idx,
+                                const genome::genome_t& g);
+void check_index_matches_source(const genome_index& idx,
+                                const std::vector<std::string>& chrom_names,
+                                util::u64 total_bases, util::u64 content_hash);
 
 /// Warm phase: device-resident index with upload-once semantics. The
 /// session owns opt.num_queues pipelines; each chunk is pinned to one

@@ -13,6 +13,65 @@
 
 namespace genome {
 
+namespace {
+
+/// Incremental FNV-1a64. Chromosomes are framed as name NUL bases NUL so
+/// the hash is order- and boundary-sensitive.
+struct fnv64 {
+  util::u64 h = 1469598103934665603ULL;
+  void feed(char c) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  void feed(std::string_view s) {
+    for (const char c : s) feed(c);
+  }
+};
+
+std::vector<std::string> list_fasta_dir(const std::string& path) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(path)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".fa" || ext == ".fasta" || ext == ".fna") {
+      files.push_back(entry.path().string());
+    }
+  }
+  COF_CHECK_MSG(!files.empty(), "no FASTA files in directory: " + path);
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+/// Counting/hashing twin of parse_fasta: identical line and char rules,
+/// no sequence materialised. `open` tracks an unclosed chromosome frame
+/// across files (directory sources concatenate).
+void summarize_fasta_text(std::string_view text, source_summary& out,
+                          fnv64& hash, bool& open) {
+  for (std::string_view line : util::split_lines(text)) {
+    line = util::trim(line);
+    if (line.empty() || line[0] == ';') continue;
+    if (line[0] == '>') {
+      const auto words = util::split(line.substr(1));
+      COF_CHECK_MSG(!words.empty(), "FASTA header with empty name");
+      if (open) hash.feed('\0');  // close the previous chromosome's bases
+      out.names.emplace_back(words[0]);
+      hash.feed(words[0]);
+      hash.feed('\0');
+      open = true;
+      continue;
+    }
+    COF_CHECK_MSG(open, "FASTA sequence data before any '>' header");
+    for (const char c : line) {
+      if (std::isspace(static_cast<unsigned char>(c))) continue;
+      hash.feed(upper_base(c));
+      ++out.total_bases;
+    }
+  }
+}
+
+}  // namespace
+
 usize genome_t::non_n_bases() const {
   usize n = 0;
   for (const auto& c : chroms) {
@@ -63,17 +122,7 @@ genome_t load_genome(const std::string& path) {
   genome_t g;
   g.assembly = fs::path(path).filename().string();
   if (fs::is_directory(path)) {
-    std::vector<std::string> files;
-    for (const auto& entry : fs::directory_iterator(path)) {
-      if (!entry.is_regular_file()) continue;
-      const std::string ext = entry.path().extension().string();
-      if (ext == ".fa" || ext == ".fasta" || ext == ".fna") {
-        files.push_back(entry.path().string());
-      }
-    }
-    COF_CHECK_MSG(!files.empty(), "no FASTA files in directory: " + path);
-    std::sort(files.begin(), files.end());
-    for (const auto& f : files) {
+    for (const auto& f : list_fasta_dir(path)) {
       auto records = read_fasta_file(f);
       for (auto& r : records) g.chroms.push_back(std::move(r));
     }
@@ -82,6 +131,42 @@ genome_t load_genome(const std::string& path) {
   }
   COF_CHECK_MSG(!g.chroms.empty(), "genome has no sequences: " + path);
   return g;
+}
+
+util::u64 content_hash(const genome_t& g) {
+  fnv64 hash;
+  for (const auto& c : g.chroms) {
+    hash.feed(c.name);
+    hash.feed('\0');
+    hash.feed(c.seq);
+    hash.feed('\0');
+  }
+  return hash.h;
+}
+
+std::optional<source_summary> summarize_source(const std::string& path) {
+  namespace fs = std::filesystem;
+  if (path.empty() || is_twobit_path(path) || !fs::exists(path)) {
+    return std::nullopt;
+  }
+  source_summary out;
+  fnv64 hash;
+  bool open = false;
+  const auto scan_file = [&](const std::string& f) {
+    std::ifstream in(f, std::ios::binary);
+    COF_CHECK_MSG(in.good(), "cannot open FASTA file: " + f);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    summarize_fasta_text(ss.str(), out, hash, open);
+  };
+  if (fs::is_directory(path)) {
+    for (const auto& f : list_fasta_dir(path)) scan_file(f);
+  } else {
+    scan_file(path);
+  }
+  if (open) hash.feed('\0');  // close the last chromosome's frame
+  out.hash = hash.h;
+  return out;
 }
 
 std::string write_fasta(const std::vector<chromosome>& records, usize width) {

@@ -5,6 +5,7 @@
 // external parser library.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -42,6 +43,23 @@ std::vector<chromosome> read_fasta_file(const std::string& path);
 /// Load a genome from a path: a FASTA file, or a directory of *.fa/*.fasta
 /// files (UCSC layout). Chromosomes are ordered by file name then record.
 genome_t load_genome(const std::string& path);
+
+/// Order-sensitive FNV-1a over every chromosome's name and bases — the
+/// genome identity an index is keyed on. Two genomes with equal names and
+/// sizes but different sequence hash differently.
+util::u64 content_hash(const genome_t& g);
+
+/// Decode-free summary of a genome source: chromosome names, total base
+/// count and the same content_hash() a full load would produce, computed in
+/// one pass with parse_fasta's exact char rules but without materialising
+/// any sequence. Returns nullopt for sources that cannot be summarised
+/// cheaply (missing paths, .2bit containers, synth: URIs).
+struct source_summary {
+  std::vector<std::string> names;
+  usize total_bases = 0;
+  util::u64 hash = 0;
+};
+std::optional<source_summary> summarize_source(const std::string& path);
 
 /// Serialise records as FASTA with the given line width.
 std::string write_fasta(const std::vector<chromosome>& records, usize width = 60);

@@ -12,6 +12,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "core/engine.hpp"
 #include "core/engine_stream.hpp"
 #include "core/index.hpp"
 #include "genome/fasta.hpp"
@@ -63,8 +64,8 @@ stream_case make_case(const temp_dir& dir, util::u64 seed, util::usize planted) 
 
 bool index_equal(const cof::genome_index& a, const cof::genome_index& b) {
   if (a.pattern != b.pattern || a.max_chunk != b.max_chunk ||
-      a.source_bases != b.source_bases || a.chrom_names != b.chrom_names ||
-      a.chunks.size() != b.chunks.size()) {
+      a.source_bases != b.source_bases || a.content_hash != b.content_hash ||
+      a.chrom_names != b.chrom_names || a.chunks.size() != b.chunks.size()) {
     return false;
   }
   for (util::usize i = 0; i < a.chunks.size(); ++i) {
@@ -226,6 +227,78 @@ TEST(IndexQuery, WarmPathDoesZeroDecodeAndZeroFinderLaunches) {
   EXPECT_EQ(warm.index_chunk_misses, reg.counter("index.chunk.miss").value());
 }
 
+/// run_query must reject guides whose length differs from the indexed
+/// pattern with the same clean index_error the engine paths give — never a
+/// wrong-plen slice.
+TEST(IndexQuery, RunQueryRejectsWrongGuideLength) {
+  temp_dir dir;
+  const auto c = make_case(dir, 210, 4);
+  const genome::genome_t g = genome::load_genome(c.file);
+  cof::engine_options opt{.backend = cof::backend_kind::sycl, .max_chunk = 9000};
+  const auto idx = cof::build_index(g, c.cfg.pattern, opt);
+  EXPECT_THROW((void)cof::run_query(idx, {{"ACGT", 2}}, opt), cof::index_error);
+  cof::index_query_session session(idx, opt);
+  EXPECT_THROW((void)session.query({{"ACGT", 2}}), cof::index_error);
+}
+
+/// An index built from genome X must never silently answer for genome Y —
+/// even one with identical chromosome names and sizes (content hash). Both
+/// the in-memory run_search path and the streaming warm path reject it.
+TEST(IndexQuery, MismatchedGenomeIsRejected) {
+  temp_dir dir;
+  const auto c = make_case(dir, 211, 4);
+  const genome::genome_t g = genome::load_genome(c.file);
+  cof::engine_options opt{.backend = cof::backend_kind::sycl, .max_chunk = 9000};
+  const auto idx = cof::build_index(g, c.cfg.pattern, opt);
+  const std::string path = (dir.path / "g.cofidx").string();
+  cof::save_index(path, idx);
+
+  // Same names, same lengths, different seed: only the content differs.
+  const genome::genome_t other = index_genome(212);
+  ASSERT_EQ(other.total_bases(), g.total_bases());
+  cof::engine_options wopt = opt;
+  wopt.index = &idx;
+  EXPECT_THROW((void)cof::run_search(c.cfg, other, wopt), cof::index_error);
+
+  const std::string other_file = (dir.path / "other.fa").string();
+  genome::write_fasta_file(other_file, other.chroms);
+  cof::engine_options sopt = opt;
+  sopt.index_path = path;
+  EXPECT_THROW((void)cof::run_search_streaming(c.cfg, other_file, sopt),
+               cof::index_error);
+
+  // The matching genome still passes both paths.
+  EXPECT_FALSE(cof::run_search(c.cfg, g, wopt).records.empty());
+  EXPECT_FALSE(cof::run_search_streaming(c.cfg, c.file, sopt).records.empty());
+}
+
+/// Outcome metrics are per-query() deltas, not the pipeline's cumulative
+/// lifetime counters: in a long-lived session the second call must not
+/// double-count the first one's launches and transfers.
+TEST(IndexQuery, SessionMetricsArePerQueryCall) {
+  temp_dir dir;
+  const auto c = make_case(dir, 213, 4);
+  const genome::genome_t g = genome::load_genome(c.file);
+  // One chunk per chromosome, one slot each: chunks stay device-resident,
+  // so the second call's h2d delta is query uploads only.
+  cof::engine_options opt{.backend = cof::backend_kind::sycl,
+                          .max_chunk = 1 << 20};
+  opt.num_queues = 2;
+  const auto idx = cof::build_index(g, c.cfg.pattern, opt);
+
+  cof::index_query_session session(idx, opt);
+  const auto first = session.query(c.cfg.queries);
+  ASSERT_GT(first.metrics.pipeline.comparer_launches, 0u);
+  const auto second = session.query(c.cfg.queries);
+  EXPECT_EQ(second.metrics.pipeline.comparer_launches,
+            first.metrics.pipeline.comparer_launches);
+  // Resident chunks re-upload nothing, so the second call moves fewer
+  // host-to-device bytes than the first (query uploads only).
+  EXPECT_LT(second.metrics.pipeline.h2d_bytes,
+            first.metrics.pipeline.h2d_bytes);
+  EXPECT_EQ(second.metrics.per_queue.size(), first.metrics.per_queue.size());
+}
+
 /// Upload-once semantics: a slot that owns one chunk uploads it on the
 /// first query and reuses the device-resident buffers on every later one.
 TEST(IndexQuery, DeviceResidentChunksAreUploadedOnce) {
@@ -321,6 +394,27 @@ TEST_F(CorruptIndex, PayloadChecksumMismatchFailsClean) {
   data.back() = static_cast<char>(data.back() ^ 0x40);  // flip a payload bit
   write_file(data);
   expect_load_fails("checksum mismatch");
+}
+
+/// A locus in (text_len - plen, text_len) passes a naive end-of-chunk check
+/// but would make both the host site-string slice and the comparer kernels
+/// read past the chunk text — load_index must reject any locus that leaves
+/// less than a full pattern window.
+TEST_F(CorruptIndex, LocusWithoutFullPatternWindowFailsClean) {
+  auto hostile = idx_;
+  util::usize ci = 0;
+  while (ci < hostile.chunks.size() && hostile.chunks[ci].loci.empty()) ++ci;
+  ASSERT_LT(ci, hostile.chunks.size()) << "need a chunk with finder hits";
+  auto& ch = hostile.chunks[ci];
+  ASSERT_GT(idx_.pattern.size(), 1u);
+
+  ch.loci[0] = static_cast<util::u32>(ch.text.size() - 1);  // near-end
+  cof::save_index(path_, hostile);
+  expect_load_fails("hit locus");
+
+  ch.loci[0] = static_cast<util::u32>(ch.text.size() + 5);  // past-end
+  cof::save_index(path_, hostile);
+  expect_load_fails("hit locus");
 }
 
 TEST_F(CorruptIndex, MissingFileFailsClean) {
