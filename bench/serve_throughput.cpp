@@ -1,0 +1,280 @@
+// Serving-mode bench: the serve::server admission layer (micro-batching
+// window coalescing concurrent guide requests into ONE multi-query comparer
+// launch per chunk) against serialized per-request dispatch (max_batch = 1:
+// every request is its own launch round). Two result sets:
+//
+//   modes  — requests/sec and p50/p99 request latency at 1/4/8 concurrent
+//            clients, coalesced vs serialized, byte-identical records
+//            checked against a standalone single-guide query per guide.
+//            The acceptance bar: coalesced beats serialized throughput at
+//            >= 4 concurrent clients.
+//   window — the same 8-client workload across micro-batching windows
+//            (0 = backlog-only coalescing) to expose the latency/throughput
+//            trade the window buys.
+//
+// Emits BENCH_serve.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/index.hpp"
+#include "genome/synth.hpp"
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace cof;
+using util::u64;
+using util::usize;
+
+constexpr const char* kPattern = "NNNNNNNNNNNNNNNNNNNNCGG";
+
+std::vector<query_spec> make_queries(const genome::genome_t& g, usize n) {
+  std::vector<query_spec> qs;
+  const std::string& seq = g.chroms[0].seq;
+  usize pos = 64;
+  while (qs.size() < n && pos + 20 < seq.size()) {
+    std::string core = seq.substr(pos, 20);
+    pos += seq.size() / (n + 2);
+    if (core.find('N') != std::string::npos) continue;
+    qs.push_back({core + "NNN", 1});
+  }
+  while (qs.size() < n) {  // degenerate genomes only
+    qs.push_back({"GGCCGACCTGTCGCTGACGCNNN", 1});
+  }
+  return qs;
+}
+
+struct mode_result {
+  std::string mode;
+  usize clients = 0;
+  u64 requests = 0;
+  double rps = 0.0;
+  u64 p50_us = 0;
+  u64 p99_us = 0;
+  u64 batches = 0;
+  u64 max_batch = 0;
+  u64 chunk_hits = 0;
+  bool identical = true;
+};
+
+u64 percentile(std::vector<u64>& v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const usize i = std::min<usize>(v.size() - 1,
+                                  static_cast<usize>(p * (v.size() - 1)));
+  return v[i];
+}
+
+/// `clients` threads each submit their own guide `per_client` times
+/// (submit-then-wait, so concurrency == client count) against one server.
+mode_result run_mode(const std::string& name, const genome_index& idx,
+                     const serve::server_options& sopt,
+                     const std::vector<query_spec>& guides, usize clients,
+                     usize per_client,
+                     const std::vector<std::vector<ot_record>>& reference) {
+  serve::server srv(idx, sopt);
+  mode_result r;
+  r.mode = name;
+  r.clients = clients;
+  std::vector<std::vector<u64>> lat(clients);
+  std::vector<char> ok(clients, 1);
+  std::atomic<usize> gate{0};
+  util::stopwatch wall;
+  std::vector<std::thread> threads;
+  for (usize c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const auto& q = guides[c % guides.size()];
+      const auto& ref = reference[c % guides.size()];
+      gate.fetch_add(1);
+      while (gate.load() < clients) std::this_thread::yield();
+      for (usize i = 0; i < per_client; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        auto recs = srv.submit(q.seq, q.max_mismatches).get();
+        const auto t1 = std::chrono::steady_clock::now();
+        lat[c].push_back(static_cast<u64>(
+            std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+                .count()));
+        if (recs != ref) ok[c] = 0;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_s = wall.seconds();
+  srv.shutdown();
+  const auto st = srv.stats();
+  r.requests = clients * per_client;
+  r.rps = wall_s > 0 ? static_cast<double>(r.requests) / wall_s : 0.0;
+  std::vector<u64> all;
+  for (auto& l : lat) all.insert(all.end(), l.begin(), l.end());
+  r.p50_us = percentile(all, 0.50);
+  r.p99_us = percentile(all, 0.99);
+  r.batches = st.batches;
+  r.max_batch = st.max_batch_size;
+  r.chunk_hits = srv.session().chunk_hits();
+  for (const char o : ok) r.identical = r.identical && o;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::cli cli("serve_throughput",
+                "resident serving mode: coalescing admission vs serialized "
+                "per-request dispatch");
+  cli.opt("scale", "hg19 scale divisor for the synthetic genome", "2048");
+  cli.opt("chunk", "max_chunk per device queue (bytes)", "262144");
+  cli.opt("queues", "device queues per run", "2");
+  cli.opt("guides", "distinct guides cycled across clients", "8");
+  cli.opt("requests", "requests per client", "24");
+  cli.opt("window", "coalescing micro-batch window (us)", "500");
+  cli.opt("out", "output JSON path", "BENCH_serve.json");
+  if (!cli.parse(argc, argv)) return 1;
+  util::set_log_level(util::log_level::warn);
+
+  const u64 scale = cli.get_u64("scale");
+  const usize nguides = cli.get_u64("guides");
+  const usize per_client = cli.get_u64("requests");
+  const u64 window = cli.get_u64("window");
+
+  bench::print_banner("serve_throughput",
+                      "request admission coalescing on the resident index");
+
+  auto g = genome::generate(genome::hg19_like(scale, 17));
+  search_config cfg;
+  cfg.pattern = kPattern;
+  const auto guides = make_queries(g, nguides);
+  for (usize qi = 0; qi < guides.size(); ++qi) {
+    const std::string planted = guides[qi].seq.substr(0, 20) + "CGG";
+    genome::plant_sites(g, planted, cfg.pattern, 25, 1, 191 + qi);
+  }
+
+  engine_options opt;
+  opt.backend = backend_kind::sycl;
+  opt.max_chunk = static_cast<usize>(cli.get_u64("chunk"));
+  opt.num_queues = static_cast<usize>(cli.get_u64("queues"));
+  const genome_index idx = build_index(g, cfg.pattern, opt);
+  std::printf("genome: %llu bases; index %zu chunks, %llu candidate sites; "
+              "%zu guides x %zu requests/client\n\n",
+              static_cast<unsigned long long>(g.total_bases()),
+              idx.chunks.size(),
+              static_cast<unsigned long long>(idx.total_hits()), nguides,
+              per_client);
+
+  // Per-guide reference records from standalone single-guide queries — what
+  // each future must yield byte-identically, however requests coalesce.
+  std::vector<std::vector<ot_record>> reference;
+  {
+    index_query_session ref_session(idx, opt);
+    for (const auto& q : guides) {
+      reference.push_back(ref_session.query({q}).records);
+    }
+  }
+
+  serve::server_options serialized;
+  serialized.engine = opt;
+  serialized.batch_window_us = 0;
+  serialized.max_batch = 1;
+  serve::server_options coalesced;
+  coalesced.engine = opt;
+  coalesced.batch_window_us = static_cast<usize>(window);
+  coalesced.max_batch = 64;
+
+  std::vector<mode_result> modes;
+  bool identical = true;
+  bool beats_at_4plus = true;
+  std::printf("%-12s %8s %12s %10s %10s %8s %9s\n", "mode", "clients",
+              "req/s", "p50_us", "p99_us", "batches", "identical");
+  for (const usize clients : {usize{1}, usize{4}, usize{8}}) {
+    const auto ser = run_mode("serialized", idx, serialized, guides, clients,
+                              per_client, reference);
+    const auto coa = run_mode("coalesced", idx, coalesced, guides, clients,
+                              per_client, reference);
+    for (const auto& r : {ser, coa}) {
+      std::printf("%-12s %8zu %12.1f %10llu %10llu %8llu %9s\n",
+                  r.mode.c_str(), r.clients, r.rps,
+                  static_cast<unsigned long long>(r.p50_us),
+                  static_cast<unsigned long long>(r.p99_us),
+                  static_cast<unsigned long long>(r.batches),
+                  r.identical ? "yes" : "DIVERGED");
+      identical = identical && r.identical;
+    }
+    if (clients >= 4 && coa.rps <= ser.rps) beats_at_4plus = false;
+    modes.push_back(ser);
+    modes.push_back(coa);
+  }
+  std::printf("\ncoalesced beats serialized at >= 4 clients: %s\n",
+              beats_at_4plus ? "yes" : "NO");
+
+  // Window sweep at 8 clients: how much latency the coalescing window
+  // spends buying batch size (and with it throughput).
+  std::vector<mode_result> sweep;
+  std::printf("\nwindow sweep (8 clients, coalesced):\n");
+  for (const u64 w : {u64{0}, u64{100}, u64{500}, u64{2000}}) {
+    serve::server_options wopt = coalesced;
+    wopt.batch_window_us = static_cast<usize>(w);
+    auto r = run_mode("window:" + std::to_string(w), idx, wopt, guides, 8,
+                      per_client, reference);
+    std::printf("  window=%-5llu us: %10.1f req/s  p50 %8llu us  p99 %8llu "
+                "us  max batch %llu\n",
+                static_cast<unsigned long long>(w), r.rps,
+                static_cast<unsigned long long>(r.p50_us),
+                static_cast<unsigned long long>(r.p99_us),
+                static_cast<unsigned long long>(r.max_batch));
+    identical = identical && r.identical;
+    sweep.push_back(r);
+  }
+
+  const std::string out = cli.get("out");
+  FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"serve_throughput\",\n  \"scale\": %llu,\n"
+               "  \"genome_bases\": %llu,\n  \"guides\": %zu,\n"
+               "  \"requests_per_client\": %zu,\n  \"window_us\": %llu,\n",
+               static_cast<unsigned long long>(scale),
+               static_cast<unsigned long long>(g.total_bases()), nguides,
+               per_client, static_cast<unsigned long long>(window));
+  auto emit = [&](const std::vector<mode_result>& rs) {
+    for (usize i = 0; i < rs.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"mode\": \"%s\", \"clients\": %zu, "
+                   "\"requests\": %llu, \"rps\": %.1f, \"p50_us\": %llu, "
+                   "\"p99_us\": %llu, \"batches\": %llu, "
+                   "\"max_batch\": %llu, \"chunk_hits\": %llu, "
+                   "\"identical\": %s}%s\n",
+                   rs[i].mode.c_str(), rs[i].clients,
+                   static_cast<unsigned long long>(rs[i].requests), rs[i].rps,
+                   static_cast<unsigned long long>(rs[i].p50_us),
+                   static_cast<unsigned long long>(rs[i].p99_us),
+                   static_cast<unsigned long long>(rs[i].batches),
+                   static_cast<unsigned long long>(rs[i].max_batch),
+                   static_cast<unsigned long long>(rs[i].chunk_hits),
+                   rs[i].identical ? "true" : "false",
+                   i + 1 < rs.size() ? "," : "");
+    }
+  };
+  std::fprintf(f, "  \"modes\": [\n");
+  emit(modes);
+  std::fprintf(f, "  ],\n  \"window_sweep\": [\n");
+  emit(sweep);
+  std::fprintf(f,
+               "  ],\n  \"coalesced_beats_serialized\": %s,\n"
+               "  \"identical\": %s\n}\n",
+               beats_at_4plus ? "true" : "false",
+               identical ? "true" : "false");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out.c_str());
+  return identical ? 0 : 2;
+}

@@ -9,8 +9,12 @@
 //      migrated application)
 //   O  the simulated accelerator via the OpenCL host program (the original)
 // plus engine knobs for work-group size, comparer variant and chunk size.
+#include <chrono>
 #include <cstdio>
+#include <deque>
 #include <fstream>
+#include <future>
+#include <iostream>
 
 #include "core/engine.hpp"
 #include "core/engine_stream.hpp"
@@ -18,6 +22,9 @@
 #include "core/scoring.hpp"
 #include "fault/fault.hpp"
 #include "genome/synth.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/server.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
@@ -51,7 +58,7 @@ int main(int argc, char** argv) {
                    "'spill.write=hit:1,dev.launch=prob:0.01:7' "
                    "(sites: dev.alloc dev.launch pipe.event queue.push "
                    "queue.pop spill.write spill.merge entry.clamp "
-                   "index.persist index.load; modes: "
+                   "index.persist index.load serve.admit serve.batch; modes: "
                    "always, hit:N, prob:P[:seed], off)", "");
   cli.opt("build-index", "build the genome/PAM index (decode + finder over "
                          "every chunk), persist it to this .cofidx path and "
@@ -62,6 +69,15 @@ int main(int argc, char** argv) {
                    "queries with comparer-only launches", "");
   cli.multi("query", "guide RNA GUIDE[:MM] (repeatable; replaces the input "
                      "file's query list; MM defaults to 5)");
+  cli.flag("serve", "daemon mode: keep the index device-resident and answer "
+                    "GUIDE[:MM] requests line-by-line from stdin (records "
+                    "stream to the output as each request completes; "
+                    "concurrent requests coalesce into one launch)");
+  cli.opt("serve-window", "serve mode micro-batching window in microseconds "
+                          "(0 = coalesce only the already-queued backlog)",
+          "200");
+  cli.opt("serve-batch", "serve mode cap on requests coalesced into one "
+                         "launch", "64");
   if (!cli.parse(argc, argv)) return 1;
 
   util::set_log_level(util::log_level::warn);
@@ -151,6 +167,131 @@ int main(int argc, char** argv) {
     return 0;
   }
   opt.index_path = cli.get("index");
+
+  // --serve: the resident daemon mode. Resolve the index once (load the
+  // .cofidx cache when present, build and optionally persist otherwise),
+  // hold it device-resident in a serve::server, then answer line-protocol
+  // requests from stdin: one `GUIDE[:MM]` per line, records for each
+  // request written as soon as its future resolves, in submission order.
+  if (cli.get_flag("serve")) {
+    COF_CHECK_MSG(opt.backend != cof::backend_kind::serial,
+                  "--serve needs a device backend (O, G, S, U or P)");
+    obs::run_scope obs_guard(!opt.trace_out.empty() ||
+                             !opt.metrics_json.empty());
+    fault::scope fault_guard(opt.faults);
+    try {
+      cof::genome_index idx;
+      if (!opt.index_path.empty() &&
+          std::ifstream(opt.index_path, std::ios::binary).good()) {
+        idx = cof::load_index(opt.index_path);
+        cof::check_index_compatible(idx, cfg);
+        std::fprintf(stderr, "serve: index cache hit (%s)\n",
+                     opt.index_path.c_str());
+      } else {
+        const genome::genome_t g = cof::load_configured_genome(cfg);
+        idx = cof::build_index(g, cfg.pattern, opt);
+        if (!opt.index_path.empty()) {
+          cof::save_index(opt.index_path, idx);
+          std::fprintf(stderr, "serve: index built and persisted to %s\n",
+                       opt.index_path.c_str());
+        }
+      }
+      cof::serve::server_options sopt;
+      sopt.engine = opt;
+      sopt.batch_window_us = cli.get_u64("serve-window");
+      sopt.max_batch = cli.get_u64("serve-batch");
+      cof::serve::server srv(idx, sopt);
+      std::fprintf(stderr,
+                   "serve: %zu chunks resident-capable, pattern %s; reading "
+                   "GUIDE[:MM] from stdin\n",
+                   idx.chunks.size(), idx.pattern.c_str());
+
+      genome::genome_t names_only;
+      for (const auto& n : idx.chrom_names) names_only.chroms.push_back({n, ""});
+      const std::string outp = cli.get_positional("output");
+      std::ofstream out_file;
+      if (!outp.empty() && outp != "-") {
+        out_file.open(outp, std::ios::binary);
+        COF_CHECK_MSG(out_file.good(), "cannot open output file: " + outp);
+      }
+      std::ostream& out = out_file.is_open()
+                              ? static_cast<std::ostream&>(out_file)
+                              : std::cout;
+
+      struct in_flight {
+        std::string guide;
+        std::future<std::vector<cof::ot_record>> fut;
+      };
+      std::deque<in_flight> pending;
+      auto drain = [&](bool all) {
+        while (!pending.empty() &&
+               (all || pending.front().fut.wait_for(std::chrono::seconds(0)) ==
+                           std::future_status::ready)) {
+          auto req = std::move(pending.front());
+          pending.pop_front();
+          try {
+            const auto recs = req.fut.get();
+            out << "# " << req.guide << " records=" << recs.size() << "\n"
+                << cof::format_records(recs, {req.guide}, names_only);
+            out.flush();
+          } catch (const std::exception& e) {
+            out << "# " << req.guide << " error=" << e.what() << "\n";
+            out.flush();
+          }
+        }
+      };
+
+      std::string line;
+      while (std::getline(std::cin, line)) {
+        const std::string spec(util::trim(line));
+        if (spec.empty() || spec[0] == '#') continue;
+        std::string seq = spec;
+        unsigned long long mm = 5;
+        if (const auto colon = spec.rfind(':'); colon != std::string::npos) {
+          seq = spec.substr(0, colon);
+          if (!util::parse_u64(spec.substr(colon + 1), mm) || mm > 0xFFFF) {
+            out << "# " << spec << " error=wants GUIDE[:MM]\n";
+            out.flush();
+            continue;
+          }
+        }
+        try {
+          pending.push_back(
+              {seq, srv.submit(seq, static_cast<util::u16>(mm))});
+        } catch (const std::exception& e) {
+          out << "# " << seq << " error=" << e.what() << "\n";
+          out.flush();
+        }
+        drain(/*all=*/false);  // stream completed requests while reading
+      }
+      drain(/*all=*/true);
+      srv.shutdown();
+      const auto st = srv.stats();
+      std::fprintf(stderr,
+                   "serve: %llu requests in %llu batches (max batch %llu, "
+                   "%llu rejected, %llu failed, %llu batch retries); "
+                   "residency %llu uploads / %llu reuses / %llu evictions\n",
+                   static_cast<unsigned long long>(st.admitted),
+                   static_cast<unsigned long long>(st.batches),
+                   static_cast<unsigned long long>(st.max_batch_size),
+                   static_cast<unsigned long long>(st.rejected),
+                   static_cast<unsigned long long>(st.failed),
+                   static_cast<unsigned long long>(st.batch_retries),
+                   static_cast<unsigned long long>(srv.session().chunk_misses()),
+                   static_cast<unsigned long long>(srv.session().chunk_hits()),
+                   static_cast<unsigned long long>(
+                       srv.session().chunk_evictions()));
+      if (obs::enabled()) {
+        if (!opt.trace_out.empty()) obs::write_trace(opt.trace_out);
+        if (!opt.metrics_json.empty()) {
+          obs::metrics_registry::global().write_json(opt.metrics_json);
+        }
+      }
+    } catch (const std::exception& e) {
+      util::die(e.what());
+    }
+    return 0;
+  }
 
   // --index routes through the streaming engine's index/query split even
   // without --stream: warm runs never decode FASTA or launch the finder.

@@ -80,6 +80,14 @@ struct engine_options {
   /// long reports a stall (queue.push / queue.pop failure) instead of
   /// hanging the run forever.
   usize queue_timeout_ms = 60000;
+  /// Warm query path: total device-residency budget (bytes) an
+  /// index_query_session may pin across its slots. Each slot keeps a
+  /// multi-chunk resident set (chunk text + candidate loci/flags stay on
+  /// the device between query() calls) and evicts least-recently-used
+  /// chunks once its share of the budget is exceeded; the chunk being
+  /// served is always admitted, so an undersized budget degrades to
+  /// re-uploads, never to a failure. 0 = unbounded.
+  usize resident_bytes = usize{256} << 20;
   /// Warm query path: answer the queries against this prebuilt genome index
   /// (comparer-only launches — no FASTA decode, no finder). The index must
   /// outlive the run. Takes precedence over index_path.

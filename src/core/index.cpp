@@ -3,13 +3,14 @@
 #include <cstring>
 #include <fstream>
 #include <mutex>
-#include <thread>
 
+#include "fault/fault.hpp"
 #include "genome/chunker.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace cof {
@@ -142,6 +143,19 @@ void merge_pipeline_metrics(run_metrics& m, const pipeline_metrics& pm) {
   m.pipeline.d2h_bytes += pm.d2h_bytes;
   m.pipeline.total_loci += pm.total_loci;
   m.pipeline.total_entries += pm.total_entries;
+}
+
+/// Fold one pipeline's lifetime accounting into a running total (the
+/// field-wise sum, without the per_queue bookkeeping of
+/// merge_pipeline_metrics).
+void accumulate_metrics(pipeline_metrics& into, const pipeline_metrics& pm) {
+  into.kernel_nanos += pm.kernel_nanos;
+  into.finder_launches += pm.finder_launches;
+  into.comparer_launches += pm.comparer_launches;
+  into.h2d_bytes += pm.h2d_bytes;
+  into.d2h_bytes += pm.d2h_bytes;
+  into.total_loci += pm.total_loci;
+  into.total_entries += pm.total_entries;
 }
 
 /// pipeline_metrics accumulate over the pipeline's lifetime; a long-lived
@@ -443,17 +457,96 @@ void check_index_matches_genome(const genome_index& idx,
                              genome::content_hash(g));
 }
 
-/// One device pipeline plus the chunks pinned to it. `loaded` tracks which
-/// chunk's text/loci/flags are device-resident: a slot that owns a single
-/// chunk uploads it once and every later query() reuses the buffers; a slot
-/// cycling several chunks re-uploads on each visit (device residency is one
-/// chunk per queue — the same memory bound as the streaming engine).
+/// One serving queue: the chunks pinned to it and the device-resident
+/// subset of them. Every resident chunk owns its own pipeline (chunk text +
+/// loci/flags stay in that pipeline's device buffers between query() calls)
+/// and is evicted least-recently-used when the slot's share of
+/// engine_options::resident_bytes is exceeded. `mu` serialises concurrent
+/// query() calls over the slot — residency state, the sticky entry cap and
+/// the pipelines' staged entries are all guarded by it.
 struct index_query_session::slot {
-  std::unique_ptr<device_pipeline> pipe;
+  struct resident_chunk {
+    usize chunk = ~usize{0};
+    std::unique_ptr<device_pipeline> pipe;
+    usize bytes = 0;
+    u64 last_used = 0;
+  };
+
+  std::mutex mu;
   std::vector<usize> chunk_ids;
-  usize loaded = ~usize{0};
+  std::vector<resident_chunk> resident;
+  usize resident_bytes = 0;
+  /// This slot's entry cap. Grows when a chunk overflows and stays grown
+  /// (sticky), mirroring the streaming engine's per-queue policy.
+  usize cur_max_entries = 0;
+  u64 tick = 0;  // LRU clock (monotonic per slot, under mu)
+  pipeline_metrics retired;   // accounting of evicted/rebuilt pipelines
   pipeline_metrics reported;  // snapshot already merged into past outcomes
+
+  /// All accounting this slot has ever produced: live pipelines plus the
+  /// retired bucket. Deltas against `reported` keep per-call outcomes honest.
+  pipeline_metrics total_metrics() const {
+    pipeline_metrics pm = retired;
+    for (const auto& rc : resident) accumulate_metrics(pm, rc.pipe->metrics());
+    return pm;
+  }
+
+  resident_chunk* find_resident(usize ci) {
+    for (auto& rc : resident) {
+      if (rc.chunk == ci) return &rc;
+    }
+    return nullptr;
+  }
+
+  /// Drop one chunk's residency (if present), folding its pipeline's
+  /// accounting into the retired bucket so metrics deltas never go negative.
+  bool evict(usize ci) {
+    for (usize i = 0; i < resident.size(); ++i) {
+      if (resident[i].chunk != ci) continue;
+      accumulate_metrics(retired, resident[i].pipe->metrics());
+      resident_bytes -= resident[i].bytes;
+      resident.erase(resident.begin() + i);
+      return true;
+    }
+    return false;
+  }
+
+  /// Evict least-recently-used residents until `incoming` fits the budget.
+  /// The incoming chunk is always admitted — an undersized budget degrades
+  /// to re-uploads, never to a failure — so eviction stops once the set is
+  /// empty.
+  u64 make_room(usize budget, usize incoming) {
+    u64 evicted = 0;
+    if (budget == 0) return evicted;
+    while (!resident.empty() && resident_bytes + incoming > budget) {
+      usize lru = 0;
+      for (usize i = 1; i < resident.size(); ++i) {
+        if (resident[i].last_used < resident[lru].last_used) lru = i;
+      }
+      obs::span sp("index.evict", "engine");
+      sp.arg("bytes", static_cast<double>(resident[lru].bytes));
+      evict(resident[lru].chunk);
+      ++evicted;
+    }
+    return evicted;
+  }
 };
+
+namespace {
+
+/// Device-resident footprint of one chunk: text plus candidate loci/flags.
+usize chunk_resident_bytes(const index_chunk& ch) {
+  return ch.text.size() + ch.loci.size() * (sizeof(u32) + sizeof(char));
+}
+
+// Bounded recovery attempts per chunk, matching the streaming engine: a
+// real overflow converges in one or two retries (the thrown error carries
+// the true demand); the bounds only exist to turn an `always` fault plan
+// into a clean error instead of a retry livelock.
+constexpr usize kMaxOverflowAttempts = 12;
+constexpr usize kMaxDeviceAttempts = 4;
+
+}  // namespace
 
 index_query_session::index_query_session(const genome_index& idx,
                                          const engine_options& opt)
@@ -463,9 +556,13 @@ index_query_session::index_query_session(const genome_index& idx,
   usize nslots = std::max<usize>(
       1, std::min(opt_.num_queues, std::max<usize>(1, idx_.chunks.size())));
   if (opt_.counting) nslots = 1;  // profiling serialises the queues
+  slot_budget_ =
+      opt_.resident_bytes == 0
+          ? 0
+          : std::max<usize>(1, opt_.resident_bytes / nslots);
   for (usize s = 0; s < nslots; ++s) {
     slots_.push_back(std::make_unique<slot>());
-    slots_.back()->pipe = make_index_pipeline(opt_, opt_.max_entries);
+    slots_.back()->cur_max_entries = opt_.max_entries;
   }
   for (usize ci = 0; ci < idx_.chunks.size(); ++ci) {
     slots_[ci % nslots]->chunk_ids.push_back(ci);
@@ -497,49 +594,112 @@ search_outcome index_query_session::query(const std::vector<query_spec>& queries
   }
   const u32 plen = dev_queries.front().plen;
 
-  const bool tracing = obs::enabled();
   std::mutex merge_mu;
   std::exception_ptr first_error;
   auto worker = [&](slot& sl) {
     try {
+      // Hold the slot for the whole sweep: concurrent query() calls
+      // interleave across slots but each slot's residency state, sticky
+      // entry cap and staged pipeline entries stay single-owner.
+      std::lock_guard slot_lock(sl.mu);
       std::vector<ot_record> local;
       u64 hits = 0;
       u64 misses = 0;
+      u64 evictions = 0;
+      u64 overflow_retries = 0;
+      u64 recovered = 0;
       for (const usize ci : sl.chunk_ids) {
         const index_chunk& ch = idx_.chunks[ci];
         if (ch.loci.empty()) continue;
-        if (sl.loaded == ci) {
-          ++hits;
-        } else {
-          sl.pipe->load_indexed_chunk(ch.text, plen, ch.loci, ch.flags);
-          sl.loaded = ci;
-          ++misses;
-        }
-        // One multi-query launch per chunk: N guides coalesce into a single
-        // comparer_multi (or opt6 SWAR) dispatch over the resident loci.
-        sl.pipe->launch_comparer_batch(dev_queries, thresholds).wait();
-        const auto entries = sl.pipe->fetch_entries();
-        for (usize e = 0; e < entries.size(); ++e) {
-          const u32 qi = entries.qidx[e];
-          const u64 pos = ch.start + entries.loci[e];
-          const std::string_view slice(ch.text.data() + entries.loci[e], plen);
-          local.push_back(ot_record{
-              qi, ch.chrom_index, pos, entries.dir[e], entries.mm[e],
-              make_site_string(dev_queries[qi].seq, slice, entries.dir[e])});
+        bool overflowed = false;
+        for (usize attempt = 0;; ++attempt) {
+          try {
+            slot::resident_chunk* rc = sl.find_resident(ci);
+            if (rc == nullptr) {
+              const usize bytes = chunk_resident_bytes(ch);
+              evictions += sl.make_room(slot_budget_, bytes);
+              slot::resident_chunk fresh;
+              fresh.chunk = ci;
+              fresh.bytes = bytes;
+              fresh.pipe = make_index_pipeline(opt_, sl.cur_max_entries);
+              fresh.pipe->load_indexed_chunk(ch.text, plen, ch.loci, ch.flags);
+              sl.resident.push_back(std::move(fresh));
+              sl.resident_bytes += bytes;
+              rc = &sl.resident.back();
+              ++misses;
+            } else {
+              ++hits;
+            }
+            rc->last_used = ++sl.tick;
+            // One multi-query launch per chunk: N guides coalesce into a
+            // single comparer_multi (or opt6 SWAR) dispatch over the
+            // device-resident loci.
+            rc->pipe->launch_comparer_batch(dev_queries, thresholds).wait();
+            const auto entries = rc->pipe->fetch_entries();
+            if (overflowed) ++recovered;
+            for (usize e = 0; e < entries.size(); ++e) {
+              const u32 qi = entries.qidx[e];
+              const u64 pos = ch.start + entries.loci[e];
+              const std::string_view slice(ch.text.data() + entries.loci[e],
+                                           plen);
+              local.push_back(ot_record{
+                  qi, ch.chrom_index, pos, entries.dir[e], entries.mm[e],
+                  make_site_string(dev_queries[qi].seq, slice, entries.dir[e])});
+            }
+            break;  // chunk done
+          } catch (const entry_overflow_error& e) {
+            // The engine's bounded grow-retry policy: the retry capacity is
+            // seeded by the TRUE demand the error round-trips, grows
+            // geometrically, never past the worst case, and stays grown
+            // (sticky per slot). The overflowing chunk's pipeline is
+            // retired; the next attempt re-admits at the grown cap.
+            if (!opt_.overflow_recovery ||
+                attempt + 1 >= kMaxOverflowAttempts) {
+              throw;
+            }
+            obs::span rsp("recover.retry", "engine");
+            rsp.arg("required", static_cast<double>(e.required()));
+            rsp.arg("capacity", static_cast<double>(e.capacity()));
+            overflowed = true;
+            sl.evict(ci);
+            const usize cur = sl.cur_max_entries;
+            if (cur != 0) {
+              const usize nq = std::max<usize>(1, dev_queries.size());
+              const usize worst = ch.text.size() * 2 * nq;
+              const usize grown = std::min<usize>(
+                  worst, std::max<usize>(e.required(), cur * 2));
+              if (grown <= cur) throw;  // already worst-case sized
+              sl.cur_max_entries = grown;
+            }
+            // cur == 0 is worst-case sizing: only an injected entry.clamp
+            // lands here — retry as-is within the attempt bound.
+            ++overflow_retries;
+          } catch (const fault::injected_error&) {
+            // Transient device failure (dev.alloc / dev.launch /
+            // pipe.event): retire this chunk's pipeline for fresh device
+            // state, bounded retries — the streaming engine's policy.
+            if (attempt + 1 >= kMaxDeviceAttempts) throw;
+            sl.evict(ci);
+          }
         }
       }
       chunk_hits_.fetch_add(hits);
       chunk_misses_.fetch_add(misses);
-      if (tracing) {
-        auto& reg = obs::metrics_registry::global();
-        if (hits != 0) reg.counter("index.chunk.hit").add(hits);
-        if (misses != 0) reg.counter("index.chunk.miss").add(misses);
-      }
+      chunk_evictions_.fetch_add(evictions);
+      // Recorded unconditionally, like every other registry site: a
+      // --metrics-json snapshot must show the residency behaviour whether
+      // or not tracing is on.
+      auto& reg = obs::metrics_registry::global();
+      if (hits != 0) reg.counter("index.chunk.hit").add(hits);
+      if (misses != 0) reg.counter("index.chunk.miss").add(misses);
+      if (evictions != 0) reg.counter("index.chunk.evict").add(evictions);
+      const pipeline_metrics now = sl.total_metrics();
       std::lock_guard lock(merge_mu);
       out.records.insert(out.records.end(), local.begin(), local.end());
-      const pipeline_metrics pm = sl.pipe->metrics();
-      merge_pipeline_metrics(out.metrics, metrics_delta(pm, sl.reported));
-      sl.reported = pm;
+      merge_pipeline_metrics(out.metrics, metrics_delta(now, sl.reported));
+      sl.reported = now;
+      out.metrics.recovery.overflow_retries += overflow_retries;
+      out.metrics.recovery.recovered_overflows += recovered;
     } catch (...) {
       std::lock_guard lock(merge_mu);
       if (!first_error) first_error = std::current_exception();
@@ -549,10 +709,16 @@ search_outcome index_query_session::query(const std::vector<query_spec>& queries
   if (slots_.size() <= 1) {
     worker(*slots_.front());
   } else {
-    std::vector<std::thread> threads;
-    threads.reserve(slots_.size());
-    for (auto& sl : slots_) threads.emplace_back(worker, std::ref(*sl));
-    for (auto& t : threads) t.join();
+    // Slot sweeps dispatch through the shared work-stealing pool instead of
+    // spawning per-call threads — the serving path calls query() per
+    // request batch, so per-request thread churn would dominate small
+    // batches. The caller helps execute blocks while it waits.
+    util::thread_pool::global().parallel_for_range(
+        slots_.size(),
+        [&](usize begin, usize end) {
+          for (usize s = begin; s < end; ++s) worker(*slots_[s]);
+        },
+        /*blocks_per_worker=*/1);
   }
   if (first_error) std::rethrow_exception(first_error);
 

@@ -103,13 +103,27 @@ void check_index_matches_source(const genome_index& idx,
                                 const std::vector<std::string>& chrom_names,
                                 util::u64 total_bases, util::u64 content_hash);
 
-/// Warm phase: device-resident index with upload-once semantics. The
-/// session owns opt.num_queues pipelines; each chunk is pinned to one
-/// pipeline (round-robin) and uploaded at most once per residency —
-/// repeated query() calls against the same chunk reuse the device buffers
-/// (chunk_hits counts the reuses, chunk_misses the uploads). Every query()
-/// runs ONE batched multi-query comparer launch per chunk. The caller is
-/// responsible for obs/fault scoping (run_query below, or the engine).
+/// Warm phase: device-resident index for a long-lived serving process. The
+/// session owns opt.num_queues slots; each chunk is pinned to one slot
+/// (round-robin) and each slot keeps a MULTI-CHUNK resident set — every
+/// chunk it serves stays device-resident (text + candidate loci/flags)
+/// until least-recently-used eviction is forced by the byte budget
+/// (engine_options::resident_bytes, split evenly across slots), so repeated
+/// query() calls re-upload nothing while the working set fits (chunk_hits
+/// counts device-resident reuses, chunk_misses the uploads, chunk_evictions
+/// the budget-forced drops). Every query() runs ONE batched multi-query
+/// comparer launch per chunk.
+///
+/// query() is safe to call from multiple threads concurrently: slots are
+/// locked individually for the duration of their chunk sweep, so concurrent
+/// calls interleave across slots but never race on residency state or on a
+/// pipeline's staged entries. Entry-buffer overflows recover with the
+/// streaming engine's bounded grow-retry policy (sticky per-slot capacity,
+/// seeded by the true demand the error round-trips) when
+/// opt.overflow_recovery is set; transient device faults retire the chunk's
+/// pipeline and retry, both within the engine's attempt bounds. The caller
+/// is responsible for obs/fault scoping (run_query below, the engine, or
+/// serve::server).
 class index_query_session {
  public:
   index_query_session(const genome_index& idx, const engine_options& opt);
@@ -121,14 +135,19 @@ class index_query_session {
 
   util::u64 chunk_hits() const { return chunk_hits_.load(); }
   util::u64 chunk_misses() const { return chunk_misses_.load(); }
+  util::u64 chunk_evictions() const { return chunk_evictions_.load(); }
+
+  const genome_index& index() const { return idx_; }
 
  private:
   struct slot;
   const genome_index& idx_;
   engine_options opt_;
+  usize slot_budget_ = 0;  // resident-byte budget per slot (0 = unbounded)
   std::vector<std::unique_ptr<slot>> slots_;
   std::atomic<util::u64> chunk_hits_{0};
   std::atomic<util::u64> chunk_misses_{0};
+  std::atomic<util::u64> chunk_evictions_{0};
 };
 
 /// One-shot warm query with its own obs/fault scoping — the standalone

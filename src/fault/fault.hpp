@@ -60,6 +60,8 @@ inline constexpr const char* exec_kernel = "exec.kernel";  // mid-kernel, per wo
 inline constexpr const char* fasta_parse = "fasta.parse";  // mid-parse, per FASTA line block
 inline constexpr const char* index_persist = "index.persist";  // .cofidx write, per chunk
 inline constexpr const char* index_load = "index.load";        // .cofidx read, per chunk
+inline constexpr const char* serve_admit = "serve.admit";      // request admission, per submit
+inline constexpr const char* serve_batch = "serve.batch";      // coalesced batch dispatch
 }  // namespace site
 
 /// Every site the engine wires an injection point through.

@@ -1,0 +1,217 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace cof::serve {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+/// Coalesced-batch size buckets (requests per launch).
+const std::vector<u64>& batch_size_bounds() {
+  static const std::vector<u64> bounds = {2, 4, 8, 16, 32, 64, 128};
+  return bounds;
+}
+
+}  // namespace
+
+/// One admitted request riding the queue: the query it will contribute to
+/// the coalesced batch, the promise its records demux into, and the
+/// admission timestamp the latency histogram measures from.
+struct server::pending {
+  query_spec q;
+  std::promise<std::vector<ot_record>> prom;
+  clock::time_point t_admit;
+};
+
+server::server(const genome_index& idx, const server_options& opt)
+    : opt_(opt) {
+  session_ = std::make_unique<index_query_session>(idx, opt_.engine);
+  queue_ = std::make_unique<util::bounded_queue<pending>>(
+      std::max<usize>(1, opt_.queue_capacity));
+  loop_ = std::thread([this] {
+    obs::set_thread_name("serve.dispatch");
+    dispatch_loop();
+  });
+}
+
+server::~server() { shutdown(); }
+
+std::future<std::vector<ot_record>> server::submit(const std::string& guide,
+                                                   u16 max_mismatches) {
+  // Admission-time injection point: an armed serve.admit plan rejects THIS
+  // request cleanly (injected_error propagates to the caller) and leaves
+  // every other in-flight request untouched.
+  try {
+    fault::inject_point(fault::site::serve_admit);
+  } catch (...) {
+    rejected_.fetch_add(1);
+    obs::metrics_registry::global().counter("serve.rejected").add(1);
+    throw;
+  }
+  const usize plen = session_->index().pattern.size();
+  if (guide.size() != plen) {
+    rejected_.fetch_add(1);
+    obs::metrics_registry::global().counter("serve.rejected").add(1);
+    throw index_error(fault::site::serve_admit,
+                      "guide length " + std::to_string(guide.size()) +
+                          " != indexed pattern length " + std::to_string(plen));
+  }
+  if (stopping_.load()) {
+    rejected_.fetch_add(1);
+    obs::metrics_registry::global().counter("serve.rejected").add(1);
+    throw index_error(fault::site::serve_admit, "server is shut down");
+  }
+  pending p;
+  p.q.seq = guide;
+  p.q.max_mismatches = max_mismatches;
+  p.t_admit = clock::now();
+  auto fut = p.prom.get_future();
+  // Blocks while the queue is full — admission backpressure, same contract
+  // as the streaming engine's chunk hand-off.
+  if (!queue_->push(std::move(p))) {
+    rejected_.fetch_add(1);
+    obs::metrics_registry::global().counter("serve.rejected").add(1);
+    throw index_error(fault::site::serve_admit, "server is shut down");
+  }
+  admitted_.fetch_add(1);
+  auto& reg = obs::metrics_registry::global();
+  reg.counter("serve.requests").add(1);
+  reg.gauge("serve.queue_depth")
+      .set(static_cast<util::i64>(in_flight_.fetch_add(1) + 1));
+  return fut;
+}
+
+void server::dispatch_loop() {
+  const auto window = std::chrono::microseconds(opt_.batch_window_us);
+  const usize max_batch = std::max<usize>(1, opt_.max_batch);
+  pending first;
+  // pop() blocks for the batch opener and only returns false once the
+  // queue is closed AND drained — which is exactly the graceful-shutdown
+  // contract: every admitted request is served before the loop exits.
+  while (queue_->pop(first)) {
+    std::vector<pending> batch;
+    batch.push_back(std::move(first));
+    const auto deadline = clock::now() + window;
+    while (batch.size() < max_batch) {
+      const auto remaining = deadline - clock::now();
+      pending next;
+      // A non-positive remainder still polls with a zero wait: requests
+      // already queued coalesce even when the window is 0 or expired.
+      const auto st = queue_->pop_for(
+          next, remaining > clock::duration::zero()
+                    ? std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          remaining)
+                    : std::chrono::nanoseconds(0));
+      if (st == util::wait_status::ready) {
+        batch.push_back(std::move(next));
+        continue;
+      }
+      if (st == util::wait_status::closed) break;  // drain ends after this batch
+      if (remaining <= clock::duration::zero()) break;  // window spent
+    }
+    run_batch(batch);
+  }
+}
+
+void server::run_batch(std::vector<pending>& batch) {
+  obs::span sp("serve.batch", "serve");
+  sp.arg("requests", static_cast<double>(batch.size()));
+  auto& reg = obs::metrics_registry::global();
+  batches_.fetch_add(1);
+  reg.counter("serve.batches").add(1);
+  reg.histogram("serve.batch_size", batch_size_bounds()).observe(batch.size());
+  u64 prev_max = max_batch_size_.load();
+  while (batch.size() > prev_max &&
+         !max_batch_size_.compare_exchange_weak(prev_max, batch.size())) {
+  }
+
+  std::vector<query_spec> qs;
+  qs.reserve(batch.size());
+  for (const auto& p : batch) qs.push_back(p.q);
+
+  search_outcome out;
+  std::exception_ptr error;
+  for (usize attempt = 0;; ++attempt) {
+    try {
+      fault::inject_point(fault::site::serve_batch);
+      out = session_->query(qs);
+      break;
+    } catch (const fault::injected_error&) {
+      // Transient dispatch fault: bounded re-dispatch, the streaming
+      // engine's device-retry policy applied at batch granularity. The
+      // session's own recovery already handled per-chunk faults below us —
+      // this covers the batch envelope itself.
+      if (attempt + 1 >= std::max<usize>(1, opt_.max_batch_attempts)) {
+        error = std::current_exception();
+        break;
+      }
+      batch_retries_.fetch_add(1);
+      reg.counter("serve.batch.retry").add(1);
+    } catch (...) {
+      // Non-transient failure (overflow with recovery off, index error):
+      // fail exactly the requests in this batch, keep serving later ones.
+      error = std::current_exception();
+      break;
+    }
+  }
+
+  const auto t_done = clock::now();
+  auto& latency =
+      reg.histogram("serve.latency_us", obs::default_latency_bounds_us());
+  if (error) {
+    for (auto& p : batch) {
+      p.prom.set_exception(error);
+      failed_.fetch_add(1);
+    }
+  } else {
+    // Demux by query index: record i of the coalesced outcome belongs to
+    // batch[records[i].query_index]. Each requester sees its records as a
+    // standalone single-guide query would have produced them.
+    std::vector<std::vector<ot_record>> per(batch.size());
+    for (auto& rec : out.records) {
+      const usize owner = rec.query_index;
+      rec.query_index = 0;
+      per[owner].push_back(std::move(rec));
+    }
+    for (usize i = 0; i < batch.size(); ++i) {
+      latency.observe(static_cast<u64>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              t_done - batch[i].t_admit)
+              .count()));
+      batch[i].prom.set_value(std::move(per[i]));
+      served_.fetch_add(1);
+    }
+  }
+  reg.gauge("serve.queue_depth")
+      .set(static_cast<util::i64>(in_flight_.fetch_sub(batch.size()) -
+                            batch.size()));
+}
+
+void server::shutdown() {
+  stopping_.store(true);
+  queue_->close();  // idempotent; wakes the dispatcher
+  std::lock_guard lock(join_mu_);
+  if (loop_.joinable()) loop_.join();
+}
+
+server_stats server::stats() const {
+  server_stats s;
+  s.admitted = admitted_.load();
+  s.rejected = rejected_.load();
+  s.served = served_.load();
+  s.failed = failed_.load();
+  s.batches = batches_.load();
+  s.batch_retries = batch_retries_.load();
+  s.max_batch_size = max_batch_size_.load();
+  return s;
+}
+
+}  // namespace cof::serve

@@ -1,0 +1,126 @@
+// Resident serving mode ("cofd"): a long-lived daemon surface over the
+// genome index. Requests (one guide RNA + mismatch budget each) enter a
+// bounded admission queue; a single dispatcher thread collects everything
+// that arrives within a micro-batching window and coalesces it into ONE
+// index_query_session::query() — i.e. one multi-query comparer launch per
+// genome chunk — then demultiplexes the records back to per-request
+// futures by query index. The ROADMAP's "request admission that coalesces
+// concurrent user queries into one multi-query launch", made concrete:
+//
+//   serve::server srv(idx, opts);                 // index stays resident
+//   auto fut = srv.submit("GGCC...GG", 3);        // non-blocking admit
+//   std::vector<ot_record> hits = fut.get();      // records for THIS guide
+//   srv.shutdown();                               // drains, then stops
+//
+// Guarantees:
+//   * Coalescing never changes results: each future receives exactly the
+//     records a standalone query for its guide would have produced
+//     (query_index rewritten to 0), byte-identical site strings included.
+//   * Admission is validated per request (guide length vs the indexed
+//     pattern) so one malformed request is rejected at submit() and can
+//     never fail a coalesced batch for its neighbours.
+//   * Backpressure: submit() blocks while the admission queue is full —
+//     host memory stays bounded no matter how fast clients push.
+//   * Batch dispatch retries transient device faults with the engine's
+//     bounded policy (fault site "serve.batch"); admission has its own
+//     injection point ("serve.admit"). Exhausted retries fail only the
+//     requests in that batch, each future carrying the error.
+//   * shutdown() (and the destructor) close admission, drain every queued
+//     request, then join the dispatcher — no future is ever abandoned.
+//
+// Observability (recorded unconditionally into the metrics registry):
+// serve.requests / serve.rejected / serve.batches / serve.batch.retry
+// counters, serve.batch_size and serve.latency_us histograms (admission →
+// future-fulfilled), serve.queue_depth gauge. The caller owns obs/fault
+// scoping (obs::run_scope + fault::scope), exactly as with the engine.
+#pragma once
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/index.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cof::serve {
+
+struct server_options {
+  /// Backend/variant/num_queues/max_entries/resident_bytes etc. for the
+  /// underlying index_query_session. overflow_recovery applies unchanged.
+  engine_options engine;
+  /// Micro-batching window: after the first request of a batch arrives the
+  /// dispatcher keeps admitting for this long before launching. 0 = no
+  /// wait — still coalesces whatever is already queued (pure backlog
+  /// coalescing), so a burst submitted together batches even at 0.
+  usize batch_window_us = 200;
+  /// Hard cap on requests coalesced into one launch.
+  usize max_batch = 64;
+  /// Admission queue capacity; submit() blocks (backpressure) when full.
+  usize queue_capacity = 256;
+  /// Bounded retries for a batch whose dispatch hits a transient device
+  /// fault before the requests in it are failed.
+  usize max_batch_attempts = 4;
+};
+
+/// Monotonic counters since construction (snapshot, not live handles).
+struct server_stats {
+  util::u64 admitted = 0;       // requests accepted into the queue
+  util::u64 rejected = 0;       // submit() refusals (validation/shutdown)
+  util::u64 served = 0;         // futures fulfilled with records
+  util::u64 failed = 0;         // futures fulfilled with an exception
+  util::u64 batches = 0;        // coalesced launches
+  util::u64 batch_retries = 0;  // transient-fault batch re-dispatches
+  util::u64 max_batch_size = 0; // largest coalesced batch so far
+};
+
+class server {
+ public:
+  /// The index must outlive the server. Spawns the dispatcher thread.
+  server(const genome_index& idx, const server_options& opt);
+  ~server();  // shutdown()
+  server(const server&) = delete;
+  server& operator=(const server&) = delete;
+
+  /// Admit one request. Throws index_error (site "serve.admit") when the
+  /// guide length does not match the indexed pattern or the server is shut
+  /// down; blocks while the admission queue is full. The future yields this
+  /// guide's records (query_index == 0) or rethrows the batch failure.
+  std::future<std::vector<ot_record>> submit(const std::string& guide,
+                                             u16 max_mismatches);
+
+  /// Close admission, drain every queued request, join the dispatcher.
+  /// Idempotent; later submit() calls throw.
+  void shutdown();
+
+  server_stats stats() const;
+
+  const index_query_session& session() const { return *session_; }
+  const genome_index& index() const { return session_->index(); }
+
+ private:
+  struct pending;
+  void dispatch_loop();
+  void run_batch(std::vector<pending>& batch);
+
+  server_options opt_;
+  std::unique_ptr<index_query_session> session_;
+  std::unique_ptr<util::bounded_queue<pending>> queue_;
+  std::thread loop_;
+  std::mutex join_mu_;  // shutdown() is callable from any thread, once each
+  std::atomic<bool> stopping_{false};
+
+  std::atomic<util::u64> admitted_{0};
+  std::atomic<util::u64> rejected_{0};
+  std::atomic<util::u64> served_{0};
+  std::atomic<util::u64> failed_{0};
+  std::atomic<util::u64> batches_{0};
+  std::atomic<util::u64> batch_retries_{0};
+  std::atomic<util::u64> max_batch_size_{0};
+  std::atomic<util::u64> in_flight_{0};
+};
+
+}  // namespace cof::serve

@@ -12,8 +12,10 @@
 #include <filesystem>
 
 #include "core/engine_stream.hpp"
+#include "core/index.hpp"
 #include "core/pipeline.hpp"
 #include "fault/fault.hpp"
+#include "serve/server.hpp"
 #include "genome/chunker.hpp"
 #include "genome/synth.hpp"
 #include "util/rng.hpp"
@@ -408,6 +410,125 @@ TEST(FaultSites, DeterministicAcrossRuns) {
   const outcome a = run();
   const outcome b = run();
   EXPECT_TRUE(a == b) << "prob-mode fault plan not reproducible";
+}
+
+// --- serving-mode sites ------------------------------------------------------
+//
+// serve.admit / serve.batch never fire in a streaming run (they live in the
+// serve::server admission layer), so they get their own matrix here instead
+// of joining the streaming Values above — same hit-1/mid/last idiom, with
+// the hit counts learned via a never-firing plan first.
+
+cof::genome_index serve_index(const stream_case& c) {
+  const genome::genome_t g = genome::load_genome(c.file);
+  cof::engine_options opt{.backend = cof::backend_kind::sycl, .max_chunk = 9000};
+  return cof::build_index(g, c.cfg.pattern, opt);
+}
+
+/// An armed serve.admit plan rejects exactly the Nth submit() with a clean
+/// site-named error; every other request is admitted and served untouched.
+TEST(ServeFaults, AdmitFaultRejectsExactlyTheNthSubmit) {
+  temp_dir dir;
+  const auto c = make_case(dir, 111, 6);
+  const auto idx = serve_index(c);
+  const std::string guide = c.cfg.queries[0].seq;
+
+  cof::serve::server_options sopt;
+  sopt.engine = {.backend = cof::backend_kind::sycl, .max_chunk = 9000};
+  cof::serve::server srv(idx, sopt);
+  const auto clean = srv.submit(guide, 2).get();
+  ASSERT_FALSE(clean.empty());
+
+  fault::scope guard("serve.admit=hit:2");
+  auto first = srv.submit(guide, 2);
+  try {
+    (void)srv.submit(guide, 2);
+    FAIL() << "expected injected_error on the second admit";
+  } catch (const fault::injected_error& e) {
+    EXPECT_EQ(e.site(), std::string("serve.admit"));
+  }
+  auto third = srv.submit(guide, 2);
+  EXPECT_EQ(first.get(), clean);
+  EXPECT_EQ(third.get(), clean);
+  srv.shutdown();
+  const auto st = srv.stats();
+  EXPECT_EQ(st.rejected, 1u);
+  EXPECT_EQ(st.failed, 0u);
+  EXPECT_EQ(st.served, 3u);
+}
+
+/// serve.batch faults at hit 1, mid and last: the bounded batch re-dispatch
+/// must recover every landing with byte-identical records — the request
+/// stream keeps flowing wherever the fault lands.
+TEST(ServeFaults, BatchFaultAtFirstMidAndLastHitRecovers) {
+  temp_dir dir;
+  const auto c = make_case(dir, 112, 6);
+  const auto idx = serve_index(c);
+  const std::string guide = c.cfg.queries[0].seq;
+  cof::serve::server_options sopt;
+  sopt.engine = {.backend = cof::backend_kind::sycl, .max_chunk = 9000};
+  constexpr util::usize kRequests = 5;
+
+  // Learn the hit count with a never-firing plan: sequential submit+wait
+  // makes one batch (one serve.batch hit) per request.
+  std::vector<cof::ot_record> clean;
+  util::u64 total = 0;
+  {
+    fault::scope guard("serve.batch=hit:1000000000");
+    cof::serve::server srv(idx, sopt);
+    for (util::usize i = 0; i < kRequests; ++i) {
+      clean = srv.submit(guide, 2).get();
+    }
+    srv.shutdown();
+    total = fault::stats("serve.batch").hits;
+  }
+  ASSERT_FALSE(clean.empty());
+  ASSERT_GE(total, 3u);
+
+  for (const util::u64 n : {util::u64{1}, total / 2, total}) {
+    fault::scope guard("serve.batch=hit:" + std::to_string(n));
+    cof::serve::server srv(idx, sopt);
+    for (util::usize i = 0; i < kRequests; ++i) {
+      EXPECT_EQ(srv.submit(guide, 2).get(), clean) << "hit:" << n;
+    }
+    srv.shutdown();
+    EXPECT_EQ(fault::stats("serve.batch").injected, 1u) << "hit:" << n;
+    EXPECT_GE(srv.stats().batch_retries, 1u) << "hit:" << n;
+    EXPECT_EQ(srv.stats().failed, 0u) << "hit:" << n;
+  }
+}
+
+/// serve.batch=always exhausts the bounded re-dispatch attempts: the batch's
+/// futures carry the site-named error (no hang, no livelock), and the server
+/// keeps serving once the plan is lifted — then shuts down cleanly.
+TEST(ServeFaults, ExhaustedBatchRetriesFailTheBatchNotTheServer) {
+  temp_dir dir;
+  const auto c = make_case(dir, 113, 6);
+  const auto idx = serve_index(c);
+  const std::string guide = c.cfg.queries[0].seq;
+  cof::serve::server_options sopt;
+  sopt.engine = {.backend = cof::backend_kind::sycl, .max_chunk = 9000};
+  cof::serve::server srv(idx, sopt);
+  const auto clean = srv.submit(guide, 2).get();
+  ASSERT_FALSE(clean.empty());
+
+  {
+    fault::scope guard("serve.batch=always");
+    auto doomed = srv.submit(guide, 2);
+    try {
+      (void)doomed.get();
+      FAIL() << "expected the batch failure to reach the future";
+    } catch (const fault::injected_error& e) {
+      EXPECT_EQ(e.site(), std::string("serve.batch"));
+    }
+  }
+  // The plan is gone: the very next request is served normally.
+  EXPECT_EQ(srv.submit(guide, 2).get(), clean);
+  srv.shutdown();
+  const auto st = srv.stats();
+  EXPECT_EQ(st.failed, 1u);
+  EXPECT_GE(st.batch_retries, sopt.max_batch_attempts - 1);
+  EXPECT_EQ(st.served, 2u);
 }
 
 // --- overflow recovery property test -----------------------------------------

@@ -18,6 +18,7 @@
 #include "genome/fasta.hpp"
 #include "genome/synth.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/common.hpp"
 
 namespace {
@@ -321,6 +322,63 @@ TEST(IndexQuery, DeviceResidentChunksAreUploadedOnce) {
   EXPECT_EQ(session.chunk_hits(), 2u);
   EXPECT_EQ(second.records, first.records);
   EXPECT_EQ(second.metrics.pipeline.finder_launches, 0u);
+}
+
+/// An undersized max_entries cap on a warm query recovers with the engine's
+/// bounded grow-retry policy (sticky per-slot capacity seeded by the true
+/// demand) instead of failing the query — and with recovery disabled the
+/// overflow surfaces as the typed error, exactly like the streaming path.
+TEST(IndexQuery, WarmQueryRecoversFromUndersizedEntryCap) {
+  temp_dir dir;
+  const auto c = make_case(dir, 214, 8);
+  const genome::genome_t g = genome::load_genome(c.file);
+  cof::engine_options opt{.backend = cof::backend_kind::sycl, .max_chunk = 9000};
+  opt.num_queues = 2;
+  const auto idx = cof::build_index(g, c.cfg.pattern, opt);
+
+  // Worst-case-sized reference records.
+  cof::index_query_session reference(idx, opt);
+  const auto expected = reference.query(c.cfg.queries).records;
+  ASSERT_FALSE(expected.empty());
+
+  cof::engine_options tight = opt;
+  tight.max_entries = 1;  // guaranteed overflow on every populated chunk
+  cof::index_query_session session(idx, tight);
+  const auto out = session.query(c.cfg.queries);
+  EXPECT_EQ(out.records, expected);
+  EXPECT_GT(out.metrics.recovery.overflow_retries, 0u);
+  EXPECT_GT(out.metrics.recovery.recovered_overflows, 0u);
+  // The grown capacity is sticky: the repeat query overflows nothing.
+  const auto repeat = session.query(c.cfg.queries);
+  EXPECT_EQ(repeat.records, expected);
+  EXPECT_EQ(repeat.metrics.recovery.overflow_retries, 0u);
+
+  cof::engine_options fatal = tight;
+  fatal.overflow_recovery = false;
+  cof::index_query_session dying(idx, fatal);
+  EXPECT_THROW((void)dying.query(c.cfg.queries), cof::entry_overflow_error);
+}
+
+/// index.chunk.hit/miss land in the metrics registry even when tracing is
+/// off — a --metrics-json run without --trace-out must still show the
+/// residency behaviour (they used to be gated on obs::enabled()).
+TEST(IndexQuery, ResidencyCountersRecordWithoutTracing) {
+  temp_dir dir;
+  const auto c = make_case(dir, 215, 4);
+  const genome::genome_t g = genome::load_genome(c.file);
+  cof::engine_options opt{.backend = cof::backend_kind::sycl,
+                          .max_chunk = 1 << 20};
+  const auto idx = cof::build_index(g, c.cfg.pattern, opt);
+
+  ASSERT_FALSE(obs::enabled());  // no run_scope here: tracing is off
+  auto& reg = obs::metrics_registry::global();
+  const util::u64 miss0 = reg.counter("index.chunk.miss").value();
+  const util::u64 hit0 = reg.counter("index.chunk.hit").value();
+  cof::index_query_session session(idx, opt);
+  (void)session.query(c.cfg.queries);
+  (void)session.query(c.cfg.queries);
+  EXPECT_GT(reg.counter("index.chunk.miss").value(), miss0);
+  EXPECT_GT(reg.counter("index.chunk.hit").value(), hit0);
 }
 
 // --- corrupt-index hardening -------------------------------------------------

@@ -1,0 +1,319 @@
+// Resident serving suite: soak coverage for the warm-path residency fixes
+// (sequential and concurrent query() calls over randomized guide sets,
+// byte-identity vs the serial reference, residency-hit and per-call
+// metrics-delta assertions, LRU eviction under a tiny byte budget) plus the
+// serve::server admission layer (burst coalescing into fewer launches,
+// graceful shutdown draining the queue, per-request validation that cannot
+// fail a neighbour's batch). The concurrency tests carry the tsan label —
+// the daemon admission loop depends on concurrent query() being defined.
+#include <gtest/gtest.h>
+
+#include "gtest_compat.hpp"
+
+#include <algorithm>
+#include <future>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/index.hpp"
+#include "genome/synth.hpp"
+#include "serve/server.hpp"
+#include "util/common.hpp"
+
+namespace {
+
+using util::u64;
+using util::usize;
+
+constexpr const char* kPattern = "NNNNNNNNNNNNNNNNNNNNNGG";
+
+genome::genome_t serve_genome(u64 seed) {
+  genome::synth_params p;
+  p.assembly = "serve-test";
+  p.chromosomes = {{"chrA", 30000}, {"chrB", 12000}};
+  p.seed = seed;
+  return genome::generate(p);
+}
+
+/// Candidate guides lifted from real genome positions (so queries hit), N-free.
+std::vector<std::string> guide_pool(const genome::genome_t& g, usize n) {
+  std::vector<std::string> pool;
+  const std::string& seq = g.chroms[0].seq;
+  usize pos = 256;
+  while (pool.size() < n && pos + 20 < seq.size()) {
+    const std::string core = seq.substr(pos, 20);
+    pos += 577;
+    if (core.find('N') != std::string::npos) continue;
+    pool.push_back(core + "NNN");
+  }
+  return pool;
+}
+
+std::vector<cof::query_spec> pick_guides(const std::vector<std::string>& pool,
+                                         std::mt19937& rng, usize n) {
+  std::vector<cof::query_spec> qs;
+  std::uniform_int_distribution<usize> d(0, pool.size() - 1);
+  for (usize i = 0; i < n; ++i) {
+    qs.push_back({pool[d(rng)], static_cast<util::u16>(1 + (i % 2))});
+  }
+  return qs;
+}
+
+/// Serial-reference records for one guide set against the same genome.
+std::vector<cof::ot_record> serial_records(const genome::genome_t& g,
+                                           const std::vector<cof::query_spec>& qs) {
+  cof::search_config cfg;
+  cfg.pattern = kPattern;
+  cfg.queries = qs;
+  cof::engine_options opt;
+  opt.backend = cof::backend_kind::serial;
+  return cof::run_search(cfg, g, opt).records;
+}
+
+struct serve_fixture {
+  genome::genome_t g;
+  cof::genome_index idx;
+  std::vector<std::string> pool;
+
+  explicit serve_fixture(u64 seed, usize planted = 8) : g(serve_genome(seed)) {
+    cof::search_config cfg;
+    cfg.pattern = kPattern;
+    pool = guide_pool(g, 6);
+    // Plant near-miss sites for the pool guides so record sets are
+    // non-trivial everywhere.
+    for (usize i = 0; i < pool.size(); ++i) {
+      genome::plant_sites(g, pool[i].substr(0, 20) + "NGG", cfg.pattern,
+                          planted, 2, seed + 11 * (i + 1));
+    }
+    cof::engine_options bopt;
+    bopt.backend = cof::backend_kind::sycl;
+    bopt.max_chunk = 8192;  // several chunks per slot: residency matters
+    bopt.num_queues = 2;
+    idx = cof::build_index(g, cfg.pattern, bopt);
+  }
+
+  cof::engine_options warm_options() const {
+    cof::engine_options opt;
+    opt.backend = cof::backend_kind::sycl;
+    opt.max_chunk = 8192;
+    opt.num_queues = 2;
+    return opt;
+  }
+};
+
+// --- warm-path soak ----------------------------------------------------------
+
+/// Many sequential query() calls with randomized guide sets: every call
+/// byte-identical to the serial reference, the resident set re-uploads
+/// nothing after the first sweep (chunk_hits climbs, misses stay flat), and
+/// per-call metrics stay deltas (repeat calls move no chunk bytes h2d).
+TEST(ServeSoak, SequentialRandomizedGuidesMatchSerialReference) {
+  serve_fixture fx(501);
+  cof::index_query_session session(fx.idx, fx.warm_options());
+  std::mt19937 rng(77);
+  u64 first_h2d = 0;
+  bool any_records = false;
+  for (usize call = 0; call < 10; ++call) {
+    const auto qs = pick_guides(fx.pool, rng, 1 + call % 4);
+    const auto out = session.query(qs);
+    EXPECT_EQ(out.records, serial_records(fx.g, qs)) << "call " << call;
+    any_records = any_records || !out.records.empty();
+    if (call == 0) {
+      first_h2d = out.metrics.pipeline.h2d_bytes;
+      ASSERT_GT(first_h2d, 0u);
+    } else {
+      // Residency is real: later calls upload only the query patterns,
+      // never the chunk text/loci again.
+      EXPECT_LT(out.metrics.pipeline.h2d_bytes, first_h2d) << "call " << call;
+    }
+  }
+  EXPECT_TRUE(any_records);
+  const u64 misses = session.chunk_misses();
+  EXPECT_GT(misses, 0u);
+  EXPECT_LE(misses, fx.idx.chunks.size());
+  // 10 calls over a fully-resident working set: reuse dominates uploads.
+  EXPECT_GT(session.chunk_hits(), session.chunk_misses());
+  EXPECT_EQ(session.chunk_evictions(), 0u);
+}
+
+/// Two+ threads hammering ONE session concurrently (the daemon admission
+/// loop's shape). Per-slot locking must keep every result byte-identical
+/// and the hit/miss accounting consistent. Runs under the tsan label.
+TEST(ServeSoak, ConcurrentQueriesOnOneSessionAreIdentical) {
+  serve_fixture fx(502);
+  cof::index_query_session session(fx.idx, fx.warm_options());
+  constexpr usize kThreads = 3;
+  constexpr usize kCallsPerThread = 4;
+
+  // Fixed guide sets with precomputed references — the threads only race on
+  // the session, not on the checking.
+  std::vector<std::vector<cof::query_spec>> sets;
+  std::vector<std::vector<cof::ot_record>> refs;
+  std::mt19937 rng(78);
+  for (usize i = 0; i < kThreads * kCallsPerThread; ++i) {
+    sets.push_back(pick_guides(fx.pool, rng, 1 + i % 3));
+    refs.push_back(serial_records(fx.g, sets.back()));
+  }
+
+  std::vector<std::thread> threads;
+  std::vector<char> ok(kThreads, 1);
+  for (usize t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (usize c = 0; c < kCallsPerThread; ++c) {
+        const usize i = t * kCallsPerThread + c;
+        if (session.query(sets[i]).records != refs[i]) ok[t] = 0;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (usize t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(ok[t]) << "thread " << t << " diverged from serial reference";
+  }
+  // Every upload/reuse is accounted: totals reconcile with call count.
+  EXPECT_GT(session.chunk_hits(), 0u);
+  EXPECT_GT(session.chunk_misses(), 0u);
+}
+
+/// A byte budget far below the working set forces LRU eviction on every
+/// sweep — results must stay identical, only the upload accounting changes;
+/// a generous budget on the same workload evicts nothing.
+TEST(ServeSoak, LruEvictionUnderTinyBudgetStaysCorrect) {
+  serve_fixture fx(503);
+  std::mt19937 rng(79);
+  const auto qs = pick_guides(fx.pool, rng, 3);
+  const auto ref = serial_records(fx.g, qs);
+
+  auto tiny = fx.warm_options();
+  tiny.resident_bytes = 1;  // one chunk resident per slot, max
+  cof::index_query_session squeezed(fx.idx, tiny);
+  for (usize call = 0; call < 3; ++call) {
+    EXPECT_EQ(squeezed.query(qs).records, ref) << "squeezed call " << call;
+  }
+  EXPECT_GT(squeezed.chunk_evictions(), 0u);
+  EXPECT_EQ(squeezed.chunk_hits(), 0u);  // every visit re-uploads
+  EXPECT_GT(squeezed.chunk_misses(), fx.idx.chunks.size());
+
+  cof::index_query_session roomy(fx.idx, fx.warm_options());
+  for (usize call = 0; call < 3; ++call) {
+    EXPECT_EQ(roomy.query(qs).records, ref) << "roomy call " << call;
+  }
+  EXPECT_EQ(roomy.chunk_evictions(), 0u);
+  EXPECT_GT(roomy.chunk_hits(), 0u);
+}
+
+// --- admission layer ---------------------------------------------------------
+
+/// A burst submitted into a wide-open batching window coalesces into fewer
+/// launches than requests — and every future still gets exactly the records
+/// a standalone query for its guide would return (query_index == 0).
+TEST(ServeServer, BurstCoalescesIntoFewerBatchesWithIdenticalRecords) {
+  serve_fixture fx(504);
+  cof::serve::server_options sopt;
+  sopt.engine = fx.warm_options();
+  sopt.batch_window_us = 200000;  // effectively "wait for the whole burst"
+  sopt.max_batch = 64;
+  cof::serve::server srv(fx.idx, sopt);
+
+  constexpr usize kRequests = 8;
+  std::vector<std::future<std::vector<cof::ot_record>>> futs;
+  std::vector<std::string> guides;
+  for (usize i = 0; i < kRequests; ++i) {
+    const std::string& guide = fx.pool[i % fx.pool.size()];
+    guides.push_back(guide);
+    futs.push_back(srv.submit(guide, 2));
+  }
+  for (usize i = 0; i < kRequests; ++i) {
+    const auto recs = futs[i].get();
+    const auto ref = serial_records(fx.g, {{guides[i], 2}});
+    EXPECT_EQ(recs, ref) << "request " << i;
+    for (const auto& r : recs) EXPECT_EQ(r.query_index, 0u);
+  }
+  srv.shutdown();
+  const auto st = srv.stats();
+  EXPECT_EQ(st.admitted, kRequests);
+  EXPECT_EQ(st.served, kRequests);
+  EXPECT_EQ(st.failed, 0u);
+  EXPECT_LT(st.batches, kRequests) << "burst did not coalesce";
+  EXPECT_GT(st.max_batch_size, 1u);
+}
+
+/// shutdown() closes admission but drains everything already queued — no
+/// future is abandoned — and later submits are rejected cleanly.
+TEST(ServeServer, ShutdownDrainsQueuedRequestsThenRejects) {
+  serve_fixture fx(505);
+  cof::serve::server_options sopt;
+  sopt.engine = fx.warm_options();
+  sopt.batch_window_us = 100000;  // requests are queued when shutdown lands
+  cof::serve::server srv(fx.idx, sopt);
+
+  std::vector<std::future<std::vector<cof::ot_record>>> futs;
+  for (usize i = 0; i < 4; ++i) {
+    futs.push_back(srv.submit(fx.pool[i % fx.pool.size()], 1));
+  }
+  srv.shutdown();
+  for (usize i = 0; i < futs.size(); ++i) {
+    const auto ref = serial_records(fx.g, {{fx.pool[i % fx.pool.size()], 1}});
+    EXPECT_EQ(futs[i].get(), ref) << "queued request " << i << " abandoned";
+  }
+  EXPECT_EQ(srv.stats().served, 4u);
+  EXPECT_THROW((void)srv.submit(fx.pool[0], 1), cof::index_error);
+  EXPECT_GE(srv.stats().rejected, 1u);
+}
+
+/// Malformed requests are rejected at submit() — a wrong-length guide never
+/// reaches a batch, so the well-formed request coalesced "next to it" is
+/// served normally.
+TEST(ServeServer, WrongLengthGuideRejectedWithoutFailingNeighbours) {
+  serve_fixture fx(506);
+  cof::serve::server_options sopt;
+  sopt.engine = fx.warm_options();
+  sopt.batch_window_us = 50000;
+  cof::serve::server srv(fx.idx, sopt);
+
+  auto good = srv.submit(fx.pool[0], 2);
+  EXPECT_THROW((void)srv.submit("ACGT", 2), cof::index_error);
+  EXPECT_EQ(good.get(), serial_records(fx.g, {{fx.pool[0], 2}}));
+  srv.shutdown();
+  const auto st = srv.stats();
+  EXPECT_EQ(st.served, 1u);
+  EXPECT_EQ(st.rejected, 1u);
+  EXPECT_EQ(st.failed, 0u);
+}
+
+/// Concurrent submitters (the bench's client shape): records identical per
+/// request, total served == total admitted, coalescing visible. tsan label.
+TEST(ServeServer, ConcurrentClientsAreServedIdentically) {
+  serve_fixture fx(507);
+  cof::serve::server_options sopt;
+  sopt.engine = fx.warm_options();
+  sopt.batch_window_us = 2000;
+  cof::serve::server srv(fx.idx, sopt);
+
+  constexpr usize kClients = 4;
+  constexpr usize kPerClient = 5;
+  std::vector<std::vector<cof::ot_record>> refs;
+  for (usize c = 0; c < kClients; ++c) {
+    refs.push_back(serial_records(fx.g, {{fx.pool[c % fx.pool.size()], 1}}));
+  }
+  std::vector<std::thread> clients;
+  std::vector<char> ok(kClients, 1);
+  for (usize c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (usize i = 0; i < kPerClient; ++i) {
+        auto recs = srv.submit(fx.pool[c % fx.pool.size()], 1).get();
+        if (recs != refs[c]) ok[c] = 0;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (usize c = 0; c < kClients; ++c) EXPECT_TRUE(ok[c]) << "client " << c;
+  srv.shutdown();
+  const auto st = srv.stats();
+  EXPECT_EQ(st.admitted, kClients * kPerClient);
+  EXPECT_EQ(st.served, kClients * kPerClient);
+  EXPECT_EQ(st.failed, 0u);
+}
+
+}  // namespace
