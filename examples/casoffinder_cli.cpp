@@ -9,12 +9,14 @@
 //      migrated application)
 //   O  the simulated accelerator via the OpenCL host program (the original)
 // plus engine knobs for work-group size, comparer variant and chunk size.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <deque>
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <thread>
 
 #include "core/engine.hpp"
 #include "core/engine_stream.hpp"
@@ -78,6 +80,14 @@ int main(int argc, char** argv) {
           "200");
   cli.opt("serve-batch", "serve mode cap on requests coalesced into one "
                          "launch", "64");
+  cli.opt("stats-interval", "serve mode: emit a one-line stats JSON heartbeat "
+                            "every N seconds (0 = off) to stderr, or to "
+                            "--stats-out when set", "0");
+  cli.opt("stats-out", "serve mode: append stats heartbeats to this file "
+                       "(JSON lines) instead of stderr", "");
+  cli.opt("slo-us", "serve mode latency SLO in microseconds: !health reports "
+                    "degraded while the windowed p99 exceeds it (0 = no "
+                    "latency SLO)", "0");
   if (!cli.parse(argc, argv)) return 1;
 
   util::set_log_level(util::log_level::warn);
@@ -200,11 +210,43 @@ int main(int argc, char** argv) {
       sopt.engine = opt;
       sopt.batch_window_us = cli.get_u64("serve-window");
       sopt.max_batch = cli.get_u64("serve-batch");
+      sopt.slo_us = cli.get_u64("slo-us");
       cof::serve::server srv(idx, sopt);
       std::fprintf(stderr,
                    "serve: %zu chunks resident-capable, pattern %s; reading "
-                   "GUIDE[:MM] from stdin\n",
+                   "GUIDE[:MM] or !stats/!health from stdin\n",
                    idx.chunks.size(), idx.pattern.c_str());
+
+      // --stats-interval heartbeat: a sidecar thread appends the live stats
+      // snapshot as JSON lines (to --stats-out, else stderr) until the
+      // input loop finishes. 100 ms polling keeps shutdown prompt without a
+      // condition variable.
+      const util::u64 hb_interval_s = cli.get_u64("stats-interval");
+      const std::string hb_path = cli.get("stats-out");
+      std::atomic<bool> hb_stop{false};
+      std::thread hb_thread;
+      auto emit_stats = [&srv, &hb_path] {
+        const std::string line = srv.stats_json();
+        if (!hb_path.empty()) {
+          std::ofstream f(hb_path, std::ios::app);
+          if (f.good()) f << line << "\n";
+        } else {
+          std::fprintf(stderr, "%s\n", line.c_str());
+        }
+      };
+      if (hb_interval_s > 0) {
+        hb_thread = std::thread([&] {
+          obs::set_thread_name("serve.stats");
+          util::u64 slept_ms = 0;
+          while (!hb_stop.load()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+            slept_ms += 100;
+            if (slept_ms < hb_interval_s * 1000) continue;
+            slept_ms = 0;
+            emit_stats();
+          }
+        });
+      }
 
       genome::genome_t names_only;
       for (const auto& n : idx.chrom_names) names_only.chroms.push_back({n, ""});
@@ -220,7 +262,7 @@ int main(int argc, char** argv) {
 
       struct in_flight {
         std::string guide;
-        std::future<std::vector<cof::ot_record>> fut;
+        std::future<cof::serve::request_result> fut;
       };
       std::deque<in_flight> pending;
       auto drain = [&](bool all) {
@@ -230,9 +272,14 @@ int main(int argc, char** argv) {
           auto req = std::move(pending.front());
           pending.pop_front();
           try {
-            const auto recs = req.fut.get();
-            out << "# " << req.guide << " records=" << recs.size() << "\n"
-                << cof::format_records(recs, {req.guide}, names_only);
+            const auto r = req.fut.get();
+            out << "# " << req.guide << " records=" << r.records.size()
+                << " id=" << r.request_id
+                << " queue_us=" << r.timing.queue_us
+                << " batch_wait_us=" << r.timing.batch_wait_us
+                << " device_us=" << r.timing.device_us
+                << " demux_us=" << r.timing.demux_us << "\n"
+                << cof::format_records(r.records, {req.guide}, names_only);
             out.flush();
           } catch (const std::exception& e) {
             out << "# " << req.guide << " error=" << e.what() << "\n";
@@ -245,6 +292,22 @@ int main(int argc, char** argv) {
       while (std::getline(std::cin, line)) {
         const std::string spec(util::trim(line));
         if (spec.empty() || spec[0] == '#') continue;
+        // Control lines: `!stats` answers with the one-line live snapshot,
+        // `!health` with {"health":"ok|degraded|draining"} — both on the
+        // record output stream so a driving client reads one JSON line per
+        // control request, interleaved with its record blocks.
+        if (spec[0] == '!') {
+          if (spec == "!stats") {
+            out << srv.stats_json() << "\n";
+          } else if (spec == "!health") {
+            out << "{\"health\":\"" << cof::serve::health_name(srv.health())
+                << "\"}\n";
+          } else {
+            out << "# " << spec << " error=unknown control line\n";
+          }
+          out.flush();
+          continue;
+        }
         std::string seq = spec;
         unsigned long long mm = 5;
         if (const auto colon = spec.rfind(':'); colon != std::string::npos) {
@@ -265,6 +328,11 @@ int main(int argc, char** argv) {
         drain(/*all=*/false);  // stream completed requests while reading
       }
       drain(/*all=*/true);
+      if (hb_thread.joinable()) {
+        hb_stop.store(true);
+        hb_thread.join();
+        emit_stats();  // final beat with the drained totals
+      }
       srv.shutdown();
       const auto st = srv.stats();
       std::fprintf(stderr,

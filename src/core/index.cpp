@@ -571,9 +571,24 @@ index_query_session::index_query_session(const genome_index& idx,
 
 index_query_session::~index_query_session() = default;
 
+usize index_query_session::resident_bytes() const {
+  usize total = 0;
+  for (const auto& sl : slots_) {
+    std::lock_guard lock(sl->mu);
+    total += sl->resident_bytes;
+  }
+  return total;
+}
+
 search_outcome index_query_session::query(const std::vector<query_spec>& queries) {
+  return query(queries, query_trace{});
+}
+
+search_outcome index_query_session::query(const std::vector<query_spec>& queries,
+                                          const query_trace& trace) {
   obs::span sp("query", "engine");
   sp.arg("guides", static_cast<double>(queries.size()));
+  sp.arg("batch", static_cast<double>(trace.batch_id));
   // Every entry point validates guide lengths — the slices below and the
   // comparer kernels assume one plen for the whole batch.
   check_query_lengths(idx_, queries);
@@ -614,6 +629,12 @@ search_outcome index_query_session::query(const std::vector<query_spec>& queries
         bool overflowed = false;
         for (usize attempt = 0;; ++attempt) {
           try {
+            // One span per chunk sweep attempt (residency admission +
+            // comparer launch + entry fetch), tagged with the serving batch
+            // id so a coalesced launch's device work is attributable.
+            obs::span csp("index.chunk.compare", "engine");
+            csp.arg("chunk", static_cast<double>(ci));
+            csp.arg("batch", static_cast<double>(trace.batch_id));
             slot::resident_chunk* rc = sl.find_resident(ci);
             if (rc == nullptr) {
               const usize bytes = chunk_resident_bytes(ch);

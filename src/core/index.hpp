@@ -124,6 +124,15 @@ void check_index_matches_source(const genome_index& idx,
 /// pipeline and retry, both within the engine's attempt bounds. The caller
 /// is responsible for obs/fault scoping (run_query below, the engine, or
 /// serve::server).
+/// Trace context a caller threads through query(): when the serving layer
+/// coalesces N requests into one launch it passes the batch id here so the
+/// per-chunk comparer spans ("index.chunk.compare") carry it — Perfetto can
+/// then correlate a request's flow arrows with the device work that served
+/// it. Defaulted: standalone queries trace with batch 0.
+struct query_trace {
+  util::u64 batch_id = 0;
+};
+
 class index_query_session {
  public:
   index_query_session(const genome_index& idx, const engine_options& opt);
@@ -132,10 +141,17 @@ class index_query_session {
   index_query_session& operator=(const index_query_session&) = delete;
 
   search_outcome query(const std::vector<query_spec>& queries);
+  search_outcome query(const std::vector<query_spec>& queries,
+                       const query_trace& trace);
 
   util::u64 chunk_hits() const { return chunk_hits_.load(); }
   util::u64 chunk_misses() const { return chunk_misses_.load(); }
   util::u64 chunk_evictions() const { return chunk_evictions_.load(); }
+
+  /// Bytes currently pinned on the device across every slot's resident set
+  /// (snapshot — takes each slot's mutex in turn, so it may interleave with
+  /// a concurrent query()'s admissions/evictions).
+  usize resident_bytes() const;
 
   const genome_index& index() const { return idx_; }
 

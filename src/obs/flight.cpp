@@ -1,0 +1,189 @@
+#include "obs/flight.hpp"
+
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <vector>
+
+#include "obs/internal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+#ifdef _WIN32
+#include <process.h>
+#define COF_GETPID _getpid
+#else
+#include <unistd.h>
+#define COF_GETPID getpid
+#endif
+
+namespace obs::flight {
+
+namespace detail {
+std::atomic<int> g_armed{0};
+}
+
+namespace {
+
+struct recorder_state {
+  std::mutex mu;
+  std::vector<obs::detail::trace_event> ring;
+  usize next = 0;
+  usize count = 0;
+  u64 dropped = 0;
+  std::string dump_dir = ".";
+  std::atomic<u64> dumps{0};
+};
+
+recorder_state& state() {
+  static recorder_state* s = new recorder_state();  // leaked: terminate-safe
+  return *s;
+}
+
+std::terminate_handler g_prev_terminate = nullptr;
+
+/// Last-gasp dump: std::terminate means an exception escaped every recovery
+/// layer (or a noexcept boundary was crossed). Evidence first, then the
+/// previous handler (ultimately abort).
+[[noreturn]] void terminate_hook() {
+  const char* site = "";
+  std::string reason = "std::terminate";
+  if (auto ex = std::current_exception()) {
+    try {
+      std::rethrow_exception(ex);
+    } catch (const std::exception& e) {
+      reason = std::string("std::terminate: ") + e.what();
+    } catch (...) {
+      reason = "std::terminate: non-std exception";
+    }
+  }
+  dump(reason, site);
+  if (g_prev_terminate != nullptr) g_prev_terminate();
+  std::abort();
+}
+
+std::once_flag g_hook_once;
+
+}  // namespace
+
+void arm() {
+  auto& s = state();
+  if (detail::g_armed.fetch_add(1, std::memory_order_relaxed) == 0) {
+    std::lock_guard lock(s.mu);
+    s.next = 0;
+    s.count = 0;
+    s.dropped = 0;
+  }
+  std::call_once(g_hook_once,
+                 [] { g_prev_terminate = std::set_terminate(terminate_hook); });
+}
+
+void disarm() { detail::g_armed.fetch_sub(1, std::memory_order_relaxed); }
+
+void set_dump_dir(const std::string& dir) {
+  auto& s = state();
+  std::lock_guard lock(s.mu);
+  s.dump_dir = dir.empty() ? "." : dir;
+}
+
+std::string dump_path() {
+  auto& s = state();
+  std::lock_guard lock(s.mu);
+  return s.dump_dir + "/cof-postmortem-" + std::to_string(COF_GETPID()) +
+         ".json";
+}
+
+bool dump(const std::string& reason, const std::string& site) {
+  auto& s = state();
+  // Snapshot under the ring mutex, render and write outside it — a dump
+  // racing live recording must not stall the recording threads for the
+  // metrics render + file I/O.
+  std::vector<obs::detail::trace_event> events;
+  u64 dropped_events = 0;
+  std::string path;
+  {
+    std::lock_guard lock(s.mu);
+    dropped_events = s.dropped;
+    const usize first = (s.next + kCapacity - s.count) % kCapacity;
+    events.reserve(s.count);
+    for (usize i = 0; i < s.count; ++i) {
+      events.push_back(s.ring[(first + i) % kCapacity]);
+    }
+    path = s.dump_dir + "/cof-postmortem-" + std::to_string(COF_GETPID()) +
+           ".json";
+  }
+
+  std::string out = "{\n\"postmortem\": {\"pid\": ";
+  out += util::format("%d", static_cast<int>(COF_GETPID()));
+  out += ", \"reason\": \"";
+  obs::detail::append_json_escaped(out, reason.c_str());
+  out += "\", \"site\": \"";
+  obs::detail::append_json_escaped(out, site.c_str());
+  out += util::format("\", \"dumped_at_ns\": %llu, \"events_dropped\": %llu},\n",
+                      static_cast<unsigned long long>(obs::now_ns()),
+                      static_cast<unsigned long long>(dropped_events));
+  out += "\"events\": [\n";
+  for (usize i = 0; i < events.size(); ++i) {
+    if (i != 0) out += ",\n";
+    obs::detail::append_event_json(out, events[i]);
+  }
+  out += "\n],\n\"metrics\": ";
+  out += metrics_registry::global().json();
+  out += "}\n";
+
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    LOG_ERROR("cannot open postmortem output %s", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+  std::fclose(f);
+  if (!ok) {
+    LOG_ERROR("short write to postmortem output %s", path.c_str());
+    return false;
+  }
+  state().dumps.fetch_add(1, std::memory_order_relaxed);
+  LOG_WARN("flight recorder: wrote postmortem %s (%zu events, reason: %s)",
+           path.c_str(), events.size(), reason.c_str());
+  return true;
+}
+
+u64 dump_count() { return state().dumps.load(std::memory_order_relaxed); }
+
+usize buffered() {
+  auto& s = state();
+  std::lock_guard lock(s.mu);
+  return s.count;
+}
+
+u64 dropped() {
+  auto& s = state();
+  std::lock_guard lock(s.mu);
+  return s.dropped;
+}
+
+void clear() {
+  auto& s = state();
+  std::lock_guard lock(s.mu);
+  s.next = 0;
+  s.count = 0;
+  s.dropped = 0;
+}
+
+}  // namespace obs::flight
+
+namespace obs::detail {
+
+void flight_record(const trace_event& ev) {
+  auto& s = obs::flight::state();
+  std::lock_guard lock(s.mu);
+  if (s.ring.empty()) s.ring.resize(obs::flight::kCapacity);
+  if (s.count == obs::flight::kCapacity) ++s.dropped;
+  else ++s.count;
+  s.ring[s.next] = ev;
+  s.next = (s.next + 1) % obs::flight::kCapacity;
+}
+
+}  // namespace obs::detail

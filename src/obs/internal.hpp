@@ -1,0 +1,48 @@
+// Internal contract between the span tracer (trace.cpp) and the flight
+// recorder (flight.cpp): the buffered event layout and its JSON rendering.
+// Not part of the public obs API — include obs/trace.hpp / obs/flight.hpp
+// from outside the subsystem.
+#pragma once
+
+#include <string>
+
+#include "util/common.hpp"
+
+namespace obs::detail {
+
+using util::u32;
+using util::u64;
+using util::usize;
+
+/// One buffered trace event. Strings are static or interned — the event
+/// never owns memory, so ring slots are plain values. `ph` follows the
+/// Chrome trace-event phases the exporter emits: 'X' complete span,
+/// 'b'/'e' async pair, 'C' counter sample, 's'/'t'/'f' flow
+/// start/step/end (the arrows Perfetto draws between slices on different
+/// threads — one request id = one connected chain).
+struct trace_event {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  u64 ts_ns = 0;
+  u64 dur_ns = 0;   // 'X' only
+  u64 id = 0;       // 'b'/'e'/'s'/'t'/'f' pairing id
+  double value = 0; // 'C' only
+  const char* arg_key[2] = {nullptr, nullptr};
+  double arg_val[2] = {0, 0};
+  u32 nargs = 0;
+  u32 tid = 0;
+  char ph = 'X';
+};
+
+/// Append `s` JSON-escaped (quotes, backslashes, control chars).
+void append_json_escaped(std::string& out, const char* s);
+
+/// Append one event as a Chrome trace-event JSON object.
+void append_event_json(std::string& out, const trace_event& ev);
+
+/// Push one event into the flight-recorder ring (flight.cpp). Called by the
+/// tracer's record path whenever the recorder is armed — including when
+/// full tracing is off, which is the recorder's whole point.
+void flight_record(const trace_event& ev);
+
+}  // namespace obs::detail

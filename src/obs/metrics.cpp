@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -7,6 +8,7 @@
 
 #include "util/log.hpp"
 #include "util/strings.hpp"
+#include "util/timer.hpp"
 
 namespace obs {
 
@@ -44,12 +46,184 @@ void histogram_metric::observe(u64 sample) {
   }
 }
 
+double bucket_quantile(const std::vector<u64>& bounds,
+                       const std::vector<u64>& counts, u64 lo, u64 hi,
+                       double q) {
+  u64 n = 0;
+  for (const u64 c : counts) n += c;
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // The q-th sample in rank space (0-based, the "nearest-rank with
+  // interpolation" convention): rank 0 is the minimum, rank n-1 the max.
+  const double rank = q * static_cast<double>(n - 1);
+  double below = 0;  // samples in buckets strictly before the current one
+  for (usize b = 0; b < counts.size(); ++b) {
+    const double in_bucket = static_cast<double>(counts[b]);
+    if (in_bucket == 0 || rank >= below + in_bucket) {
+      below += in_bucket;
+      continue;
+    }
+    // Bucket b covers [bucket_lo, bucket_hi); interpolate by the rank's
+    // position within the bucket's population. The edge buckets borrow the
+    // observed min/max so the estimate never leaves the sampled range.
+    const double bucket_lo =
+        b == 0 ? static_cast<double>(lo) : static_cast<double>(bounds[b - 1]);
+    const double bucket_hi = b < bounds.size()
+                                 ? static_cast<double>(bounds[b])
+                                 : static_cast<double>(hi) + 1.0;
+    const double frac = in_bucket <= 1.0 ? 0.0 : (rank - below) / (in_bucket - 1.0);
+    double v = bucket_lo + frac * (bucket_hi - bucket_lo);
+    if (v < static_cast<double>(lo)) v = static_cast<double>(lo);
+    if (v > static_cast<double>(hi)) v = static_cast<double>(hi);
+    return v;
+  }
+  return static_cast<double>(hi);  // rank == n-1 landed past the loop
+}
+
+double histogram_metric::quantile(double q) const {
+  std::vector<u64> counts(bounds_.size() + 1);
+  for (usize i = 0; i < counts.size(); ++i) counts[i] = bucket_count(i);
+  const u64 n = count();
+  return bucket_quantile(bounds_, counts, n == 0 ? 0 : min(), max(), q);
+}
+
 void histogram_metric::reset() {
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
   min_.store(~u64{0}, std::memory_order_relaxed);
   max_.store(0, std::memory_order_relaxed);
+}
+
+/// One epoch of the sliding window: a full histogram snapshot labelled with
+/// the epoch index it currently holds. Rotation (relabelling a slot for a
+/// new epoch) is the only mutating path that needs the mutex; in-epoch
+/// records are the same relaxed atomics as histogram_metric.
+struct sliding_histogram::epoch_slot {
+  std::mutex rotate_mu;
+  std::atomic<u64> epoch{~u64{0}};  // ~0 = never used
+  std::vector<std::atomic<u64>> counts;
+  std::atomic<u64> count{0};
+  std::atomic<u64> sum{0};
+  std::atomic<u64> min{~u64{0}};
+  std::atomic<u64> max{0};
+
+  explicit epoch_slot(usize buckets) : counts(buckets) {}
+
+  void zero() {
+    for (auto& c : counts) c.store(0, std::memory_order_relaxed);
+    count.store(0, std::memory_order_relaxed);
+    sum.store(0, std::memory_order_relaxed);
+    min.store(~u64{0}, std::memory_order_relaxed);
+    max.store(0, std::memory_order_relaxed);
+  }
+};
+
+sliding_histogram::sliding_histogram(std::vector<u64> bounds, usize epochs,
+                                     u64 epoch_ns)
+    : bounds_(std::move(bounds)), epoch_ns_(std::max<u64>(1, epoch_ns)) {
+  for (usize i = 1; i < bounds_.size(); ++i) {
+    COF_CHECK_MSG(bounds_[i - 1] < bounds_[i],
+                  "histogram bounds must be strictly increasing");
+  }
+  const usize n = std::max<usize>(1, epochs);
+  slots_.reserve(n);
+  for (usize i = 0; i < n; ++i) {
+    slots_.push_back(std::make_unique<epoch_slot>(bounds_.size() + 1));
+  }
+}
+
+sliding_histogram::~sliding_histogram() = default;
+
+void sliding_histogram::rotate(epoch_slot& slot, u64 epoch) {
+  std::lock_guard lock(slot.rotate_mu);
+  if (slot.epoch.load(std::memory_order_relaxed) == epoch) return;  // lost race
+  slot.zero();
+  slot.epoch.store(epoch, std::memory_order_release);
+}
+
+void sliding_histogram::observe(u64 sample) { observe(sample, util::process_nanos()); }
+
+void sliding_histogram::observe(u64 sample, u64 now_ns) {
+  const u64 epoch = now_ns / epoch_ns_;
+  epoch_slot& slot = *slots_[epoch % slots_.size()];
+  if (slot.epoch.load(std::memory_order_acquire) != epoch) rotate(slot, epoch);
+  // Bucketing identical to histogram_metric::bucket_of.
+  usize lo = 0, hi = bounds_.size();
+  while (lo < hi) {
+    const usize mid = (lo + hi) / 2;
+    if (sample < bounds_[mid]) hi = mid;
+    else lo = mid + 1;
+  }
+  slot.counts[lo].fetch_add(1, std::memory_order_relaxed);
+  slot.count.fetch_add(1, std::memory_order_relaxed);
+  slot.sum.fetch_add(sample, std::memory_order_relaxed);
+  u64 prev = slot.min.load(std::memory_order_relaxed);
+  while (sample < prev &&
+         !slot.min.compare_exchange_weak(prev, sample, std::memory_order_relaxed)) {
+  }
+  prev = slot.max.load(std::memory_order_relaxed);
+  while (sample > prev &&
+         !slot.max.compare_exchange_weak(prev, sample, std::memory_order_relaxed)) {
+  }
+}
+
+void sliding_histogram::merge(u64 now_ns, std::vector<u64>& counts, u64& n,
+                              u64& total, u64& lo, u64& hi) const {
+  const u64 cur = now_ns / epoch_ns_;
+  const u64 oldest = cur + 1 >= slots_.size() ? cur + 1 - slots_.size() : 0;
+  counts.assign(bounds_.size() + 1, 0);
+  n = 0;
+  total = 0;
+  lo = ~u64{0};
+  hi = 0;
+  for (const auto& slot : slots_) {
+    const u64 e = slot->epoch.load(std::memory_order_acquire);
+    if (e == ~u64{0} || e < oldest || e > cur) continue;  // expired/stale slot
+    for (usize b = 0; b < counts.size(); ++b) {
+      counts[b] += slot->counts[b].load(std::memory_order_relaxed);
+    }
+    n += slot->count.load(std::memory_order_relaxed);
+    total += slot->sum.load(std::memory_order_relaxed);
+    lo = std::min(lo, slot->min.load(std::memory_order_relaxed));
+    hi = std::max(hi, slot->max.load(std::memory_order_relaxed));
+  }
+  if (n == 0) lo = 0;
+}
+
+u64 sliding_histogram::count() const { return count(util::process_nanos()); }
+u64 sliding_histogram::count(u64 now_ns) const {
+  std::vector<u64> counts;
+  u64 n, total, lo, hi;
+  merge(now_ns, counts, n, total, lo, hi);
+  return n;
+}
+
+u64 sliding_histogram::sum() const { return sum(util::process_nanos()); }
+u64 sliding_histogram::sum(u64 now_ns) const {
+  std::vector<u64> counts;
+  u64 n, total, lo, hi;
+  merge(now_ns, counts, n, total, lo, hi);
+  return total;
+}
+
+double sliding_histogram::quantile(double q) const {
+  return quantile(q, util::process_nanos());
+}
+double sliding_histogram::quantile(double q, u64 now_ns) const {
+  std::vector<u64> counts;
+  u64 n, total, lo, hi;
+  merge(now_ns, counts, n, total, lo, hi);
+  return bucket_quantile(bounds_, counts, lo, hi, q);
+}
+
+void sliding_histogram::reset() {
+  for (auto& slot : slots_) {
+    std::lock_guard lock(slot->rotate_mu);
+    slot->zero();
+    slot->epoch.store(~u64{0}, std::memory_order_release);
+  }
 }
 
 const std::vector<u64>& default_latency_bounds_us() {
@@ -64,6 +238,7 @@ struct metrics_registry::impl {
   std::map<std::string, std::unique_ptr<counter_metric>, std::less<>> counters;
   std::map<std::string, std::unique_ptr<gauge_metric>, std::less<>> gauges;
   std::map<std::string, std::unique_ptr<histogram_metric>, std::less<>> histograms;
+  std::map<std::string, std::unique_ptr<sliding_histogram>, std::less<>> windows;
 };
 
 metrics_registry::impl& metrics_registry::state() const {
@@ -116,12 +291,33 @@ histogram_metric& metrics_registry::histogram(std::string_view name,
   return *it->second;
 }
 
+sliding_histogram& metrics_registry::windowed(std::string_view name,
+                                              const std::vector<u64>& bounds,
+                                              usize epochs, u64 epoch_ns) {
+  impl& s = state();
+  std::lock_guard lock(s.mu);
+  auto it = s.windows.find(name);
+  if (it == s.windows.end()) {
+    it = s.windows
+             .emplace(std::string(name),
+                      std::make_unique<sliding_histogram>(bounds, epochs,
+                                                          epoch_ns))
+             .first;
+  } else {
+    COF_CHECK_MSG(it->second->bounds() == bounds,
+                  "windowed histogram re-registered with different bounds: " +
+                      std::string(name));
+  }
+  return *it->second;
+}
+
 void metrics_registry::reset() {
   impl& s = state();
   std::lock_guard lock(s.mu);
   for (auto& [name, c] : s.counters) c->reset();
   for (auto& [name, g] : s.gauges) g->reset();
   for (auto& [name, h] : s.histograms) h->reset();
+  for (auto& [name, w] : s.windows) w->reset();
 }
 
 std::string metrics_registry::json() const {
@@ -162,11 +358,30 @@ std::string metrics_registry::json() const {
     }
     const u64 n = h->count();
     out += util::format(
-        "], \"count\": %llu, \"sum\": %llu, \"min\": %llu, \"max\": %llu}",
+        "], \"count\": %llu, \"sum\": %llu, \"min\": %llu, \"max\": %llu, "
+        "\"p50\": %.1f, \"p90\": %.1f, \"p95\": %.1f, \"p99\": %.1f}",
         static_cast<unsigned long long>(n),
         static_cast<unsigned long long>(h->sum()),
         static_cast<unsigned long long>(n == 0 ? 0 : h->min()),
-        static_cast<unsigned long long>(h->max()));
+        static_cast<unsigned long long>(h->max()), h->quantile(0.50),
+        h->quantile(0.90), h->quantile(0.95), h->quantile(0.99));
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"windows\": {";
+  first = true;
+  const u64 now = util::process_nanos();
+  for (const auto& [name, w] : s.windows) {
+    out += util::format(
+        "%s\n    \"%s\": {\"window_s\": %.1f, \"count\": %llu, "
+        "\"sum\": %llu, \"p50\": %.1f, \"p90\": %.1f, \"p95\": %.1f, "
+        "\"p99\": %.1f}",
+        first ? "" : ",", name.c_str(),
+        static_cast<double>(w->epochs()) *
+            static_cast<double>(w->epoch_nanos()) / 1e9,
+        static_cast<unsigned long long>(w->count(now)),
+        static_cast<unsigned long long>(w->sum(now)), w->quantile(0.50, now),
+        w->quantile(0.90, now), w->quantile(0.95, now), w->quantile(0.99, now));
+    first = false;
   }
   out += first ? "}\n}\n" : "\n  }\n}\n";
   return out;

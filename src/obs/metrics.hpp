@@ -9,6 +9,7 @@
 #pragma once
 
 #include <atomic>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -78,6 +79,15 @@ class histogram_metric {
   u64 sum() const { return sum_.load(std::memory_order_relaxed); }
   u64 min() const { return min_.load(std::memory_order_relaxed); }  // 0 if empty
   u64 max() const { return max_.load(std::memory_order_relaxed); }
+
+  /// Interpolated quantile (q in [0,1]) over the bucketed samples: walks
+  /// the counts to the bucket holding the q-th sample and interpolates
+  /// linearly inside it. The first bucket interpolates from the observed
+  /// min, the overflow bucket from the last bound to the observed max —
+  /// every returned value is clamped into [min, max], so exact-boundary
+  /// samples round-trip. 0 on an empty histogram.
+  double quantile(double q) const;
+
   void reset();
 
  private:
@@ -87,6 +97,68 @@ class histogram_metric {
   std::atomic<u64> sum_{0};
   std::atomic<u64> min_{~u64{0}};
   std::atomic<u64> max_{0};
+};
+
+/// Interpolated quantile over an explicit (bounds, counts) snapshot — the
+/// shared implementation behind histogram_metric::quantile and the
+/// sliding-window merge. `counts` has bounds.size() + 1 entries (overflow
+/// last); `lo`/`hi` clamp the result (observed min/max).
+double bucket_quantile(const std::vector<u64>& bounds,
+                       const std::vector<u64>& counts, u64 lo, u64 hi,
+                       double q);
+
+/// Sliding-window histogram: a ring of `epochs` histogram_metric-shaped
+/// snapshots, each covering `epoch_ns` of wall time. observe() lands the
+/// sample in the current epoch's slot; slots older than the window are
+/// lazily zeroed on rotation, so quantile()/count()/sum() always describe
+/// roughly the last epochs × epoch_ns — RECENT behaviour, where the plain
+/// histogram reports lifetime aggregates. Defaults give a ~10 s window
+/// (10 × 1 s epochs).
+///
+/// Thread-safety matches histogram_metric: the record path is relaxed
+/// atomics except when a slot rotates into a new epoch, which takes a
+/// short mutex once per (slot, epoch). Readers merge whatever is current — a
+/// sample racing a read may or may not be included, like every other
+/// metric here. The `now_ns` overloads are the test seam (and let callers
+/// batch clock reads); the default uses the process clock.
+class sliding_histogram {
+ public:
+  static constexpr usize kDefaultEpochs = 10;
+  static constexpr u64 kDefaultEpochNanos = 1'000'000'000;  // 1 s
+
+  sliding_histogram(std::vector<u64> bounds, usize epochs = kDefaultEpochs,
+                    u64 epoch_ns = kDefaultEpochNanos);
+  ~sliding_histogram();  // out-of-line: epoch_slot is incomplete here
+  sliding_histogram(const sliding_histogram&) = delete;
+  sliding_histogram& operator=(const sliding_histogram&) = delete;
+
+  void observe(u64 sample);
+  void observe(u64 sample, u64 now_ns);
+
+  /// Merged view over the epochs still inside the window at `now_ns`.
+  u64 count() const;
+  u64 count(u64 now_ns) const;
+  u64 sum() const;
+  u64 sum(u64 now_ns) const;
+  double quantile(double q) const;
+  double quantile(double q, u64 now_ns) const;
+
+  const std::vector<u64>& bounds() const { return bounds_; }
+  usize epochs() const { return slots_.size(); }
+  u64 epoch_nanos() const { return epoch_ns_; }
+  void reset();
+
+ private:
+  struct epoch_slot;
+  /// Zero + relabel `slot` when its stored epoch id is stale for `epoch`.
+  void rotate(epoch_slot& slot, u64 epoch);
+  /// Sum the in-window slots into (counts, count, sum, min, max).
+  void merge(u64 now_ns, std::vector<u64>& counts, u64& n, u64& total,
+             u64& lo, u64& hi) const;
+
+  std::vector<u64> bounds_;
+  u64 epoch_ns_ = kDefaultEpochNanos;
+  std::vector<std::unique_ptr<epoch_slot>> slots_;
 };
 
 /// Upper bounds (microseconds) the engine's stage-latency histograms use:
@@ -104,12 +176,20 @@ class metrics_registry {
   /// First registration fixes the bounds; later calls must match (checked).
   histogram_metric& histogram(std::string_view name,
                               const std::vector<u64>& bounds);
+  /// Sliding-window companion to histogram(): same bounds contract; the
+  /// first registration also fixes the window geometry.
+  sliding_histogram& windowed(std::string_view name,
+                              const std::vector<u64>& bounds,
+                              usize epochs = sliding_histogram::kDefaultEpochs,
+                              u64 epoch_ns = sliding_histogram::kDefaultEpochNanos);
 
   /// Zero every value (handles stay valid). Per-run lifetime: run_scope
   /// calls this so back-to-back runs export independent snapshots.
   void reset();
 
-  /// {"counters":{...},"gauges":{...},"histograms":{...}}
+  /// {"counters":{...},"gauges":{...},"histograms":{...},"windows":{...}}.
+  /// Histograms and windows carry interpolated p50/p90/p95/p99 alongside
+  /// the raw buckets; windows report only the in-window epochs.
   std::string json() const;
   bool write_json(const std::string& path) const;
 

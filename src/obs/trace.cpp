@@ -9,6 +9,8 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/flight.hpp"
+#include "obs/internal.hpp"
 #include "obs/metrics.hpp"
 #include "profile/profiler.hpp"
 #include "util/log.hpp"
@@ -17,25 +19,11 @@
 
 namespace obs {
 
+using detail::trace_event;
+
 namespace {
 
 std::atomic<bool> g_enabled{false};
-
-/// One buffered trace event. Strings are static or interned — the event
-/// never owns memory, so ring slots are plain values.
-struct trace_event {
-  const char* name = nullptr;
-  const char* cat = nullptr;
-  u64 ts_ns = 0;
-  u64 dur_ns = 0;   // 'X' only
-  u64 id = 0;       // 'b'/'e' pairing id
-  double value = 0; // 'C' only
-  const char* arg_key[2] = {nullptr, nullptr};
-  double arg_val[2] = {0, 0};
-  u32 nargs = 0;
-  u32 tid = 0;
-  char ph = 'X';
-};
 
 constexpr usize kRingCapacity = 1 << 16;  // events per thread
 
@@ -79,17 +67,37 @@ thread_ring& this_thread_ring() {
   return *tl_ring;
 }
 
+/// Route one finished event: the per-thread trace ring when tracing is on,
+/// the flight-recorder ring when it is armed — either, both, or (when a
+/// probe raced a disable) neither.
 void record(const trace_event& ev) {
-  thread_ring& r = this_thread_ring();
-  std::lock_guard lock(r.mu);
-  if (r.ring.empty()) r.ring.resize(kRingCapacity);
-  if (r.count == kRingCapacity) ++r.dropped;
-  else ++r.count;
   trace_event e = ev;
-  e.tid = r.tid;
-  r.ring[r.next] = e;
-  r.next = (r.next + 1) % kRingCapacity;
+  e.tid = util::thread_ordinal();
+  if (enabled()) {
+    thread_ring& r = this_thread_ring();
+    std::lock_guard lock(r.mu);
+    if (r.ring.empty()) r.ring.resize(kRingCapacity);
+    if (r.count == kRingCapacity) ++r.dropped;
+    else ++r.count;
+    r.ring[r.next] = e;
+    r.next = (r.next + 1) % kRingCapacity;
+  }
+  if (flight::armed()) detail::flight_record(e);
 }
+
+void append_number(std::string& out, double v) {
+  // Counter values and args are integral in practice; print them exactly.
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 9.0e15) {
+    out += util::format("%lld", static_cast<long long>(v));
+  } else {
+    out += util::format("%.6g", v);
+  }
+}
+
+}  // namespace
+
+namespace detail {
 
 void append_json_escaped(std::string& out, const char* s) {
   for (; *s != '\0'; ++s) {
@@ -105,16 +113,6 @@ void append_json_escaped(std::string& out, const char* s) {
   }
 }
 
-void append_number(std::string& out, double v) {
-  // Counter values and args are integral in practice; print them exactly.
-  if (v == static_cast<double>(static_cast<long long>(v)) &&
-      std::abs(v) < 9.0e15) {
-    out += util::format("%lld", static_cast<long long>(v));
-  } else {
-    out += util::format("%.6g", v);
-  }
-}
-
 void append_event_json(std::string& out, const trace_event& ev) {
   out += "{\"name\":\"";
   append_json_escaped(out, ev.name);
@@ -127,7 +125,13 @@ void append_event_json(std::string& out, const trace_event& ev) {
   out += util::format("\"ph\":\"%c\",\"pid\":1,\"tid\":%u,\"ts\":%.3f", ev.ph,
                       ev.tid, static_cast<double>(ev.ts_ns) / 1e3);
   if (ev.ph == 'X') out += util::format(",\"dur\":%.3f", static_cast<double>(ev.dur_ns) / 1e3);
-  if (ev.ph == 'b' || ev.ph == 'e') out += util::format(",\"id\":%llu", static_cast<unsigned long long>(ev.id));
+  if (ev.ph == 'b' || ev.ph == 'e' || ev.ph == 's' || ev.ph == 't' ||
+      ev.ph == 'f') {
+    out += util::format(",\"id\":%llu", static_cast<unsigned long long>(ev.id));
+  }
+  // Flow ends bind to the enclosing slice's end ("bp":"e"), the convention
+  // Perfetto expects for arrows that terminate inside a span.
+  if (ev.ph == 'f') out += ",\"bp\":\"e\"";
   if (ev.ph == 'C') {
     out += ",\"args\":{\"value\":";
     append_number(out, ev.value);
@@ -146,7 +150,7 @@ void append_event_json(std::string& out, const trace_event& ev) {
   out += "}";
 }
 
-}  // namespace
+}  // namespace detail
 
 bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
 void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
@@ -163,8 +167,10 @@ const char* intern(std::string_view s) {
   return st.interned.back().c_str();
 }
 
+bool capturing() { return enabled() || flight::armed(); }
+
 span::span(const char* name, const char* cat) {
-  if (!enabled()) return;
+  if (!capturing()) return;
   active_ = true;
   name_ = name;
   cat_ = cat;
@@ -194,30 +200,43 @@ void span::arg(const char* key, double value) {
   ++nargs_;
 }
 
-void async_begin(const char* name, const char* cat, u64 id) {
-  if (!enabled()) return;
+namespace {
+
+void record_id_event(const char* name, const char* cat, u64 id, char ph) {
+  if (!capturing()) return;
   trace_event ev;
   ev.name = name;
   ev.cat = cat;
-  ev.ph = 'b';
+  ev.ph = ph;
   ev.id = id;
   ev.ts_ns = now_ns();
   record(ev);
+}
+
+}  // namespace
+
+void async_begin(const char* name, const char* cat, u64 id) {
+  record_id_event(name, cat, id, 'b');
 }
 
 void async_end(const char* name, const char* cat, u64 id) {
-  if (!enabled()) return;
-  trace_event ev;
-  ev.name = name;
-  ev.cat = cat;
-  ev.ph = 'e';
-  ev.id = id;
-  ev.ts_ns = now_ns();
-  record(ev);
+  record_id_event(name, cat, id, 'e');
+}
+
+void flow_begin(const char* name, const char* cat, u64 id) {
+  record_id_event(name, cat, id, 's');
+}
+
+void flow_step(const char* name, const char* cat, u64 id) {
+  record_id_event(name, cat, id, 't');
+}
+
+void flow_end(const char* name, const char* cat, u64 id) {
+  record_id_event(name, cat, id, 'f');
 }
 
 void counter_track(const char* name, double value) {
-  if (!enabled()) return;
+  if (!capturing()) return;
   trace_event ev;
   ev.name = name;
   ev.ph = 'C';
@@ -304,13 +323,13 @@ std::string trace_json() {
         "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%u,"
         "\"args\":{\"name\":\"",
         n.tid);
-    append_json_escaped(out, n.name);
+    detail::append_json_escaped(out, n.name);
     out += "\"}}";
   }
   for (const auto& ev : events) {
     if (!first_ev) out += ",\n";
     first_ev = false;
-    append_event_json(out, ev);
+    detail::append_event_json(out, ev);
   }
   out += "\n]}\n";
   return out;
@@ -329,15 +348,33 @@ bool write_trace(const std::string& path) {
   return ok;
 }
 
-run_scope::run_scope(bool on) : on_(on), prev_(enabled()) {
+namespace {
+
+// run_scope nesting state: a long-lived outer scope (the serving daemon)
+// composes with per-query engine scopes — only the OUTERMOST entry clears
+// the rings/registry and only its exit restores the previous enable state,
+// so a nested engine run can no longer reset telemetry mid-serve.
+std::mutex g_scope_mu;
+usize g_scope_depth = 0;
+bool g_scope_prev = false;
+
+}  // namespace
+
+run_scope::run_scope(bool on) : on_(on) {
   if (!on_) return;
-  set_enabled(true);
-  trace_clear();
-  metrics_registry::global().reset();
+  std::lock_guard lock(g_scope_mu);
+  if (g_scope_depth++ == 0) {
+    g_scope_prev = enabled();
+    set_enabled(true);
+    trace_clear();
+    metrics_registry::global().reset();
+  }
 }
 
 run_scope::~run_scope() {
-  if (on_) set_enabled(prev_);
+  if (!on_) return;
+  std::lock_guard lock(g_scope_mu);
+  if (--g_scope_depth == 0) set_enabled(g_scope_prev);
 }
 
 }  // namespace obs

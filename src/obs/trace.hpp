@@ -13,7 +13,13 @@
 // the subsystem, clears the rings and the metrics registry on entry, and
 // restores the previous enable state on exit — mirroring
 // prof::profiler::clear() so back-to-back runs export independent data.
-// One traced run at a time; concurrent traced runs would interleave.
+// Scopes NEST (reference-counted): a long-lived serving scope composes
+// with per-query engine scopes — only the outermost entry clears state,
+// only the outermost exit restores it, so nested runs share one ring set.
+//
+// The flight recorder (obs/flight.hpp) taps the same probes: when it is
+// armed, events land in its fixed-size postmortem ring even while full
+// tracing is off, at the cost of one extra relaxed atomic load per probe.
 #pragma once
 
 #include <string>
@@ -36,6 +42,10 @@ using util::usize;
 /// Relaxed atomic load; callers on hot paths may cache the value per run.
 bool enabled();
 void set_enabled(bool on);
+
+/// True when any sink wants events: full tracing enabled OR the flight
+/// recorder armed. Two relaxed atomic loads — what every probe checks.
+bool capturing();
 
 /// Nanoseconds since the process epoch (util::process_nanos), the timebase
 /// of every recorded event.
@@ -75,6 +85,16 @@ class span {
 void async_begin(const char* name, const char* cat, u64 id);
 void async_end(const char* name, const char* cat, u64 id);
 
+/// Flow events ('s'/'t'/'f'): the arrows Perfetto draws between slices on
+/// different threads. One id = one connected chain: begin where the work
+/// enters (e.g. request admission on the client thread), step at each
+/// hand-off (dispatcher, pool worker), end where it completes (future
+/// fulfilment). Keep (name, cat) constant across a chain — Chrome binds
+/// flows by (cat, id).
+void flow_begin(const char* name, const char* cat, u64 id);
+void flow_step(const char* name, const char* cat, u64 id);
+void flow_end(const char* name, const char* cat, u64 id);
+
 /// Counter track ('C'): one sample of `name` at the current timestamp.
 void counter_track(const char* name, double value);
 
@@ -101,7 +121,9 @@ bool write_trace(const std::string& path);
 /// Per-run lifetime guard used by the engines: on construction (when `on`)
 /// enables the subsystem and clears the tracer + metrics registry; on
 /// destruction restores the previous enable state. Pass on=false for an
-/// untraced run (a no-op guard).
+/// untraced run (a no-op guard). Reference-counted: nested scopes (a
+/// per-query engine scope inside the server's long-lived scope) neither
+/// clear nor disable — only the outermost transition does either.
 class run_scope {
  public:
   explicit run_scope(bool on);
@@ -112,7 +134,6 @@ class run_scope {
 
  private:
   bool on_ = false;
-  bool prev_ = false;
 };
 
 }  // namespace obs

@@ -9,7 +9,8 @@
 //
 //   serve::server srv(idx, opts);                 // index stays resident
 //   auto fut = srv.submit("GGCC...GG", 3);        // non-blocking admit
-//   std::vector<ot_record> hits = fut.get();      // records for THIS guide
+//   serve::request_result r = fut.get();          // records for THIS guide
+//   // r.request_id, r.timing.{queue,batch_wait,device,demux}_us
 //   srv.shutdown();                               // drains, then stops
 //
 // Guarantees:
@@ -28,11 +29,33 @@
 //   * shutdown() (and the destructor) close admission, drain every queued
 //     request, then join the dispatcher — no future is ever abandoned.
 //
-// Observability (recorded unconditionally into the metrics registry):
-// serve.requests / serve.rejected / serve.batches / serve.batch.retry
-// counters, serve.batch_size and serve.latency_us histograms (admission →
-// future-fulfilled), serve.queue_depth gauge. The caller owns obs/fault
-// scoping (obs::run_scope + fault::scope), exactly as with the engine.
+// Observability:
+//   * Every request carries a monotonically increasing id from admission to
+//     fulfilment. When capture is on (tracing or the flight recorder) the
+//     id threads a Chrome flow chain ("serve.request": 's' at submit, 't'
+//     at dispatcher pickup and at batch launch, 'f' at fulfilment) so
+//     Perfetto draws one connected arrow per request across the client
+//     thread, the dispatcher and the coalesced launch; the batch id links
+//     the chain to the per-chunk "index.chunk.compare" device spans.
+//   * The future's envelope (request_result) breaks the request's latency
+//     into queue wait, batch-assembly wait, device time and demux time.
+//   * Metrics (recorded unconditionally): serve.requests / serve.rejected /
+//     serve.batches / serve.batch.retry counters, serve.batch_size and
+//     serve.latency_us histograms plus a serve.latency_us windowed
+//     (sliding 10 s) twin, serve.queue_depth gauge.
+//   * stats_json() renders a one-line live snapshot (queue depth, in-flight,
+//     batch-size distribution, latency percentiles, residency, recovery and
+//     flight-recorder counters) — the `!stats` control line of the daemon
+//     protocol; health() derives ok|degraded|draining from the windowed
+//     rejection rate and windowed p99 vs the configured SLO.
+//   * The flight recorder (obs/flight.hpp) is armed for the server's
+//     lifetime (opt-out via server_options::flight_recorder): a batch that
+//     exhausts its retries or fails terminally dumps a postmortem ring +
+//     metrics snapshot to cof-postmortem-<pid>.json before the futures are
+//     failed.
+// The caller owns obs/fault scoping (obs::run_scope + fault::scope) exactly
+// as with the engine; run_scope nests, so a server-lifetime scope composes
+// with per-query engine scopes.
 #pragma once
 
 #include <atomic>
@@ -44,6 +67,8 @@
 #include <vector>
 
 #include "core/index.hpp"
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cof::serve {
@@ -64,9 +89,22 @@ struct server_options {
   /// Bounded retries for a batch whose dispatch hits a transient device
   /// fault before the requests in it are failed.
   usize max_batch_attempts = 4;
+  /// Health SLO: health() reports degraded while the windowed latency p99
+  /// exceeds this many microseconds. 0 = no latency SLO.
+  util::u64 slo_us = 0;
+  /// Health: degraded while the windowed rejection rate (rejected submits /
+  /// all submits over the sliding window) exceeds this fraction.
+  double degraded_reject_rate = 0.05;
+  /// Arm the postmortem flight recorder (obs/flight.hpp) for the server's
+  /// lifetime. Costs one extra relaxed atomic load per trace probe.
+  bool flight_recorder = true;
+  /// Directory postmortem dumps are written into (empty = leave the
+  /// process-wide default, ".").
+  std::string postmortem_dir;
 };
 
-/// Monotonic counters since construction (snapshot, not live handles).
+/// Monotonic counters since construction (snapshot, not live handles),
+/// plus two instantaneous depths sampled at the call.
 struct server_stats {
   util::u64 admitted = 0;       // requests accepted into the queue
   util::u64 rejected = 0;       // submit() refusals (validation/shutdown)
@@ -75,7 +113,38 @@ struct server_stats {
   util::u64 batches = 0;        // coalesced launches
   util::u64 batch_retries = 0;  // transient-fault batch re-dispatches
   util::u64 max_batch_size = 0; // largest coalesced batch so far
+  util::u64 overflow_retries = 0;     // session entry-overflow recoveries
+  util::u64 recovered_overflows = 0;  // ...that ended in a clean chunk
+  util::u64 in_flight = 0;      // admitted, future not yet fulfilled
+  util::u64 queue_depth = 0;    // buffered in the admission queue right now
 };
+
+/// Per-request latency breakdown, measured on the serving path's own
+/// timestamps (obs::now_ns timebase, so it lines up with the trace):
+///   admission → dispatcher pop → coalesced launch → outcome → fulfilment.
+struct request_timing {
+  util::u64 queue_us = 0;       // admission queue wait
+  util::u64 batch_wait_us = 0;  // micro-batch assembly (pop → launch)
+  util::u64 device_us = 0;      // coalesced query (shared by the batch)
+  util::u64 demux_us = 0;       // outcome → this future fulfilled
+  util::u64 total_us() const {
+    return queue_us + batch_wait_us + device_us + demux_us;
+  }
+};
+
+/// What a submitted request's future yields: the records for that guide
+/// (query_index == 0) plus the request id and its timing breakdown.
+struct request_result {
+  std::vector<ot_record> records;
+  util::u64 request_id = 0;
+  request_timing timing;
+};
+
+/// Daemon health, derived — not stored: draining once shutdown began,
+/// degraded while the windowed rejection rate or windowed latency p99
+/// breaches the configured thresholds, ok otherwise.
+enum class health_state { ok, degraded, draining };
+const char* health_name(health_state h);
 
 class server {
  public:
@@ -88,15 +157,25 @@ class server {
   /// Admit one request. Throws index_error (site "serve.admit") when the
   /// guide length does not match the indexed pattern or the server is shut
   /// down; blocks while the admission queue is full. The future yields this
-  /// guide's records (query_index == 0) or rethrows the batch failure.
-  std::future<std::vector<ot_record>> submit(const std::string& guide,
-                                             u16 max_mismatches);
+  /// guide's records (query_index == 0) wrapped in the request envelope, or
+  /// rethrows the batch failure.
+  std::future<request_result> submit(const std::string& guide,
+                                     u16 max_mismatches);
 
   /// Close admission, drain every queued request, join the dispatcher.
   /// Idempotent; later submit() calls throw.
   void shutdown();
 
   server_stats stats() const;
+
+  /// One-line JSON live snapshot — the `!stats` control-line payload:
+  /// {"health", "uptime_s", counters, "queue_depth", "in_flight",
+  ///  "batch_size" percentiles, "latency_us" lifetime + windowed
+  ///  percentiles, "resident" bytes + chunk hit/miss/evict, "recovery",
+  ///  "flight" armed/buffered/dumps}.
+  std::string stats_json() const;
+
+  health_state health() const;
 
   const index_query_session& session() const { return *session_; }
   const genome_index& index() const { return session_->index(); }
@@ -105,14 +184,20 @@ class server {
   struct pending;
   void dispatch_loop();
   void run_batch(std::vector<pending>& batch);
+  void note_admission(bool rejected);
 
   server_options opt_;
+  // Armed before the session exists, disarmed after it is gone: every
+  // serving-path probe lands in the postmortem ring for the full lifetime.
+  obs::flight::scope flight_;
   std::unique_ptr<index_query_session> session_;
   std::unique_ptr<util::bounded_queue<pending>> queue_;
   std::thread loop_;
   std::mutex join_mu_;  // shutdown() is callable from any thread, once each
   std::atomic<bool> stopping_{false};
+  util::u64 t_start_ns_ = 0;
 
+  std::atomic<util::u64> next_id_{0};
   std::atomic<util::u64> admitted_{0};
   std::atomic<util::u64> rejected_{0};
   std::atomic<util::u64> served_{0};
@@ -120,7 +205,15 @@ class server {
   std::atomic<util::u64> batches_{0};
   std::atomic<util::u64> batch_retries_{0};
   std::atomic<util::u64> max_batch_size_{0};
+  std::atomic<util::u64> overflow_retries_{0};
+  std::atomic<util::u64> recovered_overflows_{0};
   std::atomic<util::u64> in_flight_{0};
+
+  // Windowed admission outcomes for the health rejection rate: every
+  // submit observes 1 (rejected) or 0 (admitted); rate = sum/count over
+  // the sliding window. Owned here, not in the registry — a nested
+  // run_scope reset must not blind health().
+  obs::sliding_histogram admit_window_;
 };
 
 }  // namespace cof::serve

@@ -1,0 +1,211 @@
+// Minimal recursive-descent JSON parser shared by the observability tests —
+// enough to validate the exporters' output (trace-event JSON, metrics
+// snapshots, serve stats lines, postmortem dumps) without external
+// dependencies. Throws std::runtime_error on any syntax error, which fails
+// the calling test.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace testjson {
+
+using util::usize;
+
+struct jvalue {
+  enum kind_t { j_null, j_bool, j_number, j_string, j_array, j_object };
+  kind_t kind = j_null;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<jvalue> arr;
+  std::map<std::string, jvalue> obj;
+
+  const jvalue& at(const std::string& key) const {
+    auto it = obj.find(key);
+    if (it == obj.end()) throw std::runtime_error("missing key: " + key);
+    return it->second;
+  }
+  bool has(const std::string& key) const { return obj.count(key) != 0; }
+};
+
+class json_parser {
+ public:
+  explicit json_parser(const std::string& text) : s_(text) {}
+
+  jvalue parse() {
+    jvalue v = value();
+    ws();
+    if (pos_ != s_.size()) throw std::runtime_error("trailing JSON content");
+    return v;
+  }
+
+ private:
+  void ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    if (pos_ >= s_.size()) throw std::runtime_error("unexpected end of JSON");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "' at " +
+                               std::to_string(pos_));
+    }
+    ++pos_;
+  }
+  bool consume(const char* lit) {
+    const usize n = std::char_traits<char>::length(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  jvalue value() {
+    ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      jvalue v;
+      v.kind = jvalue::j_string;
+      v.str = string();
+      return v;
+    }
+    jvalue v;
+    if (consume("true")) {
+      v.kind = jvalue::j_bool;
+      v.b = true;
+      return v;
+    }
+    if (consume("false")) {
+      v.kind = jvalue::j_bool;
+      return v;
+    }
+    if (consume("null")) return v;
+    return number();
+  }
+
+  jvalue object() {
+    jvalue v;
+    v.kind = jvalue::j_object;
+    expect('{');
+    ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      ws();
+      std::string key = string();
+      ws();
+      expect(':');
+      v.obj[key] = value();
+      ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  jvalue array() {
+    jvalue v;
+    v.kind = jvalue::j_array;
+    expect('[');
+    ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.arr.push_back(value());
+      ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) throw std::runtime_error("bad \\u escape");
+          out += '?';  // code point fidelity is not under test
+          pos_ += 4;
+          break;
+        }
+        default: throw std::runtime_error("bad escape");
+      }
+    }
+  }
+
+  jvalue number() {
+    const usize start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) throw std::runtime_error("expected a JSON value");
+    jvalue v;
+    v.kind = jvalue::j_number;
+    v.num = std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
+    return v;
+  }
+
+  const std::string& s_;
+  usize pos_ = 0;
+};
+
+inline jvalue parse_json(const std::string& text) {
+  return json_parser(text).parse();
+}
+
+/// All trace events named `name` (for documents with a "traceEvents" array).
+inline std::vector<const jvalue*> events_named(const jvalue& trace,
+                                               const std::string& name) {
+  std::vector<const jvalue*> out;
+  for (const auto& ev : trace.at("traceEvents").arr) {
+    if (ev.has("name") && ev.at("name").str == name) out.push_back(&ev);
+  }
+  return out;
+}
+
+}  // namespace testjson

@@ -436,7 +436,7 @@ TEST(ServeFaults, AdmitFaultRejectsExactlyTheNthSubmit) {
   cof::serve::server_options sopt;
   sopt.engine = {.backend = cof::backend_kind::sycl, .max_chunk = 9000};
   cof::serve::server srv(idx, sopt);
-  const auto clean = srv.submit(guide, 2).get();
+  const auto clean = srv.submit(guide, 2).get().records;
   ASSERT_FALSE(clean.empty());
 
   fault::scope guard("serve.admit=hit:2");
@@ -448,8 +448,8 @@ TEST(ServeFaults, AdmitFaultRejectsExactlyTheNthSubmit) {
     EXPECT_EQ(e.site(), std::string("serve.admit"));
   }
   auto third = srv.submit(guide, 2);
-  EXPECT_EQ(first.get(), clean);
-  EXPECT_EQ(third.get(), clean);
+  EXPECT_EQ(first.get().records, clean);
+  EXPECT_EQ(third.get().records, clean);
   srv.shutdown();
   const auto st = srv.stats();
   EXPECT_EQ(st.rejected, 1u);
@@ -477,7 +477,7 @@ TEST(ServeFaults, BatchFaultAtFirstMidAndLastHitRecovers) {
     fault::scope guard("serve.batch=hit:1000000000");
     cof::serve::server srv(idx, sopt);
     for (util::usize i = 0; i < kRequests; ++i) {
-      clean = srv.submit(guide, 2).get();
+      clean = srv.submit(guide, 2).get().records;
     }
     srv.shutdown();
     total = fault::stats("serve.batch").hits;
@@ -489,7 +489,7 @@ TEST(ServeFaults, BatchFaultAtFirstMidAndLastHitRecovers) {
     fault::scope guard("serve.batch=hit:" + std::to_string(n));
     cof::serve::server srv(idx, sopt);
     for (util::usize i = 0; i < kRequests; ++i) {
-      EXPECT_EQ(srv.submit(guide, 2).get(), clean) << "hit:" << n;
+      EXPECT_EQ(srv.submit(guide, 2).get().records, clean) << "hit:" << n;
     }
     srv.shutdown();
     EXPECT_EQ(fault::stats("serve.batch").injected, 1u) << "hit:" << n;
@@ -509,7 +509,7 @@ TEST(ServeFaults, ExhaustedBatchRetriesFailTheBatchNotTheServer) {
   cof::serve::server_options sopt;
   sopt.engine = {.backend = cof::backend_kind::sycl, .max_chunk = 9000};
   cof::serve::server srv(idx, sopt);
-  const auto clean = srv.submit(guide, 2).get();
+  const auto clean = srv.submit(guide, 2).get().records;
   ASSERT_FALSE(clean.empty());
 
   {
@@ -523,7 +523,7 @@ TEST(ServeFaults, ExhaustedBatchRetriesFailTheBatchNotTheServer) {
     }
   }
   // The plan is gone: the very next request is served normally.
-  EXPECT_EQ(srv.submit(guide, 2).get(), clean);
+  EXPECT_EQ(srv.submit(guide, 2).get().records, clean);
   srv.shutdown();
   const auto st = srv.stats();
   EXPECT_EQ(st.failed, 1u);

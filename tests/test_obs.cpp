@@ -7,7 +7,6 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <cctype>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -20,6 +19,7 @@
 #include "core/engine_stream.hpp"
 #include "genome/fasta.hpp"
 #include "genome/synth.hpp"
+#include "json_compat.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
@@ -27,197 +27,9 @@
 namespace {
 
 using namespace cof;
-
-// ---------------------------------------------------------------------------
-// Minimal recursive-descent JSON parser — enough to validate the exporters'
-// output without external dependencies. Throws std::runtime_error on any
-// syntax error, which fails the test.
-// ---------------------------------------------------------------------------
-struct jvalue {
-  enum kind_t { j_null, j_bool, j_number, j_string, j_array, j_object };
-  kind_t kind = j_null;
-  bool b = false;
-  double num = 0;
-  std::string str;
-  std::vector<jvalue> arr;
-  std::map<std::string, jvalue> obj;
-
-  const jvalue& at(const std::string& key) const {
-    auto it = obj.find(key);
-    if (it == obj.end()) throw std::runtime_error("missing key: " + key);
-    return it->second;
-  }
-  bool has(const std::string& key) const { return obj.count(key) != 0; }
-};
-
-class json_parser {
- public:
-  explicit json_parser(const std::string& text) : s_(text) {}
-
-  jvalue parse() {
-    jvalue v = value();
-    ws();
-    if (pos_ != s_.size()) throw std::runtime_error("trailing JSON content");
-    return v;
-  }
-
- private:
-  void ws() {
-    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
-      ++pos_;
-    }
-  }
-  char peek() {
-    if (pos_ >= s_.size()) throw std::runtime_error("unexpected end of JSON");
-    return s_[pos_];
-  }
-  void expect(char c) {
-    if (peek() != c) {
-      throw std::runtime_error(std::string("expected '") + c + "' at " +
-                               std::to_string(pos_));
-    }
-    ++pos_;
-  }
-  bool consume(const char* lit) {
-    const usize n = std::char_traits<char>::length(lit);
-    if (s_.compare(pos_, n, lit) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-
-  jvalue value() {
-    ws();
-    const char c = peek();
-    if (c == '{') return object();
-    if (c == '[') return array();
-    if (c == '"') {
-      jvalue v;
-      v.kind = jvalue::j_string;
-      v.str = string();
-      return v;
-    }
-    jvalue v;
-    if (consume("true")) {
-      v.kind = jvalue::j_bool;
-      v.b = true;
-      return v;
-    }
-    if (consume("false")) {
-      v.kind = jvalue::j_bool;
-      return v;
-    }
-    if (consume("null")) return v;
-    return number();
-  }
-
-  jvalue object() {
-    jvalue v;
-    v.kind = jvalue::j_object;
-    expect('{');
-    ws();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      ws();
-      std::string key = string();
-      ws();
-      expect(':');
-      v.obj[key] = value();
-      ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  jvalue array() {
-    jvalue v;
-    v.kind = jvalue::j_array;
-    expect('[');
-    ws();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      v.arr.push_back(value());
-      ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    for (;;) {
-      const char c = peek();
-      ++pos_;
-      if (c == '"') return out;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      const char esc = peek();
-      ++pos_;
-      switch (esc) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'u': {
-          if (pos_ + 4 > s_.size()) throw std::runtime_error("bad \\u escape");
-          out += '?';  // code point fidelity is not under test
-          pos_ += 4;
-          break;
-        }
-        default: throw std::runtime_error("bad escape");
-      }
-    }
-  }
-
-  jvalue number() {
-    const usize start = pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '-' ||
-            s_[pos_] == '+' || s_[pos_] == '.' || s_[pos_] == 'e' ||
-            s_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) throw std::runtime_error("expected a JSON value");
-    jvalue v;
-    v.kind = jvalue::j_number;
-    v.num = std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
-    return v;
-  }
-
-  const std::string& s_;
-  usize pos_ = 0;
-};
-
-jvalue parse_json(const std::string& text) { return json_parser(text).parse(); }
-
-std::vector<const jvalue*> events_named(const jvalue& trace,
-                                        const std::string& name) {
-  std::vector<const jvalue*> out;
-  for (const auto& ev : trace.at("traceEvents").arr) {
-    if (ev.has("name") && ev.at("name").str == name) out.push_back(&ev);
-  }
-  return out;
-}
+using testjson::events_named;
+using testjson::jvalue;
+using testjson::parse_json;
 
 // ---------------------------------------------------------------------------
 // Metrics registry
@@ -253,6 +65,78 @@ TEST(Histogram, CountsSumMinMax) {
   EXPECT_EQ(h.bucket_count(1), 0u);
 }
 
+TEST(Histogram, QuantileEmptyAndSingleSample) {
+  obs::histogram_metric h({10, 100});
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty: no data, report 0
+  h.observe(42);
+  // One sample: every quantile is that sample (clamped into [min, max]).
+  EXPECT_EQ(h.quantile(0.0), 42.0);
+  EXPECT_EQ(h.quantile(0.5), 42.0);
+  EXPECT_EQ(h.quantile(0.99), 42.0);
+  EXPECT_EQ(h.quantile(1.0), 42.0);
+}
+
+TEST(Histogram, QuantileInterpolatesAndClampsToObservedRange) {
+  obs::histogram_metric h({10, 100, 1000});
+  for (util::u64 s = 0; s < 10; ++s) h.observe(s);  // uniform in bucket 0
+  // Rank space over n-1: q=0 is the min, q=1 the max — and the linear
+  // interpolation inside the [min, 10) bucket lands mid-bucket at p50.
+  EXPECT_EQ(h.quantile(0.0), 0.0);
+  EXPECT_EQ(h.quantile(1.0), 9.0);  // clamped to the observed max, not 10
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 1e-9);
+}
+
+TEST(Histogram, QuantileExactBoundarySamplesRoundTrip) {
+  obs::histogram_metric h({10, 100});
+  h.observe(10);   // exactly on a bound -> bucket above it
+  h.observe(100);  // exactly on the last bound -> overflow bucket
+  EXPECT_EQ(h.quantile(0.0), 10.0);
+  EXPECT_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST(Histogram, QuantileOverflowBucketBorrowsObservedMax) {
+  obs::histogram_metric h({10});
+  h.observe(5);
+  h.observe(20);
+  h.observe(30);
+  // The overflow bucket has no upper bound; the estimate interpolates up
+  // to the observed max instead of inventing one.
+  EXPECT_EQ(h.quantile(1.0), 30.0);
+  EXPECT_LE(h.quantile(0.75), 30.0);
+  EXPECT_GE(h.quantile(0.75), 10.0);
+}
+
+TEST(SlidingHistogram, ObservationsExpireWithTheWindow) {
+  // 4 epochs x 1000 ns: the injected-clock seam drives rotation without
+  // wall-time sleeps.
+  obs::sliding_histogram w({10, 100}, 4, 1000);
+  w.observe(5, 0);
+  w.observe(50, 1500);
+  EXPECT_EQ(w.count(1500), 2u);
+  EXPECT_EQ(w.sum(1500), 55u);
+  // now = 4500 (epoch 4): the window covers epochs 1..4, so the epoch-0
+  // sample fell out but the epoch-1 sample remains.
+  EXPECT_EQ(w.count(4500), 1u);
+  EXPECT_EQ(w.sum(4500), 50u);
+  // Far future: everything expired; count/quantile drain to zero.
+  EXPECT_EQ(w.count(50000), 0u);
+  EXPECT_EQ(w.quantile(0.5, 50000), 0.0);
+}
+
+TEST(SlidingHistogram, EpochSlotsRotateAndMerge) {
+  obs::sliding_histogram w({100}, 3, 1000);
+  // One sample per epoch across 8 epochs on 3 slots — each arrival after
+  // the third reuses (rotates) the oldest slot.
+  for (util::u64 e = 0; e < 8; ++e) w.observe(e * 10, e * 1000);
+  // At epoch 7 the window holds epochs 5, 6, 7 -> samples 50, 60, 70.
+  EXPECT_EQ(w.count(7000), 3u);
+  EXPECT_EQ(w.sum(7000), 50u + 60u + 70u);
+  EXPECT_EQ(w.quantile(0.0, 7000), 50.0);
+  EXPECT_EQ(w.quantile(1.0, 7000), 70.0);
+  w.reset();
+  EXPECT_EQ(w.count(7000), 0u);
+}
+
 TEST(MetricsRegistry, JsonParsesAndCarriesValues) {
   auto& reg = obs::metrics_registry::global();
   reg.reset();
@@ -275,6 +159,27 @@ TEST(MetricsRegistry, JsonParsesAndCarriesValues) {
   ASSERT_EQ(hist.at("counts").arr.size(), 3u);
   EXPECT_EQ(hist.at("counts").arr[0].num, 1);
   EXPECT_EQ(hist.at("counts").arr[2].num, 1);
+  reg.reset();
+}
+
+TEST(MetricsRegistry, JsonCarriesPercentilesAndWindows) {
+  auto& reg = obs::metrics_registry::global();
+  reg.reset();
+  auto& h = reg.histogram("t.lat", {10, 100});
+  for (util::u64 s = 0; s < 10; ++s) h.observe(s);
+  auto& w = reg.windowed("t.lat", {10, 100});
+  w.observe(7);
+
+  const jvalue doc = parse_json(reg.json());
+  const jvalue& hist = doc.at("histograms").at("t.lat");
+  EXPECT_EQ(hist.at("p50").num, 5.0);
+  EXPECT_TRUE(hist.has("p90"));
+  EXPECT_TRUE(hist.has("p95"));
+  EXPECT_TRUE(hist.has("p99"));
+  const jvalue& win = doc.at("windows").at("t.lat");
+  EXPECT_EQ(win.at("count").num, 1.0);
+  EXPECT_EQ(win.at("p50").num, 7.0);
+  EXPECT_GT(win.at("window_s").num, 0.0);
   reg.reset();
 }
 
@@ -347,6 +252,62 @@ TEST(Trace, JsonSchemaAndSpanContent) {
              m->at("args").at("name").str == "obs-test-main";
   }
   EXPECT_TRUE(named);
+}
+
+TEST(Trace, FlowEventSchemaRoundTrips) {
+  obs::run_scope scope(true);
+  {
+    obs::span sp("origin", "flowtest");
+    obs::flow_begin("req", "flowtest", 7);
+  }
+  {
+    obs::span sp("relay", "flowtest");
+    obs::flow_step("req", "flowtest", 7);
+  }
+  {
+    obs::span sp("sink", "flowtest");
+    obs::flow_end("req", "flowtest", 7);
+  }
+  const jvalue doc = parse_json(obs::trace_json());
+  const auto flows = events_named(doc, "req");
+  ASSERT_EQ(flows.size(), 3u);
+  EXPECT_EQ(flows[0]->at("ph").str, "s");
+  EXPECT_EQ(flows[1]->at("ph").str, "t");
+  EXPECT_EQ(flows[2]->at("ph").str, "f");
+  for (const auto* f : flows) {
+    EXPECT_EQ(f->at("id").num, 7.0);
+    EXPECT_EQ(f->at("cat").str, "flowtest");
+  }
+  // Flow ends bind to the enclosing slice's end — the Perfetto convention.
+  EXPECT_EQ(flows[2]->at("bp").str, "e");
+  EXPECT_FALSE(flows[0]->has("bp"));
+  // The chain is causally ordered in export (stable ts sort).
+  EXPECT_LE(flows[0]->at("ts").num, flows[1]->at("ts").num);
+  EXPECT_LE(flows[1]->at("ts").num, flows[2]->at("ts").num);
+}
+
+TEST(Trace, RunScopesNestWithoutClearingTheOuterRun) {
+  ASSERT_FALSE(obs::enabled());
+  {
+    obs::run_scope outer(true);
+    obs::metrics_registry::global().counter("t.nest").add(3);
+    { obs::span sp("outer-span", "nesttest"); }
+    {
+      // A nested scope (the per-query engine scope inside a serving
+      // daemon's scope) must neither clear the rings/registry nor disable
+      // tracing when it exits.
+      obs::run_scope inner(true);
+      EXPECT_TRUE(obs::enabled());
+      EXPECT_EQ(obs::metrics_registry::global().counter("t.nest").value(), 3u)
+          << "nested entry cleared the outer run's metrics";
+    }
+    EXPECT_TRUE(obs::enabled()) << "nested exit disabled the outer run";
+    const jvalue doc = parse_json(obs::trace_json());
+    EXPECT_EQ(events_named(doc, "outer-span").size(), 1u)
+        << "nested scope cleared the outer run's trace";
+    obs::metrics_registry::global().reset();
+  }
+  EXPECT_FALSE(obs::enabled()) << "outermost exit must restore disabled";
 }
 
 TEST(Trace, SpanNestingWellFormedPerThread) {

@@ -11,7 +11,10 @@
 #include "gtest_compat.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <future>
+#include <map>
 #include <random>
 #include <thread>
 #include <vector>
@@ -19,6 +22,8 @@
 #include "core/engine.hpp"
 #include "core/index.hpp"
 #include "genome/synth.hpp"
+#include "json_compat.hpp"
+#include "obs/trace.hpp"
 #include "serve/server.hpp"
 #include "util/common.hpp"
 
@@ -217,7 +222,7 @@ TEST(ServeServer, BurstCoalescesIntoFewerBatchesWithIdenticalRecords) {
   cof::serve::server srv(fx.idx, sopt);
 
   constexpr usize kRequests = 8;
-  std::vector<std::future<std::vector<cof::ot_record>>> futs;
+  std::vector<std::future<cof::serve::request_result>> futs;
   std::vector<std::string> guides;
   for (usize i = 0; i < kRequests; ++i) {
     const std::string& guide = fx.pool[i % fx.pool.size()];
@@ -225,10 +230,11 @@ TEST(ServeServer, BurstCoalescesIntoFewerBatchesWithIdenticalRecords) {
     futs.push_back(srv.submit(guide, 2));
   }
   for (usize i = 0; i < kRequests; ++i) {
-    const auto recs = futs[i].get();
+    const auto res = futs[i].get();
     const auto ref = serial_records(fx.g, {{guides[i], 2}});
-    EXPECT_EQ(recs, ref) << "request " << i;
-    for (const auto& r : recs) EXPECT_EQ(r.query_index, 0u);
+    EXPECT_EQ(res.records, ref) << "request " << i;
+    EXPECT_GT(res.request_id, 0u);
+    for (const auto& r : res.records) EXPECT_EQ(r.query_index, 0u);
   }
   srv.shutdown();
   const auto st = srv.stats();
@@ -248,14 +254,14 @@ TEST(ServeServer, ShutdownDrainsQueuedRequestsThenRejects) {
   sopt.batch_window_us = 100000;  // requests are queued when shutdown lands
   cof::serve::server srv(fx.idx, sopt);
 
-  std::vector<std::future<std::vector<cof::ot_record>>> futs;
+  std::vector<std::future<cof::serve::request_result>> futs;
   for (usize i = 0; i < 4; ++i) {
     futs.push_back(srv.submit(fx.pool[i % fx.pool.size()], 1));
   }
   srv.shutdown();
   for (usize i = 0; i < futs.size(); ++i) {
     const auto ref = serial_records(fx.g, {{fx.pool[i % fx.pool.size()], 1}});
-    EXPECT_EQ(futs[i].get(), ref) << "queued request " << i << " abandoned";
+    EXPECT_EQ(futs[i].get().records, ref) << "queued request " << i << " abandoned";
   }
   EXPECT_EQ(srv.stats().served, 4u);
   EXPECT_THROW((void)srv.submit(fx.pool[0], 1), cof::index_error);
@@ -274,7 +280,7 @@ TEST(ServeServer, WrongLengthGuideRejectedWithoutFailingNeighbours) {
 
   auto good = srv.submit(fx.pool[0], 2);
   EXPECT_THROW((void)srv.submit("ACGT", 2), cof::index_error);
-  EXPECT_EQ(good.get(), serial_records(fx.g, {{fx.pool[0], 2}}));
+  EXPECT_EQ(good.get().records, serial_records(fx.g, {{fx.pool[0], 2}}));
   srv.shutdown();
   const auto st = srv.stats();
   EXPECT_EQ(st.served, 1u);
@@ -302,8 +308,8 @@ TEST(ServeServer, ConcurrentClientsAreServedIdentically) {
   for (usize c = 0; c < kClients; ++c) {
     clients.emplace_back([&, c] {
       for (usize i = 0; i < kPerClient; ++i) {
-        auto recs = srv.submit(fx.pool[c % fx.pool.size()], 1).get();
-        if (recs != refs[c]) ok[c] = 0;
+        auto res = srv.submit(fx.pool[c % fx.pool.size()], 1).get();
+        if (res.records != refs[c]) ok[c] = 0;
       }
     });
   }
@@ -314,6 +320,210 @@ TEST(ServeServer, ConcurrentClientsAreServedIdentically) {
   EXPECT_EQ(st.admitted, kClients * kPerClient);
   EXPECT_EQ(st.served, kClients * kPerClient);
   EXPECT_EQ(st.failed, 0u);
+}
+
+// --- request-scoped telemetry ------------------------------------------------
+
+/// Every request's envelope carries a live id and a timing breakdown that is
+/// internally coherent: the device segment measured real work and the parts
+/// do not exceed what the client measured end to end.
+TEST(ServeTelemetry, TimingEnvelopeIsCoherent) {
+  serve_fixture fx(508);
+  cof::serve::server_options sopt;
+  sopt.engine = fx.warm_options();
+  cof::serve::server srv(fx.idx, sopt);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto res = srv.submit(fx.pool[0], 2).get();
+  const auto wall_us = static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  EXPECT_GE(res.request_id, 1u);
+  EXPECT_GT(res.timing.device_us, 0u) << "coalesced query took zero time?";
+  // Per-segment microsecond truncation can only lose time, never invent it.
+  EXPECT_LE(res.timing.total_us(), wall_us + 4);
+  srv.shutdown();
+}
+
+/// The flow-event chain acceptance bar: exporting a traced serving run and
+/// re-parsing it, every request id admitted forms one CONNECTED chain —
+/// 's' (admission) first, then at least one 't' hand-off, then 'f'
+/// (fulfilment), in timestamp order.
+TEST(ServeTelemetry, FlowChainIsConnectedPerRequest) {
+  serve_fixture fx(509);
+  obs::run_scope scope(true);
+  cof::serve::server_options sopt;
+  sopt.engine = fx.warm_options();
+  sopt.batch_window_us = 20000;  // coalesce the burst: chains share batches
+  cof::serve::server srv(fx.idx, sopt);
+
+  constexpr usize kRequests = 6;
+  std::vector<std::future<cof::serve::request_result>> futs;
+  for (usize i = 0; i < kRequests; ++i) {
+    futs.push_back(srv.submit(fx.pool[i % fx.pool.size()], 1));
+  }
+  std::vector<u64> ids;
+  for (auto& f : futs) ids.push_back(f.get().request_id);
+  const std::string json = obs::trace_json();
+  srv.shutdown();
+
+  const testjson::jvalue doc = testjson::parse_json(json);
+  std::map<u64, std::vector<std::pair<double, std::string>>> chains;
+  for (const auto& ev : doc.at("traceEvents").arr) {
+    if (!ev.has("name") || ev.at("name").str != "serve.request") continue;
+    chains[static_cast<u64>(ev.at("id").num)].push_back(
+        {ev.at("ts").num, ev.at("ph").str});
+  }
+  for (const u64 id : ids) {
+    auto it = chains.find(id);
+    ASSERT_NE(it, chains.end()) << "request " << id << " has no flow events";
+    auto& chain = it->second;
+    std::stable_sort(chain.begin(), chain.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    ASSERT_GE(chain.size(), 3u) << "request " << id << " chain too short";
+    EXPECT_EQ(chain.front().second, "s") << "request " << id;
+    EXPECT_EQ(chain.back().second, "f") << "request " << id;
+    usize steps = 0;
+    for (usize i = 1; i + 1 < chain.size(); ++i) {
+      EXPECT_EQ(chain[i].second, "t") << "request " << id << " event " << i;
+      ++steps;
+    }
+    EXPECT_GE(steps, 1u) << "request " << id << " never crossed a hand-off";
+  }
+  EXPECT_EQ(chains.size(), kRequests);
+}
+
+/// stats_json()/health() stay parseable and consistent while 4 concurrent
+/// clients hammer the server — the `!stats`/`!health` control-line payloads,
+/// exercised at the layer the CLI wires them from. tsan label.
+TEST(ServeTelemetry, StatsJsonAndHealthUnderConcurrentClients) {
+  serve_fixture fx(510);
+  obs::metrics_registry::global().reset();
+  cof::serve::server_options sopt;
+  sopt.engine = fx.warm_options();
+  sopt.batch_window_us = 2000;
+  cof::serve::server srv(fx.idx, sopt);
+
+  constexpr usize kClients = 4;
+  constexpr usize kPerClient = 4;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> clients;
+  std::vector<char> ok(kClients, 1);
+  for (usize c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (usize i = 0; i < kPerClient; ++i) {
+        if (srv.submit(fx.pool[c % fx.pool.size()], 1).get().records.empty() &&
+            !serial_records(fx.g, {{fx.pool[c % fx.pool.size()], 1}}).empty()) {
+          ok[c] = 0;
+        }
+      }
+    });
+  }
+  // Poll the live surface while the clients run: every snapshot must parse.
+  usize polls = 0;
+  while (!done.load() && polls < 1000) {
+    const testjson::jvalue live = testjson::parse_json(srv.stats_json());
+    EXPECT_TRUE(live.has("health"));
+    ++polls;
+    if (live.at("served").num >= kClients * kPerClient) done.store(true);
+  }
+  for (auto& t : clients) t.join();
+  for (usize c = 0; c < kClients; ++c) EXPECT_TRUE(ok[c]) << "client " << c;
+  // set_value resolves a future before the dispatcher finishes the batch's
+  // own bookkeeping — wait for the counters to settle before asserting.
+  for (usize spin = 0; spin < 2000; ++spin) {
+    const auto st = srv.stats();
+    if (st.served >= kClients * kPerClient && st.in_flight == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const testjson::jvalue doc = testjson::parse_json(srv.stats_json());
+  EXPECT_EQ(doc.at("health").str, "ok");
+  EXPECT_EQ(doc.at("admitted").num, kClients * kPerClient);
+  EXPECT_EQ(doc.at("served").num, kClients * kPerClient);
+  EXPECT_EQ(doc.at("failed").num, 0.0);
+  EXPECT_EQ(doc.at("in_flight").num, 0.0);
+  EXPECT_EQ(doc.at("queue_depth").num, 0.0);
+  EXPECT_EQ(doc.at("latency_us").at("count").num, kClients * kPerClient);
+  EXPECT_GT(doc.at("latency_us").at("p50").num, 0.0);
+  EXPECT_GE(doc.at("latency_us").at("p99").num,
+            doc.at("latency_us").at("p50").num);
+  EXPECT_GT(doc.at("resident").at("bytes").num, 0.0)
+      << "served requests left nothing device-resident?";
+  EXPECT_GT(doc.at("uptime_s").num, 0.0);
+  EXPECT_EQ(srv.health(), cof::serve::health_state::ok);
+
+  srv.shutdown();
+  EXPECT_EQ(srv.health(), cof::serve::health_state::draining);
+  EXPECT_EQ(testjson::parse_json(srv.stats_json()).at("health").str,
+            "draining");
+}
+
+/// Health degrades on windowed rejection pressure: a run of wrong-length
+/// submits pushes the sliding-window rejection rate over the threshold;
+/// because the window slides, the verdict is about NOW, not history.
+TEST(ServeTelemetry, HealthDegradesOnRejectionPressure) {
+  serve_fixture fx(511);
+  cof::serve::server_options sopt;
+  sopt.engine = fx.warm_options();
+  sopt.degraded_reject_rate = 0.5;
+  cof::serve::server srv(fx.idx, sopt);
+  EXPECT_EQ(srv.health(), cof::serve::health_state::ok) << "no data yet";
+  for (usize i = 0; i < 32; ++i) {
+    EXPECT_THROW((void)srv.submit("ACGT", 1), cof::index_error);
+  }
+  EXPECT_EQ(srv.health(), cof::serve::health_state::degraded);
+  srv.shutdown();
+}
+
+/// Soak: the windowed percentiles validate against the measured per-request
+/// latencies — feeding the envelope timings into a fresh histogram with the
+/// same bounds reproduces the served percentiles (within the per-segment
+/// microsecond truncation the envelope pays, bounded by one bucket).
+TEST(ServeTelemetry, SoakWindowedPercentilesMatchMeasuredLatencies) {
+  serve_fixture fx(512);
+  obs::metrics_registry::global().reset();
+  cof::serve::server_options sopt;
+  sopt.engine = fx.warm_options();
+  sopt.batch_window_us = 0;
+  cof::serve::server srv(fx.idx, sopt);
+
+  std::mt19937 rng(81);
+  std::vector<u64> measured;
+  constexpr usize kRequests = 40;
+  for (usize i = 0; i < kRequests; ++i) {
+    const auto res =
+        srv.submit(fx.pool[rng() % fx.pool.size()], 1 + i % 2).get();
+    measured.push_back(res.timing.total_us());
+  }
+  srv.shutdown();
+
+  auto& reg = obs::metrics_registry::global();
+  auto& served = reg.histogram("serve.latency_us",
+                               obs::default_latency_bounds_us());
+  auto& windowed = reg.windowed("serve.latency_us",
+                                obs::default_latency_bounds_us());
+  ASSERT_EQ(served.count(), kRequests);
+  // The soak is far shorter than the 10 s window: nothing expired, so the
+  // windowed view must agree with the lifetime view exactly.
+  EXPECT_EQ(windowed.count(), kRequests);
+  EXPECT_EQ(windowed.quantile(0.5), served.quantile(0.5));
+  EXPECT_EQ(windowed.quantile(0.99), served.quantile(0.99));
+
+  obs::histogram_metric expected(obs::default_latency_bounds_us());
+  for (const u64 us : measured) expected.observe(us);
+  const auto lo_hi = std::minmax_element(measured.begin(), measured.end());
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const double got = windowed.quantile(q);
+    const double want = expected.quantile(q);
+    // Envelope totals truncate each of 4 segments (≤ 3 us loss vs the
+    // single-subtraction server measurement) — allow that plus 10% of the
+    // value for samples the truncation shifts across a bucket boundary.
+    EXPECT_NEAR(got, want, 4.0 + 0.1 * std::max(got, want)) << "q=" << q;
+    EXPECT_GE(got + 4.0, static_cast<double>(*lo_hi.first)) << "q=" << q;
+    EXPECT_LE(got, static_cast<double>(*lo_hi.second) + 4.0) << "q=" << q;
+  }
 }
 
 }  // namespace

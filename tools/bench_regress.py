@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate: diff a freshly produced BENCH_*.json against the
+committed baseline and fail on wall-time or tail-latency regressions.
+
+Usage:
+    bench_regress.py BASELINE FRESH [BASELINE FRESH ...] [--threshold 0.15]
+    bench_regress.py --self-test
+
+A *regression* is a time-like metric that grew by more than --threshold
+(default 15%) relative to the baseline:
+
+  - wall-time metrics: any numeric leaf whose key ends in `_ns`/`_nanos` or
+    contains `wall` (build_ns, warm_ns, wall_nanos, coalesced_ns, ...)
+  - tail latency: `p99_us`
+
+Other numbers (rps, counts, speedups, p50) are reported in the diff when they
+move notably but never fail the gate — they are either throughput-style
+(higher is better, covered indirectly by the wall metrics) or too noisy for a
+hard bound on a shared CI host.
+
+Arrays of result rows (modes, facades, variants, ...) are aligned by their
+identity fields (mode/clients/variant/backend/kernel/guides) when present, so
+reordering or appending rows to a bench does not misalign the comparison;
+rows present on only one side are skipped with a note. Exit status: 0 clean,
+1 regression found, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+# Keys that identify a row inside a result array, checked in this order.
+IDENTITY_KEYS = ("mode", "variant", "backend", "kernel", "clients", "guides")
+
+# A leaf is gated when higher means slower.
+def is_gated(key):
+    return key.endswith("_ns") or key.endswith("_nanos") or "wall" in key or key == "p99_us"
+
+
+def row_identity(row):
+    """Stable identity tuple for a dict inside a result array, or None."""
+    if not isinstance(row, dict):
+        return None
+    ident = tuple((k, row[k]) for k in IDENTITY_KEYS if k in row)
+    return ident or None
+
+
+def align_rows(base_list, fresh_list):
+    """Pair rows by identity when available, else by index."""
+    base_ids = [row_identity(r) for r in base_list]
+    fresh_ids = [row_identity(r) for r in fresh_list]
+    if all(i is not None for i in base_ids) and all(i is not None for i in fresh_ids):
+        fresh_by_id = {}
+        for ident, row in zip(fresh_ids, fresh_list):
+            fresh_by_id.setdefault(ident, row)
+        pairs, missing = [], []
+        for ident, row in zip(base_ids, base_list):
+            if ident in fresh_by_id:
+                pairs.append((dict(ident), row, fresh_by_id[ident]))
+            else:
+                missing.append(ident)
+        return pairs, missing
+    n = min(len(base_list), len(fresh_list))
+    return [({"index": i}, base_list[i], fresh_list[i]) for i in range(n)], []
+
+
+def compare(base, fresh, threshold, path="", out=None):
+    """Walk baseline and fresh in lockstep; return the list of findings."""
+    if out is None:
+        out = []
+    if isinstance(base, dict) and isinstance(fresh, dict):
+        for key, bval in base.items():
+            if key not in fresh:
+                out.append(("note", f"{path}.{key}", "missing from fresh run", None))
+                continue
+            compare(bval, fresh[key], threshold, f"{path}.{key}", out)
+    elif isinstance(base, list) and isinstance(fresh, list):
+        pairs, missing = align_rows(base, fresh)
+        for ident in missing:
+            label = ",".join(f"{k}={v}" for k, v in ident)
+            out.append(("note", f"{path}[{label}]", "row missing from fresh run", None))
+        for ident, brow, frow in pairs:
+            label = ",".join(f"{k}={v}" for k, v in ident.items())
+            compare(brow, frow, threshold, f"{path}[{label}]", out)
+    elif isinstance(base, (int, float)) and not isinstance(base, bool) and \
+            isinstance(fresh, (int, float)) and not isinstance(fresh, bool):
+        key = path.rsplit(".", 1)[-1]
+        if base <= 0:
+            return out
+        ratio = fresh / base
+        if is_gated(key) and ratio > 1.0 + threshold:
+            out.append(("fail", path, f"{base:g} -> {fresh:g} (+{(ratio - 1) * 100:.1f}%)", ratio))
+        elif abs(ratio - 1.0) > threshold:
+            out.append(("note", path, f"{base:g} -> {fresh:g} ({(ratio - 1) * 100:+.1f}%)", ratio))
+    elif base != fresh and path.rsplit(".", 1)[-1] in ("identical", "coalesced_beats_serialized", "within_3pct"):
+        # Correctness booleans flipping false is as bad as a slowdown.
+        if base is True and fresh is not True:
+            out.append(("fail", path, f"{base} -> {fresh}", None))
+    return out
+
+
+def run_pair(baseline_path, fresh_path, threshold):
+    with open(baseline_path) as f:
+        base = json.load(f)
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+    findings = compare(base, fresh, threshold)
+    fails = [f for f in findings if f[0] == "fail"]
+    name = base.get("bench", baseline_path)
+    for kind, path, msg, _ in findings:
+        tag = "REGRESSION" if kind == "fail" else "note"
+        print(f"  [{tag}] {name}{path}: {msg}")
+    if not findings:
+        print(f"  [ok] {name}: no metric moved more than {threshold * 100:.0f}%")
+    return len(fails)
+
+
+def self_test():
+    """Exercise the gate on synthetic documents; returns 0 on success."""
+    base = {
+        "bench": "t",
+        "wall_nanos": 1000,
+        "modes": [
+            {"mode": "a", "clients": 1, "rps": 100.0, "p99_us": 200, "p50_us": 90},
+            {"mode": "b", "clients": 4, "rps": 400.0, "p99_us": 300, "p50_us": 80},
+        ],
+        "identical": True,
+    }
+    ok = json.loads(json.dumps(base))
+    ok["wall_nanos"] = 1100             # +10%: under the gate
+    ok["modes"][0]["p99_us"] = 220      # +10%: under the gate
+    ok["modes"][0]["rps"] = 50.0        # -50%: note only, rps is not gated
+    bad = json.loads(json.dumps(base))
+    bad["modes"] = bad["modes"][::-1]   # reorder: identity alignment must hold
+    bad["modes"][1]["p99_us"] = 260     # +30% on mode=a: gated
+    flip = json.loads(json.dumps(base))
+    flip["identical"] = False           # correctness flip: gated
+
+    checks = [
+        ("clean", base, base, 0),
+        ("under-threshold", base, ok, 0),
+        ("p99 regression survives row reorder", base, bad, 1),
+        ("correctness flip", base, flip, 1),
+    ]
+    failed = 0
+    for label, b, f, want in checks:
+        got = len([x for x in compare(b, f, 0.15) if x[0] == "fail"])
+        status = "ok" if got == want else "FAIL"
+        if got != want:
+            failed += 1
+        print(f"  [self-test:{status}] {label}: {got} regressions (want {want})")
+    return 1 if failed else 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("pairs", nargs="*", metavar="JSON",
+                    help="alternating BASELINE FRESH paths")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="fractional growth that fails the gate (default 0.15)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the built-in synthetic checks and exit")
+    args = ap.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+    if not args.pairs or len(args.pairs) % 2 != 0:
+        ap.error("expected BASELINE FRESH path pairs")
+
+    total_fails = 0
+    for i in range(0, len(args.pairs), 2):
+        try:
+            total_fails += run_pair(args.pairs[i], args.pairs[i + 1], args.threshold)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"  [error] {args.pairs[i]} vs {args.pairs[i + 1]}: {e}")
+            sys.exit(2)
+    if total_fails:
+        print(f"bench_regress: {total_fails} regression(s) beyond "
+              f"{args.threshold * 100:.0f}%")
+        sys.exit(1)
+    print("bench_regress: clean")
+
+
+if __name__ == "__main__":
+    main()
