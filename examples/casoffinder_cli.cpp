@@ -48,7 +48,13 @@ int main(int argc, char** argv) {
   cli.flag("stream", "stream chunks from the FASTA file(s) instead of "
                      "loading the genome (O(chunk) host memory)");
   cli.flag("batch", "one comparer launch per chunk covering all queries");
-  cli.opt("queues", "host threads each driving a device pipeline", "1");
+  cli.opt("queues", "host threads each driving a device pipeline (per "
+                    "device when --devices > 1)", "1");
+  cli.opt("devices", "shard streamed chunks across N simulated devices, "
+                     "each with its own pool and pipelines (records stay "
+                     "byte-identical for any N)", "1");
+  cli.opt("shard-policy", "chunk-to-device assignment when --devices > 1: "
+                          "round-robin | least-loaded", "round-robin");
   cli.opt("trace-out", "write a Chrome trace-event JSON (Perfetto-loadable) "
                        "of the run", "");
   cli.opt("metrics-json", "write the obs metrics snapshot (counters/gauges/"
@@ -60,8 +66,11 @@ int main(int argc, char** argv) {
                    "'spill.write=hit:1,dev.launch=prob:0.01:7' "
                    "(sites: dev.alloc dev.launch pipe.event queue.push "
                    "queue.pop spill.write spill.merge entry.clamp "
-                   "index.persist index.load serve.admit serve.batch; modes: "
-                   "always, hit:N, prob:P[:seed], off)", "");
+                   "index.persist index.load serve.admit serve.batch "
+                   "shard.assign; modes: always, hit:N, prob:P[:seed], off; "
+                   "a site@N suffix targets shard ordinal N, e.g. "
+                   "'dev.launch@1=always' kills device 1 of a --devices set)",
+          "");
   cli.opt("build-index", "build the genome/PAM index (decode + finder over "
                          "every chunk), persist it to this .cofidx path and "
                          "exit", "");
@@ -130,6 +139,8 @@ int main(int argc, char** argv) {
   opt.max_chunk = cli.get_u64("chunk");
   opt.batch_queries = cli.get_flag("batch");
   opt.num_queues = cli.get_u64("queues");
+  opt.num_devices = cli.get_u64("devices");
+  opt.shard = cof::parse_shard_policy(cli.get("shard-policy"));
   opt.trace_out = cli.get("trace-out");
   opt.metrics_json = cli.get("metrics-json");
   opt.max_entries = cli.get_u64("max-entries");
@@ -404,6 +415,19 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(streamed.streamed_bases),
                  streamed.metrics.chunks,
                  util::human_bytes(streamed.peak_chunk_bytes).c_str());
+    if (streamed.device_shards.size() > 1) {
+      for (const auto& ds : streamed.device_shards) {
+        std::fprintf(stderr, "  %s: %llu chunks, %llu steals%s\n",
+                     ds.name.c_str(),
+                     static_cast<unsigned long long>(ds.chunks),
+                     static_cast<unsigned long long>(ds.steals),
+                     ds.failed ? "  [FAILED — degraded to survivors]" : "");
+      }
+      if (streamed.shard_reassigns != 0) {
+        std::fprintf(stderr, "  %llu chunk reassignments off dead devices\n",
+                     static_cast<unsigned long long>(streamed.shard_reassigns));
+      }
+    }
     genome::genome_t names_only;
     for (const auto& n : streamed.chrom_names) {
       names_only.chroms.push_back({n, ""});

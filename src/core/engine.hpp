@@ -11,6 +11,7 @@
 #include "core/pipeline.hpp"
 #include "core/results.hpp"
 #include "core/serial_ref.hpp"
+#include "core/shard_policy.hpp"
 #include "genome/chunker.hpp"
 
 namespace cof {
@@ -49,7 +50,15 @@ struct engine_options {
   /// application currently executes on a single GPU device"). Results are
   /// identical for any value (canonical order + dedup). 0/1 = single queue.
   /// Applies to run_search and run_search_streaming (async path).
+  /// With num_devices > 1 this is the consumer count PER DEVICE.
   usize num_queues = 1;
+  /// Streaming (async) and warm index paths: shard chunks across this many
+  /// simulated xpu devices (core/shard.hpp device_set), each with its own
+  /// pipelines and spill runs; the k-way merge keeps records byte-identical
+  /// for any device count. 0/1 = the single global simulator device.
+  usize num_devices = 1;
+  /// Chunk-to-device assignment policy when num_devices > 1.
+  shard_policy shard = shard_policy::round_robin;
   /// Cap on per-chunk device entry allocations (see
   /// pipeline_options::max_entries). 0 = worst-case sizing (never
   /// overflows); a too-small cap aborts with an overflow report instead of

@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include "core/index.hpp"
+#include "core/shard.hpp"
 #include "fault/fault.hpp"
 #include "genome/fasta.hpp"
 #include "genome/fasta_stream.hpp"
@@ -168,6 +169,18 @@ std::string spill_path(usize queue_index) {
 // Anything unrecoverable wins the first-failure race, closes the queue, and
 // is rethrown after the join — spill files are removed on unwind, so a
 // failed run never leaves partial output.
+//
+// Sharding (num_devices > 1): each device of the shard::device_set gets its
+// own bounded queue and num_queues consumers; each consumer binds its
+// thread to its device (xpu::scoped_device), so every buffer and kernel it
+// touches lands on that device's pool/arena. The producer assigns chunks to
+// devices through a shard_scheduler (round-robin or least-loaded). A
+// consumer whose own queue runs dry steals from the deepest other device's
+// queue (locality first, work conservation second). A device that exhausts
+// its bounded retries is marked dead: its queue closes, the chunk in hand
+// plus anything still queued is handed to the survivors, and the run
+// completes degraded — the k-way merge keeps the output byte-identical.
+// When the last device dies, the original site-named error fails the run.
 // ---------------------------------------------------------------------------
 struct stream_chunk {
   std::string text;
@@ -220,9 +233,14 @@ streamed_outcome run_streaming_async(const search_config& cfg,
   for (const auto& q : cfg.queries) thresholds.push_back(q.max_mismatches);
 
   // Profiling serialises the queues (the process-global event counters are
-  // reset/snapshot around each launch, as a profiler would).
+  // reset/snapshot around each launch, as a profiler would) and pins the
+  // run to the single global device.
   usize queues = std::max<usize>(1, opt.num_queues);
-  if (opt.counting) queues = 1;
+  usize ndev = std::max<usize>(1, opt.num_devices);
+  if (opt.counting) {
+    queues = 1;
+    ndev = 1;
+  }
 
   // Stage accounting is always on (a few process_nanos() reads per chunk);
   // the span/counter probes additionally gate on obs::enabled(), cached
@@ -249,31 +267,51 @@ streamed_outcome run_streaming_async(const search_config& cfg,
   const auto queue_timeout =
       std::chrono::milliseconds(std::max<usize>(1, opt.queue_timeout_ms));
 
+  // The device set must outlive the pipelines (their buffers free against
+  // their device) — declared before the queue states.
+  shard::device_set devs(ndev);
+  shard::shard_scheduler sched(opt.shard, devs);
+
   struct queue_state {
     std::unique_ptr<device_pipeline> pipe;
     std::unique_ptr<record_spill_writer> writer;
+    /// Device this consumer belongs to (consumer i -> i / queues).
+    usize device = 0;
     /// This queue's current entry cap. Grows when a chunk overflows and
     /// stays grown (sticky), so a dense region pays the rebuild once.
     usize cur_max_entries = 0;
     /// Metrics accumulated by pipelines retired in recovery rebuilds.
     pipeline_metrics retired;
     usize chunks = 0;
+    usize steals = 0;          // chunks taken from another device's queue
+    bool device_gone = false;  // this consumer's device died mid-run
     usize peak_chunk_bytes = 0;
     u64 wait_ns = 0;    // blocked on pop + on the previous format job
     u64 device_ns = 0;  // H2D + finder + comparer batch + fetch
     u64 format_ns = 0;  // written by the chained format jobs; the job
                         // chain (wait() before submit) orders the writes
   };
-  std::vector<queue_state> qs(queues);
-  for (usize i = 0; i < queues; ++i) {
+  std::vector<queue_state> qs(ndev * queues);
+  for (usize i = 0; i < qs.size(); ++i) {
+    qs[i].device = i / queues;
     qs[i].cur_max_entries = opt.max_entries;
-    qs[i].pipe = make_pipeline(opt, qs[i].cur_max_entries);
     qs[i].writer = std::make_unique<record_spill_writer>(spill_path(i));
+    // Pipelines are built inside the consumer thread, under its device
+    // binding, so every buffer lands on the consumer's own device.
   }
 
-  util::bounded_queue<stream_chunk> chunk_queue(queues + 2);
+  // One bounded queue per device; the shard scheduler routes chunks, and a
+  // dry consumer steals from the deepest other queue.
+  std::vector<std::unique_ptr<util::bounded_queue<stream_chunk>>> dev_queues;
+  dev_queues.reserve(ndev);
+  for (usize d = 0; d < ndev; ++d) {
+    dev_queues.push_back(
+        std::make_unique<util::bounded_queue<stream_chunk>>(queues + 2));
+  }
+  // Chunks taken but not yet finished, per device (least-loaded input).
+  std::vector<std::atomic<usize>> inflight(ndev);
 
-  // First failure wins: it closes the chunk queue so every thread unwinds,
+  // First failure wins: it closes every chunk queue so all threads unwind,
   // and is rethrown once the workers have joined. The rethrow unwinds this
   // frame, destroying the spill writers — which remove their files — so a
   // failed run never leaves partial output behind.
@@ -285,7 +323,7 @@ streamed_outcome run_streaming_async(const search_config& cfg,
     if (failure == nullptr) {
       failure = std::move(ep);
       failed.store(true, std::memory_order_release);
-      chunk_queue.close();
+      for (auto& q : dev_queues) q->close();
     }
   };
 
@@ -293,6 +331,7 @@ streamed_outcome run_streaming_async(const search_config& cfg,
   std::atomic<u64> chunk_splits{0};
   std::atomic<u64> recovered_overflows{0};
   std::atomic<u64> spill_retries{0};
+  std::atomic<u64> shard_reassigns{0};
 
   // Replace a queue's pipeline (fresh device state, possibly a new entry
   // cap), folding the old one's accounting into the retired bucket first.
@@ -301,27 +340,134 @@ streamed_outcome run_streaming_async(const search_config& cfg,
     st.pipe = make_pipeline(opt, st.cur_max_entries);
   };
 
+  // Per-device load snapshot for the least-loaded policy: queued + taken
+  // but unfinished.
+  auto load_snapshot = [&] {
+    std::vector<usize> loads(ndev);
+    for (usize d = 0; d < ndev; ++d) {
+      loads[d] =
+          dev_queues[d]->size() + inflight[d].load(std::memory_order_relaxed);
+    }
+    return loads;
+  };
+
+  // Hand a chunk to some surviving device's queue (degradation path).
+  // False when no survivor could take it — the caller fails the run.
+  auto reassign = [&](stream_chunk&& ch) {
+    while (!failed.load(std::memory_order_acquire)) {
+      fault::inject_point(fault::site::shard_assign);
+      const usize target = sched.assign(load_snapshot());
+      if (target >= ndev) return false;  // nobody left alive
+      const util::wait_status ws = dev_queues[target]->push_for(ch, queue_timeout);
+      if (ws == util::wait_status::ready) {
+        shard_reassigns.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      if (ws == util::wait_status::timeout) return false;
+      // closed: the target died inside the window — try the next survivor.
+    }
+    return false;
+  };
+
+  // Sharded chunk take: own queue first (locality), then steal from the
+  // deepest other device's queue. Closed queues still drain, so survivors
+  // pick up a dead device's backlog here. Returns ready (stolen set),
+  // closed (every queue drained+closed, this device is dead, or the run
+  // failed), or timeout (queue_timeout passed with open queues, no chunk).
+  auto take_sharded = [&](queue_state& st, stream_chunk& ch, bool& stolen) {
+    fault::inject_point(fault::site::queue_pop);
+    const auto slice = std::chrono::milliseconds(2);
+    std::chrono::nanoseconds waited{0};
+    for (;;) {
+      if (failed.load(std::memory_order_acquire)) {
+        return util::wait_status::closed;
+      }
+      if (!devs.alive(st.device)) return util::wait_status::closed;
+      const util::wait_status own = dev_queues[st.device]->pop_for(ch, slice);
+      if (own == util::wait_status::ready) {
+        stolen = false;
+        return own;
+      }
+      // Steal scan, deepest victim first (ties to the lower ordinal).
+      std::vector<std::pair<usize, usize>> order;  // (depth, device)
+      order.reserve(ndev - 1);
+      for (usize d = 0; d < ndev; ++d) {
+        if (d != st.device) order.emplace_back(dev_queues[d]->size(), d);
+      }
+      std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+        return a.first != b.first ? a.first > b.first : a.second < b.second;
+      });
+      bool all_closed = own == util::wait_status::closed;
+      for (const auto& [depth, d] : order) {
+        const util::wait_status got =
+            dev_queues[d]->pop_for(ch, std::chrono::nanoseconds{0});
+        if (got == util::wait_status::ready) {
+          stolen = true;
+          return got;
+        }
+        if (got == util::wait_status::timeout) all_closed = false;  // open
+      }
+      if (all_closed) return util::wait_status::closed;
+      if (own == util::wait_status::timeout) {
+        waited += slice;
+        if (waited >= queue_timeout) return util::wait_status::timeout;
+      }
+    }
+  };
+
+  // Mark st's device dead and hand its pending work to the survivors.
+  // False when none survive or a hand-off failed — the caller rethrows the
+  // original error and the run fails cleanly.
+  auto degrade = [&](queue_state& st, std::vector<work_item>& work) {
+    if (ndev <= 1 || devs.mark_failed(st.device) == 0) return false;
+    dev_queues[st.device]->close();
+    while (!work.empty()) {
+      if (!reassign(std::move(work.back().ch))) return false;
+      work.pop_back();
+    }
+    st.device_gone = true;
+    return true;
+  };
+
   auto consume = [&](queue_state& st, usize queue_index) {
     if (tracing) {
       obs::set_thread_name(util::format("stream.queue-%zu", queue_index));
     }
+    // Bind this consumer — and every buffer/launch it performs — to its
+    // device; the ordinal lets site@N fault specs target it.
+    xpu::scoped_device bind(devs.at(st.device), static_cast<int>(st.device));
     util::thread_pool::job format_job;
     try {
+      try {
+        st.pipe = make_pipeline(opt, st.cur_max_entries);
+      } catch (const fault::injected_error&) {
+        // Dead on arrival. With survivors the run degrades (the producer
+        // routes around the closed queue); alone, the run fails.
+        std::vector<work_item> none;
+        if (!degrade(st, none)) throw;
+      }
       stream_chunk ch;
-      for (;;) {
+      while (!st.device_gone) {
         if (failed.load(std::memory_order_acquire)) break;
+        if (!devs.alive(st.device)) break;  // a sibling marked it dead
         u64 t0 = util::process_nanos();
         util::wait_status got;
+        bool stolen = false;
         {
           obs::span sp("queue.pop", "stream");
-          fault::inject_point(fault::site::queue_pop);
-          got = chunk_queue.pop_for(ch, queue_timeout);
+          if (ndev == 1) {
+            fault::inject_point(fault::site::queue_pop);
+            got = dev_queues[0]->pop_for(ch, queue_timeout);
+          } else {
+            got = take_sharded(st, ch, stolen);
+          }
         }
         const u64 pop_ns = util::process_nanos() - t0;
         st.wait_ns += pop_ns;
         if (m_pop != nullptr) m_pop->observe(pop_ns / 1000);
         if (m_depth != nullptr) {
-          const util::i64 depth = static_cast<util::i64>(chunk_queue.size());
+          const util::i64 depth =
+              static_cast<util::i64>(dev_queues[st.device]->size());
           m_depth->set(depth);
           obs::counter_track("queue.depth", static_cast<double>(depth));
         }
@@ -333,6 +479,8 @@ streamed_outcome run_streaming_async(const search_config& cfg,
                            "%zu ms", opt.queue_timeout_ms));
         }
         ++st.chunks;
+        if (stolen) ++st.steals;
+        inflight[st.device].fetch_add(1, std::memory_order_relaxed);
         if (m_chunks != nullptr) m_chunks->add(1);
         st.peak_chunk_bytes = std::max(st.peak_chunk_bytes, ch.text.size());
         LOG_DEBUG("stream chunk@%llu: %zu bases",
@@ -342,7 +490,7 @@ streamed_outcome run_streaming_async(const search_config& cfg,
         // the chunk — and, after a split, its halves — still to process.
         std::vector<work_item> work;
         work.push_back(work_item{std::move(ch), false});
-        while (!work.empty()) {
+        while (!work.empty() && !st.device_gone) {
           work_item item = std::move(work.back());
           work.pop_back();
           for (usize attempt = 0;; ++attempt) {
@@ -479,13 +627,28 @@ streamed_outcome run_streaming_async(const search_config& cfg,
               overflow_retries.fetch_add(1, std::memory_order_relaxed);
             } catch (const fault::injected_error&) {
               // Transient device failure (dev.alloc / dev.launch /
-              // pipe.event): fresh device state, bounded retries.
+              // pipe.event): fresh device state, bounded retries. Past the
+              // bound — or when the replacement pipeline won't even build —
+              // the device is marked dead and its pending work handed to
+              // the survivors; with none left the run fails cleanly.
               st.device_ns += util::process_nanos() - t0;
-              if (attempt + 1 >= kMaxDeviceAttempts) throw;
-              rebuild(st);
+              bool rebuilt = false;
+              if (attempt + 1 < kMaxDeviceAttempts) {
+                try {
+                  rebuild(st);
+                  rebuilt = true;
+                } catch (const fault::injected_error&) {
+                }
+              }
+              if (!rebuilt) {
+                work.push_back(std::move(item));
+                if (!degrade(st, work)) throw;
+                break;  // device_gone: the while loops unwind
+              }
             }
           }
         }
+        inflight[st.device].fetch_sub(1, std::memory_order_relaxed);
       }
       {
         obs::span sp("format.wait", "stream");
@@ -512,8 +675,8 @@ streamed_outcome run_streaming_async(const search_config& cfg,
   };
 
   std::vector<std::thread> workers;
-  workers.reserve(queues);
-  for (usize i = 0; i < queues; ++i) {
+  workers.reserve(qs.size());
+  for (usize i = 0; i < qs.size(); ++i) {
     workers.emplace_back(consume, std::ref(qs[i]), i);
   }
 
@@ -547,10 +710,26 @@ streamed_outcome run_streaming_async(const search_config& cfg,
       ch.chrom_index = static_cast<u32>(out.chrom_names.size()) - 1;
       t0 = util::process_nanos();
       util::wait_status ws;
+      usize target = 0;
       {
         obs::span sp("queue.push", "stream");
         fault::inject_point(fault::site::queue_push);
-        ws = chunk_queue.push_for(ch, queue_timeout);
+        if (ndev == 1) {
+          ws = dev_queues[0]->push_for(ch, queue_timeout);
+        } else {
+          // Assign through the shard scheduler; a push that lands on a
+          // queue closed by a mid-window device death retries against the
+          // survivors. At most ndev closes can happen, so the loop is
+          // bounded.
+          ws = util::wait_status::closed;
+          for (usize tries = 0; tries <= ndev; ++tries) {
+            fault::inject_point(fault::site::shard_assign);
+            target = sched.assign(load_snapshot());
+            if (target >= ndev) break;  // no device left: consumers failed
+            ws = dev_queues[target]->push_for(ch, queue_timeout);
+            if (ws != util::wait_status::closed) break;
+          }
+        }
       }
       const u64 p_ns = util::process_nanos() - t0;
       push_ns += p_ns;
@@ -562,7 +741,7 @@ streamed_outcome run_streaming_async(const search_config& cfg,
             util::format("stream queue.push stalled: no consumer took a "
                          "chunk for %zu ms", opt.queue_timeout_ms));
       }
-      const usize depth = chunk_queue.size();
+      const usize depth = dev_queues[target]->size();
       out.peak_queue_depth = std::max(out.peak_queue_depth, depth);
       if (m_depth != nullptr) {
         m_depth->set(static_cast<util::i64>(depth));
@@ -572,7 +751,7 @@ streamed_outcome run_streaming_async(const search_config& cfg,
   } catch (...) {
     record_failure(std::current_exception());
   }
-  chunk_queue.close();
+  for (auto& q : dev_queues) q->close();
   for (auto& t : workers) t.join();
 
   // Everything has joined; `failure` is stable. Rethrow before touching the
@@ -582,6 +761,11 @@ streamed_outcome run_streaming_async(const search_config& cfg,
   out.stage_times.decode_s = static_cast<double>(decode_ns) / 1e9;
   out.stage_times.queue_wait_s = static_cast<double>(push_ns) / 1e9;
 
+  out.device_shards.resize(ndev);
+  for (usize d = 0; d < ndev; ++d) {
+    out.device_shards[d].name = devs.name(d);
+    out.device_shards[d].failed = !devs.alive(d);
+  }
   std::vector<std::string> spill_paths;
   for (auto& st : qs) {
     out.metrics.chunks += st.chunks;
@@ -590,7 +774,8 @@ streamed_outcome run_streaming_async(const search_config& cfg,
     out.spill_runs += st.writer->runs();
     spill_paths.push_back(st.writer->path());
     pipeline_metrics pm = st.retired;
-    accumulate(pm, st.pipe->metrics());
+    // A device that died before its pipeline was built leaves pipe null.
+    if (st.pipe != nullptr) accumulate(pm, st.pipe->metrics());
     out.metrics.per_queue.push_back(pm);
     accumulate(out.metrics.pipeline, pm);
     stream_stage_times qt;
@@ -601,7 +786,15 @@ streamed_outcome run_streaming_async(const search_config& cfg,
     out.stage_times.queue_wait_s += qt.queue_wait_s;
     out.stage_times.device_s += qt.device_s;
     out.stage_times.format_s += qt.format_s;
+    auto& ds = out.device_shards[st.device];
+    ds.chunks += st.chunks;
+    ds.steals += st.steals;
+    ds.stages.queue_wait_s += qt.queue_wait_s;
+    ds.stages.device_s += qt.device_s;
+    ds.stages.format_s += qt.format_s;
+    out.shard_steals += st.steals;
   }
+  out.shard_reassigns = shard_reassigns.load();
 
   out.metrics.recovery.overflow_retries = overflow_retries.load();
   out.metrics.recovery.chunk_splits = chunk_splits.load();
@@ -637,6 +830,14 @@ streamed_outcome run_streaming_async(const search_config& cfg,
         .add(out.metrics.recovery.recovered_overflows);
     reg.counter("recover.spill_retries")
         .add(out.metrics.recovery.spill_retries);
+    if (ndev > 1) {
+      for (const auto& ds : out.device_shards) {
+        reg.counter("shard.chunks." + ds.name).add(ds.chunks);
+        reg.counter("shard.steals." + ds.name).add(ds.steals);
+      }
+      reg.counter("shard.steals").add(out.shard_steals);
+      reg.counter("shard.reassigns").add(out.shard_reassigns);
+    }
   }
 
   out.streamed_bases = source.streamed_bases();
@@ -865,7 +1066,10 @@ streamed_outcome run_search_streaming(const search_config& cfg,
   COF_CHECK_MSG(opt.max_chunk > overlap, "max_chunk must exceed pattern length");
 
   streamed_outcome out;
-  if (opt.stream_async) {
+  // The synchronous loop drives exactly one pipeline; a multi-device run
+  // needs the async engine's per-device consumers, whatever stream_async
+  // says.
+  if (opt.stream_async || opt.num_devices > 1) {
     out = run_streaming_async(cfg, path, opt, pat, dev_queries, overlap, sw,
                               sink);
   } else {

@@ -60,6 +60,21 @@ struct streamed_outcome {
   /// Most chunks ever resident in the bounded queue (async path) — the
   /// backpressure high-water mark against capacity num_queues + 2.
   util::usize peak_queue_depth = 0;
+  /// Per-device accounting for sharded runs (engine_options::num_devices).
+  /// One entry per device even when a device failed mid-run; size 1 for
+  /// single-device runs on the async path.
+  struct shard_device_stats {
+    std::string name;            // device_set name ("xpu0"… or the simulator)
+    util::usize chunks = 0;      // chunks this device completed
+    util::usize steals = 0;      // chunks its consumers stole from other queues
+    bool failed = false;         // device marked dead mid-run (degraded)
+    stream_stage_times stages;   // summed over the device's consumers
+  };
+  std::vector<shard_device_stats> device_shards;
+  /// Cross-device totals: chunks taken from a non-home queue, and chunks
+  /// re-pushed to survivors after a device death.
+  util::usize shard_steals = 0;
+  util::usize shard_reassigns = 0;
   /// Index/query split accounting (engine_options::index / index_path).
   bool used_index = false;       // run went through the index query path
   bool index_cache_hit = false;  // index came prebuilt (in memory or .cofidx)

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <fstream>
 #include <mutex>
+#include <optional>
 
 #include "fault/fault.hpp"
 #include "genome/chunker.hpp"
@@ -475,6 +476,9 @@ struct index_query_session::slot {
   std::mutex mu;
   std::vector<usize> chunk_ids;
   std::vector<resident_chunk> resident;
+  /// Shard device this slot's resident pipelines live on. Mutated (under
+  /// mu) only when a device failure migrates the slot to a survivor.
+  usize device = 0;
   usize resident_bytes = 0;
   /// This slot's entry cap. Grows when a chunk overflows and stays grown
   /// (sticky), mirroring the streaming engine's per-queue policy.
@@ -509,6 +513,15 @@ struct index_query_session::slot {
       return true;
     }
     return false;
+  }
+
+  /// Drop the whole resident set (device migration: buffers on the dead
+  /// device are unreachable, survivors re-upload on demand). Accounting
+  /// folds into the retired bucket like any other eviction.
+  void evict_all() {
+    for (auto& rc : resident) accumulate_metrics(retired, rc.pipe->metrics());
+    resident.clear();
+    resident_bytes = 0;
   }
 
   /// Evict least-recently-used residents until `incoming` fits the budget.
@@ -553,9 +566,15 @@ index_query_session::index_query_session(const genome_index& idx,
     : idx_(idx), opt_(opt) {
   COF_CHECK_MSG(opt_.backend != backend_kind::serial,
                 "index queries drive a device pipeline (pick O, G, S, U or P)");
+  usize ndev = std::max<usize>(1, opt_.num_devices);
+  if (opt_.counting) ndev = 1;  // profiling serialises everything
   usize nslots = std::max<usize>(
-      1, std::min(opt_.num_queues, std::max<usize>(1, idx_.chunks.size())));
+      1, std::min(opt_.num_queues * ndev,
+                  std::max<usize>(1, idx_.chunks.size())));
   if (opt_.counting) nslots = 1;  // profiling serialises the queues
+  devs_ = std::make_unique<shard::device_set>(ndev);
+  dev_chunks_ = std::make_unique<std::atomic<util::u64>[]>(ndev);
+  for (usize d = 0; d < ndev; ++d) dev_chunks_[d].store(0);
   slot_budget_ =
       opt_.resident_bytes == 0
           ? 0
@@ -563,6 +582,9 @@ index_query_session::index_query_session(const genome_index& idx,
   for (usize s = 0; s < nslots; ++s) {
     slots_.push_back(std::make_unique<slot>());
     slots_.back()->cur_max_entries = opt_.max_entries;
+    // Interleaved pinning spreads slots (and so the resident working set)
+    // evenly across the shard devices.
+    slots_.back()->device = s % ndev;
   }
   for (usize ci = 0; ci < idx_.chunks.size(); ++ci) {
     slots_[ci % nslots]->chunk_ids.push_back(ci);
@@ -578,6 +600,28 @@ usize index_query_session::resident_bytes() const {
     total += sl->resident_bytes;
   }
   return total;
+}
+
+std::vector<index_query_session::device_residency_info>
+index_query_session::device_residency() const {
+  std::vector<device_residency_info> out(devs_->size());
+  for (usize d = 0; d < devs_->size(); ++d) {
+    out[d].name = devs_->name(d);
+    out[d].alive = devs_->alive(d);
+    out[d].chunks = dev_chunks_[d].load();
+  }
+  for (const auto& sl : slots_) {
+    std::lock_guard lock(sl->mu);
+    if (sl->device < out.size()) {
+      ++out[sl->device].slots;
+      out[sl->device].resident_bytes += sl->resident_bytes;
+    }
+  }
+  return out;
+}
+
+usize index_query_session::failed_devices() const {
+  return devs_->size() - devs_->alive_count();
 }
 
 search_outcome index_query_session::query(const std::vector<query_spec>& queries) {
@@ -617,6 +661,11 @@ search_outcome index_query_session::query(const std::vector<query_spec>& queries
       // interleave across slots but each slot's residency state, sticky
       // entry cap and staged pipeline entries stay single-owner.
       std::lock_guard slot_lock(sl.mu);
+      // Bind the sweep to the slot's shard device: every pipeline admitted
+      // below allocates and launches there (and `site@N` fault specs target
+      // it). Re-emplaced when a device failure migrates the slot.
+      std::optional<xpu::scoped_device> bind;
+      bind.emplace(devs_->at(sl.device), static_cast<int>(sl.device));
       std::vector<ot_record> local;
       u64 hits = 0;
       u64 misses = 0;
@@ -627,7 +676,8 @@ search_outcome index_query_session::query(const std::vector<query_spec>& queries
         const index_chunk& ch = idx_.chunks[ci];
         if (ch.loci.empty()) continue;
         bool overflowed = false;
-        for (usize attempt = 0;; ++attempt) {
+        usize attempt = 0;
+        for (;;) {
           try {
             // One span per chunk sweep attempt (residency admission +
             // comparer launch + entry fetch), tagged with the serving batch
@@ -695,14 +745,37 @@ search_outcome index_query_session::query(const std::vector<query_spec>& queries
             // cur == 0 is worst-case sizing: only an injected entry.clamp
             // lands here — retry as-is within the attempt bound.
             ++overflow_retries;
+            ++attempt;
           } catch (const fault::injected_error&) {
             // Transient device failure (dev.alloc / dev.launch /
             // pipe.event): retire this chunk's pipeline for fresh device
             // state, bounded retries — the streaming engine's policy.
-            if (attempt + 1 >= kMaxDeviceAttempts) throw;
-            sl.evict(ci);
+            if (attempt + 1 < kMaxDeviceAttempts) {
+              sl.evict(ci);
+              ++attempt;
+              continue;
+            }
+            // Attempts exhausted: the device is gone, not transient. With
+            // survivors, drop the slot's residency (its buffers live on the
+            // dead device), migrate to one and restart the attempt budget
+            // there; with none the original error propagates.
+            if (devs_->size() <= 1 || devs_->mark_failed(sl.device) == 0) {
+              throw;
+            }
+            obs::span msp("index.shard.migrate", "engine");
+            msp.arg("from", static_cast<double>(sl.device));
+            sl.evict_all();
+            sl.device = devs_->pick_alive(sl.device + 1);
+            msp.arg("to", static_cast<double>(sl.device));
+            bind.emplace(devs_->at(sl.device), static_cast<int>(sl.device));
+            migrations_.fetch_add(1);
+            obs::metrics_registry::global()
+                .counter("index.shard.migrate")
+                .add(1);
+            attempt = 0;
           }
         }
+        dev_chunks_[sl.device].fetch_add(1);
       }
       chunk_hits_.fetch_add(hits);
       chunk_misses_.fetch_add(misses);

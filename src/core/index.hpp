@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "core/shard.hpp"
 
 namespace cof {
 
@@ -114,6 +115,16 @@ void check_index_matches_source(const genome_index& idx,
 /// the budget-forced drops). Every query() runs ONE batched multi-query
 /// comparer launch per chunk.
 ///
+/// With engine_options::num_devices > 1 the session shards its slots across
+/// a device_set (opt.num_queues slots PER device, slot s pinned to device
+/// s % N): each slot's resident pipelines live on its device, so the
+/// working set spreads over every device's arena. A slot whose device
+/// exhausts the bounded retry budget marks it failed, drops its residency
+/// and migrates to a surviving device (re-uploading there on demand);
+/// results stay byte-identical. When no device survives the original error
+/// propagates. device_residency() / failed_devices() expose the state for
+/// the serving layer's !stats and !health.
+///
 /// query() is safe to call from multiple threads concurrently: slots are
 /// locked individually for the duration of their chunk sweep, so concurrent
 /// calls interleave across slots but never race on residency state or on a
@@ -148,6 +159,22 @@ class index_query_session {
   util::u64 chunk_misses() const { return chunk_misses_.load(); }
   util::u64 chunk_evictions() const { return chunk_evictions_.load(); }
 
+  /// Residency snapshot of one shard device (for serving stats).
+  struct device_residency_info {
+    std::string name;
+    usize slots = 0;           // slots currently pinned to this device
+    usize resident_bytes = 0;  // bytes their resident sets hold on it
+    util::u64 chunks = 0;      // chunk sweeps it has served
+    bool alive = true;
+  };
+  /// Per-device snapshot (one entry per device, ordinal order). Takes each
+  /// slot's mutex in turn, like resident_bytes().
+  std::vector<device_residency_info> device_residency() const;
+  /// Devices marked failed so far (0 on a healthy session).
+  usize failed_devices() const;
+  /// Slot migrations forced by device failures.
+  util::u64 device_migrations() const { return migrations_.load(); }
+
   /// Bytes currently pinned on the device across every slot's resident set
   /// (snapshot — takes each slot's mutex in turn, so it may interleave with
   /// a concurrent query()'s admissions/evictions).
@@ -160,10 +187,15 @@ class index_query_session {
   const genome_index& idx_;
   engine_options opt_;
   usize slot_budget_ = 0;  // resident-byte budget per slot (0 = unbounded)
+  /// Declared before slots_: slot pipelines hold buffers on these devices,
+  /// so destruction must tear the slots down first.
+  std::unique_ptr<shard::device_set> devs_;
+  std::unique_ptr<std::atomic<util::u64>[]> dev_chunks_;  // sweeps per device
   std::vector<std::unique_ptr<slot>> slots_;
   std::atomic<util::u64> chunk_hits_{0};
   std::atomic<util::u64> chunk_misses_{0};
   std::atomic<util::u64> chunk_evictions_{0};
+  std::atomic<util::u64> migrations_{0};
 };
 
 /// One-shot warm query with its own obs/fault scoping — the standalone

@@ -60,16 +60,30 @@ usize count_armed(const registry_t& r) {
   return n;
 }
 
-/// Parse and apply one "site=mode" spec. Caller holds the registry mutex.
+/// Shard ordinal of the current thread (-1 = unbound). Published by
+/// xpu::scoped_device so `site@N` specs can target one device of a set.
+thread_local int tl_shard = -1;
+
+/// Parse and apply one "site=mode" spec. The site may carry an `@N`
+/// shard qualifier; the base name must still be a known site. Caller
+/// holds the registry mutex.
 void apply_one(registry_t& r, std::string_view spec) {
   const auto eq = spec.find('=');
   COF_CHECK_MSG(eq != std::string_view::npos,
                 "fault spec must be site=mode: " + std::string(spec));
   const std::string name(util::trim(spec.substr(0, eq)));
   const std::string mode(util::trim(spec.substr(eq + 1)));
+  std::string base = name;
+  const auto at = name.find('@');
+  if (at != std::string::npos) {
+    base = name.substr(0, at);
+    unsigned long long ordinal = 0;
+    COF_CHECK_MSG(util::parse_u64(name.substr(at + 1), ordinal),
+                  "site@N needs an integer shard ordinal: " + name);
+  }
   bool known = false;
-  for (const auto& s : known_sites()) known = known || s == name;
-  COF_CHECK_MSG(known, "unknown fault site: " + name);
+  for (const auto& s : known_sites()) known = known || s == base;
+  COF_CHECK_MSG(known, "unknown fault site: " + base);
 
   site_state st;
   if (mode == "always") {
@@ -108,7 +122,8 @@ const std::vector<std::string>& known_sites() {
       site::dev_alloc,  site::dev_launch,  site::pipe_event,  site::queue_push,
       site::queue_pop,  site::spill_write, site::spill_merge, site::entry_clamp,
       site::exec_kernel, site::fasta_parse, site::index_persist,
-      site::index_load,  site::serve_admit, site::serve_batch};
+      site::index_load,  site::serve_admit, site::serve_batch,
+      site::shard_assign};
   return sites;
 }
 
@@ -137,11 +152,11 @@ bool armed() {
   return reg().armed.load(std::memory_order_relaxed) != 0;
 }
 
-bool should_fail(const char* site) {
-  auto& r = reg();
-  if (r.armed.load(std::memory_order_relaxed) == 0) return false;
-  std::lock_guard lock(r.mu);
-  const auto it = r.sites.find(std::string_view(site));
+namespace {
+
+/// Evaluate one armed registry entry under `key`. Caller holds the mutex.
+bool eval_armed(registry_t& r, std::string_view key) {
+  const auto it = r.sites.find(key);
   if (it == r.sites.end() || it->second.mode == mode_t::off) return false;
   site_state& st = it->second;
   ++st.hits;
@@ -157,8 +172,28 @@ bool should_fail(const char* site) {
   if (fire) ++st.injected;
   if (obs::enabled()) {
     auto& mreg = obs::metrics_registry::global();
-    mreg.counter(std::string("fault.hits.") + site).add(1);
-    if (fire) mreg.counter(std::string("fault.injected.") + site).add(1);
+    mreg.counter("fault.hits." + std::string(key)).add(1);
+    if (fire) mreg.counter("fault.injected." + std::string(key)).add(1);
+  }
+  return fire;
+}
+
+}  // namespace
+
+void set_thread_shard(int ordinal) { tl_shard = ordinal; }
+
+int thread_shard() { return tl_shard; }
+
+bool should_fail(const char* site) {
+  auto& r = reg();
+  if (r.armed.load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard lock(r.mu);
+  bool fire = eval_armed(r, std::string_view(site));
+  if (tl_shard >= 0) {
+    // A site@N spec targets only threads bound to shard ordinal N.
+    const std::string qualified =
+        std::string(site) + "@" + std::to_string(tl_shard);
+    fire = eval_armed(r, qualified) || fire;
   }
   return fire;
 }

@@ -14,6 +14,13 @@
 //                     stream seeded by `seed` (default 0) — reproducible
 //   off               disarm the site (counters keep their values)
 //
+// Multi-device targeting: a site may carry an `@N` qualifier
+// (`dev.launch@1=always`) that restricts it to threads bound to shard
+// ordinal N (xpu::scoped_device publishes the ordinal via
+// set_thread_shard). Unqualified specs keep firing on every thread; a
+// qualified spec only fires where the ordinal matches — the handle the
+// shard-degradation tests use to kill exactly one device of a set.
+//
 // When nothing is armed, every injection point is a single relaxed atomic
 // load. Per-site hit/injected counters are mirrored into the obs metrics
 // registry ("fault.hits.<site>" / "fault.injected.<site>") while the obs
@@ -62,6 +69,7 @@ inline constexpr const char* index_persist = "index.persist";  // .cofidx write,
 inline constexpr const char* index_load = "index.load";        // .cofidx read, per chunk
 inline constexpr const char* serve_admit = "serve.admit";      // request admission, per submit
 inline constexpr const char* serve_batch = "serve.batch";      // coalesced batch dispatch
+inline constexpr const char* shard_assign = "shard.assign";    // chunk-to-device assignment
 }  // namespace site
 
 /// Every site the engine wires an injection point through.
@@ -79,9 +87,16 @@ void reset();
 /// every injection point checks first).
 bool armed();
 
+/// Bind/read the calling thread's shard ordinal (-1 = unbound). Set by
+/// xpu::scoped_device; `site@N` specs only fire on threads whose ordinal
+/// matches N.
+void set_thread_shard(int ordinal);
+int thread_shard();
+
 /// Count a hit at `site` and report whether its armed mode fires. False
 /// when nothing is armed. Sites with a bespoke failure path (entry.clamp
-/// forces the overflow report) branch on this directly.
+/// forces the overflow report) branch on this directly. Threads bound to
+/// a shard ordinal additionally evaluate the qualified `site@N` entry.
 bool should_fail(const char* site);
 
 /// should_fail + throw injected_error — the common injection point.

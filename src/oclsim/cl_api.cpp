@@ -219,7 +219,7 @@ cl_mem clCreateBuffer(cl_context ctx, cl_mem_flags flags, size_t size, void* hos
     set_err(err, CL_INVALID_VALUE);
     return nullptr;
   }
-  auto* mem = new _cl_mem(xpu::device::simulator(), size);
+  auto* mem = new _cl_mem(xpu::device::current(), size);
   ctx->retain();
   mem->ctx = ctx;
   mem->flags = flags;

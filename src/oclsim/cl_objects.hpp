@@ -50,7 +50,7 @@ struct _cl_device_id {  // singletons, not refcounted
   std::string name;
   static cl_device_id gpu();
   static cl_device_id cpu();
-  xpu::device& impl() const { return xpu::device::simulator(); }
+  xpu::device& impl() const { return xpu::device::current(); }
 };
 
 struct _cl_context : oclsim::object_base {

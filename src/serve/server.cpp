@@ -326,6 +326,9 @@ server_stats server::stats() const {
 
 health_state server::health() const {
   if (stopping_.load()) return health_state::draining;
+  // A dead shard device is a capacity loss the operator must see even while
+  // the survivors keep latency inside the SLO.
+  if (session_->failed_devices() > 0) return health_state::degraded;
   const u64 admits = admit_window_.count();
   if (admits >= kHealthMinSamples) {
     const double rate = static_cast<double>(admit_window_.sum()) /
@@ -379,6 +382,18 @@ std::string server::stats_json() const {
       "\"chunk_misses\":%llu,\"chunk_evictions\":%llu}",
       u(session_->resident_bytes()), u(session_->chunk_hits()),
       u(session_->chunk_misses()), u(session_->chunk_evictions()));
+  const auto devs = session_->device_residency();
+  out += ",\"devices\":[";
+  for (usize d = 0; d < devs.size(); ++d) {
+    if (d != 0) out += ",";
+    out += util::format(
+        "{\"name\":\"%s\",\"alive\":%s,\"slots\":%llu,"
+        "\"resident_bytes\":%llu,\"chunks\":%llu}",
+        devs[d].name.c_str(), devs[d].alive ? "true" : "false", u(devs[d].slots),
+        u(devs[d].resident_bytes), u(devs[d].chunks));
+  }
+  out += util::format("],\"migrations\":%llu",
+                      u(session_->device_migrations()));
   out += util::format(
       ",\"recovery\":{\"overflow_retries\":%llu,\"recovered_overflows\":%llu}",
       u(s.overflow_retries), u(s.recovered_overflows));

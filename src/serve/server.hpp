@@ -171,10 +171,14 @@ class server {
   /// One-line JSON live snapshot — the `!stats` control-line payload:
   /// {"health", "uptime_s", counters, "queue_depth", "in_flight",
   ///  "batch_size" percentiles, "latency_us" lifetime + windowed
-  ///  percentiles, "resident" bytes + chunk hit/miss/evict, "recovery",
-  ///  "flight" armed/buffered/dumps}.
+  ///  percentiles, "resident" bytes + chunk hit/miss/evict, "devices"
+  ///  per-shard-device residency (name/alive/slots/bytes/chunks) +
+  ///  "migrations", "recovery", "flight" armed/buffered/dumps}.
   std::string stats_json() const;
 
+  /// Also degraded while any shard device of the session is marked failed
+  /// (engine.num_devices > 1): capacity loss is operator-visible even when
+  /// the survivors hold the latency SLO.
   health_state health() const;
 
   const index_query_session& session() const { return *session_; }

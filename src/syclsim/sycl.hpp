@@ -359,7 +359,7 @@ class device {
   bool is_cpu() const { return kind_ == kind::host; }
 
   std::string name() const {
-    return is_gpu() ? xpu::device::simulator().name() : "cof-host-cpu";
+    return is_gpu() ? xpu::device::current().name() : "cof-host-cpu";
   }
 
   template <info::device I>
@@ -377,8 +377,9 @@ class device {
     }
   }
 
-  /// Engine handle (facade-internal).
-  xpu::device& impl() const { return xpu::device::simulator(); }
+  /// Engine handle (facade-internal). Resolved per-thread so a shard
+  /// run's consumers each drive their own device.
+  xpu::device& impl() const { return xpu::device::current(); }
 
   friend bool operator==(const device& a, const device& b) {
     return a.kind_ == b.kind_;
@@ -492,7 +493,7 @@ struct buffer_impl {
   bool device_written = false;
 
   buffer_impl(size_t nbytes, const void* host_src, void* writeback)
-      : dev(xpu::device::simulator(), nbytes), writeback_ptr(writeback), bytes(nbytes) {
+      : dev(xpu::device::current(), nbytes), writeback_ptr(writeback), bytes(nbytes) {
     if (host_src != nullptr) dev.write(0, host_src, nbytes);
   }
 

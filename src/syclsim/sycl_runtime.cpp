@@ -98,7 +98,7 @@ void* usm_alloc_impl(size_t bytes, usm::alloc kind) {
   detail::usm_register(p, bytes, kind);
   if (kind == usm::alloc::device) {
     // Device allocations count against the simulated device's memory.
-    xpu::device::simulator().meter_h2d(0);  // touch stats lazily (no bytes)
+    xpu::device::current().meter_h2d(0);  // touch stats lazily (no bytes)
   }
   return p;
 }
@@ -133,7 +133,7 @@ event queue::memcpy(void* dst, const void* src, size_t bytes) {
   // Meter host<->device traffic by the endpoints' USM kinds.
   const auto dk = detail::usm_kind_of(dst);
   const auto sk = detail::usm_kind_of(src);
-  auto& dev = xpu::device::simulator();
+  auto& dev = xpu::device::current();
   if (dk == usm::alloc::device && sk != usm::alloc::device) {
     dev.meter_h2d(bytes);
   } else if (sk == usm::alloc::device && dk != usm::alloc::device) {

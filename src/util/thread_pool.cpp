@@ -164,16 +164,33 @@ detail::task_base* thread_pool::find_task(unsigned self_slot) {
       return t;
     }
   }
-  // Steal scan, starting just past our own slot to spread contention.
-  const usize nd = deques_.size();
-  const usize start = (self_slot == kNoSlot ? 0 : self_slot + 1);
-  for (usize k = 0; k < nd; ++k) {
-    if (detail::task_base* t = deques_[(start + k) % nd]->steal()) {
+  // Steal scan, deepest deque first: the thread with the most queued work
+  // is both the best victim (one steal rebalances the most) and the least
+  // contended per item. Shard consumers nest-submit onto their own deques,
+  // so deep deques also mark shard-local backlogs — stealing them last
+  // would thrash locality for no gain; stealing them first drains them.
+  std::vector<usize> depths(deques_.size());
+  for (usize i = 0; i < depths.size(); ++i) depths[i] = deques_[i]->depth();
+  for (const unsigned v : steal_order(depths, self_slot)) {
+    if (detail::task_base* t = deques_[v]->steal()) {
       steals_.fetch_add(1, std::memory_order_relaxed);
       return t;
     }
   }
   return nullptr;
+}
+
+std::vector<unsigned> thread_pool::steal_order(const std::vector<usize>& depths,
+                                               unsigned self_slot) {
+  std::vector<unsigned> order;
+  order.reserve(depths.size());
+  for (unsigned i = 0; i < depths.size(); ++i) {
+    if (i != self_slot && depths[i] > 0) order.push_back(i);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
+    return depths[a] > depths[b];
+  });
+  return order;
 }
 
 void thread_pool::execute(detail::task_base* t) {

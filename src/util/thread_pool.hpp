@@ -94,6 +94,12 @@ class steal_deque {
 
   bool looks_empty() const { return top_.load() >= bottom_.load(); }
 
+  /// Approximate queued-task count (racy snapshot — victim selection only).
+  usize depth() const {
+    const i64 d = bottom_.load() - top_.load();
+    return d > 0 ? static_cast<usize>(d) : 0;
+  }
+
  private:
   static constexpr usize kMask = kCapacity - 1;
   alignas(64) std::atomic<i64> top_{0};
@@ -177,6 +183,12 @@ class thread_pool {
             sleeps_.load(std::memory_order_relaxed),
             executed_.load(std::memory_order_relaxed)};
   }
+
+  /// Victim order for a steal scan: non-empty deques, deepest first (ties
+  /// keep lower index first), own slot excluded. Pure — exposed for the
+  /// steal-order unit tests; find_task feeds it live depth snapshots.
+  static std::vector<unsigned> steal_order(const std::vector<usize>& depths,
+                                           unsigned self_slot);
 
  private:
   struct range_block;  // thread_pool.cpp

@@ -2,7 +2,14 @@
 
 #include <algorithm>
 
+#include "fault/fault.hpp"
+
 namespace xpu {
+
+namespace {
+/// Per-thread binding installed by scoped_device; null = simulator().
+thread_local device* tl_device = nullptr;
+}  // namespace
 
 device::device(std::string name, unsigned threads)
     : name_(std::move(name)), pool_(threads) {}
@@ -63,6 +70,21 @@ void device::record_launch(const std::string& name, const launch_stats& s) {
 device& device::simulator() {
   static device dev("cof-simulated-accelerator");
   return dev;
+}
+
+device& device::current() {
+  return tl_device ? *tl_device : simulator();
+}
+
+scoped_device::scoped_device(device& dev, int shard_ordinal)
+    : prev_(tl_device), prev_shard_(fault::thread_shard()) {
+  tl_device = &dev;
+  if (shard_ordinal >= 0) fault::set_thread_shard(shard_ordinal);
+}
+
+scoped_device::~scoped_device() {
+  tl_device = prev_;
+  fault::set_thread_shard(prev_shard_);
 }
 
 }  // namespace xpu

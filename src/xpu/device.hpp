@@ -70,6 +70,12 @@ class device {
   /// The process-wide simulated accelerator.
   static device& simulator();
 
+  /// The device the calling thread is bound to (simulator() when no
+  /// scoped_device is live). The facades allocate/launch on this, which
+  /// is how a multi-device shard run routes work: bind the consumer
+  /// thread and every buffer/kernel it touches lands on its device.
+  static device& current();
+
  private:
   friend class device_buffer;
   void on_alloc(usize bytes);
@@ -83,6 +89,22 @@ class device {
   mutable std::mutex mu_;
   memory_stats mem_;
   std::map<std::string, kernel_stats> kernels_;
+};
+
+/// RAII thread-to-device binding. While live, device::current() on this
+/// thread resolves to `dev`, and (when `shard_ordinal` >= 0) fault specs
+/// qualified `site@N` target it. Nests: destruction restores the previous
+/// binding, so a consumer can migrate between devices mid-run.
+class scoped_device {
+ public:
+  explicit scoped_device(device& dev, int shard_ordinal = -1);
+  ~scoped_device();
+  scoped_device(const scoped_device&) = delete;
+  scoped_device& operator=(const scoped_device&) = delete;
+
+ private:
+  device* prev_;
+  int prev_shard_;
 };
 
 }  // namespace xpu

@@ -151,6 +151,30 @@ TEST(FaultRegistry, ScopeAppliesEnvThenSpecsAndDisarmsOnExit) {
   fault::reset();
 }
 
+/// An `@N` qualifier restricts a spec to threads bound to shard ordinal N
+/// (xpu::scoped_device publishes the binding). Unbound threads and other
+/// ordinals never fire it; the qualified entry keeps its own counters.
+TEST(FaultRegistry, ShardQualifierFiresOnlyOnTheMatchingOrdinal) {
+  fault::reset();
+  fault::configure("dev.launch@1=always");
+  EXPECT_TRUE(fault::armed());
+  // Unbound thread (ordinal -1): the qualified spec stays dark.
+  EXPECT_FALSE(fault::should_fail(fault::site::dev_launch));
+  fault::set_thread_shard(0);
+  EXPECT_FALSE(fault::should_fail(fault::site::dev_launch));
+  fault::set_thread_shard(1);
+  EXPECT_TRUE(fault::should_fail(fault::site::dev_launch));
+  EXPECT_TRUE(fault::should_fail(fault::site::dev_launch));
+  fault::set_thread_shard(-1);
+  EXPECT_FALSE(fault::should_fail(fault::site::dev_launch));
+  EXPECT_EQ(fault::stats("dev.launch@1").injected, 2u);
+  // An unqualified spec composes: it fires on every thread regardless of
+  // the binding.
+  fault::configure("dev.launch=always");
+  EXPECT_TRUE(fault::should_fail(fault::site::dev_launch));
+  fault::reset();
+}
+
 TEST(FaultRegistryDeath, UnknownSiteAndBadModeDie) {
   GTEST_FLAG_SET(death_test_style, "threadsafe");
   EXPECT_DEATH(fault::configure("bogus.site=always"), "unknown fault site");
@@ -158,6 +182,8 @@ TEST(FaultRegistryDeath, UnknownSiteAndBadModeDie) {
   EXPECT_DEATH(fault::configure("dev.alloc"), "site=mode");
   EXPECT_DEATH(fault::configure("dev.alloc=hit:0"), "hit:N");
   EXPECT_DEATH(fault::configure("dev.alloc=prob:1.5"), "prob:P");
+  EXPECT_DEATH(fault::configure("dev.alloc@x=always"), "shard ordinal");
+  EXPECT_DEATH(fault::configure("dev.alloc@=always"), "shard ordinal");
 }
 
 // --- per-site streaming matrix -----------------------------------------------
@@ -410,6 +436,167 @@ TEST(FaultSites, DeterministicAcrossRuns) {
   const outcome a = run();
   const outcome b = run();
   EXPECT_TRUE(a == b) << "prob-mode fault plan not reproducible";
+}
+
+// --- shard-degradation sites -------------------------------------------------
+//
+// Multi-device runs add per-device fault targeting (`site@N` kills only the
+// consumers bound to shard ordinal N) and one new site of their own:
+// shard.assign, the producer/reassignment chunk-to-device decision. The
+// contract mirrors the single-device matrix — a partial failure degrades to
+// the survivors byte-identically, a total failure surfaces the injected
+// site cleanly with no spill leftovers.
+
+struct shard_fault_case {
+  const char* site;  // per-device site to kill ordinal 1 with (@1=always)
+};
+
+class ShardFaults : public ::testing::TestWithParam<shard_fault_case> {};
+
+/// Killing exactly one device of a two-device set (site@1=always: every
+/// alloc/launch on ordinal 1 fails, forever) must degrade the run to the
+/// survivor with byte-identical records, mark the dead shard in the
+/// outcome, and leave no spill files behind.
+TEST_P(ShardFaults, OneDeviceDyingDegradesToSurvivorsByteIdentically) {
+  const std::string site = GetParam().site;
+  temp_dir dir;
+  const auto c = make_case(dir, 114, 6);
+
+  cof::engine_options opt{.backend = cof::backend_kind::sycl, .max_chunk = 6000};
+  opt.num_devices = 2;
+  const auto clean = cof::run_search_streaming(c.cfg, c.file, opt);
+  ASSERT_FALSE(clean.records.empty());
+  ASSERT_EQ(clean.device_shards.size(), 2u);
+  EXPECT_FALSE(clean.device_shards[0].failed);
+  EXPECT_FALSE(clean.device_shards[1].failed);
+
+  const util::usize spills_before = spill_files_for_this_pid();
+  opt.faults = site + "@1=always";
+  const auto degraded = cof::run_search_streaming(c.cfg, c.file, opt);
+  EXPECT_EQ(degraded.records, clean.records) << site;
+  ASSERT_EQ(degraded.device_shards.size(), 2u);
+  EXPECT_FALSE(degraded.device_shards[0].failed) << site;
+  EXPECT_TRUE(degraded.device_shards[1].failed) << site;
+  // The survivor did real work, and the per-shard counters still account
+  // for every take (a chunk the dead device took before dying is counted
+  // there AND on the survivor that re-ran it after reassignment).
+  EXPECT_GE(degraded.device_shards[0].chunks, 1u) << site;
+  util::u64 taken = 0;
+  for (const auto& ds : degraded.device_shards) taken += ds.chunks;
+  EXPECT_EQ(taken, degraded.metrics.chunks) << site;
+  EXPECT_GE(fault::stats(site + "@1").injected, 1u) << site;
+  EXPECT_EQ(spill_files_for_this_pid(), spills_before) << site;
+}
+
+INSTANTIATE_TEST_SUITE_P(PerDeviceSites, ShardFaults,
+                         ::testing::Values(shard_fault_case{"dev.alloc"},
+                                           shard_fault_case{"dev.launch"}),
+                         [](const ::testing::TestParamInfo<shard_fault_case>&
+                                info) {
+                           std::string name = info.param.site;
+                           for (auto& ch : name) {
+                             if (ch == '.') ch = '_';
+                           }
+                           return name;
+                         });
+
+/// A launch fault that keeps firing past the bounded retries on a device
+/// mid-run (not dead on arrival) must hand the in-flight chunk to the
+/// survivor — the reassignment counter proves the degradation path ran,
+/// and the records still match.
+TEST(ShardFaults, MidRunLaunchDeathReassignsPendingWork) {
+  temp_dir dir;
+  const auto c = make_case(dir, 115, 6);
+  cof::engine_options opt{.backend = cof::backend_kind::sycl, .max_chunk = 6000};
+  opt.num_devices = 2;
+  const auto clean = cof::run_search_streaming(c.cfg, c.file, opt);
+  ASSERT_FALSE(clean.records.empty());
+
+  // dev.launch only fires at kernel launch, so device 1 builds its
+  // pipeline fine, takes work, burns the bounded retries (each rebuild
+  // succeeds — dev.alloc is not armed), then degrades: the full
+  // retry-then-degrade arc, not dead-on-arrival.
+  opt.faults = "dev.launch@1=always";
+  const auto degraded = cof::run_search_streaming(c.cfg, c.file, opt);
+  EXPECT_EQ(degraded.records, clean.records);
+  EXPECT_TRUE(degraded.device_shards[1].failed);
+  if (degraded.device_shards[1].chunks != 0) {
+    // Device 1 took work before dying: that work must have been reassigned.
+    EXPECT_GE(degraded.shard_reassigns, 1u);
+  }
+}
+
+/// When every device of the set dies the run must fail with the injected
+/// site's clean error — not a hang, not a shard.assign artifact — and the
+/// unwound spill writers must leave nothing in the temp dir.
+TEST(ShardFaults, EveryDeviceDeadFailsCleanWithNoSpillLeftovers) {
+  temp_dir dir;
+  const auto c = make_case(dir, 116, 6);
+  cof::engine_options opt{.backend = cof::backend_kind::sycl, .max_chunk = 6000};
+  opt.num_devices = 2;
+  opt.faults = "dev.launch=always";  // unqualified: every device, every hit
+  const util::usize spills_before = spill_files_for_this_pid();
+  try {
+    (void)cof::run_search_streaming(c.cfg, c.file, opt);
+    FAIL() << "expected a clean failure once no device survives";
+  } catch (const fault::injected_error& e) {
+    EXPECT_EQ(e.site(), std::string("dev.launch"));
+  }
+  EXPECT_EQ(spill_files_for_this_pid(), spills_before);
+}
+
+/// shard.assign faults the chunk-to-device decision itself (producer side):
+/// there is no retry around it, so the run fails cleanly naming the site,
+/// on the very first assignment.
+TEST(ShardFaults, AssignFaultFailsCleanNamingTheSite) {
+  temp_dir dir;
+  const auto c = make_case(dir, 117, 6);
+  cof::engine_options opt{.backend = cof::backend_kind::sycl, .max_chunk = 6000};
+  opt.num_devices = 2;
+  opt.faults = "shard.assign=hit:1";
+  const util::usize spills_before = spill_files_for_this_pid();
+  try {
+    (void)cof::run_search_streaming(c.cfg, c.file, opt);
+    FAIL() << "expected injected_error at shard.assign";
+  } catch (const fault::injected_error& e) {
+    EXPECT_EQ(e.site(), std::string("shard.assign"));
+  }
+  EXPECT_EQ(fault::stats("shard.assign").injected, 1u);
+  EXPECT_EQ(spill_files_for_this_pid(), spills_before);
+  // shard.assign only exists on the sharded path: a single-device run never
+  // evaluates it, so the same plan runs clean.
+  opt.num_devices = 1;
+  const auto single = cof::run_search_streaming(c.cfg, c.file, opt);
+  ASSERT_FALSE(single.records.empty());
+  EXPECT_EQ(fault::stats("shard.assign").injected, 0u);
+}
+
+/// The warm path degrades too: an index-backed query session with a device
+/// dying mid-query migrates its slots to the survivors and still returns
+/// byte-identical records (bounded per-device attempts, then migration).
+TEST(ShardFaults, IndexSessionMigratesOffADeadDevice) {
+  temp_dir dir;
+  const auto c = make_case(dir, 118, 6);
+  const genome::genome_t g = genome::load_genome(c.file);
+  cof::engine_options opt{.backend = cof::backend_kind::sycl, .max_chunk = 6000};
+  const auto idx = cof::build_index(g, c.cfg.pattern, opt);
+
+  opt.num_devices = 2;
+  cof::index_query_session clean_s(idx, opt);
+  const auto clean = clean_s.query(c.cfg.queries);
+  ASSERT_FALSE(clean.records.empty());
+  EXPECT_EQ(clean_s.failed_devices(), 0u);
+
+  fault::scope guard("dev.launch@1=always");
+  cof::index_query_session faulted_s(idx, opt);
+  const auto degraded = faulted_s.query(c.cfg.queries);
+  EXPECT_EQ(degraded.records, clean.records);
+  EXPECT_EQ(faulted_s.failed_devices(), 1u);
+  EXPECT_GE(faulted_s.device_migrations(), 1u);
+  // The survivor owns every resident chunk now.
+  for (const auto& d : faulted_s.device_residency()) {
+    if (!d.alive) EXPECT_EQ(d.resident_bytes, 0u);
+  }
 }
 
 // --- serving-mode sites ------------------------------------------------------

@@ -21,6 +21,7 @@
 
 #include "core/engine.hpp"
 #include "core/index.hpp"
+#include "fault/fault.hpp"
 #include "genome/synth.hpp"
 #include "json_compat.hpp"
 #include "obs/trace.hpp"
@@ -458,6 +459,107 @@ TEST(ServeTelemetry, StatsJsonAndHealthUnderConcurrentClients) {
   EXPECT_EQ(srv.health(), cof::serve::health_state::draining);
   EXPECT_EQ(testjson::parse_json(srv.stats_json()).at("health").str,
             "draining");
+}
+
+// --- sharded serving ---------------------------------------------------------
+//
+// A server over a multi-device session: concurrency and coalescing compose
+// with the shard layer (byte-identity holds with clients hammering a
+// 2-device session), the `!stats` payload grows a per-device residency
+// array, and a device dying mid-serve degrades health() without failing a
+// single request.
+
+/// 4 concurrent clients against a session sharded over 2 devices: every
+/// request byte-identical to the serial reference, and the per-device
+/// stats_json rows account for the full resident footprint.
+TEST(ServeSharded, ConcurrentClientsOnTwoDevicesServedIdentically) {
+  serve_fixture fx(513);
+  cof::serve::server_options sopt;
+  sopt.engine = fx.warm_options();
+  sopt.engine.num_devices = 2;
+  sopt.batch_window_us = 2000;
+  cof::serve::server srv(fx.idx, sopt);
+
+  constexpr usize kClients = 4;
+  constexpr usize kPerClient = 5;
+  std::vector<std::vector<cof::ot_record>> refs;
+  for (usize c = 0; c < kClients; ++c) {
+    refs.push_back(serial_records(fx.g, {{fx.pool[c % fx.pool.size()], 1}}));
+  }
+  std::vector<std::thread> clients;
+  std::vector<char> ok(kClients, 1);
+  for (usize c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (usize i = 0; i < kPerClient; ++i) {
+        auto res = srv.submit(fx.pool[c % fx.pool.size()], 1).get();
+        if (res.records != refs[c]) ok[c] = 0;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (usize c = 0; c < kClients; ++c) EXPECT_TRUE(ok[c]) << "client " << c;
+  EXPECT_EQ(srv.health(), cof::serve::health_state::ok);
+
+  const testjson::jvalue doc = testjson::parse_json(srv.stats_json());
+  ASSERT_TRUE(doc.has("devices"));
+  const auto& devs = doc.at("devices").arr;
+  ASSERT_EQ(devs.size(), 2u);
+  double resident_sum = 0, slot_sum = 0;
+  for (const auto& d : devs) {
+    EXPECT_EQ(d.at("name").str.rfind("xpu", 0), 0u);
+    EXPECT_TRUE(d.at("alive").b);
+    EXPECT_GT(d.at("slots").num, 0.0) << "a device owns no slots";
+    EXPECT_GT(d.at("resident_bytes").num, 0.0)
+        << "a served device holds nothing resident";
+    resident_sum += d.at("resident_bytes").num;
+    slot_sum += d.at("slots").num;
+  }
+  EXPECT_EQ(resident_sum, doc.at("resident").at("bytes").num)
+      << "per-device residency does not add up to the session total";
+  EXPECT_EQ(slot_sum, static_cast<double>(sopt.engine.num_queues *
+                                          sopt.engine.num_devices));
+  EXPECT_EQ(doc.at("migrations").num, 0.0);
+
+  srv.shutdown();
+  const auto st = srv.stats();
+  EXPECT_EQ(st.served, kClients * kPerClient);
+  EXPECT_EQ(st.failed, 0u);
+}
+
+/// A shard device dying under live traffic: the session migrates its slots
+/// to the survivor, every in-flight and later request is still served
+/// byte-identically — and health()/stats_json surface the capacity loss as
+/// degraded + a dead device row, which a fresh server clears.
+TEST(ServeSharded, DeadDeviceDegradesHealthWithoutFailingRequests) {
+  serve_fixture fx(514);
+  cof::serve::server_options sopt;
+  sopt.engine = fx.warm_options();
+  sopt.engine.num_devices = 2;
+  const auto ref = serial_records(fx.g, {{fx.pool[0], 2}});
+
+  fault::scope guard("dev.launch@1=always");
+  cof::serve::server srv(fx.idx, sopt);
+  for (usize i = 0; i < 3; ++i) {
+    EXPECT_EQ(srv.submit(fx.pool[0], 2).get().records, ref) << "request " << i;
+  }
+  EXPECT_EQ(srv.health(), cof::serve::health_state::degraded)
+      << "a dead shard device must be operator-visible";
+  EXPECT_EQ(srv.session().failed_devices(), 1u);
+  EXPECT_GE(srv.session().device_migrations(), 1u);
+
+  const testjson::jvalue doc = testjson::parse_json(srv.stats_json());
+  EXPECT_EQ(doc.at("health").str, "degraded");
+  const auto& devs = doc.at("devices").arr;
+  ASSERT_EQ(devs.size(), 2u);
+  EXPECT_TRUE(devs[0].at("alive").b);
+  EXPECT_FALSE(devs[1].at("alive").b);
+  EXPECT_EQ(devs[1].at("resident_bytes").num, 0.0)
+      << "a dead device still holds resident chunks";
+  EXPECT_GE(doc.at("migrations").num, 1.0);
+  srv.shutdown();
+  const auto st = srv.stats();
+  EXPECT_EQ(st.served, 3u);
+  EXPECT_EQ(st.failed, 0u);
 }
 
 /// Health degrades on windowed rejection pressure: a run of wrong-length

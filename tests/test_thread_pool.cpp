@@ -184,6 +184,69 @@ TEST(ThreadPoolStealing, ConcurrentExternalParallelForCallers) {
   }
 }
 
+/// Victim selection is deepest-deque-first: the steal scan must order
+/// non-empty deques by descending depth, break ties toward the lower slot,
+/// and exclude the scanner's own slot.
+TEST(ThreadPoolStealing, StealOrderIsDeepestFirst) {
+  using order_t = std::vector<unsigned>;
+  // Depths per slot; self is slot 1.
+  EXPECT_EQ(util::thread_pool::steal_order({3, 9, 7, 0, 7}, 1),
+            (order_t{2, 4, 0}));  // 9 excluded (self), 7s tie low-slot-first
+  // Empty deques never appear, whatever their position.
+  EXPECT_EQ(util::thread_pool::steal_order({0, 0, 5, 0}, 0), (order_t{2}));
+  // All empty: nothing to steal.
+  EXPECT_TRUE(util::thread_pool::steal_order({0, 0, 0}, 1).empty());
+  // Self exclusion even when self is the deepest.
+  EXPECT_EQ(util::thread_pool::steal_order({100, 1}, 0), (order_t{1}));
+  // Strictly descending by depth.
+  EXPECT_EQ(util::thread_pool::steal_order({1, 2, 3, 4}, 3), (order_t{2, 1, 0}));
+}
+
+/// Shard-affinity behaviour: a worker that nest-submits a deep backlog onto
+/// its own deque keeps the majority of it (owner pops LIFO from its own
+/// deque; thieves only take when idle), so per-device consumers retain
+/// their shard's work while still letting idle workers help.
+TEST(ThreadPoolStealing, OwnerKeepsMajorityOfItsOwnBacklog) {
+  util::thread_pool pool(4);
+  constexpr int kChildren = 4000;
+  // Thieves stay pinned until the owner has worked through 3/4 of its own
+  // backlog, then the remainder is up for stealing: the owner's share is
+  // deterministically a majority while the drain still ends via steals.
+  constexpr int kRelease = (kChildren * 3) / 4;
+  std::atomic<int> started{0};
+  std::atomic<int> done{0};
+  std::atomic<int> on_owner{0};
+  std::atomic<bool> release{false};
+  const auto owner_id = std::make_shared<std::atomic<std::thread::id>>();
+  for (int i = 0; i < 3; ++i) {
+    pool.submit([&started, &release] {
+      started.fetch_add(1);
+      while (!release.load()) std::this_thread::yield();
+    });
+  }
+  pool.submit([&, owner_id] {
+    // Wait until every pinned thief occupies its own worker — otherwise
+    // this task's worker could finish enqueueing and pick up a thief task
+    // itself, deadlocking the release.
+    while (started.load() < 3) std::this_thread::yield();
+    owner_id->store(std::this_thread::get_id());
+    for (int j = 0; j < kChildren; ++j) {
+      pool.submit([&, owner_id] {
+        if (std::this_thread::get_id() == owner_id->load()) {
+          on_owner.fetch_add(1);
+        }
+        if (done.fetch_add(1) + 1 >= kRelease) release.store(true);
+      });
+    }
+  });
+  // Keep this external thread out of the pool until the release point:
+  // wait_idle() helps execute queued tasks, which would skew the count.
+  while (done.load() < kRelease) std::this_thread::yield();
+  pool.wait_idle();
+  ASSERT_EQ(done.load(), kChildren);
+  EXPECT_GT(on_owner.load(), kChildren / 2);
+}
+
 /// parallel_for_range issued from inside a worker task: the caller helps by
 /// draining its own deque, and blocks stolen by other workers finish
 /// elsewhere; the nested range must complete without deadlock.
